@@ -1,0 +1,78 @@
+//! Ablations of the §IV reference-implementation design choices
+//! (DESIGN.md §5): packing-optional execution, edge handling,
+//! instruction scheduling, and parallelization method.
+
+use smm_bench::{measure, measure_strategy, print_header, print_row};
+use smm_core::{build_sim, PlanConfig, SmmPlan};
+use smm_gemm::{all_strategies, BlisStrategy, OpenBlasStrategy};
+
+fn reference_eff(m: usize, n: usize, k: usize, cfg: &PlanConfig) -> f64 {
+    let plan = SmmPlan::build(m, n, k, cfg);
+    let threads = plan.threads();
+    measure(build_sim(&plan), threads).efficiency_pct
+}
+
+fn main() {
+    // 1. Packing-optional: force pack on/off against the adaptive rule.
+    println!("== Ablation 1: packing decisions (1 thread, efficiency %) ==\n");
+    print_header(&["shape", "adaptive", "force-pack", "force-none"]);
+    for &(m, n, k) in &[(6, 96, 96), (16, 16, 16), (48, 48, 48), (96, 96, 96), (192, 8, 64)] {
+        let adaptive = reference_eff(m, n, k, &PlanConfig::default());
+        let packed = reference_eff(
+            m,
+            n,
+            k,
+            &PlanConfig { pack_a: Some(true), pack_b: Some(true), ..Default::default() },
+        );
+        let unpacked = reference_eff(
+            m,
+            n,
+            k,
+            &PlanConfig { pack_a: Some(false), pack_b: Some(false), ..Default::default() },
+        );
+        print_row(&format!("{m}x{n}x{k}"), &[adaptive, packed, unpacked]);
+    }
+
+    // 2. Edge handling: the same edge-heavy shape across strategies
+    //    (OpenBLAS edge kernels vs BLIS padding vs our exact tiles).
+    println!("\n== Ablation 2: edge handling on M=75,N=K=60 (the paper's example) ==\n");
+    print_header(&["strategy", "eff%", "edge%"]);
+    for s in all_strategies::<f32>() {
+        let meas = measure_strategy(s.as_ref(), 75, 60, 60, 1);
+        print_row(s.name(), &[meas.efficiency_pct, meas.edge_pct]);
+    }
+    let meas = measure(build_sim(&SmmPlan::build(75, 60, 60, &PlanConfig::default())), 1);
+    print_row("SMM-Ref", &[meas.efficiency_pct, meas.edge_pct]);
+
+    // 3. Micro-kernel choice: override the adaptive selection.
+    println!("\n== Ablation 3: forced micro-kernel on 64x64x64 (1 thread) ==\n");
+    print_header(&["kernel", "eff%"]);
+    for &(mr, nr) in &[(16usize, 4usize), (8, 12), (8, 8), (4, 4)] {
+        let cfg = PlanConfig {
+            kernel: Some(smm_model::KernelShape::new(mr, nr)),
+            ..Default::default()
+        };
+        print_row(&format!("{mr}x{nr}"), &[reference_eff(64, 64, 64, &cfg)]);
+    }
+
+    // 4. Parallelization: OpenBLAS 2-D M-split vs BLIS multi-dim vs our
+    //    sync-free tile-clamped grid, across small-M 64-thread shapes.
+    //    Expected crossover: cooperative packing (BLIS) wins once the
+    //    problem stops being small; the sync-free reference design wins
+    //    in the genuinely small regime it targets.
+    println!("\n== Ablation 4: parallelization on 64 threads (efficiency % / sync %) ==\n");
+    print_header(&["shape", "2D-Msplit", "multi-dim", "ref", "ref sync%"]);
+    for &(m, n, k) in &[(8usize, 96usize, 96usize), (16, 256, 256), (64, 512, 512)] {
+        let ob = measure_strategy(&OpenBlasStrategy::new(), m, n, k, 64);
+        let blis = measure_strategy(&BlisStrategy::new(), m, n, k, 64);
+        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        let plan = SmmPlan::build(m, n, k, &cfg);
+        // Measured against the full 64-core peak even if the plan
+        // clamps its thread count.
+        let ours = measure(build_sim(&plan), 64);
+        print_row(
+            &format!("{m}x{n}x{k}"),
+            &[ob.efficiency_pct, blis.efficiency_pct, ours.efficiency_pct, ours.sync_pct],
+        );
+    }
+}

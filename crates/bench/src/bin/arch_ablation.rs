@@ -1,0 +1,84 @@
+//! Architecture ablations — which machine features drive the paper's
+//! observations?
+//!
+//! The paper (§III-D) conjectures three causes for the multi-threaded
+//! kernel-efficiency loss: the non-LRU shared L2, NUMA, and padded edge
+//! work. This binary re-runs representative jobs on modified machines:
+//! an LRU L2, a disabled stream prefetcher, half/double DRAM bandwidth,
+//! and a 2×-latency FMA pipe.
+
+
+use smm_gemm::{BlisStrategy, BlasfeoStrategy, Strategy};
+use smm_simarch::cache::Replacement;
+use smm_simarch::cpu::PipelineConfig;
+use smm_simarch::memory::MemConfig;
+
+struct Variant {
+    name: &'static str,
+    pipeline: PipelineConfig,
+    mem: MemConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let stock_p = PipelineConfig::phytium_core();
+    let stock_m = MemConfig::phytium_2000_plus();
+    let mut lru = stock_m;
+    lru.l2.replacement = Replacement::Lru;
+    let mut nopf = stock_m;
+    nopf.prefetch = false;
+    let mut half_bw = stock_m;
+    half_bw.dram_service = stock_m.dram_service * 2;
+    let mut double_bw = stock_m;
+    double_bw.dram_service = stock_m.dram_service / 2;
+    let mut slow_fma = stock_p;
+    slow_fma.fma_latency = stock_p.fma_latency * 2;
+    vec![
+        Variant { name: "stock", pipeline: stock_p, mem: stock_m },
+        Variant { name: "LRU L2", pipeline: stock_p, mem: lru },
+        Variant { name: "no prefetch", pipeline: stock_p, mem: nopf },
+        Variant { name: "half DRAM bw", pipeline: stock_p, mem: half_bw },
+        Variant { name: "2x DRAM bw", pipeline: stock_p, mem: double_bw },
+        Variant { name: "2x FMA lat", pipeline: slow_fma, mem: stock_m },
+    ]
+}
+
+type JobFactory = Box<dyn Fn() -> smm_gemm::SimJob>;
+
+fn main() {
+    let jobs: Vec<(&str, JobFactory, usize, f64)> = vec![
+        (
+            "BLASFEO 64^3 t1",
+            Box::new(|| Strategy::<f32>::sim(&BlasfeoStrategy::new(), 64, 64, 64, 1)),
+            1,
+            2.0 * 64f64.powi(3),
+        ),
+        (
+            "BLIS 64x512x512 t64",
+            Box::new(|| Strategy::<f32>::sim(&BlisStrategy::new(), 64, 512, 512, 64)),
+            64,
+            2.0 * 64.0 * 512.0 * 512.0,
+        ),
+    ];
+
+    for (label, job_fn, threads, flops) in jobs {
+        println!("\n== {label} across machine variants ==\n");
+        println!("{:>14} {:>9} {:>10} {:>9}", "variant", "eff%", "kernutil%", "cycles_k");
+        println!("{}", "-".repeat(46));
+        for v in variants() {
+            let report = job_fn().run_on(v.pipeline, v.mem);
+            let gflops = report.gflops(flops, 2.2e9);
+            let eff = gflops / (17.6 * threads as f64) * 100.0;
+            println!(
+                "{:>14} {:>9.1} {:>10.1} {:>9}",
+                v.name,
+                eff,
+                report.kernel_fma_utilization() * 100.0,
+                report.cycles / 1000
+            );
+        }
+    }
+    println!("\nIn this model, DRAM channel bandwidth is the dominant lever for the");
+    println!("64-thread job, and the stream prefetcher for the single-thread kernel;");
+    println!("the L2 replacement policy is neutral because packed working sets fit.");
+    println!("(The paper conjectures a larger non-LRU-L2 role — see EXPERIMENTS.md.)");
+}

@@ -1,0 +1,45 @@
+//! Fig. 10 — 64-thread SMM: OpenBLAS vs BLIS vs Eigen.
+//!
+//! The paper sweeps SMMs with one irregular (small) dimension on all
+//! 64 cores; BLASFEO is excluded (single-threaded only). Expected
+//! shape: BLIS leads (peaking around 60%), OpenBLAS is especially poor
+//! when M is small (its 2-D grid splits M into 64 slivers), and all
+//! three sit far below peak when any dimension is very small.
+//!
+//! The paper does not state the fixed large dimensions; we use 512
+//! (1024 with `--full`), comfortably "large" against the 16..256
+//! sweep. A fourth column reports our §IV reference implementation.
+
+use smm_bench::{full_mode, measure_reference, measure_strategy, print_header, print_row};
+use smm_gemm::{BlisStrategy, EigenStrategy, OpenBlasStrategy};
+
+fn main() {
+    let threads = 64;
+    let fixed = if full_mode() { 1024 } else { 512 };
+    let step = if full_mode() { 16 } else { 48 };
+    let sizes: Vec<usize> = (step..=256).step_by(step).collect();
+    let ob = OpenBlasStrategy::new();
+    let blis = BlisStrategy::new();
+    let eigen = EigenStrategy::new();
+
+    for (panel, dim) in [("M", 0usize), ("N", 1), ("K", 2)] {
+        println!(
+            "\n== Fig 10: 64-thread efficiency (% of 1126.4 SP Gflops), sweeping {panel} (fixed = {fixed}) =="
+        );
+        print_header(&["size", "OpenBLAS", "BLIS", "Eigen", "SMM-Ref"]);
+        for &s in &sizes {
+            let (m, n, k) = match dim {
+                0 => (s, fixed, fixed),
+                1 => (fixed, s, fixed),
+                _ => (fixed, fixed, s),
+            };
+            let vals = [
+                measure_strategy(&ob, m, n, k, threads).efficiency_pct,
+                measure_strategy(&blis, m, n, k, threads).efficiency_pct,
+                measure_strategy(&eigen, m, n, k, threads).efficiency_pct,
+                measure_reference(m, n, k, threads).efficiency_pct,
+            ];
+            print_row(&format!("{panel}={s}"), &vals);
+        }
+    }
+}

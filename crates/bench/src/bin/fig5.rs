@@ -1,0 +1,62 @@
+//! Fig. 5 — single-threaded SMM performance of the four libraries.
+//!
+//! Panels: (a) square M=N=K ∈ 5..=200; (b) M ∈ 2..=40 with N=K=192;
+//! (c) N swept; (d) K swept. Efficiency is percent of one core's SP
+//! peak (17.6 Gflops). The paper's headline observations to reproduce:
+//! BLASFEO is best (up to ~96% of peak), Eigen worst (~58%), and
+//! small-K behaviour (d) differs from small-M/N (b, c) because P2C is
+//! independent of K (Eq. 3).
+//!
+//! Usage: `fig5 [a|b|c|d|all] [--full]`. A fifth column reports our
+//! §IV reference implementation (an extension over the paper).
+
+use smm_bench::{fig5_small_sizes, fig5a_sizes, measure_reference, measure_strategy, print_header, print_row, FIXED_DIM};
+use smm_gemm::all_strategies;
+
+fn sweep(label: &str, points: &[(usize, usize, usize)]) {
+    println!("\n== Fig 5({label}): single-thread efficiency (% of 17.6 SP Gflops) ==");
+    let strategies = all_strategies::<f32>();
+    let mut cols = vec!["size"];
+    let names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+    cols.extend(names.iter());
+    cols.push("SMM-Ref");
+    print_header(&cols);
+    for &(m, n, k) in points {
+        let mut vals = Vec::new();
+        for s in &strategies {
+            vals.push(measure_strategy(s.as_ref(), m, n, k, 1).efficiency_pct);
+        }
+        vals.push(measure_reference(m, n, k, 1).efficiency_pct);
+        let label = match label {
+            "a" => format!("{m}"),
+            "b" => format!("M={m}"),
+            "c" => format!("N={n}"),
+            _ => format!("K={k}"),
+        };
+        print_row(&label, &vals);
+    }
+}
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--full")
+        .unwrap_or_else(|| "all".into());
+    let d = FIXED_DIM;
+    if which == "a" || which == "all" {
+        let pts: Vec<_> = fig5a_sizes().into_iter().map(|s| (s, s, s)).collect();
+        sweep("a", &pts);
+    }
+    if which == "b" || which == "all" {
+        let pts: Vec<_> = fig5_small_sizes().into_iter().map(|m| (m, d, d)).collect();
+        sweep("b", &pts);
+    }
+    if which == "c" || which == "all" {
+        let pts: Vec<_> = fig5_small_sizes().into_iter().map(|n| (d, n, d)).collect();
+        sweep("c", &pts);
+    }
+    if which == "d" || which == "all" {
+        let pts: Vec<_> = fig5_small_sizes().into_iter().map(|k| (d, d, k)).collect();
+        sweep("d", &pts);
+    }
+}

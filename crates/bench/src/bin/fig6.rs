@@ -1,0 +1,37 @@
+//! Fig. 6 — data-packing overhead share in OpenBLAS SMM.
+//!
+//! Sweeps each dimension small (others fixed at 192) and reports the
+//! percentage of run time spent packing `Ã` and `B̃`, next to the
+//! first-order analytic prediction from the P2C model (Eqs. 1–3).
+//! The paper's observations: the smaller M or N, the larger the packing
+//! share (beyond 50% in the worst cases); a small K leaves the share
+//! negligible because P2C is independent of K.
+
+use smm_bench::{fig5_small_sizes, measure_strategy, print_header, print_row, FIXED_DIM};
+use smm_gemm::OpenBlasStrategy;
+use smm_model::p2c::predicted_packing_share;
+
+fn main() {
+    let d = FIXED_DIM;
+    let ob = OpenBlasStrategy::new();
+    let sizes = fig5_small_sizes();
+    for (panel, dim) in [("M", 0usize), ("N", 1), ("K", 2)] {
+        println!("\n== Fig 6: OpenBLAS packing share sweeping {panel} (others = {d}) ==");
+        print_header(&["size", "PackA%", "PackB%", "Pack%", "model%"]);
+        for &s in &sizes {
+            let (m, n, k) = match dim {
+                0 => (s, d, d),
+                1 => (d, s, d),
+                _ => (d, d, s),
+            };
+            let meas = measure_strategy(&ob, m, n, k, 1);
+            // First-order model: packing loads vs FMA work (Eq. 1/2),
+            // with a cost ratio of 2 for the strided PackB gathers.
+            let model = predicted_packing_share(m, n, k, 4, 8, 2.0) * 100.0;
+            print_row(
+                &format!("{panel}={s}"),
+                &[meas.packa_pct, meas.packb_pct, meas.packa_pct + meas.packb_pct, model],
+            );
+        }
+    }
+}

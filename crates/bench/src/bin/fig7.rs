@@ -1,0 +1,86 @@
+//! Fig. 7 — the naively scheduled OpenBLAS 8×4 edge micro-kernel.
+//!
+//! Dumps the first loop iteration of the edge kernel's instruction
+//! stream (the paper shows the `ldp`/`ldr`/`fmla` listing) and then
+//! quantifies the cost of each scheduling policy and tile size by
+//! running the isolated kernels on the simulated core.
+
+use smm_kernels::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+use smm_kernels::trace_gen::{kernel_trace, KernelTraceParams};
+use smm_simarch::isa::{Op, NO_REG};
+use smm_simarch::machine::simulate_single;
+use smm_simarch::phase::Phase;
+use smm_simarch::trace::VecSource;
+
+fn params(mr: usize, nr: usize, policy: SchedulePolicy, unroll: usize, kc: usize) -> KernelTraceParams {
+    KernelTraceParams {
+        desc: MicroKernelDesc::new(mr, nr, unroll, policy, BLoadStyle::ScalarPairs),
+        kc,
+        a_base: 0x10_000,
+        a_kstep: (mr * 4) as u64,
+        b_base: 0x40_000,
+        b_kstep: (nr * 4) as u64,
+        b_jstride: 4,
+        c_base: 0x80_000,
+        c_col_stride: (mr * 4) as u64,
+        elem: 4,
+        phase: Phase::Kernel,
+    }
+}
+
+fn mnemonic(op: Op) -> &'static str {
+    match op {
+        Op::LdVec => "ldr  q",
+        Op::LdScalar => "ldr  s",
+        Op::LdPair => "ldp  s,s",
+        Op::StVec => "str  q",
+        Op::StScalar => "str  s",
+        Op::Fma => "fmla v.4s",
+        Op::VMul => "fmul",
+        Op::VAdd => "fadd",
+        Op::VDup => "dup  v.4s",
+        Op::IOp => "add  x",
+        Op::Branch => "b.ne",
+        Op::Barrier(_) => "barrier",
+    }
+}
+
+fn main() {
+    println!("== Fig 7: OpenBLAS 8x4 edge micro-kernel, one k-iteration ==\n");
+    let p = params(8, 4, SchedulePolicy::Naive, 1, 4);
+    let (insts, _) = kernel_trace(&p);
+    for inst in insts.iter().skip(1).take(13) {
+        let dst = if inst.dst == NO_REG { String::new() } else { format!(" -> r{}", inst.dst) };
+        println!("  {:<10} addr {:#8x}{}", mnemonic(inst.op), inst.addr, dst);
+    }
+
+    println!("\n== Isolated kernel efficiency by tile and scheduling policy (kc=256) ==\n");
+    println!("{:>8} {:>12} {:>8} {:>10}", "tile", "policy", "unroll", "FMA util%");
+    for (mr, nr, policy, unroll) in [
+        (16, 4, SchedulePolicy::Interleaved, 8),
+        (16, 4, SchedulePolicy::Naive, 1),
+        (8, 8, SchedulePolicy::Interleaved, 4),
+        (8, 4, SchedulePolicy::Naive, 1),
+        (4, 4, SchedulePolicy::Naive, 1),
+        (2, 4, SchedulePolicy::Naive, 1),
+        (1, 4, SchedulePolicy::Naive, 1),
+        (4, 1, SchedulePolicy::Naive, 1),
+        (12, 4, SchedulePolicy::Compiler, 1),
+    ] {
+        let b_load = if policy == SchedulePolicy::Compiler { BLoadStyle::Scalars } else { BLoadStyle::ScalarPairs };
+        let mut p = params(mr, nr, policy, unroll, 256);
+        p.desc = MicroKernelDesc::new(mr, nr, unroll, policy, b_load);
+        let (insts, stats) = kernel_trace(&p);
+        let r = simulate_single(Box::new(VecSource::new(insts)));
+        let util = stats.loop_fmas as f64 / r.cycles as f64 * 100.0;
+        println!(
+            "{:>8} {:>12} {:>8} {:>10.1}",
+            format!("{mr}x{nr}"),
+            format!("{policy:?}"),
+            unroll,
+            util
+        );
+    }
+    println!("\nSmall edge tiles are latency-bound (few accumulator chains vs the");
+    println!("5-cycle FMA pipe) — the §III-B/III-C conclusion.");
+}

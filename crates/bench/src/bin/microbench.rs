@@ -1,0 +1,91 @@
+//! Memory-hierarchy microbenchmarks on the simulated machine —
+//! the Gao et al. style probes the paper cites for its latency numbers
+//! (§II-A / §III-C). Validates that the machine model exposes the
+//! documented tiers to *programs*, not just in its config tables.
+//!
+//! Probes: dependent-load latency per working-set size (pointer-chase
+//! analogue), NUMA local-vs-remote latency, per-channel streaming
+//! bandwidth, and FMA pipe latency/throughput.
+
+use smm_simarch::prelude::*;
+
+/// Dependent loads over a working set: each load's address feeds the
+/// next (modelled by a serial register chain), defeating overlap.
+fn chase_latency(ws_bytes: u64) -> f64 {
+    let lines = ws_bytes / 64;
+    // Stride by a coprime line count to defeat the stream prefetcher;
+    // enough passes over the set that cold misses amortize away.
+    let n = (4 * lines).max(6_000);
+    let insts: Vec<Inst> = (0..n)
+        .map(|i| {
+            let line = (i * 67) % lines;
+            // Serial chain: every load consumes the previous load's dest.
+            let mut ld = Inst::ld_vec(v(0), line * 64, Phase::Kernel);
+            ld.srcs[0] = v(0);
+            ld
+        })
+        .collect();
+    let r = simulate_single(Box::new(VecSource::new(insts)));
+    r.cycles as f64 / n as f64
+}
+
+fn numa_latency(remote: bool) -> f64 {
+    let mut alloc = SimAlloc::new(8);
+    let base = alloc.alloc_on(16 * 1024 * 1024, if remote { 7 } else { 0 });
+    let n = 2000u64;
+    let mut insts = Vec::new();
+    for i in 0..n {
+        let mut ld = Inst::ld_vec(v(0), base + ((i * 131) % 200_000) * 64, Phase::Kernel);
+        ld.srcs[0] = v(0);
+        insts.push(ld);
+    }
+    let r = simulate_single(Box::new(VecSource::new(insts)));
+    r.cycles as f64 / n as f64
+}
+
+/// Streaming bandwidth from one panel's DRAM with `cores` readers.
+fn stream_bandwidth(cores: usize) -> f64 {
+    let bytes_per_core = 4 * 1024 * 1024u64;
+    let mut alloc = SimAlloc::new(8);
+    let sources: Vec<Box<dyn InstSource>> = (0..cores)
+        .map(|_c| {
+            let base = alloc.alloc_on(bytes_per_core, 0); // all on panel 0
+            let insts: Vec<Inst> = (0..bytes_per_core / 16)
+                .map(|i| Inst::ld_vec(v((i % 8) as u8), base + i * 16, Phase::Kernel))
+                .collect();
+            Box::new(VecSource::new(insts)) as Box<dyn InstSource>
+        })
+        .collect();
+    let mut m = Machine::new(PipelineConfig::phytium_core(), MemConfig::phytium_2000_plus(), sources);
+    let r = m.run();
+    let total_bytes = bytes_per_core as f64 * cores as f64;
+    total_bytes / (r.cycles as f64 / 2.2e9) / 1e9
+}
+
+fn fma_pipe() -> (f64, f64) {
+    let n = 20_000;
+    let serial: Vec<Inst> = (0..n).map(|_| Inst::fma(v(16), v(0), s(0), Phase::Kernel)).collect();
+    let lat = simulate_single(Box::new(VecSource::new(serial))).cycles as f64 / n as f64;
+    let parallel: Vec<Inst> = (0..n)
+        .map(|i| Inst::fma(v(16 + (i % 10) as u8), v(0), s(0), Phase::Kernel))
+        .collect();
+    let thr = n as f64 / simulate_single(Box::new(VecSource::new(parallel))).cycles as f64;
+    (lat, thr)
+}
+
+fn main() {
+    println!("== Simulated memory-hierarchy microbenchmarks (Phytium 2000+ model) ==\n");
+    println!("dependent-load latency by working set, load-to-use + issue overhead\n(config: L1 hit 3, L2 hit 24, local DRAM 150):");
+    for (label, ws) in [("16 KB (L1)", 16u64 << 10), ("512 KB (L2)", 512 << 10), ("8 MB (DRAM)", 8 << 20)] {
+        println!("  {label:>14}: {:>6.1} cycles/load", chase_latency(ws));
+    }
+    println!("\nNUMA (config: local 150, remote 240):");
+    println!("  {:>14}: {:>6.1} cycles/load", "local panel", numa_latency(false));
+    println!("  {:>14}: {:>6.1} cycles/load", "remote panel", numa_latency(true));
+    println!("\nstreaming bandwidth from one panel (config: 8 cycles per 64 B line ≈ 17.6 GB/s):");
+    for cores in [1usize, 2, 4, 8] {
+        println!("  {cores:>2} reader(s): {:>6.1} GB/s", stream_bandwidth(cores));
+    }
+    let (lat, thr) = fma_pipe();
+    println!("\nFMA pipe: latency {lat:.1} cycles (config 5), throughput {thr:.2}/cycle (config 1)");
+}

@@ -1,0 +1,32 @@
+//! Strong scaling: efficiency of each library (and the reference
+//! implementation) as the thread count grows on fixed SMM problems.
+//!
+//! The paper evaluates 1 and 64 threads; this sweep fills in the curve
+//! and shows *where* each parallelization method stops paying — the
+//! practical content of the §III-D recommendation.
+
+use smm_bench::{measure, measure_strategy, print_header, print_row};
+use smm_core::{build_sim, PlanConfig, SmmPlan};
+use smm_gemm::{BlisStrategy, EigenStrategy, OpenBlasStrategy};
+
+fn main() {
+    let threads = [1usize, 2, 4, 8, 16, 32, 64];
+    for &(m, n, k) in &[(32usize, 256usize, 256usize), (128, 128, 128)] {
+        println!("\n== Strong scaling on {m}x{n}x{k} (% of the SP peak of the cores used) ==");
+        print_header(&["threads", "OpenBLAS", "BLIS", "Eigen", "SMM-Ref"]);
+        for &t in &threads {
+            let ob = measure_strategy(&OpenBlasStrategy::new(), m, n, k, t);
+            let blis = measure_strategy(&BlisStrategy::new(), m, n, k, t);
+            let eig = measure_strategy(&EigenStrategy::new(), m, n, k, t);
+            let cfg = PlanConfig { max_threads: t, ..Default::default() };
+            let plan = SmmPlan::build(m, n, k, &cfg);
+            let ours = measure(build_sim(&plan), t);
+            print_row(
+                &t.to_string(),
+                &[ob.efficiency_pct, blis.efficiency_pct, eig.efficiency_pct, ours.efficiency_pct],
+            );
+        }
+    }
+    println!("\nEfficiency per core decays as threads grow (sync + packing duplication");
+    println!("+ shared bandwidth); the decay rate is the §III-D method comparison.");
+}

@@ -1,0 +1,51 @@
+//! Table I — comparison of library kernels.
+//!
+//! Printed from the [`smm_kernels::LibraryProfile`] registry, which is
+//! the single source of truth the strategy implementations consume.
+
+use smm_kernels::registry::EdgeStrategy;
+use smm_kernels::LibraryProfile;
+use smm_model::KernelShape;
+
+fn main() {
+    println!("== Table I: a comparison of library kernels ==\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>14}",
+        "", "OpenBLAS", "BLIS", "BLASFEO", "Eigen"
+    );
+    let profiles = LibraryProfile::all();
+    let row = |label: &str, f: &dyn Fn(&LibraryProfile) -> String| {
+        print!("{label:<22}");
+        for p in &profiles {
+            print!(" {:>10}", f(p));
+        }
+        println!();
+    };
+    row("layers of assembly", &|p| {
+        match p.name {
+            "OpenBLAS" => "4-7".into(),
+            "BLIS" | "BLASFEO" => "6-7".into(),
+            _ => "none".into(),
+        }
+    });
+    row("unrolling factor", &|p| p.main.unroll.to_string());
+    row("mr x nr", &|p| {
+        let mut shapes = vec![p.main.shape];
+        shapes.extend(p.alternates.iter().copied());
+        shapes
+            .iter()
+            .map(|s: &KernelShape| format!("{}x{}", s.mr, s.nr))
+            .collect::<Vec<_>>()
+            .join(",")
+    });
+    row("edge handling", &|p| {
+        match p.edge {
+            EdgeStrategy::EdgeKernels => "edge krnl".into(),
+            EdgeStrategy::Padding => "zero pad".into(),
+        }
+    });
+    row("B staging", &|p| format!("{:?}", p.main.b_load));
+    row("CMR (Eq. 5)", &|p| format!("{:.1}", p.main.shape.cmr()));
+    row("acc registers", &|p| p.main.shape.accumulator_registers(4).to_string());
+    println!("\nAll kernels satisfy the Eq. 4 register constraint (<= 30 accumulators).");
+}

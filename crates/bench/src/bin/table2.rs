@@ -1,0 +1,36 @@
+//! Table II — per-phase overhead of 64-thread BLIS SMM with small M.
+//!
+//! Columns as in the paper: Kernel / PackA / PackB / Sync shares of
+//! total core-cycles, plus the kernel-phase FMA-issue occupancy
+//! ("Kernel effic"). The paper's trends to reproduce: PackB dominates
+//! the overhead at small M and shrinks as M grows; kernel efficiency
+//! is well below the single-threaded level (43–75%) because of the
+//! shared non-LRU L2, NUMA, and padded edge tiles.
+//!
+//! The paper does not state the fixed N/K; we use 512 (1024 with
+//! `--full`).
+
+use smm_bench::{full_mode, measure_strategy, print_header, print_row};
+use smm_gemm::BlisStrategy;
+
+fn main() {
+    let threads = 64;
+    let fixed = if full_mode() { 1024 } else { 512 };
+    let step = if full_mode() { 16 } else { 32 };
+    let blis = BlisStrategy::new();
+    println!("== Table II: BLIS 64-thread overhead shares (%), N = K = {fixed} ==\n");
+    print_header(&["M", "Kernel", "PackA", "PackB", "Sync", "KernEff"]);
+    for m in (step..=256).step_by(step) {
+        let meas = measure_strategy(&blis, m, fixed, fixed, threads);
+        print_row(
+            &m.to_string(),
+            &[
+                meas.kernel_pct,
+                meas.packa_pct,
+                meas.packb_pct,
+                meas.sync_pct,
+                meas.kernel_util_pct,
+            ],
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Dump the simulated instruction stream of any strategy on any shape —
+//! a debugging/inspection tool for the macro-op → instruction pipeline.
+//!
+//! Usage: `trace_dump <openblas|blis|blasfeo|eigen|ref> <m> <n> <k> [limit]`
+
+use smm_gemm::all_strategies;
+use smm_simarch::isa::{Inst, Op, NO_REG};
+use smm_simarch::trace::collect_source;
+
+fn render(i: &Inst) -> String {
+    let mn = match i.op {
+        Op::LdVec => "ldr q",
+        Op::LdScalar => "ldr s",
+        Op::LdPair => "ldp s",
+        Op::StVec => "str q",
+        Op::StScalar => "str s",
+        Op::Fma => "fmla",
+        Op::VMul => "fmul",
+        Op::VAdd => "fadd",
+        Op::VDup => "dup",
+        Op::IOp => "add x",
+        Op::Branch => "b.ne",
+        Op::Barrier(_) => "barrier",
+    };
+    let dst = if i.dst == NO_REG { String::new() } else { format!(" d{}", i.dst) };
+    let srcs: Vec<String> = i.sources().map(|r| format!("s{r}")).collect();
+    format!(
+        "{:<8}{:<6} {:<14} [{}] {:?}",
+        mn,
+        dst,
+        format!("{:#x}", i.addr),
+        srcs.join(","),
+        i.phase
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("openblas").to_lowercase();
+    let get = |idx: usize, default: usize| {
+        args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let (m, n, k) = (get(2, 8), get(3, 8), get(4, 8));
+    let limit = get(5, 120);
+
+    let job = if which == "ref" {
+        let plan = smm_core::SmmPlan::build(m, n, k, &smm_core::PlanConfig::default());
+        smm_core::build_sim(&plan)
+    } else {
+        let strategies = all_strategies::<f32>();
+        let s = strategies
+            .iter()
+            .find(|s| s.name().to_lowercase() == which)
+            .unwrap_or_else(|| panic!("unknown strategy {which:?} (openblas|blis|blasfeo|eigen|ref)"));
+        s.sim(m, n, k, 1)
+    };
+    println!("# {} — core 0, first {limit} instructions", job.label);
+    let prog = job.programs.into_iter().next().expect("at least one core");
+    let insts = collect_source(smm_gemm::ProgramSource::new(prog));
+    println!("# total instructions: {}", insts.len());
+    for i in insts.iter().take(limit) {
+        println!("{}", render(i));
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4) on the simulated Phytium 2000+. The
+//! helpers here run simulation jobs, convert cycle counts into
+//! percent-of-peak efficiencies, and print aligned tables.
+
+#![deny(missing_docs)]
+
+use smm_gemm::{SimJob, Strategy};
+use smm_model::{MachineSpec, Precision};
+use smm_simarch::machine::SimReport;
+use smm_simarch::phase::Phase;
+
+/// Result of one simulated GEMM measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Achieved Gflops/s (useful flops over makespan).
+    pub gflops: f64,
+    /// Percent of the SP peak of the cores used.
+    pub efficiency_pct: f64,
+    /// Percent of time in each phase (cycle-weighted across cores).
+    pub packa_pct: f64,
+    /// PackB share.
+    pub packb_pct: f64,
+    /// Kernel (+ edge) share.
+    pub kernel_pct: f64,
+    /// Synchronization share.
+    pub sync_pct: f64,
+    /// Edge-kernel share (subset of kernel time).
+    pub edge_pct: f64,
+    /// FMA-issue occupancy during kernel phases (Table II "Kernel effic").
+    pub kernel_util_pct: f64,
+    /// Kernel-only efficiency: useful flops against kernel-phase cycles
+    /// summed over cores (Fig. 9's metric — packing excluded).
+    pub kernel_only_eff_pct: f64,
+    /// Raw simulation report.
+    pub report: SimReport,
+}
+
+/// Run a simulation job and summarize it for `threads` cores.
+pub fn measure(job: SimJob, threads: usize) -> Measurement {
+    let spec = MachineSpec::phytium_2000_plus();
+    let flops = job.useful_flops;
+    let report = job.run();
+    let gflops = report.gflops(flops, spec.freq_hz);
+    let peak = spec.peak_gflops(Precision::F32, threads.max(1));
+    let b = report.total_breakdown();
+    let pct = |p: Phase| b.fraction(p) * 100.0;
+    let kernel_cycles = report
+        .cores
+        .iter()
+        .map(|c| c.phase_cycles.kernel_combined())
+        .sum::<u64>()
+        .max(1);
+    // Useful FMA-cycles: 2·M·N·K flops at 8 flops/cycle.
+    let useful_fma_cycles = flops / 8.0;
+    Measurement {
+        gflops,
+        efficiency_pct: gflops / peak * 100.0,
+        packa_pct: pct(Phase::PackA),
+        packb_pct: pct(Phase::PackB),
+        kernel_pct: pct(Phase::Kernel) + pct(Phase::Edge),
+        sync_pct: pct(Phase::Sync),
+        edge_pct: pct(Phase::Edge),
+        kernel_util_pct: report.kernel_fma_utilization() * 100.0,
+        kernel_only_eff_pct: useful_fma_cycles / kernel_cycles as f64 * 100.0,
+        report,
+    }
+}
+
+/// Measure one library strategy on a shape.
+pub fn measure_strategy(
+    strategy: &dyn Strategy<f32>,
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) -> Measurement {
+    measure(strategy.sim(m, n, k, threads), threads)
+}
+
+/// Measure the reference (§IV) implementation on a shape.
+pub fn measure_reference(m: usize, n: usize, k: usize, threads: usize) -> Measurement {
+    let cfg = smm_core::PlanConfig { max_threads: threads, ..Default::default() };
+    let plan = smm_core::SmmPlan::build(m, n, k, &cfg);
+    let used = plan.threads();
+    measure(smm_core::build_sim(&plan), used)
+}
+
+/// Was `--full` (or env `SMM_FULL=1`) requested? Binaries default to a
+/// faster sweep that preserves every trend; `--full` reproduces the
+/// paper's exact step sizes.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full") || std::env::var("SMM_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Print a header row followed by a separator.
+pub fn print_header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>10}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(11 * cols.len()));
+}
+
+/// Print one row of right-aligned cells.
+pub fn print_row(label: &str, values: &[f64]) {
+    let mut row = format!("{label:>10}");
+    for v in values {
+        row.push_str(&format!(" {v:>10.1}"));
+    }
+    println!("{row}");
+}
+
+/// The sweep positions of Fig. 5(a): square sizes 5..=200.
+pub fn fig5a_sizes() -> Vec<usize> {
+    let step = if full_mode() { 5 } else { 15 };
+    let mut sizes: Vec<usize> = (step..=200).step_by(step).collect();
+    if *sizes.last().expect("non-empty sweep") != 200 {
+        sizes.push(200);
+    }
+    sizes
+}
+
+/// The small-dimension sweep of Fig. 5(b-d): 2..=40 step 2.
+pub fn fig5_small_sizes() -> Vec<usize> {
+    let step = if full_mode() { 2 } else { 4 };
+    (step..=40).step_by(step).collect()
+}
+
+/// Fixed large dimension used when one of M/N/K is swept small.
+/// The paper keeps the total working set below the 2 MB L2; with
+/// `D = 192`, `A + B + C <= (40·192 + 192² + 40·192) · 4 B ≈ 210 kB`.
+pub const FIXED_DIM: usize = 192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_gemm::BlasfeoStrategy;
+
+    #[test]
+    fn measurement_fields_are_consistent() {
+        let m = measure_strategy(&BlasfeoStrategy::new(), 32, 32, 32, 1);
+        assert!(m.gflops > 0.0);
+        assert!(m.efficiency_pct > 0.0 && m.efficiency_pct <= 100.0);
+        let total = m.packa_pct + m.packb_pct + m.kernel_pct + m.sync_pct;
+        assert!(total <= 100.0 + 1e-9);
+        assert!(m.kernel_util_pct > 0.0);
+    }
+
+    #[test]
+    fn reference_measurement_runs() {
+        let m = measure_reference(24, 24, 24, 1);
+        assert!(m.efficiency_pct > 10.0);
+    }
+
+    #[test]
+    fn sweep_helpers_cover_range() {
+        let sizes = fig5a_sizes();
+        assert_eq!(*sizes.last().unwrap(), 200);
+        assert!(fig5_small_sizes().iter().all(|&s| (2..=40).contains(&s)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Batched small-scale GEMM.
+//!
+//! The workloads that motivate SMM (DNN layers, block-sparse formats,
+//! ABFT) multiply *many* small matrices of the same shape. LIBXSMM's
+//! batched interface is the x86 precedent; here a single cached plan
+//! serves the whole batch, and — when the batch is large but each GEMM
+//! is tiny — parallelism goes *across* batch entries instead of inside
+//! one GEMM, which sidesteps every §III-D pitfall at once (nothing
+//! small is ever split).
+
+use smm_gemm::matrix::{MatMut, MatRef};
+use smm_kernels::Scalar;
+
+use crate::exec::execute;
+use crate::plan::{PlanConfig, SmmPlan};
+use crate::smm::Smm;
+
+/// Arguments describing one strided batch: `batch` GEMMs of identical
+/// shape laid out at constant strides in three flat buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct StridedBatch {
+    /// Rows of each `A`/`C`.
+    pub m: usize,
+    /// Columns of each `B`/`C`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Number of GEMMs.
+    pub batch: usize,
+    /// Leading dimension of each `A` (>= m).
+    pub lda: usize,
+    /// Elements between consecutive `A` matrices (>= lda*k).
+    pub stride_a: usize,
+    /// Leading dimension of each `B` (>= k).
+    pub ldb: usize,
+    /// Elements between consecutive `B` matrices (>= ldb*n).
+    pub stride_b: usize,
+    /// Leading dimension of each `C` (>= m).
+    pub ldc: usize,
+    /// Elements between consecutive `C` matrices (>= ldc*n).
+    pub stride_c: usize,
+}
+
+impl StridedBatch {
+    /// Dense packing: `lda = m`, `ldb = k`, `ldc = m`, strides exactly
+    /// one matrix apart.
+    pub fn dense(m: usize, n: usize, k: usize, batch: usize) -> Self {
+        StridedBatch {
+            m,
+            n,
+            k,
+            batch,
+            lda: m.max(1),
+            stride_a: m.max(1) * k,
+            ldb: k.max(1),
+            stride_b: k.max(1) * n,
+            ldc: m.max(1),
+            stride_c: m.max(1) * n,
+        }
+    }
+
+    fn validate(&self, a_len: usize, b_len: usize, c_len: usize) {
+        assert!(self.lda >= self.m.max(1) && self.ldb >= self.k.max(1) && self.ldc >= self.m.max(1));
+        assert!(self.stride_a >= self.lda * self.k, "A matrices overlap");
+        assert!(self.stride_b >= self.ldb * self.n, "B matrices overlap");
+        assert!(self.stride_c >= self.ldc * self.n, "C matrices overlap");
+        if self.batch == 0 {
+            return;
+        }
+        let need = |stride: usize, last: usize| (self.batch - 1) * stride + last;
+        if self.k > 0 && self.m > 0 {
+            assert!(
+                a_len >= need(self.stride_a, self.lda * (self.k - 1) + self.m),
+                "A buffer too short"
+            );
+        }
+        if self.k > 0 && self.n > 0 {
+            assert!(
+                b_len >= need(self.stride_b, self.ldb * (self.n - 1) + self.k),
+                "B buffer too short"
+            );
+        }
+        if self.m > 0 && self.n > 0 {
+            assert!(
+                c_len >= need(self.stride_c, self.ldc * (self.n - 1) + self.m),
+                "C buffer too short"
+            );
+        }
+    }
+}
+
+impl<S: Scalar> Smm<S> {
+    /// Strided-batch GEMM: `C[i] = alpha * A[i] * B[i] + beta * C[i]`
+    /// for `i in 0..batch`. One plan (built single-threaded — each GEMM
+    /// is small) serves every entry; when this `Smm` allows multiple
+    /// threads, entries are distributed across them.
+    pub fn gemm_strided_batch(
+        &self,
+        desc: StridedBatch,
+        alpha: S,
+        a: &[S],
+        b: &[S],
+        beta: S,
+        c: &mut [S],
+    ) {
+        desc.validate(a.len(), b.len(), c.len());
+        if desc.batch == 0 || desc.m == 0 || desc.n == 0 {
+            return;
+        }
+        if desc.k == 0 {
+            for i in 0..desc.batch {
+                let c_i = &mut c[i * desc.stride_c..];
+                MatMut::from_slice(c_i, desc.m, desc.n, desc.ldc).scale(beta);
+            }
+            return;
+        }
+        // Intra-GEMM threading is deliberately disabled: batch-level
+        // parallelism never splits a small dimension.
+        let plan_cfg = PlanConfig { max_threads: 1, ..*self.config() };
+        let plan = SmmPlan::build(desc.m, desc.n, desc.k, &plan_cfg);
+        let threads = self.config().max_threads.clamp(1, desc.batch);
+
+        let run_entry = |plan: &SmmPlan, c_i: &mut [S], i: usize| {
+            let a_i = &a[i * desc.stride_a..];
+            let b_i = &b[i * desc.stride_b..];
+            let ar = MatRef::from_slice(a_i, desc.m, desc.k, desc.lda);
+            let br = MatRef::from_slice(b_i, desc.k, desc.n, desc.ldb);
+            let cm = MatMut::from_slice(c_i, desc.m, desc.n, desc.ldc);
+            execute(plan, alpha, ar, br, beta, cm);
+        };
+
+        if threads <= 1 {
+            for i in 0..desc.batch {
+                run_entry(&plan, &mut c[i * desc.stride_c..], i);
+            }
+            return;
+        }
+
+        // Split C into disjoint per-entry windows, then distribute the
+        // entries round-robin across worker threads.
+        let mut windows: Vec<(usize, &mut [S])> = Vec::with_capacity(desc.batch);
+        let mut rest = c;
+        for i in 0..desc.batch {
+            let take = if i + 1 == desc.batch {
+                rest.len()
+            } else {
+                desc.stride_c
+            };
+            let (win, tail) = rest.split_at_mut(take);
+            windows.push((i, win));
+            rest = tail;
+        }
+        let jobs = parking_lot::Mutex::new(windows);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let Some((i, win)) = jobs.lock().pop() else {
+                        break;
+                    };
+                    run_entry(&plan, win, i);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_gemm::gemm_naive;
+    use smm_gemm::matrix::Mat;
+
+    fn fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                ((state >> 33) as i64 % 17 - 8) as f32 * 0.25
+            })
+            .collect()
+    }
+
+    fn check_batch(desc: StridedBatch, threads: usize) {
+        let a = fill((desc.batch.max(1)) * desc.stride_a + desc.lda * desc.k, 1);
+        let b = fill((desc.batch.max(1)) * desc.stride_b + desc.ldb * desc.n, 2);
+        let c0 = fill((desc.batch.max(1)) * desc.stride_c + desc.ldc * desc.n, 3);
+        let mut c = c0.clone();
+        let smm = Smm::<f32>::with_threads(threads);
+        smm.gemm_strided_batch(desc, 1.5, &a, &b, 0.5, &mut c);
+        for i in 0..desc.batch {
+            let ar = MatRef::from_slice(&a[i * desc.stride_a..], desc.m, desc.k, desc.lda);
+            let br = MatRef::from_slice(&b[i * desc.stride_b..], desc.k, desc.n, desc.ldb);
+            let mut want = Mat::<f32>::from_fn(desc.m, desc.n, |r, col| {
+                c0[i * desc.stride_c + col * desc.ldc + r]
+            });
+            gemm_naive(1.5, ar, br, 0.5, want.as_mut());
+            for col in 0..desc.n {
+                for r in 0..desc.m {
+                    let got = c[i * desc.stride_c + col * desc.ldc + r];
+                    assert!(
+                        (got - want[(r, col)]).abs() < 1e-3,
+                        "entry {i} ({r},{col}): {got} vs {}",
+                        want[(r, col)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_batch_matches_naive() {
+        check_batch(StridedBatch::dense(8, 8, 8, 10), 1);
+        check_batch(StridedBatch::dense(5, 7, 3, 4), 1);
+    }
+
+    #[test]
+    fn strided_batch_with_gaps() {
+        let mut d = StridedBatch::dense(6, 5, 4, 3);
+        d.lda = 8;
+        d.stride_a = 64;
+        d.ldc = 9;
+        d.stride_c = 64;
+        check_batch(d, 1);
+    }
+
+    #[test]
+    fn threaded_batch_matches_naive() {
+        check_batch(StridedBatch::dense(8, 8, 8, 17), 4);
+        check_batch(StridedBatch::dense(12, 4, 16, 5), 8);
+    }
+
+    #[test]
+    fn untouched_padding_between_entries() {
+        let d = {
+            let mut d = StridedBatch::dense(4, 4, 4, 2);
+            d.stride_c = 32; // 16 elements of padding per entry
+            d
+        };
+        let a = fill(d.batch * d.stride_a + 64, 1);
+        let b = fill(d.batch * d.stride_b + 64, 2);
+        let mut c = vec![7.0f32; d.batch * d.stride_c + 64];
+        let smm = Smm::<f32>::new();
+        smm.gemm_strided_batch(d, 1.0, &a, &b, 0.0, &mut c);
+        // Padding region of entry 0 untouched.
+        for x in &c[16..32] {
+            assert_eq!(*x, 7.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let smm = Smm::<f32>::new();
+        let mut c = vec![1.0f32; 4];
+        smm.gemm_strided_batch(StridedBatch::dense(2, 2, 2, 0), 1.0, &[], &[], 0.0, &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn k_zero_scales_every_entry() {
+        let d = StridedBatch::dense(2, 2, 0, 3);
+        let smm = Smm::<f32>::new();
+        let mut c = vec![4.0f32; 3 * d.stride_c.max(4)];
+        smm.gemm_strided_batch(d, 1.0, &[], &[], 0.25, &mut c);
+        assert_eq!(c[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "C buffer too short")]
+    fn short_c_rejected() {
+        let d = StridedBatch::dense(4, 4, 4, 4);
+        let smm = Smm::<f32>::new();
+        let a = vec![0.0f32; 256];
+        let b = vec![0.0f32; 256];
+        let mut c = vec![0.0f32; 20];
+        smm.gemm_strided_batch(d, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_strides_rejected() {
+        let mut d = StridedBatch::dense(4, 4, 4, 2);
+        d.stride_c = 8; // < ldc * n
+        let smm = Smm::<f32>::new();
+        let a = vec![0.0f32; 64];
+        let b = vec![0.0f32; 64];
+        let mut c = vec![0.0f32; 64];
+        smm.gemm_strided_batch(d, 1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,344 @@
+//! Packing-optional micro-kernels.
+//!
+//! §IV of the paper argues that a reference SMM implementation must be
+//! *packing-optional*: when `M`/`N` are small the `O(M·K + K·N)`
+//! packing pass cannot be amortized (the P2C model of §III-A), so the
+//! kernel must be able to stream operands straight from the caller's
+//! column-major storage.
+//!
+//! Two operand facts make that possible:
+//!
+//! * a column-major `A` column is contiguous, so the kernel's `mr`-row
+//!   vector loads work *unpacked* by replacing the packed stride `mr`
+//!   with `lda` ([`ukr_bp`] takes the stride as a parameter);
+//! * a column-major `B` has its `nr` row elements strided by `ldb`, so
+//!   an unpacked-`B` kernel gathers scalars ([`ukr_bd`]) — profitable
+//!   exactly when the gather is cheaper than a full packing pass.
+
+use smm_kernels::Scalar;
+
+const DYN_MAX: usize = 16;
+
+/// Micro-kernel with stride-parameterized `A` and *packed* `B`.
+///
+/// `a[p*a_stride + i]` and `b[p*NR + j]`; `a_stride = MR` reproduces the
+/// fully packed kernel, `a_stride = lda` streams `A` unpacked.
+pub fn ukr_bp<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(a_stride >= MR, "A stride must cover the tile rows");
+    assert!(kc == 0 || a.len() >= (kc - 1) * a_stride + MR, "A operand too short");
+    assert!(b.len() >= kc * NR, "packed B sliver too short");
+    assert!(ldc >= MR && c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
+    let mut acc = [[S::ZERO; NR]; MR];
+    for p in 0..kc {
+        let av = &a[p * a_stride..p * a_stride + MR];
+        let bv = &b[p * NR..(p + 1) * NR];
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] = acc[i][j].madd(ai, bv[j]);
+            }
+        }
+    }
+    for j in 0..NR {
+        for i in 0..MR {
+            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+        }
+    }
+}
+
+/// Micro-kernel with stride-parameterized `A` and *unpacked*
+/// column-major `B`: `b[j*ldb + p]`.
+#[allow(clippy::too_many_arguments)]
+pub fn ukr_bd<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    ldb: usize,
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(a_stride >= MR, "A stride must cover the tile rows");
+    assert!(kc == 0 || a.len() >= (kc - 1) * a_stride + MR, "A operand too short");
+    assert!(ldb >= kc && (NR == 0 || b.len() >= (NR - 1) * ldb + kc), "B operand too short");
+    assert!(ldc >= MR && c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
+    let mut acc = [[S::ZERO; NR]; MR];
+    for p in 0..kc {
+        let av = &a[p * a_stride..p * a_stride + MR];
+        for j in 0..NR {
+            let bj = b[j * ldb + p];
+            for i in 0..MR {
+                acc[i][j] = acc[i][j].madd(av[i], bj);
+            }
+        }
+    }
+    for j in 0..NR {
+        for i in 0..MR {
+            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+        }
+    }
+}
+
+/// Dynamic-shape fallbacks (edges outside the instantiated set).
+#[allow(clippy::too_many_arguments)]
+pub fn ukr_bp_dyn<S: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(mr <= DYN_MAX && nr <= DYN_MAX, "dynamic tile {mr}x{nr} out of range");
+    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
+    for p in 0..kc {
+        for i in 0..mr {
+            let ai = a[p * a_stride + i];
+            for j in 0..nr {
+                acc[i][j] = acc[i][j].madd(ai, b[p * nr + j]);
+            }
+        }
+    }
+    for j in 0..nr {
+        for i in 0..mr {
+            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+        }
+    }
+}
+
+/// Dynamic-shape unpacked-`B` fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn ukr_bd_dyn<S: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    ldb: usize,
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(mr <= DYN_MAX && nr <= DYN_MAX, "dynamic tile {mr}x{nr} out of range");
+    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
+    for p in 0..kc {
+        for j in 0..nr {
+            let bj = b[j * ldb + p];
+            for i in 0..mr {
+                acc[i][j] = acc[i][j].madd(a[p * a_stride + i], bj);
+            }
+        }
+    }
+    for j in 0..nr {
+        for i in 0..mr {
+            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+        }
+    }
+}
+
+/// A shape-dispatched packing-optional kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectKernel {
+    mr: usize,
+    nr: usize,
+}
+
+macro_rules! dispatch_shapes {
+    ($self:ident, $mac:ident, $($args:tt)*) => {
+        match ($self.mr, $self.nr) {
+            (16, 4) => $mac!(16, 4, $($args)*),
+            (12, 4) => $mac!(12, 4, $($args)*),
+            (8, 12) => $mac!(8, 12, $($args)*),
+            (8, 8) => $mac!(8, 8, $($args)*),
+            (8, 4) => $mac!(8, 4, $($args)*),
+            (4, 8) => $mac!(4, 8, $($args)*),
+            (4, 4) => $mac!(4, 4, $($args)*),
+            (4, 2) => $mac!(4, 2, $($args)*),
+            (2, 4) => $mac!(2, 4, $($args)*),
+            (2, 2) => $mac!(2, 2, $($args)*),
+            (1, 4) => $mac!(1, 4, $($args)*),
+            (4, 1) => $mac!(4, 1, $($args)*),
+            (1, 1) => $mac!(1, 1, $($args)*),
+            _ => $mac!(dyn, dyn, $($args)*),
+        }
+    };
+}
+
+impl DirectKernel {
+    /// Kernel for a tile shape (any shape up to 16×16; common shapes
+    /// are statically unrolled).
+    pub fn new(mr: usize, nr: usize) -> Self {
+        assert!((1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr), "tile {mr}x{nr} out of range");
+        DirectKernel { mr, nr }
+    }
+
+    /// Tile rows.
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+
+    /// Tile columns.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Run with packed `B`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bp<S: Scalar>(
+        &self,
+        kc: usize,
+        alpha: S,
+        a: &[S],
+        a_stride: usize,
+        b: &[S],
+        c: &mut [S],
+        ldc: usize,
+    ) {
+        macro_rules! call {
+            (dyn, dyn, $($x:tt)*) => {
+                ukr_bp_dyn(self.mr, self.nr, kc, alpha, a, a_stride, b, c, ldc)
+            };
+            ($mr:literal, $nr:literal, $($x:tt)*) => {
+                ukr_bp::<S, $mr, $nr>(kc, alpha, a, a_stride, b, c, ldc)
+            };
+        }
+        dispatch_shapes!(self, call,)
+    }
+
+    /// Run with unpacked column-major `B`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bd<S: Scalar>(
+        &self,
+        kc: usize,
+        alpha: S,
+        a: &[S],
+        a_stride: usize,
+        b: &[S],
+        ldb: usize,
+        c: &mut [S],
+        ldc: usize,
+    ) {
+        macro_rules! call {
+            (dyn, dyn, $($x:tt)*) => {
+                ukr_bd_dyn(self.mr, self.nr, kc, alpha, a, a_stride, b, ldb, c, ldc)
+            };
+            ($mr:literal, $nr:literal, $($x:tt)*) => {
+                ukr_bd::<S, $mr, $nr>(kc, alpha, a, a_stride, b, ldb, c, ldc)
+            };
+        }
+        dispatch_shapes!(self, call,)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn reference(
+        mr: usize,
+        nr: usize,
+        kc: usize,
+        alpha: f32,
+        a: &dyn Fn(usize, usize) -> f32,
+        b: &dyn Fn(usize, usize) -> f32,
+        c: &mut [f32],
+        ldc: usize,
+    ) {
+        for j in 0..nr {
+            for i in 0..mr {
+                let mut s = 0.0;
+                for p in 0..kc {
+                    s += a(i, p) * b(p, j);
+                }
+                c[j * ldc + i] += alpha * s;
+            }
+        }
+    }
+
+    fn check(mr: usize, nr: usize, kc: usize) {
+        let lda = mr + 5;
+        let ldb = kc + 3;
+        let ldc = mr + 2;
+        let a: Vec<f32> = (0..lda * kc).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let b: Vec<f32> = (0..ldb * nr).map(|i| ((i % 7) as f32) * 0.5).collect();
+        let bp: Vec<f32> = {
+            // pack b: bp[p*nr + j] = b[j*ldb + p]
+            let mut v = vec![0.0; kc * nr];
+            for p in 0..kc {
+                for j in 0..nr {
+                    v[p * nr + j] = b[j * ldb + p];
+                }
+            }
+            v
+        };
+        let af = |i: usize, p: usize| a[p * lda + i];
+        let bf = |p: usize, j: usize| b[j * ldb + p];
+
+        let k = DirectKernel::new(mr, nr);
+        let mut c1 = vec![1.0f32; ldc * nr];
+        let mut c2 = vec![1.0f32; ldc * nr];
+        let mut c_ref = vec![1.0f32; ldc * nr];
+        k.run_bp(kc, 2.0, &a, lda, &bp, &mut c1, ldc);
+        k.run_bd(kc, 2.0, &a, lda, &b, ldb, &mut c2, ldc);
+        reference(mr, nr, kc, 2.0, &af, &bf, &mut c_ref, ldc);
+        for i in 0..ldc * nr {
+            assert!((c1[i] - c_ref[i]).abs() < 1e-3, "bp {mr}x{nr} at {i}");
+            assert!((c2[i] - c_ref[i]).abs() < 1e-3, "bd {mr}x{nr} at {i}");
+        }
+    }
+
+    #[test]
+    fn static_shapes_match_reference() {
+        for &(mr, nr) in &[(16, 4), (8, 8), (8, 12), (12, 4), (4, 4), (1, 4), (4, 1), (2, 2)] {
+            check(mr, nr, 9);
+        }
+    }
+
+    #[test]
+    fn dynamic_shapes_match_reference() {
+        check(7, 5, 11);
+        check(3, 13, 4);
+        check(16, 16, 3);
+    }
+
+    #[test]
+    fn packed_stride_equals_packed_kernel() {
+        // a_stride = MR reproduces the packed contract of smm-kernels.
+        let kc = 8;
+        let a: Vec<f32> = (0..4 * kc).map(|i| i as f32 * 0.25).collect();
+        let bp: Vec<f32> = (0..4 * kc).map(|i| (i % 5) as f32).collect();
+        let mut c1 = vec![0.0f32; 16];
+        let mut c2 = vec![0.0f32; 16];
+        DirectKernel::new(4, 4).run_bp(kc, 1.0, &a, 4, &bp, &mut c1, 4);
+        smm_kernels::Kernel::<f32>::for_shape(4, 4).run(kc, 1.0, &a, &bp, &mut c2, 4);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn kc_zero_is_identity() {
+        let k = DirectKernel::new(4, 4);
+        let mut c = vec![3.0f32; 16];
+        k.run_bp(0, 1.0, &[], 4, &[], &mut c, 4);
+        assert!(c.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_tile_rejected() {
+        DirectKernel::new(17, 4);
+    }
+}

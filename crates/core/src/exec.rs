@@ -1,0 +1,228 @@
+//! Native execution of an [`SmmPlan`].
+//!
+//! Single-threaded execution writes micro-tiles straight into `C`
+//! (tiles are exact, never padded). Multi-threaded execution splits the
+//! plan's tile lists across the thread grid's `m_ways × n_ways`; each
+//! thread accumulates into a private block that is merged after the
+//! join (disjoint tile ranges make the merge exact).
+
+use smm_gemm::matrix::{Mat, MatMut, MatRef};
+use smm_gemm::naive::check_dims;
+use smm_gemm::pack::{pack_a_exact, pack_b_exact};
+use smm_gemm::parallel::split_ranges;
+use smm_kernels::registry::TileSpan;
+use smm_kernels::Scalar;
+
+use crate::direct::DirectKernel;
+use crate::plan::SmmPlan;
+
+/// Execute `C = alpha·A·B + beta·C` under a plan.
+pub fn execute<S: Scalar>(
+    plan: &SmmPlan,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let (m, k, n) = check_dims(&a, &b, &c.rb());
+    assert_eq!(
+        (m, n, k),
+        (plan.m, plan.n, plan.k),
+        "plan was built for {}x{}x{}",
+        plan.m,
+        plan.n,
+        plan.k
+    );
+    c.scale(beta);
+    let threads = plan.threads();
+    if threads <= 1 {
+        run_tiles(plan, alpha, a, b, &mut c, &plan.m_tiles, &plan.n_tiles, 0, 0);
+        return;
+    }
+
+    let m_chunks = split_ranges(plan.m_tiles.len(), plan.grid.m_ways());
+    let n_chunks = split_ranges(plan.n_tiles.len(), plan.grid.n_ways());
+    let mut cells: Vec<(usize, usize, usize, usize, Mat<S>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(ms, mc) in &m_chunks {
+            for &(ns, nc) in &n_chunks {
+                if mc == 0 || nc == 0 {
+                    continue;
+                }
+                let m_tiles = &plan.m_tiles[ms..ms + mc];
+                let n_tiles = &plan.n_tiles[ns..ns + nc];
+                let i_base = m_tiles[0].offset;
+                let j_base = n_tiles[0].offset;
+                let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
+                let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
+                handles.push(scope.spawn(move || {
+                    let mut local = Mat::<S>::zeros(rows, cols);
+                    {
+                        let mut lm = local.as_mut();
+                        run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
+                    }
+                    (i_base, j_base, rows, cols, local)
+                }));
+            }
+        }
+        for h in handles {
+            cells.push(h.join().expect("SMM worker panicked"));
+        }
+    });
+    for (i_base, j_base, rows, cols, local) in cells {
+        for j in 0..cols {
+            for i in 0..rows {
+                let v = c.at(i_base + i, j_base + j) + local[(i, j)];
+                c.set(i_base + i, j_base + j, v);
+            }
+        }
+    }
+}
+
+/// Run a set of tiles; tile offsets are global, `i_base`/`j_base`
+/// translate them into the target `C` view.
+#[allow(clippy::too_many_arguments)]
+fn run_tiles<S: Scalar>(
+    plan: &SmmPlan,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    c: &mut MatMut<'_, S>,
+    m_tiles: &[TileSpan],
+    n_tiles: &[TileSpan],
+    i_base: usize,
+    j_base: usize,
+) {
+    let lda = a.ld();
+    let ldb = b.ld();
+    let ldc = c.ld();
+    let nr = plan.kernel.nr;
+
+    let mut bpack: Vec<Vec<S>> = vec![Vec::new(); n_tiles.len()];
+    let mut apack: Vec<S> = Vec::new();
+
+    let mut kk = 0;
+    while kk < plan.k {
+        let kc = plan.kc.min(plan.k - kk);
+        // Decide and perform B packing for this k block.
+        let mut b_is_packed = vec![false; n_tiles.len()];
+        for (s, jt) in n_tiles.iter().enumerate() {
+            let edge = jt.logical < nr;
+            if plan.pack_b || (edge && plan.pack_edge_b) {
+                pack_b_exact(b, kk, jt.offset, kc, jt.logical, &mut bpack[s]);
+                b_is_packed[s] = true;
+            }
+        }
+        for it in m_tiles {
+            // A source: packed panel or the raw column-major block.
+            let (a_src, a_stride): (&[S], usize) = if plan.pack_a {
+                pack_a_exact(a, it.offset, kk, it.logical, kc, &mut apack);
+                (&apack, it.logical)
+            } else {
+                (&a.data()[kk * lda + it.offset..], lda)
+            };
+            for (s, jt) in n_tiles.iter().enumerate() {
+                let kernel = DirectKernel::new(it.logical, jt.logical);
+                let c_off = (jt.offset - j_base) * ldc + (it.offset - i_base);
+                if b_is_packed[s] {
+                    kernel.run_bp(kc, alpha, a_src, a_stride, &bpack[s], &mut c.data_mut()[c_off..], ldc);
+                } else {
+                    let b_src = &b.data()[jt.offset * ldb + kk..];
+                    kernel.run_bd(kc, alpha, a_src, a_stride, b_src, ldb, &mut c.data_mut()[c_off..], ldc);
+                }
+            }
+        }
+        kk += kc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanConfig;
+    use smm_gemm::gemm_naive;
+
+    fn check(m: usize, n: usize, k: usize, cfg: &PlanConfig, alpha: f32, beta: f32) {
+        let plan = SmmPlan::build(m, n, k, cfg);
+        let a = Mat::<f32>::random(m, k, 21);
+        let b = Mat::<f32>::random(k, n, 22);
+        let mut c = Mat::<f32>::random(m, n, 23);
+        let mut c_ref = c.clone();
+        execute(&plan, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut());
+        gemm_naive(alpha, a.as_ref(), b.as_ref(), beta, c_ref.as_mut());
+        let d = c.max_abs_diff(&c_ref);
+        assert!(d < 1e-3, "{m}x{n}x{k} cfg {cfg:?}: diff {d}");
+    }
+
+    #[test]
+    fn default_plan_matches_naive() {
+        let cfg = PlanConfig::default();
+        check(8, 8, 8, &cfg, 1.0, 0.0);
+        check(64, 64, 64, &cfg, 1.0, 1.0);
+        check(75, 60, 60, &cfg, 2.0, 0.5);
+        check(5, 200, 30, &cfg, 1.0, 0.0);
+        check(200, 5, 30, &cfg, 1.0, 0.0);
+        check(30, 30, 2, &cfg, -1.0, 1.0);
+        check(1, 1, 1, &cfg, 1.0, 3.0);
+    }
+
+    #[test]
+    fn all_packing_combinations_are_correct() {
+        for pa in [Some(false), Some(true)] {
+            for pb in [Some(false), Some(true)] {
+                let cfg = PlanConfig { pack_a: pa, pack_b: pb, ..Default::default() };
+                check(33, 27, 19, &cfg, 1.5, 0.25);
+                check(13, 3, 41, &cfg, 1.0, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_packing_toggle_is_correct() {
+        for peb in [false, true] {
+            let cfg = PlanConfig {
+                pack_b: Some(false),
+                pack_edge_b: peb,
+                ..Default::default()
+            };
+            check(16, 13, 8, &cfg, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn multithreaded_plans_match_naive() {
+        for threads in [2, 4, 8] {
+            let cfg = PlanConfig { max_threads: threads, ..Default::default() };
+            check(48, 96, 24, &cfg, 1.0, 1.0);
+            check(96, 16, 32, &cfg, 2.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn multithreaded_tiny_problem_degrades_gracefully() {
+        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        check(4, 4, 4, &cfg, 1.0, 0.0);
+        check(2, 50, 10, &cfg, 1.0, 1.0);
+    }
+
+    #[test]
+    fn k_blocking_boundaries_are_exact() {
+        // Force multiple kc blocks.
+        let cfg = PlanConfig::default();
+        let plan = SmmPlan::build(16, 16, 2100, &cfg);
+        assert!(plan.kc < 2100);
+        check(16, 16, 2100, &cfg, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan was built for")]
+    fn mismatched_shape_rejected() {
+        let plan = SmmPlan::build(8, 8, 8, &PlanConfig::default());
+        let a = Mat::<f32>::zeros(9, 8);
+        let b = Mat::<f32>::zeros(8, 8);
+        let mut c = Mat::<f32>::zeros(9, 8);
+        execute(&plan, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+}

@@ -1,0 +1,45 @@
+//! Reference high-performance small-scale GEMM (SMM).
+//!
+//! This crate is the paper's primary proposed contribution (§IV of
+//! Yang, Fang & Dong, *"Characterizing Small-Scale Matrix
+//! Multiplications on ARMv8-based Many-Core Architectures"*): a GEMM
+//! implementation specialized for small and irregular shapes, built on
+//! the four findings of the paper's characterization:
+//!
+//! 1. **Packing-optional execution** ([`direct`], [`plan`]): the
+//!    `O(M·K + K·N)` packing pass is skipped whenever the P2C model
+//!    (§III-A) says it cannot be amortized; kernels stream straight
+//!    from column-major operands.
+//! 2. **A set of shape-tuned micro-kernels** with exact edge
+//!    decomposition and Fig.-8-style edge packing — no padded flops,
+//!    no naively scheduled edge kernels.
+//! 3. **Adaptive plan generation with caching** ([`plan`],
+//!    [`smm::Smm`]) — the safe-Rust equivalent of LIBXSMM's JIT: tile
+//!    tables and offsets are precomputed per shape and reused.
+//! 4. **Run-time multi-dimensional parallelization** (§III-D): small
+//!    dimensions are never split; thread counts are clamped to the
+//!    available tile parallelism.
+//!
+//! Native execution lives in [`exec`]; [`simprog`] builds the same
+//! plan's instruction stream for the simulated Phytium 2000+ so the
+//! design can be compared against the four libraries.
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod compiled;
+pub mod direct;
+pub mod exec;
+pub mod plan;
+pub mod simprog;
+pub mod smm;
+pub mod tune;
+
+pub use batch::StridedBatch;
+pub use compiled::{CompiledPlan, CompiledScratch};
+pub use direct::DirectKernel;
+pub use exec::execute;
+pub use plan::{choose_kernel, PlanConfig, SmmPlan};
+pub use simprog::build_sim;
+pub use smm::Smm;
+pub use tune::{Autotuner, TunedPlan};

@@ -1,0 +1,187 @@
+//! The public SMM entry point with plan caching.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smm_gemm::matrix::{MatMut, MatRef};
+use smm_kernels::Scalar;
+
+use crate::exec::execute;
+use crate::plan::{PlanConfig, SmmPlan};
+
+/// High-performance small-scale GEMM with adaptive, cached plans.
+///
+/// Implements the reference design of §IV of the paper: packing-optional
+/// execution, a shape-tuned micro-kernel set with Fig. 8 edge packing,
+/// plan generation in lieu of JIT code generation, and run-time
+/// multi-dimensional parallelization.
+///
+/// # Example
+///
+/// ```
+/// use smm_core::Smm;
+/// use smm_gemm::matrix::Mat;
+///
+/// let smm = Smm::<f32>::new();
+/// let a = Mat::random(12, 7, 1);
+/// let b = Mat::random(7, 9, 2);
+/// let mut c = Mat::zeros(12, 9);
+/// smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+/// ```
+pub struct Smm<S: Scalar> {
+    cfg: PlanConfig,
+    cache: Mutex<HashMap<(usize, usize, usize), Arc<SmmPlan>>>,
+    _elem: PhantomData<S>,
+}
+
+impl<S: Scalar> Smm<S> {
+    /// Single-threaded SMM with model-driven decisions.
+    pub fn new() -> Self {
+        Self::with_config(PlanConfig::default())
+    }
+
+    /// SMM allowed to use up to `threads` threads.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::with_config(PlanConfig { max_threads: threads.max(1), ..Default::default() })
+    }
+
+    /// Full configuration control.
+    pub fn with_config(cfg: PlanConfig) -> Self {
+        Smm {
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+            _elem: PhantomData,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlanConfig {
+        &self.cfg
+    }
+
+    /// Get (building and caching if needed) the plan for a shape.
+    pub fn plan(&self, m: usize, n: usize, k: usize) -> Arc<SmmPlan> {
+        let mut cache = self.cache.lock();
+        cache
+            .entry((m, n, k))
+            .or_insert_with(|| Arc::new(SmmPlan::build(m, n, k, &self.cfg)))
+            .clone()
+    }
+
+    /// Number of distinct shapes planned so far.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// `C = alpha·A·B + beta·C`.
+    pub fn gemm(&self, alpha: S, a: MatRef<'_, S>, b: MatRef<'_, S>, beta: S, mut c: MatMut<'_, S>) {
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            c.scale(beta);
+            return;
+        }
+        let plan = self.plan(m, n, k);
+        execute(&plan, alpha, a, b, beta, c);
+    }
+}
+
+impl<S: Scalar> Default for Smm<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_gemm::gemm_naive;
+    use smm_gemm::matrix::Mat;
+
+    #[test]
+    fn gemm_matches_naive_over_shape_sweep() {
+        let smm = Smm::<f32>::new();
+        for &(m, n, k) in &[(5, 5, 5), (40, 40, 40), (2, 192, 192), (192, 2, 192), (192, 192, 2)] {
+            let a = Mat::<f32>::random(m, k, 31);
+            let b = Mat::<f32>::random(k, n, 32);
+            let mut c = Mat::<f32>::random(m, n, 33);
+            let mut c_ref = c.clone();
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+            gemm_naive(1.0, a.as_ref(), b.as_ref(), 1.0, c_ref.as_mut());
+            assert!(c.max_abs_diff(&c_ref) < 1e-3, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_per_shape() {
+        let smm = Smm::<f32>::new();
+        let a = Mat::<f32>::random(8, 8, 1);
+        let b = Mat::<f32>::random(8, 8, 2);
+        for _ in 0..5 {
+            let mut c = Mat::<f32>::zeros(8, 8);
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        }
+        assert_eq!(smm.cached_plans(), 1);
+        let p1 = smm.plan(8, 8, 8);
+        let p2 = smm.plan(8, 8, 8);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        smm.plan(9, 8, 8);
+        assert_eq!(smm.cached_plans(), 2);
+    }
+
+    #[test]
+    fn degenerate_dimensions_short_circuit() {
+        let smm = Smm::<f32>::new();
+        let a = Mat::<f32>::zeros(4, 0);
+        let b = Mat::<f32>::zeros(0, 4);
+        let mut c = Mat::<f32>::from_fn(4, 4, |_, _| 8.0);
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.25, c.as_mut());
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(smm.cached_plans(), 0, "no plan for degenerate shapes");
+    }
+
+    #[test]
+    fn threaded_smm_is_correct() {
+        let smm = Smm::<f32>::with_threads(8);
+        let a = Mat::<f32>::random(64, 32, 41);
+        let b = Mat::<f32>::random(32, 96, 42);
+        let mut c = Mat::<f32>::zeros(64, 96);
+        let mut c_ref = c.clone();
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn f64_path_works() {
+        let smm = Smm::<f64>::new();
+        let a = Mat::<f64>::random(17, 11, 51);
+        let b = Mat::<f64>::random(11, 13, 52);
+        let mut c = Mat::<f64>::zeros(17, 13);
+        let mut c_ref = c.clone();
+        smm.gemm(2.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(2.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-9);
+    }
+
+    #[test]
+    fn smm_is_shareable_across_threads() {
+        let smm = std::sync::Arc::new(Smm::<f32>::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let smm = smm.clone();
+                s.spawn(move || {
+                    let a = Mat::<f32>::random(10 + t, 8, 1);
+                    let b = Mat::<f32>::random(8, 6, 2);
+                    let mut c = Mat::<f32>::zeros(10 + t, 6);
+                    smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+                });
+            }
+        });
+        assert_eq!(smm.cached_plans(), 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulator-driven auto-tuning.
+//!
+//! §IV's "adaptive code generation" recommends picking the kernel
+//! combination per input shape. The heuristic planner ([`crate::plan`])
+//! does this with closed-form models; the [`Autotuner`] goes further,
+//! the way LIBXSMM's JIT measures what it generates: it *simulates*
+//! each candidate plan on the Phytium 2000+ model and keeps the one
+//! with the fewest cycles. Tuning costs milliseconds per shape and is
+//! cached, which matches the SMM usage pattern (few distinct shapes,
+//! many invocations).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use smm_model::KernelShape;
+
+use crate::plan::{PlanConfig, SmmPlan, KERNEL_CANDIDATES};
+use crate::simprog::build_sim;
+
+/// Outcome of tuning one shape.
+#[derive(Debug, Clone)]
+pub struct TunedPlan {
+    /// The winning plan.
+    pub plan: SmmPlan,
+    /// Simulated cycles of the winner.
+    pub cycles: u64,
+    /// Simulated cycles of the heuristic (model-driven) plan, for
+    /// reporting the tuning gain.
+    pub heuristic_cycles: u64,
+    /// Number of candidate plans simulated.
+    pub candidates: usize,
+}
+
+impl TunedPlan {
+    /// Speedup of the tuned plan over the heuristic plan.
+    pub fn gain(&self) -> f64 {
+        self.heuristic_cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Exhaustive-ish candidate search with caching.
+pub struct Autotuner {
+    base: PlanConfig,
+    cache: Mutex<HashMap<(usize, usize, usize), TunedPlan>>,
+}
+
+impl Autotuner {
+    /// Tuner deriving candidates from a base configuration (thread
+    /// budget etc. are taken from `base`).
+    pub fn new(base: PlanConfig) -> Self {
+        Autotuner {
+            base,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Candidate configurations for a shape: every feasible kernel from
+    /// the planner's candidate set crossed with the packing choices.
+    fn candidates(&self) -> Vec<PlanConfig> {
+        let mut out = Vec::new();
+        for &(mr, nr) in KERNEL_CANDIDATES {
+            for pack_b in [Some(false), Some(true)] {
+                for pack_a in [Some(false), Some(true)] {
+                    out.push(PlanConfig {
+                        kernel: Some(KernelShape::new(mr, nr)),
+                        pack_a,
+                        pack_b,
+                        ..self.base
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Tune a shape (cached).
+    pub fn tune(&self, m: usize, n: usize, k: usize) -> TunedPlan {
+        if let Some(hit) = self.cache.lock().get(&(m, n, k)) {
+            return hit.clone();
+        }
+        let heuristic = SmmPlan::build(m, n, k, &self.base);
+        let heuristic_cycles = build_sim(&heuristic).run().cycles;
+
+        let mut best_plan = heuristic;
+        let mut best_cycles = heuristic_cycles;
+        let candidates = self.candidates();
+        let n_candidates = candidates.len();
+        for cfg in candidates {
+            let plan = SmmPlan::build(m, n, k, &cfg);
+            let cycles = build_sim(&plan).run().cycles;
+            if cycles < best_cycles {
+                best_cycles = cycles;
+                best_plan = plan;
+            }
+        }
+        let tuned = TunedPlan {
+            plan: best_plan,
+            cycles: best_cycles,
+            heuristic_cycles,
+            candidates: n_candidates + 1,
+        };
+        self.cache.lock().insert((m, n, k), tuned.clone());
+        tuned
+    }
+
+    /// Shapes tuned so far.
+    pub fn cached(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+impl Default for Autotuner {
+    fn default() -> Self {
+        Self::new(PlanConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_never_loses_to_heuristic() {
+        let tuner = Autotuner::default();
+        for &(m, n, k) in &[(8usize, 8usize, 8usize), (13, 7, 21), (40, 40, 40)] {
+            let t = tuner.tune(m, n, k);
+            assert!(t.cycles <= t.heuristic_cycles, "{m}x{n}x{k}: {t:?}");
+            assert!(t.gain() >= 1.0);
+            assert!(t.candidates > KERNEL_CANDIDATES.len());
+        }
+    }
+
+    #[test]
+    fn tuning_is_cached() {
+        let tuner = Autotuner::default();
+        let a = tuner.tune(6, 6, 6);
+        let b = tuner.tune(6, 6, 6);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(tuner.cached(), 1);
+    }
+
+    #[test]
+    fn tuned_plan_executes_correctly() {
+        use smm_gemm::gemm_naive;
+        use smm_gemm::matrix::Mat;
+        let tuner = Autotuner::default();
+        let t = tuner.tune(15, 11, 9);
+        let a = Mat::<f32>::random(15, 9, 1);
+        let b = Mat::<f32>::random(9, 11, 2);
+        let mut c = Mat::<f32>::zeros(15, 11);
+        let mut c_ref = c.clone();
+        crate::exec::execute(&t.plan, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn tuner_respects_thread_budget() {
+        let tuner = Autotuner::new(PlanConfig { max_threads: 8, ..Default::default() });
+        let t = tuner.tune(64, 96, 32);
+        assert!(t.plan.threads() <= 8);
+    }
+}

@@ -1,0 +1,301 @@
+//! The BLASFEO strategy.
+//!
+//! BLASFEO targets embedded optimization workloads where the same small
+//! matrices are reused many times, so it stores operands permanently in
+//! the *panel-major* format (Fig. 3) and skips Layers 1–3 of the Goto
+//! structure entirely: no packing phase at all, kernels stream directly
+//! from the panel-major operands with vector loads on both sides.
+//! Rows are padded to the panel size `ps = 4`, so edges cost padded
+//! flops rather than special kernels. Only single-threaded routines are
+//! provided (§II-C).
+
+use smm_kernels::registry::LibraryProfile;
+use smm_kernels::trace_gen::KernelTraceParams;
+use smm_kernels::{MicroKernelDesc, Scalar};
+use smm_simarch::phase::Phase;
+
+use crate::matrix::{Mat, MatMut, MatRef, PanelMatrix};
+use crate::naive::check_dims;
+use crate::sim::{GemmLayout, MacroOp, SimJob, ELEM};
+use crate::strategy::Strategy;
+
+/// The BLASFEO-style implementation.
+#[derive(Debug, Clone)]
+pub struct BlasfeoStrategy {
+    profile: LibraryProfile,
+}
+
+impl BlasfeoStrategy {
+    /// Build the profile of Table I.
+    pub fn new() -> Self {
+        BlasfeoStrategy {
+            profile: LibraryProfile::blasfeo(),
+        }
+    }
+
+    /// `C = alpha·A·B + beta·C` directly on panel-major operands — the
+    /// native BLASFEO interface where no conversion cost exists because
+    /// the application keeps its data panel-major.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gemm_panel<S: Scalar>(
+        &self,
+        alpha: S,
+        a: &PanelMatrix<S>,
+        b: &PanelMatrix<S>,
+        beta: S,
+        c: &mut PanelMatrix<S>,
+    ) {
+        let (m, k) = (a.rows(), a.cols());
+        let (kb, n) = (b.rows(), b.cols());
+        assert_eq!(k, kb, "inner dimensions disagree");
+        assert_eq!((c.rows(), c.cols()), (m, n), "C shape mismatch");
+        let ps = a.ps();
+        assert!(ps == b.ps() && ps == c.ps(), "panel sizes must agree");
+
+        let a_data = a.data();
+        let b_data = b.data();
+        // Process C panel-by-panel (ps rows), 4 columns at a time, with
+        // a ps x 4 register tile -- the 4x4-flavoured BLASFEO kernel.
+        for cp in 0..c.num_panels() {
+            let rows_here = ps.min(m.saturating_sub(cp * ps));
+            if rows_here == 0 {
+                continue;
+            }
+            let mut j = 0;
+            while j < n {
+                let jw = 4.min(n - j);
+                let mut acc = [[S::ZERO; 4]; 8];
+                debug_assert!(ps <= 8);
+                for p in 0..k {
+                    // A panel cp, column p: ps contiguous values.
+                    let a_off = cp * (ps * k) + p * ps;
+                    // B row p lives in panel p/ps at lane p%ps.
+                    let b_panel = p / ps;
+                    let b_lane = p % ps;
+                    for jj in 0..jw {
+                        let bv = b_data[b_panel * (ps * n) + (j + jj) * ps + b_lane];
+                        for i in 0..rows_here {
+                            acc[i][jj] = acc[i][jj].madd(a_data[a_off + i], bv);
+                        }
+                    }
+                }
+                for jj in 0..jw {
+                    for i in 0..rows_here {
+                        let gi = cp * ps + i;
+                        let v = c.at(gi, j + jj) * beta + alpha * acc[i][jj];
+                        c.set(gi, j + jj, v);
+                    }
+                }
+                j += jw;
+            }
+        }
+    }
+}
+
+impl Default for BlasfeoStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> Strategy<S> for BlasfeoStrategy {
+    fn name(&self) -> &'static str {
+        "BLASFEO"
+    }
+
+    fn supports_threads(&self) -> bool {
+        false
+    }
+
+    fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        mut c: MatMut<'_, S>,
+        threads: usize,
+    ) {
+        assert!(threads <= 1, "BLASFEO provides only single-threaded SMM routines");
+        check_dims(&a, &b, &c.rb());
+        // Column-major façade: convert at the boundary. In a BLASFEO
+        // application the operands are *kept* panel-major, so this
+        // conversion is the caller's storage decision, not packing.
+        let pa = PanelMatrix::from_col_major(a, PanelMatrix::<S>::DEFAULT_PS);
+        let pb = PanelMatrix::from_col_major(b, PanelMatrix::<S>::DEFAULT_PS);
+        let mut pc = PanelMatrix::from_col_major(c.rb(), PanelMatrix::<S>::DEFAULT_PS);
+        self.gemm_panel(alpha, &pa, &pb, beta, &mut pc);
+        let out: Mat<S> = pc.to_mat();
+        for j in 0..c.cols() {
+            for i in 0..c.rows() {
+                c.set(i, j, out[(i, j)]);
+            }
+        }
+    }
+
+    fn sim(&self, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+        assert!(
+            threads <= 1,
+            "BLASFEO provides only single-threaded SMM routines (§II-C of the paper)"
+        );
+        build_sim(&self.profile, m, n, k)
+    }
+}
+
+/// Decompose `len` into BLASFEO m-tiles: greedy full steps, remainder
+/// padded up to the smallest available step (itself a multiple of
+/// `ps = 4`).
+fn blasfeo_tiles(len: usize, steps: &[usize]) -> Vec<(usize, usize, usize)> {
+    // (offset, logical, kernel)
+    let mut out = Vec::new();
+    let biggest = steps[0];
+    let mut off = 0;
+    while len - off >= biggest {
+        out.push((off, biggest, biggest));
+        off += biggest;
+    }
+    let rem = len - off;
+    if rem > 0 {
+        let kernel = steps
+            .iter()
+            .rev()
+            .copied()
+            .find(|&s| s >= rem)
+            .unwrap_or(biggest);
+        out.push((off, rem, kernel));
+    }
+    out
+}
+
+fn build_sim(profile: &LibraryProfile, m: usize, n: usize, k: usize) -> SimJob {
+    assert!(m > 0 && n > 0 && k > 0, "empty GEMM");
+    // Operands are panel-major with rows padded to ps; footprint uses
+    // the padded sizes.
+    let m_pad = m.div_ceil(4) * 4;
+    let n_pad = n.div_ceil(4) * 4;
+    let lay = GemmLayout::col_major(m_pad, n_pad, k);
+
+    let m_tiles = blasfeo_tiles(m, &[16, 8, 4]);
+    let n_tiles = blasfeo_tiles(n, &[4]);
+    let mut prog = Vec::new();
+    for &(io, _ml, mk) in &m_tiles {
+        for &(jo, _nl, nk) in &n_tiles {
+            // Panel-major: the tile's A rows and B columns are stored
+            // contiguously k-major, and the C tile is contiguous too.
+            let desc = MicroKernelDesc::new(
+                mk,
+                nk,
+                profile.main.unroll,
+                profile.main.policy,
+                profile.main.b_load,
+            );
+            prog.push(MacroOp::Kernel(KernelTraceParams {
+                desc,
+                kc: k,
+                a_base: lay.a + (io * k) as u64 * ELEM,
+                a_kstep: (mk as u64) * ELEM,
+                b_base: lay.b + (jo * k) as u64 * ELEM,
+                b_kstep: (nk as u64) * ELEM,
+                b_jstride: ELEM,
+                c_base: lay.c + (io * n_pad + jo * mk) as u64 * ELEM,
+                c_col_stride: (mk as u64) * ELEM,
+                elem: ELEM,
+                phase: Phase::Kernel,
+            }));
+        }
+    }
+
+    SimJob {
+        programs: vec![prog],
+        useful_flops: 2.0 * m as f64 * n as f64 * k as f64,
+        label: format!("BLASFEO {m}x{n}x{k}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::gemm_naive;
+    use smm_simarch::phase::Phase as Ph;
+
+    #[test]
+    fn panel_gemm_matches_naive() {
+        let a = Mat::<f32>::random(13, 9, 1);
+        let b = Mat::<f32>::random(9, 11, 2);
+        let mut c = Mat::<f32>::random(13, 11, 3);
+        let mut c_ref = c.clone();
+        let s = BlasfeoStrategy::new();
+        Strategy::<f32>::gemm(&s, 1.5, a.as_ref(), b.as_ref(), 0.5, c.as_mut(), 1);
+        gemm_naive(1.5, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn panel_api_direct() {
+        let a = Mat::<f32>::random(8, 8, 4);
+        let b = Mat::<f32>::random(8, 8, 5);
+        let pa = PanelMatrix::from_col_major(a.as_ref(), 4);
+        let pb = PanelMatrix::from_col_major(b.as_ref(), 4);
+        let mut pc = PanelMatrix::zeros(8, 8, 4);
+        let s = BlasfeoStrategy::new();
+        s.gemm_panel(1.0, &pa, &pb, 0.0, &mut pc);
+        let mut c_ref = Mat::<f32>::zeros(8, 8);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(pc.to_mat().max_abs_diff(&c_ref) < 1e-4);
+    }
+
+    #[test]
+    fn odd_shapes_survive_panel_padding() {
+        for &(m, n, k) in &[(1, 1, 1), (5, 3, 7), (17, 13, 6), (75, 60, 60)] {
+            let a = Mat::<f32>::random(m, k, 10);
+            let b = Mat::<f32>::random(k, n, 11);
+            let mut c = Mat::<f32>::random(m, n, 12);
+            let mut c_ref = c.clone();
+            let s = BlasfeoStrategy::new();
+            Strategy::<f32>::gemm(&s, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut(), 1);
+            gemm_naive(1.0, a.as_ref(), b.as_ref(), 1.0, c_ref.as_mut());
+            assert!(c.max_abs_diff(&c_ref) < 1e-3, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn sim_has_zero_packing() {
+        let s = BlasfeoStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 32, 32, 32, 1).run();
+        let b = report.total_breakdown();
+        assert_eq!(b.get(Ph::PackA), 0);
+        assert_eq!(b.get(Ph::PackB), 0);
+        assert!(b.get(Ph::Kernel) > 0);
+    }
+
+    #[test]
+    fn sim_efficiency_is_high_for_aligned_smm() {
+        let s = BlasfeoStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 64, 64, 64, 1).run();
+        // Useful flops per cycle vs 8 flops/cycle peak.
+        let eff = report.gflops(report_flops(64, 64, 64), 2.2e9) / 17.6;
+        assert!(eff > 0.6, "BLASFEO aligned 64³ efficiency {eff}");
+    }
+
+    fn report_flops(m: usize, n: usize, k: usize) -> f64 {
+        2.0 * (m * n * k) as f64
+    }
+
+    #[test]
+    fn tiles_pad_remainders_to_small_kernels() {
+        let t = blasfeo_tiles(75, &[16, 8, 4]);
+        let covered: usize = t.iter().map(|&(_, l, _)| l).sum();
+        assert_eq!(covered, 75);
+        // Remainder 11 uses the 16-kernel (smallest >= 11).
+        assert_eq!(t.last().unwrap().2, 16);
+        let t2 = blasfeo_tiles(7, &[16, 8, 4]);
+        assert_eq!(t2, vec![(0, 7, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-threaded")]
+    fn multithreaded_sim_rejected() {
+        let s = BlasfeoStrategy::new();
+        let _ = Strategy::<f32>::sim(&s, 8, 8, 8, 4);
+    }
+}

@@ -1,0 +1,347 @@
+//! The BLIS strategy.
+//!
+//! 8×12 micro-kernel (unroll 4), zero-padded edges, and the
+//! multi-dimensional parallelization of Smith et al. that the paper
+//! credits for BLIS's multi-threaded lead (§III-D): the thread count
+//! factors into ways over the `jc`/`ic`/`jr`/`ir` loops chosen at run
+//! time so that small dimensions are not parallelized, packed-buffer
+//! cohorts stay small, and synchronization is fine-grained.
+
+use smm_kernels::registry::{tile_dimension, LibraryProfile};
+use smm_kernels::trace_gen::KernelTraceParams;
+use smm_kernels::Scalar;
+use smm_model::parallel::{select_grid, ThreadGrid};
+use smm_model::KernelShape;
+use smm_simarch::phase::Phase;
+
+use crate::engine::GotoEngine;
+use crate::matrix::{MatMut, MatRef};
+use crate::parallel::{gemm_parallel_grid, split_ranges};
+use crate::sim::{GemmLayout, MacroOp, PackAPanelOp, PackBSliverOp, SimJob, ELEM};
+use crate::strategy::Strategy;
+
+/// The BLIS-style implementation.
+#[derive(Debug, Clone)]
+pub struct BlisStrategy {
+    engine: GotoEngine,
+}
+
+impl BlisStrategy {
+    /// Build with Phytium-derived blocking.
+    pub fn new() -> Self {
+        BlisStrategy {
+            engine: GotoEngine::with_profile(LibraryProfile::blis()),
+        }
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&self) -> &GotoEngine {
+        &self.engine
+    }
+
+    /// The thread grid BLIS would choose for a problem.
+    pub fn grid_for(&self, m: usize, n: usize, k: usize, threads: usize) -> ThreadGrid {
+        select_grid(m, n, k, threads, KernelShape::new(8, 12))
+    }
+}
+
+impl Default for BlisStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> Strategy<S> for BlisStrategy {
+    fn name(&self) -> &'static str {
+        "BLIS"
+    }
+
+    fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            self.engine.gemm(alpha, a, b, beta, c);
+        } else {
+            let grid = self.grid_for(a.rows(), b.cols(), a.cols(), threads);
+            gemm_parallel_grid(&self.engine, grid, alpha, a, b, beta, c);
+        }
+    }
+
+    fn sim(&self, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+        build_sim(&self.engine, m, n, k, threads)
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+    assert!(m > 0 && n > 0 && k > 0, "empty GEMM");
+    let threads = threads.max(1);
+    let profile = &engine.profile;
+    let bp = engine.blocking.clipped(m, n, k);
+    let (mr, nr) = (profile.main.mr(), profile.main.nr());
+    let grid = select_grid(m, n, k, threads, profile.main.shape);
+    let mut lay = GemmLayout::for_threads(m, n, k, threads);
+
+    let tid = |jc_i: usize, ic_i: usize, jr_i: usize, ir_i: usize| {
+        ((jc_i * grid.ic + ic_i) * grid.jr + jr_i) * grid.ir + ir_i
+    };
+
+    let n_chunks = split_ranges(n, grid.jc);
+    let m_chunks = split_ranges(m, grid.ic);
+
+    // One shared B̃ per jc group (homed on the group leader's panel),
+    // one shared Ã per (jc, ic) group, and a padded-tile scratch C per
+    // thread (BLIS writes padded register tiles to a temporary).
+    let bpack: Vec<u64> = (0..grid.jc)
+        .map(|jc_i| lay.alloc_local(((bp.nc + nr) * bp.kc) as u64 * ELEM, tid(jc_i, 0, 0, 0)))
+        .collect();
+    let mut apack = vec![vec![0u64; grid.ic]; grid.jc];
+    for (jc_i, row) in apack.iter_mut().enumerate() {
+        for (ic_i, slot) in row.iter_mut().enumerate() {
+            *slot = lay.alloc_local(((bp.mc + mr) * bp.kc) as u64 * ELEM, tid(jc_i, ic_i, 0, 0));
+        }
+    }
+    let cscratch: Vec<u64> = (0..threads)
+        .map(|t| lay.alloc_local((mr * nr) as u64 * ELEM, t))
+        .collect();
+
+    let mut progs: Vec<Vec<MacroOp>> = vec![Vec::new(); threads];
+    let mut next_barrier = 0u32;
+
+    for jc_i in 0..grid.jc {
+        let (j0, n_jc) = n_chunks[jc_i];
+        if n_jc == 0 {
+            continue;
+        }
+        // Every thread in the jc group shares the B̃ cohort.
+        let cohort: Vec<usize> = (0..grid.ic)
+            .flat_map(|ic_i| {
+                (0..grid.jr).flat_map(move |jr_i| {
+                    (0..grid.ir).map(move |ir_i| (ic_i, jr_i, ir_i))
+                })
+            })
+            .map(|(ic_i, jr_i, ir_i)| tid(jc_i, ic_i, jr_i, ir_i))
+            .collect();
+
+        let mut jj = 0;
+        while jj < n_jc {
+            let nc_cur = bp.nc.min(n_jc - jj);
+            let n_tiles = tile_dimension(nc_cur, nr, profile.edge, &profile.n_steps);
+            let mut kk = 0;
+            while kk < k {
+                let kc_cur = bp.kc.min(k - kk);
+                let mut b_offs = Vec::with_capacity(n_tiles.len());
+                let mut off = 0u64;
+                for jt in &n_tiles {
+                    b_offs.push(off);
+                    off += (jt.kernel * kc_cur) as u64 * ELEM;
+                }
+                // Cooperative B packing across the cohort.
+                for (s, jt) in n_tiles.iter().enumerate() {
+                    let t = cohort[s % cohort.len()];
+                    progs[t].push(MacroOp::PackB(PackBSliverOp {
+                        src: lay.b_addr(kk, j0 + jj + jt.offset),
+                        ldb: lay.ldb,
+                        kc: kc_cur,
+                        cols: jt.logical,
+                        pad_to: jt.kernel,
+                        dst: bpack[jc_i] + b_offs[s],
+                        phase: Phase::PackB,
+                        src_row_major: false,
+                    }));
+                }
+                next_barrier += 1;
+                for &t in &cohort {
+                    progs[t].push(MacroOp::Barrier { id: next_barrier, participants: cohort.len() });
+                }
+
+                for ic_i in 0..grid.ic {
+                    let (i0, m_ic) = m_chunks[ic_i];
+                    if m_ic == 0 {
+                        continue;
+                    }
+                    let subgroup: Vec<usize> = (0..grid.jr)
+                        .flat_map(|jr_i| (0..grid.ir).map(move |ir_i| (jr_i, ir_i)))
+                        .map(|(jr_i, ir_i)| tid(jc_i, ic_i, jr_i, ir_i))
+                        .collect();
+                    let mut ii = 0;
+                    while ii < m_ic {
+                        let mc_cur = bp.mc.min(m_ic - ii);
+                        let m_tiles =
+                            tile_dimension(mc_cur, mr, profile.edge, &profile.m_steps);
+                        let mut a_offs = Vec::with_capacity(m_tiles.len());
+                        let mut aoff = 0u64;
+                        for it in &m_tiles {
+                            a_offs.push(aoff);
+                            aoff += (it.kernel * kc_cur) as u64 * ELEM;
+                        }
+                        // Cooperative A packing across the subgroup.
+                        for (ti, it) in m_tiles.iter().enumerate() {
+                            let t = subgroup[ti % subgroup.len()];
+                            progs[t].push(MacroOp::PackA(PackAPanelOp {
+                                src: lay.a_addr(i0 + ii + it.offset, kk),
+                                lda: lay.lda,
+                                rows: it.logical,
+                                kc: kc_cur,
+                                pad_to: it.kernel,
+                                dst: apack[jc_i][ic_i] + a_offs[ti],
+                                phase: Phase::PackA,
+                                src_row_major: false,
+                            }));
+                        }
+                        next_barrier += 1;
+                        for &t in &subgroup {
+                            progs[t].push(MacroOp::Barrier {
+                                id: next_barrier,
+                                participants: subgroup.len(),
+                            });
+                        }
+                        // jr splits the slivers, ir splits the panels.
+                        let jr_assign = split_ranges(n_tiles.len(), grid.jr);
+                        let ir_assign = split_ranges(m_tiles.len(), grid.ir);
+                        for jr_i in 0..grid.jr {
+                            let (js, jn) = jr_assign[jr_i];
+                            for ir_i in 0..grid.ir {
+                                let (is, in_) = ir_assign[ir_i];
+                                let t = tid(jc_i, ic_i, jr_i, ir_i);
+                                for s in js..js + jn {
+                                    let jt = &n_tiles[s];
+                                    for ti in is..is + in_ {
+                                        let it = &m_tiles[ti];
+                                        let padded =
+                                            it.kernel != it.logical || jt.kernel != jt.logical;
+                                        let c_base = if padded {
+                                            cscratch[t]
+                                        } else {
+                                            lay.c_addr(
+                                                i0 + ii + it.offset,
+                                                j0 + jj + jt.offset,
+                                            )
+                                        };
+                                        let c_col_stride = if padded {
+                                            (it.kernel as u64) * ELEM
+                                        } else {
+                                            lay.ldc
+                                        };
+                                        progs[t].push(MacroOp::Kernel(KernelTraceParams {
+                                            desc: profile.main,
+                                            kc: kc_cur,
+                                            a_base: apack[jc_i][ic_i] + a_offs[ti],
+                                            a_kstep: (it.kernel as u64) * ELEM,
+                                            b_base: bpack[jc_i] + b_offs[s],
+                                            b_kstep: (jt.kernel as u64) * ELEM,
+                                            b_jstride: ELEM,
+                                            c_base,
+                                            c_col_stride,
+                                            elem: ELEM,
+                                            phase: if padded { Phase::Edge } else { Phase::Kernel },
+                                        }));
+                                    }
+                                }
+                            }
+                        }
+                        ii += mc_cur;
+                    }
+                }
+                // End-of-kk synchronization for the cohort.
+                next_barrier += 1;
+                for &t in &cohort {
+                    progs[t].push(MacroOp::Barrier { id: next_barrier, participants: cohort.len() });
+                }
+                kk += kc_cur;
+            }
+            jj += nc_cur;
+        }
+    }
+
+    SimJob {
+        programs: progs,
+        useful_flops: 2.0 * m as f64 * n as f64 * k as f64,
+        label: format!("BLIS {m}x{n}x{k} t{threads} grid {grid:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+    use crate::naive::gemm_naive;
+
+    #[test]
+    fn native_matches_naive() {
+        let s = BlisStrategy::new();
+        let a = Mat::<f32>::random(27, 19, 1);
+        let b = Mat::<f32>::random(19, 31, 2);
+        let mut c = Mat::<f32>::random(27, 31, 3);
+        let mut c_ref = c.clone();
+        Strategy::<f32>::gemm(&s, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut(), 1);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn native_parallel_matches_naive() {
+        let s = BlisStrategy::new();
+        let a = Mat::<f32>::random(48, 16, 4);
+        let b = Mat::<f32>::random(16, 60, 5);
+        let mut c = Mat::<f32>::zeros(48, 60);
+        let mut c_ref = c.clone();
+        Strategy::<f32>::gemm(&s, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), 8);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn grid_avoids_small_dimensions() {
+        let s = BlisStrategy::new();
+        let g = s.grid_for(16, 4096, 256, 64);
+        assert!(g.m_ways() <= 2, "M=16 should not be split 64 ways: {g:?}");
+        assert_eq!(g.threads(), 64);
+    }
+
+    #[test]
+    fn sim_single_thread_runs() {
+        let s = BlisStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 24, 24, 12, 1).run();
+        assert!(report.total_fmas() > 0);
+        assert_eq!(report.cores.len(), 1);
+    }
+
+    #[test]
+    fn sim_multithread_all_cores_work_and_sync() {
+        let s = BlisStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 64, 96, 32, 8).run();
+        assert_eq!(report.cores.len(), 8);
+        assert!(report.total_breakdown().get(Phase::Sync) > 0);
+        // Every core retired something.
+        for (i, c) in report.cores.iter().enumerate() {
+            assert!(c.retired > 0, "core {i} idle");
+        }
+    }
+
+    #[test]
+    fn sim_padded_tiles_tagged_edge() {
+        let s = BlisStrategy::new();
+        // 9x13: both dimensions have remainders against 8x12.
+        let report = Strategy::<f32>::sim(&s, 9, 13, 16, 1).run();
+        assert!(report.total_breakdown().get(Phase::Edge) > 0);
+        let aligned = Strategy::<f32>::sim(&s, 16, 24, 16, 1).run();
+        assert_eq!(aligned.total_breakdown().get(Phase::Edge), 0);
+    }
+
+    #[test]
+    fn sim_barrier_cohorts_are_consistent() {
+        // Would deadlock (and panic) if any barrier were mismatched.
+        let s = BlisStrategy::new();
+        for threads in [2, 4, 8, 16] {
+            let report = Strategy::<f32>::sim(&s, 40, 72, 24, threads).run();
+            assert!(report.cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The Eigen strategy.
+//!
+//! Eigen stores matrices row-major and blocks from the `M` dimension
+//! first (§II-C). Its kernels are compiler-generated C++ (no assembly,
+//! Table I: 12×4 tile, unroll 1): `B` scalars are broadcast with `dup`
+//! instructions that burn FP-pipe slots, and every load pays its own
+//! address arithmetic. Parallel execution splits the task matrix `C`
+//! by columns (Eigen's column-block scheme) with no cooperative
+//! packing: each thread packs the full lhs for itself (duplicated
+//! work) plus its own rhs slice, so there are no barriers but small
+//! `N` starves threads and the lhs packing is paid `threads` times.
+
+use smm_kernels::registry::{tile_dimension, LibraryProfile};
+use smm_kernels::trace_gen::KernelTraceParams;
+use smm_kernels::Scalar;
+use smm_simarch::phase::Phase;
+
+use crate::engine::GotoEngine;
+use crate::matrix::{MatMut, MatRef};
+use crate::parallel::{gemm_parallel_2d, split_ranges};
+use crate::sim::{GemmLayout, MacroOp, PackAPanelOp, PackBSliverOp, SimJob, ELEM};
+use crate::strategy::Strategy;
+
+/// The Eigen-style implementation.
+#[derive(Debug, Clone)]
+pub struct EigenStrategy {
+    engine: GotoEngine,
+}
+
+impl EigenStrategy {
+    /// Build with Phytium-derived blocking.
+    pub fn new() -> Self {
+        EigenStrategy {
+            engine: GotoEngine::with_profile(LibraryProfile::eigen()),
+        }
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&self) -> &GotoEngine {
+        &self.engine
+    }
+}
+
+impl Default for EigenStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> Strategy<S> for EigenStrategy {
+    fn name(&self) -> &'static str {
+        "Eigen"
+    }
+
+    fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            self.engine.gemm(alpha, a, b, beta, c);
+        } else {
+            // Column split, matching Eigen's parallel scheme.
+            gemm_parallel_2d(&self.engine, 1, threads, alpha, a, b, beta, c);
+        }
+    }
+
+    fn sim(&self, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+        build_sim(&self.engine, m, n, k, threads)
+    }
+}
+
+fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+    assert!(m > 0 && n > 0 && k > 0, "empty GEMM");
+    let threads = threads.max(1);
+    let profile = &engine.profile;
+    let bp = engine.blocking.clipped(m, n, k);
+    let (mr, nr) = (profile.main.mr(), profile.main.nr());
+    let mut lay = GemmLayout::for_threads(m, n, k, threads);
+    // Row-major strides over the same allocations.
+    let lda_rm = k as u64 * ELEM;
+    let ldb_rm = n as u64 * ELEM;
+
+    // Independent per-thread packed buffers: no sharing, no barriers.
+    let apack: Vec<u64> = (0..threads)
+        .map(|t| lay.alloc_local(((bp.mc + mr) * bp.kc) as u64 * ELEM, t))
+        .collect();
+    let bpack: Vec<u64> = (0..threads)
+        .map(|t| lay.alloc_local(((n + nr) * bp.kc) as u64 * ELEM, t))
+        .collect();
+
+    let col_ranges = split_ranges(n, threads);
+    let mut progs: Vec<Vec<MacroOp>> = vec![Vec::new(); threads];
+
+    for (t, &(j0, nt)) in col_ranges.iter().enumerate() {
+        if nt == 0 {
+            continue;
+        }
+        let prog = &mut progs[t];
+        // Eigen blocks from M first; every thread re-packs the full lhs.
+        let mut ii = 0;
+        while ii < m {
+            let mc_cur = bp.mc.min(m - ii);
+            let mut kk = 0;
+            while kk < k {
+                let kc_cur = bp.kc.min(k - kk);
+                // Pack lhs panels: row-major A makes the per-column
+                // gather strided.
+                let m_tiles = tile_dimension(mc_cur, mr, profile.edge, &profile.m_steps);
+                let mut a_offs = Vec::with_capacity(m_tiles.len());
+                let mut aoff = 0u64;
+                for it in &m_tiles {
+                    a_offs.push(aoff);
+                    aoff += (it.kernel * kc_cur) as u64 * ELEM;
+                }
+                for (ti, it) in m_tiles.iter().enumerate() {
+                    prog.push(MacroOp::PackA(PackAPanelOp {
+                        src: lay.a + (ii + it.offset) as u64 * lda_rm + kk as u64 * ELEM,
+                        lda: lda_rm,
+                        rows: it.logical,
+                        kc: kc_cur,
+                        pad_to: it.kernel,
+                        dst: apack[t] + a_offs[ti],
+                        phase: Phase::PackA,
+                        src_row_major: true,
+                    }));
+                }
+                // Pack this thread's rhs slice: row-major B makes the
+                // gather contiguous (the cheap side).
+                let n_tiles = tile_dimension(nt, nr, profile.edge, &profile.n_steps);
+                let mut b_offs = Vec::with_capacity(n_tiles.len());
+                let mut boff = 0u64;
+                for jt in &n_tiles {
+                    b_offs.push(boff);
+                    boff += (jt.kernel * kc_cur) as u64 * ELEM;
+                }
+                for (s, jt) in n_tiles.iter().enumerate() {
+                    prog.push(MacroOp::PackB(PackBSliverOp {
+                        src: lay.b + kk as u64 * ldb_rm + (j0 + jt.offset) as u64 * ELEM,
+                        ldb: ldb_rm,
+                        kc: kc_cur,
+                        cols: jt.logical,
+                        pad_to: jt.kernel,
+                        dst: bpack[t] + b_offs[s],
+                        phase: Phase::PackB,
+                        src_row_major: true,
+                    }));
+                }
+                for (s, jt) in n_tiles.iter().enumerate() {
+                    for (ti, it) in m_tiles.iter().enumerate() {
+                        let is_main = it.kernel == mr && jt.kernel == nr;
+                        let desc = if is_main {
+                            profile.main
+                        } else {
+                            profile.edge_desc(it.kernel, jt.kernel)
+                        };
+                        prog.push(MacroOp::Kernel(KernelTraceParams {
+                            desc,
+                            kc: kc_cur,
+                            a_base: apack[t] + a_offs[ti],
+                            a_kstep: (it.kernel as u64) * ELEM,
+                            b_base: bpack[t] + b_offs[s],
+                            b_kstep: (jt.kernel as u64) * ELEM,
+                            b_jstride: ELEM,
+                            c_base: lay.c_addr(ii + it.offset, j0 + jt.offset),
+                            c_col_stride: lay.ldc,
+                            elem: ELEM,
+                            phase: if is_main { Phase::Kernel } else { Phase::Edge },
+                        }));
+                    }
+                }
+                kk += kc_cur;
+            }
+            ii += mc_cur;
+        }
+    }
+
+    SimJob {
+        programs: progs,
+        useful_flops: 2.0 * m as f64 * n as f64 * k as f64,
+        label: format!("Eigen {m}x{n}x{k} t{threads}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+    use crate::naive::gemm_naive;
+    use smm_simarch::isa::Op;
+    use smm_simarch::trace::collect_source;
+
+    #[test]
+    fn native_matches_naive() {
+        let s = EigenStrategy::new();
+        let a = Mat::<f32>::random(25, 14, 1);
+        let b = Mat::<f32>::random(14, 22, 2);
+        let mut c = Mat::<f32>::random(25, 22, 3);
+        let mut c_ref = c.clone();
+        Strategy::<f32>::gemm(&s, 1.0, a.as_ref(), b.as_ref(), 2.0, c.as_mut(), 1);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 2.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn sim_runs_and_packs_both_operands() {
+        let s = EigenStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 24, 16, 12, 1).run();
+        let b = report.total_breakdown();
+        assert!(b.get(Phase::PackA) > 0);
+        assert!(b.get(Phase::PackB) > 0);
+        assert!(b.get(Phase::Kernel) > 0);
+    }
+
+    #[test]
+    fn sim_parallel_has_no_barriers() {
+        let s = EigenStrategy::new();
+        let job = Strategy::<f32>::sim(&s, 32, 32, 16, 4);
+        for prog in &job.programs {
+            assert!(!prog.iter().any(|op| matches!(op, MacroOp::Barrier { .. })));
+        }
+        let report = job.run();
+        assert_eq!(report.total_breakdown().get(Phase::Sync), 0);
+    }
+
+    #[test]
+    fn kernel_traces_contain_dup_broadcasts() {
+        let s = EigenStrategy::new();
+        let job = Strategy::<f32>::sim(&s, 12, 4, 8, 1);
+        let mut dups = 0;
+        for prog in job.programs {
+            let insts = collect_source(crate::sim::ProgramSource::new(prog));
+            dups += insts.iter().filter(|i| i.op == Op::VDup).count();
+        }
+        assert!(dups > 0, "Eigen kernels must broadcast B with dup");
+    }
+
+    #[test]
+    fn sim_is_slower_than_blasfeo_for_smm() {
+        // The headline Fig. 5 ordering: Eigen is the worst performer,
+        // BLASFEO the best.
+        let eigen = Strategy::<f32>::sim(&EigenStrategy::new(), 48, 48, 48, 1).run();
+        let feo = Strategy::<f32>::sim(&crate::blasfeo::BlasfeoStrategy::new(), 48, 48, 48, 1)
+            .run();
+        assert!(
+            eigen.cycles > feo.cycles,
+            "Eigen {} cycles vs BLASFEO {}",
+            eigen.cycles,
+            feo.cycles
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! Matrix storage: column-major views and BLASFEO's panel-major format.
+
+use smm_kernels::Scalar;
+
+/// An owned column-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Mat<S> {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            ld: rows.max(1),
+            data: vec![S::ZERO; rows.max(1) * cols],
+        }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random test matrix with small values.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            S::from_f64(((state >> 33) as i64 % 19 - 9) as f64 * 0.125)
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (stride between columns).
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Immutable view.
+    pub fn as_ref(&self) -> MatRef<'_, S> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: &self.data,
+        }
+    }
+
+    /// Mutable view.
+    pub fn as_mut(&mut self) -> MatMut<'_, S> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: &mut self.data,
+        }
+    }
+
+    /// Raw storage (column-major, `ld * cols`).
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Largest absolute elementwise difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Mat<S>) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let mut worst = 0.0f64;
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                let d = (self[(i, j)].to_f64() - other[(i, j)].to_f64()).abs();
+                worst = worst.max(d);
+            }
+        }
+        worst
+    }
+}
+
+impl<S: Scalar> std::ops::Index<(usize, usize)> for Mat<S> {
+    type Output = S;
+
+    fn index(&self, (i, j): (usize, usize)) -> &S {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[j * self.ld + i]
+    }
+}
+
+impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for Mat<S> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[j * self.ld + i]
+    }
+}
+
+/// Borrowed column-major view.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRef<'a, S: Scalar> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: &'a [S],
+}
+
+impl<'a, S: Scalar> MatRef<'a, S> {
+    /// View over a raw column-major slice.
+    pub fn from_slice(data: &'a [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1), "leading dimension too small");
+        assert!(data.len() >= ld * cols.saturating_sub(1) + rows, "slice too short");
+        MatRef { rows, cols, ld, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    pub fn at(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Sub-view of `nrows × ncols` starting at `(i0, j0)`.
+    pub fn block(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatRef<'a, S> {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "block out of bounds");
+        MatRef {
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+            data: &self.data[j0 * self.ld + i0..],
+        }
+    }
+
+    /// Underlying slice starting at the view origin.
+    pub fn data(&self) -> &'a [S] {
+        self.data
+    }
+}
+
+/// Borrowed mutable column-major view.
+#[derive(Debug)]
+pub struct MatMut<'a, S: Scalar> {
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    data: &'a mut [S],
+}
+
+impl<'a, S: Scalar> MatMut<'a, S> {
+    /// View over a raw column-major slice.
+    pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1), "leading dimension too small");
+        assert!(data.len() >= ld * cols.saturating_sub(1) + rows, "slice too short");
+        MatMut { rows, cols, ld, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element access.
+    pub fn at(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Set one element.
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i] = v;
+    }
+
+    /// Reborrow as immutable.
+    pub fn rb(&self) -> MatRef<'_, S> {
+        MatRef {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Reborrow mutably (shorter lifetime).
+    pub fn rb_mut(&mut self) -> MatMut<'_, S> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Mutable sub-view.
+    pub fn block_mut(&mut self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatMut<'_, S> {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "block out of bounds");
+        MatMut {
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+            data: &mut self.data[j0 * self.ld + i0..],
+        }
+    }
+
+    /// Scale every element by `beta` (the `beta * C` part of GEMM).
+    pub fn scale(&mut self, beta: S) {
+        if beta == S::ONE {
+            return;
+        }
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                let v = self.data[j * self.ld + i];
+                self.data[j * self.ld + i] = v * beta;
+            }
+        }
+    }
+
+    /// Underlying mutable slice starting at the view origin.
+    pub fn data_mut(&mut self) -> &mut [S] {
+        self.data
+    }
+
+    /// Raw parts `(ptr, rows, cols, ld)` for disjoint parallel writes.
+    pub fn raw_parts_mut(&mut self) -> (*mut S, usize, usize, usize) {
+        (self.data.as_mut_ptr(), self.rows, self.cols, self.ld)
+    }
+}
+
+/// BLASFEO's panel-major storage (Fig. 3 of the paper): rows are grouped
+/// into panels of `ps`; within a panel, elements are stored column by
+/// column, each column contributing `ps` contiguous elements. The row
+/// count is rounded up to a multiple of `ps` with explicit zeros, which
+/// is exactly how BLASFEO amortizes edge handling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelMatrix<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    ps: usize,
+    panels: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> PanelMatrix<S> {
+    /// Default panel size on a 128-bit SIMD machine.
+    pub const DEFAULT_PS: usize = 4;
+
+    /// Zero panel-major matrix.
+    pub fn zeros(rows: usize, cols: usize, ps: usize) -> Self {
+        assert!(ps >= 1);
+        let panels = rows.div_ceil(ps).max(1);
+        PanelMatrix {
+            rows,
+            cols,
+            ps,
+            panels,
+            data: vec![S::ZERO; panels * ps * cols],
+        }
+    }
+
+    /// Convert from a column-major view (the "format conversion at the
+    /// very beginning" of §II-C; in BLASFEO applications the data lives
+    /// in this format permanently, so it is *not* counted as packing).
+    pub fn from_col_major(a: MatRef<'_, S>, ps: usize) -> Self {
+        let mut p = PanelMatrix::zeros(a.rows(), a.cols(), ps);
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                p.set(i, j, a.at(i, j));
+            }
+        }
+        p
+    }
+
+    /// Number of (logical) rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Panel size.
+    pub fn ps(&self) -> usize {
+        self.ps
+    }
+
+    /// Flat index of element `(i, j)`.
+    fn idx(&self, i: usize, j: usize) -> usize {
+        let panel = i / self.ps;
+        panel * (self.ps * self.cols) + j * self.ps + (i % self.ps)
+    }
+
+    /// Element access (zero in the padding region).
+    pub fn at(&self, i: usize, j: usize) -> S {
+        assert!(i < self.panels * self.ps && j < self.cols, "index out of bounds");
+        self.data[self.idx(i, j)]
+    }
+
+    /// Set an element.
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        assert!(i < self.panels * self.ps && j < self.cols, "index out of bounds");
+        let idx = self.idx(i, j);
+        self.data[idx] = v;
+    }
+
+    /// The contiguous sliver for panel `p` (all columns): `ps` rows.
+    pub fn panel(&self, p: usize) -> &[S] {
+        assert!(p < self.panels, "panel out of range");
+        &self.data[p * self.ps * self.cols..(p + 1) * self.ps * self.cols]
+    }
+
+    /// Number of row panels.
+    pub fn num_panels(&self) -> usize {
+        self.panels
+    }
+
+    /// Copy back to column-major.
+    pub fn to_mat(&self) -> Mat<S> {
+        Mat::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+
+    /// Raw panel-major storage (`num_panels * ps * cols` elements).
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat_indexing_is_column_major() {
+        let m = Mat::<f32>::from_fn(3, 2, |i, j| (10 * i + j) as f32);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.data()[m.ld() + 2], 21.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Mat::<f32>::random(5, 7, 42);
+        let b = Mat::<f32>::random(5, 7, 42);
+        assert_eq!(a, b);
+        let c = Mat::<f32>::random(5, 7, 43);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn block_views_window_correctly() {
+        let m = Mat::<f32>::from_fn(6, 6, |i, j| (i * 10 + j) as f32);
+        let r = m.as_ref();
+        let b = r.block(2, 3, 3, 2);
+        assert_eq!(b.at(0, 0), 23.0);
+        assert_eq!(b.at(2, 1), 44.0);
+        assert_eq!(b.rows(), 3);
+    }
+
+    #[test]
+    fn mut_block_writes_through() {
+        let mut m = Mat::<f32>::zeros(4, 4);
+        {
+            let mut v = m.as_mut();
+            let mut b = v.block_mut(1, 1, 2, 2);
+            b.set(0, 0, 5.0);
+            b.set(1, 1, 7.0);
+        }
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m[(2, 2)], 7.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn scale_applies_beta() {
+        let mut m = Mat::<f32>::from_fn(3, 3, |i, j| (i + j) as f32);
+        m.as_mut().scale(2.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        // beta = 1 is a no-op fast path.
+        m.as_mut().scale(1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn panel_matrix_round_trips() {
+        let m = Mat::<f32>::random(11, 7, 9);
+        let p = PanelMatrix::from_col_major(m.as_ref(), 4);
+        assert_eq!(p.num_panels(), 3);
+        assert_eq!(p.to_mat(), m);
+    }
+
+    #[test]
+    fn panel_padding_rows_are_zero() {
+        let m = Mat::<f32>::from_fn(5, 3, |_, _| 1.0);
+        let p = PanelMatrix::from_col_major(m.as_ref(), 4);
+        // Rows 5..8 are padding.
+        for j in 0..3 {
+            for i in 5..8 {
+                assert_eq!(p.at(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_layout_is_ps_contiguous_per_column() {
+        let m = Mat::<f32>::from_fn(8, 2, |i, j| (i * 100 + j) as f32);
+        let p = PanelMatrix::from_col_major(m.as_ref(), 4);
+        let first = p.panel(0);
+        // Panel 0, column 0 holds rows 0..4 contiguously.
+        assert_eq!(&first[0..4], &[0.0, 100.0, 200.0, 300.0]);
+        // Panel 0, column 1 follows.
+        assert_eq!(&first[4..8], &[1.0, 101.0, 201.0, 301.0]);
+    }
+
+    #[test]
+    fn matref_from_slice_validates() {
+        let data = vec![0.0f32; 12];
+        let r = MatRef::from_slice(&data, 3, 4, 3);
+        assert_eq!(r.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice too short")]
+    fn matref_rejects_short_slices() {
+        let data = vec![0.0f32; 5];
+        MatRef::from_slice(&data, 3, 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_bounds_checked() {
+        let m = Mat::<f32>::zeros(4, 4);
+        m.as_ref().block(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn max_abs_diff_reports_worst_entry() {
+        let a = Mat::<f32>::zeros(2, 2);
+        let mut b = Mat::<f32>::zeros(2, 2);
+        b[(1, 0)] = -0.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

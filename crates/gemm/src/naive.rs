@@ -1,0 +1,97 @@
+//! Reference GEMM: the straightforward three-nested loop.
+//!
+//! Used as the correctness oracle for every optimized strategy.
+
+use smm_kernels::Scalar;
+
+use crate::matrix::{MatMut, MatRef};
+
+/// `C = alpha * A * B + beta * C` with a plain triple loop.
+pub fn gemm_naive<S: Scalar>(
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let (m, k, n) = check_dims(&a, &b, &c.rb());
+    c.scale(beta);
+    for j in 0..n {
+        for p in 0..k {
+            let bpj = alpha * b.at(p, j);
+            for i in 0..m {
+                let v = c.at(i, j).madd(a.at(i, p), bpj);
+                c.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Validate GEMM operand shapes; returns `(m, k, n)`.
+pub fn check_dims<S: Scalar>(
+    a: &MatRef<'_, S>,
+    b: &MatRef<'_, S>,
+    c: &MatRef<'_, S>,
+) -> (usize, usize, usize) {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions disagree: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(c.rows(), m, "C has {} rows, expected {m}", c.rows());
+    assert_eq!(c.cols(), n, "C has {} cols, expected {n}", c.cols());
+    (m, k, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+
+    #[test]
+    fn two_by_two_by_hand() {
+        let a = Mat::<f32>::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f32); // [[1,2],[3,4]]
+        let b = Mat::<f32>::from_fn(2, 2, |i, j| (i * 2 + j + 5) as f32); // [[5,6],[7,8]]
+        let mut c = Mat::<f32>::zeros(2, 2);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = Mat::<f32>::from_fn(1, 1, |_, _| 3.0);
+        let b = Mat::<f32>::from_fn(1, 1, |_, _| 4.0);
+        let mut c = Mat::<f32>::from_fn(1, 1, |_, _| 10.0);
+        gemm_naive(2.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        // 2*12 + 0.5*10 = 29.
+        assert_eq!(c[(0, 0)], 29.0);
+    }
+
+    #[test]
+    fn identity_preserves() {
+        let a = Mat::<f64>::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = Mat::<f64>::random(4, 6, 3);
+        let mut c = Mat::<f64>::zeros(4, 6);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(c.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn degenerate_k_zero_only_scales_c() {
+        let a = Mat::<f32>::zeros(3, 0);
+        let b = Mat::<f32>::zeros(0, 2);
+        let mut c = Mat::<f32>::from_fn(3, 2, |_, _| 4.0);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.25, c.as_mut());
+        assert_eq!(c[(2, 1)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Mat::<f32>::zeros(2, 3);
+        let b = Mat::<f32>::zeros(4, 2);
+        let mut c = Mat::<f32>::zeros(2, 2);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+}

@@ -1,0 +1,297 @@
+//! The OpenBLAS strategy.
+//!
+//! Goto six-loop blocking with a 16×4 assembly-style main kernel
+//! (unroll 8), dedicated — but naively scheduled (Fig. 7) — edge
+//! micro-kernels, full `Ã`/`B̃` packing, and two-dimensional
+//! parallelization that splits the `ii` loop across *all* threads
+//! (§III-D: with 64 threads each gets `mc/64` rows, which collapses
+//! into edge cases whenever `M` is small).
+
+use smm_kernels::registry::{tile_dimension, LibraryProfile, TileSpan};
+use smm_kernels::trace_gen::KernelTraceParams;
+use smm_kernels::Scalar;
+use smm_simarch::phase::Phase;
+
+use crate::engine::GotoEngine;
+use crate::matrix::{MatMut, MatRef};
+use crate::parallel::{gemm_parallel_2d, split_ranges};
+use crate::sim::{GemmLayout, MacroOp, PackAPanelOp, PackBSliverOp, SimJob, ELEM};
+use crate::strategy::Strategy;
+
+/// The OpenBLAS-style implementation.
+#[derive(Debug, Clone)]
+pub struct OpenBlasStrategy {
+    engine: GotoEngine,
+}
+
+impl OpenBlasStrategy {
+    /// Build with Phytium-derived blocking.
+    pub fn new() -> Self {
+        OpenBlasStrategy {
+            engine: GotoEngine::with_profile(LibraryProfile::openblas()),
+        }
+    }
+
+    /// Access the underlying engine (tests, ablations).
+    pub fn engine(&self) -> &GotoEngine {
+        &self.engine
+    }
+}
+
+impl Default for OpenBlasStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> Strategy<S> for OpenBlasStrategy {
+    fn name(&self) -> &'static str {
+        "OpenBLAS"
+    }
+
+    fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            self.engine.gemm(alpha, a, b, beta, c);
+        } else {
+            // 2-D grid over C; OpenBLAS favours splitting M.
+            gemm_parallel_2d(&self.engine, threads, 1, alpha, a, b, beta, c);
+        }
+    }
+
+    fn sim(&self, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+        build_sim(&self.engine, m, n, k, threads)
+    }
+}
+
+/// Kernel macro-op for a (possibly edge) tile.
+#[allow(clippy::too_many_arguments)]
+fn kernel_op(
+    profile: &LibraryProfile,
+    it: &TileSpan,
+    jt: &TileSpan,
+    kc: usize,
+    a_base: u64,
+    b_base: u64,
+    c_base: u64,
+    c_col_stride: u64,
+) -> MacroOp {
+    let main = profile.main;
+    let is_main = it.kernel == main.mr() && jt.kernel == main.nr();
+    let desc = if is_main {
+        main
+    } else {
+        profile.edge_desc(it.kernel, jt.kernel)
+    };
+    MacroOp::Kernel(KernelTraceParams {
+        desc,
+        kc,
+        a_base,
+        a_kstep: (it.kernel as u64) * ELEM,
+        b_base,
+        b_kstep: (jt.kernel as u64) * ELEM,
+        b_jstride: ELEM,
+        c_base,
+        c_col_stride,
+        elem: ELEM,
+        phase: if is_main { Phase::Kernel } else { Phase::Edge },
+    })
+}
+
+fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) -> SimJob {
+    assert!(m > 0 && n > 0 && k > 0, "empty GEMM");
+    let threads = threads.max(1);
+    let profile = &engine.profile;
+    let bp = engine.blocking.clipped(m, n, k);
+    let (mr, nr) = (profile.main.mr(), profile.main.nr());
+    let mut lay = GemmLayout::for_threads(m, n, k, threads);
+
+    // Shared B̃ on panel 0; per-thread Ã on the thread's panel.
+    let bpack = lay.alloc_local(((bp.nc + nr) * bp.kc) as u64 * ELEM, 0);
+    let apack: Vec<u64> = (0..threads)
+        .map(|t| lay.alloc_local(((bp.mc + mr) * bp.kc) as u64 * ELEM, t))
+        .collect();
+
+    let row_ranges = split_ranges(m, threads);
+    let mut progs: Vec<Vec<MacroOp>> = vec![Vec::new(); threads];
+    let mut barrier_id = 0u32;
+    let mut barrier = |progs: &mut Vec<Vec<MacroOp>>| {
+        if threads > 1 {
+            barrier_id += 1;
+            for p in progs.iter_mut() {
+                p.push(MacroOp::Barrier { id: barrier_id, participants: threads });
+            }
+        }
+    };
+
+    let mut jj = 0;
+    while jj < n {
+        let nc_cur = bp.nc.min(n - jj);
+        let n_tiles = tile_dimension(nc_cur, nr, profile.edge, &profile.n_steps);
+        let mut kk = 0;
+        while kk < k {
+            let kc_cur = bp.kc.min(k - kk);
+            // Sliver offsets in the shared B̃.
+            let mut b_offs = Vec::with_capacity(n_tiles.len());
+            let mut off = 0u64;
+            for jt in &n_tiles {
+                b_offs.push(off);
+                off += (jt.kernel * kc_cur) as u64 * ELEM;
+            }
+            // Cooperative B packing: sliver s goes to thread s % threads.
+            for (s, jt) in n_tiles.iter().enumerate() {
+                progs[s % threads].push(MacroOp::PackB(PackBSliverOp {
+                    src: lay.b_addr(kk, jj + jt.offset),
+                    ldb: lay.ldb,
+                    kc: kc_cur,
+                    cols: jt.logical,
+                    pad_to: jt.kernel,
+                    dst: bpack + b_offs[s],
+                    phase: Phase::PackB,
+                    src_row_major: false,
+                }));
+            }
+            barrier(&mut progs);
+
+            for (t, &(i0, mt)) in row_ranges.iter().enumerate() {
+                if mt == 0 {
+                    continue;
+                }
+                let mut ii = 0;
+                while ii < mt {
+                    let mc_cur = bp.mc.min(mt - ii);
+                    let m_tiles = tile_dimension(mc_cur, mr, profile.edge, &profile.m_steps);
+                    let mut a_offs = Vec::with_capacity(m_tiles.len());
+                    let mut aoff = 0u64;
+                    for it in &m_tiles {
+                        a_offs.push(aoff);
+                        aoff += (it.kernel * kc_cur) as u64 * ELEM;
+                    }
+                    for (ti, it) in m_tiles.iter().enumerate() {
+                        progs[t].push(MacroOp::PackA(PackAPanelOp {
+                            src: lay.a_addr(i0 + ii + it.offset, kk),
+                            lda: lay.lda,
+                            rows: it.logical,
+                            kc: kc_cur,
+                            pad_to: it.kernel,
+                            dst: apack[t] + a_offs[ti],
+                            phase: Phase::PackA,
+                            src_row_major: false,
+                        }));
+                    }
+                    for (s, jt) in n_tiles.iter().enumerate() {
+                        for (ti, it) in m_tiles.iter().enumerate() {
+                            progs[t].push(kernel_op(
+                                profile,
+                                it,
+                                jt,
+                                kc_cur,
+                                apack[t] + a_offs[ti],
+                                bpack + b_offs[s],
+                                lay.c_addr(i0 + ii + it.offset, jj + jt.offset),
+                                lay.ldc,
+                            ));
+                        }
+                    }
+                    ii += mc_cur;
+                }
+            }
+            barrier(&mut progs);
+            kk += kc_cur;
+        }
+        jj += nc_cur;
+    }
+
+    SimJob {
+        programs: progs,
+        useful_flops: 2.0 * m as f64 * n as f64 * k as f64,
+        label: format!("OpenBLAS {m}x{n}x{k} t{threads}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+    use crate::naive::gemm_naive;
+    use smm_simarch::phase::Phase;
+
+    #[test]
+    fn native_matches_naive() {
+        let s = OpenBlasStrategy::new();
+        let a = Mat::<f32>::random(33, 21, 1);
+        let b = Mat::<f32>::random(21, 18, 2);
+        let mut c = Mat::<f32>::random(33, 18, 3);
+        let mut c_ref = c.clone();
+        Strategy::<f32>::gemm(&s, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut(), 1);
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 1.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn native_parallel_matches_naive() {
+        let s = OpenBlasStrategy::new();
+        let a = Mat::<f32>::random(40, 16, 4);
+        let b = Mat::<f32>::random(16, 24, 5);
+        let mut c = Mat::<f32>::zeros(40, 24);
+        let mut c_ref = c.clone();
+        Strategy::<f32>::gemm(&s, 2.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), 4);
+        gemm_naive(2.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn sim_program_covers_all_fmas() {
+        let s = OpenBlasStrategy::new();
+        let job = Strategy::<f32>::sim(&s, 32, 8, 16, 1);
+        let report = job.run();
+        // Loop FMAs: every (i,j,p) MAC vectorized by 4 plus C merges.
+        let min_fmas = (32 / 4) * 8 * 16;
+        assert!(report.total_fmas() >= min_fmas as u64);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn sim_single_thread_has_no_sync() {
+        let s = OpenBlasStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 24, 12, 8, 1).run();
+        assert_eq!(report.total_breakdown().get(Phase::Sync), 0);
+        assert!(report.total_breakdown().get(Phase::PackA) > 0);
+        assert!(report.total_breakdown().get(Phase::PackB) > 0);
+    }
+
+    #[test]
+    fn sim_edge_sizes_use_edge_phase() {
+        let s = OpenBlasStrategy::new();
+        // M=75: 4 full 16-row panels + 8+2+1 edges (paper's example).
+        let report = Strategy::<f32>::sim(&s, 75, 8, 16, 1).run();
+        assert!(report.total_breakdown().get(Phase::Edge) > 0);
+        // Aligned sizes have no edge work.
+        let aligned = Strategy::<f32>::sim(&s, 64, 8, 16, 1).run();
+        assert_eq!(aligned.total_breakdown().get(Phase::Edge), 0);
+    }
+
+    #[test]
+    fn sim_multithread_synchronizes() {
+        let s = OpenBlasStrategy::new();
+        let report = Strategy::<f32>::sim(&s, 64, 32, 16, 4).run();
+        assert_eq!(report.cores.len(), 4);
+        assert!(report.total_breakdown().get(Phase::Sync) > 0);
+    }
+
+    #[test]
+    fn small_m_with_many_threads_starves_cores() {
+        let s = OpenBlasStrategy::new();
+        // M=8 over 8 threads: one row each, all edge kernels.
+        let report = Strategy::<f32>::sim(&s, 8, 48, 32, 8).run();
+        let b = report.total_breakdown();
+        assert!(b.get(Phase::Edge) > b.get(Phase::Kernel));
+    }
+}

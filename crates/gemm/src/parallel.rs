@@ -1,0 +1,194 @@
+//! Native multi-threaded GEMM execution.
+//!
+//! Two decompositions, matching §III-D of the paper:
+//!
+//! * [`gemm_parallel_2d`] — the OpenBLAS/Eigen style: the task matrix
+//!   `C` is cut into an `m_ways × n_ways` grid and each thread runs the
+//!   full Goto engine on its block.
+//! * [`gemm_parallel_grid`] — the BLIS style: a multi-dimensional
+//!   [`ThreadGrid`] chosen at run time (small dimensions are not
+//!   parallelized); natively the `(jc·jr)` and `(ic·ir)` ways collapse
+//!   onto the N/M splits while the simulator models the full loop-level
+//!   behaviour.
+//!
+//! Threads accumulate into private blocks that are merged after the
+//! join, so no `unsafe` aliasing is needed; the merge touches each `C`
+//! element exactly once because the grid blocks are disjoint.
+
+use smm_kernels::Scalar;
+use smm_model::parallel::ThreadGrid;
+
+use crate::engine::GotoEngine;
+use crate::matrix::{Mat, MatMut, MatRef};
+use crate::naive::check_dims;
+
+/// Split `len` into `ways` near-equal contiguous chunks (first chunks
+/// get the remainder). Empty chunks are allowed when `ways > len`.
+pub fn split_ranges(len: usize, ways: usize) -> Vec<(usize, usize)> {
+    assert!(ways >= 1);
+    let base = len / ways;
+    let extra = len % ways;
+    let mut out = Vec::with_capacity(ways);
+    let mut start = 0;
+    for t in 0..ways {
+        let size = base + usize::from(t < extra);
+        out.push((start, size));
+        start += size;
+    }
+    out
+}
+
+/// `C = alpha·A·B + beta·C` over an `m_ways × n_ways` grid of threads.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel_2d<S: Scalar>(
+    engine: &GotoEngine,
+    m_ways: usize,
+    n_ways: usize,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let (m, k, n) = check_dims(&a, &b, &c.rb());
+    if m_ways * n_ways <= 1 || m == 0 || n == 0 {
+        engine.gemm(alpha, a, b, beta, c);
+        return;
+    }
+    c.scale(beta);
+    if k == 0 {
+        return;
+    }
+    let rows = split_ranges(m, m_ways);
+    let cols = split_ranges(n, n_ways);
+
+    // Each cell computes its block into a private matrix.
+    let mut cells: Vec<(usize, usize, Mat<S>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(i0, mt) in &rows {
+            for &(j0, nt) in &cols {
+                if mt == 0 || nt == 0 {
+                    continue;
+                }
+                let a_blk = a.block(i0, 0, mt, k);
+                let b_blk = b.block(0, j0, k, nt);
+                let engine = engine.clone();
+                handles.push(scope.spawn(move || {
+                    let mut local = Mat::<S>::zeros(mt, nt);
+                    engine.gemm(alpha, a_blk, b_blk, S::ZERO, local.as_mut());
+                    (i0, j0, local)
+                }));
+            }
+        }
+        for h in handles {
+            cells.push(h.join().expect("GEMM worker panicked"));
+        }
+    });
+    for (i0, j0, local) in cells {
+        for j in 0..local.cols() {
+            for i in 0..local.rows() {
+                let v = c.at(i0 + i, j0 + j) + local[(i, j)];
+                c.set(i0 + i, j0 + j, v);
+            }
+        }
+    }
+}
+
+/// BLIS-style execution of a multi-dimensional [`ThreadGrid`].
+pub fn gemm_parallel_grid<S: Scalar>(
+    engine: &GotoEngine,
+    grid: ThreadGrid,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    gemm_parallel_2d(engine, grid.m_ways(), grid.n_ways(), alpha, a, b, beta, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{blis_engine, openblas_engine};
+    use crate::naive::gemm_naive;
+
+    fn check_2d(m_ways: usize, n_ways: usize, m: usize, n: usize, k: usize) {
+        let e = openblas_engine();
+        let a = Mat::<f32>::random(m, k, 7);
+        let b = Mat::<f32>::random(k, n, 8);
+        let mut c = Mat::<f32>::random(m, n, 9);
+        let mut c_ref = c.clone();
+        gemm_parallel_2d(&e, m_ways, n_ways, 1.5, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        gemm_naive(1.5, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
+        let d = c.max_abs_diff(&c_ref);
+        assert!(d < 1e-3, "{m_ways}x{n_ways} grid on {m}x{n}x{k}: diff {d}");
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for ways in [1usize, 2, 3, 8] {
+                let r = split_ranges(len, ways);
+                assert_eq!(r.len(), ways);
+                let total: usize = r.iter().map(|&(_, s)| s).sum();
+                assert_eq!(total, len);
+                let mut pos = 0;
+                for &(start, size) in &r {
+                    assert_eq!(start, pos);
+                    pos += size;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_near_balanced() {
+        let r = split_ranges(10, 4);
+        let sizes: Vec<usize> = r.iter().map(|&(_, s)| s).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn parallel_matches_naive_square() {
+        check_2d(2, 2, 40, 40, 40);
+        check_2d(4, 1, 64, 16, 32);
+        check_2d(1, 4, 16, 64, 32);
+    }
+
+    #[test]
+    fn parallel_handles_irregular_and_overdecomposed() {
+        check_2d(3, 2, 17, 13, 9);
+        // More ways than rows: some threads get empty chunks.
+        check_2d(8, 1, 5, 20, 10);
+    }
+
+    #[test]
+    fn single_way_falls_back_to_engine() {
+        check_2d(1, 1, 30, 30, 30);
+    }
+
+    #[test]
+    fn grid_wrapper_uses_m_and_n_ways() {
+        let e = blis_engine();
+        let grid = ThreadGrid { jc: 2, ic: 2, jr: 1, ir: 1 };
+        let a = Mat::<f32>::random(24, 12, 1);
+        let b = Mat::<f32>::random(12, 36, 2);
+        let mut c = Mat::<f32>::zeros(24, 36);
+        let mut c_ref = c.clone();
+        gemm_parallel_grid(&e, grid, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn k_zero_scales_only() {
+        let e = openblas_engine();
+        let a = Mat::<f32>::zeros(8, 0);
+        let b = Mat::<f32>::zeros(0, 8);
+        let mut c = Mat::<f32>::from_fn(8, 8, |_, _| 4.0);
+        gemm_parallel_2d(&e, 2, 2, 1.0, a.as_ref(), b.as_ref(), 0.25, c.as_mut());
+        assert_eq!(c[(7, 7)], 1.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Simulation programs: per-core lists of macro-operations that expand
+//! lazily into instruction streams for the `smm-simarch` machine.
+//!
+//! A full GEMM trace can run to hundreds of millions of instructions;
+//! a [`MacroOp`] list is only as long as the number of packing panels,
+//! micro-tiles and barriers, and each op expands on demand inside
+//! [`ProgramSource::next_chunk`].
+
+use smm_kernels::trace_gen::{emit_kernel, KernelTraceParams};
+use smm_simarch::isa::{s, v, x, Inst};
+use smm_simarch::phase::Phase;
+use smm_simarch::trace::InstSource;
+
+/// Bytes per single-precision element (the simulated precision).
+pub const ELEM: u64 = 4;
+
+/// Packing of one `rows × kc` panel of `A` into an `mr`-row packed
+/// panel (zero-padded to `pad_to` rows).
+#[derive(Debug, Clone, Copy)]
+pub struct PackAPanelOp {
+    /// Address of `A(i0, p0)`.
+    pub src: u64,
+    /// Bytes between consecutive columns of `A`.
+    pub lda: u64,
+    /// Real rows to pack.
+    pub rows: usize,
+    /// Columns (k extent).
+    pub kc: usize,
+    /// Packed panel row count (>= rows; excess is zero-filled).
+    pub pad_to: usize,
+    /// Destination base address (contiguous `pad_to × kc`).
+    pub dst: u64,
+    /// Phase tag.
+    pub phase: Phase,
+    /// Are source rows contiguous (column-major A) or strided by `lda`
+    /// (row-major A, Eigen)?
+    pub src_row_major: bool,
+}
+
+/// Packing of one `kc × cols` sliver of `B` into an `nr`-column packed
+/// sliver (zero-padded to `pad_to` columns).
+#[derive(Debug, Clone, Copy)]
+pub struct PackBSliverOp {
+    /// Address of `B(p0, j0)`.
+    pub src: u64,
+    /// Bytes between consecutive columns of `B`.
+    pub ldb: u64,
+    /// k extent.
+    pub kc: usize,
+    /// Real columns to pack.
+    pub cols: usize,
+    /// Packed sliver column count.
+    pub pad_to: usize,
+    /// Destination base address (contiguous `kc × pad_to`).
+    pub dst: u64,
+    /// Phase tag.
+    pub phase: Phase,
+    /// Row-major `B` makes the gather contiguous (Eigen's cheap side).
+    pub src_row_major: bool,
+}
+
+/// One macro-operation of a simulated GEMM.
+#[derive(Debug, Clone, Copy)]
+pub enum MacroOp {
+    /// A micro-kernel invocation.
+    Kernel(KernelTraceParams),
+    /// Pack an `A` panel.
+    PackA(PackAPanelOp),
+    /// Pack a `B` sliver.
+    PackB(PackBSliverOp),
+    /// Synchronize `participants` cores on barrier `id`.
+    Barrier {
+        /// Machine-unique barrier id.
+        id: u32,
+        /// Number of cores that must arrive.
+        participants: usize,
+    },
+    /// Plain bookkeeping (loop setup, plan dispatch).
+    Iops {
+        /// Number of integer ops to emit.
+        n: usize,
+        /// Phase tag.
+        phase: Phase,
+    },
+}
+
+fn emit_pack_a(out: &mut Vec<Inst>, op: &PackAPanelOp) {
+    let full = op.rows / 4;
+    let rem = op.rows % 4;
+    let pad_vecs = op.pad_to.div_ceil(4);
+    for p in 0..op.kc {
+        let dst_col = op.dst + (p * op.pad_to) as u64 * ELEM;
+        if op.src_row_major {
+            // Row-major A: gathering a column means striding by `lda`.
+            for i in 0..op.rows {
+                out.push(Inst::ld_scalar(
+                    s((i % 16) as u8),
+                    op.src + i as u64 * op.lda + p as u64 * ELEM,
+                    op.phase,
+                ));
+            }
+            for i in 0..op.rows {
+                out.push(Inst::st_scalar(
+                    s((i % 16) as u8),
+                    dst_col + i as u64 * ELEM,
+                    op.phase,
+                ));
+            }
+            // Zero-fill padding rows.
+            for vi in op.rows.div_ceil(4)..pad_vecs {
+                out.push(Inst::st_vec(v(8), dst_col + (vi * 16) as u64, op.phase));
+            }
+        } else {
+            let src_col = op.src + p as u64 * op.lda;
+            for i in 0..full {
+                out.push(Inst::ld_vec(v((i % 8) as u8), src_col + (i * 16) as u64, op.phase));
+            }
+            for r in 0..rem {
+                out.push(Inst::ld_scalar(
+                    s(r as u8),
+                    src_col + (full * 16) as u64 + r as u64 * ELEM,
+                    op.phase,
+                ));
+            }
+            // Stores cover the padded width; the padding lanes reuse
+            // whatever is in the staging registers conceptually zeroed
+            // (cost-equivalent).
+            for vi in 0..pad_vecs {
+                out.push(Inst::st_vec(v((vi % 8) as u8), dst_col + (vi * 16) as u64, op.phase));
+            }
+        }
+        out.push(Inst::iop(x(0), op.phase));
+        out.push(Inst::branch(op.phase));
+    }
+}
+
+fn emit_pack_b(out: &mut Vec<Inst>, op: &PackBSliverOp) {
+    let pad_vecs = op.pad_to.div_ceil(4);
+    for p in 0..op.kc {
+        let dst_row = op.dst + (p * op.pad_to) as u64 * ELEM;
+        if op.src_row_major {
+            // Row-major B: row p's columns are contiguous.
+            let src_row = op.src + p as u64 * op.ldb;
+            for jv in 0..op.cols.div_ceil(4) {
+                out.push(Inst::ld_vec(v((jv % 8) as u8), src_row + (jv * 16) as u64, op.phase));
+            }
+        } else {
+            // Column-major B: gathering row p strides by `ldb` — the
+            // expensive scalar gather that makes PackB dominate
+            // (Table II).
+            for j in 0..op.cols {
+                out.push(Inst::ld_scalar(
+                    s((j % 16) as u8),
+                    op.src + j as u64 * op.ldb + p as u64 * ELEM,
+                    op.phase,
+                ));
+            }
+        }
+        for vi in 0..pad_vecs {
+            out.push(Inst::st_vec(v((vi % 8) as u8), dst_row + (vi * 16) as u64, op.phase));
+        }
+        out.push(Inst::iop(x(0), op.phase));
+        out.push(Inst::branch(op.phase));
+    }
+}
+
+/// Expand one macro-op into instructions.
+pub fn expand(out: &mut Vec<Inst>, op: &MacroOp) {
+    match op {
+        MacroOp::Kernel(p) => emit_kernel(out, p),
+        MacroOp::PackA(p) => emit_pack_a(out, p),
+        MacroOp::PackB(p) => emit_pack_b(out, p),
+        MacroOp::Barrier { id, participants } => out.push(Inst::barrier(*id, *participants)),
+        MacroOp::Iops { n, phase } => {
+            for _ in 0..*n {
+                out.push(Inst::iop(x(1), *phase));
+            }
+        }
+    }
+}
+
+/// Simulated-address layout of one GEMM's operands.
+///
+/// Shared matrices are homed on NUMA panel 0 (first-touch by the master
+/// thread), which is exactly the asymmetry the paper blames for part of
+/// the multi-threaded kernel-efficiency loss; per-thread packed buffers
+/// are allocated on each thread's own panel via [`GemmLayout::alloc_local`].
+pub struct GemmLayout {
+    /// Problem shape.
+    pub m: usize,
+    /// Columns of `C` / `B`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Base address of `A`.
+    pub a: u64,
+    /// Base address of `B`.
+    pub b: u64,
+    /// Base address of `C`.
+    pub c: u64,
+    /// Column stride of `A` in bytes.
+    pub lda: u64,
+    /// Column stride of `B` in bytes.
+    pub ldb: u64,
+    /// Column stride of `C` in bytes.
+    pub ldc: u64,
+    alloc: smm_simarch::memory::SimAlloc,
+}
+
+impl GemmLayout {
+    /// Column-major operands on panel 0 (single-threaded runs: local to
+    /// core 0, the first-touch placement).
+    pub fn col_major(m: usize, n: usize, k: usize) -> Self {
+        let mut alloc = smm_simarch::memory::SimAlloc::new(8);
+        let a = alloc.alloc_on((m * k) as u64 * ELEM, 0);
+        let b = alloc.alloc_on((k * n) as u64 * ELEM, 0);
+        let c = alloc.alloc_on((m * n) as u64 * ELEM, 0);
+        GemmLayout {
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            lda: m as u64 * ELEM,
+            ldb: k as u64 * ELEM,
+            ldc: m as u64 * ELEM,
+            alloc,
+        }
+    }
+
+    /// Column-major operands page-interleaved across the 8 panels —
+    /// the placement a multi-threaded application gets from parallel
+    /// initialization or `numactl --interleave`, spreading DRAM channel
+    /// load. Used for multi-threaded simulations.
+    pub fn col_major_interleaved(m: usize, n: usize, k: usize) -> Self {
+        let mut alloc = smm_simarch::memory::SimAlloc::new(8);
+        let a = alloc.alloc_interleaved((m * k) as u64 * ELEM);
+        let b = alloc.alloc_interleaved((k * n) as u64 * ELEM);
+        let c = alloc.alloc_interleaved((m * n) as u64 * ELEM);
+        GemmLayout {
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            lda: m as u64 * ELEM,
+            ldb: k as u64 * ELEM,
+            ldc: m as u64 * ELEM,
+            alloc,
+        }
+    }
+
+    /// Layout appropriate for a thread count: panel-0 local when
+    /// single-threaded, page-interleaved otherwise.
+    pub fn for_threads(m: usize, n: usize, k: usize, threads: usize) -> Self {
+        if threads <= 1 {
+            Self::col_major(m, n, k)
+        } else {
+            Self::col_major_interleaved(m, n, k)
+        }
+    }
+
+    /// Address of `A(i, p)` (column-major).
+    pub fn a_addr(&self, i: usize, p: usize) -> u64 {
+        self.a + p as u64 * self.lda + i as u64 * ELEM
+    }
+
+    /// Address of `B(p, j)` (column-major).
+    pub fn b_addr(&self, p: usize, j: usize) -> u64 {
+        self.b + j as u64 * self.ldb + p as u64 * ELEM
+    }
+
+    /// Address of `C(i, j)` (column-major).
+    pub fn c_addr(&self, i: usize, j: usize) -> u64 {
+        self.c + j as u64 * self.ldc + i as u64 * ELEM
+    }
+
+    /// Allocate a per-thread buffer on the NUMA panel local to `core`
+    /// (8 cores per panel).
+    pub fn alloc_local(&mut self, bytes: u64, core: usize) -> u64 {
+        self.alloc.alloc_on(bytes, (core / 8) % 8)
+    }
+}
+
+/// An [`InstSource`] over a macro-op program.
+pub struct ProgramSource {
+    ops: std::vec::IntoIter<MacroOp>,
+}
+
+impl ProgramSource {
+    /// Wrap a per-core program.
+    pub fn new(ops: Vec<MacroOp>) -> Self {
+        ProgramSource { ops: ops.into_iter() }
+    }
+}
+
+impl InstSource for ProgramSource {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        let before = out.len();
+        // Expand ops until the chunk is non-trivial (barriers expand to
+        // a single instruction; keep them in their own chunk is fine).
+        for op in self.ops.by_ref() {
+            expand(out, &op);
+            if out.len() > before || matches!(op, MacroOp::Barrier { .. }) {
+                break;
+            }
+        }
+        out.len() > before
+    }
+}
+
+/// A complete simulated GEMM job: one program per core plus metadata.
+pub struct SimJob {
+    /// Per-core macro programs (length = simulated thread count).
+    pub programs: Vec<Vec<MacroOp>>,
+    /// Useful flops (`2·M·N·K`), excluding padding waste.
+    pub useful_flops: f64,
+    /// Human-readable label.
+    pub label: String,
+}
+
+impl SimJob {
+    /// Run the job on the stock Phytium 2000+ model.
+    pub fn run(self) -> smm_simarch::machine::SimReport {
+        self.run_on(
+            smm_simarch::cpu::PipelineConfig::phytium_core(),
+            smm_simarch::memory::MemConfig::phytium_2000_plus(),
+        )
+    }
+
+    /// Run the job on a modified machine (architecture ablations:
+    /// replacement policy, prefetcher, DRAM bandwidth, pipeline widths).
+    pub fn run_on(
+        self,
+        pipeline: smm_simarch::cpu::PipelineConfig,
+        mem: smm_simarch::memory::MemConfig,
+    ) -> smm_simarch::machine::SimReport {
+        use smm_simarch::machine::Machine;
+        let sources: Vec<Box<dyn InstSource>> = self
+            .programs
+            .into_iter()
+            .map(|p| Box::new(ProgramSource::new(p)) as Box<dyn InstSource>)
+            .collect();
+        let mut machine = Machine::new(pipeline, mem, sources);
+        machine.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_simarch::isa::Op;
+    use smm_simarch::trace::collect_source;
+
+    #[test]
+    fn pack_a_col_major_uses_vector_loads() {
+        let op = MacroOp::PackA(PackAPanelOp {
+            src: 0x1000,
+            lda: 256,
+            rows: 16,
+            kc: 8,
+            pad_to: 16,
+            dst: 0x8000,
+            phase: Phase::PackA,
+            src_row_major: false,
+        });
+        let insts = collect_source(ProgramSource::new(vec![op]));
+        let loads = insts.iter().filter(|i| i.op == Op::LdVec).count();
+        let stores = insts.iter().filter(|i| i.op == Op::StVec).count();
+        assert_eq!(loads, 4 * 8);
+        assert_eq!(stores, 4 * 8);
+    }
+
+    #[test]
+    fn pack_b_col_major_gathers_scalars() {
+        let op = MacroOp::PackB(PackBSliverOp {
+            src: 0x1000,
+            ldb: 512,
+            kc: 8,
+            cols: 4,
+            pad_to: 4,
+            dst: 0x8000,
+            phase: Phase::PackB,
+            src_row_major: false,
+        });
+        let insts = collect_source(ProgramSource::new(vec![op]));
+        let scalar_loads = insts.iter().filter(|i| i.op == Op::LdScalar).count();
+        assert_eq!(scalar_loads, 4 * 8, "one strided scalar load per element");
+    }
+
+    #[test]
+    fn pack_b_row_major_is_vectorized() {
+        let op = MacroOp::PackB(PackBSliverOp {
+            src: 0x1000,
+            ldb: 512,
+            kc: 8,
+            cols: 8,
+            pad_to: 8,
+            dst: 0x8000,
+            phase: Phase::PackB,
+            src_row_major: true,
+        });
+        let insts = collect_source(ProgramSource::new(vec![op]));
+        assert_eq!(insts.iter().filter(|i| i.op == Op::LdVec).count(), 2 * 8);
+        assert_eq!(insts.iter().filter(|i| i.op == Op::LdScalar).count(), 0);
+    }
+
+    #[test]
+    fn padding_emits_extra_stores_without_loads() {
+        let op = MacroOp::PackA(PackAPanelOp {
+            src: 0x1000,
+            lda: 64,
+            rows: 3,
+            kc: 2,
+            pad_to: 8,
+            dst: 0x8000,
+            phase: Phase::PackA,
+            src_row_major: false,
+        });
+        let insts = collect_source(ProgramSource::new(vec![op]));
+        let stores = insts.iter().filter(|i| i.op == Op::StVec).count();
+        assert_eq!(stores, 2 * 2, "padded width 8 = 2 vector stores per column");
+    }
+
+    #[test]
+    fn program_source_streams_all_ops() {
+        let ops = vec![
+            MacroOp::Iops { n: 3, phase: Phase::Overhead },
+            MacroOp::Barrier { id: 1, participants: 1 },
+            MacroOp::Iops { n: 2, phase: Phase::Overhead },
+        ];
+        let insts = collect_source(ProgramSource::new(ops));
+        assert_eq!(insts.len(), 6);
+        assert!(matches!(insts[3].op, Op::Barrier(1)));
+    }
+
+    #[test]
+    fn pack_addresses_walk_the_source() {
+        let op = MacroOp::PackB(PackBSliverOp {
+            src: 0,
+            ldb: 400,
+            kc: 3,
+            cols: 2,
+            pad_to: 4,
+            dst: 0x8000,
+            phase: Phase::PackB,
+            src_row_major: false,
+        });
+        let insts = collect_source(ProgramSource::new(vec![op]));
+        let addrs: Vec<u64> = insts
+            .iter()
+            .filter(|i| i.op == Op::LdScalar)
+            .map(|i| i.addr)
+            .collect();
+        // p=0: j=0 -> 0, j=1 -> 400; p=1: 4, 404; p=2: 8, 408.
+        assert_eq!(addrs, vec![0, 400, 4, 404, 8, 408]);
+    }
+}

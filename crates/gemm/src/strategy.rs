@@ -1,0 +1,45 @@
+//! The common interface of the four library strategies.
+
+use smm_kernels::Scalar;
+
+use crate::matrix::{MatMut, MatRef};
+use crate::sim::SimJob;
+
+/// A GEMM implementation strategy, runnable natively (real arithmetic
+/// on the host) and as a simulation program (cycle accounting on the
+/// Phytium 2000+ model).
+pub trait Strategy<S: Scalar>: Send + Sync {
+    /// Library name as in the paper.
+    fn name(&self) -> &'static str;
+
+    /// Does the strategy provide multi-threaded SMM routines?
+    /// (BLASFEO does not — §II-C.)
+    fn supports_threads(&self) -> bool {
+        true
+    }
+
+    /// `C = alpha·A·B + beta·C` on the host with `threads` threads.
+    fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        threads: usize,
+    );
+
+    /// Build the simulation program for an `m × n × k` single-precision
+    /// GEMM on `threads` simulated cores.
+    fn sim(&self, m: usize, n: usize, k: usize, threads: usize) -> SimJob;
+}
+
+/// All four strategies, in the paper's order.
+pub fn all_strategies<S: Scalar>() -> Vec<Box<dyn Strategy<S>>> {
+    vec![
+        Box::new(crate::openblas::OpenBlasStrategy::new()),
+        Box::new(crate::blis::BlisStrategy::new()),
+        Box::new(crate::blasfeo::BlasfeoStrategy::new()),
+        Box::new(crate::eigen::EigenStrategy::new()),
+    ]
+}

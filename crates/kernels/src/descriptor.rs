@@ -1,0 +1,109 @@
+//! Micro-kernel descriptors: shape + code-generation style.
+//!
+//! A [`MicroKernelDesc`] captures everything Table I of the paper lists
+//! per library: the register-tile shape `mr × nr`, the loop unrolling
+//! factor, the instruction-scheduling style of the (hand-written or
+//! compiler-generated) inner loop, and how the `B` operand is staged.
+
+use smm_model::KernelShape;
+
+/// How the inner-loop instructions are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Software-pipelined, double-buffered operand staging: loads for
+    /// iteration `k+1` are interleaved between the FMAs of iteration
+    /// `k` (OpenBLAS/BLIS/BLASFEO main kernels).
+    Interleaved,
+    /// Straight-line: all operand loads clustered immediately before
+    /// the FMAs that consume them, single-buffered (the inefficient
+    /// OpenBLAS *edge* kernels of Fig. 7).
+    Naive,
+    /// Compiler-generated (Eigen): like `Naive` but with scalar `B`
+    /// loads (no `ldp` pairing) and extra address arithmetic.
+    Compiler,
+}
+
+/// How the `B` sliver is brought into registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BLoadStyle {
+    /// `ldp s, s` pairs — packed-`B̃` layouts in OpenBLAS/BLIS.
+    ScalarPairs,
+    /// Full 128-bit vector loads with lane-indexed FMAs — BLASFEO's
+    /// panel-major layout.
+    Vector,
+    /// Individual scalar loads — Eigen's compiler-generated code.
+    Scalars,
+}
+
+/// A complete micro-kernel description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroKernelDesc {
+    /// Register-tile shape.
+    pub shape: KernelShape,
+    /// Inner-loop unrolling factor (Table I: 8 for OpenBLAS, 4 for
+    /// BLIS/BLASFEO, 1 for Eigen).
+    pub unroll: usize,
+    /// Instruction scheduling style.
+    pub policy: SchedulePolicy,
+    /// `B` staging style.
+    pub b_load: BLoadStyle,
+}
+
+impl MicroKernelDesc {
+    /// Construct, validating against the Eq. 4 register constraint for
+    /// single precision (4 lanes, 32 registers, 2 spare).
+    pub fn new(mr: usize, nr: usize, unroll: usize, policy: SchedulePolicy, b_load: BLoadStyle) -> Self {
+        let shape = KernelShape::new(mr, nr);
+        assert!(unroll >= 1, "unroll factor must be at least 1");
+        assert!(
+            shape.satisfies_register_constraint(4, 32, 2),
+            "{mr}x{nr} violates the Eq. 4 register constraint"
+        );
+        MicroKernelDesc {
+            shape,
+            unroll,
+            policy,
+            b_load,
+        }
+    }
+
+    /// Rows of the register tile.
+    pub fn mr(&self) -> usize {
+        self.shape.mr
+    }
+
+    /// Columns of the register tile.
+    pub fn nr(&self) -> usize {
+        self.shape.nr
+    }
+
+    /// MACs performed per k-iteration.
+    pub fn macs_per_k(&self) -> usize {
+        self.mr() * self.nr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_eq4() {
+        let d = MicroKernelDesc::new(8, 12, 4, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs);
+        assert_eq!(d.mr(), 8);
+        assert_eq!(d.nr(), 12);
+        assert_eq!(d.macs_per_k(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. 4")]
+    fn oversized_tile_rejected() {
+        MicroKernelDesc::new(16, 8, 4, SchedulePolicy::Naive, BLoadStyle::ScalarPairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll")]
+    fn zero_unroll_rejected() {
+        MicroKernelDesc::new(8, 8, 0, SchedulePolicy::Naive, BLoadStyle::ScalarPairs);
+    }
+}

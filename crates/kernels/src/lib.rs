@@ -1,0 +1,28 @@
+//! Micro-kernel framework for small-scale GEMM.
+//!
+//! Three views of the same micro-kernel concept:
+//!
+//! * [`native`] — host-executed const-generic register-tile kernels
+//!   (real arithmetic, validated against a reference triple loop);
+//! * [`trace_gen`] — ARMv8-like instruction streams for the
+//!   `smm-simarch` Phytium 2000+ model, parameterized by the scheduling
+//!   policies the paper contrasts (Fig. 7);
+//! * [`registry`] — the per-library kernel configurations of Table I
+//!   and the edge-case decomposition machinery of §III-B.
+//!
+//! The element type abstraction lives in [`scalar`]; kernel shape
+//! metadata in [`descriptor`].
+
+#![deny(missing_docs)]
+
+pub mod descriptor;
+pub mod native;
+pub mod registry;
+pub mod scalar;
+pub mod trace_gen;
+
+pub use descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+pub use native::{Kernel, KernelFn};
+pub use registry::{EdgeStrategy, LibraryProfile, TileSpan};
+pub use scalar::Scalar;
+pub use trace_gen::{emit_kernel, kernel_trace, KernelTraceParams};

@@ -1,0 +1,276 @@
+//! Per-library kernel profiles (Table I of the paper) and edge-case
+//! decomposition.
+//!
+//! | | OpenBLAS | BLIS | BLASFEO | Eigen |
+//! |---|---|---|---|---|
+//! | assembly layers | 4–7 | 6–7 | 6–7 | none |
+//! | unroll | 8 | 4 | 4 | 1 |
+//! | `mr × nr` | 16×4, 8×8, 4×4 | 8×12 | 16×4, 8×8 | 12×4 |
+//!
+//! Edge handling differs (§III-B): OpenBLAS composes smaller *edge
+//! micro-kernels* (with the naive scheduling of Fig. 7); BLIS and
+//! BLASFEO zero-pad the packed operands up to the register tile.
+
+use smm_model::KernelShape;
+
+use crate::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+
+/// How a library processes M/N remainders that don't fill the tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeStrategy {
+    /// Dedicated smaller micro-kernels over the exact remainder.
+    EdgeKernels,
+    /// Zero-pad the packed buffer up to the full tile and waste the
+    /// extra flops.
+    Padding,
+}
+
+/// A library's kernel configuration.
+#[derive(Debug, Clone)]
+pub struct LibraryProfile {
+    /// Library name.
+    pub name: &'static str,
+    /// The preferred main micro-kernel.
+    pub main: MicroKernelDesc,
+    /// Alternative main-kernel shapes the library ships.
+    pub alternates: Vec<KernelShape>,
+    /// Edge handling strategy.
+    pub edge: EdgeStrategy,
+    /// Scheduling of edge kernels (OpenBLAS edge kernels are *not*
+    /// carefully scheduled — Fig. 7).
+    pub edge_policy: SchedulePolicy,
+    /// Steps available for decomposing an M remainder.
+    pub m_steps: Vec<usize>,
+    /// Steps available for decomposing an N remainder.
+    pub n_steps: Vec<usize>,
+}
+
+impl LibraryProfile {
+    /// OpenBLAS on ARMv8: 16×4 assembly kernel, unroll 8, edge kernels.
+    pub fn openblas() -> Self {
+        LibraryProfile {
+            name: "OpenBLAS",
+            main: MicroKernelDesc::new(16, 4, 8, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs),
+            alternates: vec![KernelShape::new(8, 8), KernelShape::new(4, 4)],
+            edge: EdgeStrategy::EdgeKernels,
+            edge_policy: SchedulePolicy::Naive,
+            m_steps: vec![16, 8, 4, 2, 1],
+            n_steps: vec![4, 2, 1],
+        }
+    }
+
+    /// BLIS on ARMv8: 8×12 kernel, unroll 4, zero padding.
+    pub fn blis() -> Self {
+        LibraryProfile {
+            name: "BLIS",
+            main: MicroKernelDesc::new(8, 12, 4, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs),
+            alternates: vec![],
+            edge: EdgeStrategy::Padding,
+            edge_policy: SchedulePolicy::Interleaved,
+            m_steps: vec![8],
+            n_steps: vec![12],
+        }
+    }
+
+    /// BLASFEO: panel-major operands, 16×4/8×8 kernels with vector `B`
+    /// loads, unroll 4, padding to the panel size `ps = 4`.
+    pub fn blasfeo() -> Self {
+        LibraryProfile {
+            name: "BLASFEO",
+            main: MicroKernelDesc::new(16, 4, 4, SchedulePolicy::Interleaved, BLoadStyle::Vector),
+            alternates: vec![KernelShape::new(8, 8)],
+            edge: EdgeStrategy::Padding,
+            edge_policy: SchedulePolicy::Interleaved,
+            m_steps: vec![16, 8],
+            n_steps: vec![4],
+        }
+    }
+
+    /// Eigen: compiler-generated 12×4 tile, unroll 1, scalar edges.
+    pub fn eigen() -> Self {
+        LibraryProfile {
+            name: "Eigen",
+            main: MicroKernelDesc::new(12, 4, 1, SchedulePolicy::Compiler, BLoadStyle::Scalars),
+            alternates: vec![],
+            edge: EdgeStrategy::EdgeKernels,
+            edge_policy: SchedulePolicy::Compiler,
+            m_steps: vec![12, 8, 4, 2, 1],
+            n_steps: vec![4, 2, 1],
+        }
+    }
+
+    /// All four profiles, in the paper's order.
+    pub fn all() -> Vec<LibraryProfile> {
+        vec![Self::openblas(), Self::blis(), Self::blasfeo(), Self::eigen()]
+    }
+
+    /// The descriptor for an edge tile of `mr_e × nr_e`.
+    pub fn edge_desc(&self, mr_e: usize, nr_e: usize) -> MicroKernelDesc {
+        MicroKernelDesc::new(
+            mr_e,
+            nr_e,
+            // Edge kernels are typically not unrolled.
+            if self.edge_policy == SchedulePolicy::Interleaved { self.main.unroll } else { 1 },
+            self.edge_policy,
+            self.main.b_load,
+        )
+    }
+}
+
+/// Greedily decompose `len` into the available `steps` (descending).
+/// The final entries may repeat the smallest step.
+pub fn decompose_greedy(len: usize, steps: &[usize]) -> Vec<usize> {
+    assert!(!steps.is_empty(), "need at least one step size");
+    assert!(steps.windows(2).all(|w| w[0] > w[1]), "steps must be strictly descending");
+    assert_eq!(*steps.last().unwrap(), 1, "steps must end with 1 to cover any length");
+    let mut out = Vec::new();
+    let mut rest = len;
+    for &s in steps {
+        while rest >= s {
+            out.push(s);
+            rest -= s;
+        }
+    }
+    out
+}
+
+/// One tile along a dimension: `(offset, logical_size, kernel_size)`.
+/// With padding, `kernel_size` may exceed `logical_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSpan {
+    /// Start index in the dimension.
+    pub offset: usize,
+    /// Rows/columns of real data.
+    pub logical: usize,
+    /// Rows/columns the kernel actually computes.
+    pub kernel: usize,
+}
+
+/// Tile a dimension of `len` with primary step `step`, handling the
+/// remainder per the edge strategy.
+pub fn tile_dimension(len: usize, step: usize, edge: EdgeStrategy, steps: &[usize]) -> Vec<TileSpan> {
+    assert!(len > 0 && step > 0);
+    let mut tiles = Vec::new();
+    let full = len / step;
+    for t in 0..full {
+        tiles.push(TileSpan {
+            offset: t * step,
+            logical: step,
+            kernel: step,
+        });
+    }
+    let rem = len - full * step;
+    if rem > 0 {
+        match edge {
+            EdgeStrategy::Padding => tiles.push(TileSpan {
+                offset: full * step,
+                logical: rem,
+                kernel: step,
+            }),
+            EdgeStrategy::EdgeKernels => {
+                let mut off = full * step;
+                for part in decompose_greedy(rem, steps) {
+                    tiles.push(TileSpan {
+                        offset: off,
+                        logical: part,
+                        kernel: part,
+                    });
+                    off += part;
+                }
+            }
+        }
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_configurations() {
+        let ob = LibraryProfile::openblas();
+        assert_eq!((ob.main.mr(), ob.main.nr(), ob.main.unroll), (16, 4, 8));
+        let blis = LibraryProfile::blis();
+        assert_eq!((blis.main.mr(), blis.main.nr(), blis.main.unroll), (8, 12, 4));
+        let feo = LibraryProfile::blasfeo();
+        assert_eq!((feo.main.mr(), feo.main.nr(), feo.main.unroll), (16, 4, 4));
+        assert_eq!(feo.main.b_load, BLoadStyle::Vector);
+        let eig = LibraryProfile::eigen();
+        assert_eq!((eig.main.mr(), eig.main.nr(), eig.main.unroll), (12, 4, 1));
+        assert_eq!(eig.main.policy, SchedulePolicy::Compiler);
+    }
+
+    #[test]
+    fn paper_example_edge_decomposition() {
+        // §III-B: M remainder 11 with nr=4 uses 8x4 + 2x4 + 1x4.
+        assert_eq!(decompose_greedy(11, &[16, 8, 4, 2, 1]), vec![8, 2, 1]);
+    }
+
+    #[test]
+    fn decomposition_sums_to_length() {
+        for len in 1..100 {
+            let parts = decompose_greedy(len, &[16, 8, 4, 2, 1]);
+            assert_eq!(parts.iter().sum::<usize>(), len);
+        }
+    }
+
+    #[test]
+    fn tiling_with_edge_kernels_is_exact() {
+        let tiles = tile_dimension(75, 16, EdgeStrategy::EdgeKernels, &[16, 8, 4, 2, 1]);
+        let covered: usize = tiles.iter().map(|t| t.logical).sum();
+        assert_eq!(covered, 75);
+        assert!(tiles.iter().all(|t| t.logical == t.kernel));
+        // 4 full tiles of 16, then 8 + 2 + 1.
+        assert_eq!(tiles.len(), 7);
+    }
+
+    #[test]
+    fn tiling_with_padding_rounds_up() {
+        let tiles = tile_dimension(75, 8, EdgeStrategy::Padding, &[8]);
+        assert_eq!(tiles.len(), 10);
+        let last = tiles.last().unwrap();
+        assert_eq!(last.logical, 3);
+        assert_eq!(last.kernel, 8);
+        // Wasted rows: 8 - 3 = 5.
+        let computed: usize = tiles.iter().map(|t| t.kernel).sum();
+        assert_eq!(computed, 80);
+    }
+
+    #[test]
+    fn exact_multiples_have_no_edge_tiles() {
+        let tiles = tile_dimension(80, 16, EdgeStrategy::EdgeKernels, &[16, 8, 4, 2, 1]);
+        assert_eq!(tiles.len(), 5);
+        assert!(tiles.iter().all(|t| t.kernel == 16));
+    }
+
+    #[test]
+    fn offsets_are_contiguous() {
+        for strategy in [EdgeStrategy::EdgeKernels, EdgeStrategy::Padding] {
+            let tiles = tile_dimension(93, 16, strategy, &[16, 8, 4, 2, 1]);
+            let mut expect = 0;
+            for t in &tiles {
+                assert_eq!(t.offset, expect);
+                expect += t.logical;
+            }
+            assert_eq!(expect, 93);
+        }
+    }
+
+    #[test]
+    fn edge_descriptors_use_library_policy() {
+        let ob = LibraryProfile::openblas();
+        let e = ob.edge_desc(2, 4);
+        assert_eq!(e.policy, SchedulePolicy::Naive);
+        assert_eq!(e.unroll, 1);
+        let blis = LibraryProfile::blis();
+        let b = blis.edge_desc(8, 12);
+        assert_eq!(b.policy, SchedulePolicy::Interleaved);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn unsorted_steps_rejected() {
+        decompose_greedy(5, &[4, 8, 1]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The element-type abstraction.
+//!
+//! Everything numeric in this repository is generic over [`Scalar`],
+//! instantiated for `f32` (the paper's primary precision — its formulas
+//! use `sizeof(float)`) and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A floating-point element type usable in GEMM kernels.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Element size in bytes.
+    const BYTES: usize;
+
+    /// `self + a * b` (the kernel's multiply-accumulate; not required
+    /// to be fused).
+    #[inline(always)]
+    fn madd(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+
+    /// Convert from `f64` (for test data and tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Convert to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// SIMD lanes in a 128-bit vector register.
+    fn lanes() -> usize {
+        16 / Self::BYTES
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_per_register() {
+        assert_eq!(<f32 as Scalar>::lanes(), 4);
+        assert_eq!(<f64 as Scalar>::lanes(), 2);
+    }
+
+    #[test]
+    fn madd_matches_mul_add() {
+        let acc: f32 = 1.5;
+        assert_eq!(acc.madd(2.0, 3.0), 7.5);
+        let acc64: f64 = -1.0;
+        assert_eq!(acc64.madd(0.5, 4.0), 1.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f32::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(f64::from_f64(-3.25), -3.25);
+    }
+}

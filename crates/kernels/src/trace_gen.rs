@@ -1,0 +1,500 @@
+//! ARMv8-like instruction-trace generation for micro-kernels.
+//!
+//! Given a [`MicroKernelDesc`] and concrete operand addresses, emits
+//! the instruction stream a hand-written (or compiler-generated) kernel
+//! would execute on Phytium 2000+, in the style of the paper's Fig. 7:
+//! `ldr q` / `ldp s` operand staging, `fmla` rank-1 updates, the
+//! `C`-block load/merge/store epilogue of Algorithm 1, and loop
+//! overhead every `unroll` iterations.
+//!
+//! The three [`SchedulePolicy`] variants reproduce the paper's
+//! observations: `Interleaved` double-buffers operands and spreads
+//! loads between FMAs; `Naive` clusters loads immediately before their
+//! consumers with single-buffered registers (the inefficient OpenBLAS
+//! edge kernels); `Compiler` additionally pays per-load address
+//! arithmetic and unpaired scalar `B` loads (Eigen).
+
+use smm_simarch::isa::{s, v, Inst, Reg};
+use smm_simarch::phase::Phase;
+
+use crate::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+
+/// Addresses and strides for one micro-kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTraceParams {
+    /// Kernel description.
+    pub desc: MicroKernelDesc,
+    /// Depth of the k-loop.
+    pub kc: usize,
+    /// Base address of the packed `A` sliver.
+    pub a_base: u64,
+    /// Bytes between consecutive k-iterations of the `A` sliver
+    /// (`mr * elem` when packed contiguously).
+    pub a_kstep: u64,
+    /// Base address of the packed `B` sliver.
+    pub b_base: u64,
+    /// Bytes between consecutive k-iterations of the `B` sliver.
+    pub b_kstep: u64,
+    /// Bytes between the `nr` B elements *within* one k-iteration.
+    /// Equal to `elem` for packed/panel-major B (enables `ldp`/vector
+    /// loads); set to `ldb` for the packing-optional direct-B path,
+    /// which forces per-element scalar gathers (§IV trade-off).
+    pub b_jstride: u64,
+    /// Address of `C(0,0)` for this tile.
+    pub c_base: u64,
+    /// Bytes between consecutive columns of `C`.
+    pub c_col_stride: u64,
+    /// Element size in bytes (4 for f32).
+    pub elem: u64,
+    /// Phase tag for every emitted instruction.
+    pub phase: Phase,
+}
+
+struct RegPlan {
+    lanes: usize,
+    mra: usize,    // vector registers per A buffer (ceil(mr/lanes))
+    nrv: usize,    // vector registers per B buffer when vector-loaded
+    acc: Vec<Reg>, // mra * nr accumulators
+    a_buf: [u8; 2],
+    b_buf: [u8; 2],
+    alpha: Reg,
+}
+
+fn plan_registers(p: &KernelTraceParams) -> RegPlan {
+    let lanes = (16 / p.elem) as usize;
+    let mr = p.desc.mr();
+    let nr = p.desc.nr();
+    let mra = mr.div_ceil(lanes);
+    let nrv = nr.div_ceil(lanes);
+    let n_acc = mra * nr;
+    assert!(n_acc <= 30, "accumulator tile {mr}x{nr} needs {n_acc} > 30 registers");
+    let acc: Vec<Reg> = (0..n_acc).map(|i| v((31 - i) as u8)).collect();
+    // A buffers occupy v0..; vector-B buffers follow them.
+    let a_buf = [0u8, mra as u8];
+    let b_buf = match p.desc.b_load {
+        BLoadStyle::Vector => [(2 * mra) as u8, (2 * mra + nrv) as u8],
+        // Compiler-generated code broadcasts each B scalar into its own
+        // vector register.
+        BLoadStyle::Scalars => [(2 * mra) as u8, (2 * mra + nr) as u8],
+        BLoadStyle::ScalarPairs => [0u8, nr as u8], // scalar register file
+    };
+    let budget = 2 * mra
+        + match p.desc.b_load {
+            BLoadStyle::Vector => 2 * nrv,
+            BLoadStyle::Scalars => 2 * nr,
+            BLoadStyle::ScalarPairs => 0,
+        };
+    assert!(
+        n_acc + budget <= 32,
+        "register plan for {mr}x{nr} overflows the vector file"
+    );
+    RegPlan {
+        lanes,
+        mra,
+        nrv,
+        acc,
+        a_buf,
+        b_buf,
+        alpha: s(31),
+    }
+}
+
+impl RegPlan {
+    fn acc_reg(&self, i: usize, j: usize) -> Reg {
+        self.acc[j * self.mra + i]
+    }
+
+    fn a_reg(&self, buf: usize, i: usize) -> Reg {
+        v(self.a_buf[buf] + i as u8)
+    }
+
+    fn b_reg(&self, style: BLoadStyle, buf: usize, j: usize) -> Reg {
+        match style {
+            BLoadStyle::Vector => v(self.b_buf[buf] + (j / self.lanes) as u8),
+            BLoadStyle::Scalars => v(self.b_buf[buf] + j as u8),
+            BLoadStyle::ScalarPairs => s(self.b_buf[buf] + j as u8),
+        }
+    }
+}
+
+fn emit_a_loads(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan, k: usize, buf: usize) {
+    let mr = p.desc.mr();
+    let base = p.a_base + k as u64 * p.a_kstep;
+    let full = mr / rp.lanes;
+    for i in 0..full {
+        out.push(Inst::ld_vec(rp.a_reg(buf, i), base + (i * 16) as u64, p.phase));
+    }
+    // Remainder rows of an edge sliver: scalar loads (cannot use an
+    // aligned vector load without padding -- §III-B, Fig. 8).
+    let rem = mr % rp.lanes;
+    for r in 0..rem {
+        out.push(Inst::ld_scalar(
+            s(16 + r as u8),
+            base + (full * 16) as u64 + r as u64 * p.elem,
+            p.phase,
+        ));
+    }
+}
+
+fn emit_b_loads(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan, k: usize, buf: usize) {
+    let nr = p.desc.nr();
+    let base = p.b_base + k as u64 * p.b_kstep;
+    if p.b_jstride != p.elem {
+        // Strided B (unpacked column-major operand): one scalar gather
+        // per element, no pairing possible.
+        debug_assert!(
+            p.desc.b_load != BLoadStyle::Vector,
+            "vector B staging requires a packed/panel-major layout"
+        );
+        for j in 0..nr {
+            out.push(Inst::ld_scalar(
+                rp.b_reg(p.desc.b_load, buf, j),
+                base + j as u64 * p.b_jstride,
+                p.phase,
+            ));
+        }
+        return;
+    }
+    match p.desc.b_load {
+        BLoadStyle::ScalarPairs => {
+            let mut j = 0;
+            while j + 1 < nr {
+                out.push(Inst::ld_pair(
+                    rp.b_reg(BLoadStyle::ScalarPairs, buf, j),
+                    rp.b_reg(BLoadStyle::ScalarPairs, buf, j + 1),
+                    base + j as u64 * p.elem,
+                    p.phase,
+                ));
+                j += 2;
+            }
+            if j < nr {
+                out.push(Inst::ld_scalar(
+                    rp.b_reg(BLoadStyle::ScalarPairs, buf, j),
+                    base + j as u64 * p.elem,
+                    p.phase,
+                ));
+            }
+        }
+        BLoadStyle::Vector => {
+            for jv in 0..rp.nrv {
+                out.push(Inst::ld_vec(
+                    v(rp.b_buf[buf] + jv as u8),
+                    base + (jv * 16) as u64,
+                    p.phase,
+                ));
+            }
+        }
+        BLoadStyle::Scalars => {
+            for j in 0..nr {
+                // Compiler-generated: address arithmetic per element,
+                // scalar load, then a lane broadcast that burns an
+                // FP-pipe slot (hand-written kernels use lane-indexed
+                // fmla instead).
+                out.push(Inst::iop(smm_simarch::isa::x(4), p.phase));
+                out.push(Inst::ld_scalar(s(j as u8), base + j as u64 * p.elem, p.phase));
+                out.push(Inst::vdup(
+                    rp.b_reg(BLoadStyle::Scalars, buf, j),
+                    s(j as u8),
+                    p.phase,
+                ));
+            }
+        }
+    }
+}
+
+fn emit_fmas(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan, buf: usize) {
+    let mr = p.desc.mr();
+    let nr = p.desc.nr();
+    let full = mr / rp.lanes;
+    let rows = mr.div_ceil(rp.lanes);
+    for j in 0..nr {
+        let b = rp.b_reg(p.desc.b_load, buf, j);
+        for i in 0..rows {
+            let a = if i < full { rp.a_reg(buf, i) } else { s(16) };
+            out.push(Inst::fma(rp.acc_reg(i, j), a, b, p.phase));
+        }
+    }
+}
+
+fn interleave(fmas: Vec<Inst>, loads: Vec<Inst>, out: &mut Vec<Inst>) {
+    // Spread the next iteration's loads between this iteration's FMAs,
+    // one load after every two FMAs.
+    let mut loads = loads.into_iter();
+    for (n, f) in fmas.into_iter().enumerate() {
+        out.push(f);
+        if n % 2 == 1 {
+            if let Some(l) = loads.next() {
+                out.push(l);
+            }
+        }
+    }
+    out.extend(loads);
+}
+
+fn emit_loop_overhead(out: &mut Vec<Inst>, phase: Phase) {
+    out.push(Inst::iop(smm_simarch::isa::x(0), phase));
+    out.push(Inst::iop(smm_simarch::isa::x(1), phase));
+    out.push(Inst::branch(phase));
+}
+
+fn emit_c_update(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan) {
+    let mr = p.desc.mr();
+    let nr = p.desc.nr();
+    let full = mr / rp.lanes;
+    let rem = mr % rp.lanes;
+    for j in 0..nr {
+        let col = p.c_base + j as u64 * p.c_col_stride;
+        // Load the C column into the A-staging registers.
+        for i in 0..full {
+            out.push(Inst::ld_vec(rp.a_reg(0, i), col + (i * 16) as u64, p.phase));
+        }
+        for r in 0..rem {
+            out.push(Inst::ld_scalar(
+                s(16 + r as u8),
+                col + (full * 16) as u64 + r as u64 * p.elem,
+                p.phase,
+            ));
+        }
+        // C += alpha * acc  (Algorithm 1 lines 11-12).
+        let rows = mr.div_ceil(rp.lanes);
+        for i in 0..rows {
+            let creg = if i < full { rp.a_reg(0, i) } else { s(16) };
+            out.push(Inst::fma(creg, rp.acc_reg(i, j), rp.alpha, p.phase));
+        }
+        for i in 0..full {
+            out.push(Inst::st_vec(rp.a_reg(0, i), col + (i * 16) as u64, p.phase));
+        }
+        for r in 0..rem {
+            out.push(Inst::st_scalar(
+                s(16 + r as u8),
+                col + (full * 16) as u64 + r as u64 * p.elem,
+                p.phase,
+            ));
+        }
+    }
+}
+
+/// Emit the full instruction stream of one micro-kernel invocation.
+pub fn emit_kernel(out: &mut Vec<Inst>, p: &KernelTraceParams) {
+    let rp = plan_registers(p);
+    // Stage alpha once.
+    out.push(Inst::ld_scalar(rp.alpha, p.c_base ^ 0x3F, p.phase));
+    if p.kc == 0 {
+        emit_c_update(out, p, &rp);
+        return;
+    }
+    match p.desc.policy {
+        SchedulePolicy::Naive | SchedulePolicy::Compiler => {
+            for k in 0..p.kc {
+                emit_a_loads(out, p, &rp, k, 0);
+                emit_b_loads(out, p, &rp, k, 0);
+                emit_fmas(out, p, &rp, 0);
+                if (k + 1) % p.desc.unroll == 0 || k + 1 == p.kc {
+                    emit_loop_overhead(out, p.phase);
+                }
+            }
+        }
+        SchedulePolicy::Interleaved => {
+            // Software-pipelined with double buffering.
+            emit_a_loads(out, p, &rp, 0, 0);
+            emit_b_loads(out, p, &rp, 0, 0);
+            for k in 0..p.kc {
+                let buf = k % 2;
+                let mut fmas = Vec::new();
+                emit_fmas(&mut fmas, p, &rp, buf);
+                let mut loads = Vec::new();
+                if k + 1 < p.kc {
+                    emit_a_loads(&mut loads, p, &rp, k + 1, 1 - buf);
+                    emit_b_loads(&mut loads, p, &rp, k + 1, 1 - buf);
+                }
+                interleave(fmas, loads, out);
+                if (k + 1) % p.desc.unroll == 0 || k + 1 == p.kc {
+                    emit_loop_overhead(out, p.phase);
+                }
+            }
+        }
+    }
+    emit_c_update(out, p, &rp);
+}
+
+/// Count the instructions [`emit_kernel`] will produce, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelTraceStats {
+    /// FMA instructions in the k-loop (excludes the C-merge FMAs).
+    pub loop_fmas: u64,
+    /// Total emitted instructions.
+    pub total: u64,
+}
+
+/// Emit into a fresh vector and report stats (tests, Fig. 7 dumps).
+pub fn kernel_trace(p: &KernelTraceParams) -> (Vec<Inst>, KernelTraceStats) {
+    let mut out = Vec::new();
+    emit_kernel(&mut out, p);
+    let rows = p.desc.mr().div_ceil((16 / p.elem) as usize);
+    let stats = KernelTraceStats {
+        loop_fmas: (rows * p.desc.nr() * p.kc) as u64,
+        total: out.len() as u64,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_simarch::isa::Op;
+    use smm_simarch::machine::simulate_single;
+    use smm_simarch::trace::VecSource;
+
+    fn params(
+        mr: usize,
+        nr: usize,
+        kc: usize,
+        policy: SchedulePolicy,
+        b_load: BLoadStyle,
+        unroll: usize,
+    ) -> KernelTraceParams {
+        KernelTraceParams {
+            desc: MicroKernelDesc::new(mr, nr, unroll, policy, b_load),
+            kc,
+            a_base: 0x10_000,
+            a_kstep: (mr * 4) as u64,
+            b_base: 0x40_000,
+            b_kstep: (nr * 4) as u64,
+            b_jstride: 4,
+            c_base: 0x80_000,
+            c_col_stride: (mr * 4) as u64,
+            elem: 4,
+            phase: Phase::Kernel,
+        }
+    }
+
+    fn count(insts: &[Inst], pred: impl Fn(Op) -> bool) -> usize {
+        insts.iter().filter(|i| pred(i.op)).count()
+    }
+
+    #[test]
+    fn fma_count_matches_tile_math() {
+        let p = params(8, 8, 32, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs, 4);
+        let (insts, stats) = kernel_trace(&p);
+        // k-loop FMAs: (8/4)*8*32 = 512; C-merge adds 2*8 = 16.
+        let fmas = count(&insts, |o| o == Op::Fma);
+        assert_eq!(fmas as u64, stats.loop_fmas + 16);
+        assert_eq!(stats.loop_fmas, 512);
+    }
+
+    #[test]
+    fn ldp_pairs_b_operand() {
+        let p = params(16, 4, 8, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 8);
+        let (insts, _) = kernel_trace(&p);
+        // Per k: 2 ldp for nr=4.
+        assert_eq!(count(&insts, |o| o == Op::LdPair), 16);
+    }
+
+    #[test]
+    fn vector_b_loads_for_blasfeo_style() {
+        let p = params(8, 8, 4, SchedulePolicy::Interleaved, BLoadStyle::Vector, 4);
+        let (insts, _) = kernel_trace(&p);
+        assert_eq!(count(&insts, |o| o == Op::LdPair), 0);
+        // Per k: A 2 LdVec + B 2 LdVec = 16 total, plus C loads 2/col * 8.
+        assert_eq!(count(&insts, |o| o == Op::LdVec), 16 + 16);
+    }
+
+    #[test]
+    fn compiler_policy_pays_address_arithmetic() {
+        let naive = kernel_trace(&params(12, 4, 8, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1)).0;
+        let eigen = kernel_trace(&params(12, 4, 8, SchedulePolicy::Compiler, BLoadStyle::Scalars, 1)).0;
+        assert!(eigen.len() > naive.len());
+        assert!(count(&eigen, |o| o == Op::IOp) > count(&naive, |o| o == Op::IOp));
+    }
+
+    #[test]
+    fn unroll_reduces_loop_overhead() {
+        let u1 = kernel_trace(&params(8, 8, 64, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1)).0;
+        let u8 = kernel_trace(&params(8, 8, 64, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 8)).0;
+        let branches = |v: &[Inst]| count(v, |o| o == Op::Branch);
+        assert_eq!(branches(&u1), 64);
+        assert_eq!(branches(&u8), 8);
+    }
+
+    #[test]
+    fn edge_rows_use_scalar_loads() {
+        let p = params(2, 4, 8, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1);
+        let (insts, _) = kernel_trace(&p);
+        // A loads are scalar: 2 per k.
+        assert!(count(&insts, |o| o == Op::LdScalar) >= 16);
+    }
+
+    #[test]
+    fn interleaved_is_at_least_as_good_as_naive() {
+        // With ideal renaming and a 160-entry window, the OOO core hides
+        // most static scheduling for full-size tiles; the policies must
+        // still rank correctly and the main kernel must be efficient.
+        let sim = |policy, unroll| {
+            let p = params(8, 8, 256, policy, BLoadStyle::ScalarPairs, unroll);
+            let (insts, stats) = kernel_trace(&p);
+            let r = simulate_single(Box::new(VecSource::new(insts)));
+            stats.loop_fmas as f64 / r.cycles as f64
+        };
+        let inter = sim(SchedulePolicy::Interleaved, 4);
+        let naive = sim(SchedulePolicy::Naive, 1);
+        assert!(inter >= naive, "interleaved {inter} vs naive {naive}");
+        assert!(inter > 0.85, "8x8 interleaved should be efficient: {inter}");
+    }
+
+    #[test]
+    fn compiler_policy_is_measurably_slower() {
+        // Eigen-style codegen burns FP slots on lane broadcasts: the
+        // kernel efficiency ceiling drops to mr·nr/4 / (mr·nr/4 + nr).
+        let sim = |policy, b_load| {
+            let p = params(12, 4, 256, policy, b_load, 1);
+            let (insts, stats) = kernel_trace(&p);
+            let r = simulate_single(Box::new(VecSource::new(insts)));
+            stats.loop_fmas as f64 / r.cycles as f64
+        };
+        let eigen = sim(SchedulePolicy::Compiler, BLoadStyle::Scalars);
+        let hand = sim(SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs);
+        assert!(eigen < 0.85, "compiler-generated 12x4 should be capped: {eigen}");
+        assert!(hand - eigen > 0.1, "hand {hand} vs compiler {eigen}");
+    }
+
+    #[test]
+    fn tiny_edge_kernel_is_slow_on_the_simulator() {
+        // 4x1: single accumulator chain -> latency bound (§III-B).
+        let p = params(4, 1, 256, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1);
+        let (insts, stats) = kernel_trace(&p);
+        let r = simulate_single(Box::new(VecSource::new(insts)));
+        let eff = stats.loop_fmas as f64 / r.cycles as f64;
+        assert!(eff < 0.35, "4x1 kernel should be latency bound, got {eff}");
+    }
+
+    #[test]
+    fn c_update_loads_merges_stores() {
+        let p = params(8, 8, 1, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1);
+        let (insts, _) = kernel_trace(&p);
+        assert_eq!(count(&insts, |o| o == Op::StVec), 16); // 2 per column
+    }
+
+    #[test]
+    fn kc_zero_still_merges_c() {
+        let p = params(4, 4, 0, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1);
+        let (insts, _) = kernel_trace(&p);
+        assert!(count(&insts, |o| o == Op::StVec) > 0);
+        assert_eq!(count(&insts, |o| o == Op::Fma), 4); // C-merge only
+    }
+
+    #[test]
+    fn all_addresses_fall_in_operand_ranges() {
+        let p = params(16, 4, 16, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs, 8);
+        let (insts, _) = kernel_trace(&p);
+        for i in &insts {
+            if i.op.is_load() || i.op.is_store() {
+                let a = i.addr;
+                let in_a = (0x10_000..0x10_000 + 16 * 64 * 4).contains(&a);
+                let in_b = (0x40_000..0x40_000 + 16 * 16 * 4).contains(&a);
+                let in_c = (0x80_000..0x80_000 + 4 * 16 * 4 + 64).contains(&a);
+                let is_alpha = a == p.c_base ^ 0x3F;
+                assert!(in_a || in_b || in_c || is_alpha, "stray address {a:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the kernel layer: native kernels against the
+//! reference for arbitrary shapes, and structural invariants of the
+//! generated instruction traces.
+
+use proptest::prelude::*;
+use smm_kernels::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+use smm_kernels::native::{microkernel_reference, Kernel};
+use smm_kernels::registry::{decompose_greedy, tile_dimension, EdgeStrategy};
+use smm_kernels::trace_gen::{kernel_trace, KernelTraceParams};
+use smm_simarch::isa::Op;
+use smm_simarch::phase::Phase;
+
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            ((state >> 33) as i64 % 9 - 4) as f32 * 0.5
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any kernel shape (static or dynamic dispatch) matches the
+    /// reference triple loop.
+    #[test]
+    fn kernels_match_reference(
+        mr in 1usize..=16,
+        nr in 1usize..=16,
+        kc in 0usize..40,
+        alpha in -2.0f32..2.0,
+        seed in 1u64..500,
+    ) {
+        let a = data(mr * kc, seed);
+        let b = data(nr * kc, seed + 1);
+        let ldc = mr + (seed % 3) as usize;
+        let mut c = data(ldc * nr.max(1), seed + 2);
+        let mut c_ref = c.clone();
+        Kernel::<f32>::for_shape(mr, nr).run(kc, alpha, &a, &b, &mut c, ldc);
+        microkernel_reference(mr, nr, kc, alpha, &a, &b, &mut c_ref, ldc);
+        for i in 0..c.len() {
+            prop_assert!((c[i] - c_ref[i]).abs() < 1e-3 * (kc as f32 + 1.0));
+        }
+    }
+
+    /// Greedy decomposition always covers the length with valid steps.
+    #[test]
+    fn decomposition_covers(len in 1usize..500) {
+        let steps = [16usize, 8, 4, 2, 1];
+        let parts = decompose_greedy(len, &steps);
+        prop_assert_eq!(parts.iter().sum::<usize>(), len);
+        prop_assert!(parts.iter().all(|p| steps.contains(p)));
+        // Non-increasing sizes (greedy).
+        prop_assert!(parts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Tiling covers a dimension exactly for both edge strategies.
+    #[test]
+    fn tiling_covers(len in 1usize..400, step_idx in 0usize..3) {
+        let step = [16usize, 8, 12][step_idx];
+        let steps = [step, 8, 4, 2, 1];
+        let steps: Vec<usize> = {
+            let mut s: Vec<usize> = steps.to_vec();
+            s.dedup();
+            s.sort_unstable_by(|a, b| b.cmp(a));
+            s.dedup();
+            s
+        };
+        for strategy in [EdgeStrategy::EdgeKernels, EdgeStrategy::Padding] {
+            let tiles = tile_dimension(len, step, strategy, &steps);
+            prop_assert_eq!(tiles.iter().map(|t| t.logical).sum::<usize>(), len);
+            prop_assert!(tiles.iter().all(|t| t.kernel >= t.logical));
+            if strategy == EdgeStrategy::EdgeKernels {
+                prop_assert!(tiles.iter().all(|t| t.kernel == t.logical));
+            }
+        }
+    }
+
+    /// Trace generation: the k-loop FMA count always equals
+    /// `ceil(mr/4) * nr * kc`, and loads never exceed 2 per FMA.
+    #[test]
+    fn trace_fma_counts(
+        mr in 1usize..=16,
+        nr in 1usize..=7,
+        kc in 1usize..32,
+        policy_idx in 0usize..3,
+    ) {
+        prop_assume!(mr.div_ceil(4) * nr <= 30);
+        let policy = [SchedulePolicy::Interleaved, SchedulePolicy::Naive, SchedulePolicy::Compiler][policy_idx];
+        let b_load = if policy == SchedulePolicy::Compiler { BLoadStyle::Scalars } else { BLoadStyle::ScalarPairs };
+        // Vector/Scalars staging needs extra registers.
+        let mra = mr.div_ceil(4);
+        let extra = if b_load == BLoadStyle::Scalars { 2 * nr } else { 0 };
+        prop_assume!(mra * nr + 2 * mra + extra <= 32);
+        let p = KernelTraceParams {
+            desc: MicroKernelDesc::new(mr, nr, 4, policy, b_load),
+            kc,
+            a_base: 0x1000,
+            a_kstep: (mr * 4) as u64,
+            b_base: 0x8000,
+            b_kstep: (nr * 4) as u64,
+            b_jstride: 4,
+            c_base: 0x20000,
+            c_col_stride: (mr * 4) as u64,
+            elem: 4,
+            phase: Phase::Kernel,
+        };
+        let (insts, stats) = kernel_trace(&p);
+        let fmas = insts.iter().filter(|i| i.op == Op::Fma).count();
+        let c_merge = mr.div_ceil(4) * nr;
+        prop_assert_eq!(fmas, stats.loop_fmas as usize + c_merge);
+        prop_assert_eq!(stats.loop_fmas as usize, mr.div_ceil(4) * nr * kc);
+        let loads = insts.iter().filter(|i| i.op.is_load()).count();
+        // Structural bound: at most mr + nr operand loads per k-step
+        // (scalar worst case, double-buffered prologue adds one step),
+        // plus the C loads of the merge and the alpha load.
+        prop_assert!(loads <= (mr + nr) * (kc + 1) + 2 * c_merge + 1);
+    }
+}
+
+/// Static dispatch and dynamic fallback agree on every registered shape.
+#[test]
+fn static_and_dynamic_agree_everywhere() {
+    for &(mr, nr) in smm_kernels::native::STATIC_SHAPES {
+        let kc = 9;
+        let a = data(mr * kc, 3);
+        let b = data(nr * kc, 4);
+        let mut c1 = vec![0.5f32; mr * nr];
+        let mut c2 = c1.clone();
+        Kernel::<f32>::for_shape(mr, nr).run(kc, 1.0, &a, &b, &mut c1, mr);
+        smm_kernels::native::microkernel_dyn(mr, nr, kc, 1.0, &a, &b, &mut c2, mr);
+        assert_eq!(c1, c2, "{mr}x{nr}");
+    }
+}

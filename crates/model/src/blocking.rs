@@ -1,0 +1,158 @@
+//! Derivation of Goto-algorithm blocking parameters from cache capacities.
+//!
+//! The six-loop Goto structure (Fig. 4 of the paper) chooses:
+//!
+//! * `kc` so that a `kc × nr` sliver of packed `B̃` stays resident in L1
+//!   alongside the streamed `mr × kc` sliver of `Ã`;
+//! * `mc` so that the `mc × kc` packed block `Ã` occupies a majority of
+//!   L2 while leaving room for prefetching and the `B̃` sliver;
+//! * `nc` so that the `kc × nc` packed panel `B̃` fits in L3 — or, on
+//!   Phytium 2000+ which has no L3, is simply bounded by a large default
+//!   and clipped to the problem.
+
+/// Cache capacities in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSizes {
+    /// Private L1 data cache per core.
+    pub l1d: usize,
+    /// L2 capacity visible to one core (2 MB shared by 4 cores on
+    /// Phytium 2000+ — callers may pass the full or per-core share).
+    pub l2: usize,
+    /// L3 capacity, zero when absent (Phytium 2000+ has none).
+    pub l3: usize,
+}
+
+impl CacheSizes {
+    /// Phytium 2000+ capacities from §II-A.
+    pub fn phytium_2000_plus() -> Self {
+        Self {
+            l1d: 32 * 1024,
+            l2: 2 * 1024 * 1024,
+            l3: 0,
+        }
+    }
+}
+
+/// Blocking parameters of the Goto algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingParams {
+    /// Depth of the rank-`kc` update (Layer 2 step).
+    pub kc: usize,
+    /// Rows of the packed `Ã` block (Layer 3 step).
+    pub mc: usize,
+    /// Columns of the packed `B̃` panel (Layer 1 step).
+    pub nc: usize,
+}
+
+impl BlockingParams {
+    /// Clip the parameters to a concrete problem shape, never returning
+    /// a zero dimension.
+    pub fn clipped(&self, m: usize, n: usize, k: usize) -> BlockingParams {
+        BlockingParams {
+            kc: self.kc.min(k).max(1),
+            mc: self.mc.min(m).max(1),
+            nc: self.nc.min(n).max(1),
+        }
+    }
+}
+
+/// Derive blocking parameters for an `mr × nr` kernel and element size.
+///
+/// Heuristics (standard in OpenBLAS/BLIS analytical models, cf. Low et
+/// al., "Analytical Modeling Is Enough for High-Performance BLIS"):
+///
+/// * `kc`: half of L1 holds the `kc × nr` B-sliver ⇒
+///   `kc = l1d / (2 · nr · elem)`, rounded down to a multiple of 4 and
+///   at least 32.
+/// * `mc`: half of L2 holds the `mc × kc` packed `Ã` ⇒
+///   `mc = l2 / (2 · kc · elem)`, rounded down to a multiple of `mr`.
+/// * `nc`: `l3 / (kc · elem)` when an L3 exists, otherwise a fixed large
+///   default (4096) rounded to a multiple of `nr`.
+pub fn derive_blocking(
+    caches: CacheSizes,
+    mr: usize,
+    nr: usize,
+    elem_bytes: usize,
+) -> BlockingParams {
+    assert!(mr > 0 && nr > 0 && elem_bytes > 0);
+    let kc_raw = caches.l1d / (2 * nr * elem_bytes);
+    let kc = (kc_raw / 4 * 4).max(32);
+
+    let mc_raw = caches.l2 / (2 * kc * elem_bytes);
+    let mc = (mc_raw / mr * mr).max(mr);
+
+    let nc_raw = if caches.l3 > 0 {
+        caches.l3 / (kc * elem_bytes)
+    } else {
+        4096
+    };
+    let nc = (nc_raw / nr * nr).max(nr);
+
+    BlockingParams { kc, mc, nc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phytium_blocking_for_openblas_16x4() {
+        let b = derive_blocking(CacheSizes::phytium_2000_plus(), 16, 4, 4);
+        // kc = 32768 / (2*4*4) = 1024 -> multiple of 4.
+        assert_eq!(b.kc, 1024);
+        // mc = 2 MiB / (2*1024*4) = 256 -> multiple of 16.
+        assert_eq!(b.mc, 256);
+        // No L3: default nc, multiple of 4.
+        assert_eq!(b.nc, 4096);
+    }
+
+    #[test]
+    fn blis_8x12_blocking_is_l1_consistent() {
+        let c = CacheSizes::phytium_2000_plus();
+        let b = derive_blocking(c, 8, 12, 4);
+        // The B sliver must fit in half of L1.
+        assert!(b.kc * 12 * 4 <= c.l1d / 2 + 12 * 4 * 4);
+        // The packed A block must fit in half of L2.
+        assert!(b.mc * b.kc * 4 <= c.l2 / 2);
+        assert_eq!(b.mc % 8, 0);
+        assert_eq!(b.nc % 12, 0);
+    }
+
+    #[test]
+    fn l3_bounds_nc_when_present() {
+        let mut c = CacheSizes::phytium_2000_plus();
+        c.l3 = 8 * 1024 * 1024;
+        let with_l3 = derive_blocking(c, 8, 8, 4);
+        assert_eq!(with_l3.nc, 8 * 1024 * 1024 / (with_l3.kc * 4) / 8 * 8);
+    }
+
+    #[test]
+    fn double_precision_halves_kc() {
+        let c = CacheSizes::phytium_2000_plus();
+        let sp = derive_blocking(c, 8, 8, 4);
+        let dp = derive_blocking(c, 8, 8, 8);
+        assert_eq!(sp.kc, 2 * dp.kc);
+    }
+
+    #[test]
+    fn clipping_respects_problem_and_stays_positive() {
+        let b = BlockingParams {
+            kc: 1024,
+            mc: 256,
+            nc: 4096,
+        };
+        let c = b.clipped(10, 3, 7);
+        assert_eq!(c, BlockingParams { kc: 7, mc: 10, nc: 3 });
+        let tiny = b.clipped(1, 1, 1);
+        assert_eq!(tiny, BlockingParams { kc: 1, mc: 1, nc: 1 });
+    }
+
+    #[test]
+    fn minimums_enforced_for_tiny_caches() {
+        let c = CacheSizes { l1d: 64, l2: 128, l3: 0 };
+        let b = derive_blocking(c, 16, 4, 4);
+        assert!(b.kc >= 32);
+        assert!(b.mc >= 16);
+        assert!(b.nc >= 4);
+    }
+}

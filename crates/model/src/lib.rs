@@ -1,0 +1,37 @@
+//! Analytical performance models for small-scale matrix multiplication (SMM).
+//!
+//! This crate implements the analytical machinery of Yang, Fang and Dong,
+//! *"Characterizing Small-Scale Matrix Multiplications on ARMv8-based
+//! Many-Core Architectures"* (IPDPS Workshops 2021):
+//!
+//! * [`p2c`] — the packing-to-computing ratio of §III-A (Eqs. 1–3), which
+//!   quantifies how much of an SMM's run time is spent packing operands
+//!   rather than computing.
+//! * [`microkernel`] — the register-file constraint of §III-C (Eq. 4) and
+//!   the compute-to-memory ratio (CMR, Eq. 5) used to rank candidate
+//!   `mr × nr` micro-kernel shapes.
+//! * [`peak`] — machine descriptions (frequency, SIMD width, FMA issue
+//!   rate, core count) and peak-performance / efficiency arithmetic.
+//! * [`blocking`] — derivation of the Goto-algorithm blocking parameters
+//!   (`kc`, `mc`, `nc`) from cache capacities.
+//! * [`parallel`] — the §III-D parallelization model: enumeration of
+//!   multi-dimensional thread grids, per-thread workload, and
+//!   synchronization-cohort sizes.
+//!
+//! The models are pure functions of problem shape and hardware parameters;
+//! they are validated against the cycle-level simulator in `smm-simarch`
+//! by the benchmark harness.
+
+#![deny(missing_docs)]
+
+pub mod blocking;
+pub mod microkernel;
+pub mod p2c;
+pub mod parallel;
+pub mod peak;
+
+pub use blocking::{derive_blocking, BlockingParams, CacheSizes};
+pub use microkernel::{cmr, registers_for_accumulator, satisfies_register_constraint, KernelShape};
+pub use p2c::{num_fma, num_pack_loads, p2c_as_published, p2c_derived, predicted_packing_share};
+pub use parallel::{enumerate_grids, select_grid, ThreadGrid};
+pub use peak::{Efficiency, MachineSpec, Precision};

@@ -1,0 +1,193 @@
+//! Micro-kernel shape selection (§III-C): register constraint (Eq. 4) and
+//! compute-to-memory ratio (Eq. 5).
+//!
+//! A Goto-style micro-kernel keeps an `mr × nr` accumulator block of `C`
+//! resident in vector registers while streaming slivers of packed `A` and
+//! `B` through the remaining registers. On an ARMv8 core with 32
+//! 128-bit vector registers (4 single-precision lanes each), the
+//! accumulator may use at most `32 - spare` registers, where at least one
+//! register each must be reserved for staging `A` and `B` (Eq. 4 uses
+//! `spare = 2`).
+
+/// A candidate `mr × nr` micro-kernel shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelShape {
+    /// Rows of the register tile (the `A`-side dimension).
+    pub mr: usize,
+    /// Columns of the register tile (the `B`-side dimension).
+    pub nr: usize,
+}
+
+impl KernelShape {
+    /// Create a shape. Panics if either dimension is zero.
+    pub fn new(mr: usize, nr: usize) -> Self {
+        assert!(mr > 0 && nr > 0, "kernel dimensions must be positive");
+        Self { mr, nr }
+    }
+
+    /// Vector registers needed for the accumulator with `lanes`
+    /// elements per register: `ceil(mr / lanes) * nr`.
+    pub fn accumulator_registers(&self, lanes: usize) -> usize {
+        self.mr.div_ceil(lanes) * self.nr
+    }
+
+    /// Eq. 4: does the accumulator fit in `total_regs - spare` registers?
+    pub fn satisfies_register_constraint(
+        &self,
+        lanes: usize,
+        total_regs: usize,
+        spare: usize,
+    ) -> bool {
+        self.accumulator_registers(lanes) <= total_regs.saturating_sub(spare)
+    }
+
+    /// Eq. 5: compute-to-memory ratio `2·mr·nr / (mr + nr)`.
+    ///
+    /// Each rank-1 update performs `mr·nr` MACs (`2·mr·nr` flops) and
+    /// touches `mr + nr` operand elements; larger CMR means memory
+    /// traffic is easier to hide behind arithmetic.
+    pub fn cmr(&self) -> f64 {
+        2.0 * (self.mr * self.nr) as f64 / (self.mr + self.nr) as f64
+    }
+
+    /// Minimum number of independent accumulator dependency chains that
+    /// a core must interleave to cover an FMA pipeline of `fma_latency`
+    /// cycles at one FMA per cycle. The kernel has `mr/lanes · nr`
+    /// accumulator registers, each forming one chain; if that count is
+    /// below `fma_latency` the FMA pipe necessarily bubbles and kernel
+    /// efficiency is bounded by `chains / fma_latency`.
+    pub fn chain_bound_efficiency(&self, lanes: usize, fma_latency: usize) -> f64 {
+        let chains = self.accumulator_registers(lanes);
+        (chains as f64 / fma_latency as f64).min(1.0)
+    }
+}
+
+/// Convenience free function mirroring [`KernelShape::accumulator_registers`].
+pub fn registers_for_accumulator(mr: usize, nr: usize, lanes: usize) -> usize {
+    KernelShape::new(mr, nr).accumulator_registers(lanes)
+}
+
+/// Convenience free function mirroring [`KernelShape::satisfies_register_constraint`].
+pub fn satisfies_register_constraint(mr: usize, nr: usize, lanes: usize) -> bool {
+    KernelShape::new(mr, nr).satisfies_register_constraint(lanes, 32, 2)
+}
+
+/// Convenience free function mirroring [`KernelShape::cmr`].
+pub fn cmr(mr: usize, nr: usize) -> f64 {
+    KernelShape::new(mr, nr).cmr()
+}
+
+/// Enumerate every feasible shape with `mr` a multiple of `lanes`
+/// (aligned vector rows) and `1 <= nr <= nr_max`, ranked by descending
+/// CMR. This is the §III-C design space the paper explores.
+pub fn enumerate_feasible(
+    lanes: usize,
+    total_regs: usize,
+    spare: usize,
+    mr_max: usize,
+    nr_max: usize,
+) -> Vec<KernelShape> {
+    let mut shapes = Vec::new();
+    let mut mr = lanes;
+    while mr <= mr_max {
+        for nr in 1..=nr_max {
+            let s = KernelShape::new(mr, nr);
+            if s.satisfies_register_constraint(lanes, total_regs, spare) {
+                shapes.push(s);
+            }
+        }
+        mr += lanes;
+    }
+    shapes.sort_by(|a, b| b.cmr().total_cmp(&a.cmr()));
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_register_counts() {
+        assert_eq!(registers_for_accumulator(16, 4, 4), 16);
+        assert_eq!(registers_for_accumulator(8, 8, 4), 16);
+        assert_eq!(registers_for_accumulator(8, 12, 4), 24);
+        assert_eq!(registers_for_accumulator(4, 4, 4), 4);
+        // Non-multiple mr rounds up.
+        assert_eq!(registers_for_accumulator(6, 4, 4), 8);
+    }
+
+    #[test]
+    fn papers_kernels_are_feasible() {
+        // Table I kernels: 16x4, 8x8, 4x4 (OpenBLAS), 8x12 (BLIS),
+        // 12x4 (Eigen) all satisfy Eq. 4 on Phytium 2000+.
+        for &(mr, nr) in &[(16, 4), (8, 8), (4, 4), (8, 12), (12, 4)] {
+            assert!(satisfies_register_constraint(mr, nr, 4), "{mr}x{nr}");
+        }
+    }
+
+    #[test]
+    fn paper_example_12x10_is_infeasible() {
+        // §III-C: mr=12, nr=10 needs 30 registers, leaving exactly one
+        // for each of A and B -- the paper calls this out as the boundary.
+        assert_eq!(registers_for_accumulator(12, 10, 4), 30);
+        assert!(satisfies_register_constraint(12, 10, 4));
+        // One more column breaks Eq. 4.
+        assert!(!satisfies_register_constraint(12, 11, 4));
+        assert!(!satisfies_register_constraint(16, 8, 4));
+    }
+
+    #[test]
+    fn cmr_values_match_closed_form() {
+        assert!((cmr(16, 4) - 6.4).abs() < 1e-12);
+        assert!((cmr(8, 8) - 8.0).abs() < 1e-12);
+        assert!((cmr(8, 12) - 9.6).abs() < 1e-12);
+        assert!((cmr(4, 4) - 4.0).abs() < 1e-12);
+        assert!((cmr(1, 4) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blis_shape_has_best_cmr_of_table_i() {
+        let blis = cmr(8, 12);
+        for &(mr, nr) in &[(16, 4), (8, 8), (4, 4), (12, 4)] {
+            assert!(blis > cmr(mr, nr));
+        }
+    }
+
+    #[test]
+    fn chain_bound_explains_edge_kernel_slowness() {
+        // A 4x1 edge kernel has a single accumulator chain against a
+        // 5-cycle FMA pipe: at most 20% efficiency.
+        let e = KernelShape::new(4, 1).chain_bound_efficiency(4, 5);
+        assert!((e - 0.2).abs() < 1e-12);
+        // A 4x4 kernel has 4 chains: at most 80%.
+        let f = KernelShape::new(4, 4).chain_bound_efficiency(4, 5);
+        assert!((f - 0.8).abs() < 1e-12);
+        // The 8x8 main kernel saturates the pipe.
+        let m = KernelShape::new(8, 8).chain_bound_efficiency(4, 5);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_feasible() {
+        let shapes = enumerate_feasible(4, 32, 2, 24, 16);
+        assert!(!shapes.is_empty());
+        for w in shapes.windows(2) {
+            assert!(w[0].cmr() >= w[1].cmr());
+        }
+        for s in &shapes {
+            assert!(s.satisfies_register_constraint(4, 32, 2));
+        }
+        // 8x12 must be present and near the front.
+        let pos = shapes
+            .iter()
+            .position(|s| *s == KernelShape::new(8, 12))
+            .expect("8x12 feasible");
+        assert!(pos < 8, "8x12 should rank highly, got position {pos}");
+    }
+
+    #[test]
+    fn enumeration_excludes_register_overflow() {
+        let shapes = enumerate_feasible(4, 32, 2, 32, 32);
+        assert!(!shapes.iter().any(|s| s.accumulator_registers(4) > 30));
+    }
+}

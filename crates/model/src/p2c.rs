@@ -1,0 +1,158 @@
+//! The packing-to-computing ratio (P2C) of §III-A.
+//!
+//! During data packing a Goto-style GEMM loads every element of `A`
+//! (`M × K`) and `B` (`K × N`) once, then performs `M × N × K`
+//! multiply-accumulates. The paper quantifies the relative weight of the
+//! packing phase with the ratio of packing load instructions (Eq. 1) to
+//! arithmetic FMA instructions (Eq. 2).
+//!
+//! ## A note on the published algebra
+//!
+//! Equation 1 of the paper writes the packed element count as
+//! `M·N + K·N` and Eq. 3 concludes `P2C = (M+N)/(2·M·N)`. The element
+//! count of `A` and `B` is actually `M·K + K·N`, and dividing Eq. 1 by
+//! Eq. 2 with the paper's own `Load_width = 4` and `FMA_width = 8` yields
+//! `2·(M+N)/(M·N)`. Both forms agree on the two properties the paper
+//! uses — P2C is independent of `K` and decays as `M`, `N` grow — and
+//! differ only by a constant factor. We expose both: [`p2c_as_published`]
+//! reproduces Eq. 3 verbatim, [`p2c_derived`] carries the algebra through
+//! from the corrected Eq. 1.
+
+/// Number of load instructions needed to pack `A` (`m × k`) and `B`
+/// (`k × n`), Eq. 1 with the corrected element count `M·K + K·N`.
+///
+/// `load_width` is the number of scalar elements one load fills
+/// (4 for single precision on a 128-bit machine).
+pub fn num_pack_loads(m: usize, n: usize, k: usize, load_width: usize) -> f64 {
+    assert!(load_width > 0, "load width must be positive");
+    (m * k + k * n) as f64 / load_width as f64
+}
+
+/// Number of FMA instructions needed for the multiplication, Eq. 2.
+///
+/// `fma_width` follows the paper's convention: the number of
+/// floating-point data elements one FMA instruction "computes"
+/// (8 for single precision on Phytium 2000+, counting both the multiply
+/// and the add over 4 lanes).
+pub fn num_fma(m: usize, n: usize, k: usize, fma_width: usize) -> f64 {
+    assert!(fma_width > 0, "FMA width must be positive");
+    (m * n * k) as f64 / fma_width as f64
+}
+
+/// The packing-to-computing ratio exactly as published (Eq. 3):
+/// `P2C = (M + N) / (2 · M · N)`.
+///
+/// Independent of `K`; smaller is better.
+pub fn p2c_as_published(m: usize, n: usize) -> f64 {
+    assert!(m > 0 && n > 0, "matrix dimensions must be positive");
+    (m + n) as f64 / (2.0 * (m * n) as f64)
+}
+
+/// The packing-to-computing ratio carried through from the corrected
+/// Eq. 1: `Num_Load / Num_FMA = 2 · (M + N) / (M · N)` for
+/// `load_width = 4`, `fma_width = 8`.
+pub fn p2c_derived(m: usize, n: usize, k: usize, load_width: usize, fma_width: usize) -> f64 {
+    num_pack_loads(m, n, k, load_width) / num_fma(m, n, k, fma_width)
+}
+
+/// Predict the fraction of total run time spent packing, given P2C and
+/// the relative cost of a packing load versus an FMA.
+///
+/// If packing issues `L` loads that each cost `cost_ratio` FMA-equivalents
+/// and the kernel issues `F` FMAs, the packing share is
+/// `L·cost_ratio / (L·cost_ratio + F)`. With `cost_ratio = 1` this is the
+/// paper's first-order model; packing loads that miss cache are more
+/// expensive, which `cost_ratio > 1` captures.
+pub fn predicted_packing_share(
+    m: usize,
+    n: usize,
+    k: usize,
+    load_width: usize,
+    fma_width: usize,
+    cost_ratio: f64,
+) -> f64 {
+    let loads = num_pack_loads(m, n, k, load_width) * cost_ratio;
+    let fmas = num_fma(m, n, k, fma_width);
+    loads / (loads + fmas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_loads_counts_both_operands() {
+        // A is 8x4 (32 elems), B is 4x16 (64 elems); width 4 => 24 loads.
+        assert_eq!(num_pack_loads(8, 16, 4, 4), 24.0);
+    }
+
+    #[test]
+    fn fma_count_matches_paper_convention() {
+        // 8*8*8 = 512 MACs, width 8 => 64 FMA instructions.
+        assert_eq!(num_fma(8, 8, 8, 8), 64.0);
+    }
+
+    #[test]
+    fn p2c_published_is_independent_of_k() {
+        let a = p2c_as_published(16, 32);
+        assert!((a - 48.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2c_decreases_with_m_and_n() {
+        assert!(p2c_as_published(4, 4) > p2c_as_published(8, 8));
+        assert!(p2c_as_published(8, 8) > p2c_as_published(64, 64));
+        assert!(p2c_derived(4, 4, 100, 4, 8) > p2c_derived(8, 8, 100, 4, 8));
+    }
+
+    #[test]
+    fn p2c_derived_is_independent_of_k() {
+        let a = p2c_derived(16, 32, 8, 4, 8);
+        let b = p2c_derived(16, 32, 400, 4, 8);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2c_derived_matches_closed_form() {
+        // 2*(M+N)/(M*N) for the paper's widths.
+        let got = p2c_derived(10, 20, 7, 4, 8);
+        let want = 2.0 * 30.0 / 200.0;
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn published_and_derived_differ_by_constant_factor() {
+        for &(m, n) in &[(2, 2), (5, 40), (100, 3), (64, 64)] {
+            let ratio = p2c_derived(m, n, 11, 4, 8) / p2c_as_published(m, n);
+            assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio} for {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn packing_share_grows_as_dims_shrink() {
+        let small = predicted_packing_share(4, 4, 64, 4, 8, 1.0);
+        let large = predicted_packing_share(64, 64, 64, 4, 8, 1.0);
+        assert!(small > large);
+        assert!(small >= 0.5, "tiny M,N should be packing dominated: {small}");
+    }
+
+    #[test]
+    fn packing_share_independent_of_k_to_first_order() {
+        let a = predicted_packing_share(8, 8, 16, 4, 8, 1.0);
+        let b = predicted_packing_share(8, 8, 512, 4, 8, 1.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_ratio_scales_share_monotonically() {
+        let cheap = predicted_packing_share(16, 16, 64, 4, 8, 1.0);
+        let pricey = predicted_packing_share(16, 16, 64, 4, 8, 3.0);
+        assert!(pricey > cheap);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        p2c_as_published(0, 4);
+    }
+}

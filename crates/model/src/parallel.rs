@@ -1,0 +1,235 @@
+//! The §III-D parallelization model.
+//!
+//! BLIS parallelizes any combination of the `jj` (a.k.a. `jc`), `ii`
+//! (`ic`), `j` (`jr`) and `i` (`ir`) loops of the Goto structure; the
+//! number of threads assigned to each loop forms a *thread grid*
+//! `jc × ic × jr × ir`. OpenBLAS and Eigen only split the matrix `C`
+//! into a two-dimensional grid (equivalent to `ic × jc` ways with the
+//! inner loops sequential). The paper's guidance: never parallelize a
+//! dimension that is small, and keep synchronization cohorts (the
+//! threads that share a packed buffer and must barrier together) small.
+
+use crate::microkernel::KernelShape;
+
+/// A multi-dimensional thread grid assigning ways to each parallelizable
+/// loop of the Goto structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadGrid {
+    /// Ways over the `jj` loop (Layer 1, N dimension, `nc` steps).
+    pub jc: usize,
+    /// Ways over the `ii` loop (Layer 3, M dimension, `mc` steps).
+    pub ic: usize,
+    /// Ways over the `j` loop (Layer 4, N dimension, `nr` steps).
+    pub jr: usize,
+    /// Ways over the `i` loop (Layer 5, M dimension, `mr` steps).
+    pub ir: usize,
+}
+
+impl ThreadGrid {
+    /// Total number of threads the grid uses.
+    pub fn threads(&self) -> usize {
+        self.jc * self.ic * self.jr * self.ir
+    }
+
+    /// Ways applied to the M dimension.
+    pub fn m_ways(&self) -> usize {
+        self.ic * self.ir
+    }
+
+    /// Ways applied to the N dimension.
+    pub fn n_ways(&self) -> usize {
+        self.jc * self.jr
+    }
+
+    /// Threads participating in one packing/loop barrier: the cohort
+    /// sharing a packed `B̃` panel is everything inside one `jc` way.
+    pub fn sync_cohort(&self) -> usize {
+        self.ic * self.jr * self.ir
+    }
+}
+
+/// Score the per-thread M-tile against the register kernel: how many of
+/// the `mr`-rows each thread computes are genuine (not zero padding /
+/// edge remainder). 1.0 is perfect.
+fn m_utilization(m: usize, m_ways: usize, mr: usize) -> f64 {
+    let per = m.div_ceil(m_ways).max(1);
+    let padded = per.div_ceil(mr) * mr;
+    per as f64 / padded as f64
+}
+
+fn n_utilization(n: usize, n_ways: usize, nr: usize) -> f64 {
+    let per = n.div_ceil(n_ways).max(1);
+    let padded = per.div_ceil(nr) * nr;
+    per as f64 / padded as f64
+}
+
+/// Enumerate all factorizations of `threads` into `jc·ic·jr·ir`.
+pub fn enumerate_grids(threads: usize) -> Vec<ThreadGrid> {
+    assert!(threads >= 1, "need at least one thread");
+    let mut grids = Vec::new();
+    for jc in divisors(threads) {
+        for ic in divisors(threads / jc) {
+            let rem = threads / jc / ic;
+            for jr in divisors(rem) {
+                let ir = rem / jr;
+                grids.push(ThreadGrid { jc, ic, jr, ir });
+            }
+        }
+    }
+    grids
+}
+
+fn divisors(n: usize) -> Vec<usize> {
+    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
+}
+
+/// Load-balance factor: fraction of time the average thread is busy if
+/// work splits into `ceil(units/ways)`-sized chunks.
+fn balance(units: usize, ways: usize) -> f64 {
+    if ways <= 1 {
+        return 1.0;
+    }
+    let per = units.div_ceil(ways);
+    let busy_ways = units.div_ceil(per);
+    units as f64 / (per * busy_ways.max(1)) as f64 * busy_ways as f64 / ways as f64
+}
+
+/// Select a thread grid for an `m × n × k` problem following the
+/// paper's §III-D guidance. The score multiplies:
+///
+/// * M/N edge utilization (don't parallelize small dimensions — doing
+///   so shrinks per-thread tiles below `mr`/`nr` and manufactures edge
+///   cases);
+/// * load balance over micro-tile rows/columns;
+/// * a synchronization penalty that grows with the barrier cohort, so
+///   fine-grained sync control is preferred (`1 / (1 + eps·cohort)`).
+pub fn select_grid(
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    kernel: KernelShape,
+) -> ThreadGrid {
+    let _ = k; // K is never parallelized in the Goto structure.
+    let mut best = ThreadGrid { jc: 1, ic: 1, jr: 1, ir: threads };
+    let mut best_score = f64::MIN;
+    for g in enumerate_grids(threads) {
+        let mu = m_utilization(m, g.m_ways(), kernel.mr);
+        let nu = n_utilization(n, g.n_ways(), kernel.nr);
+        let bal_m = balance(m.div_ceil(kernel.mr), g.m_ways());
+        let bal_n = balance(n.div_ceil(kernel.nr), g.n_ways());
+        let sync = 1.0 / (1.0 + 0.002 * g.sync_cohort() as f64);
+        // Prefer spreading across jc/ic over jr/ir slightly (coarser
+        // tasks amortize per-task overhead), matching BLIS defaults.
+        let coarse = 1.0 + 0.01 * ((g.jc * g.ic) as f64).ln_1p();
+        // Piling all the ways onto one loop concentrates the task
+        // granularity; BLIS spreads ways across loops (e.g. 8x8).
+        let max_way = g.jc.max(g.ic).max(g.jr).max(g.ir);
+        let conc = 1.0 / (1.0 + 0.005 * (max_way as f64 - 1.0));
+        let score = mu * nu * bal_m * bal_n * sync * coarse * conc;
+        if score > best_score {
+            best_score = score;
+            best = g;
+        }
+    }
+    best
+}
+
+/// Per-thread workload (element-MACs) for a grid, per the paper's
+/// Table II discussion: `(mc/ic·ways) × (nc/jc·ways) × kc` style
+/// partitioning generalized to the full problem.
+pub fn per_thread_macs(m: usize, n: usize, k: usize, grid: ThreadGrid) -> f64 {
+    (m as f64 / grid.m_ways() as f64) * (n as f64 / grid.n_ways() as f64) * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k88() -> KernelShape {
+        KernelShape::new(8, 8)
+    }
+
+    #[test]
+    fn grid_arithmetic() {
+        let g = ThreadGrid { jc: 8, ic: 2, jr: 4, ir: 1 };
+        assert_eq!(g.threads(), 64);
+        assert_eq!(g.m_ways(), 2);
+        assert_eq!(g.n_ways(), 32);
+        assert_eq!(g.sync_cohort(), 8);
+    }
+
+    #[test]
+    fn enumeration_covers_all_factorizations() {
+        let grids = enumerate_grids(64);
+        assert!(grids.iter().all(|g| g.threads() == 64));
+        // 64 = 2^6; number of ordered 4-factorizations = C(6+3,3) = 84.
+        assert_eq!(grids.len(), 84);
+        let unique: std::collections::HashSet<_> = grids.iter().collect();
+        assert_eq!(unique.len(), grids.len());
+    }
+
+    #[test]
+    fn enumeration_of_one_thread() {
+        let grids = enumerate_grids(1);
+        assert_eq!(grids, vec![ThreadGrid { jc: 1, ic: 1, jr: 1, ir: 1 }]);
+    }
+
+    #[test]
+    fn small_m_is_not_parallelized_over_m() {
+        // Paper example: M = 64 with 64 threads must not put all 64
+        // ways on the i/ii loops (that would force mc = mr = 1).
+        let g = select_grid(64, 4096, 4096, 64, k88());
+        assert!(g.m_ways() <= 8, "m_ways {} too high for M=64", g.m_ways());
+        assert!(g.n_ways() >= 8);
+    }
+
+    #[test]
+    fn small_n_is_not_parallelized_over_n() {
+        let g = select_grid(4096, 48, 4096, 64, k88());
+        assert!(g.n_ways() <= 8, "n_ways {} too high for N=48", g.n_ways());
+    }
+
+    #[test]
+    fn square_large_problem_uses_both_dims() {
+        let g = select_grid(4096, 4096, 256, 64, k88());
+        assert!(g.m_ways() > 1 && g.n_ways() > 1);
+    }
+
+    #[test]
+    fn utilization_penalizes_overdecomposition() {
+        // M=64, 64 ways, mr=8: per-thread M = 1, padded to 8 -> 12.5%.
+        assert!((m_utilization(64, 64, 8) - 0.125).abs() < 1e-12);
+        assert_eq!(m_utilization(64, 8, 8), 1.0);
+    }
+
+    #[test]
+    fn balance_is_one_for_even_splits() {
+        assert_eq!(balance(64, 8), 1.0);
+        assert!(balance(9, 8) < 1.0);
+        assert_eq!(balance(4, 1), 1.0);
+    }
+
+    #[test]
+    fn per_thread_macs_match_table_ii_example() {
+        // Paper: OpenBLAS with 64 threads on the ii loop gives each
+        // thread (mc/64) * nc * kc work.
+        let ob = ThreadGrid { jc: 1, ic: 64, jr: 1, ir: 1 };
+        let w = per_thread_macs(128, 4096, 256, ob);
+        assert!((w - (128.0 / 64.0) * 4096.0 * 256.0).abs() < 1e-6);
+        // BLIS 8x8 grid keeps cohorts at 8.
+        let blis = ThreadGrid { jc: 8, ic: 1, jr: 8, ir: 1 };
+        assert_eq!(blis.sync_cohort(), 8);
+        assert_eq!(ob.sync_cohort(), 64);
+    }
+
+    #[test]
+    fn selected_grid_always_uses_all_threads() {
+        for &t in &[1, 2, 4, 8, 16, 32, 64] {
+            for &(m, n) in &[(16, 2048), (2048, 16), (100, 100), (8, 8)] {
+                let g = select_grid(m, n, 256, t, k88());
+                assert_eq!(g.threads(), t, "grid {g:?} for m={m} n={n} t={t}");
+            }
+        }
+    }
+}

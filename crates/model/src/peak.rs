@@ -1,0 +1,190 @@
+//! Machine descriptions and peak-performance arithmetic.
+//!
+//! The paper's target is Phytium 2000+: 64 ARMv8 Xiaomi cores at 2.2 GHz,
+//! one 128-bit FMA pipe per core, 563.2 Gflops double-precision peak.
+
+/// Floating-point precision of a GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 32-bit IEEE-754 (the paper's formulas assume `sizeof(float)`).
+    F32,
+    /// 64-bit IEEE-754.
+    F64,
+}
+
+impl Precision {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+}
+
+/// Static description of a many-core machine for peak/efficiency math.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+    /// SIMD register width in bytes (16 for 128-bit NEON).
+    pub simd_bytes: usize,
+    /// FMA instructions issued per cycle per core.
+    pub fma_per_cycle: usize,
+    /// Number of cores.
+    pub cores: usize,
+}
+
+impl MachineSpec {
+    /// Phytium 2000+ as described in §II-A of the paper.
+    pub fn phytium_2000_plus() -> Self {
+        Self {
+            freq_hz: 2.2e9,
+            simd_bytes: 16,
+            fma_per_cycle: 1,
+            cores: 64,
+        }
+    }
+
+    /// SIMD lanes per register for a precision.
+    pub fn lanes(&self, prec: Precision) -> usize {
+        self.simd_bytes / prec.bytes()
+    }
+
+    /// Flops per cycle per core: `2 · lanes · fma_per_cycle`
+    /// (an FMA counts as a multiply and an add).
+    pub fn flops_per_cycle_per_core(&self, prec: Precision) -> f64 {
+        (2 * self.lanes(prec) * self.fma_per_cycle) as f64
+    }
+
+    /// Peak flops/s for `ncores` cores.
+    pub fn peak_flops(&self, prec: Precision, ncores: usize) -> f64 {
+        assert!(ncores >= 1 && ncores <= self.cores, "core count out of range");
+        self.flops_per_cycle_per_core(prec) * self.freq_hz * ncores as f64
+    }
+
+    /// Peak Gflops/s for `ncores` cores.
+    pub fn peak_gflops(&self, prec: Precision, ncores: usize) -> f64 {
+        self.peak_flops(prec, ncores) / 1e9
+    }
+
+    /// `Load_width` of Eq. 1: elements transferred by one vector load.
+    pub fn load_width(&self, prec: Precision) -> usize {
+        self.lanes(prec)
+    }
+
+    /// `FMA_width` of Eq. 2 under the paper's convention: the number of
+    /// floating-point data one FMA instruction computes, counting both
+    /// the multiply and the add (`2 · simd_bytes / sizeof(elem)`).
+    pub fn fma_width(&self, prec: Precision) -> usize {
+        2 * self.lanes(prec)
+    }
+
+    /// Efficiency of an observed rate against peak for `ncores` cores.
+    pub fn efficiency(&self, gflops: f64, prec: Precision, ncores: usize) -> Efficiency {
+        Efficiency {
+            gflops,
+            peak_gflops: self.peak_gflops(prec, ncores),
+        }
+    }
+
+    /// Gflops achieved by `flops` useful flops in `cycles` machine cycles
+    /// (wall-clock cycles, not core-cycles summed).
+    pub fn gflops_from_cycles(&self, flops: f64, cycles: u64) -> f64 {
+        assert!(cycles > 0, "cycle count must be positive");
+        flops / (cycles as f64 / self.freq_hz) / 1e9
+    }
+}
+
+/// An achieved rate paired with the relevant peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Achieved Gflops/s.
+    pub gflops: f64,
+    /// Peak Gflops/s of the configuration measured against.
+    pub peak_gflops: f64,
+}
+
+impl Efficiency {
+    /// Fraction of peak in `[0, ...)`.
+    pub fn fraction(&self) -> f64 {
+        self.gflops / self.peak_gflops
+    }
+
+    /// Percent of peak.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+/// Useful floating-point operations of `C = alpha*A*B + beta*C`:
+/// the conventional `2·M·N·K` count.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phytium_dp_peak_matches_paper() {
+        // §II-A: 563.2 Gflops double precision across 64 cores.
+        let m = MachineSpec::phytium_2000_plus();
+        let peak = m.peak_gflops(Precision::F64, 64);
+        assert!((peak - 563.2).abs() < 1e-9, "got {peak}");
+    }
+
+    #[test]
+    fn sp_peak_is_twice_dp() {
+        let m = MachineSpec::phytium_2000_plus();
+        let sp = m.peak_gflops(Precision::F32, 64);
+        let dp = m.peak_gflops(Precision::F64, 64);
+        assert!((sp - 2.0 * dp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_sp_peak() {
+        let m = MachineSpec::phytium_2000_plus();
+        // 2.2 GHz * 8 SP flops/cycle = 17.6 Gflops.
+        assert!((m.peak_gflops(Precision::F32, 1) - 17.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn widths_match_paper_equations() {
+        let m = MachineSpec::phytium_2000_plus();
+        // Eq. 1: Load_width = 16 / sizeof(float) = 4.
+        assert_eq!(m.load_width(Precision::F32), 4);
+        // Eq. 2: FMA_width = 2 * 16 / sizeof(float) = 8.
+        assert_eq!(m.fma_width(Precision::F32), 8);
+        assert_eq!(m.load_width(Precision::F64), 2);
+        assert_eq!(m.fma_width(Precision::F64), 4);
+    }
+
+    #[test]
+    fn efficiency_fraction() {
+        let m = MachineSpec::phytium_2000_plus();
+        let e = m.efficiency(8.8, Precision::F32, 1);
+        assert!((e.fraction() - 0.5).abs() < 1e-12);
+        assert!((e.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gflops_from_cycles_at_peak() {
+        let m = MachineSpec::phytium_2000_plus();
+        // One core running 1000 cycles at 8 flops/cycle.
+        let g = m.gflops_from_cycles(8.0 * 1000.0, 1000);
+        assert!((g - 17.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_flop_count() {
+        assert_eq!(gemm_flops(10, 20, 30), 12_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn rejects_too_many_cores() {
+        MachineSpec::phytium_2000_plus().peak_flops(Precision::F32, 65);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the analytical models.
+
+use proptest::prelude::*;
+use smm_model::{
+    derive_blocking, enumerate_grids, p2c, select_grid, CacheSizes, KernelShape, MachineSpec,
+    Precision, ThreadGrid,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// P2C decreases (weakly) in M and N and is independent of K.
+    #[test]
+    fn p2c_monotonicity(m in 1usize..500, n in 1usize..500, k in 1usize..500) {
+        let base = p2c::p2c_as_published(m, n);
+        prop_assert!(p2c::p2c_as_published(m + 1, n) <= base);
+        prop_assert!(p2c::p2c_as_published(m, n + 1) <= base);
+        let d1 = p2c::p2c_derived(m, n, k, 4, 8);
+        let d2 = p2c::p2c_derived(m, n, k + 17, 4, 8);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    /// The predicted packing share is a proper fraction and increases
+    /// with the cost ratio.
+    #[test]
+    fn packing_share_is_a_fraction(
+        m in 1usize..300,
+        n in 1usize..300,
+        k in 1usize..300,
+        ratio in 0.1f64..8.0,
+    ) {
+        let s = p2c::predicted_packing_share(m, n, k, 4, 8, ratio);
+        prop_assert!(s > 0.0 && s < 1.0);
+        let s2 = p2c::predicted_packing_share(m, n, k, 4, 8, ratio + 1.0);
+        prop_assert!(s2 > s);
+    }
+
+    /// Register accounting: Eq. 4 feasibility is monotone — shrinking a
+    /// feasible tile keeps it feasible.
+    #[test]
+    fn feasibility_is_monotone(mr in 1usize..=32, nr in 1usize..=32) {
+        let shape = KernelShape::new(mr, nr);
+        if shape.satisfies_register_constraint(4, 32, 2) {
+            for (smaller_mr, smaller_nr) in [(mr.max(2) - 1, nr), (mr, nr.max(2) - 1)] {
+                let s = KernelShape::new(smaller_mr.max(1), smaller_nr.max(1));
+                prop_assert!(s.satisfies_register_constraint(4, 32, 2));
+            }
+        }
+    }
+
+    /// CMR is bounded by twice the smaller dimension.
+    #[test]
+    fn cmr_bound(mr in 1usize..=64, nr in 1usize..=64) {
+        let cmr = KernelShape::new(mr, nr).cmr();
+        prop_assert!(cmr <= 2.0 * mr.min(nr) as f64 + 1e-12);
+        prop_assert!(cmr > 0.0);
+    }
+
+    /// Every enumerated grid multiplies back to the thread count, and
+    /// the selector's choice is always one of them.
+    #[test]
+    fn grids_partition_threads(threads in 1usize..=64) {
+        let grids = enumerate_grids(threads);
+        prop_assert!(grids.iter().all(|g| g.threads() == threads));
+        let chosen = select_grid(100, 100, 100, threads, KernelShape::new(8, 8));
+        prop_assert!(grids.contains(&chosen));
+    }
+
+    /// Grid selection never over-decomposes: per-thread M/N tiles stay
+    /// at least one register tile when the problem allows it.
+    #[test]
+    fn selection_keeps_tiles_whole(
+        m in 8usize..2048,
+        n in 8usize..2048,
+        threads_pow in 0u32..7,
+    ) {
+        let threads = 1usize << threads_pow;
+        let kernel = KernelShape::new(8, 8);
+        let g = select_grid(m, n, 64, threads, kernel);
+        // If there are at least `threads` full tiles in total, no thread
+        // should be starved below one tile in both dimensions.
+        let m_tiles = m / kernel.mr;
+        let n_tiles = n / kernel.nr;
+        if m_tiles * n_tiles >= threads && m_tiles >= 1 && n_tiles >= 1 {
+            let per_m = m.div_ceil(g.m_ways());
+            let per_n = n.div_ceil(g.n_ways());
+            prop_assert!(
+                per_m >= kernel.mr / 2 || per_n >= kernel.nr,
+                "grid {g:?} starves {m}x{n}"
+            );
+        }
+    }
+
+    /// Derived blocking always respects its cache budgets.
+    #[test]
+    fn blocking_respects_caches(
+        mr_idx in 0usize..3,
+        nr_idx in 0usize..3,
+        elem in prop::sample::select(vec![4usize, 8]),
+    ) {
+        let mr = [4usize, 8, 16][mr_idx];
+        let nr = [4usize, 8, 12][nr_idx];
+        let caches = CacheSizes::phytium_2000_plus();
+        let b = derive_blocking(caches, mr, nr, elem);
+        // One B sliver in half of L1 (allow the min-32 clamp slack).
+        prop_assert!(b.kc * nr * elem <= caches.l1d / 2 + 32 * nr * elem);
+        // Packed A block within half of L2 (allow one mr row of slack).
+        prop_assert!(b.mc * b.kc * elem <= caches.l2 / 2 + mr * b.kc * elem);
+        prop_assert!(b.mc.is_multiple_of(mr) && b.nc.is_multiple_of(nr));
+    }
+
+    /// Peak/efficiency arithmetic round-trips.
+    #[test]
+    fn efficiency_round_trips(cores in 1usize..=64, frac in 0.01f64..1.0) {
+        let spec = MachineSpec::phytium_2000_plus();
+        let peak = spec.peak_gflops(Precision::F32, cores);
+        let e = spec.efficiency(peak * frac, Precision::F32, cores);
+        prop_assert!((e.fraction() - frac).abs() < 1e-9);
+    }
+
+    /// Sync cohort never exceeds the thread count.
+    #[test]
+    fn cohorts_are_bounded(jc in 1usize..8, ic in 1usize..8, jr in 1usize..8, ir in 1usize..8) {
+        let g = ThreadGrid { jc, ic, jr, ir };
+        prop_assert!(g.sync_cohort() <= g.threads());
+        prop_assert_eq!(g.m_ways() * g.n_ways(), g.threads());
+    }
+}

@@ -1,0 +1,303 @@
+//! The simulated instruction set.
+//!
+//! A deliberately small ARMv8-flavoured ISA: exactly the instructions
+//! that Goto-style GEMM kernels and packing loops are written with
+//! (`ldr q`, `ldp s`, `fmla v.4s`, `str q`, address arithmetic, loop
+//! branches), plus a `Barrier` pseudo-instruction for thread
+//! synchronization.
+//!
+//! Registers are flat indices: `0..32` are the 128-bit vector registers
+//! `V0..V31`, `32..64` model scalar FP views (`S`/`D` registers), and
+//! `64..96` are general-purpose integer registers. The simulator renames
+//! ideally, so only read-after-write dependencies matter; architectural
+//! register pressure is the *emitter's* responsibility (checked against
+//! Eq. 4 of the paper in `smm-kernels`).
+
+use crate::phase::Phase;
+
+/// Architectural register index.
+pub type Reg = u8;
+
+/// Sentinel for "no register".
+pub const NO_REG: Reg = u8::MAX;
+
+/// First vector register.
+pub const V0: Reg = 0;
+/// Number of vector registers.
+pub const NUM_VREGS: Reg = 32;
+/// First scalar FP register.
+pub const S0: Reg = 32;
+/// First general-purpose integer register.
+pub const X0: Reg = 64;
+
+/// Vector register `Vn`.
+pub fn v(n: u8) -> Reg {
+    assert!(n < NUM_VREGS, "vector register V{n} out of range");
+    V0 + n
+}
+
+/// Scalar FP register `Sn`.
+pub fn s(n: u8) -> Reg {
+    assert!(n < 32, "scalar register S{n} out of range");
+    S0 + n
+}
+
+/// Integer register `Xn`.
+pub fn x(n: u8) -> Reg {
+    assert!(n < 32, "integer register X{n} out of range");
+    X0 + n
+}
+
+/// Scheduling queue an instruction dispatches into (§II-A: 2× Int/SIMD,
+/// 1× FP/SIMD, 1× Load/Store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The FP/SIMD queue (vector arithmetic).
+    Fp,
+    /// The load/store queue.
+    Ls,
+    /// The integer/SIMD queues (address arithmetic, branches).
+    Int,
+}
+
+/// Operations of the simulated ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// 128-bit vector load (`ldr q`): fills one vector register.
+    LdVec,
+    /// Scalar FP load (`ldr s`): fills one scalar register.
+    LdScalar,
+    /// Scalar FP pair load (`ldp s, s`): one access, two registers.
+    LdPair,
+    /// 128-bit vector store (`str q`).
+    StVec,
+    /// Scalar FP store (`str s`).
+    StScalar,
+    /// Vector fused multiply-add (`fmla v.4s, v.4s, v.s[lane]`):
+    /// `dst += src1 * src2`.
+    Fma,
+    /// Vector multiply (`fmul`), e.g. the `alpha` scaling of `C`.
+    VMul,
+    /// Vector add (`fadd`).
+    VAdd,
+    /// Broadcast a scalar across lanes (`dup v.4s, s`). Compiler-
+    /// generated kernels (Eigen) stage `B` this way, spending FP-pipe
+    /// slots that hand-written lane-indexed `fmla` avoids.
+    VDup,
+    /// Integer ALU operation (address increments, loop counters).
+    IOp,
+    /// Conditional loop branch (assumed perfectly predicted).
+    Branch,
+    /// Synchronization barrier pseudo-instruction. The payload is a
+    /// machine-unique barrier id; the number of participating cores is
+    /// carried in the instruction's `addr` field.
+    Barrier(u32),
+}
+
+impl Op {
+    /// Which scheduling queue the op occupies.
+    pub fn queue(self) -> QueueKind {
+        match self {
+            Op::LdVec | Op::LdScalar | Op::LdPair | Op::StVec | Op::StScalar => QueueKind::Ls,
+            Op::Fma | Op::VMul | Op::VAdd | Op::VDup => QueueKind::Fp,
+            Op::IOp | Op::Branch | Op::Barrier(_) => QueueKind::Int,
+        }
+    }
+
+    /// Is this a memory load?
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::LdVec | Op::LdScalar | Op::LdPair)
+    }
+
+    /// Is this a memory store?
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::StVec | Op::StScalar)
+    }
+}
+
+/// One instruction in a simulated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Inst {
+    /// Operation.
+    pub op: Op,
+    /// Destination register (or [`NO_REG`]).
+    pub dst: Reg,
+    /// Second destination (only `LdPair`).
+    pub dst2: Reg,
+    /// Source registers ([`NO_REG`] slots unused). For `Fma` the first
+    /// source is the accumulator itself.
+    pub srcs: [Reg; 3],
+    /// Byte address for memory ops; participant count for `Barrier`.
+    pub addr: u64,
+    /// Execution phase this instruction is accounted to.
+    pub phase: Phase,
+}
+
+impl Inst {
+    fn new(op: Op, phase: Phase) -> Self {
+        Inst {
+            op,
+            dst: NO_REG,
+            dst2: NO_REG,
+            srcs: [NO_REG; 3],
+            addr: 0,
+            phase,
+        }
+    }
+
+    /// `ldr q<dst>, [addr]`
+    pub fn ld_vec(dst: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::LdVec, phase);
+        i.dst = dst;
+        i.addr = addr;
+        i
+    }
+
+    /// `ldr s<dst>, [addr]`
+    pub fn ld_scalar(dst: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::LdScalar, phase);
+        i.dst = dst;
+        i.addr = addr;
+        i
+    }
+
+    /// `ldp s<dst>, s<dst2>, [addr]`
+    pub fn ld_pair(dst: Reg, dst2: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::LdPair, phase);
+        i.dst = dst;
+        i.dst2 = dst2;
+        i.addr = addr;
+        i
+    }
+
+    /// `str q<src>, [addr]`
+    pub fn st_vec(src: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::StVec, phase);
+        i.srcs[0] = src;
+        i.addr = addr;
+        i
+    }
+
+    /// `str s<src>, [addr]`
+    pub fn st_scalar(src: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::StScalar, phase);
+        i.srcs[0] = src;
+        i.addr = addr;
+        i
+    }
+
+    /// `fmla v<acc>, v<a>, v<b>[lane]` — `acc += a * b`.
+    pub fn fma(acc: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::Fma, phase);
+        i.dst = acc;
+        i.srcs = [acc, a, b];
+        i
+    }
+
+    /// `fmul v<dst>, v<a>, v<b>`
+    pub fn vmul(dst: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::VMul, phase);
+        i.dst = dst;
+        i.srcs = [a, b, NO_REG];
+        i
+    }
+
+    /// `fadd v<dst>, v<a>, v<b>`
+    pub fn vadd(dst: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::VAdd, phase);
+        i.dst = dst;
+        i.srcs = [a, b, NO_REG];
+        i
+    }
+
+    /// `dup v<dst>.4s, s<src>` — broadcast a scalar across lanes.
+    pub fn vdup(dst: Reg, src: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::VDup, phase);
+        i.dst = dst;
+        i.srcs = [src, NO_REG, NO_REG];
+        i
+    }
+
+    /// Integer ALU op writing `dst` (pass [`NO_REG`] for pure overhead).
+    pub fn iop(dst: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::IOp, phase);
+        i.dst = dst;
+        i
+    }
+
+    /// Loop branch.
+    pub fn branch(phase: Phase) -> Self {
+        Inst::new(Op::Branch, phase)
+    }
+
+    /// Barrier with a unique `id` across `participants` cores.
+    pub fn barrier(id: u32, participants: usize) -> Self {
+        let mut i = Inst::new(Op::Barrier(id), Phase::Sync);
+        i.addr = participants as u64;
+        i
+    }
+
+    /// Iterator over the valid source registers.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().copied().filter(|&r| r != NO_REG)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_match_microarchitecture() {
+        assert_eq!(Op::LdVec.queue(), QueueKind::Ls);
+        assert_eq!(Op::StVec.queue(), QueueKind::Ls);
+        assert_eq!(Op::Fma.queue(), QueueKind::Fp);
+        assert_eq!(Op::IOp.queue(), QueueKind::Int);
+        assert_eq!(Op::Branch.queue(), QueueKind::Int);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        assert!(Op::LdPair.is_load());
+        assert!(!Op::LdPair.is_store());
+        assert!(Op::StScalar.is_store());
+        assert!(!Op::Fma.is_load());
+    }
+
+    #[test]
+    fn fma_reads_its_accumulator() {
+        let i = Inst::fma(v(16), v(0), s(0), Phase::Kernel);
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![v(16), v(0), s(0)]);
+        assert_eq!(i.dst, v(16));
+    }
+
+    #[test]
+    fn ldp_fills_two_registers() {
+        let i = Inst::ld_pair(s(12), s(13), 0x1000, Phase::Kernel);
+        assert_eq!(i.dst, s(12));
+        assert_eq!(i.dst2, s(13));
+        assert_eq!(i.sources().count(), 0);
+    }
+
+    #[test]
+    fn register_namespaces_do_not_collide() {
+        assert_ne!(v(0), s(0));
+        assert_ne!(s(0), x(0));
+        assert!(x(31) < NO_REG);
+    }
+
+    #[test]
+    fn barrier_carries_participants() {
+        let b = Inst::barrier(7, 64);
+        assert_eq!(b.addr, 64);
+        assert!(matches!(b.op, Op::Barrier(7)));
+        assert_eq!(b.phase, Phase::Sync);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_register_bounds_checked() {
+        v(32);
+    }
+}

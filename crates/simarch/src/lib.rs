@@ -1,0 +1,45 @@
+//! A cycle-approximate simulator of the Phytium 2000+ many-core
+//! ARMv8 processor.
+//!
+//! The paper this repository reproduces characterizes small-scale GEMM
+//! on real Phytium 2000+ silicon. This crate substitutes for that
+//! hardware (see DESIGN.md §2): it models the documented
+//! microarchitecture — per-core out-of-order pipelines ([`cpu`]), the
+//! cache hierarchy with a non-LRU shared L2 ([`cache`]), NUMA panels
+//! ([`memory`]) and multi-core execution with barriers ([`machine`]) —
+//! and executes ARMv8-flavoured instruction streams ([`isa`], [`trace`])
+//! with per-phase cycle accounting ([`phase`]).
+//!
+//! # Example
+//!
+//! ```
+//! use smm_simarch::prelude::*;
+//!
+//! // 64 independent FMAs on 8 accumulators: near-peak throughput.
+//! let insts: Vec<Inst> = (0..64)
+//!     .map(|i| Inst::fma(v(16 + (i % 8) as u8), v(0), s(0), Phase::Kernel))
+//!     .collect();
+//! let report = simulate_single(Box::new(VecSource::new(insts)));
+//! assert_eq!(report.total_fmas(), 64);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod cpu;
+pub mod isa;
+pub mod machine;
+pub mod memory;
+pub mod phase;
+pub mod trace;
+
+/// Common imports for building and running simulations.
+pub mod prelude {
+    pub use crate::cache::{CacheConfig, Replacement};
+    pub use crate::cpu::{CoreReport, CoreStatus, PipelineConfig};
+    pub use crate::isa::{s, v, x, Inst, Op, Reg, NO_REG};
+    pub use crate::machine::{simulate_single, Machine, SimReport};
+    pub use crate::memory::{MemConfig, MemSystem, SimAlloc};
+    pub use crate::phase::{Phase, PhaseBreakdown};
+    pub use crate::trace::{ChainSource, FnSource, InstSource, VecSource};
+}

@@ -1,0 +1,332 @@
+//! Multi-core machine: cores, shared memory system, barriers.
+//!
+//! Cores are stepped in lockstep (round-robin within a global cycle),
+//! so shared-L2 interleaving and barrier waits are deterministic.
+
+use std::collections::HashMap;
+
+use crate::cpu::{CoreReport, CoreSim, CoreStatus, PipelineConfig};
+use crate::memory::{MemConfig, MemSystem};
+use crate::phase::{Phase, PhaseBreakdown};
+use crate::trace::InstSource;
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: usize,
+    participants: usize,
+    released: bool,
+}
+
+/// Tracks barrier arrivals across cores.
+#[derive(Debug, Default)]
+pub struct BarrierHub {
+    states: HashMap<u32, BarrierState>,
+}
+
+impl BarrierHub {
+    /// Record an arrival; releases the barrier when full.
+    pub fn arrive(&mut self, id: u32, participants: usize) {
+        let st = self.states.entry(id).or_default();
+        if st.participants == 0 {
+            st.participants = participants;
+        }
+        assert_eq!(
+            st.participants, participants,
+            "barrier {id} used with inconsistent participant counts"
+        );
+        st.arrived += 1;
+        assert!(
+            st.arrived <= st.participants,
+            "barrier {id} over-subscribed ({} > {})",
+            st.arrived,
+            st.participants
+        );
+        if st.arrived == st.participants {
+            st.released = true;
+        }
+    }
+
+    /// Has the barrier been released?
+    pub fn released(&self, id: u32) -> bool {
+        self.states.get(&id).is_some_and(|s| s.released)
+    }
+}
+
+/// Results of a whole-machine simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Makespan in cycles (cycle at which the last core drained).
+    pub cycles: u64,
+    /// Per-core reports.
+    pub cores: Vec<CoreReport>,
+}
+
+impl SimReport {
+    /// Phase cycles summed over all cores.
+    pub fn total_breakdown(&self) -> PhaseBreakdown {
+        self.cores
+            .iter()
+            .fold(PhaseBreakdown::new(), |acc, c| acc.merge(&c.phase_cycles))
+    }
+
+    /// Retired FMA instructions over all cores and phases.
+    pub fn total_fmas(&self) -> u64 {
+        self.cores.iter().map(|c| c.fma_by_phase.total()).sum()
+    }
+
+    /// FMA-issue occupancy during kernel phases (Kernel + Edge): the
+    /// "kernel efficiency" column of Table II. With one FMA per cycle at
+    /// peak, this is `kernel FMAs / kernel cycles`.
+    pub fn kernel_fma_utilization(&self) -> f64 {
+        let fmas: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.fma_by_phase.get(Phase::Kernel) + c.fma_by_phase.get(Phase::Edge))
+            .sum();
+        let cycles: u64 = self.cores.iter().map(|c| c.phase_cycles.kernel_combined()).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            fmas as f64 / cycles as f64
+        }
+    }
+
+    /// Achieved Gflops/s given the useful flop count and core frequency.
+    pub fn gflops(&self, useful_flops: f64, freq_hz: f64) -> f64 {
+        assert!(self.cycles > 0, "empty simulation");
+        useful_flops / (self.cycles as f64 / freq_hz) / 1e9
+    }
+}
+
+/// A configured multi-core machine ready to run one program per core.
+pub struct Machine {
+    mem: MemSystem,
+    cores: Vec<CoreSim>,
+    max_cycles: u64,
+}
+
+impl Machine {
+    /// Build a machine with one instruction source per core.
+    pub fn new(
+        pipeline: PipelineConfig,
+        mem_cfg: MemConfig,
+        sources: Vec<Box<dyn InstSource>>,
+    ) -> Self {
+        assert!(!sources.is_empty(), "need at least one core");
+        let mem = MemSystem::new(mem_cfg, sources.len());
+        let cores = sources
+            .into_iter()
+            .enumerate()
+            .map(|(id, src)| CoreSim::new(id, pipeline, src))
+            .collect();
+        Machine {
+            mem,
+            cores,
+            max_cycles: 20_000_000_000,
+        }
+    }
+
+    /// Override the runaway-guard cycle limit.
+    pub fn with_max_cycles(mut self, max: u64) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Access to the memory system (e.g. for cache statistics after a run).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Run all cores to completion.
+    pub fn run(&mut self) -> SimReport {
+        let mut hub = BarrierHub::default();
+        let mut now: u64 = 0;
+        loop {
+            let mut all_done = true;
+            let mut any_progress = false;
+            for core in &mut self.cores {
+                match core.status() {
+                    CoreStatus::Done => {}
+                    CoreStatus::Running => {
+                        all_done = false;
+                        any_progress = true;
+                        if let Some(id) = core.step(now, &mut self.mem) {
+                            hub.arrive(id, core.barrier_participants());
+                        }
+                    }
+                    CoreStatus::AtBarrier(id) => {
+                        all_done = false;
+                        if hub.released(id) {
+                            core.release_barrier();
+                            any_progress = true;
+                        } else {
+                            core.wait_cycle();
+                        }
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            assert!(
+                any_progress,
+                "barrier deadlock at cycle {now}: all live cores waiting on unreleased barriers"
+            );
+            now += 1;
+            assert!(now < self.max_cycles, "simulation exceeded {} cycles", self.max_cycles);
+        }
+        SimReport {
+            cycles: self
+                .cores
+                .iter()
+                .map(|c| c.report().cycles)
+                .max()
+                .unwrap_or(0),
+            cores: self.cores.iter().map(|c| c.report().clone()).collect(),
+        }
+    }
+}
+
+/// Convenience: run a single-core program on the Phytium model.
+pub fn simulate_single(source: Box<dyn InstSource>) -> SimReport {
+    let mut m = Machine::new(
+        PipelineConfig::phytium_core(),
+        MemConfig::phytium_2000_plus(),
+        vec![source],
+    );
+    m.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{s, v, Inst};
+    use crate::phase::Phase;
+    use crate::trace::VecSource;
+
+    fn fma_block(n: usize, phase: Phase) -> Vec<Inst> {
+        (0..n)
+            .map(|i| Inst::fma(v(16 + (i % 8) as u8), v(0), s(0), phase))
+            .collect()
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        let r = simulate_single(Box::new(VecSource::new(fma_block(1000, Phase::Kernel))));
+        assert_eq!(r.total_fmas(), 1000);
+        assert!(r.cycles >= 1000);
+        assert!(r.kernel_fma_utilization() > 0.8);
+    }
+
+    #[test]
+    fn two_cores_run_concurrently() {
+        let srcs: Vec<Box<dyn crate::trace::InstSource>> = vec![
+            Box::new(VecSource::new(fma_block(5000, Phase::Kernel))),
+            Box::new(VecSource::new(fma_block(5000, Phase::Kernel))),
+        ];
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            srcs,
+        );
+        let r = m.run();
+        // Concurrent: makespan close to a single core's time, not 2x.
+        assert!(r.cycles < 8000, "makespan {}", r.cycles);
+        assert_eq!(r.total_fmas(), 10_000);
+    }
+
+    #[test]
+    fn barrier_synchronizes_unequal_work() {
+        // Core 0 does 10k FMAs then barriers; core 1 barriers at once.
+        let mut a = fma_block(10_000, Phase::Kernel);
+        a.push(Inst::barrier(1, 2));
+        let mut b = vec![Inst::barrier(1, 2)];
+        b.extend(fma_block(10, Phase::Kernel));
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            vec![
+                Box::new(VecSource::new(a)) as Box<dyn crate::trace::InstSource>,
+                Box::new(VecSource::new(b)),
+            ],
+        );
+        let r = m.run();
+        // Core 1 waited roughly core 0's whole kernel time.
+        let sync1 = r.cores[1].phase_cycles.get(Phase::Sync);
+        assert!(sync1 > 8_000, "core 1 sync cycles {sync1}");
+        let sync0 = r.cores[0].phase_cycles.get(Phase::Sync);
+        assert!(sync0 < 100, "core 0 sync cycles {sync0}");
+    }
+
+    #[test]
+    fn chained_barriers_release_in_order() {
+        let prog = |n_work: usize| {
+            let mut p = fma_block(n_work, Phase::Kernel);
+            p.push(Inst::barrier(10, 2));
+            p.extend(fma_block(n_work, Phase::Kernel));
+            p.push(Inst::barrier(11, 2));
+            p
+        };
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            vec![
+                Box::new(VecSource::new(prog(100))) as Box<dyn crate::trace::InstSource>,
+                Box::new(VecSource::new(prog(200))),
+            ],
+        );
+        let r = m.run();
+        assert_eq!(r.total_fmas(), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_barrier_deadlocks_loudly() {
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            vec![Box::new(VecSource::new(vec![Inst::barrier(5, 2)]))
+                as Box<dyn crate::trace::InstSource>],
+        );
+        m.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn max_cycles_guard_fires() {
+        let src = VecSource::new(fma_block(100_000, Phase::Kernel));
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            vec![Box::new(src) as Box<dyn crate::trace::InstSource>],
+        )
+        .with_max_cycles(10);
+        m.run();
+    }
+
+    #[test]
+    fn gflops_math() {
+        let r = simulate_single(Box::new(VecSource::new(fma_block(2200, Phase::Kernel))));
+        // ~2200 cycles at 2.2 GHz executing 8 flops per FMA.
+        let g = r.gflops(2200.0 * 8.0, 2.2e9);
+        assert!(g > 10.0 && g <= 17.7, "gflops {g}");
+    }
+
+    #[test]
+    fn report_merges_phases_across_cores() {
+        let srcs: Vec<Box<dyn crate::trace::InstSource>> = vec![
+            Box::new(VecSource::new(fma_block(100, Phase::Kernel))),
+            Box::new(VecSource::new(fma_block(100, Phase::Edge))),
+        ];
+        let mut m = Machine::new(
+            PipelineConfig::phytium_core(),
+            MemConfig::phytium_2000_plus(),
+            srcs,
+        );
+        let r = m.run();
+        let b = r.total_breakdown();
+        assert!(b.get(Phase::Kernel) > 0);
+        assert!(b.get(Phase::Edge) > 0);
+        assert_eq!(b.kernel_combined(), b.get(Phase::Kernel) + b.get(Phase::Edge));
+    }
+}

@@ -1,0 +1,165 @@
+//! Execution-phase accounting.
+//!
+//! The paper's Table II breaks multi-threaded SMM time into Kernel,
+//! PackA, PackB and Sync. Every simulated instruction is tagged with a
+//! [`Phase`]; the core attributes each cycle to the phase of the oldest
+//! in-flight instruction, which yields the same style of breakdown.
+
+/// The phase a simulated instruction belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Packing the `A` operand into `Ã`.
+    PackA,
+    /// Packing the `B` operand into `B̃`.
+    PackB,
+    /// Main micro-kernel execution.
+    Kernel,
+    /// Edge-case micro-kernel execution (reported merged into Kernel in
+    /// Table II style output, but tracked separately for Fig. 9).
+    Edge,
+    /// Barrier wait time.
+    Sync,
+    /// Bookkeeping outside the above (loop setup, plan dispatch).
+    Overhead,
+}
+
+/// All phases, in display order.
+pub const ALL_PHASES: [Phase; 6] = [
+    Phase::PackA,
+    Phase::PackB,
+    Phase::Kernel,
+    Phase::Edge,
+    Phase::Sync,
+    Phase::Overhead,
+];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::PackA => 0,
+            Phase::PackB => 1,
+            Phase::Kernel => 2,
+            Phase::Edge => 3,
+            Phase::Sync => 4,
+            Phase::Overhead => 5,
+        }
+    }
+
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::PackA => "PackA",
+            Phase::PackB => "PackB",
+            Phase::Kernel => "Kernel",
+            Phase::Edge => "Edge",
+            Phase::Sync => "Sync",
+            Phase::Overhead => "Overhead",
+        }
+    }
+}
+
+/// Cycle (or count) totals per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    counts: [u64; 6],
+}
+
+impl PhaseBreakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a phase.
+    pub fn add(&mut self, phase: Phase, n: u64) {
+        self.counts[phase.index()] += n;
+    }
+
+    /// Value for a phase.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the total in a phase (0 if the total is 0).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / t as f64
+        }
+    }
+
+    /// Kernel + Edge combined, as Table II reports "Kernel".
+    pub fn kernel_combined(&self) -> u64 {
+        self.get(Phase::Kernel) + self.get(Phase::Edge)
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        let mut out = *self;
+        for (a, b) in out.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Kernel, 70);
+        b.add(Phase::PackB, 25);
+        b.add(Phase::Sync, 5);
+        assert_eq!(b.get(Phase::Kernel), 70);
+        assert_eq!(b.total(), 100);
+        assert!((b.fraction(Phase::PackB) - 0.25).abs() < 1e-12);
+        assert_eq!(b.fraction(Phase::PackA), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = PhaseBreakdown::new();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.fraction(Phase::Kernel), 0.0);
+    }
+
+    #[test]
+    fn kernel_combined_merges_edge() {
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::Kernel, 60);
+        b.add(Phase::Edge, 15);
+        assert_eq!(b.kernel_combined(), 75);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = PhaseBreakdown::new();
+        a.add(Phase::PackA, 1);
+        let mut b = PhaseBreakdown::new();
+        b.add(Phase::PackA, 2);
+        b.add(Phase::Sync, 3);
+        let m = a.merge(&b);
+        assert_eq!(m.get(Phase::PackA), 3);
+        assert_eq!(m.get(Phase::Sync), 3);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn all_phases_have_distinct_indices_and_labels() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ALL_PHASES {
+            assert!(seen.insert(p.index()));
+            assert!(!p.label().is_empty());
+        }
+    }
+}

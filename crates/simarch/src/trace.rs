@@ -1,0 +1,174 @@
+//! Streaming instruction sources.
+//!
+//! Full GEMM traces can run to hundreds of millions of instructions, so
+//! they are never materialized: a core pulls chunks from an
+//! [`InstSource`] on demand. Sources compose sequentially with
+//! [`ChainSource`], and ad-hoc generators are built from closures with
+//! [`FnSource`].
+
+use crate::isa::Inst;
+
+/// A stream of instructions delivered in chunks.
+pub trait InstSource {
+    /// Append the next chunk to `out`. Returns `false` — with nothing
+    /// appended — once the stream is exhausted. A `true` return with an
+    /// empty append is not allowed.
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool;
+}
+
+/// A source over a pre-built instruction vector (small traces, tests).
+pub struct VecSource {
+    insts: std::vec::IntoIter<Inst>,
+}
+
+impl VecSource {
+    /// Wrap a vector.
+    pub fn new(insts: Vec<Inst>) -> Self {
+        VecSource {
+            insts: insts.into_iter(),
+        }
+    }
+}
+
+impl InstSource for VecSource {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        // Deliver in bounded chunks to exercise the streaming path.
+        let mut n = 0;
+        for inst in self.insts.by_ref() {
+            out.push(inst);
+            n += 1;
+            if n == 4096 {
+                break;
+            }
+        }
+        n > 0
+    }
+}
+
+/// A source built from a closure; the closure appends a chunk and
+/// returns `false` when exhausted.
+pub struct FnSource<F: FnMut(&mut Vec<Inst>) -> bool> {
+    f: F,
+}
+
+impl<F: FnMut(&mut Vec<Inst>) -> bool> FnSource<F> {
+    /// Wrap a generator closure.
+    pub fn new(f: F) -> Self {
+        FnSource { f }
+    }
+}
+
+impl<F: FnMut(&mut Vec<Inst>) -> bool> InstSource for FnSource<F> {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        (self.f)(out)
+    }
+}
+
+/// Sequential composition of sources.
+pub struct ChainSource {
+    parts: Vec<Box<dyn InstSource>>,
+    idx: usize,
+}
+
+impl ChainSource {
+    /// Chain `parts` in order.
+    pub fn new(parts: Vec<Box<dyn InstSource>>) -> Self {
+        ChainSource { parts, idx: 0 }
+    }
+}
+
+impl InstSource for ChainSource {
+    fn next_chunk(&mut self, out: &mut Vec<Inst>) -> bool {
+        while self.idx < self.parts.len() {
+            if self.parts[self.idx].next_chunk(out) {
+                return true;
+            }
+            self.idx += 1;
+        }
+        false
+    }
+}
+
+/// Drain a source into a vector (tests and trace dumps only).
+pub fn collect_source(mut src: impl InstSource) -> Vec<Inst> {
+    let mut out = Vec::new();
+    while src.next_chunk(&mut out) {}
+    out
+}
+
+/// An empty source.
+pub struct EmptySource;
+
+impl InstSource for EmptySource {
+    fn next_chunk(&mut self, _out: &mut Vec<Inst>) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{v, Inst};
+    use crate::phase::Phase;
+
+    fn nops(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| Inst::ld_vec(v((i % 4) as u8), i as u64 * 16, Phase::Kernel))
+            .collect()
+    }
+
+    #[test]
+    fn vec_source_round_trips() {
+        let insts = nops(10_000);
+        let got = collect_source(VecSource::new(insts.clone()));
+        assert_eq!(got.len(), insts.len());
+        assert_eq!(got[777].addr, insts[777].addr);
+    }
+
+    #[test]
+    fn vec_source_chunks_are_bounded() {
+        let mut src = VecSource::new(nops(10_000));
+        let mut out = Vec::new();
+        assert!(src.next_chunk(&mut out));
+        assert_eq!(out.len(), 4096);
+    }
+
+    #[test]
+    fn fn_source_terminates() {
+        let mut remaining = 3;
+        let src = FnSource::new(move |out| {
+            if remaining == 0 {
+                return false;
+            }
+            remaining -= 1;
+            out.extend(nops(2));
+            true
+        });
+        assert_eq!(collect_source(src).len(), 6);
+    }
+
+    #[test]
+    fn chain_source_preserves_order() {
+        let a = VecSource::new(vec![Inst::ld_vec(v(0), 111, Phase::PackA)]);
+        let b = VecSource::new(vec![Inst::ld_vec(v(1), 222, Phase::PackB)]);
+        let got = collect_source(ChainSource::new(vec![Box::new(a), Box::new(b)]));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].addr, 111);
+        assert_eq!(got[1].addr, 222);
+    }
+
+    #[test]
+    fn chain_skips_empty_parts() {
+        let chain = ChainSource::new(vec![
+            Box::new(EmptySource),
+            Box::new(VecSource::new(nops(1))),
+            Box::new(EmptySource),
+        ]);
+        assert_eq!(collect_source(chain).len(), 1);
+    }
+
+    #[test]
+    fn empty_source_is_empty() {
+        assert!(collect_source(EmptySource).is_empty());
+    }
+}

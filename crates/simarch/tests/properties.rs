@@ -1,0 +1,126 @@
+//! Property tests for the machine model: conservation laws the
+//! simulator must satisfy for *any* program.
+
+use proptest::prelude::*;
+use smm_simarch::prelude::*;
+
+/// Generate an arbitrary short program of data-flow-valid instructions.
+fn arb_program() -> impl Strategy<Value = Vec<Inst>> {
+    let inst = (0u8..6, 0u8..16, 0u8..16, 0u64..4096u64).prop_map(|(kind, r1, r2, addr)| {
+        let phase = Phase::Kernel;
+        match kind {
+            0 => Inst::ld_vec(v(r1 % 8), addr * 16, phase),
+            1 => Inst::ld_scalar(s(r1), addr * 4, phase),
+            2 => Inst::st_vec(v(r1 % 8), addr * 16, phase),
+            3 => Inst::fma(v(16 + r1 % 8), v(r2 % 8), s(r2), phase),
+            4 => Inst::iop(x(r1 % 4), phase),
+            _ => Inst::branch(phase),
+        }
+    });
+    proptest::collection::vec(inst, 0..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every instruction retires exactly once, no matter the mix.
+    #[test]
+    fn all_instructions_retire(prog in arb_program()) {
+        let n = prog.len() as u64;
+        let report = simulate_single(Box::new(VecSource::new(prog)));
+        prop_assert_eq!(report.cores[0].retired, n);
+    }
+
+    /// Cycles are bounded below by the dispatch width and by the FP
+    /// port throughput, and above by a generous serial bound.
+    #[test]
+    fn cycle_bounds_hold(prog in arb_program()) {
+        let n = prog.len() as u64;
+        let fmas = prog.iter().filter(|i| matches!(i.op, Op::Fma)).count() as u64;
+        let report = simulate_single(Box::new(VecSource::new(prog)));
+        let cycles = report.cores[0].cycles;
+        // 4-wide dispatch lower bound.
+        prop_assert!(cycles + 1 >= n / 4, "cycles {cycles} for {n} insts");
+        // One FMA per cycle upper throughput.
+        prop_assert!(cycles >= fmas, "cycles {cycles} for {fmas} FMAs");
+        // Serial worst case: every instruction fully serialized at
+        // max latency (DRAM remote + queue slack).
+        prop_assert!(cycles <= 16 + n * 400, "cycles {cycles} for {n} insts");
+    }
+
+    /// Phase cycle accounting only covers phases that appear in the
+    /// program, and FMA counters match the program.
+    #[test]
+    fn accounting_is_consistent(prog in arb_program()) {
+        let fmas = prog.iter().filter(|i| matches!(i.op, Op::Fma)).count() as u64;
+        let loads = prog.iter().filter(|i| i.op.is_load()).count() as u64;
+        let stores = prog.iter().filter(|i| i.op.is_store()).count() as u64;
+        let report = simulate_single(Box::new(VecSource::new(prog)));
+        let core = &report.cores[0];
+        prop_assert_eq!(core.fma_by_phase.total(), fmas);
+        prop_assert_eq!(core.loads_by_phase.total(), loads);
+        prop_assert_eq!(core.stores_by_phase.total(), stores);
+        prop_assert_eq!(core.phase_cycles.get(Phase::Sync), 0);
+    }
+
+    /// Simulation is deterministic: identical programs produce
+    /// identical cycle counts.
+    #[test]
+    fn simulation_is_deterministic(prog in arb_program()) {
+        let a = simulate_single(Box::new(VecSource::new(prog.clone()))).cycles;
+        let b = simulate_single(Box::new(VecSource::new(prog))).cycles;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cache accesses never lose lines spuriously: after an access,
+    /// an immediate repeat is a hit.
+    #[test]
+    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let mut cache = smm_simarch::cache::Cache::new(CacheConfig::phytium_l1d());
+        for a in addrs {
+            cache.access(a);
+            assert!(cache.probe(a), "line {a:#x} evicted immediately");
+        }
+    }
+
+    /// The memory system's latency is always one of the modelled tiers
+    /// (plus bounded queueing).
+    #[test]
+    fn load_latency_is_tiered(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let cfg = MemConfig::phytium_2000_plus();
+        let mut mem = MemSystem::new(cfg, 1);
+        let mut clk = 0u64;
+        for a in addrs {
+            let lat = mem.load(0, a, clk);
+            prop_assert!(
+                lat == cfg.l1_hit
+                    || lat == cfg.l2_hit
+                    || (lat >= cfg.dram_local && lat <= cfg.dram_remote + 64 * cfg.dram_service),
+                "unexpected latency {lat}"
+            );
+            clk += lat;
+        }
+    }
+}
+
+/// Two cores running identical independent programs finish within one
+/// cycle of each other (fairness of the round-robin stepping).
+#[test]
+fn lockstep_fairness() {
+    let prog: Vec<Inst> = (0..2000)
+        .map(|i| Inst::fma(v(16 + (i % 8) as u8), v(0), s(0), Phase::Kernel))
+        .collect();
+    let mut m = Machine::new(
+        PipelineConfig::phytium_core(),
+        MemConfig::phytium_2000_plus(),
+        vec![
+            Box::new(VecSource::new(prog.clone())) as Box<dyn InstSource>,
+            Box::new(VecSource::new(prog)),
+        ],
+    );
+    let r = m.run();
+    let d = r.cores[0].cycles.abs_diff(r.cores[1].cycles);
+    assert!(d <= 1, "cores diverged by {d} cycles");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: multiply two small matrices with the reference SMM
+//! implementation and verify the result against the naive oracle.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smm_core::{PlanConfig, Smm, SmmPlan};
+use smm_gemm::gemm_naive;
+use smm_gemm::matrix::Mat;
+
+fn main() {
+    // An irregular small shape: tall-and-skinny C.
+    let (m, n, k) = (75, 12, 64);
+    let a = Mat::<f32>::random(m, k, 1);
+    let b = Mat::<f32>::random(k, n, 2);
+
+    // One-liner API: plans are built and cached automatically.
+    let smm = Smm::<f32>::new();
+    let mut c = Mat::<f32>::zeros(m, n);
+    smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+
+    // Verify against the triple loop.
+    let mut c_ref = Mat::<f32>::zeros(m, n);
+    gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+    let diff = c.max_abs_diff(&c_ref);
+    println!("C = A({m}x{k}) * B({k}x{n}); max |diff| vs naive = {diff:.2e}");
+    assert!(diff < 1e-3);
+
+    // Inspect what the planner decided for this shape.
+    let plan = SmmPlan::build(m, n, k, &PlanConfig::default());
+    println!("\nplan for {m}x{n}x{k}:");
+    println!("  micro-kernel   : {}x{}", plan.kernel.mr, plan.kernel.nr);
+    println!("  pack A         : {}", plan.pack_a);
+    println!("  pack B         : {}", plan.pack_b);
+    println!("  kc             : {}", plan.kc);
+    println!("  M tiles        : {:?}", plan.m_tiles.iter().map(|t| t.logical).collect::<Vec<_>>());
+    println!("  N tiles        : {:?}", plan.n_tiles.iter().map(|t| t.logical).collect::<Vec<_>>());
+    println!("  P2C (Eq. 3)    : {:.4}", plan.p2c);
+
+    // Repeated calls on the same shape reuse the cached plan.
+    for _ in 0..100 {
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+    println!("\ncached plans after 101 calls: {}", smm.cached_plans());
+}

@@ -1,0 +1,110 @@
+//! Property-based cross-strategy tests: for arbitrary small shapes and
+//! scalars, every implementation must agree with the naive oracle.
+
+use proptest::prelude::*;
+use smm_core::{PlanConfig, Smm, SmmPlan};
+use smm_gemm::matrix::Mat;
+use smm_gemm::{all_strategies, gemm_naive};
+
+fn tolerance(k: usize) -> f64 {
+    // Accumulation-order differences grow with K; inputs are bounded
+    // by ~1.2 in magnitude.
+    1e-4 * (k as f64 + 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four library strategies match naive on arbitrary shapes.
+    #[test]
+    fn strategies_match_naive(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Mat::<f32>::random(m, k, seed);
+        let b = Mat::<f32>::random(k, n, seed + 1);
+        let c0 = Mat::<f32>::random(m, n, seed + 2);
+        let mut c_ref = c0.clone();
+        gemm_naive(alpha, a.as_ref(), b.as_ref(), beta, c_ref.as_mut());
+        for s in all_strategies::<f32>() {
+            let mut c = c0.clone();
+            s.gemm(alpha, a.as_ref(), b.as_ref(), beta, c.as_mut(), 1);
+            let d = c.max_abs_diff(&c_ref);
+            prop_assert!(d < tolerance(k), "{} {m}x{n}x{k}: diff {d}", s.name());
+        }
+    }
+
+    /// The reference implementation matches naive for every packing
+    /// configuration.
+    #[test]
+    fn reference_matches_naive_all_configs(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        pack_a in proptest::bool::ANY,
+        pack_b in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let cfg = PlanConfig {
+            pack_a: Some(pack_a),
+            pack_b: Some(pack_b),
+            ..Default::default()
+        };
+        let plan = SmmPlan::build(m, n, k, &cfg);
+        let a = Mat::<f32>::random(m, k, seed);
+        let b = Mat::<f32>::random(k, n, seed + 1);
+        let mut c = Mat::<f32>::random(m, n, seed + 2);
+        let mut c_ref = c.clone();
+        smm_core::execute(&plan, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 1.0, c_ref.as_mut());
+        let d = c.max_abs_diff(&c_ref);
+        prop_assert!(d < tolerance(k), "{m}x{n}x{k} pa={pack_a} pb={pack_b}: diff {d}");
+    }
+
+    /// Threaded execution is equivalent to single-threaded.
+    #[test]
+    fn threads_do_not_change_results(
+        m in 1usize..64,
+        n in 1usize..64,
+        k in 1usize..32,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let a = Mat::<f32>::random(m, k, seed);
+        let b = Mat::<f32>::random(k, n, seed + 1);
+        let single = Smm::<f32>::new();
+        let multi = Smm::<f32>::with_threads(threads);
+        let mut c1 = Mat::<f32>::zeros(m, n);
+        let mut c2 = Mat::<f32>::zeros(m, n);
+        single.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+        multi.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c2.as_mut());
+        let d = c1.max_abs_diff(&c2);
+        prop_assert!(d < tolerance(k), "{m}x{n}x{k} t{threads}: diff {d}");
+    }
+
+    /// Plans are internally consistent for arbitrary shapes.
+    #[test]
+    fn plans_are_well_formed(
+        m in 1usize..300,
+        n in 1usize..300,
+        k in 1usize..300,
+        threads in 1usize..65,
+    ) {
+        let cfg = PlanConfig { max_threads: threads, ..Default::default() };
+        let p = SmmPlan::build(m, n, k, &cfg);
+        // Tiles cover the dimensions exactly.
+        prop_assert_eq!(p.m_tiles.iter().map(|t| t.logical).sum::<usize>(), m);
+        prop_assert_eq!(p.n_tiles.iter().map(|t| t.logical).sum::<usize>(), n);
+        // Exact tiling: no padding anywhere.
+        prop_assert!(p.m_tiles.iter().all(|t| t.kernel == t.logical));
+        // The kernel satisfies Eq. 4.
+        prop_assert!(p.kernel.satisfies_register_constraint(4, 32, 2));
+        // Thread budget respected and kc within bounds.
+        prop_assert!(p.threads() <= threads);
+        prop_assert!(p.kc >= 1 && p.kc <= k.max(32));
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulation-level invariants: the qualitative findings of the paper
+//! must hold on the simulated Phytium 2000+ for small problem sizes
+//! (kept small so these run quickly in debug builds).
+
+use smm_gemm::{all_strategies, BlasfeoStrategy, BlisStrategy, EigenStrategy, OpenBlasStrategy, Strategy};
+use smm_simarch::phase::Phase;
+
+fn eff1(s: &dyn Strategy<f32>, m: usize, n: usize, k: usize) -> f64 {
+    let flops = 2.0 * (m * n * k) as f64;
+    let r = s.sim(m, n, k, 1).run();
+    r.gflops(flops, 2.2e9) / 17.6
+}
+
+/// §III-A headline: BLASFEO (no packing) beats every packing library
+/// on small squares.
+#[test]
+fn blasfeo_wins_single_threaded_smm() {
+    let feo = BlasfeoStrategy::new();
+    let others: [&dyn Strategy<f32>; 3] = [&OpenBlasStrategy::new(), &BlisStrategy::new(), &EigenStrategy::new()];
+    for &size in &[24usize, 48] {
+        let f = eff1(&feo, size, size, size);
+        for o in others {
+            let e = eff1(o, size, size, size);
+            assert!(f > e, "size {size}: BLASFEO {f:.3} vs {} {e:.3}", o.name());
+        }
+    }
+}
+
+/// §III-A: OpenBLAS packing share decreases as M and N grow, and is
+/// much smaller when only K is small.
+#[test]
+fn packing_share_follows_p2c() {
+    let ob = OpenBlasStrategy::new();
+    let share = |m: usize, n: usize, k: usize| {
+        let r = Strategy::<f32>::sim(&ob, m, n, k, 1).run();
+        let b = r.total_breakdown();
+        b.fraction(Phase::PackA) + b.fraction(Phase::PackB)
+    };
+    let small_m = share(4, 96, 96);
+    let large_m = share(96, 96, 96);
+    assert!(small_m > large_m, "small M {small_m} vs large {large_m}");
+    let small_k = share(96, 96, 4);
+    assert!(small_m > 2.0 * small_k, "small M {small_m} should dwarf small K {small_k}");
+}
+
+/// §III-B: efficiency at a kernel-aligned size beats its unaligned
+/// neighbour (the paper's M=N=K=80 vs 75 example).
+#[test]
+fn aligned_sizes_beat_unaligned_neighbours() {
+    let ob = OpenBlasStrategy::new();
+    let aligned = eff1(&ob, 80, 80, 80);
+    let unaligned = eff1(&ob, 75, 75, 75);
+    assert!(
+        aligned > unaligned,
+        "80^3 {aligned:.3} should beat 75^3 {unaligned:.3}"
+    );
+}
+
+/// Eigen is the weakest single-threaded library at moderate sizes.
+#[test]
+fn eigen_trails_at_moderate_sizes() {
+    let eigen = eff1(&EigenStrategy::new(), 96, 96, 96);
+    for s in [&OpenBlasStrategy::new() as &dyn Strategy<f32>, &BlisStrategy::new()] {
+        let e = eff1(s, 96, 96, 96);
+        assert!(e > eigen, "{} {e:.3} vs Eigen {eigen:.3}", s.name());
+    }
+}
+
+/// §III-D: BLIS beats OpenBLAS with many threads on small-M problems,
+/// because OpenBLAS splits M across all threads.
+#[test]
+fn blis_wins_multithreaded_small_m() {
+    let (m, n, k, t) = (32usize, 256usize, 256usize, 16usize);
+    let flops = 2.0 * (m * n * k) as f64;
+    let blis = Strategy::<f32>::sim(&BlisStrategy::new(), m, n, k, t).run();
+    let ob = Strategy::<f32>::sim(&OpenBlasStrategy::new(), m, n, k, t).run();
+    let be = blis.gflops(flops, 2.2e9);
+    let oe = ob.gflops(flops, 2.2e9);
+    assert!(be > oe, "BLIS {be:.1} vs OpenBLAS {oe:.1} Gflops");
+}
+
+/// More cores must reduce makespan on a parallel-friendly problem.
+#[test]
+fn multithreading_scales_makespan() {
+    let blis = BlisStrategy::new();
+    let t1 = Strategy::<f32>::sim(&blis, 128, 128, 64, 1).run().cycles;
+    let t8 = Strategy::<f32>::sim(&blis, 128, 128, 64, 8).run().cycles;
+    assert!(
+        (t8 as f64) < 0.5 * t1 as f64,
+        "8 threads {t8} cycles vs 1 thread {t1}"
+    );
+}
+
+/// Simulated FMA counts are consistent with the arithmetic the shape
+/// requires (at least M*N*K/4 vector FMAs, plus C-merge overhead).
+#[test]
+fn fma_accounting_is_conservative() {
+    for s in all_strategies::<f32>() {
+        let r = s.sim(32, 24, 16, 1).run();
+        let min_fmas = (32 / 4) * 24 * 16;
+        assert!(
+            r.total_fmas() >= min_fmas as u64,
+            "{}: {} FMAs < {min_fmas}",
+            s.name(),
+            r.total_fmas()
+        );
+    }
+}
+
+/// Barrier accounting: multi-threaded OpenBLAS synchronizes, BLASFEO
+/// never packs, Eigen never syncs.
+#[test]
+fn phase_signatures_per_library() {
+    let ob = Strategy::<f32>::sim(&OpenBlasStrategy::new(), 48, 48, 32, 4).run();
+    assert!(ob.total_breakdown().get(Phase::Sync) > 0);
+    let feo = Strategy::<f32>::sim(&BlasfeoStrategy::new(), 48, 48, 32, 1).run();
+    assert_eq!(feo.total_breakdown().get(Phase::PackA), 0);
+    assert_eq!(feo.total_breakdown().get(Phase::PackB), 0);
+    let eig = Strategy::<f32>::sim(&EigenStrategy::new(), 48, 48, 32, 4).run();
+    assert_eq!(eig.total_breakdown().get(Phase::Sync), 0);
+}
+
+/// The §IV reference implementation beats the best library on the
+/// packing-hostile small-M shapes it was designed for.
+#[test]
+fn reference_impl_wins_on_small_m() {
+    let plan = smm_core::SmmPlan::build(6, 96, 96, &smm_core::PlanConfig::default());
+    let ours = smm_core::build_sim(&plan).run().cycles;
+    for s in all_strategies::<f32>() {
+        if s.name() == "BLASFEO" {
+            // BLASFEO assumes panel-major inputs; it is the only rival
+            // with zero packing and may tie or win.
+            continue;
+        }
+        let theirs = s.sim(6, 96, 96, 1).run().cycles;
+        assert!(
+            ours < theirs,
+            "SMM-Ref {ours} cycles vs {} {theirs}",
+            s.name()
+        );
+    }
+}
