@@ -1,48 +1,53 @@
 //! Native micro-kernel throughput: the Table I register tiles plus the
 //! OpenBLAS edge shapes, on packed operands (kc = 64).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smm_bench::timing::Group;
 use smm_kernels::Kernel;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native_microkernels");
+fn bench_kernels() {
+    let mut group = Group::new("native_microkernels");
     let kc = 64usize;
-    for &(mr, nr) in &[(16usize, 4usize), (8, 8), (8, 12), (12, 4), (4, 4), (2, 4), (1, 4)] {
+    for &(mr, nr) in &[
+        (16usize, 4usize),
+        (8, 8),
+        (8, 12),
+        (12, 4),
+        (4, 4),
+        (2, 4),
+        (1, 4),
+    ] {
         let a: Vec<f32> = (0..mr * kc).map(|i| (i % 13) as f32 * 0.25).collect();
         let b: Vec<f32> = (0..nr * kc).map(|i| (i % 7) as f32 * 0.5).collect();
         let mut cbuf = vec![0.0f32; mr * nr];
         let kernel = Kernel::<f32>::for_shape(mr, nr);
-        group.throughput(Throughput::Elements((2 * mr * nr * kc) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mr}x{nr}")),
-            &kernel,
-            |bench, kernel| {
-                bench.iter(|| {
-                    kernel.run(kc, 1.0, std::hint::black_box(&a), std::hint::black_box(&b), &mut cbuf, mr);
-                });
-            },
-        );
+        group.throughput((2 * mr * nr * kc) as u64);
+        group.bench(&format!("{mr}x{nr}"), || {
+            kernel.run(
+                kc,
+                1.0,
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                &mut cbuf,
+                mr,
+            );
+        });
     }
-    group.finish();
 }
 
-fn bench_static_vs_dynamic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_vs_dynamic_dispatch");
+fn bench_static_vs_dynamic() {
+    let mut group = Group::new("static_vs_dynamic_dispatch");
     let (mr, nr, kc) = (8usize, 8usize, 64usize);
     let a: Vec<f32> = (0..mr * kc).map(|i| i as f32 * 0.01).collect();
     let b: Vec<f32> = (0..nr * kc).map(|i| i as f32 * 0.02).collect();
     let mut cbuf = vec![0.0f32; mr * nr];
-    group.bench_function("static_8x8", |bench| {
-        let k = Kernel::<f32>::for_shape(8, 8);
-        bench.iter(|| k.run(kc, 1.0, &a, &b, &mut cbuf, mr));
+    let k = Kernel::<f32>::for_shape(8, 8);
+    group.bench("static_8x8", || k.run(kc, 1.0, &a, &b, &mut cbuf, mr));
+    group.bench("dynamic_8x8", || {
+        smm_kernels::native::microkernel_dyn(mr, nr, kc, 1.0, &a, &b, &mut cbuf, mr)
     });
-    group.bench_function("dynamic_8x8", |bench| {
-        bench.iter(|| {
-            smm_kernels::native::microkernel_dyn(mr, nr, kc, 1.0, &a, &b, &mut cbuf, mr)
-        });
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_static_vs_dynamic);
-criterion_main!(benches);
+fn main() {
+    bench_kernels();
+    bench_static_vs_dynamic();
+}

@@ -1,7 +1,7 @@
 //! Native GEMM throughput of the five implementations (four library
 //! strategies + the §IV reference) across representative SMM shapes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smm_bench::timing::Group;
 use smm_core::Smm;
 use smm_gemm::matrix::Mat;
 use smm_gemm::{all_strategies, gemm_naive};
@@ -10,42 +10,26 @@ fn shapes() -> Vec<(usize, usize, usize)> {
     vec![(32, 32, 32), (75, 60, 60), (8, 192, 192), (192, 8, 64)]
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native_strategies");
+fn main() {
+    let mut group = Group::new("native_strategies");
     for (m, n, k) in shapes() {
         let a = Mat::<f32>::random(m, k, 1);
         let b = Mat::<f32>::random(k, n, 2);
-        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.throughput((2 * m * n * k) as u64);
         for s in all_strategies::<f32>() {
             let mut cm = Mat::<f32>::zeros(m, n);
-            group.bench_with_input(
-                BenchmarkId::new(s.name(), format!("{m}x{n}x{k}")),
-                &(m, n, k),
-                |bench, _| {
-                    bench.iter(|| s.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut(), 1));
-                },
-            );
+            group.bench(&format!("{}/{m}x{n}x{k}", s.name()), || {
+                s.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut(), 1)
+            });
         }
         let smm = Smm::<f32>::new();
         let mut cm = Mat::<f32>::zeros(m, n);
-        group.bench_with_input(
-            BenchmarkId::new("SMM-Ref", format!("{m}x{n}x{k}")),
-            &(m, n, k),
-            |bench, _| {
-                bench.iter(|| smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut()));
-            },
-        );
+        group.bench(&format!("SMM-Ref/{m}x{n}x{k}"), || {
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut())
+        });
         let mut cm = Mat::<f32>::zeros(m, n);
-        group.bench_with_input(
-            BenchmarkId::new("naive", format!("{m}x{n}x{k}")),
-            &(m, n, k),
-            |bench, _| {
-                bench.iter(|| gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut()));
-            },
-        );
+        group.bench(&format!("naive/{m}x{n}x{k}"), || {
+            gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, cm.as_mut())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

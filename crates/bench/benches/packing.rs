@@ -2,35 +2,31 @@
 //! describes: `Ã` packing (contiguous column gathers) vs `B̃` packing
 //! (strided row gathers) vs the exact edge packing of Fig. 8.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smm_bench::timing::Group;
 use smm_gemm::matrix::Mat;
 use smm_gemm::pack::{pack_a, pack_a_exact, pack_b, pack_b_exact};
 
-fn bench_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("packing");
+fn main() {
+    let mut group = Group::new("packing");
     for &dim in &[32usize, 96, 192] {
         let a = Mat::<f32>::random(dim, dim, 1);
         let b = Mat::<f32>::random(dim, dim, 2);
         let mut buf = Vec::new();
-        group.throughput(Throughput::Elements((dim * dim) as u64));
-        group.bench_with_input(BenchmarkId::new("pack_a_mr16", dim), &dim, |bench, &d| {
-            bench.iter(|| pack_a(a.as_ref(), 0, 0, d, d, 16, &mut buf));
+        group.throughput((dim * dim) as u64);
+        group.bench(&format!("pack_a_mr16/{dim}"), || {
+            pack_a(a.as_ref(), 0, 0, dim, dim, 16, &mut buf)
         });
-        group.bench_with_input(BenchmarkId::new("pack_b_nr12", dim), &dim, |bench, &d| {
-            bench.iter(|| pack_b(b.as_ref(), 0, 0, d, d, 12, &mut buf));
+        group.bench(&format!("pack_b_nr12/{dim}"), || {
+            pack_b(b.as_ref(), 0, 0, dim, dim, 12, &mut buf)
         });
     }
     // Edge slivers: tiny exact packs.
     let a = Mat::<f32>::random(200, 200, 3);
     let mut buf = Vec::new();
-    group.bench_function("pack_a_exact_3x64", |bench| {
-        bench.iter(|| pack_a_exact(a.as_ref(), 100, 0, 3, 64, &mut buf));
+    group.bench("pack_a_exact_3x64", || {
+        pack_a_exact(a.as_ref(), 100, 0, 3, 64, &mut buf)
     });
-    group.bench_function("pack_b_exact_64x2", |bench| {
-        bench.iter(|| pack_b_exact(a.as_ref(), 0, 100, 64, 2, &mut buf));
+    group.bench("pack_b_exact_64x2", || {
+        pack_b_exact(a.as_ref(), 0, 100, 64, 2, &mut buf)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_packing);
-criterion_main!(benches);

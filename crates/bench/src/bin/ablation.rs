@@ -16,19 +16,33 @@ fn main() {
     // 1. Packing-optional: force pack on/off against the adaptive rule.
     println!("== Ablation 1: packing decisions (1 thread, efficiency %) ==\n");
     print_header(&["shape", "adaptive", "force-pack", "force-none"]);
-    for &(m, n, k) in &[(6, 96, 96), (16, 16, 16), (48, 48, 48), (96, 96, 96), (192, 8, 64)] {
+    for &(m, n, k) in &[
+        (6, 96, 96),
+        (16, 16, 16),
+        (48, 48, 48),
+        (96, 96, 96),
+        (192, 8, 64),
+    ] {
         let adaptive = reference_eff(m, n, k, &PlanConfig::default());
         let packed = reference_eff(
             m,
             n,
             k,
-            &PlanConfig { pack_a: Some(true), pack_b: Some(true), ..Default::default() },
+            &PlanConfig {
+                pack_a: Some(true),
+                pack_b: Some(true),
+                ..Default::default()
+            },
         );
         let unpacked = reference_eff(
             m,
             n,
             k,
-            &PlanConfig { pack_a: Some(false), pack_b: Some(false), ..Default::default() },
+            &PlanConfig {
+                pack_a: Some(false),
+                pack_b: Some(false),
+                ..Default::default()
+            },
         );
         print_row(&format!("{m}x{n}x{k}"), &[adaptive, packed, unpacked]);
     }
@@ -41,7 +55,10 @@ fn main() {
         let meas = measure_strategy(s.as_ref(), 75, 60, 60, 1);
         print_row(s.name(), &[meas.efficiency_pct, meas.edge_pct]);
     }
-    let meas = measure(build_sim(&SmmPlan::build(75, 60, 60, &PlanConfig::default())), 1);
+    let meas = measure(
+        build_sim(&SmmPlan::build(75, 60, 60, &PlanConfig::default())),
+        1,
+    );
     print_row("SMM-Ref", &[meas.efficiency_pct, meas.edge_pct]);
 
     // 3. Micro-kernel choice: override the adaptive selection.
@@ -65,14 +82,22 @@ fn main() {
     for &(m, n, k) in &[(8usize, 96usize, 96usize), (16, 256, 256), (64, 512, 512)] {
         let ob = measure_strategy(&OpenBlasStrategy::new(), m, n, k, 64);
         let blis = measure_strategy(&BlisStrategy::new(), m, n, k, 64);
-        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        let cfg = PlanConfig {
+            max_threads: 64,
+            ..Default::default()
+        };
         let plan = SmmPlan::build(m, n, k, &cfg);
         // Measured against the full 64-core peak even if the plan
         // clamps its thread count.
         let ours = measure(build_sim(&plan), 64);
         print_row(
             &format!("{m}x{n}x{k}"),
-            &[ob.efficiency_pct, blis.efficiency_pct, ours.efficiency_pct, ours.sync_pct],
+            &[
+                ob.efficiency_pct,
+                blis.efficiency_pct,
+                ours.efficiency_pct,
+                ours.sync_pct,
+            ],
         );
     }
 }

@@ -7,8 +7,7 @@
 //! an LRU L2, a disabled stream prefetcher, half/double DRAM bandwidth,
 //! and a 2×-latency FMA pipe.
 
-
-use smm_gemm::{BlisStrategy, BlasfeoStrategy, Strategy};
+use smm_gemm::{BlasfeoStrategy, BlisStrategy, Strategy};
 use smm_simarch::cache::Replacement;
 use smm_simarch::cpu::PipelineConfig;
 use smm_simarch::memory::MemConfig;
@@ -33,12 +32,36 @@ fn variants() -> Vec<Variant> {
     let mut slow_fma = stock_p;
     slow_fma.fma_latency = stock_p.fma_latency * 2;
     vec![
-        Variant { name: "stock", pipeline: stock_p, mem: stock_m },
-        Variant { name: "LRU L2", pipeline: stock_p, mem: lru },
-        Variant { name: "no prefetch", pipeline: stock_p, mem: nopf },
-        Variant { name: "half DRAM bw", pipeline: stock_p, mem: half_bw },
-        Variant { name: "2x DRAM bw", pipeline: stock_p, mem: double_bw },
-        Variant { name: "2x FMA lat", pipeline: slow_fma, mem: stock_m },
+        Variant {
+            name: "stock",
+            pipeline: stock_p,
+            mem: stock_m,
+        },
+        Variant {
+            name: "LRU L2",
+            pipeline: stock_p,
+            mem: lru,
+        },
+        Variant {
+            name: "no prefetch",
+            pipeline: stock_p,
+            mem: nopf,
+        },
+        Variant {
+            name: "half DRAM bw",
+            pipeline: stock_p,
+            mem: half_bw,
+        },
+        Variant {
+            name: "2x DRAM bw",
+            pipeline: stock_p,
+            mem: double_bw,
+        },
+        Variant {
+            name: "2x FMA lat",
+            pipeline: slow_fma,
+            mem: stock_m,
+        },
     ]
 }
 
@@ -62,7 +85,10 @@ fn main() {
 
     for (label, job_fn, threads, flops) in jobs {
         println!("\n== {label} across machine variants ==\n");
-        println!("{:>14} {:>9} {:>10} {:>9}", "variant", "eff%", "kernutil%", "cycles_k");
+        println!(
+            "{:>14} {:>9} {:>10} {:>9}",
+            "variant", "eff%", "kernutil%", "cycles_k"
+        );
         println!("{}", "-".repeat(46));
         for v in variants() {
             let report = job_fn().run_on(v.pipeline, v.mem);

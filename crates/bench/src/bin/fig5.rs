@@ -10,7 +10,10 @@
 //! Usage: `fig5 [a|b|c|d|all] [--full]`. A fifth column reports our
 //! §IV reference implementation (an extension over the paper).
 
-use smm_bench::{fig5_small_sizes, fig5a_sizes, measure_reference, measure_strategy, print_header, print_row, FIXED_DIM};
+use smm_bench::{
+    fig5_small_sizes, fig5a_sizes, measure_reference, measure_strategy, print_header, print_row,
+    FIXED_DIM,
+};
 use smm_gemm::all_strategies;
 
 fn sweep(label: &str, points: &[(usize, usize, usize)]) {

@@ -30,7 +30,12 @@ fn main() {
             let model = predicted_packing_share(m, n, k, 4, 8, 2.0) * 100.0;
             print_row(
                 &format!("{panel}={s}"),
-                &[meas.packa_pct, meas.packb_pct, meas.packa_pct + meas.packb_pct, model],
+                &[
+                    meas.packa_pct,
+                    meas.packb_pct,
+                    meas.packa_pct + meas.packb_pct,
+                    model,
+                ],
             );
         }
     }

@@ -12,7 +12,13 @@ use smm_simarch::machine::simulate_single;
 use smm_simarch::phase::Phase;
 use smm_simarch::trace::VecSource;
 
-fn params(mr: usize, nr: usize, policy: SchedulePolicy, unroll: usize, kc: usize) -> KernelTraceParams {
+fn params(
+    mr: usize,
+    nr: usize,
+    policy: SchedulePolicy,
+    unroll: usize,
+    kc: usize,
+) -> KernelTraceParams {
     KernelTraceParams {
         desc: MicroKernelDesc::new(mr, nr, unroll, policy, BLoadStyle::ScalarPairs),
         kc,
@@ -50,12 +56,19 @@ fn main() {
     let p = params(8, 4, SchedulePolicy::Naive, 1, 4);
     let (insts, _) = kernel_trace(&p);
     for inst in insts.iter().skip(1).take(13) {
-        let dst = if inst.dst == NO_REG { String::new() } else { format!(" -> r{}", inst.dst) };
+        let dst = if inst.dst == NO_REG {
+            String::new()
+        } else {
+            format!(" -> r{}", inst.dst)
+        };
         println!("  {:<10} addr {:#8x}{}", mnemonic(inst.op), inst.addr, dst);
     }
 
     println!("\n== Isolated kernel efficiency by tile and scheduling policy (kc=256) ==\n");
-    println!("{:>8} {:>12} {:>8} {:>10}", "tile", "policy", "unroll", "FMA util%");
+    println!(
+        "{:>8} {:>12} {:>8} {:>10}",
+        "tile", "policy", "unroll", "FMA util%"
+    );
     for (mr, nr, policy, unroll) in [
         (16, 4, SchedulePolicy::Interleaved, 8),
         (16, 4, SchedulePolicy::Naive, 1),
@@ -67,7 +80,11 @@ fn main() {
         (4, 1, SchedulePolicy::Naive, 1),
         (12, 4, SchedulePolicy::Compiler, 1),
     ] {
-        let b_load = if policy == SchedulePolicy::Compiler { BLoadStyle::Scalars } else { BLoadStyle::ScalarPairs };
+        let b_load = if policy == SchedulePolicy::Compiler {
+            BLoadStyle::Scalars
+        } else {
+            BLoadStyle::ScalarPairs
+        };
         let mut p = params(mr, nr, policy, unroll, 256);
         p.desc = MicroKernelDesc::new(mr, nr, unroll, policy, b_load);
         let (insts, stats) = kernel_trace(&p);

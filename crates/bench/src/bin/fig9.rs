@@ -14,7 +14,9 @@ fn main() {
     let step = if full_mode() { 5 } else { 15 };
     let sizes: Vec<usize> = (step..=200).step_by(step).collect();
     for (panel, dim) in [("M", 0usize), ("N", 1), ("K", 2)] {
-        println!("\n== Fig 9: OpenBLAS kernel-only efficiency sweeping {panel} (fixed dims = 100) ==");
+        println!(
+            "\n== Fig 9: OpenBLAS kernel-only efficiency sweeping {panel} (fixed dims = 100) =="
+        );
         print_header(&["size", "kern eff%", "edge%"]);
         for &s in &sizes {
             let (m, n, k) = match dim {
@@ -23,7 +25,10 @@ fn main() {
                 _ => (100, 100, s),
             };
             let meas = measure_strategy(&ob, m, n, k, 1);
-            print_row(&format!("{panel}={s}"), &[meas.kernel_only_eff_pct, meas.edge_pct]);
+            print_row(
+                &format!("{panel}={s}"),
+                &[meas.kernel_only_eff_pct, meas.edge_pct],
+            );
         }
     }
     println!("\nDips align with sizes that are not multiples of 16 (mr) / 4 (nr):");

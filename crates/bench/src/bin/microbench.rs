@@ -56,7 +56,11 @@ fn stream_bandwidth(cores: usize) -> f64 {
             Box::new(VecSource::new(insts)) as Box<dyn InstSource>
         })
         .collect();
-    let mut m = Machine::new(PipelineConfig::phytium_core(), MemConfig::phytium_2000_plus(), sources);
+    let mut m = Machine::new(
+        PipelineConfig::phytium_core(),
+        MemConfig::phytium_2000_plus(),
+        sources,
+    );
     let r = m.run();
     let total_bytes = bytes_per_core as f64 * cores as f64;
     total_bytes / (r.cycles as f64 / 2.2e9) / 1e9
@@ -64,7 +68,9 @@ fn stream_bandwidth(cores: usize) -> f64 {
 
 fn fma_pipe() -> (f64, f64) {
     let n = 20_000;
-    let serial: Vec<Inst> = (0..n).map(|_| Inst::fma(v(16), v(0), s(0), Phase::Kernel)).collect();
+    let serial: Vec<Inst> = (0..n)
+        .map(|_| Inst::fma(v(16), v(0), s(0), Phase::Kernel))
+        .collect();
     let lat = simulate_single(Box::new(VecSource::new(serial))).cycles as f64 / n as f64;
     let parallel: Vec<Inst> = (0..n)
         .map(|i| Inst::fma(v(16 + (i % 10) as u8), v(0), s(0), Phase::Kernel))
@@ -76,16 +82,33 @@ fn fma_pipe() -> (f64, f64) {
 fn main() {
     println!("== Simulated memory-hierarchy microbenchmarks (Phytium 2000+ model) ==\n");
     println!("dependent-load latency by working set, load-to-use + issue overhead\n(config: L1 hit 3, L2 hit 24, local DRAM 150):");
-    for (label, ws) in [("16 KB (L1)", 16u64 << 10), ("512 KB (L2)", 512 << 10), ("8 MB (DRAM)", 8 << 20)] {
+    for (label, ws) in [
+        ("16 KB (L1)", 16u64 << 10),
+        ("512 KB (L2)", 512 << 10),
+        ("8 MB (DRAM)", 8 << 20),
+    ] {
         println!("  {label:>14}: {:>6.1} cycles/load", chase_latency(ws));
     }
     println!("\nNUMA (config: local 150, remote 240):");
-    println!("  {:>14}: {:>6.1} cycles/load", "local panel", numa_latency(false));
-    println!("  {:>14}: {:>6.1} cycles/load", "remote panel", numa_latency(true));
+    println!(
+        "  {:>14}: {:>6.1} cycles/load",
+        "local panel",
+        numa_latency(false)
+    );
+    println!(
+        "  {:>14}: {:>6.1} cycles/load",
+        "remote panel",
+        numa_latency(true)
+    );
     println!("\nstreaming bandwidth from one panel (config: 8 cycles per 64 B line ≈ 17.6 GB/s):");
     for cores in [1usize, 2, 4, 8] {
-        println!("  {cores:>2} reader(s): {:>6.1} GB/s", stream_bandwidth(cores));
+        println!(
+            "  {cores:>2} reader(s): {:>6.1} GB/s",
+            stream_bandwidth(cores)
+        );
     }
     let (lat, thr) = fma_pipe();
-    println!("\nFMA pipe: latency {lat:.1} cycles (config 5), throughput {thr:.2}/cycle (config 1)");
+    println!(
+        "\nFMA pipe: latency {lat:.1} cycles (config 5), throughput {thr:.2}/cycle (config 1)"
+    );
 }

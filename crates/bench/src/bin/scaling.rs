@@ -18,12 +18,20 @@ fn main() {
             let ob = measure_strategy(&OpenBlasStrategy::new(), m, n, k, t);
             let blis = measure_strategy(&BlisStrategy::new(), m, n, k, t);
             let eig = measure_strategy(&EigenStrategy::new(), m, n, k, t);
-            let cfg = PlanConfig { max_threads: t, ..Default::default() };
+            let cfg = PlanConfig {
+                max_threads: t,
+                ..Default::default()
+            };
             let plan = SmmPlan::build(m, n, k, &cfg);
             let ours = measure(build_sim(&plan), t);
             print_row(
                 &t.to_string(),
-                &[ob.efficiency_pct, blis.efficiency_pct, eig.efficiency_pct, ours.efficiency_pct],
+                &[
+                    ob.efficiency_pct,
+                    blis.efficiency_pct,
+                    eig.efficiency_pct,
+                    ours.efficiency_pct,
+                ],
             );
         }
     }

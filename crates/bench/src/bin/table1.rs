@@ -21,12 +21,10 @@ fn main() {
         }
         println!();
     };
-    row("layers of assembly", &|p| {
-        match p.name {
-            "OpenBLAS" => "4-7".into(),
-            "BLIS" | "BLASFEO" => "6-7".into(),
-            _ => "none".into(),
-        }
+    row("layers of assembly", &|p| match p.name {
+        "OpenBLAS" => "4-7".into(),
+        "BLIS" | "BLASFEO" => "6-7".into(),
+        _ => "none".into(),
     });
     row("unrolling factor", &|p| p.main.unroll.to_string());
     row("mr x nr", &|p| {
@@ -38,14 +36,14 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",")
     });
-    row("edge handling", &|p| {
-        match p.edge {
-            EdgeStrategy::EdgeKernels => "edge krnl".into(),
-            EdgeStrategy::Padding => "zero pad".into(),
-        }
+    row("edge handling", &|p| match p.edge {
+        EdgeStrategy::EdgeKernels => "edge krnl".into(),
+        EdgeStrategy::Padding => "zero pad".into(),
     });
     row("B staging", &|p| format!("{:?}", p.main.b_load));
     row("CMR (Eq. 5)", &|p| format!("{:.1}", p.main.shape.cmr()));
-    row("acc registers", &|p| p.main.shape.accumulator_registers(4).to_string());
+    row("acc registers", &|p| {
+        p.main.shape.accumulator_registers(4).to_string()
+    });
     println!("\nAll kernels satisfy the Eq. 4 register constraint (<= 30 accumulators).");
 }

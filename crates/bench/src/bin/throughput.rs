@@ -1,0 +1,248 @@
+//! Runtime throughput: pooled dispatch vs spawn-per-call.
+//!
+//! The §III-D finding is that thread startup dominates small-shape
+//! parallel GEMM. This bin quantifies the fix: the persistent-pool
+//! runtime is driven with many small GEMMs — batched, single-call
+//! multi-threaded, and from concurrent caller threads — against a
+//! spawn-per-call baseline doing the identical arithmetic with fresh
+//! `std::thread::scope` threads on every call.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use smm_core::{PlanConfig, Smm, SmmPlan};
+use smm_gemm::matrix::{Mat, MatMut, MatRef};
+use smm_gemm::parallel::split_ranges;
+
+const THREADS: usize = 4;
+
+/// Wall-time one closure: short warmup, then the best of 5 timed
+/// blocks of `iters` runs (minimum rejects scheduler noise).
+fn time_per_call(iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn report(label: &str, per_call: f64, flops_per_call: f64) {
+    println!(
+        "  {label:<44} {:>10.2} us/call {:>9.2} GFLOP/s",
+        per_call * 1e6,
+        flops_per_call / per_call / 1e9
+    );
+}
+
+/// Spawn-per-call baseline for a batch: the same round-robin entry
+/// distribution `gemm_batch` uses, but on threads created per call.
+type Entry<'x> = (&'x Mat<f32>, &'x Mat<f32>, &'x mut Mat<f32>);
+
+fn batch_spawn_per_call(plan: &SmmPlan, a: &[Mat<f32>], b: &[Mat<f32>], c: &mut [Mat<f32>]) {
+    let mut groups: Vec<Vec<Entry<'_>>> = (0..THREADS).map(|_| Vec::new()).collect();
+    for (i, ci) in c.iter_mut().enumerate() {
+        groups[i % THREADS].push((&a[i], &b[i], ci));
+    }
+    std::thread::scope(|s| {
+        for group in groups {
+            s.spawn(move || {
+                for (ai, bi, ci) in group {
+                    smm_core::execute(plan, 1.0, ai.as_ref(), bi.as_ref(), 0.0, ci.as_mut());
+                }
+            });
+        }
+    });
+}
+
+/// Spawn-per-call baseline for one multi-threaded GEMM: the historical
+/// executor shape — an `m_ways x n_ways` block grid, one fresh thread
+/// per cell, private accumulators merged after the join.
+fn gemm_spawn_per_call(
+    chunk_plans: &[Vec<Arc<SmmPlan>>],
+    rows: &[(usize, usize)],
+    cols: &[(usize, usize)],
+    a: MatRef<'_, f32>,
+    b: MatRef<'_, f32>,
+    mut c: MatMut<'_, f32>,
+) {
+    let k = a.cols();
+    let mut cells = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ri, &(i0, mt)) in rows.iter().enumerate() {
+            for (ci, &(j0, nt)) in cols.iter().enumerate() {
+                if mt == 0 || nt == 0 {
+                    continue;
+                }
+                let plan = Arc::clone(&chunk_plans[ri][ci]);
+                let a_blk = a.block(i0, 0, mt, k);
+                let b_blk = b.block(0, j0, k, nt);
+                handles.push(s.spawn(move || {
+                    let mut local = Mat::<f32>::zeros(mt, nt);
+                    smm_core::execute(&plan, 1.0, a_blk, b_blk, 0.0, local.as_mut());
+                    (i0, j0, local)
+                }));
+            }
+        }
+        for h in handles {
+            cells.push(h.join().unwrap());
+        }
+    });
+    for (i0, j0, local) in cells {
+        for j in 0..local.cols() {
+            for i in 0..local.rows() {
+                let v = c.at(i0 + i, j0 + j) + local[(i, j)];
+                c.set(i0 + i, j0 + j, v);
+            }
+        }
+    }
+}
+
+fn batch_section() {
+    println!("batched small GEMMs ({THREADS} threads, batch of 64):");
+    for &(m, n, k) in &[(8usize, 8usize, 8usize), (16, 16, 16), (24, 24, 24)] {
+        let batch = 64;
+        let flops = (2.0 * m as f64 * n as f64 * k as f64) * batch as f64;
+        let a: Vec<Mat<f32>> = (0..batch).map(|i| Mat::random(m, k, i as u64)).collect();
+        let b: Vec<Mat<f32>> = (0..batch)
+            .map(|i| Mat::random(k, n, 100 + i as u64))
+            .collect();
+
+        let smm = Smm::<f32>::with_threads(THREADS);
+        let desc = smm_core::StridedBatch::dense(m, n, k, batch);
+        let a_flat: Vec<f32> = a.iter().flat_map(|x| x.data().to_vec()).collect();
+        let b_flat: Vec<f32> = b.iter().flat_map(|x| x.data().to_vec()).collect();
+        let mut c_flat = vec![0.0f32; batch * desc.stride_c];
+        let pooled = time_per_call(300, || {
+            smm.gemm_batch(&desc, 1.0, &a_flat, &b_flat, 0.0, &mut c_flat)
+                .unwrap();
+        });
+
+        let plan = Arc::new(SmmPlan::build(m, n, k, &PlanConfig::default()));
+        let mut c_mats: Vec<Mat<f32>> = (0..batch).map(|_| Mat::zeros(m, n)).collect();
+        let spawned = time_per_call(300, || {
+            batch_spawn_per_call(&plan, &a, &b, &mut c_mats);
+        });
+
+        report(
+            &format!("{m}x{n}x{k} x{batch}  pooled (gemm_batch)"),
+            pooled,
+            flops,
+        );
+        report(
+            &format!("{m}x{n}x{k} x{batch}  spawn-per-call"),
+            spawned,
+            flops,
+        );
+        println!("    -> pool speedup {:.2}x", spawned / pooled);
+    }
+}
+
+fn single_gemm_section() {
+    println!("\nsingle multi-threaded GEMM ({THREADS} threads):");
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (96, 96, 48)] {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let a = Mat::<f32>::random(m, k, 7);
+        let b = Mat::<f32>::random(k, n, 8);
+        let mut c = Mat::<f32>::zeros(m, n);
+
+        let smm = Smm::<f32>::with_threads(THREADS);
+        let pooled = time_per_call(2000, || {
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        });
+
+        // Pre-plan every grid cell so the baseline pays only for the
+        // thread spawns, not for planning.
+        let grid = {
+            let p = SmmPlan::build(
+                m,
+                n,
+                k,
+                &PlanConfig {
+                    max_threads: THREADS,
+                    ..Default::default()
+                },
+            );
+            (p.grid.m_ways(), p.grid.n_ways())
+        };
+        let rows = split_ranges(m, grid.0);
+        let cols = split_ranges(n, grid.1);
+        let cfg1 = PlanConfig::default();
+        let chunk_plans: Vec<Vec<Arc<SmmPlan>>> = rows
+            .iter()
+            .map(|&(_, mt)| {
+                cols.iter()
+                    .map(|&(_, nt)| Arc::new(SmmPlan::build(mt, nt, k, &cfg1)))
+                    .collect()
+            })
+            .collect();
+        let spawned = time_per_call(2000, || {
+            gemm_spawn_per_call(
+                &chunk_plans,
+                &rows,
+                &cols,
+                a.as_ref(),
+                b.as_ref(),
+                c.as_mut(),
+            );
+        });
+
+        report(&format!("{m}x{n}x{k}  pooled (Smm::gemm)"), pooled, flops);
+        report(&format!("{m}x{n}x{k}  spawn-per-call"), spawned, flops);
+        println!("    -> pool speedup {:.2}x", spawned / pooled);
+    }
+}
+
+fn concurrent_callers_section() {
+    println!("\nconcurrent callers (8 caller threads, shared Smm, 13x7x21):");
+    let (m, n, k) = (13usize, 7usize, 21usize);
+    let callers = 8;
+    let per_caller = 2000;
+    let flops = 2.0 * (m * n * k) as f64 * (callers * per_caller) as f64;
+
+    let smm = Arc::new(Smm::<f32>::new());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..callers {
+            let smm = Arc::clone(&smm);
+            s.spawn(move || {
+                let a = Mat::<f32>::random(m, k, t as u64);
+                let b = Mat::<f32>::random(k, n, 50 + t as u64);
+                let mut c = Mat::<f32>::zeros(m, n);
+                for _ in 0..per_caller {
+                    smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "  {:<44} {:>10.2} ns/gemm {:>9.2} GFLOP/s aggregate",
+        "sharded cache, shared-lock hit path",
+        dt * 1e9 / (callers * per_caller) as f64,
+        flops / dt / 1e9
+    );
+    let stats = smm.stats();
+    println!(
+        "  runtime stats: {} hits / {} misses / {} evictions, {} resident, {} pool workers",
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.plan_evictions,
+        stats.cached_plans,
+        stats.pool_workers
+    );
+}
+
+fn main() {
+    println!("SMM runtime throughput — pooled dispatch vs spawn-per-call\n");
+    batch_section();
+    single_gemm_section();
+    concurrent_callers_section();
+}

@@ -22,7 +22,11 @@ fn render(i: &Inst) -> String {
         Op::Branch => "b.ne",
         Op::Barrier(_) => "barrier",
     };
-    let dst = if i.dst == NO_REG { String::new() } else { format!(" d{}", i.dst) };
+    let dst = if i.dst == NO_REG {
+        String::new()
+    } else {
+        format!(" d{}", i.dst)
+    };
     let srcs: Vec<String> = i.sources().map(|r| format!("s{r}")).collect();
     format!(
         "{:<8}{:<6} {:<14} [{}] {:?}",
@@ -36,9 +40,15 @@ fn render(i: &Inst) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("openblas").to_lowercase();
+    let which = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("openblas")
+        .to_lowercase();
     let get = |idx: usize, default: usize| {
-        args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+        args.get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     };
     let (m, n, k) = (get(2, 8), get(3, 8), get(4, 8));
     let limit = get(5, 120);
@@ -51,7 +61,9 @@ fn main() {
         let s = strategies
             .iter()
             .find(|s| s.name().to_lowercase() == which)
-            .unwrap_or_else(|| panic!("unknown strategy {which:?} (openblas|blis|blasfeo|eigen|ref)"));
+            .unwrap_or_else(|| {
+                panic!("unknown strategy {which:?} (openblas|blis|blasfeo|eigen|ref)")
+            });
         s.sim(m, n, k, 1)
     };
     println!("# {} — core 0, first {limit} instructions", job.label);

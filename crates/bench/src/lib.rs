@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod timing;
+
 use smm_gemm::{SimJob, Strategy};
 use smm_model::{MachineSpec, Precision};
 use smm_simarch::machine::SimReport;
@@ -82,7 +84,10 @@ pub fn measure_strategy(
 
 /// Measure the reference (§IV) implementation on a shape.
 pub fn measure_reference(m: usize, n: usize, k: usize, threads: usize) -> Measurement {
-    let cfg = smm_core::PlanConfig { max_threads: threads, ..Default::default() };
+    let cfg = smm_core::PlanConfig {
+        max_threads: threads,
+        ..Default::default()
+    };
     let plan = smm_core::SmmPlan::build(m, n, k, &cfg);
     let used = plan.threads();
     measure(smm_core::build_sim(&plan), used)

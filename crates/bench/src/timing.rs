@@ -1,0 +1,79 @@
+//! A minimal wall-clock timing harness for the `benches/` binaries.
+//!
+//! The container this repository builds in has no registry access, so
+//! Criterion is unavailable; this module provides the small subset the
+//! benches need — warmup, iteration-count calibration, and median-of
+//! -samples reporting — with stable plain-text output (one line per
+//! benchmark: `ns/iter` plus an optional derived element throughput).
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Warmup time before calibration.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Number of timed samples; the median is reported.
+const SAMPLES: usize = 7;
+
+/// Run `f` repeatedly and return the median ns/iter.
+pub fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < WARMUP || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    // Calibrate the per-sample iteration count from the warmup rate.
+    let per_iter = start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let iters = ((TARGET.as_nanos() as f64 / SAMPLES as f64 / per_iter.max(1.0)) as u64).max(1);
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`
+/// output shape: `group/name  ...  ns/iter`.
+pub struct Group {
+    name: String,
+    elements: Option<u64>,
+}
+
+impl Group {
+    /// Start a group; its name prefixes every benchmark line.
+    pub fn new(name: &str) -> Self {
+        println!("== {name} ==");
+        Group {
+            name: name.to_string(),
+            elements: None,
+        }
+    }
+
+    /// Set the per-iteration element count (e.g. flops); subsequent
+    /// benches also report Gelem/s.
+    pub fn throughput(&mut self, elements: u64) {
+        self.elements = Some(elements);
+    }
+
+    /// Time one benchmark and print a result line.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        let ns = time_ns(f);
+        let label = format!("{}/{}", self.name, name);
+        match self.elements {
+            Some(e) => {
+                let rate = e as f64 / ns; // elements per ns == Gelem/s
+                println!("{label:<48} {ns:>12.1} ns/iter {rate:>9.2} Gelem/s");
+            }
+            None => println!("{label:<48} {ns:>12.1} ns/iter"),
+        }
+    }
+}

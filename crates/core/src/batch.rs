@@ -6,12 +6,15 @@
 //! serves the whole batch, and — when the batch is large but each GEMM
 //! is tiny — parallelism goes *across* batch entries instead of inside
 //! one GEMM, which sidesteps every §III-D pitfall at once (nothing
-//! small is ever split).
+//! small is ever split). Entries are dispatched to the instance's
+//! persistent [`TaskPool`](smm_gemm::pool::TaskPool), not to freshly
+//! spawned threads.
 
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_kernels::Scalar;
 
-use crate::exec::execute;
+use crate::error::{Operand, SmmError};
+use crate::exec::execute_in;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::smm::Smm;
 
@@ -59,64 +62,138 @@ impl StridedBatch {
         }
     }
 
-    fn validate(&self, a_len: usize, b_len: usize, c_len: usize) {
-        assert!(self.lda >= self.m.max(1) && self.ldb >= self.k.max(1) && self.ldc >= self.m.max(1));
-        assert!(self.stride_a >= self.lda * self.k, "A matrices overlap");
-        assert!(self.stride_b >= self.ldb * self.n, "B matrices overlap");
-        assert!(self.stride_c >= self.ldc * self.n, "C matrices overlap");
+    /// Validated construction: rejects leading dimensions smaller than
+    /// the operand's rows and strides that would make consecutive
+    /// matrices overlap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        m: usize,
+        n: usize,
+        k: usize,
+        batch: usize,
+        lda: usize,
+        stride_a: usize,
+        ldb: usize,
+        stride_b: usize,
+        ldc: usize,
+        stride_c: usize,
+    ) -> Result<Self, SmmError> {
+        let desc = StridedBatch {
+            m,
+            n,
+            k,
+            batch,
+            lda,
+            stride_a,
+            ldb,
+            stride_b,
+            ldc,
+            stride_c,
+        };
+        desc.validate_geometry()?;
+        Ok(desc)
+    }
+
+    fn validate_geometry(&self) -> Result<(), SmmError> {
+        let lds = [
+            (Operand::A, self.lda, self.m.max(1)),
+            (Operand::B, self.ldb, self.k.max(1)),
+            (Operand::C, self.ldc, self.m.max(1)),
+        ];
+        for (operand, ld, min) in lds {
+            if ld < min {
+                return Err(SmmError::BadLeadingDim { operand, ld, min });
+            }
+        }
+        let strides = [
+            (Operand::A, self.stride_a, self.lda * self.k),
+            (Operand::B, self.stride_b, self.ldb * self.n),
+            (Operand::C, self.stride_c, self.ldc * self.n),
+        ];
+        for (operand, stride, min) in strides {
+            if stride < min {
+                return Err(SmmError::OverlappingStride {
+                    operand,
+                    stride,
+                    min,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_buffers(&self, a_len: usize, b_len: usize, c_len: usize) -> Result<(), SmmError> {
         if self.batch == 0 {
-            return;
+            return Ok(());
         }
         let need = |stride: usize, last: usize| (self.batch - 1) * stride + last;
         if self.k > 0 && self.m > 0 {
-            assert!(
-                a_len >= need(self.stride_a, self.lda * (self.k - 1) + self.m),
-                "A buffer too short"
-            );
+            let need_a = need(self.stride_a, self.lda * (self.k - 1) + self.m);
+            if a_len < need_a {
+                return Err(SmmError::BufferTooShort {
+                    operand: Operand::A,
+                    len: a_len,
+                    need: need_a,
+                });
+            }
         }
         if self.k > 0 && self.n > 0 {
-            assert!(
-                b_len >= need(self.stride_b, self.ldb * (self.n - 1) + self.k),
-                "B buffer too short"
-            );
+            let need_b = need(self.stride_b, self.ldb * (self.n - 1) + self.k);
+            if b_len < need_b {
+                return Err(SmmError::BufferTooShort {
+                    operand: Operand::B,
+                    len: b_len,
+                    need: need_b,
+                });
+            }
         }
         if self.m > 0 && self.n > 0 {
-            assert!(
-                c_len >= need(self.stride_c, self.ldc * (self.n - 1) + self.m),
-                "C buffer too short"
-            );
+            let need_c = need(self.stride_c, self.ldc * (self.n - 1) + self.m);
+            if c_len < need_c {
+                return Err(SmmError::BufferTooShort {
+                    operand: Operand::C,
+                    len: c_len,
+                    need: need_c,
+                });
+            }
         }
+        Ok(())
     }
 }
 
 impl<S: Scalar> Smm<S> {
     /// Strided-batch GEMM: `C[i] = alpha * A[i] * B[i] + beta * C[i]`
-    /// for `i in 0..batch`. One plan (built single-threaded — each GEMM
-    /// is small) serves every entry; when this `Smm` allows multiple
-    /// threads, entries are distributed across them.
-    pub fn gemm_strided_batch(
+    /// for `i in 0..batch`, with full validation. One plan (built
+    /// single-threaded — each GEMM is small) serves every entry; when
+    /// this `Smm` allows multiple threads, entries are distributed
+    /// across the instance's persistent pool.
+    pub fn gemm_batch(
         &self,
-        desc: StridedBatch,
+        desc: &StridedBatch,
         alpha: S,
         a: &[S],
         b: &[S],
         beta: S,
         c: &mut [S],
-    ) {
-        desc.validate(a.len(), b.len(), c.len());
+    ) -> Result<(), SmmError> {
+        desc.validate_geometry()?;
+        desc.validate_buffers(a.len(), b.len(), c.len())?;
         if desc.batch == 0 || desc.m == 0 || desc.n == 0 {
-            return;
+            return Ok(());
         }
         if desc.k == 0 {
             for i in 0..desc.batch {
                 let c_i = &mut c[i * desc.stride_c..];
                 MatMut::from_slice(c_i, desc.m, desc.n, desc.ldc).scale(beta);
             }
-            return;
+            return Ok(());
         }
         // Intra-GEMM threading is deliberately disabled: batch-level
         // parallelism never splits a small dimension.
-        let plan_cfg = PlanConfig { max_threads: 1, ..*self.config() };
+        let plan_cfg = PlanConfig {
+            max_threads: 1,
+            ..self.config().clone()
+        };
         let plan = SmmPlan::build(desc.m, desc.n, desc.k, &plan_cfg);
         let threads = self.config().max_threads.clamp(1, desc.batch);
 
@@ -126,18 +203,19 @@ impl<S: Scalar> Smm<S> {
             let ar = MatRef::from_slice(a_i, desc.m, desc.k, desc.lda);
             let br = MatRef::from_slice(b_i, desc.k, desc.n, desc.ldb);
             let cm = MatMut::from_slice(c_i, desc.m, desc.n, desc.ldc);
-            execute(plan, alpha, ar, br, beta, cm);
+            execute_in(self.pool(), plan, alpha, ar, br, beta, cm);
         };
 
         if threads <= 1 {
             for i in 0..desc.batch {
                 run_entry(&plan, &mut c[i * desc.stride_c..], i);
             }
-            return;
+            return Ok(());
         }
 
-        // Split C into disjoint per-entry windows, then distribute the
-        // entries round-robin across worker threads.
+        // Split C into disjoint per-entry windows, then deal the
+        // entries round-robin into one task per worker; the tasks run
+        // on the persistent pool (no thread spawns).
         let mut windows: Vec<(usize, &mut [S])> = Vec::with_capacity(desc.batch);
         let mut rest = c;
         for i in 0..desc.batch {
@@ -150,17 +228,41 @@ impl<S: Scalar> Smm<S> {
             windows.push((i, win));
             rest = tail;
         }
-        let jobs = parking_lot::Mutex::new(windows);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let Some((i, win)) = jobs.lock().pop() else {
-                        break;
-                    };
-                    run_entry(&plan, win, i);
-                });
-            }
-        });
+        let mut groups: Vec<Vec<(usize, &mut [S])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (pos, entry) in windows.into_iter().enumerate() {
+            groups[pos % threads].push(entry);
+        }
+        let plan_ref = &plan;
+        let run_entry_ref = &run_entry;
+        let tasks: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                move || {
+                    for (i, win) in group {
+                        run_entry_ref(plan_ref, win, i);
+                    }
+                }
+            })
+            .collect();
+        self.pool().run_scoped(tasks);
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`Smm::gemm_batch`], kept for the
+    /// pre-builder API. The panic messages are the [`SmmError`]
+    /// `Display` strings.
+    pub fn gemm_strided_batch(
+        &self,
+        desc: StridedBatch,
+        alpha: S,
+        a: &[S],
+        b: &[S],
+        beta: S,
+        c: &mut [S],
+    ) {
+        if let Err(e) = self.gemm_batch(&desc, alpha, a, b, beta, c) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -287,5 +389,79 @@ mod tests {
         let b = vec![0.0f32; 64];
         let mut c = vec![0.0f32; 64];
         smm.gemm_strided_batch(d, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn try_new_accepts_valid_geometry() {
+        let d = StridedBatch::try_new(4, 5, 6, 3, 4, 24, 6, 30, 4, 20).unwrap();
+        assert_eq!(d.batch, 3);
+        check_batch(d, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_small_leading_dim() {
+        let err = StridedBatch::try_new(4, 4, 4, 2, 3, 16, 4, 16, 4, 16).unwrap_err();
+        assert_eq!(
+            err,
+            SmmError::BadLeadingDim {
+                operand: Operand::A,
+                ld: 3,
+                min: 4
+            }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_overlapping_stride() {
+        let err = StridedBatch::try_new(4, 4, 4, 2, 4, 15, 4, 16, 4, 16).unwrap_err();
+        assert_eq!(
+            err,
+            SmmError::OverlappingStride {
+                operand: Operand::A,
+                stride: 15,
+                min: 16
+            }
+        );
+        let err = StridedBatch::try_new(4, 4, 4, 2, 4, 16, 4, 16, 4, 10).unwrap_err();
+        assert!(err.to_string().contains("C matrices overlap"));
+    }
+
+    #[test]
+    fn gemm_batch_reports_short_buffers_as_errors() {
+        let d = StridedBatch::dense(4, 4, 4, 4);
+        let smm = Smm::<f32>::new();
+        let a = vec![0.0f32; 256];
+        let b = vec![0.0f32; 256];
+        let mut c = vec![0.0f32; 20];
+        let err = smm.gemm_batch(&d, 1.0, &a, &b, 0.0, &mut c).unwrap_err();
+        assert_eq!(
+            err,
+            SmmError::BufferTooShort {
+                operand: Operand::C,
+                len: 20,
+                need: 64
+            }
+        );
+        // Nothing was written before the error.
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn gemm_batch_ok_on_valid_input() {
+        let d = StridedBatch::dense(6, 6, 6, 9);
+        let a = fill(d.batch * d.stride_a, 1);
+        let b = fill(d.batch * d.stride_b, 2);
+        let mut c = vec![0.0f32; d.batch * d.stride_c];
+        let smm = Smm::<f32>::with_threads(4);
+        smm.gemm_batch(&d, 1.0, &a, &b, 0.0, &mut c).unwrap();
+        let ar = MatRef::from_slice(&a, d.m, d.k, d.lda);
+        let br = MatRef::from_slice(&b, d.k, d.n, d.ldb);
+        let mut want = Mat::<f32>::zeros(d.m, d.n);
+        gemm_naive(1.0, ar, br, 0.0, want.as_mut());
+        for col in 0..d.n {
+            for r in 0..d.m {
+                assert!((c[col * d.ldc + r] - want[(r, col)]).abs() < 1e-3);
+            }
+        }
     }
 }

@@ -64,7 +64,10 @@ pub struct CompiledPlan {
 impl CompiledPlan {
     /// Flatten `plan` for operands with the given leading dimensions.
     pub fn compile(plan: &SmmPlan, lda: usize, ldb: usize, ldc: usize) -> Self {
-        assert!(lda >= plan.m && ldb >= plan.k && ldc >= plan.m, "leading dimensions too small");
+        assert!(
+            lda >= plan.m && ldb >= plan.k && ldc >= plan.m,
+            "leading dimensions too small"
+        );
         let nr = plan.kernel.nr;
         let mut schedule = Vec::new();
         let mut n_a_buffers = 0usize;
@@ -157,24 +160,54 @@ impl CompiledPlan {
             let kc = tiles.first().map_or(self.k - kk, |t| t.kc);
             for p in packs {
                 match *p {
-                    PackOp::A(off, rows, id) => pack_a_exact(ar, off, kk, rows, kc, &mut bufs.a[id]),
-                    PackOp::B(off, cols, id) => pack_b_exact(br, kk, off, kc, cols, &mut bufs.b[id]),
+                    PackOp::A(off, rows, id) => {
+                        pack_a_exact(ar, off, kk, rows, kc, &mut bufs.a[id])
+                    }
+                    PackOp::B(off, cols, id) => {
+                        pack_b_exact(br, kk, off, kc, cols, &mut bufs.b[id])
+                    }
                 }
             }
             for t in tiles {
                 let c_slice = &mut cm.data_mut()[t.c_off..];
                 match (t.a_packed, t.b_packed) {
                     (true, true) => t.kernel.run_bp(
-                        t.kc, alpha, &bufs.a[t.a_off], t.a_stride, &bufs.b[t.b_off], c_slice, self.ldc,
+                        t.kc,
+                        alpha,
+                        &bufs.a[t.a_off],
+                        t.a_stride,
+                        &bufs.b[t.b_off],
+                        c_slice,
+                        self.ldc,
                     ),
                     (true, false) => t.kernel.run_bd(
-                        t.kc, alpha, &bufs.a[t.a_off], t.a_stride, &b[t.b_off..], self.ldb, c_slice, self.ldc,
+                        t.kc,
+                        alpha,
+                        &bufs.a[t.a_off],
+                        t.a_stride,
+                        &b[t.b_off..],
+                        self.ldb,
+                        c_slice,
+                        self.ldc,
                     ),
                     (false, true) => t.kernel.run_bp(
-                        t.kc, alpha, &a[t.a_off..], t.a_stride, &bufs.b[t.b_off], c_slice, self.ldc,
+                        t.kc,
+                        alpha,
+                        &a[t.a_off..],
+                        t.a_stride,
+                        &bufs.b[t.b_off],
+                        c_slice,
+                        self.ldc,
                     ),
                     (false, false) => t.kernel.run_bd(
-                        t.kc, alpha, &a[t.a_off..], t.a_stride, &b[t.b_off..], self.ldb, c_slice, self.ldc,
+                        t.kc,
+                        alpha,
+                        &a[t.a_off..],
+                        t.a_stride,
+                        &b[t.b_off..],
+                        self.ldb,
+                        c_slice,
+                        self.ldc,
                     ),
                 }
             }
@@ -193,7 +226,10 @@ pub struct CompiledScratch<S: Scalar> {
 impl<S: Scalar> CompiledScratch<S> {
     /// Empty scratch.
     pub fn new() -> Self {
-        CompiledScratch { a: Vec::new(), b: Vec::new() }
+        CompiledScratch {
+            a: Vec::new(),
+            b: Vec::new(),
+        }
     }
 }
 
@@ -230,7 +266,11 @@ mod tests {
     fn compiled_with_forced_packing() {
         for pa in [Some(false), Some(true)] {
             for pb in [Some(false), Some(true)] {
-                let cfg = PlanConfig { pack_a: pa, pack_b: pb, ..Default::default() };
+                let cfg = PlanConfig {
+                    pack_a: pa,
+                    pack_b: pb,
+                    ..Default::default()
+                };
                 check(20, 14, 11, &cfg);
             }
         }
@@ -251,7 +291,15 @@ mod tests {
 
     #[test]
     fn scratch_reuse_is_stable() {
-        let plan = SmmPlan::build(12, 12, 12, &PlanConfig { pack_b: Some(true), ..Default::default() });
+        let plan = SmmPlan::build(
+            12,
+            12,
+            12,
+            &PlanConfig {
+                pack_b: Some(true),
+                ..Default::default()
+            },
+        );
         let compiled = CompiledPlan::compile(&plan, 12, 12, 12);
         let a = Mat::<f32>::random(12, 12, 1);
         let b = Mat::<f32>::random(12, 12, 2);

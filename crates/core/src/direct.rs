@@ -33,9 +33,15 @@ pub fn ukr_bp<S: Scalar, const MR: usize, const NR: usize>(
     ldc: usize,
 ) {
     assert!(a_stride >= MR, "A stride must cover the tile rows");
-    assert!(kc == 0 || a.len() >= (kc - 1) * a_stride + MR, "A operand too short");
+    assert!(
+        kc == 0 || a.len() >= (kc - 1) * a_stride + MR,
+        "A operand too short"
+    );
     assert!(b.len() >= kc * NR, "packed B sliver too short");
-    assert!(ldc >= MR && c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
+    assert!(
+        ldc >= MR && c.len() >= (NR - 1) * ldc + MR,
+        "C block out of bounds"
+    );
     let mut acc = [[S::ZERO; NR]; MR];
     for p in 0..kc {
         let av = &a[p * a_stride..p * a_stride + MR];
@@ -68,9 +74,18 @@ pub fn ukr_bd<S: Scalar, const MR: usize, const NR: usize>(
     ldc: usize,
 ) {
     assert!(a_stride >= MR, "A stride must cover the tile rows");
-    assert!(kc == 0 || a.len() >= (kc - 1) * a_stride + MR, "A operand too short");
-    assert!(ldb >= kc && (NR == 0 || b.len() >= (NR - 1) * ldb + kc), "B operand too short");
-    assert!(ldc >= MR && c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
+    assert!(
+        kc == 0 || a.len() >= (kc - 1) * a_stride + MR,
+        "A operand too short"
+    );
+    assert!(
+        ldb >= kc && (NR == 0 || b.len() >= (NR - 1) * ldb + kc),
+        "B operand too short"
+    );
+    assert!(
+        ldc >= MR && c.len() >= (NR - 1) * ldc + MR,
+        "C block out of bounds"
+    );
     let mut acc = [[S::ZERO; NR]; MR];
     for p in 0..kc {
         let av = &a[p * a_stride..p * a_stride + MR];
@@ -101,7 +116,10 @@ pub fn ukr_bp_dyn<S: Scalar>(
     c: &mut [S],
     ldc: usize,
 ) {
-    assert!(mr <= DYN_MAX && nr <= DYN_MAX, "dynamic tile {mr}x{nr} out of range");
+    assert!(
+        mr <= DYN_MAX && nr <= DYN_MAX,
+        "dynamic tile {mr}x{nr} out of range"
+    );
     let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
     for p in 0..kc {
         for i in 0..mr {
@@ -132,7 +150,10 @@ pub fn ukr_bd_dyn<S: Scalar>(
     c: &mut [S],
     ldc: usize,
 ) {
-    assert!(mr <= DYN_MAX && nr <= DYN_MAX, "dynamic tile {mr}x{nr} out of range");
+    assert!(
+        mr <= DYN_MAX && nr <= DYN_MAX,
+        "dynamic tile {mr}x{nr} out of range"
+    );
     let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
     for p in 0..kc {
         for j in 0..nr {
@@ -181,7 +202,10 @@ impl DirectKernel {
     /// Kernel for a tile shape (any shape up to 16×16; common shapes
     /// are statically unrolled).
     pub fn new(mr: usize, nr: usize) -> Self {
-        assert!((1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr), "tile {mr}x{nr} out of range");
+        assert!(
+            (1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr),
+            "tile {mr}x{nr} out of range"
+        );
         DirectKernel { mr, nr }
     }
 
@@ -303,7 +327,16 @@ mod tests {
 
     #[test]
     fn static_shapes_match_reference() {
-        for &(mr, nr) in &[(16, 4), (8, 8), (8, 12), (12, 4), (4, 4), (1, 4), (4, 1), (2, 2)] {
+        for &(mr, nr) in &[
+            (16, 4),
+            (8, 8),
+            (8, 12),
+            (12, 4),
+            (4, 4),
+            (1, 4),
+            (4, 1),
+            (2, 2),
+        ] {
             check(mr, nr, 9);
         }
     }

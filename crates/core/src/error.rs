@@ -1,0 +1,120 @@
+//! Error type for validated SMM entry points.
+
+use std::fmt;
+
+/// Which operand of `C = alpha·A·B + beta·C` an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// The `A` operand (`m × k`).
+    A,
+    /// The `B` operand (`k × n`).
+    B,
+    /// The `C` operand (`m × n`).
+    C,
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::A => write!(f, "A"),
+            Operand::B => write!(f, "B"),
+            Operand::C => write!(f, "C"),
+        }
+    }
+}
+
+/// Validation failure of an SMM descriptor or buffer set.
+///
+/// Returned by the non-panicking entry points ([`crate::StridedBatch::try_new`],
+/// [`crate::Smm::gemm_batch`]); the legacy panicking wrappers format
+/// these through `Display`, so their messages are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmmError {
+    /// A leading dimension is smaller than the operand's row count.
+    BadLeadingDim {
+        /// Offending operand.
+        operand: Operand,
+        /// The leading dimension supplied.
+        ld: usize,
+        /// The minimum legal value.
+        min: usize,
+    },
+    /// Consecutive matrices of a batch overlap: the inter-matrix
+    /// stride is smaller than one matrix.
+    OverlappingStride {
+        /// Offending operand.
+        operand: Operand,
+        /// The stride supplied.
+        stride: usize,
+        /// The minimum legal value (`ld * cols`).
+        min: usize,
+    },
+    /// A flat buffer cannot hold every matrix of the batch.
+    BufferTooShort {
+        /// Offending operand.
+        operand: Operand,
+        /// The buffer length supplied.
+        len: usize,
+        /// The minimum legal length.
+        need: usize,
+    },
+}
+
+impl fmt::Display for SmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmmError::BadLeadingDim { operand, ld, min } => {
+                write!(f, "{operand} leading dimension too small: {ld} < {min}")
+            }
+            SmmError::OverlappingStride {
+                operand,
+                stride,
+                min,
+            } => {
+                write!(f, "{operand} matrices overlap: stride {stride} < {min}")
+            }
+            SmmError::BufferTooShort { operand, len, need } => {
+                write!(f, "{operand} buffer too short: {len} < {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_operand() {
+        let e = SmmError::BufferTooShort {
+            operand: Operand::C,
+            len: 4,
+            need: 16,
+        };
+        assert_eq!(e.to_string(), "C buffer too short: 4 < 16");
+        let e = SmmError::OverlappingStride {
+            operand: Operand::A,
+            stride: 3,
+            min: 12,
+        };
+        assert!(e.to_string().contains("A matrices overlap"));
+        let e = SmmError::BadLeadingDim {
+            operand: Operand::B,
+            ld: 2,
+            min: 8,
+        };
+        assert!(e.to_string().contains("B leading dimension too small"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&SmmError::BadLeadingDim {
+            operand: Operand::A,
+            ld: 1,
+            min: 2,
+        });
+    }
+}

@@ -3,21 +3,43 @@
 //! Single-threaded execution writes micro-tiles straight into `C`
 //! (tiles are exact, never padded). Multi-threaded execution splits the
 //! plan's tile lists across the thread grid's `m_ways × n_ways`; each
-//! thread accumulates into a private block that is merged after the
-//! join (disjoint tile ranges make the merge exact).
+//! grid cell accumulates into a private block that is merged after all
+//! cells complete (disjoint tile ranges make the merge exact).
+//!
+//! Multi-threaded plans run on a persistent [`TaskPool`] instead of
+//! spawning threads per call — thread startup is the §III-D overhead
+//! that makes naive parallel SMM slower than sequential. The cell
+//! decomposition and the merge order are identical to the historical
+//! spawn-per-call executor, so results are bit-for-bit unchanged (see
+//! `pooled_execution_is_bit_identical_to_spawn_per_call`).
 
 use smm_gemm::matrix::{Mat, MatMut, MatRef};
 use smm_gemm::naive::check_dims;
 use smm_gemm::pack::{pack_a_exact, pack_b_exact};
 use smm_gemm::parallel::split_ranges;
+use smm_gemm::pool::TaskPool;
 use smm_kernels::registry::TileSpan;
 use smm_kernels::Scalar;
 
 use crate::direct::DirectKernel;
 use crate::plan::SmmPlan;
 
-/// Execute `C = alpha·A·B + beta·C` under a plan.
+/// Execute `C = alpha·A·B + beta·C` under a plan, on the process-wide
+/// persistent pool ([`TaskPool::global`]).
 pub fn execute<S: Scalar>(
+    plan: &SmmPlan,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    execute_in(TaskPool::global(), plan, alpha, a, b, beta, c);
+}
+
+/// [`execute`] on an explicit pool handle.
+pub fn execute_in<S: Scalar>(
+    pool: &TaskPool,
     plan: &SmmPlan,
     alpha: S,
     a: MatRef<'_, S>,
@@ -37,41 +59,47 @@ pub fn execute<S: Scalar>(
     c.scale(beta);
     let threads = plan.threads();
     if threads <= 1 {
-        run_tiles(plan, alpha, a, b, &mut c, &plan.m_tiles, &plan.n_tiles, 0, 0);
+        run_tiles(
+            plan,
+            alpha,
+            a,
+            b,
+            &mut c,
+            &plan.m_tiles,
+            &plan.n_tiles,
+            0,
+            0,
+        );
         return;
     }
 
     let m_chunks = split_ranges(plan.m_tiles.len(), plan.grid.m_ways());
     let n_chunks = split_ranges(plan.n_tiles.len(), plan.grid.n_ways());
-    let mut cells: Vec<(usize, usize, usize, usize, Mat<S>)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(ms, mc) in &m_chunks {
-            for &(ns, nc) in &n_chunks {
-                if mc == 0 || nc == 0 {
-                    continue;
-                }
-                let m_tiles = &plan.m_tiles[ms..ms + mc];
-                let n_tiles = &plan.n_tiles[ns..ns + nc];
-                let i_base = m_tiles[0].offset;
-                let j_base = n_tiles[0].offset;
-                let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
-                let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
-                handles.push(scope.spawn(move || {
-                    let mut local = Mat::<S>::zeros(rows, cols);
-                    {
-                        let mut lm = local.as_mut();
-                        run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
-                    }
-                    (i_base, j_base, rows, cols, local)
-                }));
+    let mut tasks: Vec<_> = Vec::new();
+    for &(ms, mc) in &m_chunks {
+        for &(ns, nc) in &n_chunks {
+            if mc == 0 || nc == 0 {
+                continue;
             }
+            let m_tiles = &plan.m_tiles[ms..ms + mc];
+            let n_tiles = &plan.n_tiles[ns..ns + nc];
+            let i_base = m_tiles[0].offset;
+            let j_base = n_tiles[0].offset;
+            let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
+            let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
+            tasks.push(move || {
+                let mut local = Mat::<S>::zeros(rows, cols);
+                {
+                    let mut lm = local.as_mut();
+                    run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
+                }
+                (i_base, j_base, rows, cols, local)
+            });
         }
-        for h in handles {
-            cells.push(h.join().expect("SMM worker panicked"));
-        }
-    });
-    for (i_base, j_base, rows, cols, local) in cells {
+    }
+    // run_scoped returns results in submission order — the same order
+    // the spawn-per-call executor joined handles in.
+    for (i_base, j_base, rows, cols, local) in pool.run_scoped(tasks) {
         for j in 0..cols {
             for i in 0..rows {
                 let v = c.at(i_base + i, j_base + j) + local[(i, j)];
@@ -127,10 +155,27 @@ fn run_tiles<S: Scalar>(
                 let kernel = DirectKernel::new(it.logical, jt.logical);
                 let c_off = (jt.offset - j_base) * ldc + (it.offset - i_base);
                 if b_is_packed[s] {
-                    kernel.run_bp(kc, alpha, a_src, a_stride, &bpack[s], &mut c.data_mut()[c_off..], ldc);
+                    kernel.run_bp(
+                        kc,
+                        alpha,
+                        a_src,
+                        a_stride,
+                        &bpack[s],
+                        &mut c.data_mut()[c_off..],
+                        ldc,
+                    );
                 } else {
                     let b_src = &b.data()[jt.offset * ldb + kk..];
-                    kernel.run_bd(kc, alpha, a_src, a_stride, b_src, ldb, &mut c.data_mut()[c_off..], ldc);
+                    kernel.run_bd(
+                        kc,
+                        alpha,
+                        a_src,
+                        a_stride,
+                        b_src,
+                        ldb,
+                        &mut c.data_mut()[c_off..],
+                        ldc,
+                    );
                 }
             }
         }
@@ -172,7 +217,11 @@ mod tests {
     fn all_packing_combinations_are_correct() {
         for pa in [Some(false), Some(true)] {
             for pb in [Some(false), Some(true)] {
-                let cfg = PlanConfig { pack_a: pa, pack_b: pb, ..Default::default() };
+                let cfg = PlanConfig {
+                    pack_a: pa,
+                    pack_b: pb,
+                    ..Default::default()
+                };
                 check(33, 27, 19, &cfg, 1.5, 0.25);
                 check(13, 3, 41, &cfg, 1.0, 0.0);
             }
@@ -194,7 +243,10 @@ mod tests {
     #[test]
     fn multithreaded_plans_match_naive() {
         for threads in [2, 4, 8] {
-            let cfg = PlanConfig { max_threads: threads, ..Default::default() };
+            let cfg = PlanConfig {
+                max_threads: threads,
+                ..Default::default()
+            };
             check(48, 96, 24, &cfg, 1.0, 1.0);
             check(96, 16, 32, &cfg, 2.0, 0.0);
         }
@@ -202,7 +254,10 @@ mod tests {
 
     #[test]
     fn multithreaded_tiny_problem_degrades_gracefully() {
-        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        let cfg = PlanConfig {
+            max_threads: 64,
+            ..Default::default()
+        };
         check(4, 4, 4, &cfg, 1.0, 0.0);
         check(2, 50, 10, &cfg, 1.0, 1.0);
     }
@@ -224,5 +279,115 @@ mod tests {
         let b = Mat::<f32>::zeros(8, 8);
         let mut c = Mat::<f32>::zeros(9, 8);
         execute(&plan, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    }
+
+    #[test]
+    fn explicit_pool_matches_global_pool() {
+        let pool = TaskPool::new(3);
+        let cfg = PlanConfig {
+            max_threads: 4,
+            ..Default::default()
+        };
+        let plan = SmmPlan::build(48, 40, 24, &cfg);
+        let a = Mat::<f32>::random(48, 24, 31);
+        let b = Mat::<f32>::random(24, 40, 32);
+        let mut c1 = Mat::<f32>::random(48, 40, 33);
+        let mut c2 = c1.clone();
+        execute(&plan, 1.25, a.as_ref(), b.as_ref(), 0.5, c1.as_mut());
+        execute_in(&pool, &plan, 1.25, a.as_ref(), b.as_ref(), 0.5, c2.as_mut());
+        assert_eq!(c1.data(), c2.data());
+    }
+
+    /// The historical executor this PR replaced: one `thread::scope`
+    /// spawn per grid cell, joined in submission order. Kept verbatim
+    /// as the oracle for the bit-for-bit parity guarantee.
+    fn execute_spawn_per_call<S: Scalar>(
+        plan: &SmmPlan,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        mut c: MatMut<'_, S>,
+    ) {
+        let (m, k, n) = check_dims(&a, &b, &c.rb());
+        assert_eq!((m, n, k), (plan.m, plan.n, plan.k));
+        c.scale(beta);
+        if plan.threads() <= 1 {
+            run_tiles(
+                plan,
+                alpha,
+                a,
+                b,
+                &mut c,
+                &plan.m_tiles,
+                &plan.n_tiles,
+                0,
+                0,
+            );
+            return;
+        }
+        let m_chunks = split_ranges(plan.m_tiles.len(), plan.grid.m_ways());
+        let n_chunks = split_ranges(plan.n_tiles.len(), plan.grid.n_ways());
+        let mut cells: Vec<(usize, usize, usize, usize, Mat<S>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(ms, mc) in &m_chunks {
+                for &(ns, nc) in &n_chunks {
+                    if mc == 0 || nc == 0 {
+                        continue;
+                    }
+                    let m_tiles = &plan.m_tiles[ms..ms + mc];
+                    let n_tiles = &plan.n_tiles[ns..ns + nc];
+                    let i_base = m_tiles[0].offset;
+                    let j_base = n_tiles[0].offset;
+                    let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
+                    let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
+                    handles.push(scope.spawn(move || {
+                        let mut local = Mat::<S>::zeros(rows, cols);
+                        {
+                            let mut lm = local.as_mut();
+                            run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
+                        }
+                        (i_base, j_base, rows, cols, local)
+                    }));
+                }
+            }
+            for h in handles {
+                cells.push(h.join().expect("SMM worker panicked"));
+            }
+        });
+        for (i_base, j_base, rows, cols, local) in cells {
+            for j in 0..cols {
+                for i in 0..rows {
+                    let v = c.at(i_base + i, j_base + j) + local[(i, j)];
+                    c.set(i_base + i, j_base + j, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_execution_is_bit_identical_to_spawn_per_call() {
+        for &(m, n, k, threads) in &[
+            (48usize, 96usize, 24usize, 4usize),
+            (96, 16, 32, 8),
+            (33, 27, 19, 2),
+            (64, 64, 64, 16),
+        ] {
+            let cfg = PlanConfig {
+                max_threads: threads,
+                ..Default::default()
+            };
+            let plan = SmmPlan::build(m, n, k, &cfg);
+            let a = Mat::<f32>::random(m, k, 41);
+            let b = Mat::<f32>::random(k, n, 42);
+            let mut c_pool = Mat::<f32>::random(m, n, 43);
+            let mut c_spawn = c_pool.clone();
+            execute(&plan, 1.5, a.as_ref(), b.as_ref(), 0.25, c_pool.as_mut());
+            execute_spawn_per_call(&plan, 1.5, a.as_ref(), b.as_ref(), 0.25, c_spawn.as_mut());
+            for (x, y) in c_pool.data().iter().zip(c_spawn.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k} t{threads}");
+            }
+        }
     }
 }

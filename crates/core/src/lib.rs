@@ -23,14 +23,20 @@
 //! Native execution lives in [`exec`]; [`simprog`] builds the same
 //! plan's instruction stream for the simulated Phytium 2000+ so the
 //! design can be compared against the four libraries.
+//!
+//! The persistent runtime — sharded plan cache, runtime counters, and
+//! the worker pool handle — lives in [`runtime`]; construction goes
+//! through [`smm::SmmBuilder`].
 
 #![deny(missing_docs)]
 
 pub mod batch;
 pub mod compiled;
 pub mod direct;
+pub mod error;
 pub mod exec;
 pub mod plan;
+pub mod runtime;
 pub mod simprog;
 pub mod smm;
 pub mod tune;
@@ -38,8 +44,10 @@ pub mod tune;
 pub use batch::StridedBatch;
 pub use compiled::{CompiledPlan, CompiledScratch};
 pub use direct::DirectKernel;
-pub use exec::execute;
+pub use error::{Operand, SmmError};
+pub use exec::{execute, execute_in};
 pub use plan::{choose_kernel, PlanConfig, SmmPlan};
+pub use runtime::{RuntimeStats, ShardedPlanCache, TaskPool};
 pub use simprog::build_sim;
-pub use smm::Smm;
+pub use smm::{Smm, SmmBuilder};
 pub use tune::{Autotuner, TunedPlan};

@@ -10,12 +10,13 @@
 //! [`crate::smm::Smm`], so repeated SMMs — the DNN/block-sparse/ABFT
 //! pattern that motivates the paper — pay planning once.
 
+use smm_gemm::pool::TaskPool;
 use smm_kernels::registry::{decompose_greedy, TileSpan};
 use smm_model::parallel::{select_grid, ThreadGrid};
 use smm_model::{p2c, CacheSizes, KernelShape};
 
-/// Tunables for plan generation.
-#[derive(Debug, Clone, Copy)]
+/// Tunables for plan generation and execution.
+#[derive(Debug, Clone)]
 pub struct PlanConfig {
     /// Maximum threads the plan may use.
     pub max_threads: usize,
@@ -32,6 +33,10 @@ pub struct PlanConfig {
     pub pack_b_reuse: usize,
     /// Minimum reuse count (n-slivers per A panel) for A packing to pay.
     pub pack_a_reuse: usize,
+    /// Worker pool that executes multi-threaded plans (None = the
+    /// process-wide [`TaskPool::global`] pool). Thread-count decisions
+    /// stay model-driven; the pool is only the execution mechanism.
+    pub pool: Option<TaskPool>,
 }
 
 impl Default for PlanConfig {
@@ -44,6 +49,7 @@ impl Default for PlanConfig {
             pack_edge_b: true,
             pack_b_reuse: 8,
             pack_a_reuse: 8,
+            pool: None,
         }
     }
 }
@@ -70,7 +76,11 @@ fn dim_efficiency(len: usize, step: usize, other: usize, is_m: bool) -> f64 {
         let shape = KernelShape::new(mr, nr);
         let chain = shape.chain_bound_efficiency(4, FMA_LATENCY);
         // Lane waste for unaligned row counts.
-        let lanes = if is_m { (mr as f64) / ((mr.div_ceil(4) * 4) as f64) } else { 1.0 };
+        let lanes = if is_m {
+            (mr as f64) / ((mr.div_ceil(4) * 4) as f64)
+        } else {
+            1.0
+        };
         eff += (s as f64 / len as f64) * chain * lanes;
     }
     eff
@@ -105,8 +115,16 @@ pub fn choose_kernel(m: usize, n: usize, k: usize) -> KernelShape {
         let en = dim_efficiency(n, nr, mr, false);
         // Prefer kernels that divide the problem exactly (the main
         // tile actually runs), then higher CMR.
-        let fit_m = if mr <= m && m.is_multiple_of(mr) { 1.05 } else { 1.0 };
-        let fit_n = if nr <= n && n.is_multiple_of(nr) { 1.05 } else { 1.0 };
+        let fit_m = if mr <= m && m.is_multiple_of(mr) {
+            1.05
+        } else {
+            1.0
+        };
+        let fit_n = if nr <= n && n.is_multiple_of(nr) {
+            1.05
+        } else {
+            1.0
+        };
         let score = em * en * fit_m * fit_n * (1.0 + 0.01 * KernelShape::new(mr, nr).cmr());
         if score > best_score {
             best_score = score;
@@ -209,10 +227,12 @@ pub fn exact_tiles(len: usize, step: usize) -> Vec<TileSpan> {
     let steps = edge_steps(step);
     let mut tiles = Vec::new();
     let mut off = 0;
-    for s in std::iter::repeat_n(step, len / step)
-        .chain(decompose_greedy(len % step, &steps))
-    {
-        tiles.push(TileSpan { offset: off, logical: s, kernel: s });
+    for s in std::iter::repeat_n(step, len / step).chain(decompose_greedy(len % step, &steps)) {
+        tiles.push(TileSpan {
+            offset: off,
+            logical: s,
+            kernel: s,
+        });
         off += s;
     }
     tiles
@@ -257,7 +277,10 @@ mod tests {
         for m in [1usize, 3, 8, 17, 40, 100] {
             for n in [1usize, 5, 12, 33, 96] {
                 let k = choose_kernel(m, n, 32);
-                assert!(k.satisfies_register_constraint(4, 32, 2), "{m}x{n} -> {k:?}");
+                assert!(
+                    k.satisfies_register_constraint(4, 32, 2),
+                    "{m}x{n} -> {k:?}"
+                );
             }
         }
     }
@@ -278,19 +301,29 @@ mod tests {
 
     #[test]
     fn overrides_win() {
-        let cfg = PlanConfig { pack_b: Some(true), pack_a: Some(true), ..Default::default() };
+        let cfg = PlanConfig {
+            pack_b: Some(true),
+            pack_a: Some(true),
+            ..Default::default()
+        };
         let p = SmmPlan::build(4, 4, 4, &cfg);
         assert!(p.pack_a && p.pack_b);
         let cfg2 = PlanConfig {
             kernel: Some(KernelShape::new(4, 4)),
             ..Default::default()
         };
-        assert_eq!(SmmPlan::build(64, 64, 64, &cfg2).kernel, KernelShape::new(4, 4));
+        assert_eq!(
+            SmmPlan::build(64, 64, 64, &cfg2).kernel,
+            KernelShape::new(4, 4)
+        );
     }
 
     #[test]
     fn grid_respects_small_dimensions() {
-        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        let cfg = PlanConfig {
+            max_threads: 64,
+            ..Default::default()
+        };
         let p = SmmPlan::build(16, 2048, 256, &cfg);
         assert!(p.grid.m_ways() <= 2, "{:?}", p.grid);
         assert!(p.threads() >= 16);
@@ -298,7 +331,10 @@ mod tests {
 
     #[test]
     fn thread_count_clamped_to_tiles() {
-        let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+        let cfg = PlanConfig {
+            max_threads: 64,
+            ..Default::default()
+        };
         let p = SmmPlan::build(8, 8, 8, &cfg);
         assert!(p.threads() <= p.m_tiles.len() * p.n_tiles.len());
     }

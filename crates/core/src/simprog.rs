@@ -4,8 +4,8 @@
 //! design can be compared against the four libraries on the simulated
 //! Phytium 2000+ in the figure harness and the ablation benches.
 
-use smm_gemm::sim::{GemmLayout, MacroOp, PackAPanelOp, PackBSliverOp, SimJob, ELEM};
 use smm_gemm::parallel::split_ranges;
+use smm_gemm::sim::{GemmLayout, MacroOp, PackAPanelOp, PackBSliverOp, SimJob, ELEM};
 use smm_kernels::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
 use smm_kernels::trace_gen::KernelTraceParams;
 use smm_simarch::phase::Phase;
@@ -36,7 +36,10 @@ pub fn build_sim(plan: &SmmPlan) -> SimJob {
             let prog = &mut progs[t];
             // Plan-dispatch overhead: the cached-plan lookup plus tile
             // table walk (the cost LIBXSMM pays as JIT dispatch).
-            prog.push(MacroOp::Iops { n: 50, phase: Phase::Overhead });
+            prog.push(MacroOp::Iops {
+                n: 50,
+                phase: Phase::Overhead,
+            });
             if mc == 0 || nc == 0 {
                 t += 1;
                 continue;
@@ -177,7 +180,10 @@ mod tests {
 
     #[test]
     fn multithreaded_sim_has_no_barriers() {
-        let cfg = PlanConfig { max_threads: 8, ..Default::default() };
+        let cfg = PlanConfig {
+            max_threads: 8,
+            ..Default::default()
+        };
         let plan = SmmPlan::build(64, 96, 32, &cfg);
         assert!(plan.threads() > 1);
         let job = build_sim(&plan);
@@ -190,13 +196,19 @@ mod tests {
 
     #[test]
     fn edge_slivers_are_packed_when_enabled() {
-        let cfg = PlanConfig { pack_b: Some(false), ..Default::default() };
+        let cfg = PlanConfig {
+            pack_b: Some(false),
+            ..Default::default()
+        };
         let plan = SmmPlan::build(16, 13, 16, &cfg);
         let job = build_sim(&plan);
         let packs = job.programs[0]
             .iter()
             .filter(|op| matches!(op, MacroOp::PackB(_)))
             .count();
-        assert!(packs > 0, "the 13 % nr edge sliver should be packed (Fig. 8)");
+        assert!(
+            packs > 0,
+            "the 13 % nr edge sliver should be packed (Fig. 8)"
+        );
     }
 }

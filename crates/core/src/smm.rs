@@ -1,22 +1,25 @@
 //! The public SMM entry point with plan caching.
 
-use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use smm_gemm::matrix::{MatMut, MatRef};
+use smm_gemm::pool::TaskPool;
 use smm_kernels::Scalar;
 
-use crate::exec::execute;
+use crate::exec::execute_in;
 use crate::plan::{PlanConfig, SmmPlan};
+use crate::runtime::{RuntimeStats, ShardedPlanCache, DEFAULT_PLAN_CAPACITY};
 
 /// High-performance small-scale GEMM with adaptive, cached plans.
 ///
 /// Implements the reference design of §IV of the paper: packing-optional
 /// execution, a shape-tuned micro-kernel set with Fig. 8 edge packing,
 /// plan generation in lieu of JIT code generation, and run-time
-/// multi-dimensional parallelization.
+/// multi-dimensional parallelization. Plans are memoized in a sharded
+/// read-mostly cache and multi-threaded execution runs on a persistent
+/// worker pool, so the steady-state call path allocates no threads and
+/// takes only a shared lock (see [`crate::runtime`]).
 ///
 /// # Example
 ///
@@ -30,30 +33,126 @@ use crate::plan::{PlanConfig, SmmPlan};
 /// let mut c = Mat::zeros(12, 9);
 /// smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
 /// ```
+///
+/// Construction goes through [`Smm::builder`]; [`Smm::new`],
+/// [`Smm::with_threads`] and [`Smm::with_config`] are thin wrappers
+/// over it.
 pub struct Smm<S: Scalar> {
     cfg: PlanConfig,
-    cache: Mutex<HashMap<(usize, usize, usize), Arc<SmmPlan>>>,
+    cache: ShardedPlanCache,
+    pool: TaskPool,
     _elem: PhantomData<S>,
 }
 
+/// Builder for [`Smm`] — the single construction path.
+///
+/// ```
+/// use smm_core::Smm;
+///
+/// let smm = Smm::<f32>::builder()
+///     .threads(4)
+///     .cache_capacity(256)
+///     .pack_a(Some(false))
+///     .build();
+/// assert_eq!(smm.config().max_threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmmBuilder<S: Scalar> {
+    cfg: PlanConfig,
+    cache_capacity: usize,
+    _elem: PhantomData<S>,
+}
+
+impl<S: Scalar> SmmBuilder<S> {
+    fn new() -> Self {
+        SmmBuilder {
+            cfg: PlanConfig::default(),
+            cache_capacity: DEFAULT_PLAN_CAPACITY,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Maximum threads a plan may use (clamped to at least 1). The
+    /// model still decides how many of them a given shape deserves.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.max_threads = threads.max(1);
+        self
+    }
+
+    /// Bound on the number of memoized plans (0 = unbounded).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Force the `A`-packing decision (`None` = model-driven).
+    pub fn pack_a(mut self, pack: Option<bool>) -> Self {
+        self.cfg.pack_a = pack;
+        self
+    }
+
+    /// Force the `B`-packing decision (`None` = model-driven).
+    pub fn pack_b(mut self, pack: Option<bool>) -> Self {
+        self.cfg.pack_b = pack;
+        self
+    }
+
+    /// Toggle packing of N-edge slivers when `B` is otherwise unpacked
+    /// (the Fig. 8 optimization; on by default).
+    pub fn pack_edge_b(mut self, pack: bool) -> Self {
+        self.cfg.pack_edge_b = pack;
+        self
+    }
+
+    /// Execute on this pool instead of the process-wide
+    /// [`TaskPool::global`] pool.
+    pub fn pool(mut self, pool: TaskPool) -> Self {
+        self.cfg.pool = Some(pool);
+        self
+    }
+
+    /// Replace the whole [`PlanConfig`] (retains the builder's cache
+    /// capacity).
+    pub fn config(mut self, cfg: PlanConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Construct the [`Smm`] instance.
+    pub fn build(self) -> Smm<S> {
+        let pool = self
+            .cfg
+            .pool
+            .clone()
+            .unwrap_or_else(|| TaskPool::global().clone());
+        Smm {
+            cfg: self.cfg,
+            cache: ShardedPlanCache::new(self.cache_capacity),
+            pool,
+            _elem: PhantomData,
+        }
+    }
+}
+
 impl<S: Scalar> Smm<S> {
+    /// Start building an instance.
+    pub fn builder() -> SmmBuilder<S> {
+        SmmBuilder::new()
+    }
+
     /// Single-threaded SMM with model-driven decisions.
     pub fn new() -> Self {
-        Self::with_config(PlanConfig::default())
+        Self::builder().build()
     }
 
     /// SMM allowed to use up to `threads` threads.
     pub fn with_threads(threads: usize) -> Self {
-        Self::with_config(PlanConfig { max_threads: threads.max(1), ..Default::default() })
+        Self::builder().threads(threads).build()
     }
 
     /// Full configuration control.
     pub fn with_config(cfg: PlanConfig) -> Self {
-        Smm {
-            cfg,
-            cache: Mutex::new(HashMap::new()),
-            _elem: PhantomData,
-        }
+        Self::builder().config(cfg).build()
     }
 
     /// The active configuration.
@@ -61,22 +160,36 @@ impl<S: Scalar> Smm<S> {
         &self.cfg
     }
 
+    /// The pool executing this instance's multi-threaded plans.
+    pub fn pool(&self) -> &TaskPool {
+        &self.pool
+    }
+
     /// Get (building and caching if needed) the plan for a shape.
     pub fn plan(&self, m: usize, n: usize, k: usize) -> Arc<SmmPlan> {
-        let mut cache = self.cache.lock();
-        cache
-            .entry((m, n, k))
-            .or_insert_with(|| Arc::new(SmmPlan::build(m, n, k, &self.cfg)))
-            .clone()
+        self.cache.get_or_build(m, n, k, &self.cfg)
     }
 
     /// Number of distinct shapes planned so far.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
+    }
+
+    /// Runtime counters: plan-cache hits/misses/evictions, residency,
+    /// and pool width.
+    pub fn stats(&self) -> RuntimeStats {
+        self.cache.stats(self.pool.workers())
     }
 
     /// `C = alpha·A·B + beta·C`.
-    pub fn gemm(&self, alpha: S, a: MatRef<'_, S>, b: MatRef<'_, S>, beta: S, mut c: MatMut<'_, S>) {
+    pub fn gemm(
+        &self,
+        alpha: S,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        beta: S,
+        mut c: MatMut<'_, S>,
+    ) {
         let (m, n, k) = (a.rows(), b.cols(), a.cols());
         if m == 0 || n == 0 {
             return;
@@ -86,7 +199,7 @@ impl<S: Scalar> Smm<S> {
             return;
         }
         let plan = self.plan(m, n, k);
-        execute(&plan, alpha, a, b, beta, c);
+        execute_in(&self.pool, &plan, alpha, a, b, beta, c);
     }
 }
 
@@ -105,7 +218,13 @@ mod tests {
     #[test]
     fn gemm_matches_naive_over_shape_sweep() {
         let smm = Smm::<f32>::new();
-        for &(m, n, k) in &[(5, 5, 5), (40, 40, 40), (2, 192, 192), (192, 2, 192), (192, 192, 2)] {
+        for &(m, n, k) in &[
+            (5, 5, 5),
+            (40, 40, 40),
+            (2, 192, 192),
+            (192, 2, 192),
+            (192, 192, 2),
+        ] {
             let a = Mat::<f32>::random(m, k, 31);
             let b = Mat::<f32>::random(k, n, 32);
             let mut c = Mat::<f32>::random(m, n, 33);
@@ -183,5 +302,76 @@ mod tests {
             }
         });
         assert_eq!(smm.cached_plans(), 4);
+    }
+
+    #[test]
+    fn builder_configures_threads_cache_and_packing() {
+        let smm = Smm::<f32>::builder()
+            .threads(4)
+            .cache_capacity(64)
+            .pack_a(Some(true))
+            .pack_b(Some(false))
+            .pack_edge_b(false)
+            .build();
+        assert_eq!(smm.config().max_threads, 4);
+        assert_eq!(smm.config().pack_a, Some(true));
+        assert_eq!(smm.config().pack_b, Some(false));
+        assert!(!smm.config().pack_edge_b);
+        let plan = smm.plan(20, 20, 20);
+        assert!(plan.pack_a);
+        assert!(!plan.pack_b);
+    }
+
+    #[test]
+    fn builder_private_pool_is_used() {
+        let pool = TaskPool::new(2);
+        let smm = Smm::<f32>::builder().threads(4).pool(pool.clone()).build();
+        assert_eq!(smm.pool().workers(), 2);
+        assert_eq!(smm.stats().pool_workers, 2);
+        let a = Mat::<f32>::random(48, 24, 61);
+        let b = Mat::<f32>::random(24, 40, 62);
+        let mut c = Mat::<f32>::zeros(48, 40);
+        let mut c_ref = c.clone();
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let smm = Smm::<f32>::new();
+        let a = Mat::<f32>::random(8, 8, 1);
+        let b = Mat::<f32>::random(8, 8, 2);
+        for _ in 0..5 {
+            let mut c = Mat::<f32>::zeros(8, 8);
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        }
+        let s = smm.stats();
+        assert_eq!(s.plan_misses, 1);
+        assert_eq!(s.plan_hits, 4);
+        assert_eq!(s.cached_plans, 1);
+        assert_eq!(s.plan_evictions, 0);
+    }
+
+    #[test]
+    fn cache_capacity_is_enforced() {
+        let smm = Smm::<f32>::builder().cache_capacity(16).build();
+        for m in 1..=64 {
+            smm.plan(m, 4, 4);
+        }
+        assert!(smm.cached_plans() <= 16, "resident {}", smm.cached_plans());
+        assert!(smm.stats().plan_evictions > 0);
+    }
+
+    #[test]
+    fn legacy_constructors_are_builder_wrappers() {
+        let smm = Smm::<f32>::with_threads(0);
+        assert_eq!(smm.config().max_threads, 1, "threads clamp to 1");
+        let cfg = PlanConfig {
+            max_threads: 3,
+            ..Default::default()
+        };
+        let smm = Smm::<f32>::with_config(cfg);
+        assert_eq!(smm.config().max_threads, 3);
     }
 }

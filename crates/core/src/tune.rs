@@ -10,8 +10,8 @@
 //! many invocations).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use smm_model::KernelShape;
 
 use crate::plan::{PlanConfig, SmmPlan, KERNEL_CANDIDATES};
@@ -65,7 +65,7 @@ impl Autotuner {
                         kernel: Some(KernelShape::new(mr, nr)),
                         pack_a,
                         pack_b,
-                        ..self.base
+                        ..self.base.clone()
                     });
                 }
             }
@@ -75,7 +75,7 @@ impl Autotuner {
 
     /// Tune a shape (cached).
     pub fn tune(&self, m: usize, n: usize, k: usize) -> TunedPlan {
-        if let Some(hit) = self.cache.lock().get(&(m, n, k)) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&(m, n, k)) {
             return hit.clone();
         }
         let heuristic = SmmPlan::build(m, n, k, &self.base);
@@ -99,13 +99,13 @@ impl Autotuner {
             heuristic_cycles,
             candidates: n_candidates + 1,
         };
-        self.cache.lock().insert((m, n, k), tuned.clone());
+        self.cache.lock().unwrap().insert((m, n, k), tuned.clone());
         tuned
     }
 
     /// Shapes tuned so far.
     pub fn cached(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().unwrap().len()
     }
 }
 
@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn tuner_respects_thread_budget() {
-        let tuner = Autotuner::new(PlanConfig { max_threads: 8, ..Default::default() });
+        let tuner = Autotuner::new(PlanConfig {
+            max_threads: 8,
+            ..Default::default()
+        });
         let t = tuner.tune(64, 96, 32);
         assert!(t.plan.threads() <= 8);
     }

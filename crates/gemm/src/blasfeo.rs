@@ -116,7 +116,10 @@ impl<S: Scalar> Strategy<S> for BlasfeoStrategy {
         mut c: MatMut<'_, S>,
         threads: usize,
     ) {
-        assert!(threads <= 1, "BLASFEO provides only single-threaded SMM routines");
+        assert!(
+            threads <= 1,
+            "BLASFEO provides only single-threaded SMM routines"
+        );
         check_dims(&a, &b, &c.rb());
         // Column-major façade: convert at the boundary. In a BLASFEO
         // application the operands are *kept* panel-major, so this

@@ -122,9 +122,7 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
         // Every thread in the jc group shares the B̃ cohort.
         let cohort: Vec<usize> = (0..grid.ic)
             .flat_map(|ic_i| {
-                (0..grid.jr).flat_map(move |jr_i| {
-                    (0..grid.ir).map(move |ir_i| (ic_i, jr_i, ir_i))
-                })
+                (0..grid.jr).flat_map(move |jr_i| (0..grid.ir).map(move |ir_i| (ic_i, jr_i, ir_i)))
             })
             .map(|(ic_i, jr_i, ir_i)| tid(jc_i, ic_i, jr_i, ir_i))
             .collect();
@@ -158,7 +156,10 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
                 }
                 next_barrier += 1;
                 for &t in &cohort {
-                    progs[t].push(MacroOp::Barrier { id: next_barrier, participants: cohort.len() });
+                    progs[t].push(MacroOp::Barrier {
+                        id: next_barrier,
+                        participants: cohort.len(),
+                    });
                 }
 
                 for ic_i in 0..grid.ic {
@@ -173,8 +174,7 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
                     let mut ii = 0;
                     while ii < m_ic {
                         let mc_cur = bp.mc.min(m_ic - ii);
-                        let m_tiles =
-                            tile_dimension(mc_cur, mr, profile.edge, &profile.m_steps);
+                        let m_tiles = tile_dimension(mc_cur, mr, profile.edge, &profile.m_steps);
                         let mut a_offs = Vec::with_capacity(m_tiles.len());
                         let mut aoff = 0u64;
                         for it in &m_tiles {
@@ -219,10 +219,7 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
                                         let c_base = if padded {
                                             cscratch[t]
                                         } else {
-                                            lay.c_addr(
-                                                i0 + ii + it.offset,
-                                                j0 + jj + jt.offset,
-                                            )
+                                            lay.c_addr(i0 + ii + it.offset, j0 + jj + jt.offset)
                                         };
                                         let c_col_stride = if padded {
                                             (it.kernel as u64) * ELEM
@@ -252,7 +249,10 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
                 // End-of-kk synchronization for the cohort.
                 next_barrier += 1;
                 for &t in &cohort {
-                    progs[t].push(MacroOp::Barrier { id: next_barrier, participants: cohort.len() });
+                    progs[t].push(MacroOp::Barrier {
+                        id: next_barrier,
+                        participants: cohort.len(),
+                    });
                 }
                 kk += kc_cur;
             }

@@ -244,8 +244,8 @@ mod tests {
         // The headline Fig. 5 ordering: Eigen is the worst performer,
         // BLASFEO the best.
         let eigen = Strategy::<f32>::sim(&EigenStrategy::new(), 48, 48, 48, 1).run();
-        let feo = Strategy::<f32>::sim(&crate::blasfeo::BlasfeoStrategy::new(), 48, 48, 48, 1)
-            .run();
+        let feo =
+            Strategy::<f32>::sim(&crate::blasfeo::BlasfeoStrategy::new(), 48, 48, 48, 1).run();
         assert!(
             eigen.cycles > feo.cycles,
             "Eigen {} cycles vs BLASFEO {}",

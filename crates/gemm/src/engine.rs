@@ -82,7 +82,16 @@ impl GotoEngine {
                             let b_sl = &packed_b[b_offsets[jt_idx]..][..jt.kernel * kc_cur];
                             let kernel = Kernel::<S>::for_shape(it.kernel, jt.kernel);
                             run_tile(
-                                kernel, kc_cur, alpha, a_sl, b_sl, it, jt, ii, jj, &mut c,
+                                kernel,
+                                kc_cur,
+                                alpha,
+                                a_sl,
+                                b_sl,
+                                it,
+                                jt,
+                                ii,
+                                jj,
+                                &mut c,
                                 &mut scratch,
                             );
                         }
@@ -249,7 +258,11 @@ mod tests {
     fn sizes_crossing_blocking_boundaries() {
         // Force multiple kc/mc/nc iterations with a tiny blocking.
         let mut e = openblas_engine();
-        e.blocking = BlockingParams { kc: 8, mc: 32, nc: 12 };
+        e.blocking = BlockingParams {
+            kc: 8,
+            mc: 32,
+            nc: 12,
+        };
         check(&e, 70, 30, 33, 1.0, 1.0);
         check(&e, 100, 25, 17, 0.5, -1.0);
     }

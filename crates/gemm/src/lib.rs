@@ -26,6 +26,7 @@ pub mod naive;
 pub mod openblas;
 pub mod pack;
 pub mod parallel;
+pub mod pool;
 pub mod sim;
 pub mod strategy;
 
@@ -36,5 +37,6 @@ pub use engine::GotoEngine;
 pub use matrix::{Mat, MatMut, MatRef, PanelMatrix};
 pub use naive::gemm_naive;
 pub use openblas::OpenBlasStrategy;
+pub use pool::TaskPool;
 pub use sim::{GemmLayout, MacroOp, ProgramSource, SimJob};
 pub use strategy::{all_strategies, Strategy};

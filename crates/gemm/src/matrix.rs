@@ -91,7 +91,11 @@ impl<S: Scalar> Mat<S> {
 
     /// Largest absolute elementwise difference against another matrix.
     pub fn max_abs_diff(&self, other: &Mat<S>) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let mut worst = 0.0f64;
         for j in 0..self.cols {
             for i in 0..self.rows {
@@ -107,14 +111,20 @@ impl<S: Scalar> std::ops::Index<(usize, usize)> for Mat<S> {
     type Output = S;
 
     fn index(&self, (i, j): (usize, usize)) -> &S {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.ld + i]
     }
 }
 
 impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for Mat<S> {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.ld + i]
     }
 }
@@ -132,8 +142,16 @@ impl<'a, S: Scalar> MatRef<'a, S> {
     /// View over a raw column-major slice.
     pub fn from_slice(data: &'a [S], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension too small");
-        assert!(data.len() >= ld * cols.saturating_sub(1) + rows, "slice too short");
-        MatRef { rows, cols, ld, data }
+        assert!(
+            data.len() >= ld * cols.saturating_sub(1) + rows,
+            "slice too short"
+        );
+        MatRef {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -159,7 +177,10 @@ impl<'a, S: Scalar> MatRef<'a, S> {
 
     /// Sub-view of `nrows × ncols` starting at `(i0, j0)`.
     pub fn block(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatRef<'a, S> {
-        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "block out of bounds");
+        assert!(
+            i0 + nrows <= self.rows && j0 + ncols <= self.cols,
+            "block out of bounds"
+        );
         MatRef {
             rows: nrows,
             cols: ncols,
@@ -187,8 +208,16 @@ impl<'a, S: Scalar> MatMut<'a, S> {
     /// View over a raw column-major slice.
     pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension too small");
-        assert!(data.len() >= ld * cols.saturating_sub(1) + rows, "slice too short");
-        MatMut { rows, cols, ld, data }
+        assert!(
+            data.len() >= ld * cols.saturating_sub(1) + rows,
+            "slice too short"
+        );
+        MatMut {
+            rows,
+            cols,
+            ld,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -240,7 +269,10 @@ impl<'a, S: Scalar> MatMut<'a, S> {
 
     /// Mutable sub-view.
     pub fn block_mut(&mut self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatMut<'_, S> {
-        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "block out of bounds");
+        assert!(
+            i0 + nrows <= self.rows && j0 + ncols <= self.cols,
+            "block out of bounds"
+        );
         MatMut {
             rows: nrows,
             cols: ncols,
@@ -340,13 +372,19 @@ impl<S: Scalar> PanelMatrix<S> {
 
     /// Element access (zero in the padding region).
     pub fn at(&self, i: usize, j: usize) -> S {
-        assert!(i < self.panels * self.ps && j < self.cols, "index out of bounds");
+        assert!(
+            i < self.panels * self.ps && j < self.cols,
+            "index out of bounds"
+        );
         self.data[self.idx(i, j)]
     }
 
     /// Set an element.
     pub fn set(&mut self, i: usize, j: usize, v: S) {
-        assert!(i < self.panels * self.ps && j < self.cols, "index out of bounds");
+        assert!(
+            i < self.panels * self.ps && j < self.cols,
+            "index out of bounds"
+        );
         let idx = self.idx(i, j);
         self.data[idx] = v;
     }

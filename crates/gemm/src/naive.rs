@@ -35,7 +35,10 @@ pub fn check_dims<S: Scalar>(
 ) -> (usize, usize, usize) {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "inner dimensions disagree: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(
+        k, kb,
+        "inner dimensions disagree: A is {m}x{k}, B is {kb}x{n}"
+    );
     assert_eq!(c.rows(), m, "C has {} rows, expected {m}", c.rows());
     assert_eq!(c.cols(), n, "C has {} cols, expected {n}", c.cols());
     (m, k, n)

@@ -126,7 +126,10 @@ fn build_sim(engine: &GotoEngine, m: usize, n: usize, k: usize, threads: usize) 
         if threads > 1 {
             barrier_id += 1;
             for p in progs.iter_mut() {
-                p.push(MacroOp::Barrier { id: barrier_id, participants: threads });
+                p.push(MacroOp::Barrier {
+                    id: barrier_id,
+                    participants: threads,
+                });
             }
         }
     };

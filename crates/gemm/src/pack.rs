@@ -25,7 +25,10 @@ pub fn pack_a<S: Scalar>(
     mr: usize,
     out: &mut Vec<S>,
 ) {
-    assert!(i0 + rows <= a.rows() && p0 + kc <= a.cols(), "pack_a block out of bounds");
+    assert!(
+        i0 + rows <= a.rows() && p0 + kc <= a.cols(),
+        "pack_a block out of bounds"
+    );
     assert!(mr >= 1);
     let panels = rows.div_ceil(mr);
     out.clear();
@@ -53,7 +56,10 @@ pub fn pack_b<S: Scalar>(
     nr: usize,
     out: &mut Vec<S>,
 ) {
-    assert!(p0 + kc <= b.rows() && j0 + cols <= b.cols(), "pack_b block out of bounds");
+    assert!(
+        p0 + kc <= b.rows() && j0 + cols <= b.cols(),
+        "pack_b block out of bounds"
+    );
     assert!(nr >= 1);
     let slivers = cols.div_ceil(nr);
     out.clear();
@@ -80,7 +86,10 @@ pub fn pack_a_exact<S: Scalar>(
     kc: usize,
     out: &mut Vec<S>,
 ) {
-    assert!(i0 + mr_e <= a.rows() && p0 + kc <= a.cols(), "edge sliver out of bounds");
+    assert!(
+        i0 + mr_e <= a.rows() && p0 + kc <= a.cols(),
+        "edge sliver out of bounds"
+    );
     out.clear();
     out.resize(mr_e * kc, S::ZERO);
     for p in 0..kc {
@@ -99,7 +108,10 @@ pub fn pack_b_exact<S: Scalar>(
     nr_e: usize,
     out: &mut Vec<S>,
 ) {
-    assert!(p0 + kc <= b.rows() && j0 + nr_e <= b.cols(), "edge sliver out of bounds");
+    assert!(
+        p0 + kc <= b.rows() && j0 + nr_e <= b.cols(),
+        "edge sliver out of bounds"
+    );
     out.clear();
     out.resize(kc * nr_e, S::ZERO);
     for p in 0..kc {

@@ -14,6 +14,11 @@
 //! Threads accumulate into private blocks that are merged after the
 //! join, so no `unsafe` aliasing is needed; the merge touches each `C`
 //! element exactly once because the grid blocks are disjoint.
+//!
+//! Both entry points execute on a persistent [`TaskPool`] — the
+//! spawn-per-call mechanism the paper's §III-D indicts is gone. The
+//! `_in` variants accept an explicit pool handle; the plain variants
+//! use the process-wide [`TaskPool::global`] pool.
 
 use smm_kernels::Scalar;
 use smm_model::parallel::ThreadGrid;
@@ -21,6 +26,7 @@ use smm_model::parallel::ThreadGrid;
 use crate::engine::GotoEngine;
 use crate::matrix::{Mat, MatMut, MatRef};
 use crate::naive::check_dims;
+use crate::pool::TaskPool;
 
 /// Split `len` into `ways` near-equal contiguous chunks (first chunks
 /// get the remainder). Empty chunks are allowed when `ways > len`.
@@ -38,9 +44,36 @@ pub fn split_ranges(len: usize, ways: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// `C = alpha·A·B + beta·C` over an `m_ways × n_ways` grid of threads.
+/// `C = alpha·A·B + beta·C` over an `m_ways × n_ways` grid, executed
+/// on the process-wide persistent pool.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_parallel_2d<S: Scalar>(
+    engine: &GotoEngine,
+    m_ways: usize,
+    n_ways: usize,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    gemm_parallel_2d_in(
+        TaskPool::global(),
+        engine,
+        m_ways,
+        n_ways,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+    );
+}
+
+/// [`gemm_parallel_2d`] on an explicit pool handle.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel_2d_in<S: Scalar>(
+    pool: &TaskPool,
     engine: &GotoEngine,
     m_ways: usize,
     n_ways: usize,
@@ -62,30 +95,24 @@ pub fn gemm_parallel_2d<S: Scalar>(
     let rows = split_ranges(m, m_ways);
     let cols = split_ranges(n, n_ways);
 
-    // Each cell computes its block into a private matrix.
-    let mut cells: Vec<(usize, usize, Mat<S>)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(i0, mt) in &rows {
-            for &(j0, nt) in &cols {
-                if mt == 0 || nt == 0 {
-                    continue;
-                }
-                let a_blk = a.block(i0, 0, mt, k);
-                let b_blk = b.block(0, j0, k, nt);
-                let engine = engine.clone();
-                handles.push(scope.spawn(move || {
-                    let mut local = Mat::<S>::zeros(mt, nt);
-                    engine.gemm(alpha, a_blk, b_blk, S::ZERO, local.as_mut());
-                    (i0, j0, local)
-                }));
+    // Each cell computes its block into a private matrix on the pool.
+    let mut tasks = Vec::new();
+    for &(i0, mt) in &rows {
+        for &(j0, nt) in &cols {
+            if mt == 0 || nt == 0 {
+                continue;
             }
+            let a_blk = a.block(i0, 0, mt, k);
+            let b_blk = b.block(0, j0, k, nt);
+            let engine = engine.clone();
+            tasks.push(move || {
+                let mut local = Mat::<S>::zeros(mt, nt);
+                engine.gemm(alpha, a_blk, b_blk, S::ZERO, local.as_mut());
+                (i0, j0, local)
+            });
         }
-        for h in handles {
-            cells.push(h.join().expect("GEMM worker panicked"));
-        }
-    });
-    for (i0, j0, local) in cells {
+    }
+    for (i0, j0, local) in pool.run_scoped(tasks) {
         for j in 0..local.cols() {
             for i in 0..local.rows() {
                 let v = c.at(i0 + i, j0 + j) + local[(i, j)];
@@ -95,7 +122,8 @@ pub fn gemm_parallel_2d<S: Scalar>(
     }
 }
 
-/// BLIS-style execution of a multi-dimensional [`ThreadGrid`].
+/// BLIS-style execution of a multi-dimensional [`ThreadGrid`] on the
+/// process-wide persistent pool.
 pub fn gemm_parallel_grid<S: Scalar>(
     engine: &GotoEngine,
     grid: ThreadGrid,
@@ -106,6 +134,31 @@ pub fn gemm_parallel_grid<S: Scalar>(
     c: MatMut<'_, S>,
 ) {
     gemm_parallel_2d(engine, grid.m_ways(), grid.n_ways(), alpha, a, b, beta, c);
+}
+
+/// [`gemm_parallel_grid`] on an explicit pool handle.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_parallel_grid_in<S: Scalar>(
+    pool: &TaskPool,
+    engine: &GotoEngine,
+    grid: ThreadGrid,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    gemm_parallel_2d_in(
+        pool,
+        engine,
+        grid.m_ways(),
+        grid.n_ways(),
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+    );
 }
 
 #[cfg(test)]
@@ -120,7 +173,16 @@ mod tests {
         let b = Mat::<f32>::random(k, n, 8);
         let mut c = Mat::<f32>::random(m, n, 9);
         let mut c_ref = c.clone();
-        gemm_parallel_2d(&e, m_ways, n_ways, 1.5, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        gemm_parallel_2d(
+            &e,
+            m_ways,
+            n_ways,
+            1.5,
+            a.as_ref(),
+            b.as_ref(),
+            0.5,
+            c.as_mut(),
+        );
         gemm_naive(1.5, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
         let d = c.max_abs_diff(&c_ref);
         assert!(d < 1e-3, "{m_ways}x{n_ways} grid on {m}x{n}x{k}: diff {d}");
@@ -172,7 +234,12 @@ mod tests {
     #[test]
     fn grid_wrapper_uses_m_and_n_ways() {
         let e = blis_engine();
-        let grid = ThreadGrid { jc: 2, ic: 2, jr: 1, ir: 1 };
+        let grid = ThreadGrid {
+            jc: 2,
+            ic: 2,
+            jr: 1,
+            ir: 1,
+        };
         let a = Mat::<f32>::random(24, 12, 1);
         let b = Mat::<f32>::random(12, 36, 2);
         let mut c = Mat::<f32>::zeros(24, 36);

@@ -1,0 +1,402 @@
+//! A persistent worker pool for small-GEMM parallelism.
+//!
+//! §III-D of the paper shows that for small shapes the *mechanism* of
+//! parallelism — thread creation, synchronization barriers — can cost
+//! more than the multiplication itself. The original native paths here
+//! spawned fresh `std::thread`s on every call; this module replaces
+//! them with a pool that is spawned once and parked between calls, so
+//! repeated small GEMMs pay only a queue push and a wakeup.
+//!
+//! The design is *scoped task injection*: [`TaskPool::run_scoped`]
+//! accepts closures that borrow the caller's stack (operand views,
+//! plan tables) and blocks until every injected task has completed, so
+//! no `'static` bound leaks into the GEMM signatures. The caller also
+//! helps drain the queue while it waits, which keeps a nested
+//! `run_scoped` (a pooled task that itself fans out) deadlock-free and
+//! lets even a zero-worker pool make progress inline.
+//!
+//! Thread-count *decisions* stay where they were — in the plan's
+//! model-driven grid selection; the pool only changes how the chosen
+//! ways are executed.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased injected task. Lifetime-erased from `'scope` by
+/// [`TaskPool::run_scoped`], which guarantees completion-before-return.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The queue shared between pool handles and workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Shared {
+    /// Pop one job without blocking.
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().jobs.pop_front()
+    }
+}
+
+/// Completion latch for one `run_scoped` call; lives on the caller's
+/// stack and is borrowed (lifetime-erased) by every task of the scope.
+struct Latch {
+    state: Mutex<LatchState>,
+    done_cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    /// First panic payload observed in this scope, re-thrown on the
+    /// caller thread so `should_panic` semantics survive pooling.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: n,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        if st.panic.is_none() {
+            st.panic = panic;
+        } else {
+            drop(panic);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Raw pointer wrapper so result slots can cross the worker boundary.
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointee is a slot in the caller's results vector; the
+// caller blocks until every task has written its slot, and each task
+// owns exactly one slot, so access is exclusive and outlives the send.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole wrapper — edition-2021 disjoint capture would otherwise
+    /// capture the raw pointer and lose the `Send` impl.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+struct PoolInner {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.work_notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl PoolInner {
+    fn work_notify_all(&self) {
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// A cloneable handle to a persistent worker pool.
+///
+/// Workers are spawned once at construction and park on a condition
+/// variable between calls; dropping the *last* handle shuts the
+/// workers down and joins them. The process-wide [`TaskPool::global`]
+/// pool is never dropped.
+#[derive(Clone)]
+pub struct TaskPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawn a pool with `workers` persistent threads. `workers == 0`
+    /// is allowed: every task then runs inline on the submitting
+    /// thread (useful for tests and strictly serial deployments).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("smm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        TaskPool {
+            inner: Arc::new(PoolInner {
+                shared,
+                workers: handles,
+            }),
+        }
+    }
+
+    /// The process-wide shared pool, sized to the machine's available
+    /// parallelism. Spawned on first use, parked when idle, never
+    /// dropped.
+    pub fn global() -> &'static TaskPool {
+        static GLOBAL: OnceLock<TaskPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism().map_or(4, |p| p.get());
+            TaskPool::new(n)
+        })
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Inject the given tasks, run them to completion (workers plus
+    /// the calling thread, which helps drain the queue), and return
+    /// their results in task order.
+    ///
+    /// Tasks may borrow from the caller's stack: this call does not
+    /// return until every task has finished, which is what makes the
+    /// internal lifetime erasure sound. If a task panics, the first
+    /// payload is re-thrown here after the scope has fully drained.
+    pub fn run_scoped<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Fast path: a single task (or a deliberately serial pool)
+        // runs inline — no queue traffic, no wakeup.
+        if n == 1 || self.workers() == 0 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+
+        let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let latch = Latch::new(n);
+
+        {
+            let shared = &self.inner.shared;
+            let mut q = shared.queue.lock().unwrap();
+            for (slot, task) in results.iter_mut().zip(tasks) {
+                let slot = SendPtr(slot as *mut Option<T>);
+                let latch_ref: &Latch = &latch;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(task));
+                    match out {
+                        Ok(v) => {
+                            // SAFETY: see `SendPtr` — exclusive slot,
+                            // caller waits on the latch before reading.
+                            unsafe { *slot.get() = Some(v) };
+                            latch_ref.complete(None);
+                        }
+                        Err(payload) => latch_ref.complete(Some(payload)),
+                    }
+                });
+                // SAFETY: the job borrows `latch` and the result slots,
+                // both of which outlive this call; `latch.wait()` below
+                // does not return until the job has run, and the panic
+                // path drains the scope before unwinding.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                q.jobs.push_back(job);
+            }
+            drop(q);
+            shared.work_cv.notify_all();
+        }
+
+        // Help drain the queue while waiting: keeps nested scopes
+        // deadlock-free and lets the caller contribute a core.
+        while let Some(job) = self.inner.shared.try_pop() {
+            job();
+        }
+        latch.wait();
+        results
+            .into_iter()
+            .map(|r| r.expect("pool task completed without writing its result"))
+            .collect()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.jobs.pop_front() {
+                    break Some(j);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(j) => j(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_tasks_and_orders_results() {
+        let pool = TaskPool::new(4);
+        let inputs: Vec<usize> = (0..64).collect();
+        let tasks: Vec<_> = inputs.iter().map(|&i| move || i * i).collect();
+        let out = pool.run_scoped(tasks);
+        assert_eq!(out, inputs.iter().map(|&i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_stack() {
+        let pool = TaskPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(100).collect();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|&c| move || c.iter().sum::<u64>())
+            .collect();
+        let partials = pool.run_scoped(tasks);
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn pool_is_reusable_and_workers_persist() {
+        let pool = TaskPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..50 {
+            let tasks: Vec<_> = (0..8).map(|i| move || i + round).collect();
+            let out = pool.run_scoped(tasks);
+            assert_eq!(out.len(), 8);
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = TaskPool::new(0);
+        let out = pool.run_scoped(vec![|| 1, || 2, || 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_scope_is_a_noop() {
+        let pool = TaskPool::new(1);
+        let out: Vec<i32> = pool.run_scoped(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = TaskPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("task exploded")),
+            ]);
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task exploded");
+        // The pool must stay usable afterwards.
+        assert_eq!(pool.run_scoped(vec![|| 7, || 8]), vec![7, 8]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = TaskPool::new(1); // worst case: one worker, nested fan-out
+        let outer: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = pool.clone();
+                move || {
+                    let inner: Vec<_> = (0..4).map(|j| move || i * 10 + j).collect();
+                    pool.run_scoped(inner).into_iter().sum::<usize>()
+                }
+            })
+            .collect();
+        let sums = TaskPool::new(1).run_scoped(outer);
+        assert_eq!(sums.len(), 4);
+    }
+
+    #[test]
+    fn shared_from_many_threads() {
+        let pool = TaskPool::new(4);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let tasks: Vec<_> = (0..4)
+                            .map(|_| || counter.fetch_add(1, Ordering::Relaxed))
+                            .collect();
+                        pool.run_scoped(tasks);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 20 * 4);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = TaskPool::new(2);
+        pool.run_scoped(vec![|| (), || ()]);
+        drop(pool); // must not hang
+    }
+}

@@ -113,7 +113,11 @@ fn emit_pack_a(out: &mut Vec<Inst>, op: &PackAPanelOp) {
         } else {
             let src_col = op.src + p as u64 * op.lda;
             for i in 0..full {
-                out.push(Inst::ld_vec(v((i % 8) as u8), src_col + (i * 16) as u64, op.phase));
+                out.push(Inst::ld_vec(
+                    v((i % 8) as u8),
+                    src_col + (i * 16) as u64,
+                    op.phase,
+                ));
             }
             for r in 0..rem {
                 out.push(Inst::ld_scalar(
@@ -126,7 +130,11 @@ fn emit_pack_a(out: &mut Vec<Inst>, op: &PackAPanelOp) {
             // whatever is in the staging registers conceptually zeroed
             // (cost-equivalent).
             for vi in 0..pad_vecs {
-                out.push(Inst::st_vec(v((vi % 8) as u8), dst_col + (vi * 16) as u64, op.phase));
+                out.push(Inst::st_vec(
+                    v((vi % 8) as u8),
+                    dst_col + (vi * 16) as u64,
+                    op.phase,
+                ));
             }
         }
         out.push(Inst::iop(x(0), op.phase));
@@ -142,7 +150,11 @@ fn emit_pack_b(out: &mut Vec<Inst>, op: &PackBSliverOp) {
             // Row-major B: row p's columns are contiguous.
             let src_row = op.src + p as u64 * op.ldb;
             for jv in 0..op.cols.div_ceil(4) {
-                out.push(Inst::ld_vec(v((jv % 8) as u8), src_row + (jv * 16) as u64, op.phase));
+                out.push(Inst::ld_vec(
+                    v((jv % 8) as u8),
+                    src_row + (jv * 16) as u64,
+                    op.phase,
+                ));
             }
         } else {
             // Column-major B: gathering row p strides by `ldb` — the
@@ -157,7 +169,11 @@ fn emit_pack_b(out: &mut Vec<Inst>, op: &PackBSliverOp) {
             }
         }
         for vi in 0..pad_vecs {
-            out.push(Inst::st_vec(v((vi % 8) as u8), dst_row + (vi * 16) as u64, op.phase));
+            out.push(Inst::st_vec(
+                v((vi % 8) as u8),
+                dst_row + (vi * 16) as u64,
+                op.phase,
+            ));
         }
         out.push(Inst::iop(x(0), op.phase));
         out.push(Inst::branch(op.phase));
@@ -292,7 +308,9 @@ pub struct ProgramSource {
 impl ProgramSource {
     /// Wrap a per-core program.
     pub fn new(ops: Vec<MacroOp>) -> Self {
-        ProgramSource { ops: ops.into_iter() }
+        ProgramSource {
+            ops: ops.into_iter(),
+        }
     }
 }
 
@@ -427,9 +445,18 @@ mod tests {
     #[test]
     fn program_source_streams_all_ops() {
         let ops = vec![
-            MacroOp::Iops { n: 3, phase: Phase::Overhead },
-            MacroOp::Barrier { id: 1, participants: 1 },
-            MacroOp::Iops { n: 2, phase: Phase::Overhead },
+            MacroOp::Iops {
+                n: 3,
+                phase: Phase::Overhead,
+            },
+            MacroOp::Barrier {
+                id: 1,
+                participants: 1,
+            },
+            MacroOp::Iops {
+                n: 2,
+                phase: Phase::Overhead,
+            },
         ];
         let insts = collect_source(ProgramSource::new(ops));
         assert_eq!(insts.len(), 6);

@@ -1,7 +1,7 @@
-//! Property tests for the GEMM layer: packing round-trips and engine
-//! correctness under arbitrary blocking parameters.
+//! Property-style tests for the GEMM layer, driven by a deterministic
+//! xorshift sweep: packing round-trips and engine correctness under
+//! arbitrary blocking parameters.
 
-use proptest::prelude::*;
 use smm_gemm::engine::GotoEngine;
 use smm_gemm::gemm_naive;
 use smm_gemm::matrix::{Mat, PanelMatrix};
@@ -9,74 +9,94 @@ use smm_gemm::pack::{pack_a, pack_b};
 use smm_kernels::registry::LibraryProfile;
 use smm_model::BlockingParams;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+struct Rng(u64);
 
-    /// pack_a is a permutation-with-padding: every source element lands
-    /// at its Fig. 2 position, padding is zero.
-    #[test]
-    fn pack_a_round_trip(
-        rows in 1usize..40,
-        kc in 1usize..20,
-        mr in 1usize..=16,
-        seed in 0u64..1000,
-    ) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+/// pack_a is a permutation-with-padding: every source element lands at
+/// its Fig. 2 position, padding is zero.
+#[test]
+fn pack_a_round_trip() {
+    let mut rng = Rng::new(31);
+    for _ in 0..64 {
+        let rows = rng.range(1, 40);
+        let kc = rng.range(1, 20);
+        let mr = rng.range(1, 17);
+        let seed = rng.range(0, 1000) as u64;
         let a = Mat::<f32>::random(rows + 2, kc + 3, seed);
         let mut buf = Vec::new();
         pack_a(a.as_ref(), 1, 2, rows, kc, mr, &mut buf);
         let panels = rows.div_ceil(mr);
-        prop_assert_eq!(buf.len(), panels * mr * kc);
+        assert_eq!(buf.len(), panels * mr * kc);
         for t in 0..panels {
             for p in 0..kc {
                 for i in 0..mr {
                     let got = buf[t * mr * kc + p * mr + i];
                     let gi = t * mr + i;
                     let want = if gi < rows { a[(1 + gi, 2 + p)] } else { 0.0 };
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
     }
+}
 
-    /// pack_b mirrors pack_a on the N side.
-    #[test]
-    fn pack_b_round_trip(
-        cols in 1usize..40,
-        kc in 1usize..20,
-        nr in 1usize..=16,
-        seed in 0u64..1000,
-    ) {
+/// pack_b mirrors pack_a on the N side.
+#[test]
+fn pack_b_round_trip() {
+    let mut rng = Rng::new(32);
+    for _ in 0..64 {
+        let cols = rng.range(1, 40);
+        let kc = rng.range(1, 20);
+        let nr = rng.range(1, 17);
+        let seed = rng.range(0, 1000) as u64;
         let b = Mat::<f32>::random(kc + 1, cols + 2, seed);
         let mut buf = Vec::new();
         pack_b(b.as_ref(), 0, 1, kc, cols, nr, &mut buf);
         let slivers = cols.div_ceil(nr);
-        prop_assert_eq!(buf.len(), slivers * nr * kc);
+        assert_eq!(buf.len(), slivers * nr * kc);
         for t in 0..slivers {
             for p in 0..kc {
                 for j in 0..nr {
                     let got = buf[t * nr * kc + p * nr + j];
                     let gj = t * nr + j;
                     let want = if gj < cols { b[(p, 1 + gj)] } else { 0.0 };
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
     }
+}
 
-    /// The Goto engine is correct for arbitrary (clipped) blocking
-    /// parameters, not just the cache-derived ones.
-    #[test]
-    fn engine_correct_under_any_blocking(
-        m in 1usize..50,
-        n in 1usize..50,
-        k in 1usize..50,
-        kc in 1usize..64,
-        mc in 1usize..64,
-        nc in 1usize..64,
-        profile_idx in 0usize..3,
-        seed in 0u64..1000,
-    ) {
-        let profile = match profile_idx {
+/// The Goto engine is correct for arbitrary (clipped) blocking
+/// parameters, not just the cache-derived ones.
+#[test]
+fn engine_correct_under_any_blocking() {
+    let mut rng = Rng::new(33);
+    for _ in 0..64 {
+        let m = rng.range(1, 50);
+        let n = rng.range(1, 50);
+        let k = rng.range(1, 50);
+        let kc = rng.range(1, 64);
+        let mc = rng.range(1, 64);
+        let nc = rng.range(1, 64);
+        let seed = rng.range(0, 1000) as u64;
+        let profile = match rng.range(0, 3) {
             0 => LibraryProfile::openblas(),
             1 => LibraryProfile::blis(),
             _ => LibraryProfile::eigen(),
@@ -90,42 +110,53 @@ proptest! {
         engine.gemm(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
         gemm_naive(1.0, a.as_ref(), b.as_ref(), 1.0, c_ref.as_mut());
         let d = c.max_abs_diff(&c_ref);
-        prop_assert!(d < 1e-3 * (k as f64 + 10.0), "diff {d}");
+        assert!(d < 1e-3 * (k as f64 + 10.0), "diff {d}");
     }
+}
 
-    /// Panel-major conversion round-trips for any ps.
-    #[test]
-    fn panel_matrix_round_trip(
-        rows in 1usize..60,
-        cols in 1usize..30,
-        ps in 1usize..=8,
-        seed in 0u64..1000,
-    ) {
+/// Panel-major conversion round-trips for any ps.
+#[test]
+fn panel_matrix_round_trip() {
+    let mut rng = Rng::new(34);
+    for _ in 0..64 {
+        let rows = rng.range(1, 60);
+        let cols = rng.range(1, 30);
+        let ps = rng.range(1, 9);
+        let seed = rng.range(0, 1000) as u64;
         let m = Mat::<f32>::random(rows, cols, seed);
         let p = PanelMatrix::from_col_major(m.as_ref(), ps);
-        prop_assert_eq!(p.to_mat(), m);
+        assert_eq!(p.to_mat(), m);
     }
+}
 
-    /// Thread splits of C are an exact partition for any grid.
-    #[test]
-    fn parallel_grids_are_exact(
-        m in 1usize..40,
-        n in 1usize..40,
-        k in 1usize..20,
-        m_ways in 1usize..6,
-        n_ways in 1usize..6,
-        seed in 0u64..500,
-    ) {
+/// Thread splits of C are an exact partition for any grid.
+#[test]
+fn parallel_grids_are_exact() {
+    let mut rng = Rng::new(35);
+    for _ in 0..48 {
+        let m = rng.range(1, 40);
+        let n = rng.range(1, 40);
+        let k = rng.range(1, 20);
+        let m_ways = rng.range(1, 6);
+        let n_ways = rng.range(1, 6);
+        let seed = rng.range(0, 500) as u64;
         let engine = GotoEngine::with_profile(LibraryProfile::openblas());
         let a = Mat::<f32>::random(m, k, seed);
         let b = Mat::<f32>::random(k, n, seed + 1);
         let mut c = Mat::<f32>::random(m, n, seed + 2);
         let mut c_ref = c.clone();
         smm_gemm::parallel::gemm_parallel_2d(
-            &engine, m_ways, n_ways, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut(),
+            &engine,
+            m_ways,
+            n_ways,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.5,
+            c.as_mut(),
         );
         gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
         let d = c.max_abs_diff(&c_ref);
-        prop_assert!(d < 1e-3 * (k as f64 + 10.0), "diff {d}");
+        assert!(d < 1e-3 * (k as f64 + 10.0), "diff {d}");
     }
 }

@@ -52,7 +52,13 @@ pub struct MicroKernelDesc {
 impl MicroKernelDesc {
     /// Construct, validating against the Eq. 4 register constraint for
     /// single precision (4 lanes, 32 registers, 2 spare).
-    pub fn new(mr: usize, nr: usize, unroll: usize, policy: SchedulePolicy, b_load: BLoadStyle) -> Self {
+    pub fn new(
+        mr: usize,
+        nr: usize,
+        unroll: usize,
+        policy: SchedulePolicy,
+        b_load: BLoadStyle,
+    ) -> Self {
         let shape = KernelShape::new(mr, nr);
         assert!(unroll >= 1, "unroll factor must be at least 1");
         assert!(
@@ -89,7 +95,13 @@ mod tests {
 
     #[test]
     fn construction_validates_eq4() {
-        let d = MicroKernelDesc::new(8, 12, 4, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs);
+        let d = MicroKernelDesc::new(
+            8,
+            12,
+            4,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+        );
         assert_eq!(d.mr(), 8);
         assert_eq!(d.nr(), 12);
         assert_eq!(d.macs_per_k(), 96);

@@ -67,10 +67,16 @@ pub fn microkernel_dyn<S: Scalar>(
     c: &mut [S],
     ldc: usize,
 ) {
-    assert!((1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr), "dynamic tile {mr}x{nr} out of range");
+    assert!(
+        (1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr),
+        "dynamic tile {mr}x{nr} out of range"
+    );
     assert!(a.len() >= kc * mr, "packed A sliver too short");
     assert!(b.len() >= kc * nr, "packed B sliver too short");
-    assert!(ldc >= mr && c.len() >= (nr - 1) * ldc + mr, "C block out of bounds");
+    assert!(
+        ldc >= mr && c.len() >= (nr - 1) * ldc + mr,
+        "C block out of bounds"
+    );
     let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
     for p in 0..kc {
         let av = &a[p * mr..(p + 1) * mr];
@@ -105,7 +111,11 @@ impl<S: Scalar> std::fmt::Debug for Kernel<S> {
             "Kernel({}x{}, {})",
             self.mr,
             self.nr,
-            if self.f.is_some() { "static" } else { "dynamic" }
+            if self.f.is_some() {
+                "static"
+            } else {
+                "dynamic"
+            }
         )
     }
 }

@@ -50,7 +50,13 @@ impl LibraryProfile {
     pub fn openblas() -> Self {
         LibraryProfile {
             name: "OpenBLAS",
-            main: MicroKernelDesc::new(16, 4, 8, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs),
+            main: MicroKernelDesc::new(
+                16,
+                4,
+                8,
+                SchedulePolicy::Interleaved,
+                BLoadStyle::ScalarPairs,
+            ),
             alternates: vec![KernelShape::new(8, 8), KernelShape::new(4, 4)],
             edge: EdgeStrategy::EdgeKernels,
             edge_policy: SchedulePolicy::Naive,
@@ -63,7 +69,13 @@ impl LibraryProfile {
     pub fn blis() -> Self {
         LibraryProfile {
             name: "BLIS",
-            main: MicroKernelDesc::new(8, 12, 4, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs),
+            main: MicroKernelDesc::new(
+                8,
+                12,
+                4,
+                SchedulePolicy::Interleaved,
+                BLoadStyle::ScalarPairs,
+            ),
             alternates: vec![],
             edge: EdgeStrategy::Padding,
             edge_policy: SchedulePolicy::Interleaved,
@@ -101,7 +113,12 @@ impl LibraryProfile {
 
     /// All four profiles, in the paper's order.
     pub fn all() -> Vec<LibraryProfile> {
-        vec![Self::openblas(), Self::blis(), Self::blasfeo(), Self::eigen()]
+        vec![
+            Self::openblas(),
+            Self::blis(),
+            Self::blasfeo(),
+            Self::eigen(),
+        ]
     }
 
     /// The descriptor for an edge tile of `mr_e × nr_e`.
@@ -110,7 +127,11 @@ impl LibraryProfile {
             mr_e,
             nr_e,
             // Edge kernels are typically not unrolled.
-            if self.edge_policy == SchedulePolicy::Interleaved { self.main.unroll } else { 1 },
+            if self.edge_policy == SchedulePolicy::Interleaved {
+                self.main.unroll
+            } else {
+                1
+            },
             self.edge_policy,
             self.main.b_load,
         )
@@ -121,8 +142,15 @@ impl LibraryProfile {
 /// The final entries may repeat the smallest step.
 pub fn decompose_greedy(len: usize, steps: &[usize]) -> Vec<usize> {
     assert!(!steps.is_empty(), "need at least one step size");
-    assert!(steps.windows(2).all(|w| w[0] > w[1]), "steps must be strictly descending");
-    assert_eq!(*steps.last().unwrap(), 1, "steps must end with 1 to cover any length");
+    assert!(
+        steps.windows(2).all(|w| w[0] > w[1]),
+        "steps must be strictly descending"
+    );
+    assert_eq!(
+        *steps.last().unwrap(),
+        1,
+        "steps must end with 1 to cover any length"
+    );
     let mut out = Vec::new();
     let mut rest = len;
     for &s in steps {
@@ -148,7 +176,12 @@ pub struct TileSpan {
 
 /// Tile a dimension of `len` with primary step `step`, handling the
 /// remainder per the edge strategy.
-pub fn tile_dimension(len: usize, step: usize, edge: EdgeStrategy, steps: &[usize]) -> Vec<TileSpan> {
+pub fn tile_dimension(
+    len: usize,
+    step: usize,
+    edge: EdgeStrategy,
+    steps: &[usize],
+) -> Vec<TileSpan> {
     assert!(len > 0 && step > 0);
     let mut tiles = Vec::new();
     let full = len / step;
@@ -192,7 +225,10 @@ mod tests {
         let ob = LibraryProfile::openblas();
         assert_eq!((ob.main.mr(), ob.main.nr(), ob.main.unroll), (16, 4, 8));
         let blis = LibraryProfile::blis();
-        assert_eq!((blis.main.mr(), blis.main.nr(), blis.main.unroll), (8, 12, 4));
+        assert_eq!(
+            (blis.main.mr(), blis.main.nr(), blis.main.unroll),
+            (8, 12, 4)
+        );
         let feo = LibraryProfile::blasfeo();
         assert_eq!((feo.main.mr(), feo.main.nr(), feo.main.unroll), (16, 4, 4));
         assert_eq!(feo.main.b_load, BLoadStyle::Vector);

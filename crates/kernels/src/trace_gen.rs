@@ -67,7 +67,10 @@ fn plan_registers(p: &KernelTraceParams) -> RegPlan {
     let mra = mr.div_ceil(lanes);
     let nrv = nr.div_ceil(lanes);
     let n_acc = mra * nr;
-    assert!(n_acc <= 30, "accumulator tile {mr}x{nr} needs {n_acc} > 30 registers");
+    assert!(
+        n_acc <= 30,
+        "accumulator tile {mr}x{nr} needs {n_acc} > 30 registers"
+    );
     let acc: Vec<Reg> = (0..n_acc).map(|i| v((31 - i) as u8)).collect();
     // A buffers occupy v0..; vector-B buffers follow them.
     let a_buf = [0u8, mra as u8];
@@ -122,7 +125,11 @@ fn emit_a_loads(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan, k: usi
     let base = p.a_base + k as u64 * p.a_kstep;
     let full = mr / rp.lanes;
     for i in 0..full {
-        out.push(Inst::ld_vec(rp.a_reg(buf, i), base + (i * 16) as u64, p.phase));
+        out.push(Inst::ld_vec(
+            rp.a_reg(buf, i),
+            base + (i * 16) as u64,
+            p.phase,
+        ));
     }
     // Remainder rows of an edge sliver: scalar loads (cannot use an
     // aligned vector load without padding -- §III-B, Fig. 8).
@@ -191,7 +198,11 @@ fn emit_b_loads(out: &mut Vec<Inst>, p: &KernelTraceParams, rp: &RegPlan, k: usi
                 // FP-pipe slot (hand-written kernels use lane-indexed
                 // fmla instead).
                 out.push(Inst::iop(smm_simarch::isa::x(4), p.phase));
-                out.push(Inst::ld_scalar(s(j as u8), base + j as u64 * p.elem, p.phase));
+                out.push(Inst::ld_scalar(
+                    s(j as u8),
+                    base + j as u64 * p.elem,
+                    p.phase,
+                ));
                 out.push(Inst::vdup(
                     rp.b_reg(BLoadStyle::Scalars, buf, j),
                     s(j as u8),
@@ -374,7 +385,14 @@ mod tests {
 
     #[test]
     fn fma_count_matches_tile_math() {
-        let p = params(8, 8, 32, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs, 4);
+        let p = params(
+            8,
+            8,
+            32,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+            4,
+        );
         let (insts, stats) = kernel_trace(&p);
         // k-loop FMAs: (8/4)*8*32 = 512; C-merge adds 2*8 = 16.
         let fmas = count(&insts, |o| o == Op::Fma);
@@ -401,16 +419,48 @@ mod tests {
 
     #[test]
     fn compiler_policy_pays_address_arithmetic() {
-        let naive = kernel_trace(&params(12, 4, 8, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1)).0;
-        let eigen = kernel_trace(&params(12, 4, 8, SchedulePolicy::Compiler, BLoadStyle::Scalars, 1)).0;
+        let naive = kernel_trace(&params(
+            12,
+            4,
+            8,
+            SchedulePolicy::Naive,
+            BLoadStyle::ScalarPairs,
+            1,
+        ))
+        .0;
+        let eigen = kernel_trace(&params(
+            12,
+            4,
+            8,
+            SchedulePolicy::Compiler,
+            BLoadStyle::Scalars,
+            1,
+        ))
+        .0;
         assert!(eigen.len() > naive.len());
         assert!(count(&eigen, |o| o == Op::IOp) > count(&naive, |o| o == Op::IOp));
     }
 
     #[test]
     fn unroll_reduces_loop_overhead() {
-        let u1 = kernel_trace(&params(8, 8, 64, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 1)).0;
-        let u8 = kernel_trace(&params(8, 8, 64, SchedulePolicy::Naive, BLoadStyle::ScalarPairs, 8)).0;
+        let u1 = kernel_trace(&params(
+            8,
+            8,
+            64,
+            SchedulePolicy::Naive,
+            BLoadStyle::ScalarPairs,
+            1,
+        ))
+        .0;
+        let u8 = kernel_trace(&params(
+            8,
+            8,
+            64,
+            SchedulePolicy::Naive,
+            BLoadStyle::ScalarPairs,
+            8,
+        ))
+        .0;
         let branches = |v: &[Inst]| count(v, |o| o == Op::Branch);
         assert_eq!(branches(&u1), 64);
         assert_eq!(branches(&u8), 8);
@@ -453,7 +503,10 @@ mod tests {
         };
         let eigen = sim(SchedulePolicy::Compiler, BLoadStyle::Scalars);
         let hand = sim(SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs);
-        assert!(eigen < 0.85, "compiler-generated 12x4 should be capped: {eigen}");
+        assert!(
+            eigen < 0.85,
+            "compiler-generated 12x4 should be capped: {eigen}"
+        );
         assert!(hand - eigen > 0.1, "hand {hand} vs compiler {eigen}");
     }
 
@@ -484,7 +537,14 @@ mod tests {
 
     #[test]
     fn all_addresses_fall_in_operand_ranges() {
-        let p = params(16, 4, 16, SchedulePolicy::Interleaved, BLoadStyle::ScalarPairs, 8);
+        let p = params(
+            16,
+            4,
+            16,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+            8,
+        );
         let (insts, _) = kernel_trace(&p);
         for i in &insts {
             if i.op.is_load() || i.op.is_store() {

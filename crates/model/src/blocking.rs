@@ -142,14 +142,32 @@ mod tests {
             nc: 4096,
         };
         let c = b.clipped(10, 3, 7);
-        assert_eq!(c, BlockingParams { kc: 7, mc: 10, nc: 3 });
+        assert_eq!(
+            c,
+            BlockingParams {
+                kc: 7,
+                mc: 10,
+                nc: 3
+            }
+        );
         let tiny = b.clipped(1, 1, 1);
-        assert_eq!(tiny, BlockingParams { kc: 1, mc: 1, nc: 1 });
+        assert_eq!(
+            tiny,
+            BlockingParams {
+                kc: 1,
+                mc: 1,
+                nc: 1
+            }
+        );
     }
 
     #[test]
     fn minimums_enforced_for_tiny_caches() {
-        let c = CacheSizes { l1d: 64, l2: 128, l3: 0 };
+        let c = CacheSizes {
+            l1d: 64,
+            l2: 128,
+            l3: 0,
+        };
         let b = derive_blocking(c, 16, 4, 4);
         assert!(b.kc >= 32);
         assert!(b.mc >= 16);

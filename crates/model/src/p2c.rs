@@ -133,7 +133,10 @@ mod tests {
         let small = predicted_packing_share(4, 4, 64, 4, 8, 1.0);
         let large = predicted_packing_share(64, 64, 64, 4, 8, 1.0);
         assert!(small > large);
-        assert!(small >= 0.5, "tiny M,N should be packing dominated: {small}");
+        assert!(
+            small >= 0.5,
+            "tiny M,N should be packing dominated: {small}"
+        );
     }
 
     #[test]

@@ -111,7 +111,12 @@ pub fn select_grid(
     kernel: KernelShape,
 ) -> ThreadGrid {
     let _ = k; // K is never parallelized in the Goto structure.
-    let mut best = ThreadGrid { jc: 1, ic: 1, jr: 1, ir: threads };
+    let mut best = ThreadGrid {
+        jc: 1,
+        ic: 1,
+        jr: 1,
+        ir: threads,
+    };
     let mut best_score = f64::MIN;
     for g in enumerate_grids(threads) {
         let mu = m_utilization(m, g.m_ways(), kernel.mr);
@@ -152,7 +157,12 @@ mod tests {
 
     #[test]
     fn grid_arithmetic() {
-        let g = ThreadGrid { jc: 8, ic: 2, jr: 4, ir: 1 };
+        let g = ThreadGrid {
+            jc: 8,
+            ic: 2,
+            jr: 4,
+            ir: 1,
+        };
         assert_eq!(g.threads(), 64);
         assert_eq!(g.m_ways(), 2);
         assert_eq!(g.n_ways(), 32);
@@ -172,7 +182,15 @@ mod tests {
     #[test]
     fn enumeration_of_one_thread() {
         let grids = enumerate_grids(1);
-        assert_eq!(grids, vec![ThreadGrid { jc: 1, ic: 1, jr: 1, ir: 1 }]);
+        assert_eq!(
+            grids,
+            vec![ThreadGrid {
+                jc: 1,
+                ic: 1,
+                jr: 1,
+                ir: 1
+            }]
+        );
     }
 
     #[test]
@@ -214,11 +232,21 @@ mod tests {
     fn per_thread_macs_match_table_ii_example() {
         // Paper: OpenBLAS with 64 threads on the ii loop gives each
         // thread (mc/64) * nc * kc work.
-        let ob = ThreadGrid { jc: 1, ic: 64, jr: 1, ir: 1 };
+        let ob = ThreadGrid {
+            jc: 1,
+            ic: 64,
+            jr: 1,
+            ir: 1,
+        };
         let w = per_thread_macs(128, 4096, 256, ob);
         assert!((w - (128.0 / 64.0) * 4096.0 * 256.0).abs() < 1e-6);
         // BLIS 8x8 grid keeps cohorts at 8.
-        let blis = ThreadGrid { jc: 8, ic: 1, jr: 8, ir: 1 };
+        let blis = ThreadGrid {
+            jc: 8,
+            ic: 1,
+            jr: 8,
+            ir: 1,
+        };
         assert_eq!(blis.sync_cohort(), 8);
         assert_eq!(ob.sync_cohort(), 64);
     }

@@ -59,7 +59,10 @@ impl MachineSpec {
 
     /// Peak flops/s for `ncores` cores.
     pub fn peak_flops(&self, prec: Precision, ncores: usize) -> f64 {
-        assert!(ncores >= 1 && ncores <= self.cores, "core count out of range");
+        assert!(
+            ncores >= 1 && ncores <= self.cores,
+            "core count out of range"
+        );
         self.flops_per_cycle_per_core(prec) * self.freq_hz * ncores as f64
     }
 

@@ -1,80 +1,118 @@
-//! Property tests for the analytical models.
+//! Property-style tests for the analytical models, driven by a
+//! deterministic xorshift sweep (the container has no proptest crate;
+//! the invariants are unchanged).
 
-use proptest::prelude::*;
 use smm_model::{
     derive_blocking, enumerate_grids, p2c, select_grid, CacheSizes, KernelShape, MachineSpec,
     Precision, ThreadGrid,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
 
-    /// P2C decreases (weakly) in M and N and is independent of K.
-    #[test]
-    fn p2c_monotonicity(m in 1usize..500, n in 1usize..500, k in 1usize..500) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+/// P2C decreases (weakly) in M and N and is independent of K.
+#[test]
+fn p2c_monotonicity() {
+    let mut rng = Rng::new(1);
+    for _ in 0..128 {
+        let (m, n, k) = (rng.range(1, 500), rng.range(1, 500), rng.range(1, 500));
         let base = p2c::p2c_as_published(m, n);
-        prop_assert!(p2c::p2c_as_published(m + 1, n) <= base);
-        prop_assert!(p2c::p2c_as_published(m, n + 1) <= base);
+        assert!(p2c::p2c_as_published(m + 1, n) <= base);
+        assert!(p2c::p2c_as_published(m, n + 1) <= base);
         let d1 = p2c::p2c_derived(m, n, k, 4, 8);
         let d2 = p2c::p2c_derived(m, n, k + 17, 4, 8);
-        prop_assert!((d1 - d2).abs() < 1e-12);
+        assert!((d1 - d2).abs() < 1e-12);
     }
+}
 
-    /// The predicted packing share is a proper fraction and increases
-    /// with the cost ratio.
-    #[test]
-    fn packing_share_is_a_fraction(
-        m in 1usize..300,
-        n in 1usize..300,
-        k in 1usize..300,
-        ratio in 0.1f64..8.0,
-    ) {
+/// The predicted packing share is a proper fraction and increases with
+/// the cost ratio.
+#[test]
+fn packing_share_is_a_fraction() {
+    let mut rng = Rng::new(2);
+    for _ in 0..128 {
+        let (m, n, k) = (rng.range(1, 300), rng.range(1, 300), rng.range(1, 300));
+        let ratio = rng.float(0.1, 8.0);
         let s = p2c::predicted_packing_share(m, n, k, 4, 8, ratio);
-        prop_assert!(s > 0.0 && s < 1.0);
+        assert!(s > 0.0 && s < 1.0);
         let s2 = p2c::predicted_packing_share(m, n, k, 4, 8, ratio + 1.0);
-        prop_assert!(s2 > s);
+        assert!(s2 > s);
     }
+}
 
-    /// Register accounting: Eq. 4 feasibility is monotone — shrinking a
-    /// feasible tile keeps it feasible.
-    #[test]
-    fn feasibility_is_monotone(mr in 1usize..=32, nr in 1usize..=32) {
-        let shape = KernelShape::new(mr, nr);
-        if shape.satisfies_register_constraint(4, 32, 2) {
-            for (smaller_mr, smaller_nr) in [(mr.max(2) - 1, nr), (mr, nr.max(2) - 1)] {
-                let s = KernelShape::new(smaller_mr.max(1), smaller_nr.max(1));
-                prop_assert!(s.satisfies_register_constraint(4, 32, 2));
+/// Register accounting: Eq. 4 feasibility is monotone — shrinking a
+/// feasible tile keeps it feasible.
+#[test]
+fn feasibility_is_monotone() {
+    for mr in 1usize..=32 {
+        for nr in 1usize..=32 {
+            let shape = KernelShape::new(mr, nr);
+            if shape.satisfies_register_constraint(4, 32, 2) {
+                for (smaller_mr, smaller_nr) in [(mr.max(2) - 1, nr), (mr, nr.max(2) - 1)] {
+                    let s = KernelShape::new(smaller_mr.max(1), smaller_nr.max(1));
+                    assert!(s.satisfies_register_constraint(4, 32, 2));
+                }
             }
         }
     }
+}
 
-    /// CMR is bounded by twice the smaller dimension.
-    #[test]
-    fn cmr_bound(mr in 1usize..=64, nr in 1usize..=64) {
-        let cmr = KernelShape::new(mr, nr).cmr();
-        prop_assert!(cmr <= 2.0 * mr.min(nr) as f64 + 1e-12);
-        prop_assert!(cmr > 0.0);
+/// CMR is bounded by twice the smaller dimension.
+#[test]
+fn cmr_bound() {
+    for mr in 1usize..=64 {
+        for nr in 1usize..=64 {
+            let cmr = KernelShape::new(mr, nr).cmr();
+            assert!(cmr <= 2.0 * mr.min(nr) as f64 + 1e-12);
+            assert!(cmr > 0.0);
+        }
     }
+}
 
-    /// Every enumerated grid multiplies back to the thread count, and
-    /// the selector's choice is always one of them.
-    #[test]
-    fn grids_partition_threads(threads in 1usize..=64) {
+/// Every enumerated grid multiplies back to the thread count, and the
+/// selector's choice is always one of them.
+#[test]
+fn grids_partition_threads() {
+    for threads in 1usize..=64 {
         let grids = enumerate_grids(threads);
-        prop_assert!(grids.iter().all(|g| g.threads() == threads));
+        assert!(grids.iter().all(|g| g.threads() == threads));
         let chosen = select_grid(100, 100, 100, threads, KernelShape::new(8, 8));
-        prop_assert!(grids.contains(&chosen));
+        assert!(grids.contains(&chosen));
     }
+}
 
-    /// Grid selection never over-decomposes: per-thread M/N tiles stay
-    /// at least one register tile when the problem allows it.
-    #[test]
-    fn selection_keeps_tiles_whole(
-        m in 8usize..2048,
-        n in 8usize..2048,
-        threads_pow in 0u32..7,
-    ) {
-        let threads = 1usize << threads_pow;
+/// Grid selection never over-decomposes: per-thread M/N tiles stay at
+/// least one register tile when the problem allows it.
+#[test]
+fn selection_keeps_tiles_whole() {
+    let mut rng = Rng::new(3);
+    for _ in 0..128 {
+        let m = rng.range(8, 2048);
+        let n = rng.range(8, 2048);
+        let threads = 1usize << rng.range(0, 7);
         let kernel = KernelShape::new(8, 8);
         let g = select_grid(m, n, 64, threads, kernel);
         // If there are at least `threads` full tiles in total, no thread
@@ -84,45 +122,58 @@ proptest! {
         if m_tiles * n_tiles >= threads && m_tiles >= 1 && n_tiles >= 1 {
             let per_m = m.div_ceil(g.m_ways());
             let per_n = n.div_ceil(g.n_ways());
-            prop_assert!(
+            assert!(
                 per_m >= kernel.mr / 2 || per_n >= kernel.nr,
                 "grid {g:?} starves {m}x{n}"
             );
         }
     }
+}
 
-    /// Derived blocking always respects its cache budgets.
-    #[test]
-    fn blocking_respects_caches(
-        mr_idx in 0usize..3,
-        nr_idx in 0usize..3,
-        elem in prop::sample::select(vec![4usize, 8]),
-    ) {
-        let mr = [4usize, 8, 16][mr_idx];
-        let nr = [4usize, 8, 12][nr_idx];
-        let caches = CacheSizes::phytium_2000_plus();
-        let b = derive_blocking(caches, mr, nr, elem);
-        // One B sliver in half of L1 (allow the min-32 clamp slack).
-        prop_assert!(b.kc * nr * elem <= caches.l1d / 2 + 32 * nr * elem);
-        // Packed A block within half of L2 (allow one mr row of slack).
-        prop_assert!(b.mc * b.kc * elem <= caches.l2 / 2 + mr * b.kc * elem);
-        prop_assert!(b.mc.is_multiple_of(mr) && b.nc.is_multiple_of(nr));
+/// Derived blocking always respects its cache budgets.
+#[test]
+fn blocking_respects_caches() {
+    for mr in [4usize, 8, 16] {
+        for nr in [4usize, 8, 12] {
+            for elem in [4usize, 8] {
+                let caches = CacheSizes::phytium_2000_plus();
+                let b = derive_blocking(caches, mr, nr, elem);
+                // One B sliver in half of L1 (allow the min-32 clamp slack).
+                assert!(b.kc * nr * elem <= caches.l1d / 2 + 32 * nr * elem);
+                // Packed A block within half of L2 (allow one mr row of slack).
+                assert!(b.mc * b.kc * elem <= caches.l2 / 2 + mr * b.kc * elem);
+                assert!(b.mc.is_multiple_of(mr) && b.nc.is_multiple_of(nr));
+            }
+        }
     }
+}
 
-    /// Peak/efficiency arithmetic round-trips.
-    #[test]
-    fn efficiency_round_trips(cores in 1usize..=64, frac in 0.01f64..1.0) {
+/// Peak/efficiency arithmetic round-trips.
+#[test]
+fn efficiency_round_trips() {
+    let mut rng = Rng::new(4);
+    for _ in 0..128 {
+        let cores = rng.range(1, 65);
+        let frac = rng.float(0.01, 1.0);
         let spec = MachineSpec::phytium_2000_plus();
         let peak = spec.peak_gflops(Precision::F32, cores);
         let e = spec.efficiency(peak * frac, Precision::F32, cores);
-        prop_assert!((e.fraction() - frac).abs() < 1e-9);
+        assert!((e.fraction() - frac).abs() < 1e-9);
     }
+}
 
-    /// Sync cohort never exceeds the thread count.
-    #[test]
-    fn cohorts_are_bounded(jc in 1usize..8, ic in 1usize..8, jr in 1usize..8, ir in 1usize..8) {
-        let g = ThreadGrid { jc, ic, jr, ir };
-        prop_assert!(g.sync_cohort() <= g.threads());
-        prop_assert_eq!(g.m_ways() * g.n_ways(), g.threads());
+/// Sync cohort never exceeds the thread count.
+#[test]
+fn cohorts_are_bounded() {
+    for jc in 1usize..8 {
+        for ic in 1usize..8 {
+            for jr in 1usize..8 {
+                for ir in 1usize..8 {
+                    let g = ThreadGrid { jc, ic, jr, ir };
+                    assert!(g.sync_cohort() <= g.threads());
+                    assert_eq!(g.m_ways() * g.n_ways(), g.threads());
+                }
+            }
+        }
     }
 }

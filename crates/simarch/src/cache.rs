@@ -96,7 +96,10 @@ pub struct Cache {
 impl Cache {
     /// Build an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways >= 1);
         let sets = cfg.sets();
         assert!(sets >= 1, "config yields zero sets");

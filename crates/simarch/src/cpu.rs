@@ -248,7 +248,11 @@ impl CoreSim {
             let idx = (seq - self.base_seq) as usize;
             let ready = {
                 let e = &self.rob[idx];
-                let budget_ok = if e.op.is_store() { budget_b > 0 } else { budget_a > 0 };
+                let budget_ok = if e.op.is_store() {
+                    budget_b > 0
+                } else {
+                    budget_a > 0
+                };
                 budget_ok && e.deps.iter().all(|&d| self.dep_ready(d, now))
             };
             if ready {
@@ -353,18 +357,17 @@ impl CoreSim {
     /// Advance one cycle. Returns a barrier id when the core just
     /// arrived at that barrier.
     pub fn step(&mut self, now: u64, mem: &mut MemSystem) -> Option<u32> {
-        debug_assert!(self.status == CoreStatus::Running, "step() on a non-running core");
+        debug_assert!(
+            self.status == CoreStatus::Running,
+            "step() on a non-running core"
+        );
         self.retire(now);
         self.issue_queue(QueueKind::Fp, now, mem);
         self.issue_queue(QueueKind::Ls, now, mem);
         self.issue_queue(QueueKind::Int, now, mem);
         let arrived = self.dispatch(now);
         self.account_cycle();
-        if arrived.is_none()
-            && self.source_done
-            && self.fetch.is_empty()
-            && self.rob.is_empty()
-        {
+        if arrived.is_none() && self.source_done && self.fetch.is_empty() && self.rob.is_empty() {
             self.status = CoreStatus::Done;
             self.report.cycles = now + 1;
         }
@@ -387,7 +390,11 @@ mod tests {
 
     fn run_insts(insts: Vec<Inst>) -> (CoreReport, MemSystem) {
         let mut mem = MemSystem::new(MemConfig::phytium_2000_plus(), 1);
-        let mut core = CoreSim::new(0, PipelineConfig::phytium_core(), Box::new(VecSource::new(insts)));
+        let mut core = CoreSim::new(
+            0,
+            PipelineConfig::phytium_core(),
+            Box::new(VecSource::new(insts)),
+        );
         let mut now = 0;
         while core.status() != CoreStatus::Done {
             assert!(now < 10_000_000, "runaway test simulation");
@@ -416,7 +423,9 @@ mod tests {
     #[test]
     fn serial_fma_chain_is_latency_bound() {
         let n = 2_000u64;
-        let insts: Vec<Inst> = (0..n).map(|_| Inst::fma(v(16), v(0), s(0), Phase::Kernel)).collect();
+        let insts: Vec<Inst> = (0..n)
+            .map(|_| Inst::fma(v(16), v(0), s(0), Phase::Kernel))
+            .collect();
         let (r, _) = run_insts(insts);
         let lat = PipelineConfig::phytium_core().fma_latency;
         assert!(
@@ -450,7 +459,11 @@ mod tests {
         let (r, _) = run_insts(insts);
         // 2 loads/cycle max => >= n/2 cycles.
         assert!(r.cycles >= n / 2, "cycles {} for {n} loads", r.cycles);
-        assert!(r.cycles < n, "OOO should sustain ~2/cycle, got {}", r.cycles);
+        assert!(
+            r.cycles < n,
+            "OOO should sustain ~2/cycle, got {}",
+            r.cycles
+        );
     }
 
     /// Load-to-use latency stalls a dependent FMA chain.

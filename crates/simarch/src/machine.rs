@@ -83,7 +83,11 @@ impl SimReport {
             .iter()
             .map(|c| c.fma_by_phase.get(Phase::Kernel) + c.fma_by_phase.get(Phase::Edge))
             .sum();
-        let cycles: u64 = self.cores.iter().map(|c| c.phase_cycles.kernel_combined()).sum();
+        let cycles: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.phase_cycles.kernel_combined())
+            .sum();
         if cycles == 0 {
             0.0
         } else {
@@ -173,7 +177,11 @@ impl Machine {
                 "barrier deadlock at cycle {now}: all live cores waiting on unreleased barriers"
             );
             now += 1;
-            assert!(now < self.max_cycles, "simulation exceeded {} cycles", self.max_cycles);
+            assert!(
+                now < self.max_cycles,
+                "simulation exceeded {} cycles",
+                self.max_cycles
+            );
         }
         SimReport {
             cycles: self
@@ -327,6 +335,9 @@ mod tests {
         let b = r.total_breakdown();
         assert!(b.get(Phase::Kernel) > 0);
         assert!(b.get(Phase::Edge) > 0);
-        assert_eq!(b.kernel_combined(), b.get(Phase::Kernel) + b.get(Phase::Edge));
+        assert_eq!(
+            b.kernel_combined(),
+            b.get(Phase::Kernel) + b.get(Phase::Edge)
+        );
     }
 }

@@ -405,7 +405,7 @@ mod tests {
         let mut m = sys(8);
         let addr = 0x4000u64;
         m.load(0, addr, 0); // miss to DRAM, installs in L2 #0 and L1 #0
-        // Core 3 shares L2 #0: gets an L2 hit.
+                            // Core 3 shares L2 #0: gets an L2 hit.
         assert_eq!(m.load(3, addr, 0), m.config().l2_hit);
         // Core 4 uses L2 #1: full miss.
         assert!(m.load(4, addr, 0) >= m.config().dram_local);

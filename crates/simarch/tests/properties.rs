@@ -1,100 +1,145 @@
-//! Property tests for the machine model: conservation laws the
-//! simulator must satisfy for *any* program.
+//! Property-style tests for the machine model, driven by a
+//! deterministic xorshift sweep: conservation laws the simulator must
+//! satisfy for *any* program.
 
-use proptest::prelude::*;
 use smm_simarch::prelude::*;
 
-/// Generate an arbitrary short program of data-flow-valid instructions.
-fn arb_program() -> impl Strategy<Value = Vec<Inst>> {
-    let inst = (0u8..6, 0u8..16, 0u8..16, 0u64..4096u64).prop_map(|(kind, r1, r2, addr)| {
-        let phase = Phase::Kernel;
-        match kind {
-            0 => Inst::ld_vec(v(r1 % 8), addr * 16, phase),
-            1 => Inst::ld_scalar(s(r1), addr * 4, phase),
-            2 => Inst::st_vec(v(r1 % 8), addr * 16, phase),
-            3 => Inst::fma(v(16 + r1 % 8), v(r2 % 8), s(r2), phase),
-            4 => Inst::iop(x(r1 % 4), phase),
-            _ => Inst::branch(phase),
-        }
-    });
-    proptest::collection::vec(inst, 0..400)
-}
+struct Rng(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every instruction retires exactly once, no matter the mix.
-    #[test]
-    fn all_instructions_retire(prog in arb_program()) {
-        let n = prog.len() as u64;
-        let report = simulate_single(Box::new(VecSource::new(prog)));
-        prop_assert_eq!(report.cores[0].retired, n);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
-    /// Cycles are bounded below by the dispatch width and by the FP
-    /// port throughput, and above by a generous serial bound.
-    #[test]
-    fn cycle_bounds_hold(prog in arb_program()) {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Generate an arbitrary short program of data-flow-valid instructions.
+fn arb_program(rng: &mut Rng) -> Vec<Inst> {
+    let len = rng.range(0, 400) as usize;
+    (0..len)
+        .map(|_| {
+            let kind = rng.range(0, 6) as u8;
+            let r1 = rng.range(0, 16) as u8;
+            let r2 = rng.range(0, 16) as u8;
+            let addr = rng.range(0, 4096);
+            let phase = Phase::Kernel;
+            match kind {
+                0 => Inst::ld_vec(v(r1 % 8), addr * 16, phase),
+                1 => Inst::ld_scalar(s(r1), addr * 4, phase),
+                2 => Inst::st_vec(v(r1 % 8), addr * 16, phase),
+                3 => Inst::fma(v(16 + r1 % 8), v(r2 % 8), s(r2), phase),
+                4 => Inst::iop(x(r1 % 4), phase),
+                _ => Inst::branch(phase),
+            }
+        })
+        .collect()
+}
+
+/// Every instruction retires exactly once, no matter the mix.
+#[test]
+fn all_instructions_retire() {
+    let mut rng = Rng::new(21);
+    for _ in 0..64 {
+        let prog = arb_program(&mut rng);
+        let n = prog.len() as u64;
+        let report = simulate_single(Box::new(VecSource::new(prog)));
+        assert_eq!(report.cores[0].retired, n);
+    }
+}
+
+/// Cycles are bounded below by the dispatch width and by the FP port
+/// throughput, and above by a generous serial bound.
+#[test]
+fn cycle_bounds_hold() {
+    let mut rng = Rng::new(22);
+    for _ in 0..64 {
+        let prog = arb_program(&mut rng);
         let n = prog.len() as u64;
         let fmas = prog.iter().filter(|i| matches!(i.op, Op::Fma)).count() as u64;
         let report = simulate_single(Box::new(VecSource::new(prog)));
         let cycles = report.cores[0].cycles;
         // 4-wide dispatch lower bound.
-        prop_assert!(cycles + 1 >= n / 4, "cycles {cycles} for {n} insts");
+        assert!(cycles + 1 >= n / 4, "cycles {cycles} for {n} insts");
         // One FMA per cycle upper throughput.
-        prop_assert!(cycles >= fmas, "cycles {cycles} for {fmas} FMAs");
-        // Serial worst case: every instruction fully serialized at
-        // max latency (DRAM remote + queue slack).
-        prop_assert!(cycles <= 16 + n * 400, "cycles {cycles} for {n} insts");
+        assert!(cycles >= fmas, "cycles {cycles} for {fmas} FMAs");
+        // Serial worst case: every instruction fully serialized at max
+        // latency (DRAM remote + queue slack).
+        assert!(cycles <= 16 + n * 400, "cycles {cycles} for {n} insts");
     }
+}
 
-    /// Phase cycle accounting only covers phases that appear in the
-    /// program, and FMA counters match the program.
-    #[test]
-    fn accounting_is_consistent(prog in arb_program()) {
+/// Phase cycle accounting only covers phases that appear in the
+/// program, and FMA counters match the program.
+#[test]
+fn accounting_is_consistent() {
+    let mut rng = Rng::new(23);
+    for _ in 0..64 {
+        let prog = arb_program(&mut rng);
         let fmas = prog.iter().filter(|i| matches!(i.op, Op::Fma)).count() as u64;
         let loads = prog.iter().filter(|i| i.op.is_load()).count() as u64;
         let stores = prog.iter().filter(|i| i.op.is_store()).count() as u64;
         let report = simulate_single(Box::new(VecSource::new(prog)));
         let core = &report.cores[0];
-        prop_assert_eq!(core.fma_by_phase.total(), fmas);
-        prop_assert_eq!(core.loads_by_phase.total(), loads);
-        prop_assert_eq!(core.stores_by_phase.total(), stores);
-        prop_assert_eq!(core.phase_cycles.get(Phase::Sync), 0);
+        assert_eq!(core.fma_by_phase.total(), fmas);
+        assert_eq!(core.loads_by_phase.total(), loads);
+        assert_eq!(core.stores_by_phase.total(), stores);
+        assert_eq!(core.phase_cycles.get(Phase::Sync), 0);
     }
+}
 
-    /// Simulation is deterministic: identical programs produce
-    /// identical cycle counts.
-    #[test]
-    fn simulation_is_deterministic(prog in arb_program()) {
+/// Simulation is deterministic: identical programs produce identical
+/// cycle counts.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::new(24);
+    for _ in 0..64 {
+        let prog = arb_program(&mut rng);
         let a = simulate_single(Box::new(VecSource::new(prog.clone()))).cycles;
         let b = simulate_single(Box::new(VecSource::new(prog))).cycles;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Cache accesses never lose lines spuriously: after an access,
-    /// an immediate repeat is a hit.
-    #[test]
-    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..100_000, 1..200)) {
+/// Cache accesses never lose lines spuriously: after an access, an
+/// immediate repeat is a hit.
+#[test]
+fn repeat_access_hits() {
+    let mut rng = Rng::new(25);
+    for _ in 0..64 {
         let mut cache = smm_simarch::cache::Cache::new(CacheConfig::phytium_l1d());
-        for a in addrs {
+        let count = rng.range(1, 200);
+        for _ in 0..count {
+            let a = rng.range(0, 100_000);
             cache.access(a);
             assert!(cache.probe(a), "line {a:#x} evicted immediately");
         }
     }
+}
 
-    /// The memory system's latency is always one of the modelled tiers
-    /// (plus bounded queueing).
-    #[test]
-    fn load_latency_is_tiered(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..100),
-    ) {
+/// The memory system's latency is always one of the modelled tiers
+/// (plus bounded queueing).
+#[test]
+fn load_latency_is_tiered() {
+    let mut rng = Rng::new(26);
+    for _ in 0..64 {
         let cfg = MemConfig::phytium_2000_plus();
         let mut mem = MemSystem::new(cfg, 1);
         let mut clk = 0u64;
-        for a in addrs {
+        let count = rng.range(1, 100);
+        for _ in 0..count {
+            let a = rng.range(0, 1_000_000);
             let lat = mem.load(0, a, clk);
-            prop_assert!(
+            assert!(
                 lat == cfg.l1_hit
                     || lat == cfg.l2_hit
                     || (lat >= cfg.dram_local && lat <= cfg.dram_remote + 64 * cfg.dram_service),

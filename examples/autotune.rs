@@ -46,5 +46,8 @@ fn main() {
         assert!(c.max_abs_diff(&c_ref) < 1e-3);
     }
     println!("\nall tuned plans verified against the naive oracle");
-    println!("({} candidate simulations per shape, cached thereafter)", 29);
+    println!(
+        "({} candidate simulations per shape, cached thereafter)",
+        29
+    );
 }

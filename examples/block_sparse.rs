@@ -40,7 +40,13 @@ impl Bcsr {
             }
             row_ptr.push(col_idx.len());
         }
-        Bcsr { block_rows, block_cols, row_ptr, col_idx, blocks }
+        Bcsr {
+            block_rows,
+            block_cols,
+            row_ptr,
+            col_idx,
+            blocks,
+        }
     }
 
     fn nnz_blocks(&self) -> usize {
@@ -97,11 +103,19 @@ fn main() {
     let diff = y.max_abs_diff(&y_ref);
 
     let flops = 2.0 * (a.nnz_blocks() * R * R * ncols) as f64;
-    println!("BCSR {}x{} blocks of {R}x{R}, {} stored blocks, X has {ncols} cols", block_rows, block_cols, a.nnz_blocks());
+    println!(
+        "BCSR {}x{} blocks of {R}x{R}, {} stored blocks, X has {ncols} cols",
+        block_rows,
+        block_cols,
+        a.nnz_blocks()
+    );
     println!("  block GEMM shape : {R}x{ncols}x{R} (P2C-driven: no packing)");
     println!("  plans cached     : {}", smm.cached_plans());
     println!("  max |diff|       : {diff:.2e}");
-    println!("  wall time        : {elapsed:?} ({:.2} Gflops/s)", flops / elapsed.as_secs_f64() / 1e9);
+    println!(
+        "  wall time        : {elapsed:?} ({:.2} Gflops/s)",
+        flops / elapsed.as_secs_f64() / 1e9
+    );
     assert!(diff < 1e-3);
     assert_eq!(smm.cached_plans(), 1, "every block reuses one plan");
 }

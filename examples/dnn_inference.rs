@@ -41,7 +41,11 @@ impl Layer {
 fn main() {
     // 784 -> 128 -> 64 -> 10, batch 16: all layer GEMMs are SMMs with
     // one small dimension (the irregular shapes of the paper's Fig. 10).
-    let layers = [Layer::new(128, 784, 1), Layer::new(64, 128, 2), Layer::new(10, 64, 3)];
+    let layers = [
+        Layer::new(128, 784, 1),
+        Layer::new(64, 128, 2),
+        Layer::new(10, 64, 3),
+    ];
     let smm = Smm::<f32>::new();
     let batches = 50;
     let batch_size = 16;

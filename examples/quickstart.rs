@@ -32,8 +32,14 @@ fn main() {
     println!("  pack A         : {}", plan.pack_a);
     println!("  pack B         : {}", plan.pack_b);
     println!("  kc             : {}", plan.kc);
-    println!("  M tiles        : {:?}", plan.m_tiles.iter().map(|t| t.logical).collect::<Vec<_>>());
-    println!("  N tiles        : {:?}", plan.n_tiles.iter().map(|t| t.logical).collect::<Vec<_>>());
+    println!(
+        "  M tiles        : {:?}",
+        plan.m_tiles.iter().map(|t| t.logical).collect::<Vec<_>>()
+    );
+    println!(
+        "  N tiles        : {:?}",
+        plan.n_tiles.iter().map(|t| t.logical).collect::<Vec<_>>()
+    );
     println!("  P2C (Eq. 3)    : {:.4}", plan.p2c);
 
     // Repeated calls on the same shape reuse the cached plan.

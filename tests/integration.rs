@@ -87,7 +87,10 @@ fn multithreaded_strategies_match_naive() {
             let smm = Smm::<f32>::with_threads(threads);
             let mut c = c0.clone();
             smm.gemm(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
-            assert!(c.max_abs_diff(&c_ref) < 2e-2, "SMM-Ref t{threads} {m}x{n}x{k}");
+            assert!(
+                c.max_abs_diff(&c_ref) < 2e-2,
+                "SMM-Ref t{threads} {m}x{n}x{k}"
+            );
         }
     }
 }
@@ -124,7 +127,10 @@ fn plan_adaptivity_follows_the_p2c_model() {
 
 #[test]
 fn plan_grid_never_splits_small_dimensions() {
-    let cfg = PlanConfig { max_threads: 64, ..Default::default() };
+    let cfg = PlanConfig {
+        max_threads: 64,
+        ..Default::default()
+    };
     let p = SmmPlan::build(16, 2048, 128, &cfg);
     assert!(p.grid.m_ways() <= 2, "{:?}", p.grid);
     let p2 = SmmPlan::build(2048, 16, 128, &cfg);

@@ -2,7 +2,9 @@
 //! must hold on the simulated Phytium 2000+ for small problem sizes
 //! (kept small so these run quickly in debug builds).
 
-use smm_gemm::{all_strategies, BlasfeoStrategy, BlisStrategy, EigenStrategy, OpenBlasStrategy, Strategy};
+use smm_gemm::{
+    all_strategies, BlasfeoStrategy, BlisStrategy, EigenStrategy, OpenBlasStrategy, Strategy,
+};
 use smm_simarch::phase::Phase;
 
 fn eff1(s: &dyn Strategy<f32>, m: usize, n: usize, k: usize) -> f64 {
@@ -16,7 +18,11 @@ fn eff1(s: &dyn Strategy<f32>, m: usize, n: usize, k: usize) -> f64 {
 #[test]
 fn blasfeo_wins_single_threaded_smm() {
     let feo = BlasfeoStrategy::new();
-    let others: [&dyn Strategy<f32>; 3] = [&OpenBlasStrategy::new(), &BlisStrategy::new(), &EigenStrategy::new()];
+    let others: [&dyn Strategy<f32>; 3] = [
+        &OpenBlasStrategy::new(),
+        &BlisStrategy::new(),
+        &EigenStrategy::new(),
+    ];
     for &size in &[24usize, 48] {
         let f = eff1(&feo, size, size, size);
         for o in others {
@@ -40,7 +46,10 @@ fn packing_share_follows_p2c() {
     let large_m = share(96, 96, 96);
     assert!(small_m > large_m, "small M {small_m} vs large {large_m}");
     let small_k = share(96, 96, 4);
-    assert!(small_m > 2.0 * small_k, "small M {small_m} should dwarf small K {small_k}");
+    assert!(
+        small_m > 2.0 * small_k,
+        "small M {small_m} should dwarf small K {small_k}"
+    );
 }
 
 /// §III-B: efficiency at a kernel-aligned size beats its unaligned
@@ -60,7 +69,10 @@ fn aligned_sizes_beat_unaligned_neighbours() {
 #[test]
 fn eigen_trails_at_moderate_sizes() {
     let eigen = eff1(&EigenStrategy::new(), 96, 96, 96);
-    for s in [&OpenBlasStrategy::new() as &dyn Strategy<f32>, &BlisStrategy::new()] {
+    for s in [
+        &OpenBlasStrategy::new() as &dyn Strategy<f32>,
+        &BlisStrategy::new(),
+    ] {
         let e = eff1(s, 96, 96, 96);
         assert!(e > eigen, "{} {e:.3} vs Eigen {eigen:.3}", s.name());
     }
