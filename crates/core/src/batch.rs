@@ -10,13 +10,16 @@
 //! persistent [`TaskPool`](smm_gemm::pool::TaskPool), not to freshly
 //! spawned threads.
 
+use std::time::Instant;
+
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_kernels::Scalar;
 
 use crate::error::{Operand, SmmError};
-use crate::exec::execute_in;
+use crate::exec::execute_traced;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::smm::Smm;
+use crate::telemetry::{CallSite, Phase, Recorder};
 
 /// Arguments describing one strided batch: `batch` GEMMs of identical
 /// shape laid out at constant strides in three flat buffers.
@@ -188,6 +191,8 @@ impl<S: Scalar> Smm<S> {
             }
             return Ok(());
         }
+        let rec = self.telemetry().recorder(CallSite::GemmBatch);
+        let t_call = rec.now();
         // Intra-GEMM threading is deliberately disabled: batch-level
         // parallelism never splits a small dimension.
         let plan_cfg = PlanConfig {
@@ -195,7 +200,28 @@ impl<S: Scalar> Smm<S> {
             ..self.config().clone()
         };
         let plan = SmmPlan::build(desc.m, desc.n, desc.k, &plan_cfg);
+        rec.span_since(Phase::PlanLookup, t_call);
         let threads = self.config().max_threads.clamp(1, desc.batch);
+
+        // Entries are tiny, so per-entry clock reads can rival the
+        // arithmetic itself. Fine-grained (per-entry) recording is only
+        // worthwhile when the plan packs — the pack spans amortize the
+        // reads; otherwise each group records one coarse Compute span.
+        let fine = rec.active() && (plan.pack_a || plan.pack_b);
+        let entry_rec = if fine { rec } else { Recorder::none() };
+        let finish = |total: Option<Instant>| {
+            if let Some(t0) = total {
+                self.telemetry().record_call(
+                    CallSite::GemmBatch,
+                    desc.m,
+                    desc.n,
+                    desc.k,
+                    std::mem::size_of::<S>(),
+                    desc.batch as u64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+        };
 
         let run_entry = |plan: &SmmPlan, c_i: &mut [S], i: usize| {
             let a_i = &a[i * desc.stride_a..];
@@ -203,13 +229,16 @@ impl<S: Scalar> Smm<S> {
             let ar = MatRef::from_slice(a_i, desc.m, desc.k, desc.lda);
             let br = MatRef::from_slice(b_i, desc.k, desc.n, desc.ldb);
             let cm = MatMut::from_slice(c_i, desc.m, desc.n, desc.ldc);
-            execute_in(self.pool(), plan, alpha, ar, br, beta, cm);
+            execute_traced(self.pool(), plan, entry_rec, alpha, ar, br, beta, cm);
         };
 
         if threads <= 1 {
+            let t0 = if fine { None } else { rec.now() };
             for i in 0..desc.batch {
                 run_entry(&plan, &mut c[i * desc.stride_c..], i);
             }
+            rec.span_since(Phase::Compute, t0);
+            finish(t_call);
             return Ok(());
         }
 
@@ -234,17 +263,34 @@ impl<S: Scalar> Smm<S> {
         }
         let plan_ref = &plan;
         let run_entry_ref = &run_entry;
+        let timed = rec.active();
         let tasks: Vec<_> = groups
             .into_iter()
             .map(|group| {
                 move || {
+                    let t0 = if timed { Some(Instant::now()) } else { None };
                     for (i, win) in group {
                         run_entry_ref(plan_ref, win, i);
                     }
+                    t0.map_or(0u64, |t| t.elapsed().as_nanos() as u64)
                 }
             })
             .collect();
-        self.pool().run_scoped(tasks);
+        let t_dispatch = rec.now();
+        let busys = self.pool().run_scoped(tasks);
+        if let Some(td) = t_dispatch {
+            let dispatch_ns = td.elapsed().as_nanos() as u64;
+            let max_busy = busys.iter().copied().max().unwrap_or(0);
+            if !fine {
+                // One span for the parallel section's critical path —
+                // per-group spans would cost more than these entries.
+                rec.span_ns(Phase::Compute, max_busy);
+            }
+            rec.span_ns(Phase::Dispatch, dispatch_ns);
+            // Barrier slack: the caller's wait beyond the slowest group.
+            rec.span_ns(Phase::Sync, dispatch_ns.saturating_sub(max_busy));
+        }
+        finish(t_call);
         Ok(())
     }
 

@@ -13,6 +13,8 @@
 //! spawn-per-call executor, so results are bit-for-bit unchanged (see
 //! `pooled_execution_is_bit_identical_to_spawn_per_call`).
 
+use std::time::Instant;
+
 use smm_gemm::matrix::{Mat, MatMut, MatRef};
 use smm_gemm::naive::check_dims;
 use smm_gemm::pack::{pack_a_exact, pack_b_exact};
@@ -23,6 +25,7 @@ use smm_kernels::Scalar;
 
 use crate::direct::DirectKernel;
 use crate::plan::SmmPlan;
+use crate::telemetry::{Phase, Recorder};
 
 /// Execute `C = alpha·A·B + beta·C` under a plan, on the process-wide
 /// persistent pool ([`TaskPool::global`]).
@@ -45,6 +48,25 @@ pub fn execute_in<S: Scalar>(
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
     beta: S,
+    c: MatMut<'_, S>,
+) {
+    execute_traced(pool, plan, Recorder::none(), alpha, a, b, beta, c);
+}
+
+/// [`execute_in`] with a telemetry [`Recorder`]: when the recorder is
+/// active, this call's pack/compute spans (and, for multi-threaded
+/// plans, the dispatch and synchronization spans) are recorded under
+/// the recorder's call site. With an inactive recorder the function
+/// never reads the clock, so the untraced path is unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_traced<S: Scalar>(
+    pool: &TaskPool,
+    plan: &SmmPlan,
+    rec: Recorder<'_>,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
     mut c: MatMut<'_, S>,
 ) {
     let (m, k, n) = check_dims(&a, &b, &c.rb());
@@ -56,11 +78,14 @@ pub fn execute_in<S: Scalar>(
         plan.n,
         plan.k
     );
-    c.scale(beta);
+    let timed = rec.active();
     let threads = plan.threads();
     if threads <= 1 {
-        run_tiles(
+        c.scale(beta);
+        let t0 = rec.now();
+        let cost = run_tiles(
             plan,
+            timed,
             alpha,
             a,
             b,
@@ -70,8 +95,18 @@ pub fn execute_in<S: Scalar>(
             0,
             0,
         );
+        if let Some(t0) = t0 {
+            record_cost(&rec, &cost, t0.elapsed().as_nanos() as u64);
+        }
         return;
     }
+
+    // The beta scaling and the post-join merge are the serial bookends
+    // of the parallel section — both count as Sync in the Table-II
+    // sense, together with the caller's wait beyond the slowest task.
+    let t_scale = rec.now();
+    c.scale(beta);
+    let scale_ns = t_scale.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
     let m_chunks = split_ranges(plan.m_tiles.len(), plan.grid.m_ways());
     let n_chunks = split_ranges(plan.n_tiles.len(), plan.grid.n_ways());
@@ -88,32 +123,91 @@ pub fn execute_in<S: Scalar>(
             let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
             let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
             tasks.push(move || {
+                let t0 = if timed { Some(Instant::now()) } else { None };
                 let mut local = Mat::<S>::zeros(rows, cols);
-                {
+                let cost = {
                     let mut lm = local.as_mut();
-                    run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
-                }
-                (i_base, j_base, rows, cols, local)
+                    run_tiles(
+                        plan, timed, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base,
+                    )
+                };
+                let busy_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (i_base, j_base, rows, cols, local, cost, busy_ns)
             });
         }
     }
+    let t_dispatch = rec.now();
+    let results = pool.run_scoped(tasks);
+    let dispatch_ns = t_dispatch.map_or(0, |t| t.elapsed().as_nanos() as u64);
     // run_scoped returns results in submission order — the same order
     // the spawn-per-call executor joined handles in.
-    for (i_base, j_base, rows, cols, local) in pool.run_scoped(tasks) {
+    let t_merge = rec.now();
+    let mut max_busy = 0u64;
+    for (i_base, j_base, rows, cols, local, cost, busy_ns) in results {
         for j in 0..cols {
             for i in 0..rows {
                 let v = c.at(i_base + i, j_base + j) + local[(i, j)];
                 c.set(i_base + i, j_base + j, v);
             }
         }
+        if timed {
+            record_cost(&rec, &cost, busy_ns);
+            max_busy = max_busy.max(busy_ns);
+        }
     }
+    if timed {
+        let merge_ns = t_merge.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        rec.span_ns(Phase::Dispatch, dispatch_ns);
+        // Barrier slack (the caller's wait beyond the slowest cell)
+        // plus the serial scale and merge bookends.
+        rec.span_ns(
+            Phase::Sync,
+            dispatch_ns.saturating_sub(max_busy) + merge_ns + scale_ns,
+        );
+    }
+}
+
+/// Packing cost observed by one [`run_tiles`] invocation; all zeros
+/// when untimed.
+#[derive(Debug, Clone, Copy, Default)]
+struct PackCost {
+    a_ns: u64,
+    b_ns: u64,
+    bytes: u64,
+    a_packed: bool,
+    b_packed: bool,
+}
+
+/// Record one tile-run's spans: pack phases as measured, compute as
+/// the remainder of the run's wall time.
+fn record_cost(rec: &Recorder<'_>, cost: &PackCost, total_ns: u64) {
+    if cost.a_packed {
+        rec.span_ns(Phase::PackA, cost.a_ns);
+    }
+    if cost.b_packed {
+        rec.span_ns(Phase::PackB, cost.b_ns);
+    }
+    if cost.bytes > 0 {
+        rec.packed_bytes(cost.bytes);
+    }
+    rec.span_ns(
+        Phase::Compute,
+        total_ns.saturating_sub(cost.a_ns + cost.b_ns),
+    );
 }
 
 /// Run a set of tiles; tile offsets are global, `i_base`/`j_base`
 /// translate them into the target `C` view.
+///
+/// With `timed` set, each packing call is individually clocked and the
+/// accumulated cost returned; packing is coarse enough (one call per
+/// panel per k-block, never per micro-kernel) that the extra clock
+/// reads stay amortized. Untimed runs return a zero [`PackCost`] and
+/// never read the clock.
 #[allow(clippy::too_many_arguments)]
 fn run_tiles<S: Scalar>(
     plan: &SmmPlan,
+    timed: bool,
     alpha: S,
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
@@ -122,11 +216,13 @@ fn run_tiles<S: Scalar>(
     n_tiles: &[TileSpan],
     i_base: usize,
     j_base: usize,
-) {
+) -> PackCost {
     let lda = a.ld();
     let ldb = b.ld();
     let ldc = c.ld();
     let nr = plan.kernel.nr;
+    let elem = std::mem::size_of::<S>() as u64;
+    let mut cost = PackCost::default();
 
     let mut bpack: Vec<Vec<S>> = vec![Vec::new(); n_tiles.len()];
     let mut apack: Vec<S> = Vec::new();
@@ -139,14 +235,26 @@ fn run_tiles<S: Scalar>(
         for (s, jt) in n_tiles.iter().enumerate() {
             let edge = jt.logical < nr;
             if plan.pack_b || (edge && plan.pack_edge_b) {
+                let t0 = if timed { Some(Instant::now()) } else { None };
                 pack_b_exact(b, kk, jt.offset, kc, jt.logical, &mut bpack[s]);
+                if let Some(t0) = t0 {
+                    cost.b_ns += t0.elapsed().as_nanos() as u64;
+                    cost.bytes += (kc * jt.logical) as u64 * elem;
+                    cost.b_packed = true;
+                }
                 b_is_packed[s] = true;
             }
         }
         for it in m_tiles {
             // A source: packed panel or the raw column-major block.
             let (a_src, a_stride): (&[S], usize) = if plan.pack_a {
+                let t0 = if timed { Some(Instant::now()) } else { None };
                 pack_a_exact(a, it.offset, kk, it.logical, kc, &mut apack);
+                if let Some(t0) = t0 {
+                    cost.a_ns += t0.elapsed().as_nanos() as u64;
+                    cost.bytes += (it.logical * kc) as u64 * elem;
+                    cost.a_packed = true;
+                }
                 (&apack, it.logical)
             } else {
                 (&a.data()[kk * lda + it.offset..], lda)
@@ -181,6 +289,7 @@ fn run_tiles<S: Scalar>(
         }
         kk += kc;
     }
+    cost
 }
 
 #[cfg(test)]
@@ -315,6 +424,7 @@ mod tests {
         if plan.threads() <= 1 {
             run_tiles(
                 plan,
+                false,
                 alpha,
                 a,
                 b,
@@ -346,7 +456,9 @@ mod tests {
                         let mut local = Mat::<S>::zeros(rows, cols);
                         {
                             let mut lm = local.as_mut();
-                            run_tiles(plan, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base);
+                            run_tiles(
+                                plan, false, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base,
+                            );
                         }
                         (i_base, j_base, rows, cols, local)
                     }));

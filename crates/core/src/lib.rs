@@ -26,7 +26,11 @@
 //!
 //! The persistent runtime — sharded plan cache, runtime counters, and
 //! the worker pool handle — lives in [`runtime`]; construction goes
-//! through [`smm::SmmBuilder`].
+//! through [`smm::SmmBuilder`]. The [`telemetry`] module records
+//! phase-level spans (plan lookup, packing, compute, dispatch, sync)
+//! into per-thread latency histograms and derives the paper's
+//! decomposition metrics — observed P2C, Table-II overhead shares,
+//! model-relative Gflops — via [`smm::Smm::stats_report`].
 
 #![deny(missing_docs)]
 
@@ -39,15 +43,20 @@ pub mod plan;
 pub mod runtime;
 pub mod simprog;
 pub mod smm;
+pub mod telemetry;
 pub mod tune;
 
 pub use batch::StridedBatch;
 pub use compiled::{CompiledPlan, CompiledScratch};
 pub use direct::DirectKernel;
 pub use error::{Operand, SmmError};
-pub use exec::{execute, execute_in};
+pub use exec::{execute, execute_in, execute_traced};
 pub use plan::{choose_kernel, PlanConfig, SmmPlan};
-pub use runtime::{RuntimeStats, ShardedPlanCache, TaskPool};
+pub use runtime::{PoolStats, RuntimeStats, ShardedPlanCache, TaskPool};
 pub use simprog::build_sim;
 pub use smm::{Smm, SmmBuilder};
+pub use telemetry::{
+    CallSite, LatencyHistogram, Phase, PhaseReport, Recorder, ShapeReport, SiteBreakdown,
+    Telemetry, TelemetryReport,
+};
 pub use tune::{Autotuner, TunedPlan};

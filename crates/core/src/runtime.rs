@@ -22,7 +22,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::plan::{PlanConfig, SmmPlan};
 
-pub use smm_gemm::pool::TaskPool;
+pub use smm_gemm::pool::{PoolStats, TaskPool};
 
 /// Number of independently locked shards. A power of two so the shard
 /// index is a mask; 16 is plenty for the thread counts the paper's

@@ -7,9 +7,10 @@ use smm_gemm::matrix::{MatMut, MatRef};
 use smm_gemm::pool::TaskPool;
 use smm_kernels::Scalar;
 
-use crate::exec::execute_in;
+use crate::exec::execute_traced;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::runtime::{RuntimeStats, ShardedPlanCache, DEFAULT_PLAN_CAPACITY};
+use crate::telemetry::{CallSite, Phase, Telemetry, TelemetryReport};
 
 /// High-performance small-scale GEMM with adaptive, cached plans.
 ///
@@ -41,6 +42,7 @@ pub struct Smm<S: Scalar> {
     cfg: PlanConfig,
     cache: ShardedPlanCache,
     pool: TaskPool,
+    telemetry: Telemetry,
     _elem: PhantomData<S>,
 }
 
@@ -60,6 +62,7 @@ pub struct Smm<S: Scalar> {
 pub struct SmmBuilder<S: Scalar> {
     cfg: PlanConfig,
     cache_capacity: usize,
+    telemetry: bool,
     _elem: PhantomData<S>,
 }
 
@@ -68,6 +71,7 @@ impl<S: Scalar> SmmBuilder<S> {
         SmmBuilder {
             cfg: PlanConfig::default(),
             cache_capacity: DEFAULT_PLAN_CAPACITY,
+            telemetry: true,
             _elem: PhantomData,
         }
     }
@@ -118,6 +122,15 @@ impl<S: Scalar> SmmBuilder<S> {
         self
     }
 
+    /// Toggle telemetry recording (on by default). The enabled hot
+    /// path costs only per-thread relaxed atomics and a handful of
+    /// clock reads per call — no locks; disabling reduces every record
+    /// to a branch.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Construct the [`Smm`] instance.
     pub fn build(self) -> Smm<S> {
         let pool = self
@@ -129,6 +142,7 @@ impl<S: Scalar> SmmBuilder<S> {
             cfg: self.cfg,
             cache: ShardedPlanCache::new(self.cache_capacity),
             pool,
+            telemetry: Telemetry::new(self.telemetry),
             _elem: PhantomData,
         }
     }
@@ -181,6 +195,22 @@ impl<S: Scalar> Smm<S> {
         self.cache.stats(self.pool.workers())
     }
 
+    /// This instance's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Full telemetry snapshot: per-phase latency histograms, a
+    /// Table-II-style pack/compute/sync breakdown per call site,
+    /// per-shape achieved throughput against the `smm-model`
+    /// prediction, the observed P2C ratio, and the plan-cache and
+    /// worker-pool counters. Serializable via
+    /// [`TelemetryReport::to_json`] and
+    /// [`TelemetryReport::to_prometheus`].
+    pub fn stats_report(&self) -> TelemetryReport {
+        self.telemetry.report(self.stats(), self.pool.stats())
+    }
+
     /// `C = alpha·A·B + beta·C`.
     pub fn gemm(
         &self,
@@ -198,8 +228,22 @@ impl<S: Scalar> Smm<S> {
             c.scale(beta);
             return;
         }
+        let rec = self.telemetry.recorder(CallSite::Gemm);
+        let t0 = rec.now();
         let plan = self.plan(m, n, k);
-        execute_in(&self.pool, &plan, alpha, a, b, beta, c);
+        rec.span_since(Phase::PlanLookup, t0);
+        execute_traced(&self.pool, &plan, rec, alpha, a, b, beta, c);
+        if let Some(t0) = t0 {
+            self.telemetry.record_call(
+                CallSite::Gemm,
+                m,
+                n,
+                k,
+                std::mem::size_of::<S>(),
+                1,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
     }
 }
 

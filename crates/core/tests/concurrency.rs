@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use smm_core::Smm;
+use smm_core::{CallSite, Phase, Smm};
 use smm_gemm::gemm_naive;
 use smm_gemm::matrix::Mat;
 
@@ -78,12 +78,55 @@ fn shared_instance_survives_8_thread_hammer() {
 }
 
 #[test]
+fn telemetry_is_consistent_under_parallel_load() {
+    // The sharded span recorders must not lose or double-count events
+    // when 8 threads hammer one instance: every `gemm` call records
+    // exactly one plan-lookup span and (single-threaded plans) exactly
+    // one compute span, and the per-site call counter matches.
+    let calls = 8 * 40;
+    let smm = Arc::new(Smm::<f32>::new());
+    hammer(Arc::clone(&smm), 8, 40);
+
+    let r = smm.stats_report();
+    assert!(r.enabled);
+    assert_eq!(r.runtime.plan_hits + r.runtime.plan_misses, calls);
+    assert_eq!(r.phase_count(Phase::PlanLookup), calls);
+    assert_eq!(r.phase_count(Phase::Compute), calls);
+    assert_eq!(r.site(CallSite::Gemm).calls, calls);
+    // Shape table: 8 distinct shapes, each call attributed to exactly
+    // one of them.
+    assert_eq!(r.shapes.len(), SHAPES.len());
+    assert_eq!(r.shapes.iter().map(|s| s.calls).sum::<u64>(), calls);
+    assert_eq!(r.dropped_shapes, 0);
+    assert!(r.flops > 0);
+
+    // Counters are monotonic: more load only ever increases them.
+    hammer(Arc::clone(&smm), 4, 10);
+    let r2 = smm.stats_report();
+    assert_eq!(r2.site(CallSite::Gemm).calls, calls + 4 * 10);
+    assert_eq!(r2.phase_count(Phase::Compute), calls + 4 * 10);
+    assert!(r2.flops > r.flops);
+    for p in Phase::ALL {
+        assert!(r2.phase_count(p) >= r.phase_count(p), "{} shrank", p.name());
+        assert!(r2.phase_ns(p) >= r.phase_ns(p), "{} ns shrank", p.name());
+    }
+}
+
+#[test]
 fn shared_threaded_instance_is_correct_under_contention() {
     // Multi-threaded plans → concurrent callers also contend on the
     // pool's injection queue.
     let smm = Arc::new(Smm::<f32>::with_threads(4));
     hammer(Arc::clone(&smm), 8, 20);
     assert!(smm.cached_plans() <= SHAPES.len());
+    // Threaded plans may record one compute span per pool task, so the
+    // exact-count invariant relaxes to "at least one per call"; the
+    // per-call counters stay exact.
+    let r = smm.stats_report();
+    assert_eq!(r.site(CallSite::Gemm).calls, 8 * 20);
+    assert_eq!(r.phase_count(Phase::PlanLookup), 8 * 20);
+    assert!(r.phase_count(Phase::Compute) >= 8 * 20);
+    assert_eq!(r.shapes.iter().map(|s| s.calls).sum::<u64>(), 8 * 20);
 }
 
 #[test]

@@ -21,17 +21,48 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A type-erased injected task. Lifetime-erased from `'scope` by
 /// [`TaskPool::run_scoped`], which guarantees completion-before-return.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Snapshot of pool activity counters, returned by [`TaskPool::stats`].
+///
+/// These are the §III-D observables: how deep the injection queue gets,
+/// how often parked workers are woken, how much work the submitting
+/// caller drains inline while it waits, and how long workers spend
+/// parked. Counters are cumulative over the pool's lifetime and
+/// recorded with relaxed atomics off the job execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Persistent worker threads.
+    pub workers: usize,
+    /// High-water mark of queued (not yet started) jobs.
+    pub queue_highwater: u64,
+    /// Times a parked worker was woken by new work (or shutdown).
+    pub worker_wakeups: u64,
+    /// Jobs executed by pool workers.
+    pub worker_tasks: u64,
+    /// Jobs executed inline by a waiting `run_scoped` caller.
+    pub inline_drained: u64,
+    /// Cumulative nanoseconds workers spent parked on the condvar.
+    pub park_ns: u64,
+}
+
 /// The queue shared between pool handles and workers.
 struct Shared {
     queue: Mutex<QueueState>,
     work_cv: Condvar,
+    /// Activity counters; relaxed, updated outside job execution.
+    queue_highwater: AtomicU64,
+    worker_wakeups: AtomicU64,
+    worker_tasks: AtomicU64,
+    inline_drained: AtomicU64,
+    park_ns: AtomicU64,
 }
 
 struct QueueState {
@@ -163,6 +194,11 @@ impl TaskPool {
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
+            queue_highwater: AtomicU64::new(0),
+            worker_wakeups: AtomicU64::new(0),
+            worker_tasks: AtomicU64::new(0),
+            inline_drained: AtomicU64::new(0),
+            park_ns: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -195,6 +231,19 @@ impl TaskPool {
     /// Number of persistent worker threads.
     pub fn workers(&self) -> usize {
         self.inner.workers.len()
+    }
+
+    /// Cumulative activity counters of this pool.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.shared;
+        PoolStats {
+            workers: self.workers(),
+            queue_highwater: s.queue_highwater.load(Ordering::Relaxed),
+            worker_wakeups: s.worker_wakeups.load(Ordering::Relaxed),
+            worker_tasks: s.worker_tasks.load(Ordering::Relaxed),
+            inline_drained: s.inline_drained.load(Ordering::Relaxed),
+            park_ns: s.park_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Inject the given tasks, run them to completion (workers plus
@@ -250,6 +299,9 @@ impl TaskPool {
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
                 q.jobs.push_back(job);
             }
+            shared
+                .queue_highwater
+                .fetch_max(q.jobs.len() as u64, Ordering::Relaxed);
             drop(q);
             shared.work_cv.notify_all();
         }
@@ -257,6 +309,10 @@ impl TaskPool {
         // Help drain the queue while waiting: keeps nested scopes
         // deadlock-free and lets the caller contribute a core.
         while let Some(job) = self.inner.shared.try_pop() {
+            self.inner
+                .shared
+                .inline_drained
+                .fetch_add(1, Ordering::Relaxed);
             job();
         }
         latch.wait();
@@ -273,12 +329,18 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().unwrap();
             loop {
                 if let Some(j) = q.jobs.pop_front() {
+                    shared.worker_tasks.fetch_add(1, Ordering::Relaxed);
                     break Some(j);
                 }
                 if q.shutdown {
                     break None;
                 }
+                let parked = Instant::now();
                 q = shared.work_cv.wait(q).unwrap();
+                shared
+                    .park_ns
+                    .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                shared.worker_wakeups.fetch_add(1, Ordering::Relaxed);
             }
         };
         match job {
@@ -391,6 +453,45 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8 * 20 * 4);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let pool = TaskPool::new(2);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                workers: 2,
+                ..Default::default()
+            }
+        );
+        for round in 0..20 {
+            let tasks: Vec<_> = (0..6).map(|i| move || i + round).collect();
+            pool.run_scoped(tasks);
+        }
+        let s = pool.stats();
+        assert_eq!(s.workers, 2);
+        // Every job was run by a worker or drained inline — none lost.
+        assert_eq!(s.worker_tasks + s.inline_drained, 20 * 6);
+        assert!(s.queue_highwater >= 1 && s.queue_highwater <= 6);
+        // Monotonicity: another round only grows the counters.
+        pool.run_scoped((0..6).map(|i| move || i).collect::<Vec<_>>());
+        let s2 = pool.stats();
+        assert_eq!(s2.worker_tasks + s2.inline_drained, 21 * 6);
+        assert!(s2.worker_wakeups >= s.worker_wakeups);
+        assert!(s2.park_ns >= s.park_ns);
+    }
+
+    #[test]
+    fn inline_pool_counts_only_inline() {
+        // Zero workers: run_scoped's fast path runs tasks inline
+        // without touching the queue, so only `workers` is observable.
+        let pool = TaskPool::new(0);
+        pool.run_scoped(vec![|| 1, || 2, || 3]);
+        let s = pool.stats();
+        assert_eq!(s.workers, 0);
+        assert_eq!(s.worker_tasks, 0);
+        assert_eq!(s.queue_highwater, 0);
     }
 
     #[test]

@@ -47,4 +47,9 @@ fn main() {
         smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
     }
     println!("\ncached plans after 101 calls: {}", smm.cached_plans());
+
+    // Telemetry is on by default: every call was decomposed into
+    // plan-lookup / pack / compute spans, so the snapshot shows where
+    // the 101 calls actually spent their time (paper Table II style).
+    println!("\n{}", smm.stats_report());
 }
