@@ -1,0 +1,250 @@
+//! Load/store bounds, alignment, and aliasing checks.
+//!
+//! Every memory access of a generated kernel stream must land inside
+//! one of the operand regions the kernel's parameters declare (packed
+//! `A` sliver, packed `B` sliver, the `C` tile, the staged `alpha`
+//! scalar). Stores must additionally hit a writable region only —
+//! a store into a packed operand would corrupt data shared with the
+//! other micro-kernels of the same macro-tile. Vector accesses must be
+//! 16-byte aligned, matching the `ldr q`/`str q` forms the trace
+//! generator models (§III-B: unaligned slivers force scalar loads).
+
+use smm_simarch::isa::{Inst, Op};
+
+/// One declared operand region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Region name used in findings (`A`, `B`, `C`, `alpha`).
+    pub name: &'static str,
+    /// First byte.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether stores are allowed.
+    pub writable: bool,
+}
+
+impl MemRegion {
+    /// Whether `[addr, addr + size)` lies fully inside this region.
+    pub fn contains(&self, addr: u64, size: u64) -> bool {
+        addr >= self.base && addr.saturating_add(size) <= self.base + self.len
+    }
+
+    /// Whether two regions overlap.
+    pub fn overlaps(&self, other: &MemRegion) -> bool {
+        self.base < other.base + other.len && other.base < self.base + self.len
+    }
+}
+
+/// A single memory-access violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessViolation {
+    /// Access outside every declared region.
+    OutOfBounds {
+        /// Index of the offending instruction.
+        index: usize,
+        /// Its operation.
+        op: Op,
+        /// The accessed address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// Store into a read-only region.
+    ReadOnlyStore {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The accessed address.
+        addr: u64,
+        /// Name of the read-only region hit.
+        region: &'static str,
+    },
+    /// Vector access not 16-byte aligned.
+    Misaligned {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The accessed address.
+        addr: u64,
+    },
+    /// Two declared regions overlap (operand aliasing).
+    RegionOverlap {
+        /// First region name.
+        a: &'static str,
+        /// Second region name.
+        b: &'static str,
+    },
+}
+
+impl std::fmt::Display for AccessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessViolation::OutOfBounds {
+                index,
+                op,
+                addr,
+                size,
+            } => write!(
+                f,
+                "inst #{index} {op:?} touches [{addr:#x}, {:#x}) outside every declared operand",
+                addr + size
+            ),
+            AccessViolation::ReadOnlyStore {
+                index,
+                addr,
+                region,
+            } => write!(
+                f,
+                "inst #{index} stores to {addr:#x} inside read-only operand {region}"
+            ),
+            AccessViolation::Misaligned { index, addr } => {
+                write!(
+                    f,
+                    "inst #{index} vector access at {addr:#x} is not 16-byte aligned"
+                )
+            }
+            AccessViolation::RegionOverlap { a, b } => {
+                write!(f, "declared operand regions {a} and {b} overlap")
+            }
+        }
+    }
+}
+
+/// Bytes touched by a memory op, or `None` for non-memory ops.
+fn access_size(op: Op, elem: u64) -> Option<u64> {
+    match op {
+        Op::LdVec | Op::StVec => Some(16),
+        Op::LdScalar | Op::StScalar => Some(elem),
+        Op::LdPair => Some(2 * elem),
+        _ => None,
+    }
+}
+
+/// Check every access of `insts` against `regions`.
+///
+/// `disjoint` lists the region indices that must be pairwise
+/// non-overlapping (operands that the kernel reads and writes
+/// concurrently); auxiliary regions like the `alpha` staging slot may
+/// legitimately sit inside `C` and are left out of that set.
+pub fn check_stream(
+    insts: &[Inst],
+    regions: &[MemRegion],
+    disjoint: &[usize],
+    elem: u64,
+) -> Vec<AccessViolation> {
+    let mut out = Vec::new();
+    for (ai, &i) in disjoint.iter().enumerate() {
+        for &j in &disjoint[ai + 1..] {
+            if regions[i].overlaps(&regions[j]) {
+                out.push(AccessViolation::RegionOverlap {
+                    a: regions[i].name,
+                    b: regions[j].name,
+                });
+            }
+        }
+    }
+    for (index, inst) in insts.iter().enumerate() {
+        let Some(size) = access_size(inst.op, elem) else {
+            continue;
+        };
+        let addr = inst.addr;
+        if matches!(inst.op, Op::LdVec | Op::StVec) && addr % 16 != 0 {
+            out.push(AccessViolation::Misaligned { index, addr });
+        }
+        match regions.iter().find(|r| r.contains(addr, size)) {
+            None => out.push(AccessViolation::OutOfBounds {
+                index,
+                op: inst.op,
+                addr,
+                size,
+            }),
+            Some(region) => {
+                if inst.op.is_store() && !region.writable {
+                    // A store that lands in a writable region too (the
+                    // regions may nest) is fine; re-check against all.
+                    if !regions.iter().any(|r| r.writable && r.contains(addr, size)) {
+                        out.push(AccessViolation::ReadOnlyStore {
+                            index,
+                            addr,
+                            region: region.name,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_simarch::isa::{s, v, Inst};
+    use smm_simarch::phase::Phase;
+
+    const P: Phase = Phase::Kernel;
+
+    fn regions() -> Vec<MemRegion> {
+        vec![
+            MemRegion {
+                name: "A",
+                base: 0x1000,
+                len: 0x100,
+                writable: false,
+            },
+            MemRegion {
+                name: "C",
+                base: 0x8000,
+                len: 0x100,
+                writable: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn in_bounds_accesses_pass() {
+        let insts = vec![
+            Inst::ld_vec(v(0), 0x1000, P),
+            Inst::ld_vec(v(1), 0x10f0, P), // last full vector of A
+            Inst::st_vec(v(0), 0x8000, P),
+            Inst::ld_scalar(s(0), 0x10fc, P),
+        ];
+        assert!(check_stream(&insts, &regions(), &[0, 1], 4).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_flagged() {
+        let insts = vec![Inst::ld_vec(v(0), 0x1100, P)]; // one past A
+        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        assert!(matches!(
+            v[0],
+            AccessViolation::OutOfBounds { addr: 0x1100, .. }
+        ));
+    }
+
+    #[test]
+    fn store_into_read_only_operand_flagged() {
+        let insts = vec![Inst::st_vec(v(0), 0x1000, P)];
+        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        assert!(matches!(
+            v[0],
+            AccessViolation::ReadOnlyStore { region: "A", .. }
+        ));
+    }
+
+    #[test]
+    fn misalignment_flagged() {
+        let insts = vec![Inst::ld_vec(v(0), 0x1004, P)];
+        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AccessViolation::Misaligned { .. })));
+    }
+
+    #[test]
+    fn overlapping_operands_flagged() {
+        let mut r = regions();
+        r[1].base = 0x1080; // C now aliases A
+        let v = check_stream(&[], &r, &[0, 1], 4);
+        assert_eq!(v[0], AccessViolation::RegionOverlap { a: "A", b: "C" });
+    }
+}

@@ -1,0 +1,276 @@
+//! Edge-tile residue coverage (§III-B).
+//!
+//! A library that handles M/N remainders with dedicated edge kernels
+//! must be able to decompose *every* residue class `(M mod mr,
+//! N mod nr)` into its available step sizes — and unambiguously, so a
+//! given residue is handled by exactly one decomposition. OpenBLAS's
+//! §III-B example: an M remainder of 11 against `mr = 16` becomes
+//! `8 + 2 + 1`, each part a real edge micro-kernel. A registry whose
+//! steps cannot reach some residue would fall off the end of its
+//! kernel dispatch table at run time; one with duplicated or unsorted
+//! steps would make the greedy decomposition ambiguous.
+//!
+//! Padding libraries (BLIS, BLASFEO) cover every residue with the
+//! zero-padded main tile by construction; only the Eq. 4 feasibility
+//! of the main tile matters there and is checked elsewhere.
+
+use smm_kernels::registry::EdgeStrategy;
+use smm_model::check_register_budget;
+
+/// A registry's edge-handling contract, decoupled from
+/// [`smm_kernels::LibraryProfile`] so deliberately broken registries
+/// can be expressed in fixtures without constructing (panicking)
+/// descriptors.
+#[derive(Debug, Clone)]
+pub struct EdgeRegistry<'a> {
+    /// Registry (library) name for findings.
+    pub name: &'a str,
+    /// Main register-tile rows.
+    pub mr: usize,
+    /// Main register-tile columns.
+    pub nr: usize,
+    /// Remainder strategy.
+    pub edge: EdgeStrategy,
+    /// Available M decomposition steps (descending).
+    pub m_steps: &'a [usize],
+    /// Available N decomposition steps (descending).
+    pub n_steps: &'a [usize],
+}
+
+/// One coverage defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageIssue {
+    /// A residue no step combination reaches.
+    Uncovered {
+        /// `"M"` or `"N"`.
+        dim: &'static str,
+        /// The unreachable residue.
+        residue: usize,
+        /// What the greedy decomposition left over.
+        leftover: usize,
+    },
+    /// Steps unsorted or duplicated: the greedy decomposition is not
+    /// a function of the residue, so a residue maps to more than one
+    /// handler.
+    AmbiguousSteps {
+        /// `"M"` or `"N"`.
+        dim: &'static str,
+    },
+    /// A step exceeds its tile dimension and can never fire.
+    DeadStep {
+        /// `"M"` or `"N"`.
+        dim: &'static str,
+        /// The oversized step.
+        step: usize,
+    },
+    /// An edge tile `(m_step, n_step)` that violates Eq. 4.
+    InfeasibleEdgeTile {
+        /// Edge tile rows.
+        mr_e: usize,
+        /// Edge tile columns.
+        nr_e: usize,
+    },
+}
+
+impl std::fmt::Display for CoverageIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverageIssue::Uncovered {
+                dim,
+                residue,
+                leftover,
+            } => write!(
+                f,
+                "{dim} residue {residue} is unreachable: greedy decomposition leaves {leftover}"
+            ),
+            CoverageIssue::AmbiguousSteps { dim } => write!(
+                f,
+                "{dim} steps are not strictly descending: residue handling is ambiguous"
+            ),
+            CoverageIssue::DeadStep { dim, step } => {
+                write!(
+                    f,
+                    "{dim} step {step} exceeds the register tile and can never fire"
+                )
+            }
+            CoverageIssue::InfeasibleEdgeTile { mr_e, nr_e } => {
+                write!(
+                    f,
+                    "edge tile {mr_e}x{nr_e} violates the Eq. 4 register budget"
+                )
+            }
+        }
+    }
+}
+
+/// Greedy decomposition without the panicking preconditions of
+/// [`smm_kernels::registry::decompose_greedy`]: returns the parts and
+/// whatever length the steps could not express.
+fn decompose(len: usize, steps: &[usize]) -> (Vec<usize>, usize) {
+    let mut out = Vec::new();
+    let mut rest = len;
+    for &s in steps {
+        if s == 0 {
+            continue;
+        }
+        while rest >= s {
+            out.push(s);
+            rest -= s;
+        }
+    }
+    (out, rest)
+}
+
+fn check_dim(
+    dim: &'static str,
+    tile: usize,
+    steps: &[usize],
+    issues: &mut Vec<CoverageIssue>,
+) -> Vec<usize> {
+    if !steps.windows(2).all(|w| w[0] > w[1]) {
+        issues.push(CoverageIssue::AmbiguousSteps { dim });
+    }
+    for &s in steps {
+        if s > tile {
+            issues.push(CoverageIssue::DeadStep { dim, step: s });
+        }
+    }
+    // Every residue class 1..tile-1 must decompose exactly; collect
+    // the distinct parts actually used for the pairwise Eq. 4 check.
+    let mut used: Vec<usize> = Vec::new();
+    for residue in 1..tile {
+        let (parts, leftover) = decompose(residue, steps);
+        if leftover != 0 {
+            issues.push(CoverageIssue::Uncovered {
+                dim,
+                residue,
+                leftover,
+            });
+            continue;
+        }
+        for p in parts {
+            if !used.contains(&p) {
+                used.push(p);
+            }
+        }
+    }
+    used
+}
+
+/// Verify residue coverage of one registry.
+pub fn check_coverage(reg: &EdgeRegistry<'_>) -> Vec<CoverageIssue> {
+    let mut issues = Vec::new();
+    if reg.edge == EdgeStrategy::Padding {
+        // Zero padding routes every residue through the main tile.
+        return issues;
+    }
+    let m_used = check_dim("M", reg.mr, reg.m_steps, &mut issues);
+    let n_used = check_dim("N", reg.nr, reg.n_steps, &mut issues);
+    // Every edge tile the decompositions can combine into must itself
+    // respect Eq. 4 (an M part pairs with the full nr and with every N
+    // part, and vice versa).
+    let mut seen = Vec::new();
+    let mut check_tile = |mr_e: usize, nr_e: usize, issues: &mut Vec<CoverageIssue>| {
+        if seen.contains(&(mr_e, nr_e)) {
+            return;
+        }
+        seen.push((mr_e, nr_e));
+        if check_register_budget(mr_e, nr_e, 4, 32, 2).is_err() {
+            issues.push(CoverageIssue::InfeasibleEdgeTile { mr_e, nr_e });
+        }
+    };
+    for &mr_e in &m_used {
+        check_tile(mr_e, reg.nr, &mut issues);
+        for &nr_e in &n_used {
+            check_tile(mr_e, nr_e, &mut issues);
+        }
+    }
+    for &nr_e in &n_used {
+        check_tile(reg.mr, nr_e, &mut issues);
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn openblas_like() -> EdgeRegistry<'static> {
+        EdgeRegistry {
+            name: "OpenBLAS",
+            mr: 16,
+            nr: 4,
+            edge: EdgeStrategy::EdgeKernels,
+            m_steps: &[16, 8, 4, 2, 1],
+            n_steps: &[4, 2, 1],
+        }
+    }
+
+    #[test]
+    fn full_step_ladder_covers_everything() {
+        assert!(check_coverage(&openblas_like()).is_empty());
+    }
+
+    #[test]
+    fn missing_small_steps_leave_residues_uncovered() {
+        let mut r = openblas_like();
+        r.m_steps = &[16, 8];
+        let issues = check_coverage(&r);
+        // Residues 1..8 minus multiples of 8: 1..7 and 9..15 \ {8}.
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            CoverageIssue::Uncovered {
+                dim: "M",
+                residue: 3,
+                ..
+            }
+        )));
+        assert!(!issues
+            .iter()
+            .any(|i| matches!(i, CoverageIssue::Uncovered { residue: 8, .. })));
+    }
+
+    #[test]
+    fn unsorted_steps_are_ambiguous() {
+        let mut r = openblas_like();
+        r.m_steps = &[8, 16, 4, 2, 1];
+        assert!(check_coverage(&r)
+            .iter()
+            .any(|i| matches!(i, CoverageIssue::AmbiguousSteps { dim: "M" })));
+    }
+
+    #[test]
+    fn oversized_step_is_dead() {
+        let mut r = openblas_like();
+        r.n_steps = &[8, 4, 2, 1];
+        assert!(check_coverage(&r)
+            .iter()
+            .any(|i| matches!(i, CoverageIssue::DeadStep { dim: "N", step: 8 })));
+    }
+
+    #[test]
+    fn padding_registries_are_trivially_covered() {
+        let mut r = openblas_like();
+        r.edge = EdgeStrategy::Padding;
+        r.m_steps = &[16]; // would be fatal with edge kernels
+        assert!(check_coverage(&r).is_empty());
+    }
+
+    #[test]
+    fn infeasible_edge_combination_flagged() {
+        // An N residue of 8 pairs the full 16-row tile with an 8-wide
+        // edge: 16x8 needs 32 registers, over the 30-register budget.
+        // (The main tile itself is the descriptor check's job.)
+        let r = EdgeRegistry {
+            name: "bad",
+            mr: 16,
+            nr: 12,
+            edge: EdgeStrategy::EdgeKernels,
+            m_steps: &[16, 8, 4, 2, 1],
+            n_steps: &[12, 8, 4, 2, 1],
+        };
+        assert!(check_coverage(&r)
+            .iter()
+            .any(|i| matches!(i, CoverageIssue::InfeasibleEdgeTile { .. })));
+    }
+}

@@ -1,0 +1,183 @@
+//! Golden bad-kernel fixtures: four deliberately broken inputs, each
+//! tripping exactly the check built to catch it. They double as the
+//! analyzer's self-test (`smm-analyze --self-check` and the golden
+//! integration tests): if a fixture stops being flagged, the verifier
+//! has lost a check.
+
+use smm_kernels::registry::EdgeStrategy;
+use smm_kernels::trace_gen::kernel_trace;
+use smm_kernels::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+use smm_model::KernelShape;
+use smm_simarch::isa::{v, Inst, Op};
+
+use crate::coverage::EdgeRegistry;
+use crate::report::{Finding, Report, Severity};
+use crate::verifier::{
+    canonical_params, canonical_regions, verify_all, verify_registry, verify_shape, verify_stream,
+    VerifyConfig,
+};
+
+/// Fixture 1 — a 16×8 register tile: 32 accumulators against the
+/// 30-register Eq. 4 budget. Must be flagged `AN-E001`.
+pub fn over_budget_descriptor(cfg: &VerifyConfig) -> Report {
+    let mut report = Report::new();
+    verify_shape("fixture/over-budget-16x8", 16, 8, cfg, &mut report);
+    report
+}
+
+/// Fixture 2 — a feasible 8×8 kernel whose FMAs have all been rewritten
+/// onto a single accumulator register: one serial dependence chain
+/// through the 5-cycle FMA pipe, the Fig. 7 pathology in its purest
+/// form. Must be flagged `AN-E003`.
+pub fn hazard_serialized_stream(cfg: &VerifyConfig) -> Report {
+    let desc = MicroKernelDesc::new(8, 8, 1, SchedulePolicy::Naive, BLoadStyle::ScalarPairs);
+    let params = canonical_params(desc, cfg.kc);
+    let (regions, disjoint) = canonical_regions(&params);
+    let (mut insts, _) = kernel_trace(&params);
+    for inst in &mut insts {
+        if inst.op == Op::Fma {
+            inst.dst = v(31);
+            inst.srcs[0] = v(31);
+        }
+    }
+    let mut report = Report::new();
+    verify_stream(
+        "fixture/serialized-8x8",
+        KernelShape::new(8, 8),
+        &insts,
+        &regions,
+        &disjoint,
+        cfg,
+        &mut report,
+    );
+    report
+}
+
+/// Fixture 3 — a correct 16×4 stream with one extra vector load one
+/// element past the packed-`B` extent (an off-by-one k-loop bound).
+/// Must be flagged `AN-E004`.
+pub fn out_of_bounds_stream(cfg: &VerifyConfig) -> Report {
+    let desc = MicroKernelDesc::new(
+        16,
+        4,
+        8,
+        SchedulePolicy::Interleaved,
+        BLoadStyle::ScalarPairs,
+    );
+    let params = canonical_params(desc, cfg.kc);
+    let (regions, disjoint) = canonical_regions(&params);
+    let (mut insts, _) = kernel_trace(&params);
+    let b_len = cfg.kc as u64 * desc.nr() as u64 * params.elem;
+    insts.push(Inst::ld_vec(v(0), params.b_base + b_len, params.phase));
+    let mut report = Report::new();
+    verify_stream(
+        "fixture/oob-16x4",
+        KernelShape::new(16, 4),
+        &insts,
+        &regions,
+        &disjoint,
+        cfg,
+        &mut report,
+    );
+    report
+}
+
+/// Fixture 4 — an edge-kernel registry whose M step list stops at 8:
+/// residues 1–7 (and 9–15) of the 16-row tile have no handler. Must be
+/// flagged `AN-E006`.
+pub fn uncovered_registry() -> Report {
+    let registry = EdgeRegistry {
+        name: "fixture/uncovered",
+        mr: 16,
+        nr: 4,
+        edge: EdgeStrategy::EdgeKernels,
+        m_steps: &[16, 8],
+        n_steps: &[4, 2, 1],
+    };
+    let mut report = Report::new();
+    verify_registry(&registry, &mut report);
+    report
+}
+
+/// The expected `(fixture, code)` pairs.
+pub const EXPECTED: [(&str, &str); 4] = [
+    ("over-budget descriptor", "AN-E001"),
+    ("hazard-serialized stream", "AN-E003"),
+    ("out-of-bounds access", "AN-E004"),
+    ("uncovered edge registry", "AN-E006"),
+];
+
+/// Run all four fixtures plus the shipped-tree pass and report any
+/// deviation from the golden expectations as an `AN-SELF` error.
+pub fn self_check(cfg: &VerifyConfig) -> Report {
+    let mut out = Report::new();
+    let runs: [(&str, &str, Report); 4] = [
+        (
+            "over-budget descriptor",
+            "AN-E001",
+            over_budget_descriptor(cfg),
+        ),
+        (
+            "hazard-serialized stream",
+            "AN-E003",
+            hazard_serialized_stream(cfg),
+        ),
+        ("out-of-bounds access", "AN-E004", out_of_bounds_stream(cfg)),
+        ("uncovered edge registry", "AN-E006", uncovered_registry()),
+    ];
+    for (name, code, report) in runs {
+        if report.has_code(code) {
+            out.push(Finding::info(
+                "AN-SELF",
+                format!("fixture/{name}"),
+                format!("flagged as expected ({code})"),
+            ));
+        } else {
+            out.push(Finding::error(
+                "AN-SELF",
+                format!("fixture/{name}"),
+                format!("expected finding {code} was NOT produced — a check has regressed"),
+            ));
+        }
+    }
+    let shipped = verify_all(cfg);
+    let noisy = shipped.count(Severity::Error) + shipped.count(Severity::Warning);
+    if noisy == 0 {
+        out.push(Finding::info(
+            "AN-SELF",
+            "shipped-profiles",
+            format!(
+                "all {} shipped kernel streams verify clean",
+                shipped.kernels_checked
+            ),
+        ));
+    } else {
+        out.push(Finding::error(
+            "AN-SELF",
+            "shipped-profiles",
+            format!("shipped kernels produced {noisy} error/warning findings"),
+        ));
+    }
+    out.kernels_checked = shipped.kernels_checked;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_fixture_trips_its_check() {
+        let cfg = VerifyConfig::default();
+        assert!(over_budget_descriptor(&cfg).has_code("AN-E001"));
+        assert!(hazard_serialized_stream(&cfg).has_code("AN-E003"));
+        assert!(out_of_bounds_stream(&cfg).has_code("AN-E004"));
+        assert!(uncovered_registry().has_code("AN-E006"));
+    }
+
+    #[test]
+    fn self_check_is_green_on_the_shipped_tree() {
+        let r = self_check(&VerifyConfig::default());
+        assert!(r.passes(true), "{r}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Live-range analysis over generated instruction streams.
+//!
+//! The Eq. 4 budget is a *shape-level* promise; this module checks the
+//! *stream-level* reality: walking the emitted instructions, it
+//! computes for every architectural register the intervals during
+//! which it holds a live value, and from those the maximum number of
+//! simultaneously live registers per register class. A vector-class
+//! pressure above the architectural file size would force spills —
+//! which the trace generator has no instructions for, so the emitted
+//! kernel would simply be wrong on real hardware.
+//!
+//! Registers that are read before any write (the accumulators, which
+//! Algorithm 1 zeroes outside the traced loop) are treated as live
+//! from instruction 0; they are reported as `live_in` so the verifier
+//! can sanity-check that only accumulator-class registers appear.
+
+use smm_simarch::isa::{Inst, Reg, NUM_VREGS, S0, X0};
+
+/// Architectural register classes of the simulated ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegClass {
+    /// 128-bit vector registers `V0..V31`.
+    Vector,
+    /// Scalar FP views `S0..S31`.
+    Scalar,
+    /// General-purpose integer registers `X0..X31`.
+    Int,
+}
+
+/// Class of an architectural register index.
+pub fn class_of(reg: Reg) -> RegClass {
+    if reg < NUM_VREGS {
+        RegClass::Vector
+    } else if reg < X0 {
+        RegClass::Scalar
+    } else {
+        RegClass::Int
+    }
+}
+
+/// Peak simultaneous liveness per register class, plus live-in info.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PressureReport {
+    /// Maximum simultaneously live vector registers.
+    pub max_vector: usize,
+    /// Maximum simultaneously live scalar FP registers.
+    pub max_scalar: usize,
+    /// Maximum simultaneously live integer registers.
+    pub max_int: usize,
+    /// Vector registers read before any write (expected: accumulators).
+    pub vector_live_in: usize,
+    /// Scalar registers read before any write.
+    pub scalar_live_in: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Open {
+    start: usize,
+    last_use: usize,
+}
+
+/// Compute peak register pressure over `insts`.
+///
+/// An interval opens at a write (or at instruction 0 for a live-in
+/// read) and closes at the last read before the next write; a register
+/// rewritten in the same instruction that reads it (the FMA
+/// accumulator pattern) keeps one continuous interval.
+pub fn register_pressure(insts: &[Inst]) -> PressureReport {
+    let n = insts.len();
+    if n == 0 {
+        return PressureReport::default();
+    }
+    const NREGS: usize = 96;
+    let mut open: [Option<Open>; NREGS] = [None; NREGS];
+    let mut ever_written = [false; NREGS];
+    let mut live_in = [false; NREGS];
+    // Interval deltas per class, indexed by instruction position.
+    let mut delta = [vec![0i32; n + 1], vec![0i32; n + 1], vec![0i32; n + 1]];
+
+    let class_idx = |r: Reg| match class_of(r) {
+        RegClass::Vector => 0usize,
+        RegClass::Scalar => 1,
+        RegClass::Int => 2,
+    };
+    let close = |open: &mut [Option<Open>; NREGS], delta: &mut [Vec<i32>; 3], r: Reg| {
+        if let Some(iv) = open[r as usize].take() {
+            delta[class_idx(r)][iv.start] += 1;
+            delta[class_idx(r)][iv.last_use + 1] -= 1;
+        }
+    };
+
+    for (i, inst) in insts.iter().enumerate() {
+        // Reads first: they extend (or start, for live-ins) intervals.
+        for r in inst.sources() {
+            let slot = &mut open[r as usize];
+            match slot {
+                Some(iv) => iv.last_use = i,
+                None => {
+                    *slot = Some(Open {
+                        start: 0,
+                        last_use: i,
+                    });
+                    if !ever_written[r as usize] {
+                        live_in[r as usize] = true;
+                    }
+                }
+            }
+        }
+        // Writes: close the previous value's interval unless this
+        // instruction also read it (accumulator update — the register
+        // stays continuously occupied).
+        for dst in [inst.dst, inst.dst2] {
+            if dst == smm_simarch::isa::NO_REG {
+                continue;
+            }
+            ever_written[dst as usize] = true;
+            match open[dst as usize] {
+                Some(iv) if iv.last_use == i => {} // read+write same inst
+                _ => {
+                    close(&mut open, &mut delta, dst);
+                    open[dst as usize] = Some(Open {
+                        start: i,
+                        last_use: i,
+                    });
+                }
+            }
+        }
+    }
+    for r in 0..NREGS as u8 {
+        close(&mut open, &mut delta, r);
+    }
+
+    let peak = |d: &[i32]| {
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for &x in d {
+            cur += x;
+            max = max.max(cur);
+        }
+        max as usize
+    };
+    let count_in = |lo: usize, hi: usize| (lo..hi).filter(|&r| live_in[r]).count();
+    PressureReport {
+        max_vector: peak(&delta[0]),
+        max_scalar: peak(&delta[1]),
+        max_int: peak(&delta[2]),
+        vector_live_in: count_in(0, NUM_VREGS as usize),
+        scalar_live_in: count_in(S0 as usize, X0 as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smm_simarch::isa::{s, v, Inst};
+    use smm_simarch::phase::Phase;
+
+    const P: Phase = Phase::Kernel;
+
+    #[test]
+    fn classes_partition_the_register_file() {
+        assert_eq!(class_of(v(0)), RegClass::Vector);
+        assert_eq!(class_of(v(31)), RegClass::Vector);
+        assert_eq!(class_of(s(0)), RegClass::Scalar);
+        assert_eq!(class_of(smm_simarch::isa::x(5)), RegClass::Int);
+    }
+
+    #[test]
+    fn disjoint_lifetimes_do_not_stack() {
+        // v0 dies (last use) before v1 is written: peak pressure 1.
+        let insts = vec![
+            Inst::ld_vec(v(0), 0x0, P),
+            Inst::st_vec(v(0), 0x100, P),
+            Inst::ld_vec(v(1), 0x10, P),
+            Inst::st_vec(v(1), 0x110, P),
+        ];
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_vector, 1);
+        assert_eq!(p.vector_live_in, 0);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_stack() {
+        let insts = vec![
+            Inst::ld_vec(v(0), 0x0, P),
+            Inst::ld_vec(v(1), 0x10, P),
+            Inst::vadd(v(2), v(0), v(1), P),
+            Inst::st_vec(v(2), 0x100, P),
+        ];
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_vector, 3);
+    }
+
+    #[test]
+    fn accumulator_chain_is_one_continuous_interval() {
+        // fma v5 += v0*v1 repeatedly: v5 counted once, live-in once.
+        let mut insts = vec![Inst::ld_vec(v(0), 0x0, P), Inst::ld_vec(v(1), 0x10, P)];
+        for _ in 0..8 {
+            insts.push(Inst::fma(v(5), v(0), v(1), P));
+        }
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_vector, 3);
+        assert_eq!(p.vector_live_in, 1); // the accumulator
+    }
+
+    #[test]
+    fn rewrite_after_death_reuses_the_register() {
+        // v0 written, used, then rewritten much later: the two values
+        // are separate intervals and never overlap with themselves.
+        let insts = vec![
+            Inst::ld_vec(v(0), 0x0, P),
+            Inst::st_vec(v(0), 0x100, P),
+            Inst::ld_vec(v(0), 0x20, P),
+            Inst::st_vec(v(0), 0x120, P),
+        ];
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_vector, 1);
+    }
+
+    #[test]
+    fn scalar_and_vector_files_are_independent() {
+        let insts = vec![
+            Inst::ld_scalar(s(0), 0x0, P),
+            Inst::ld_vec(v(0), 0x10, P),
+            Inst::fma(v(1), v(0), s(0), P),
+            Inst::st_vec(v(1), 0x100, P),
+        ];
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_scalar, 1);
+        assert_eq!(p.max_vector, 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! The `smm-analyze` CLI: run the kernel-contract verifier and the
+//! source invariant linter over the workspace and exit non-zero on
+//! findings.
+//!
+//! ```text
+//! smm-analyze [--json] [--deny-warnings] [--only kernels|lint]
+//!             [--root PATH] [--kc N] [--min-chain-frac F] [--self-check]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` warnings under `--deny-warnings`,
+//! `2` errors (or bad usage).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smm_analyze::fixtures::self_check;
+use smm_analyze::lint::lint_workspace;
+use smm_analyze::report::Severity;
+use smm_analyze::{verify_all, Report, VerifyConfig};
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    kernels: bool,
+    lint: bool,
+    self_check: bool,
+    root: Option<PathBuf>,
+    cfg: VerifyConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            json: false,
+            deny_warnings: false,
+            kernels: true,
+            lint: true,
+            self_check: false,
+            root: None,
+            cfg: VerifyConfig::default(),
+        }
+    }
+}
+
+const USAGE: &str = "usage: smm-analyze [--json] [--deny-warnings] [--only kernels|lint] \
+                     [--root PATH] [--kc N] [--min-chain-frac F] [--self-check]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--self-check" => opts.self_check = true,
+            "--only" => match args.next().as_deref() {
+                Some("kernels") => opts.lint = false,
+                Some("lint") => opts.kernels = false,
+                other => return Err(format!("--only expects kernels|lint, got {other:?}")),
+            },
+            "--root" => {
+                let p = args.next().ok_or("--root expects a path")?;
+                opts.root = Some(PathBuf::from(p));
+            }
+            "--kc" => {
+                let v = args.next().ok_or("--kc expects a number")?;
+                opts.cfg.kc = v.parse().map_err(|e| format!("bad --kc {v:?}: {e}"))?;
+            }
+            "--min-chain-frac" => {
+                let v = args.next().ok_or("--min-chain-frac expects a number")?;
+                opts.cfg.min_chain_fraction = v
+                    .parse()
+                    .map_err(|e| format!("bad --min-chain-frac {v:?}: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walk up from the current directory to the workspace root (the
+/// first ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("smm-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::new();
+    if opts.self_check {
+        report.merge(self_check(&opts.cfg));
+    } else if opts.kernels {
+        report.merge(verify_all(&opts.cfg));
+    }
+    if opts.lint && !opts.self_check {
+        let root = opts.root.clone().or_else(find_workspace_root);
+        match root {
+            Some(root) => report.merge(lint_workspace(&root)),
+            None => {
+                eprintln!("smm-analyze: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+
+    if report.count(Severity::Error) > 0 {
+        ExitCode::from(2)
+    } else if opts.deny_warnings && report.count(Severity::Warning) > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

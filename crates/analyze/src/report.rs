@@ -1,0 +1,287 @@
+//! Findings and reports shared by both analysis fronts.
+//!
+//! Every check emits [`Finding`]s into a [`Report`]; the CLI decides
+//! the exit code from the severity counts. Reports render as human
+//! text ([`std::fmt::Display`]) and as machine-readable JSON
+//! ([`Report::to_json`], hand-rolled — the workspace is std-only).
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Context worth surfacing but not actionable (e.g. a shape whose
+    /// chain-bound ceiling is intrinsically low — the Fig. 7 trade-off
+    /// itself, not a scheduling bug).
+    Info,
+    /// Suspicious but not a proven contract violation (e.g. a lint
+    /// waiver that matched nothing).
+    Warning,
+    /// A proven contract violation. Always fails the CLI.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable machine-readable code (e.g. `AN-E003`).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// What was analyzed: a kernel name or a source file path.
+    pub subject: String,
+    /// Optional position within the subject (`line 42`, `inst #17`).
+    pub location: Option<String>,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Build an error finding.
+    pub fn error(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            code,
+            severity: Severity::Error,
+            subject: subject.into(),
+            location: None,
+            message: message.into(),
+        }
+    }
+
+    /// Build a warning finding.
+    pub fn warning(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            code,
+            severity: Severity::Warning,
+            subject: subject.into(),
+            location: None,
+            message: message.into(),
+        }
+    }
+
+    /// Build an info finding.
+    pub fn info(
+        code: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            code,
+            severity: Severity::Info,
+            subject: subject.into(),
+            location: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attach a location string.
+    pub fn at(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}",
+            self.severity.label(),
+            self.code,
+            self.subject
+        )?;
+        if let Some(loc) = &self.location {
+            write!(f, " ({loc})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Aggregated result of one or both analysis fronts.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Kernel instruction streams verified.
+    pub kernels_checked: usize,
+    /// Source files scanned by the linter.
+    pub files_scanned: usize,
+    /// Lint waivers honored.
+    pub waivers_used: usize,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append another report's findings and tallies.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.kernels_checked += other.kernels_checked;
+        self.files_scanned += other.files_scanned;
+        self.waivers_used += other.waivers_used;
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether any finding has `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.findings.iter().any(|f| f.code == code)
+    }
+
+    /// Whether the report passes: errors always fail; warnings fail
+    /// only under `--deny-warnings`.
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) == 0 && (!deny_warnings || self.count(Severity::Warning) == 0)
+    }
+
+    /// Render as a JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"kernels_checked\": {},\n  \"files_scanned\": {},\n  \"waivers_used\": {},\n",
+            self.kernels_checked, self.files_scanned, self.waivers_used
+        ));
+        out.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {},\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"code\": {}, \"severity\": {}, \"subject\": {}, ",
+                json_str(f.code),
+                json_str(f.severity.label()),
+                json_str(&f.subject)
+            ));
+            match &f.location {
+                Some(loc) => out.push_str(&format!("\"location\": {}, ", json_str(loc))),
+                None => out.push_str("\"location\": null, "),
+            }
+            out.push_str(&format!("\"message\": {}}}", json_str(&f.message)));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        writeln!(
+            f,
+            "checked {} kernel streams, scanned {} source files \
+             ({} waivers honored): {} errors, {} warnings, {} notes",
+            self.kernels_checked,
+            self.files_scanned,
+            self.waivers_used,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// Escape `s` as a JSON string literal (with quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_gating() {
+        let mut r = Report::new();
+        assert!(r.passes(true));
+        r.push(Finding::warning("X-W1", "a", "w"));
+        assert!(r.passes(false));
+        assert!(!r.passes(true));
+        r.push(Finding::error("X-E1", "a", "e"));
+        assert!(!r.passes(false));
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut r = Report::new();
+        r.push(Finding::error("X-E1", "ker\"nel", "line\nbreak").at("inst #3"));
+        let j = r.to_json();
+        assert!(j.contains("\\\"nel"));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"location\": \"inst #3\""));
+        assert!(j.contains("\"errors\": 1"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Report {
+            kernels_checked: 2,
+            ..Report::new()
+        };
+        let mut b = Report {
+            files_scanned: 5,
+            ..Report::new()
+        };
+        b.push(Finding::info("X-I1", "s", "m"));
+        a.merge(b);
+        assert_eq!(a.kernels_checked, 2);
+        assert_eq!(a.files_scanned, 5);
+        assert_eq!(a.findings.len(), 1);
+    }
+}

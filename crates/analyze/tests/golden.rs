@@ -1,0 +1,97 @@
+//! Golden tests for `smm-analyze`: the four bad-kernel fixtures must
+//! each trip exactly the check built for them, and the shipped tree —
+//! every registered kernel stream and every workspace source file —
+//! must come back clean. Together these pin the analyzer from both
+//! sides: a lost check breaks a fixture test, a new defect in the tree
+//! breaks a clean test.
+
+use std::path::PathBuf;
+
+use smm_analyze::fixtures::{
+    hazard_serialized_stream, out_of_bounds_stream, over_budget_descriptor, self_check,
+    uncovered_registry, EXPECTED,
+};
+use smm_analyze::lint::lint_workspace;
+use smm_analyze::{verify_all, Severity, VerifyConfig};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn fixture_over_budget_descriptor_is_flagged() {
+    let r = over_budget_descriptor(&VerifyConfig::default());
+    assert!(r.has_code("AN-E001"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
+fn fixture_serialized_stream_is_flagged() {
+    let r = hazard_serialized_stream(&VerifyConfig::default());
+    assert!(r.has_code("AN-E003"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
+fn fixture_out_of_bounds_stream_is_flagged() {
+    let r = out_of_bounds_stream(&VerifyConfig::default());
+    assert!(r.has_code("AN-E004"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
+fn fixture_uncovered_registry_is_flagged() {
+    let r = uncovered_registry();
+    assert!(r.has_code("AN-E006"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
+fn expected_table_matches_the_fixture_set() {
+    assert_eq!(EXPECTED.len(), 4);
+    let codes: Vec<&str> = EXPECTED.iter().map(|(_, c)| *c).collect();
+    assert_eq!(codes, ["AN-E001", "AN-E003", "AN-E004", "AN-E006"]);
+}
+
+#[test]
+fn shipped_kernel_streams_verify_clean() {
+    let r = verify_all(&VerifyConfig::default());
+    assert!(
+        r.passes(true),
+        "shipped kernels must produce no errors or warnings:\n{r}"
+    );
+    assert!(
+        r.kernels_checked >= 20,
+        "expected the four library profiles to contribute at least 20 streams, got {}",
+        r.kernels_checked
+    );
+}
+
+#[test]
+fn shipped_sources_lint_clean() {
+    let r = lint_workspace(&workspace_root());
+    assert!(
+        r.passes(true),
+        "workspace sources must satisfy the invariant lints:\n{r}"
+    );
+    assert!(
+        r.files_scanned > 50,
+        "lint walked only {} files — wrong root?",
+        r.files_scanned
+    );
+}
+
+#[test]
+fn self_check_is_green_and_json_is_well_formed() {
+    let r = self_check(&VerifyConfig::default());
+    assert!(r.passes(true), "{r}");
+    assert_eq!(r.count(Severity::Error), 0);
+    let json = r.to_json();
+    // Structural spot-checks (no JSON parser in a std-only workspace).
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"findings\""));
+    assert!(json.contains("\"AN-SELF\""));
+}

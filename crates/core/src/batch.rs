@@ -19,7 +19,7 @@ use crate::error::{Operand, SmmError};
 use crate::exec::execute_traced;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::smm::Smm;
-use crate::telemetry::{CallSite, Phase, Recorder};
+use crate::telemetry::{now_if, CallSite, Phase, Recorder};
 
 /// Arguments describing one strided batch: `batch` GEMMs of identical
 /// shape laid out at constant strides in three flat buffers.
@@ -268,7 +268,7 @@ impl<S: Scalar> Smm<S> {
             .into_iter()
             .map(|group| {
                 move || {
-                    let t0 = if timed { Some(Instant::now()) } else { None };
+                    let t0 = now_if(timed);
                     for (i, win) in group {
                         run_entry_ref(plan_ref, win, i);
                     }

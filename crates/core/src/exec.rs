@@ -13,8 +13,6 @@
 //! spawn-per-call executor, so results are bit-for-bit unchanged (see
 //! `pooled_execution_is_bit_identical_to_spawn_per_call`).
 
-use std::time::Instant;
-
 use smm_gemm::matrix::{Mat, MatMut, MatRef};
 use smm_gemm::naive::check_dims;
 use smm_gemm::pack::{pack_a_exact, pack_b_exact};
@@ -25,7 +23,7 @@ use smm_kernels::Scalar;
 
 use crate::direct::DirectKernel;
 use crate::plan::SmmPlan;
-use crate::telemetry::{Phase, Recorder};
+use crate::telemetry::{now_if, Phase, Recorder};
 
 /// Execute `C = alpha·A·B + beta·C` under a plan, on the process-wide
 /// persistent pool ([`TaskPool::global`]).
@@ -123,7 +121,7 @@ pub fn execute_traced<S: Scalar>(
             let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
             let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
             tasks.push(move || {
-                let t0 = if timed { Some(Instant::now()) } else { None };
+                let t0 = now_if(timed);
                 let mut local = Mat::<S>::zeros(rows, cols);
                 let cost = {
                     let mut lm = local.as_mut();
@@ -235,7 +233,7 @@ fn run_tiles<S: Scalar>(
         for (s, jt) in n_tiles.iter().enumerate() {
             let edge = jt.logical < nr;
             if plan.pack_b || (edge && plan.pack_edge_b) {
-                let t0 = if timed { Some(Instant::now()) } else { None };
+                let t0 = now_if(timed);
                 pack_b_exact(b, kk, jt.offset, kc, jt.logical, &mut bpack[s]);
                 if let Some(t0) = t0 {
                     cost.b_ns += t0.elapsed().as_nanos() as u64;
@@ -248,7 +246,7 @@ fn run_tiles<S: Scalar>(
         for it in m_tiles {
             // A source: packed panel or the raw column-major block.
             let (a_src, a_stride): (&[S], usize) = if plan.pack_a {
-                let t0 = if timed { Some(Instant::now()) } else { None };
+                let t0 = now_if(timed);
                 pack_a_exact(a, it.offset, kk, it.logical, kc, &mut apack);
                 if let Some(t0) = t0 {
                     cost.a_ns += t0.elapsed().as_nanos() as u64;

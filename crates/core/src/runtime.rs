@@ -69,6 +69,8 @@ pub struct ShardedPlanCache {
     shards: [Shard; SHARDS],
     /// Per-shard entry cap (0 = unbounded).
     shard_capacity: usize,
+    /// Cache statistics; relaxed — independent monotonic counters
+    /// bumped outside the shard locks and read only for reporting.
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,

@@ -340,12 +340,21 @@ impl ShapeSlot {
     }
 }
 
+/// Thread-slot allocator; relaxed — a monotonic counter whose only
+/// contract is distinctness, with no ordering against any other access.
 static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// Monotonic per-thread slot; masked into a shard index. Threads
     /// keep their slot for life, so a thread always writes one shard.
     static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read the clock iff `timed` (`None` otherwise) — the guard for timed
+/// paths that run outside a [`Recorder`] (pooled worker closures), so
+/// untimed hot paths provably never reach `Instant::now`.
+pub fn now_if(timed: bool) -> Option<Instant> {
+    timed.then(Instant::now)
 }
 
 /// The telemetry registry of one [`crate::Smm`] instance.
@@ -357,6 +366,8 @@ pub struct Telemetry {
     enabled: bool,
     shards: Vec<Shard>,
     slots: Vec<ShapeSlot>,
+    /// Shapes discarded once `slots` filled; relaxed counter add, read
+    /// only by the aggregating reporter after recording has quiesced.
     dropped_shapes: AtomicU64,
 }
 

@@ -13,7 +13,12 @@
 //!
 //! Threads accumulate into private blocks that are merged after the
 //! join, so no `unsafe` aliasing is needed; the merge touches each `C`
-//! element exactly once because the grid blocks are disjoint.
+//! element exactly once because the grid blocks are disjoint. The only
+//! `unsafe` in the parallel path lives in [`crate::pool`], whose
+//! scoped-submission SAFETY argument (tasks borrow the caller's stack;
+//! `run_scoped` cannot return until every task has completed) is what
+//! lets the closures built here borrow operand views and plan tables
+//! without `'static` bounds or reference counting.
 //!
 //! Both entry points execute on a persistent [`TaskPool`] — the
 //! spawn-per-call mechanism the paper's §III-D indicts is gone. The

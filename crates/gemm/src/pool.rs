@@ -129,9 +129,14 @@ impl Latch {
 
 /// Raw pointer wrapper so result slots can cross the worker boundary.
 struct SendPtr<T>(*mut T);
-// SAFETY: the pointee is a slot in the caller's results vector; the
-// caller blocks until every task has written its slot, and each task
-// owns exactly one slot, so access is exclusive and outlives the send.
+// SAFETY: the pointee is one slot of the `results` vector on the
+// `run_scoped` caller's stack. Each submitted task receives a pointer
+// to a *distinct* slot (the `iter_mut().zip(tasks)` pairing), so no two
+// threads ever alias a slot, and the caller does not read any slot
+// until `latch.wait()` has observed every task complete — the slot
+// therefore outlives the send and is accessed exclusively. `T: Send`
+// is required because the value written through the pointer migrates
+// from a worker thread back to the caller.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -291,10 +296,20 @@ impl TaskPool {
                         Err(payload) => latch_ref.complete(Some(payload)),
                     }
                 });
-                // SAFETY: the job borrows `latch` and the result slots,
-                // both of which outlive this call; `latch.wait()` below
-                // does not return until the job has run, and the panic
-                // path drains the scope before unwinding.
+                // SAFETY: lifetime erasure of the scoped submission.
+                // The job borrows `latch` and one result slot, both on
+                // this stack frame, and the transmute forges `'static`
+                // from that scope lifetime. This is sound because the
+                // frame cannot be abandoned while a job is live:
+                // `latch.wait()` below blocks until every job has
+                // called `Latch::complete` (each job's last touch of
+                // the borrows), including the panic path, where
+                // `catch_unwind` converts the unwind into a normal
+                // `complete(Some(payload))` and the payload is
+                // re-thrown only from `wait()` after the whole scope
+                // has drained. Nothing between the queue push and
+                // `wait()` can panic or return early, and workers never
+                // hold a popped job without running it to completion.
                 let job: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
                 q.jobs.push_back(job);
@@ -335,6 +350,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     break None;
                 }
+                // lint:allow(instant-now) -- park-time accounting: read only as a worker goes to sleep, never on the job path
                 let parked = Instant::now();
                 q = shared.work_cv.wait(q).unwrap();
                 shared

@@ -5,7 +5,14 @@
 //! factor, the instruction-scheduling style of the (hand-written or
 //! compiler-generated) inner loop, and how the `B` operand is staged.
 
-use smm_model::KernelShape;
+use smm_model::{check_register_budget, KernelShape};
+
+/// SIMD lanes per vector register for single precision (128-bit NEON).
+pub const F32_LANES: usize = 4;
+/// Architectural vector registers on ARMv8.
+pub const TOTAL_VREGS: usize = 32;
+/// Registers Eq. 4 reserves for operand staging.
+pub const SPARE_VREGS: usize = 2;
 
 /// How the inner-loop instructions are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,10 +68,11 @@ impl MicroKernelDesc {
     ) -> Self {
         let shape = KernelShape::new(mr, nr);
         assert!(unroll >= 1, "unroll factor must be at least 1");
-        assert!(
-            shape.satisfies_register_constraint(4, 32, 2),
-            "{mr}x{nr} violates the Eq. 4 register constraint"
-        );
+        // The same Eq. 4 check the static verifier runs (`smm-analyze`);
+        // a descriptor this constructor accepts can never be flagged.
+        if let Err(e) = check_register_budget(mr, nr, F32_LANES, TOTAL_VREGS, SPARE_VREGS) {
+            panic!("{e}");
+        }
         MicroKernelDesc {
             shape,
             unroll,

@@ -31,7 +31,10 @@ pub mod parallel;
 pub mod peak;
 
 pub use blocking::{derive_blocking, BlockingParams, CacheSizes};
-pub use microkernel::{cmr, registers_for_accumulator, satisfies_register_constraint, KernelShape};
+pub use microkernel::{
+    check_register_budget, cmr, registers_for_accumulator, satisfies_register_constraint,
+    KernelShape, RegisterBudget, RegisterBudgetError,
+};
 pub use p2c::{num_fma, num_pack_loads, p2c_as_published, p2c_derived, predicted_packing_share};
 pub use parallel::{enumerate_grids, select_grid, ThreadGrid};
 pub use peak::{Efficiency, MachineSpec, Precision};

@@ -62,6 +62,77 @@ impl KernelShape {
     }
 }
 
+/// The outcome of a satisfied Eq. 4 register-budget check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterBudget {
+    /// Vector registers the accumulator occupies.
+    pub accumulators: usize,
+    /// Registers the accumulator may occupy (`total_regs - spare`).
+    pub limit: usize,
+}
+
+impl RegisterBudget {
+    /// Registers left over for operand staging beyond the reserved
+    /// spare pair.
+    pub fn headroom(&self) -> usize {
+        self.limit - self.accumulators
+    }
+}
+
+/// An Eq. 4 violation: the accumulator tile does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterBudgetError {
+    /// Requested tile rows.
+    pub mr: usize,
+    /// Requested tile columns.
+    pub nr: usize,
+    /// Registers the accumulator would need.
+    pub accumulators: usize,
+    /// Registers available to it.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for RegisterBudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} violates the Eq. 4 register constraint: accumulator \
+             needs {} vector registers, budget is {}",
+            self.mr, self.nr, self.accumulators, self.limit
+        )
+    }
+}
+
+impl std::error::Error for RegisterBudgetError {}
+
+/// The single authoritative Eq. 4 check, shared by kernel-descriptor
+/// construction (`smm-kernels`) and the static verifier (`smm-analyze`)
+/// so the two can never drift apart.
+pub fn check_register_budget(
+    mr: usize,
+    nr: usize,
+    lanes: usize,
+    total_regs: usize,
+    spare: usize,
+) -> Result<RegisterBudget, RegisterBudgetError> {
+    let shape = KernelShape::new(mr, nr);
+    let accumulators = shape.accumulator_registers(lanes);
+    let limit = total_regs.saturating_sub(spare);
+    if accumulators <= limit {
+        Ok(RegisterBudget {
+            accumulators,
+            limit,
+        })
+    } else {
+        Err(RegisterBudgetError {
+            mr,
+            nr,
+            accumulators,
+            limit,
+        })
+    }
+}
+
 /// Convenience free function mirroring [`KernelShape::accumulator_registers`].
 pub fn registers_for_accumulator(mr: usize, nr: usize, lanes: usize) -> usize {
     KernelShape::new(mr, nr).accumulator_registers(lanes)
@@ -183,6 +254,31 @@ mod tests {
             .position(|s| *s == KernelShape::new(8, 12))
             .expect("8x12 feasible");
         assert!(pos < 8, "8x12 should rank highly, got position {pos}");
+    }
+
+    #[test]
+    fn budget_check_matches_predicate() {
+        for mr in 1..=20 {
+            for nr in 1..=20 {
+                let ok = check_register_budget(mr, nr, 4, 32, 2).is_ok();
+                assert_eq!(
+                    ok,
+                    KernelShape::new(mr, nr).satisfies_register_constraint(4, 32, 2),
+                    "{mr}x{nr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_error_reports_the_overrun() {
+        let e = check_register_budget(16, 8, 4, 32, 2).unwrap_err();
+        assert_eq!(e.accumulators, 32);
+        assert_eq!(e.limit, 30);
+        assert!(e.to_string().contains("Eq. 4"));
+        let ok = check_register_budget(12, 10, 4, 32, 2).unwrap();
+        assert_eq!(ok.accumulators, 30);
+        assert_eq!(ok.headroom(), 0);
     }
 
     #[test]

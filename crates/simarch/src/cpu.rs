@@ -57,6 +57,25 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Result latency of a non-memory `op`, or `mem_latency` for loads
+    /// and stores (the cycle count the memory system would charge).
+    ///
+    /// This is the single latency table for both the cycle-level
+    /// simulator and the static dependence-chain analysis in
+    /// `smm-analyze`, so the two can never disagree about how long an
+    /// FMA chain is.
+    pub fn result_latency(&self, op: Op, mem_latency: u64) -> u64 {
+        match op {
+            Op::LdVec | Op::LdScalar | Op::LdPair | Op::StVec | Op::StScalar => mem_latency,
+            Op::Fma => self.fma_latency,
+            Op::VMul | Op::VAdd | Op::VDup => self.valu_latency,
+            Op::IOp | Op::Branch => self.int_latency,
+            // Barriers are synchronization pseudo-instructions with no
+            // result; charge a single cycle for chain purposes.
+            Op::Barrier(_) => 1,
+        }
+    }
+
     /// The Xiaomi core of Phytium 2000+ (§II-A).
     pub fn phytium_core() -> Self {
         PipelineConfig {
@@ -203,10 +222,10 @@ impl CoreSim {
         match op {
             Op::LdVec | Op::LdScalar | Op::LdPair => mem.load(self.id, addr, now),
             Op::StVec | Op::StScalar => mem.store(self.id, addr, now),
-            Op::Fma => self.cfg.fma_latency,
-            Op::VMul | Op::VAdd | Op::VDup => self.cfg.valu_latency,
-            Op::IOp | Op::Branch => self.cfg.int_latency,
             Op::Barrier(_) => unreachable!("barriers never enter the ROB"),
+            // Memory latency is irrelevant below: the memory ops are
+            // handled above with the cache model's dynamic answer.
+            op => self.cfg.result_latency(op, 0),
         }
     }
 
