@@ -13,12 +13,21 @@
 //!   (`Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`, or the word
 //!   "ordering"). A comment above a run of atomic fields covers the
 //!   whole run.
-//! * `LINT-E103` (`thread-spawn`) — `thread::spawn` only in the worker
-//!   pool (`crates/gemm/src/pool.rs`); everything else must go through
-//!   the pool so §III-D's spawn-per-call overhead cannot creep back.
+//! * `LINT-E103` (`thread-spawn`) — `thread::spawn` / `thread::Builder`
+//!   only in the worker pool (`crates/gemm/src/pool.rs`) and the
+//!   serving layer's long-lived service threads
+//!   (`crates/serve/src/server.rs` dispatcher,
+//!   `crates/serve/src/tcp.rs` acceptor + per-connection handlers);
+//!   everything else must go through the pool so §III-D's
+//!   spawn-per-call overhead cannot creep back. The serve entries are
+//!   deliberate: those threads live for the server's lifetime (or a
+//!   connection's), never per GEMM call.
 //! * `LINT-E104` (`instant-now`) — `Instant::now` only in telemetry
-//!   (`crates/core/src/telemetry.rs`) and bench/example code, so the
-//!   untimed hot path provably never reads the clock.
+//!   (`crates/core/src/telemetry.rs`), the serving layer's single
+//!   clock shim (`crates/serve/src/clock.rs`, where wall time is
+//!   request semantics: deadlines and the coalescing window), and
+//!   bench/example code, so the untimed hot path provably never reads
+//!   the clock.
 //! * `LINT-W105` — a malformed or unused waiver.
 //!
 //! Test code is exempt: everything at or below a file's first
@@ -379,11 +388,21 @@ fn waived(waivers: &mut [Waiver], rule: &str, i: usize) -> bool {
 }
 
 fn path_allows_spawn(rel: &str) -> bool {
+    // pool.rs: the workers themselves. serve/server.rs + serve/tcp.rs:
+    // the serving layer's long-lived dispatcher / acceptor / connection
+    // threads — one per server or connection, never one per GEMM.
     rel.ends_with("crates/gemm/src/pool.rs")
+        || rel.ends_with("crates/serve/src/server.rs")
+        || rel.ends_with("crates/serve/src/tcp.rs")
 }
 
 fn path_allows_clock(rel: &str) -> bool {
+    // serve/clock.rs is the serving layer's single clock access point:
+    // deadlines and the coalescing window are functional wall-time
+    // semantics, and funnelling them through one shim keeps the rest
+    // of that crate under this rule.
     rel.ends_with("crates/core/src/telemetry.rs")
+        || rel.ends_with("crates/serve/src/clock.rs")
         || rel.contains("crates/bench/")
         || rel.starts_with("examples/")
         || rel.contains("/examples/")
@@ -440,7 +459,7 @@ pub fn lint_source(rel: &str, source: &str) -> Report {
             );
         }
 
-        if code.contains("thread::spawn")
+        if (code.contains("thread::spawn") || code.contains("thread::Builder"))
             && !path_allows_spawn(rel)
             && !waived(&mut waivers, "thread-spawn", i)
         {
@@ -448,8 +467,9 @@ pub fn lint_source(rel: &str, source: &str) -> Report {
                 Finding::error(
                     "LINT-E103",
                     rel,
-                    "`thread::spawn` outside the worker pool — route work through `TaskPool` \
-                     (§III-D: spawn-per-call overhead)",
+                    "thread creation (`thread::spawn`/`thread::Builder`) outside the worker \
+                     pool and serving layer — route work through `TaskPool` (§III-D: \
+                     spawn-per-call overhead)",
                 )
                 .at(loc()),
             );
@@ -598,11 +618,25 @@ mod tests {
         let spawn = "fn f() { std::thread::spawn(|| ()); }";
         assert!(lint_source("crates/core/src/exec.rs", spawn).has_code("LINT-E103"));
         assert!(!lint_source("crates/gemm/src/pool.rs", spawn).has_code("LINT-E103"));
+        // The serving layer's long-lived service threads are allowed...
+        assert!(!lint_source("crates/serve/src/server.rs", spawn).has_code("LINT-E103"));
+        assert!(!lint_source("crates/serve/src/tcp.rs", spawn).has_code("LINT-E103"));
+        // ...but the rest of that crate is not.
+        assert!(lint_source("crates/serve/src/wire.rs", spawn).has_code("LINT-E103"));
+        // `thread::Builder` is thread creation too — the literal-spawn
+        // loophole is closed.
+        let builder = "fn f() { std::thread::Builder::new().spawn(|| ()).unwrap(); }";
+        assert!(lint_source("crates/core/src/exec.rs", builder).has_code("LINT-E103"));
+        assert!(!lint_source("crates/serve/src/server.rs", builder).has_code("LINT-E103"));
         let clock = "fn f() { let t = Instant::now(); }";
         assert!(lint_source("crates/core/src/exec.rs", clock).has_code("LINT-E104"));
         assert!(!lint_source("crates/core/src/telemetry.rs", clock).has_code("LINT-E104"));
         assert!(!lint_source("crates/bench/src/timing.rs", clock).has_code("LINT-E104"));
         assert!(!lint_source("examples/demo.rs", clock).has_code("LINT-E104"));
+        // The serve crate's clock shim is the crate's only allowed
+        // clock site; a stray read elsewhere in serve still fails.
+        assert!(!lint_source("crates/serve/src/clock.rs", clock).has_code("LINT-E104"));
+        assert!(lint_source("crates/serve/src/server.rs", clock).has_code("LINT-E104"));
     }
 
     #[test]

@@ -510,4 +510,93 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn k_zero_is_a_pure_beta_scale_with_gapped_ldc() {
+        // k == 0 must touch only the m x n window of each entry, even
+        // with a padded leading dimension and inter-entry gaps.
+        let d = StridedBatch::try_new(2, 3, 0, 2, 2, 0, 1, 3, 4, 16).unwrap();
+        let smm = Smm::<f32>::new();
+        let mut c = vec![2.0f32; 16 + 4 * 3];
+        smm.gemm_batch(&d, 1.0, &[], &[], 0.25, &mut c).unwrap();
+        for i in 0..d.batch {
+            for col in 0..d.n {
+                for r in 0..d.ldc {
+                    let got = c[i * d.stride_c + col * d.ldc + r];
+                    let want = if r < d.m { 0.5 } else { 2.0 };
+                    assert_eq!(got, want, "entry {i} ({r},{col})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_takes_the_fast_path_on_a_threaded_pool() {
+        // A single-entry batch must not fan out across workers and must
+        // agree with both the naive oracle and plain gemm.
+        let d = StridedBatch::dense(7, 5, 9, 1);
+        let a = fill(d.stride_a, 21);
+        let b = fill(d.stride_b, 22);
+        let c0 = fill(d.stride_c, 23);
+        let smm = Smm::<f32>::with_threads(4);
+        let mut c_batch = c0.clone();
+        smm.gemm_batch(&d, 2.0, &a, &b, 0.5, &mut c_batch).unwrap();
+        let mut want = Mat::<f32>::from_fn(d.m, d.n, |r, col| c0[col * d.ldc + r]);
+        gemm_naive(
+            2.0,
+            MatRef::from_slice(&a, d.m, d.k, d.lda),
+            MatRef::from_slice(&b, d.k, d.n, d.ldb),
+            0.5,
+            want.as_mut(),
+        );
+        let mut c_gemm = c0.clone();
+        smm.gemm(
+            2.0,
+            MatRef::from_slice(&a, d.m, d.k, d.lda),
+            MatRef::from_slice(&b, d.k, d.n, d.ldb),
+            0.5,
+            MatMut::from_slice(&mut c_gemm, d.m, d.n, d.ldc),
+        );
+        for col in 0..d.n {
+            for r in 0..d.m {
+                let got = c_batch[col * d.ldc + r];
+                assert!(
+                    (got - want[(r, col)]).abs() < 1e-3,
+                    "vs naive at ({r},{col}): {got} vs {}",
+                    want[(r, col)]
+                );
+                let via_gemm = c_gemm[col * d.ldc + r];
+                assert!(
+                    (got - via_gemm).abs() < 1e-3,
+                    "vs gemm at ({r},{col}): {got} vs {via_gemm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_overlap_per_operand() {
+        // Each operand reports its own exact OverlappingStride variant.
+        let err = StridedBatch::try_new(4, 4, 4, 2, 4, 16, 4, 11, 4, 16).unwrap_err();
+        assert_eq!(
+            err,
+            SmmError::OverlappingStride {
+                operand: Operand::B,
+                stride: 11,
+                min: 16
+            }
+        );
+        let err = StridedBatch::try_new(4, 4, 4, 2, 4, 16, 4, 16, 4, 9).unwrap_err();
+        assert_eq!(
+            err,
+            SmmError::OverlappingStride {
+                operand: Operand::C,
+                stride: 9,
+                min: 16
+            }
+        );
+        // Zero-width operands need no spacing: stride 0 is legal when
+        // the operand itself is empty (k == 0 for A, n == 0 for B/C).
+        assert!(StridedBatch::try_new(4, 0, 0, 2, 4, 0, 1, 0, 4, 0).is_ok());
+    }
 }

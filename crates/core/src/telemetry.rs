@@ -68,10 +68,19 @@ pub enum Phase {
     /// Synchronization: barrier wait beyond the slowest worker's busy
     /// time, plus the reduce/merge of private blocks and `beta` scaling.
     Sync,
+    /// Serving layer: time a request sat in the admission queue before
+    /// the dispatcher picked it up.
+    EnqueueWait,
+    /// Serving layer: the shape-coalescing window — time the dispatcher
+    /// held a group open waiting for more same-shape arrivals.
+    Coalesce,
+    /// Serving layer: answering requests after compute (copy-out of
+    /// `C` windows plus waking the submitters).
+    Reply,
 }
 
 /// Number of distinct [`Phase`] values.
-pub const NUM_PHASES: usize = 6;
+pub const NUM_PHASES: usize = 9;
 
 impl Phase {
     /// All phases, in display order.
@@ -82,6 +91,9 @@ impl Phase {
         Phase::Compute,
         Phase::Dispatch,
         Phase::Sync,
+        Phase::EnqueueWait,
+        Phase::Coalesce,
+        Phase::Reply,
     ];
 
     /// Stable snake_case name (used as the metric label).
@@ -93,6 +105,9 @@ impl Phase {
             Phase::Compute => "compute",
             Phase::Dispatch => "dispatch",
             Phase::Sync => "sync",
+            Phase::EnqueueWait => "enqueue_wait",
+            Phase::Coalesce => "coalesce",
+            Phase::Reply => "reply",
         }
     }
 
@@ -104,6 +119,9 @@ impl Phase {
             Phase::Compute => 3,
             Phase::Dispatch => 4,
             Phase::Sync => 5,
+            Phase::EnqueueWait => 6,
+            Phase::Coalesce => 7,
+            Phase::Reply => 8,
         }
     }
 }
@@ -117,14 +135,22 @@ pub enum CallSite {
     GemmBatch,
     /// Direct [`crate::execute`]-style invocations.
     Direct,
+    /// The `smm-serve` request dispatcher (queue wait, coalescing,
+    /// batched dispatch, and reply — the service-boundary spans).
+    Serve,
 }
 
 /// Number of distinct [`CallSite`] values.
-pub const NUM_SITES: usize = 3;
+pub const NUM_SITES: usize = 4;
 
 impl CallSite {
     /// All call sites, in display order.
-    pub const ALL: [CallSite; NUM_SITES] = [CallSite::Gemm, CallSite::GemmBatch, CallSite::Direct];
+    pub const ALL: [CallSite; NUM_SITES] = [
+        CallSite::Gemm,
+        CallSite::GemmBatch,
+        CallSite::Direct,
+        CallSite::Serve,
+    ];
 
     /// Stable snake_case name (used as the metric label).
     pub fn name(self) -> &'static str {
@@ -132,6 +158,7 @@ impl CallSite {
             CallSite::Gemm => "gemm",
             CallSite::GemmBatch => "gemm_batch",
             CallSite::Direct => "direct",
+            CallSite::Serve => "serve",
         }
     }
 
@@ -140,6 +167,7 @@ impl CallSite {
             CallSite::Gemm => 0,
             CallSite::GemmBatch => 1,
             CallSite::Direct => 2,
+            CallSite::Serve => 3,
         }
     }
 }
@@ -431,8 +459,12 @@ impl Telemetry {
     /// Account one completed API call: `entries` GEMMs of shape
     /// `(m, n, k)` over `elem_bytes`-wide scalars took `total_ns`
     /// end to end.
+    ///
+    /// Public so out-of-crate layers (the `smm-serve` dispatcher) can
+    /// feed the per-shape table; this bypasses the [`Recorder`] gate,
+    /// so callers must check [`Telemetry::enabled`] themselves.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn record_call(
+    pub fn record_call(
         &self,
         site: CallSite,
         m: usize,
@@ -851,13 +883,14 @@ impl TelemetryReport {
             self.runtime.pool_workers
         ));
         s.push_str(&format!(
-            "  \"pool\": {{\"workers\": {}, \"queue_highwater\": {}, \"worker_wakeups\": {}, \"worker_tasks\": {}, \"inline_drained\": {}, \"park_ns\": {}}},\n",
+            "  \"pool\": {{\"workers\": {}, \"queue_highwater\": {}, \"worker_wakeups\": {}, \"worker_tasks\": {}, \"inline_drained\": {}, \"park_ns\": {}, \"scoped_calls\": {}}},\n",
             self.pool.workers,
             self.pool.queue_highwater,
             self.pool.worker_wakeups,
             self.pool.worker_tasks,
             self.pool.inline_drained,
-            self.pool.park_ns
+            self.pool.park_ns,
+            self.pool.scoped_calls
         ));
         s.push_str("  \"phases\": {\n");
         for (i, pr) in self.phases.iter().enumerate() {
@@ -899,7 +932,7 @@ impl TelemetryReport {
         s.push_str("  \"sites\": {\n");
         for (i, sb) in self.sites.iter().enumerate() {
             s.push_str(&format!(
-                "    \"{}\": {{\"calls\": {}, \"plan_ns\": {}, \"pack_a_ns\": {}, \"pack_b_ns\": {}, \"compute_ns\": {}, \"dispatch_ns\": {}, \"sync_ns\": {}, \"pack_pct\": {}, \"compute_pct\": {}, \"sync_pct\": {}}}{}\n",
+                "    \"{}\": {{\"calls\": {}, \"plan_ns\": {}, \"pack_a_ns\": {}, \"pack_b_ns\": {}, \"compute_ns\": {}, \"dispatch_ns\": {}, \"sync_ns\": {}, \"enqueue_wait_ns\": {}, \"coalesce_ns\": {}, \"reply_ns\": {}, \"pack_pct\": {}, \"compute_pct\": {}, \"sync_pct\": {}}}{}\n",
                 sb.site.name(),
                 sb.calls,
                 sb.phase_ns[Phase::PlanLookup.index()],
@@ -908,6 +941,9 @@ impl TelemetryReport {
                 sb.phase_ns[Phase::Compute.index()],
                 sb.phase_ns[Phase::Dispatch.index()],
                 sb.phase_ns[Phase::Sync.index()],
+                sb.phase_ns[Phase::EnqueueWait.index()],
+                sb.phase_ns[Phase::Coalesce.index()],
+                sb.phase_ns[Phase::Reply.index()],
                 json_f64(sb.pack_pct),
                 json_f64(sb.compute_pct),
                 json_f64(sb.sync_pct),
@@ -1054,6 +1090,10 @@ impl TelemetryReport {
             self.pool.inline_drained
         ));
         s.push_str(&format!("smm_pool_park_ns_total {}\n", self.pool.park_ns));
+        s.push_str(&format!(
+            "smm_pool_scoped_calls_total {}\n",
+            self.pool.scoped_calls
+        ));
         s.push_str(&format!("smm_packed_bytes_total {}\n", self.packed_bytes));
         s.push_str(&format!("smm_flops_total {}\n", self.flops));
         s.push_str(&format!(
@@ -1169,6 +1209,7 @@ mod tests {
             worker_tasks: 0,
             inline_drained: 0,
             park_ns: 0,
+            scoped_calls: 0,
         }
     }
 

@@ -51,6 +51,11 @@ pub struct PoolStats {
     pub inline_drained: u64,
     /// Cumulative nanoseconds workers spent parked on the condvar.
     pub park_ns: u64,
+    /// `run_scoped` calls that fanned out through the queue (single
+    /// tasks and zero-worker pools run inline and are not counted) —
+    /// with `worker_tasks`/`inline_drained` this gives the mean fan-out
+    /// per parallel section, the serving layer's dispatch observable.
+    pub scoped_calls: u64,
 }
 
 /// The queue shared between pool handles and workers.
@@ -63,6 +68,7 @@ struct Shared {
     worker_tasks: AtomicU64,
     inline_drained: AtomicU64,
     park_ns: AtomicU64,
+    scoped_calls: AtomicU64,
 }
 
 struct QueueState {
@@ -204,6 +210,7 @@ impl TaskPool {
             worker_tasks: AtomicU64::new(0),
             inline_drained: AtomicU64::new(0),
             park_ns: AtomicU64::new(0),
+            scoped_calls: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -248,6 +255,7 @@ impl TaskPool {
             worker_tasks: s.worker_tasks.load(Ordering::Relaxed),
             inline_drained: s.inline_drained.load(Ordering::Relaxed),
             park_ns: s.park_ns.load(Ordering::Relaxed),
+            scoped_calls: s.scoped_calls.load(Ordering::Relaxed),
         }
     }
 
@@ -317,6 +325,7 @@ impl TaskPool {
             shared
                 .queue_highwater
                 .fetch_max(q.jobs.len() as u64, Ordering::Relaxed);
+            shared.scoped_calls.fetch_add(1, Ordering::Relaxed);
             drop(q);
             shared.work_cv.notify_all();
         }
@@ -489,6 +498,7 @@ mod tests {
         assert_eq!(s.workers, 2);
         // Every job was run by a worker or drained inline — none lost.
         assert_eq!(s.worker_tasks + s.inline_drained, 20 * 6);
+        assert_eq!(s.scoped_calls, 20);
         assert!(s.queue_highwater >= 1 && s.queue_highwater <= 6);
         // Monotonicity: another round only grows the counters.
         pool.run_scoped((0..6).map(|i| move || i).collect::<Vec<_>>());
@@ -508,6 +518,7 @@ mod tests {
         assert_eq!(s.workers, 0);
         assert_eq!(s.worker_tasks, 0);
         assert_eq!(s.queue_highwater, 0);
+        assert_eq!(s.scoped_calls, 0);
     }
 
     #[test]

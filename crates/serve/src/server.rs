@@ -1,0 +1,618 @@
+//! The in-process serving core: bounded admission, the shape-coalescing
+//! dispatcher, deadlines, and graceful drain.
+//!
+//! One dispatcher thread owns the batching decision. It pops the oldest
+//! queued request, pulls every already-queued request with the same
+//! *(shape, alpha, beta)* key, and then holds the group open for a
+//! configurable coalescing window, absorbing same-key arrivals until
+//! the window closes or [`ServeConfig::max_batch`] is reached. The
+//! group executes as **one** [`Smm::gemm_batch`] call — one cached
+//! plan, cross-request parallelism on the runtime's persistent
+//! `TaskPool` — which is exactly the across-GEMM parallelism the
+//! paper's §III-D prescribes for tiny shapes. A group of one skips the
+//! flat-buffer copies and calls [`Smm::gemm`] directly.
+//!
+//! Robustness invariants:
+//!
+//! * **Bounded admission** — [`Client::submit`] never blocks and never
+//!   queues beyond [`ServeConfig::queue_capacity`]; overflow is the
+//!   typed backpressure signal [`Rejected::QueueFull`].
+//! * **Deadlines expire before dispatch** — queued requests whose
+//!   deadline has passed are answered [`Rejected::DeadlineExceeded`]
+//!   and never reach the GEMM; expired work is shed, not computed.
+//! * **Exactly-once replies** — every admitted request's ticket is
+//!   fulfilled exactly once: by execution, by expiry, or by the drain.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops admission,
+//!   wakes the dispatcher, and joins it only after the queue has been
+//!   drained and every outstanding ticket answered.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smm_core::{CallSite, Phase, Smm, StridedBatch};
+use smm_gemm::matrix::{MatMut, MatRef};
+use smm_kernels::Scalar;
+
+use crate::clock;
+use crate::request::{reply_pair, GemmRequest, Rejected, ReplySlot, Ticket};
+
+/// Tuning knobs of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bound on queued (admitted, not yet dispatched) requests;
+    /// submissions beyond it are rejected with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// How long the dispatcher holds a group open for more same-shape
+    /// arrivals. Zero disables coalescing-by-waiting (already-queued
+    /// same-shape requests are still grouped).
+    pub coalesce_window: Duration,
+    /// Maximum requests coalesced into one `gemm_batch` call.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            coalesce_window: Duration::from_micros(100),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Cumulative serving counters, snapshotted by [`Server::stats`] /
+/// [`Client::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a computed result.
+    pub completed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Submissions rejected because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Admitted requests answered `DeadlineExceeded` before dispatch.
+    pub expired: u64,
+    /// Dispatched groups (each is one `gemm` or `gemm_batch` call).
+    pub batches: u64,
+    /// Largest group dispatched so far.
+    pub coalesced_max: u64,
+    /// Requests queued right now.
+    pub queue_depth: usize,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched group — the coalescing factor the
+    /// batcher achieved (1.0 means no cross-request aggregation).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} submitted, {} completed in {} batches (coalescing x{:.2}, max {})",
+            self.submitted,
+            self.completed,
+            self.batches,
+            self.coalescing_factor(),
+            self.coalesced_max
+        )?;
+        write!(
+            f,
+            "       {} expired, {} queue-full, {} shutdown-rejected, {} queued now",
+            self.expired, self.rejected_queue_full, self.rejected_shutdown, self.queue_depth
+        )
+    }
+}
+
+/// One admitted, not-yet-answered request.
+struct Pending<S: Scalar> {
+    req: GemmRequest<S>,
+    /// Absolute deadline, resolved at submission.
+    deadline: Option<Instant>,
+    /// Submission time, for the enqueue-wait span.
+    enqueued: Instant,
+    slot: Arc<ReplySlot<S>>,
+}
+
+impl<S: Scalar> Pending<S> {
+    fn same_group(&self, other: &Pending<S>) -> bool {
+        self.req.m == other.req.m
+            && self.req.n == other.req.n
+            && self.req.k == other.req.k
+            && self.req.alpha == other.req.alpha
+            && self.req.beta == other.req.beta
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+/// State shared between [`Client`] handles and the dispatcher.
+struct ServeShared<S: Scalar> {
+    queue: Mutex<VecDeque<Pending<S>>>,
+    work_cv: Condvar,
+    /// Shutdown latch; relaxed — every decision that must be
+    /// race-free (admit vs. drain-and-exit) re-checks it under the
+    /// `queue` mutex, so the mutex provides the ordering and the
+    /// lock-free read is only a fast-path hint.
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+    /// Serving counters; relaxed monotonic adds/maxes, read only by
+    /// snapshotting reporters — never used for synchronization.
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    coalesced_max: AtomicU64,
+}
+
+impl<S: Scalar> ServeShared<S> {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_max: self.coalesced_max.load(Ordering::Relaxed),
+            queue_depth: self.queue.lock().unwrap().len(),
+        }
+    }
+}
+
+/// A cloneable submission handle into a [`Server`].
+pub struct Client<S: Scalar> {
+    shared: Arc<ServeShared<S>>,
+}
+
+impl<S: Scalar> Clone for Client<S> {
+    fn clone(&self) -> Self {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<S: Scalar> std::fmt::Debug for Client<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl<S: Scalar> Client<S> {
+    /// Submit one request. Never blocks: the result is a [`Ticket`] to
+    /// wait on, or an immediate typed rejection (validation failure,
+    /// full queue, or a shutting-down server).
+    pub fn submit(&self, req: GemmRequest<S>) -> Result<Ticket<S>, Rejected> {
+        req.validate().map_err(Rejected::Invalid)?;
+        let shared = &self.shared;
+        // Fast-path hint only; the authoritative check is under the
+        // queue lock below.
+        if shared.shutdown.load(Ordering::Relaxed) {
+            shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ShuttingDown);
+        }
+        let now = clock::now();
+        let pending = {
+            let (slot, ticket) = reply_pair();
+            (
+                Pending {
+                    deadline: req.deadline.map(|d| now + d),
+                    enqueued: now,
+                    req,
+                    slot,
+                },
+                ticket,
+            )
+        };
+        let mut q = shared.queue.lock().unwrap();
+        // Re-check under the lock: once the dispatcher has observed
+        // shutdown with an empty queue and exited, nothing may enqueue.
+        if shared.shutdown.load(Ordering::Relaxed) {
+            drop(q);
+            shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ShuttingDown);
+        }
+        if q.len() >= shared.cfg.queue_capacity {
+            drop(q);
+            shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::QueueFull {
+                capacity: shared.cfg.queue_capacity,
+            });
+        }
+        q.push_back(pending.0);
+        drop(q);
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.work_cv.notify_one();
+        Ok(pending.1)
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+}
+
+/// Builder for [`Server`] — mirrors the [`Smm::builder`] idiom.
+pub struct ServerBuilder<S: Scalar> {
+    cfg: ServeConfig,
+    smm: Option<Arc<Smm<S>>>,
+    threads: Option<usize>,
+}
+
+impl<S: Scalar> Default for ServerBuilder<S> {
+    fn default() -> Self {
+        ServerBuilder {
+            cfg: ServeConfig::default(),
+            smm: None,
+            threads: None,
+        }
+    }
+}
+
+impl<S: Scalar> ServerBuilder<S> {
+    /// Bound on queued requests (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// The shape-coalescing window.
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.cfg.coalesce_window = window;
+        self
+    }
+
+    /// Maximum requests per dispatched group (clamped to at least 1).
+    pub fn max_batch(mut self, max: usize) -> Self {
+        self.cfg.max_batch = max.max(1);
+        self
+    }
+
+    /// Serve on this existing runtime instead of building one.
+    pub fn smm(mut self, smm: Arc<Smm<S>>) -> Self {
+        self.smm = Some(smm);
+        self
+    }
+
+    /// Worker threads for the internally built runtime (ignored when
+    /// [`ServerBuilder::smm`] is supplied). Defaults to the machine's
+    /// available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Build the server and start its dispatcher thread.
+    pub fn build(self) -> Server<S> {
+        let smm = self.smm.unwrap_or_else(|| {
+            let threads = self
+                .threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+            Arc::new(Smm::builder().threads(threads).build())
+        });
+        let shared = Arc::new(ServeShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg: self.cfg,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_max: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let smm = Arc::clone(&smm);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("smm-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&smm, &shared))
+                .expect("failed to spawn serve dispatcher")
+        };
+        Server {
+            shared,
+            smm,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// An in-process GEMM server: bounded queue + coalescing dispatcher in
+/// front of one [`Smm`] runtime. Construct via [`Server::builder`];
+/// submit through [`Server::client`] handles; stop with
+/// [`Server::shutdown`] (also run on drop), which drains the queue and
+/// answers every outstanding request before returning.
+pub struct Server<S: Scalar> {
+    shared: Arc<ServeShared<S>>,
+    smm: Arc<Smm<S>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<S: Scalar> std::fmt::Debug for Server<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Scalar> Server<S> {
+    /// Start building a server.
+    pub fn builder() -> ServerBuilder<S> {
+        ServerBuilder::default()
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client<S> {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The runtime this server executes on (its
+    /// [`stats_report`](Smm::stats_report) carries the serve-side phase
+    /// spans under the `serve` call site).
+    pub fn smm(&self) -> &Arc<Smm<S>> {
+        &self.smm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue (every
+    /// outstanding request is executed and answered), join the
+    /// dispatcher, and return the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.shared.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.work_cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S: Scalar> Drop for Server<S> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Move every queue entry matching `head`'s group key into `group`
+/// (up to `max_batch` total), recording each mover's enqueue-wait.
+fn extract_matching<S: Scalar>(
+    q: &mut VecDeque<Pending<S>>,
+    group: &mut Vec<Pending<S>>,
+    max_batch: usize,
+) {
+    let mut i = 0;
+    while i < q.len() && group.len() < max_batch {
+        if group[0].same_group(&q[i]) {
+            // `remove` preserves FIFO order of the rest of the queue.
+            group.push(q.remove(i).expect("index checked"));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Answer every queued request whose deadline already passed.
+fn expire_queued<S: Scalar>(q: &mut VecDeque<Pending<S>>, shared: &ServeShared<S>, now: Instant) {
+    let mut i = 0;
+    while i < q.len() {
+        if q[i].expired(now) {
+            let p = q.remove(i).expect("index checked");
+            p.slot.fulfill(Err(Rejected::DeadlineExceeded));
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn dispatcher_loop<S: Scalar>(smm: &Smm<S>, shared: &ServeShared<S>) {
+    let cfg = shared.cfg.clone();
+    loop {
+        // Phase 1: wait for a head request (or drain-and-exit).
+        let mut q = shared.queue.lock().unwrap();
+        let head = loop {
+            let any_deadline = q.iter().any(|p| p.deadline.is_some());
+            if any_deadline {
+                expire_queued(&mut q, shared, clock::now());
+            }
+            if let Some(p) = q.pop_front() {
+                break p;
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            q = shared.work_cv.wait(q).unwrap();
+        };
+
+        // Phase 2: coalesce. Grab everything already queued with the
+        // same key, then hold the group open for the window.
+        let popped_at = clock::now();
+        let mut group = vec![head];
+        extract_matching(&mut q, &mut group, cfg.max_batch);
+        if group.len() < cfg.max_batch && !cfg.coalesce_window.is_zero() {
+            let window_ends = popped_at + cfg.coalesce_window;
+            loop {
+                // Drain fast once shutdown is requested — the window
+                // only trades latency for batching, and at drain time
+                // latency is all that is left to optimize.
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let now = clock::now();
+                if now >= window_ends || group.len() >= cfg.max_batch {
+                    break;
+                }
+                let (guard, _timeout) = shared.work_cv.wait_timeout(q, window_ends - now).unwrap();
+                q = guard;
+                extract_matching(&mut q, &mut group, cfg.max_batch);
+            }
+        }
+        drop(q);
+
+        // Phase 3: expire-before-dispatch, then execute and reply.
+        process_group(smm, shared, group, popped_at);
+    }
+}
+
+/// Execute one coalesced group and answer every member.
+fn process_group<S: Scalar>(
+    smm: &Smm<S>,
+    shared: &ServeShared<S>,
+    group: Vec<Pending<S>>,
+    popped_at: Instant,
+) {
+    let rec = smm.telemetry().recorder(CallSite::Serve);
+    let dispatch_start = clock::now();
+
+    let mut live: Vec<Pending<S>> = Vec::with_capacity(group.len());
+    for p in group {
+        if p.expired(dispatch_start) {
+            p.slot.fulfill(Err(Rejected::DeadlineExceeded));
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    if rec.active() {
+        for p in &live {
+            let waited = dispatch_start.saturating_duration_since(p.enqueued);
+            rec.span_ns(Phase::EnqueueWait, waited.as_nanos() as u64);
+        }
+        let held = dispatch_start.saturating_duration_since(popped_at);
+        rec.span_ns(Phase::Coalesce, held.as_nanos() as u64);
+    }
+
+    let (m, n, k) = (live[0].req.m, live[0].req.n, live[0].req.k);
+    let (alpha, beta) = (live[0].req.alpha, live[0].req.beta);
+    let outcome = execute_group(smm, &mut live, m, n, k, alpha, beta);
+    let replied_at = if rec.active() {
+        let done = clock::now();
+        rec.span_ns(
+            Phase::Dispatch,
+            done.saturating_duration_since(dispatch_start).as_nanos() as u64,
+        );
+        Some(done)
+    } else {
+        None
+    };
+
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .coalesced_max
+        .fetch_max(live.len() as u64, Ordering::Relaxed);
+    let count = live.len() as u64;
+    for mut p in live {
+        let c = std::mem::take(&mut p.req.c);
+        match &outcome {
+            Ok(()) => {
+                p.slot.fulfill(Ok(c));
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => p.slot.fulfill(Err(e.clone())),
+        }
+    }
+    if let Some(replied_at) = replied_at {
+        let end = clock::now();
+        rec.span_ns(
+            Phase::Reply,
+            end.saturating_duration_since(replied_at).as_nanos() as u64,
+        );
+        if outcome.is_ok() {
+            // Per-shape accounting: dispatch start → replies done, i.e.
+            // the service-side cost excluding the deliberate window.
+            smm.telemetry().record_call(
+                CallSite::Serve,
+                m,
+                n,
+                k,
+                S::BYTES,
+                count,
+                end.saturating_duration_since(dispatch_start).as_nanos() as u64,
+            );
+        }
+    }
+}
+
+/// Run the group's GEMMs: directly for a group of one, as one strided
+/// batch otherwise. Results land in each member's `req.c`.
+fn execute_group<S: Scalar>(
+    smm: &Smm<S>,
+    live: &mut [Pending<S>],
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    beta: S,
+) -> Result<(), Rejected> {
+    if live.len() == 1 {
+        let p = &mut live[0];
+        if m == 0 || n == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            MatMut::from_slice(&mut p.req.c, m, n, m).scale(beta);
+            return Ok(());
+        }
+        let a = MatRef::from_slice(&p.req.a, m, k, m);
+        let b = MatRef::from_slice(&p.req.b, k, n, k);
+        let c = MatMut::from_slice(&mut p.req.c, m, n, m);
+        smm.gemm(alpha, a, b, beta, c);
+        return Ok(());
+    }
+    // Coalesced path: gather the dense prefixes into flat strided
+    // buffers so the whole group is one plan + one pool dispatch.
+    let desc = StridedBatch::dense(m, n, k, live.len());
+    let (ea, eb, ec) = (m * k, k * n, m * n);
+    let mut fa = Vec::with_capacity(live.len() * ea);
+    let mut fb = Vec::with_capacity(live.len() * eb);
+    let mut fc = Vec::with_capacity(live.len() * ec);
+    for p in live.iter() {
+        fa.extend_from_slice(&p.req.a[..ea]);
+        fb.extend_from_slice(&p.req.b[..eb]);
+        fc.extend_from_slice(&p.req.c[..ec]);
+    }
+    smm.gemm_batch(&desc, alpha, &fa, &fb, beta, &mut fc)
+        .map_err(Rejected::Invalid)?;
+    for (i, p) in live.iter_mut().enumerate() {
+        p.req.c[..ec].copy_from_slice(&fc[i * desc.stride_c..][..ec]);
+    }
+    Ok(())
+}

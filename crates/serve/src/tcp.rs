@@ -1,0 +1,250 @@
+//! `std::net` TCP front end over the in-process [`Server`].
+//!
+//! One acceptor thread hands each connection to its own handler
+//! thread. Handlers speak the [`wire`](crate::wire) protocol: decode a
+//! frame, submit through the shared [`Client`], block on the ticket,
+//! write the reply. Malformed frames get a typed protocol-error reply
+//! and the connection stays up; an oversized length prefix or a
+//! mid-frame truncation desynchronizes the stream, so the handler
+//! replies once and closes.
+//!
+//! Shutdown never relies on read timeouts: [`TcpServer::shutdown`]
+//! raises the stop flag, wakes the acceptor with a self-connection,
+//! and calls [`TcpStream::shutdown`] on every live connection's kept
+//! clone to unblock handler reads, then joins everything before
+//! draining the inner [`Server`].
+
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::request::{GemmRequest, Rejected};
+use crate::server::{Client, ServeStats, Server};
+use crate::wire::{self, FrameRead, WireMsg, ERR_PROTOCOL};
+
+struct TcpShared {
+    /// Stop flag for the acceptor and handlers; relaxed — it is only a
+    /// one-way latch polled between blocking operations, and the join
+    /// in `shutdown` provides the final synchronization.
+    stop: AtomicBool,
+    client: Client<f32>,
+    /// Kept clones of live connection streams so shutdown can unblock
+    /// handler reads; handlers remove their own entry on exit.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// A TCP server speaking the [`wire`](crate::wire) protocol in front of
+/// an in-process [`Server<f32>`]. Stop with [`TcpServer::shutdown`]
+/// (also run on drop), which closes connections, joins handler
+/// threads, and gracefully drains the inner server.
+pub struct TcpServer {
+    shared: Arc<TcpShared>,
+    server: Option<Server<f32>>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port — see
+    /// [`TcpServer::local_addr`]) and start serving `server` over it.
+    pub fn bind(server: Server<f32>, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(TcpShared {
+            stop: AtomicBool::new(false),
+            client: server.client(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("smm-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .expect("failed to spawn serve acceptor")
+        };
+        Ok(TcpServer {
+            shared,
+            server: Some(server),
+            addr,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serving counters of the inner server.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.client.stats()
+    }
+
+    /// Stop accepting, close live connections, join every handler, and
+    /// gracefully drain the inner server. Returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        let server = self.server.take().expect("shutdown runs once");
+        server.shutdown()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock handler reads; handlers then observe `stop` and exit.
+        for (_, stream) in self.shared.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+        // The inner Server's own Drop performs the graceful drain if
+        // `shutdown` was not called explicitly.
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<TcpShared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Request/reply with small frames: Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        let id = next_id;
+        next_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().push((id, clone));
+        }
+        let shared_conn = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("smm-serve-conn-{id}"))
+            .spawn(move || {
+                handle_connection(stream, &shared_conn);
+                shared_conn.conns.lock().unwrap().retain(|(i, _)| *i != id);
+            });
+        if let Ok(handle) = spawned {
+            handlers.lock().unwrap().push(handle);
+        }
+    }
+}
+
+/// Serve one connection until EOF, a desynchronizing frame, or stop.
+fn handle_connection(mut stream: TcpStream, shared: &TcpShared) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::TooLarge(len)) => {
+                // The stream is out of sync; answer once and close.
+                let err = wire::encode_reply_err(
+                    ERR_PROTOCOL,
+                    0,
+                    &format!("frame of {len} bytes exceeds cap of {}", wire::MAX_PAYLOAD),
+                );
+                let _ = wire::write_frame(&mut stream, &err);
+                let _ = stream.flush();
+                return;
+            }
+        };
+        let reply = match wire::decode_payload(&frame) {
+            Ok(WireMsg::Request(req)) => answer_request(shared, req),
+            Ok(_) => wire::encode_reply_err(ERR_PROTOCOL, 0, "reply opcode sent to server"),
+            // Framing is intact (length prefix was honoured), so a
+            // garbage payload only poisons this one message.
+            Err(msg) => wire::encode_reply_err(ERR_PROTOCOL, 0, &msg),
+        };
+        if wire::write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn answer_request(shared: &TcpShared, req: GemmRequest<f32>) -> Vec<u8> {
+    let (m, n) = (req.m, req.n);
+    match shared.client.submit(req).and_then(|t| t.wait()) {
+        Ok(c) => wire::encode_reply_ok(m, n, &c),
+        Err(rej) => {
+            let (code, detail) = wire::rejection_code(&rej);
+            wire::encode_reply_err(code, detail, &rej.to_string())
+        }
+    }
+}
+
+/// A blocking single-connection client for the wire protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a [`TcpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply with small frames: Nagle only adds latency.
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream })
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> TcpClient {
+        TcpClient { stream }
+    }
+
+    /// Submit one request and block for its reply. Transport and
+    /// framing failures map to [`Rejected::Protocol`]; server-side
+    /// rejections come back as their original [`Rejected`] variants.
+    pub fn call(&mut self, req: &GemmRequest<f32>) -> Result<Vec<f32>, Rejected> {
+        let io_err = |e: std::io::Error| Rejected::Protocol(format!("transport: {e}"));
+        wire::write_frame(&mut self.stream, &wire::encode_request(req)).map_err(io_err)?;
+        let payload = match wire::read_frame(&mut self.stream).map_err(io_err)? {
+            FrameRead::Frame(p) => p,
+            FrameRead::Eof => {
+                return Err(Rejected::Protocol("connection closed before reply".into()))
+            }
+            FrameRead::TooLarge(len) => {
+                return Err(Rejected::Protocol(format!("oversized reply frame ({len})")))
+            }
+        };
+        match wire::decode_payload(&payload).map_err(Rejected::Protocol)? {
+            WireMsg::ReplyOk { c, .. } => Ok(c),
+            WireMsg::ReplyErr { code, detail, msg } => {
+                Err(wire::rejection_from_wire(code, detail, &msg))
+            }
+            WireMsg::Request(_) => Err(Rejected::Protocol("request opcode in reply".into())),
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! The length-prefixed binary wire protocol of the TCP front end.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many payload bytes. The payload starts with a
+//! one-byte opcode:
+//!
+//! ```text
+//! OP_REQUEST (1), client -> server:
+//!   u8 opcode | u32 m | u32 n | u32 k | f32 alpha | f32 beta
+//!   | u64 deadline_us (0 = none)
+//!   | f32 a[m*k] | f32 b[k*n] | f32 c[m*n]          (little-endian)
+//!
+//! OP_REPLY_OK (2), server -> client:
+//!   u8 opcode | u32 m | u32 n | f32 c[m*n]
+//!
+//! OP_REPLY_ERR (3), server -> client:
+//!   u8 opcode | u8 code | u32 detail | u32 msg_len | utf8 msg
+//! ```
+//!
+//! The decoder is **total**: any byte sequence — truncated, oversized,
+//! garbage opcode, inconsistent lengths — maps to a typed error, never
+//! a panic. Dimensions are capped at [`MAX_DIM`] and payloads at
+//! [`MAX_PAYLOAD`] so a hostile length prefix cannot force a huge
+//! allocation. The wire format is `f32`-only; the in-process API stays
+//! generic over [`Scalar`](smm_kernels::Scalar).
+
+use std::io::{Read, Write};
+
+use crate::request::{GemmRequest, Rejected};
+
+/// Hard cap on one frame's payload length (16 MiB).
+pub const MAX_PAYLOAD: usize = 1 << 24;
+/// Hard cap on each of `m`, `n`, `k`.
+pub const MAX_DIM: u32 = 4096;
+
+/// Opcode of a client request frame.
+pub const OP_REQUEST: u8 = 1;
+/// Opcode of a successful reply frame.
+pub const OP_REPLY_OK: u8 = 2;
+/// Opcode of an error reply frame.
+pub const OP_REPLY_ERR: u8 = 3;
+
+/// Error code: admission queue full ([`Rejected::QueueFull`]); the
+/// `detail` field carries the queue capacity.
+pub const ERR_QUEUE_FULL: u8 = 1;
+/// Error code: deadline passed before dispatch.
+pub const ERR_DEADLINE: u8 = 2;
+/// Error code: server shutting down.
+pub const ERR_SHUTDOWN: u8 = 3;
+/// Error code: request failed validation.
+pub const ERR_INVALID: u8 = 4;
+/// Error code: malformed or oversized frame.
+pub const ERR_PROTOCOL: u8 = 5;
+
+/// A decoded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// A client GEMM request.
+    Request(GemmRequest<f32>),
+    /// A successful reply carrying the `m × n` result.
+    ReplyOk {
+        /// Rows of the result.
+        m: u32,
+        /// Columns of the result.
+        n: u32,
+        /// Column-major result values (`m * n` of them).
+        c: Vec<f32>,
+    },
+    /// An error reply.
+    ReplyErr {
+        /// One of the `ERR_*` codes.
+        code: u8,
+        /// Code-specific detail (queue capacity for
+        /// [`ERR_QUEUE_FULL`], zero otherwise).
+        detail: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+/// A little-endian cursor over a payload; every read is checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                format!(
+                    "payload truncated: need {} more bytes at offset {}, have {}",
+                    len,
+                    self.pos,
+                    self.buf.len() - self.pos
+                )
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, count: usize) -> Result<Vec<f32>, String> {
+        let bytes = self.take(
+            count
+                .checked_mul(4)
+                .ok_or_else(|| "element count overflow".to_string())?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|ch| f32::from_le_bytes(ch.try_into().unwrap()))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Decode one frame payload. Total: every input maps to `Ok` or a
+/// descriptive `Err`, never a panic or an unbounded allocation.
+pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, String> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(format!(
+            "payload of {} bytes exceeds cap of {}",
+            payload.len(),
+            MAX_PAYLOAD
+        ));
+    }
+    let mut cur = Cursor::new(payload);
+    match cur.u8()? {
+        OP_REQUEST => {
+            let m = cur.u32()?;
+            let n = cur.u32()?;
+            let k = cur.u32()?;
+            for (name, v) in [("m", m), ("n", n), ("k", k)] {
+                if v > MAX_DIM {
+                    return Err(format!("dimension {name}={v} exceeds cap of {MAX_DIM}"));
+                }
+            }
+            let alpha = cur.f32()?;
+            let beta = cur.f32()?;
+            let deadline_us = cur.u64()?;
+            let (m, n, k) = (m as usize, n as usize, k as usize);
+            let a = cur.f32s(m * k)?;
+            let b = cur.f32s(k * n)?;
+            let c = cur.f32s(m * n)?;
+            cur.finish()?;
+            let mut req = GemmRequest {
+                m,
+                n,
+                k,
+                alpha,
+                beta,
+                a,
+                b,
+                c,
+                deadline: None,
+            };
+            if deadline_us > 0 {
+                req.deadline = Some(std::time::Duration::from_micros(deadline_us));
+            }
+            Ok(WireMsg::Request(req))
+        }
+        OP_REPLY_OK => {
+            let m = cur.u32()?;
+            let n = cur.u32()?;
+            if m > MAX_DIM || n > MAX_DIM {
+                return Err(format!("reply dims {m}x{n} exceed cap of {MAX_DIM}"));
+            }
+            let c = cur.f32s(m as usize * n as usize)?;
+            cur.finish()?;
+            Ok(WireMsg::ReplyOk { m, n, c })
+        }
+        OP_REPLY_ERR => {
+            let code = cur.u8()?;
+            let detail = cur.u32()?;
+            let msg_len = cur.u32()? as usize;
+            if msg_len > MAX_PAYLOAD {
+                return Err(format!(
+                    "error message length {msg_len} exceeds payload cap"
+                ));
+            }
+            let msg = String::from_utf8_lossy(cur.take(msg_len)?).into_owned();
+            cur.finish()?;
+            Ok(WireMsg::ReplyErr { code, detail, msg })
+        }
+        op => Err(format!("unknown opcode {op}")),
+    }
+}
+
+/// Encode a request payload (no length prefix).
+pub fn encode_request(req: &GemmRequest<f32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(29 + 4 * (req.a.len() + req.b.len() + req.c.len()));
+    out.push(OP_REQUEST);
+    out.extend_from_slice(&(req.m as u32).to_le_bytes());
+    out.extend_from_slice(&(req.n as u32).to_le_bytes());
+    out.extend_from_slice(&(req.k as u32).to_le_bytes());
+    out.extend_from_slice(&req.alpha.to_le_bytes());
+    out.extend_from_slice(&req.beta.to_le_bytes());
+    let deadline_us = req.deadline.map_or(0u64, |d| (d.as_micros() as u64).max(1));
+    out.extend_from_slice(&deadline_us.to_le_bytes());
+    for (buf, len) in [
+        (&req.a, req.m * req.k),
+        (&req.b, req.k * req.n),
+        (&req.c, req.m * req.n),
+    ] {
+        for v in &buf[..len] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encode a successful reply payload.
+pub fn encode_reply_ok(m: usize, n: usize, c: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + 4 * m * n);
+    out.push(OP_REPLY_OK);
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    for v in &c[..m * n] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode an error reply payload.
+pub fn encode_reply_err(code: u8, detail: u32, msg: &str) -> Vec<u8> {
+    let msg = msg.as_bytes();
+    let mut out = Vec::with_capacity(10 + msg.len());
+    out.push(OP_REPLY_ERR);
+    out.push(code);
+    out.extend_from_slice(&detail.to_le_bytes());
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Map a [`Rejected`] to its wire `(code, detail)` pair.
+pub fn rejection_code(r: &Rejected) -> (u8, u32) {
+    match r {
+        Rejected::QueueFull { capacity } => (ERR_QUEUE_FULL, *capacity as u32),
+        Rejected::DeadlineExceeded => (ERR_DEADLINE, 0),
+        Rejected::ShuttingDown => (ERR_SHUTDOWN, 0),
+        Rejected::Invalid(_) => (ERR_INVALID, 0),
+        Rejected::Protocol(_) => (ERR_PROTOCOL, 0),
+    }
+}
+
+/// Reconstruct a [`Rejected`] from a wire error reply.
+pub fn rejection_from_wire(code: u8, detail: u32, msg: &str) -> Rejected {
+    match code {
+        ERR_QUEUE_FULL => Rejected::QueueFull {
+            capacity: detail as usize,
+        },
+        ERR_DEADLINE => Rejected::DeadlineExceeded,
+        ERR_SHUTDOWN => Rejected::ShuttingDown,
+        _ => Rejected::Protocol(msg.to_string()),
+    }
+}
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end of stream before a length prefix.
+    Eof,
+    /// The advertised length exceeded [`MAX_PAYLOAD`]; nothing was
+    /// allocated and the stream is no longer in sync.
+    TooLarge(u32),
+}
+
+/// Read one length-prefixed frame. A clean disconnect before the
+/// length prefix is [`FrameRead::Eof`]; a mid-frame disconnect is an
+/// `Err`; an oversized advertised length is [`FrameRead::TooLarge`]
+/// *without* allocating the advertised amount.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(FrameRead::Eof),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid length prefix",
+                ))
+            }
+            r => got += r,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_PAYLOAD {
+        return Ok(FrameRead::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Write one length-prefixed frame. Prefix and payload go out in a
+/// single `write_all` so a frame never straddles two small TCP
+/// segments (two writes + Nagle + delayed ACK can stall a
+/// request/reply exchange by tens of milliseconds).
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = GemmRequest::new(2, 3, 4, vec![1.5; 8], vec![-2.0; 12]);
+        req.alpha = 0.5;
+        req.beta = 2.0;
+        req.c = vec![9.0; 6];
+        req.deadline = Some(std::time::Duration::from_micros(750));
+        let payload = encode_request(&req);
+        match decode_payload(&payload).unwrap() {
+            WireMsg::Request(got) => {
+                assert_eq!((got.m, got.n, got.k), (2, 3, 4));
+                assert_eq!(got.alpha, 0.5);
+                assert_eq!(got.beta, 2.0);
+                assert_eq!(got.a, req.a);
+                assert_eq!(got.b, req.b);
+                assert_eq!(got.c, req.c);
+                assert_eq!(got.deadline, req.deadline);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let ok = encode_reply_ok(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            decode_payload(&ok).unwrap(),
+            WireMsg::ReplyOk {
+                m: 2,
+                n: 2,
+                c: vec![1.0, 2.0, 3.0, 4.0]
+            }
+        );
+        let err = encode_reply_err(ERR_QUEUE_FULL, 256, "admission queue full (capacity 256)");
+        match decode_payload(&err).unwrap() {
+            WireMsg::ReplyErr { code, detail, msg } => {
+                assert_eq!(code, ERR_QUEUE_FULL);
+                assert_eq!(detail, 256);
+                assert_eq!(
+                    rejection_from_wire(code, detail, &msg),
+                    Rejected::QueueFull { capacity: 256 }
+                );
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let req = GemmRequest::new(3, 3, 3, vec![0.0; 9], vec![0.0; 9]);
+        let payload = encode_request(&req);
+        for cut in 0..payload.len() {
+            assert!(
+                decode_payload(&payload[..cut]).is_err(),
+                "truncated at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_without_allocation() {
+        // Dimension above the cap.
+        let mut p = vec![OP_REQUEST];
+        p.extend_from_slice(&(MAX_DIM + 1).to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&1u32.to_le_bytes());
+        assert!(decode_payload(&p).unwrap_err().contains("exceeds cap"));
+        // Error-message length far past the buffer.
+        let mut p = vec![OP_REPLY_ERR, ERR_PROTOCOL];
+        p.extend_from_slice(&0u32.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_payload(&p).is_err());
+        // Unknown opcode and empty payload.
+        assert!(decode_payload(&[99]).unwrap_err().contains("opcode"));
+        assert!(decode_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut ok = encode_reply_ok(1, 1, &[7.0]);
+        ok.push(0);
+        assert!(decode_payload(&ok).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn frame_reader_handles_eof_and_oversize() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty).unwrap(), FrameRead::Eof));
+        let huge = ((MAX_PAYLOAD + 1) as u32).to_le_bytes();
+        let mut s: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut s).unwrap(),
+            FrameRead::TooLarge(_)
+        ));
+        let mut partial: &[u8] = &[1, 2];
+        assert!(read_frame(&mut partial).is_err());
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &[5, 6, 7]).unwrap();
+        let mut s: &[u8] = &framed;
+        match read_frame(&mut s).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, vec![5, 6, 7]),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Serving quickstart: start an in-process GEMM server, hammer it with
+//! mixed shapes from several client threads, and print what the
+//! shape-coalescing batcher did about it.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smm_core::Smm;
+use smm_serve::{GemmRequest, Server};
+
+fn main() {
+    // A telemetry-enabled runtime so the serve-side phase spans
+    // (enqueue-wait / coalesce / dispatch / reply) show up in the
+    // report at the end.
+    let smm = Arc::new(Smm::<f32>::builder().threads(4).telemetry(true).build());
+    let server = Server::<f32>::builder()
+        .smm(Arc::clone(&smm))
+        .queue_capacity(256)
+        .coalesce_window(Duration::from_micros(200))
+        .max_batch(32)
+        .build();
+    let client = server.client();
+
+    // Six client threads, three shapes: the paper's small-GEMM regime,
+    // where batching across requests is the only parallelism that pays.
+    let shapes = [(8, 8, 8), (16, 16, 16), (4, 32, 4)];
+    std::thread::scope(|s| {
+        for t in 0..6usize {
+            let client = client.clone();
+            s.spawn(move || {
+                for i in 0..200usize {
+                    let (m, n, k) = shapes[(t + i) % shapes.len()];
+                    let req = GemmRequest::new(m, n, k, vec![1.0; m * k], vec![1.0; k * n])
+                        .with_deadline(Duration::from_millis(250));
+                    match client.submit(req) {
+                        Ok(ticket) => match ticket.wait() {
+                            Ok(c) => assert_eq!(c[0], k as f32),
+                            Err(rej) => println!("request rejected late: {rej}"),
+                        },
+                        Err(rej) => println!("request rejected at submit: {rej}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    println!("{stats}");
+    println!();
+    println!("{}", smm.stats_report());
+}
