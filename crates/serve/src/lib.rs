@@ -55,4 +55,4 @@ pub mod wire;
 
 pub use request::{GemmRequest, Rejected, Ticket};
 pub use server::{Client, ServeConfig, ServeStats, Server, ServerBuilder};
-pub use tcp::{TcpClient, TcpServer};
+pub use tcp::{TcpClient, TcpServer, DEFAULT_MAX_CONNECTIONS};

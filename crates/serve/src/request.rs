@@ -94,6 +94,13 @@ pub enum Rejected {
     /// (everything admitted before shutdown is still drained and
     /// answered).
     ShuttingDown,
+    /// The TCP front end refused the connection because its concurrent
+    /// connection limit was reached — per-connection backpressure;
+    /// retry on a fresh connection once existing ones close.
+    Busy {
+        /// The connection limit that was exhausted.
+        max_connections: usize,
+    },
     /// The request failed validation.
     Invalid(SmmError),
     /// A wire/transport-level failure (malformed frame, oversized
@@ -109,6 +116,9 @@ impl fmt::Display for Rejected {
             }
             Rejected::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
+            Rejected::Busy { max_connections } => {
+                write!(f, "connection limit reached (max {max_connections})")
+            }
             Rejected::Invalid(e) => write!(f, "invalid request: {e}"),
             Rejected::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }

@@ -146,8 +146,10 @@ struct ServeShared<S: Scalar> {
     work_cv: Condvar,
     /// Shutdown latch; relaxed — every decision that must be
     /// race-free (admit vs. drain-and-exit) re-checks it under the
-    /// `queue` mutex, so the mutex provides the ordering and the
-    /// lock-free read is only a fast-path hint.
+    /// `queue` mutex, and the raising side stores + notifies while
+    /// holding that same mutex (`shutdown_inner`), so the mutex
+    /// provides the ordering and the lock-free read is only a
+    /// fast-path hint.
     shutdown: AtomicBool,
     cfg: ServeConfig,
     /// Serving counters; relaxed monotonic adds/maxes, read only by
@@ -394,8 +396,16 @@ impl<S: Scalar> Server<S> {
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.work_cv.notify_all();
+        {
+            // Store + notify under the queue mutex so they serialize
+            // with the dispatcher's check-then-wait: lock-free, they
+            // could land between its shutdown check and `wait`, losing
+            // the wakeup — the untimed wait would then block forever
+            // and the join below would hang.
+            let _q = self.shared.queue.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+            self.shared.work_cv.notify_all();
+        }
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }

@@ -1,12 +1,18 @@
 //! `std::net` TCP front end over the in-process [`Server`].
 //!
 //! One acceptor thread hands each connection to its own handler
-//! thread. Handlers speak the [`wire`](crate::wire) protocol: decode a
-//! frame, submit through the shared [`Client`], block on the ticket,
-//! write the reply. Malformed frames get a typed protocol-error reply
-//! and the connection stays up; an oversized length prefix or a
-//! mid-frame truncation desynchronizes the stream, so the handler
-//! replies once and closes.
+//! thread, up to a configurable concurrent-connection cap
+//! ([`DEFAULT_MAX_CONNECTIONS`] unless overridden via
+//! [`TcpServer::bind_with_max_conns`]); over-cap connections are
+//! refused with a typed [`ERR_BUSY`](crate::wire::ERR_BUSY) reply
+//! frame rather than queued, and finished handler threads are reaped
+//! on every accept, so neither threads nor join handles accumulate
+//! with connection churn. Handlers speak the [`wire`](crate::wire)
+//! protocol: decode a frame, submit through the shared [`Client`],
+//! block on the ticket, write the reply. Malformed frames get a typed
+//! protocol-error reply and the connection stays up; an oversized
+//! length prefix or a mid-frame truncation desynchronizes the stream,
+//! so the handler replies once and closes.
 //!
 //! Shutdown never relies on read timeouts: [`TcpServer::shutdown`]
 //! raises the stop flag, wakes the acceptor with a self-connection,
@@ -24,6 +30,10 @@ use crate::request::{GemmRequest, Rejected};
 use crate::server::{Client, ServeStats, Server};
 use crate::wire::{self, FrameRead, WireMsg, ERR_PROTOCOL};
 
+/// Default cap on concurrent TCP connections — see
+/// [`TcpServer::bind_with_max_conns`] to tune it.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
 struct TcpShared {
     /// Stop flag for the acceptor and handlers; relaxed — it is only a
     /// one-way latch polled between blocking operations, and the join
@@ -31,8 +41,14 @@ struct TcpShared {
     stop: AtomicBool,
     client: Client<f32>,
     /// Kept clones of live connection streams so shutdown can unblock
-    /// handler reads; handlers remove their own entry on exit.
+    /// handler reads; handlers remove their own entry on exit. One
+    /// entry per live handler — the acceptor refuses connections it
+    /// cannot register here — so its length is the live-connection
+    /// count the `max_connections` cap is enforced against.
     conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Concurrent-connection cap; accepts beyond it are answered with
+    /// a typed busy reply and closed.
+    max_connections: usize,
 }
 
 /// A TCP server speaking the [`wire`](crate::wire) protocol in front of
@@ -57,14 +73,30 @@ impl std::fmt::Debug for TcpServer {
 
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port — see
-    /// [`TcpServer::local_addr`]) and start serving `server` over it.
+    /// [`TcpServer::local_addr`]) and start serving `server` over it,
+    /// with the [`DEFAULT_MAX_CONNECTIONS`] concurrent-connection cap.
     pub fn bind(server: Server<f32>, addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        TcpServer::bind_with_max_conns(server, addr, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// [`TcpServer::bind`] with an explicit concurrent-connection cap
+    /// (clamped to at least 1). Connections accepted while the cap is
+    /// reached get one [`ERR_BUSY`](crate::wire::ERR_BUSY) reply frame
+    /// — carrying the cap in its detail field — and are closed, so a
+    /// flood of connections cannot grow threads or memory without
+    /// bound.
+    pub fn bind_with_max_conns(
+        server: Server<f32>,
+        addr: impl ToSocketAddrs,
+        max_connections: usize,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(TcpShared {
             stop: AtomicBool::new(false),
             client: server.client(),
             conns: Mutex::new(Vec::new()),
+            max_connections: max_connections.max(1),
         });
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -138,14 +170,31 @@ fn accept_loop(
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
         // Request/reply with small frames: Nagle only adds latency.
         let _ = stream.set_nodelay(true);
+        // Reap exited handlers so the vec tracks live connections, not
+        // the server's whole accept history.
+        handlers.lock().unwrap().retain(|h| !h.is_finished());
+        if shared.conns.lock().unwrap().len() >= shared.max_connections {
+            let busy = wire::encode_reply_err(
+                wire::ERR_BUSY,
+                shared.max_connections as u32,
+                &format!("connection limit reached (max {})", shared.max_connections),
+            );
+            let _ = wire::write_frame(&mut stream, &busy);
+            let _ = stream.flush();
+            continue;
+        }
+        // Without a registered clone, shutdown could not unblock this
+        // handler's blocking read — refuse the connection rather than
+        // spawn a handler that might never join.
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
         let id = next_id;
         next_id += 1;
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().push((id, clone));
-        }
+        shared.conns.lock().unwrap().push((id, clone));
         let shared_conn = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
             .name(format!("smm-serve-conn-{id}"))
@@ -153,8 +202,11 @@ fn accept_loop(
                 handle_connection(stream, &shared_conn);
                 shared_conn.conns.lock().unwrap().retain(|(i, _)| *i != id);
             });
-        if let Ok(handle) = spawned {
-            handlers.lock().unwrap().push(handle);
+        match spawned {
+            Ok(handle) => handlers.lock().unwrap().push(handle),
+            // Spawn failed after registering: deregister so `conns`
+            // keeps counting exactly the live handlers.
+            Err(_) => shared.conns.lock().unwrap().retain(|(i, _)| *i != id),
         }
     }
 }
@@ -226,7 +278,12 @@ impl TcpClient {
 
     /// Submit one request and block for its reply. Transport and
     /// framing failures map to [`Rejected::Protocol`]; server-side
+    /// backpressure, deadline, shutdown, and connection-limit
     /// rejections come back as their original [`Rejected`] variants.
+    /// A server-side validation failure ([`Rejected::Invalid`]) cannot
+    /// carry its structured [`SmmError`](smm_core::SmmError) across
+    /// the wire and arrives as [`Rejected::Protocol`] with the
+    /// server's `invalid request: ...` message.
     pub fn call(&mut self, req: &GemmRequest<f32>) -> Result<Vec<f32>, Rejected> {
         let io_err = |e: std::io::Error| Rejected::Protocol(format!("transport: {e}"));
         wire::write_frame(&mut self.stream, &wire::encode_request(req)).map_err(io_err)?;

@@ -51,6 +51,9 @@ pub const ERR_SHUTDOWN: u8 = 3;
 pub const ERR_INVALID: u8 = 4;
 /// Error code: malformed or oversized frame.
 pub const ERR_PROTOCOL: u8 = 5;
+/// Error code: the server's concurrent connection limit was reached
+/// ([`Rejected::Busy`]); the `detail` field carries the limit.
+pub const ERR_BUSY: u8 = 6;
 
 /// A decoded payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -272,12 +275,19 @@ pub fn rejection_code(r: &Rejected) -> (u8, u32) {
         Rejected::QueueFull { capacity } => (ERR_QUEUE_FULL, *capacity as u32),
         Rejected::DeadlineExceeded => (ERR_DEADLINE, 0),
         Rejected::ShuttingDown => (ERR_SHUTDOWN, 0),
+        Rejected::Busy { max_connections } => (ERR_BUSY, *max_connections as u32),
         Rejected::Invalid(_) => (ERR_INVALID, 0),
         Rejected::Protocol(_) => (ERR_PROTOCOL, 0),
     }
 }
 
 /// Reconstruct a [`Rejected`] from a wire error reply.
+///
+/// Backpressure, deadline, shutdown, and connection-limit rejections
+/// round-trip to their original variants. [`Rejected::Invalid`] cannot:
+/// its structured [`SmmError`](smm_core::SmmError) does not cross the
+/// wire, so [`ERR_INVALID`] comes back as [`Rejected::Protocol`]
+/// carrying the server's `invalid request: ...` message.
 pub fn rejection_from_wire(code: u8, detail: u32, msg: &str) -> Rejected {
     match code {
         ERR_QUEUE_FULL => Rejected::QueueFull {
@@ -285,6 +295,14 @@ pub fn rejection_from_wire(code: u8, detail: u32, msg: &str) -> Rejected {
         },
         ERR_DEADLINE => Rejected::DeadlineExceeded,
         ERR_SHUTDOWN => Rejected::ShuttingDown,
+        ERR_BUSY => Rejected::Busy {
+            max_connections: detail as usize,
+        },
+        ERR_INVALID => Rejected::Protocol(if msg.is_empty() {
+            "invalid request".to_string()
+        } else {
+            msg.to_string()
+        }),
         _ => Rejected::Protocol(msg.to_string()),
     }
 }
@@ -420,6 +438,28 @@ mod tests {
         // Unknown opcode and empty payload.
         assert!(decode_payload(&[99]).unwrap_err().contains("opcode"));
         assert!(decode_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn invalid_and_busy_codes_map_back_explicitly() {
+        // ERR_INVALID deliberately degrades to Protocol (the SmmError
+        // does not cross the wire) but must keep the server's message.
+        let r = rejection_from_wire(ERR_INVALID, 0, "invalid request: buffer too short");
+        assert!(
+            matches!(&r, Rejected::Protocol(m) if m.contains("invalid request")),
+            "got {r:?}"
+        );
+        let r = rejection_from_wire(ERR_INVALID, 0, "");
+        assert!(matches!(&r, Rejected::Protocol(m) if m.contains("invalid request")));
+        // ERR_BUSY round-trips with its limit in the detail field.
+        let busy = Rejected::Busy {
+            max_connections: 64,
+        };
+        assert_eq!(rejection_code(&busy), (ERR_BUSY, 64));
+        assert_eq!(
+            rejection_from_wire(ERR_BUSY, 64, "connection limit reached (max 64)"),
+            busy
+        );
     }
 
     #[test]

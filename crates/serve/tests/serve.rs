@@ -264,6 +264,67 @@ fn serve_telemetry_lands_in_the_report() {
 }
 
 #[test]
+fn shutdown_never_loses_the_wakeup() {
+    // Regression stress for a lost-wakeup race: shutdown's store +
+    // notify must serialize with the dispatcher's check-then-wait
+    // (both under the queue mutex), otherwise an immediate shutdown
+    // can fire the notification between the dispatcher's shutdown
+    // check and its untimed wait, and the join hangs forever. Many
+    // quick build/shutdown cycles give a racy implementation its
+    // chances to deadlock.
+    for i in 0..100u64 {
+        let server = Server::<f32>::builder().threads(1).build();
+        if i % 2 == 0 {
+            let ticket = server.client().submit(random_request(3, 3, 3, i)).unwrap();
+            server.shutdown();
+            assert!(ticket.wait().is_ok());
+        } else {
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn tcp_connection_limit_is_typed_backpressure() {
+    let server = Server::<f32>::builder().threads(1).build();
+    let tcp = TcpServer::bind_with_max_conns(server, ("127.0.0.1", 0), 1).unwrap();
+    let addr = tcp.local_addr();
+    let req = random_request(3, 3, 3, 5);
+    let want = oracle(&req);
+
+    // The first connection occupies the single slot (the round-trip
+    // guarantees its handler is registered)...
+    let mut first = TcpClient::connect(addr).unwrap();
+    assert_close(&first.call(&req).unwrap(), &want, "first conn");
+
+    // ...so the next accept is refused with a typed busy reply.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    assert_eq!(read_reply(&mut raw), Rejected::Busy { max_connections: 1 });
+
+    // Closing the first connection frees the slot again. The handler
+    // deregisters asynchronously, so poll; a refused retry may also
+    // surface as a transport error when the server closes mid-call.
+    drop(first);
+    let mut answered = None;
+    for _ in 0..200 {
+        let mut c = TcpClient::connect(addr).unwrap();
+        match c.call(&req) {
+            Ok(got) => {
+                answered = Some(got);
+                break;
+            }
+            Err(Rejected::Busy { .. } | Rejected::Protocol(_)) => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("unexpected rejection: {other:?}"),
+        }
+    }
+    let got = answered.expect("slot frees once the first connection closes");
+    assert_close(&got, &want, "after release");
+    tcp.shutdown();
+}
+
+#[test]
 fn tcp_roundtrip_and_protocol_errors() {
     let server = Server::<f32>::builder()
         .threads(2)
