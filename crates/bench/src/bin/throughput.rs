@@ -5,16 +5,59 @@
 //! runtime is driven with many small GEMMs — batched, single-call
 //! multi-threaded, and from concurrent caller threads — against a
 //! spawn-per-call baseline doing the identical arithmetic with fresh
-//! `std::thread::scope` threads on every call.
+//! `std::thread::scope` threads (and a private-block merge pass) on
+//! every call.
+//!
+//! Results land in `BENCH_throughput.json`: per-shape Gflops with
+//! p50/p99 call latency, the pooled-vs-spawn speedups, and the
+//! steady-state arena counters. Two zero-allocation gates run at the
+//! end — arena hit rate ≥ 99% and zero arena bytes allocated after
+//! warm-up — so a packing-path regression fails the bench (and the CI
+//! perf-smoke job) rather than silently eating the win back.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use smm_core::{PlanConfig, Smm, SmmPlan};
+use smm_gemm::arena;
 use smm_gemm::matrix::{Mat, MatMut, MatRef};
 use smm_gemm::parallel::split_ranges;
 
 const THREADS: usize = 4;
+
+/// One benched workload for the JSON report.
+struct ShapeRecord {
+    label: String,
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+    gflops: f64,
+    p50_us: f64,
+    p99_us: f64,
+    speedup_vs_spawn: f64,
+}
+
+/// Per-call latency samples of `f` (seconds), after a short warmup.
+fn sample_calls(iters: usize, mut f: impl FnMut()) -> Vec<f64> {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+/// (p50, p99) of a sample set, by sorting.
+fn quantiles(samples: &mut [f64]) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    (at(0.50), at(0.99))
+}
 
 /// Wall-time one closure: short warmup, then the best of 5 timed
 /// blocks of `iters` runs (minimum rejects scheduler noise).
@@ -105,7 +148,7 @@ fn gemm_spawn_per_call(
     }
 }
 
-fn batch_section() {
+fn batch_section(records: &mut Vec<ShapeRecord>) {
     println!("batched small GEMMs ({THREADS} threads, batch of 64):");
     for &(m, n, k) in &[(8usize, 8usize, 8usize), (16, 16, 16), (24, 24, 24)] {
         let batch = 64;
@@ -142,10 +185,27 @@ fn batch_section() {
             flops,
         );
         println!("    -> pool speedup {:.2}x", spawned / pooled);
+
+        let mut samples = sample_calls(300, || {
+            smm.gemm_batch(&desc, 1.0, &a_flat, &b_flat, 0.0, &mut c_flat)
+                .unwrap();
+        });
+        let (p50, p99) = quantiles(&mut samples);
+        records.push(ShapeRecord {
+            label: format!("batch_{m}x{n}x{k}x{batch}"),
+            m,
+            n,
+            k,
+            batch,
+            gflops: flops / p50 / 1e9,
+            p50_us: p50 * 1e6,
+            p99_us: p99 * 1e6,
+            speedup_vs_spawn: spawned / pooled,
+        });
     }
 }
 
-fn single_gemm_section() {
+fn single_gemm_section(records: &mut Vec<ShapeRecord>) {
     println!("\nsingle multi-threaded GEMM ({THREADS} threads):");
     for &(m, n, k) in &[(64usize, 64usize, 64usize), (96, 96, 48)] {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
@@ -197,6 +257,22 @@ fn single_gemm_section() {
         report(&format!("{m}x{n}x{k}  pooled (Smm::gemm)"), pooled, flops);
         report(&format!("{m}x{n}x{k}  spawn-per-call"), spawned, flops);
         println!("    -> pool speedup {:.2}x", spawned / pooled);
+
+        let mut samples = sample_calls(1000, || {
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        });
+        let (p50, p99) = quantiles(&mut samples);
+        records.push(ShapeRecord {
+            label: format!("gemm_{m}x{n}x{k}"),
+            m,
+            n,
+            k,
+            batch: 1,
+            gflops: flops / p50 / 1e9,
+            p50_us: p50 * 1e6,
+            p99_us: p99 * 1e6,
+            speedup_vs_spawn: spawned / pooled,
+        });
     }
 }
 
@@ -332,10 +408,111 @@ fn telemetry_section() {
     );
 }
 
+/// The zero-allocation gates. A fresh runtime is warmed on the two
+/// hot-path workload kinds (single multi-threaded GEMM and a dense
+/// batch), the global arena counters are zeroed at the warm-up
+/// boundary, and a steady-state window runs. After warm-up every pool
+/// worker's thread-local free list holds buffers for every size class
+/// these shapes touch, so the window must be all hits: a miss both
+/// drops the hit rate and books fresh capacity into `alloc_bytes`.
+fn arena_steady_state_section() -> arena::ArenaStats {
+    println!("\narena steady state ({THREADS} threads, gates: hit rate >= 99%, 0 bytes):");
+    let smm = Smm::<f32>::with_threads(THREADS);
+
+    let (m, n, k) = (64usize, 64usize, 64usize);
+    let a = Mat::<f32>::random(m, k, 11);
+    let b = Mat::<f32>::random(k, n, 12);
+    let mut c = Mat::<f32>::zeros(m, n);
+
+    let (bm, bn, bk, batch) = (8usize, 8usize, 8usize, 64usize);
+    let desc = smm_core::StridedBatch::dense(bm, bn, bk, batch);
+    let a_flat: Vec<f32> = Mat::<f32>::random(bm * batch, bk, 13).data().to_vec();
+    let b_flat: Vec<f32> = Mat::<f32>::random(bk * batch, bn, 14).data().to_vec();
+    let mut c_flat = vec![0.0f32; batch * desc.stride_c];
+
+    let mut run_both = |iters: usize| {
+        for _ in 0..iters {
+            smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+            smm.gemm_batch(&desc, 1.0, &a_flat, &b_flat, 0.0, &mut c_flat)
+                .unwrap();
+        }
+    };
+    run_both(400); // warm every worker's free lists
+    arena::reset_stats();
+    run_both(500); // measured steady-state window
+
+    let stats = arena::stats();
+    println!(
+        "  {} hits / {} misses ({:.3}% hit rate), {} bytes allocated",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.alloc_bytes
+    );
+    assert!(
+        stats.hit_rate() >= 0.99,
+        "arena hit rate {:.4} below the 0.99 gate ({} hits / {} misses)",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+    assert!(
+        stats.alloc_bytes == 0,
+        "steady state allocated {} bytes through the arena; expected 0",
+        stats.alloc_bytes
+    );
+    println!("  gates passed: hit rate >= 99%, zero steady-state allocation");
+    stats
+}
+
+/// Hand-rolled JSON (std-only workspace) mirroring the keys the
+/// telemetry report uses, one object per benched workload.
+fn write_json(records: &[ShapeRecord], steady: arena::ArenaStats) {
+    use std::fmt::Write as _;
+    let min_speedup = records
+        .iter()
+        .map(|r| r.speedup_vs_spawn)
+        .fold(f64::INFINITY, f64::min);
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"threads\": {THREADS},");
+    s.push_str("  \"shapes\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"batch\": {}, \
+             \"gflops\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"speedup_vs_spawn\": {:.3}}}",
+            r.label, r.m, r.n, r.k, r.batch, r.gflops, r.p50_us, r.p99_us, r.speedup_vs_spawn
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"arena_steady_state\": {{\"hits\": {}, \"misses\": {}, \"alloc_bytes\": {}, \
+         \"hit_rate\": {:.6}}},",
+        steady.hits,
+        steady.misses,
+        steady.alloc_bytes,
+        steady.hit_rate()
+    );
+    let _ = writeln!(
+        s,
+        "  \"gates\": {{\"arena_hit_rate_min\": 0.99, \"arena_alloc_bytes_steady\": 0, \
+         \"min_speedup_vs_spawn\": {min_speedup:.3}, \"passed\": true}}"
+    );
+    s.push_str("}\n");
+    std::fs::write("BENCH_throughput.json", &s).expect("write BENCH_throughput.json");
+    println!("\nwrote BENCH_throughput.json ({} shapes)", records.len());
+}
+
 fn main() {
     println!("SMM runtime throughput — pooled dispatch vs spawn-per-call\n");
-    batch_section();
-    single_gemm_section();
+    let mut records = Vec::new();
+    batch_section(&mut records);
+    single_gemm_section(&mut records);
     concurrent_callers_section();
     telemetry_section();
+    let steady = arena_steady_state_section();
+    write_json(&records, steady);
 }

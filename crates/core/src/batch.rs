@@ -8,7 +8,11 @@
 //! one GEMM, which sidesteps every §III-D pitfall at once (nothing
 //! small is ever split). Entries are dispatched to the instance's
 //! persistent [`TaskPool`](smm_gemm::pool::TaskPool), not to freshly
-//! spawned threads.
+//! spawned threads. Each entry executes through
+//! [`execute_traced`] and therefore draws its packing buffers from the
+//! worker's thread-local [`smm_gemm::arena`]: the workers are
+//! persistent, so a warmed-up batch loop packs every entry without
+//! allocating.
 
 use std::time::Instant;
 

@@ -19,6 +19,55 @@ use smm_kernels::Scalar;
 
 const DYN_MAX: usize = 16;
 
+/// Raw core of [`ukr_bp`].
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < MR`, `j < NR`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ukr_bp_ptr<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    c: *mut S,
+    ldc: usize,
+) {
+    assert!(a_stride >= MR, "A stride must cover the tile rows");
+    assert!(
+        kc == 0 || a.len() >= (kc - 1) * a_stride + MR,
+        "A operand too short"
+    );
+    assert!(b.len() >= kc * NR, "packed B sliver too short");
+    assert!(ldc >= MR, "ldc must cover the tile rows");
+    let mut acc = [[S::ZERO; NR]; MR];
+    for p in 0..kc {
+        let av = &a[p * a_stride..p * a_stride + MR];
+        let bv = &b[p * NR..(p + 1) * NR];
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] = acc[i][j].madd(ai, bv[j]);
+            }
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..NR {
+        for i in 0..MR {
+            // SAFETY: (i, j) stays inside the MR x NR tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
+        }
+    }
+}
+
 /// Micro-kernel with stride-parameterized `A` and *packed* `B`.
 ///
 /// `a[p*a_stride + i]` and `b[p*NR + j]`; `a_stride = MR` reproduces the
@@ -32,30 +81,63 @@ pub fn ukr_bp<S: Scalar, const MR: usize, const NR: usize>(
     c: &mut [S],
     ldc: usize,
 ) {
+    assert!(
+        ldc >= MR && c.len() >= (NR - 1) * ldc + MR,
+        "C block out of bounds"
+    );
+    // SAFETY: the assert above proves the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { ukr_bp_ptr::<S, MR, NR>(kc, alpha, a, a_stride, b, c.as_mut_ptr(), ldc) }
+}
+
+/// Raw core of [`ukr_bd`].
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < MR`, `j < NR`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ukr_bd_ptr<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    ldb: usize,
+    c: *mut S,
+    ldc: usize,
+) {
     assert!(a_stride >= MR, "A stride must cover the tile rows");
     assert!(
         kc == 0 || a.len() >= (kc - 1) * a_stride + MR,
         "A operand too short"
     );
-    assert!(b.len() >= kc * NR, "packed B sliver too short");
     assert!(
-        ldc >= MR && c.len() >= (NR - 1) * ldc + MR,
-        "C block out of bounds"
+        ldb >= kc && (NR == 0 || b.len() >= (NR - 1) * ldb + kc),
+        "B operand too short"
     );
+    assert!(ldc >= MR, "ldc must cover the tile rows");
     let mut acc = [[S::ZERO; NR]; MR];
     for p in 0..kc {
         let av = &a[p * a_stride..p * a_stride + MR];
-        let bv = &b[p * NR..(p + 1) * NR];
-        for i in 0..MR {
-            let ai = av[i];
-            for j in 0..NR {
-                acc[i][j] = acc[i][j].madd(ai, bv[j]);
+        for j in 0..NR {
+            let bj = b[j * ldb + p];
+            for i in 0..MR {
+                acc[i][j] = acc[i][j].madd(av[i], bj);
             }
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for j in 0..NR {
         for i in 0..MR {
-            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+            // SAFETY: (i, j) stays inside the MR x NR tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
         }
     }
 }
@@ -73,32 +155,58 @@ pub fn ukr_bd<S: Scalar, const MR: usize, const NR: usize>(
     c: &mut [S],
     ldc: usize,
 ) {
-    assert!(a_stride >= MR, "A stride must cover the tile rows");
-    assert!(
-        kc == 0 || a.len() >= (kc - 1) * a_stride + MR,
-        "A operand too short"
-    );
-    assert!(
-        ldb >= kc && (NR == 0 || b.len() >= (NR - 1) * ldb + kc),
-        "B operand too short"
-    );
     assert!(
         ldc >= MR && c.len() >= (NR - 1) * ldc + MR,
         "C block out of bounds"
     );
-    let mut acc = [[S::ZERO; NR]; MR];
+    // SAFETY: the assert above proves the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { ukr_bd_ptr::<S, MR, NR>(kc, alpha, a, a_stride, b, ldb, c.as_mut_ptr(), ldc) }
+}
+
+/// Raw core of [`ukr_bp_dyn`].
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < mr`, `j < nr`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ukr_bp_dyn_ptr<S: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    c: *mut S,
+    ldc: usize,
+) {
+    assert!(
+        mr <= DYN_MAX && nr <= DYN_MAX,
+        "dynamic tile {mr}x{nr} out of range"
+    );
+    assert!(ldc >= mr, "ldc must cover the tile rows");
+    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
     for p in 0..kc {
-        let av = &a[p * a_stride..p * a_stride + MR];
-        for j in 0..NR {
-            let bj = b[j * ldb + p];
-            for i in 0..MR {
-                acc[i][j] = acc[i][j].madd(av[i], bj);
+        for i in 0..mr {
+            let ai = a[p * a_stride + i];
+            for j in 0..nr {
+                acc[i][j] = acc[i][j].madd(ai, b[p * nr + j]);
             }
         }
     }
-    for j in 0..NR {
-        for i in 0..MR {
-            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..nr {
+        for i in 0..mr {
+            // SAFETY: (i, j) stays inside the mr x nr tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
         }
     }
 }
@@ -117,21 +225,58 @@ pub fn ukr_bp_dyn<S: Scalar>(
     ldc: usize,
 ) {
     assert!(
+        ldc >= mr && nr >= 1 && c.len() >= (nr - 1) * ldc + mr,
+        "C block out of bounds"
+    );
+    // SAFETY: the assert above proves the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { ukr_bp_dyn_ptr(mr, nr, kc, alpha, a, a_stride, b, c.as_mut_ptr(), ldc) }
+}
+
+/// Raw core of [`ukr_bd_dyn`].
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < mr`, `j < nr`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn ukr_bd_dyn_ptr<S: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    a_stride: usize,
+    b: &[S],
+    ldb: usize,
+    c: *mut S,
+    ldc: usize,
+) {
+    assert!(
         mr <= DYN_MAX && nr <= DYN_MAX,
         "dynamic tile {mr}x{nr} out of range"
     );
+    assert!(ldc >= mr, "ldc must cover the tile rows");
     let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
     for p in 0..kc {
-        for i in 0..mr {
-            let ai = a[p * a_stride + i];
-            for j in 0..nr {
-                acc[i][j] = acc[i][j].madd(ai, b[p * nr + j]);
+        for j in 0..nr {
+            let bj = b[j * ldb + p];
+            for i in 0..mr {
+                acc[i][j] = acc[i][j].madd(a[p * a_stride + i], bj);
             }
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for j in 0..nr {
         for i in 0..mr {
-            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
+            // SAFETY: (i, j) stays inside the mr x nr tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
         }
     }
 }
@@ -151,23 +296,12 @@ pub fn ukr_bd_dyn<S: Scalar>(
     ldc: usize,
 ) {
     assert!(
-        mr <= DYN_MAX && nr <= DYN_MAX,
-        "dynamic tile {mr}x{nr} out of range"
+        ldc >= mr && nr >= 1 && c.len() >= (nr - 1) * ldc + mr,
+        "C block out of bounds"
     );
-    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
-    for p in 0..kc {
-        for j in 0..nr {
-            let bj = b[j * ldb + p];
-            for i in 0..mr {
-                acc[i][j] = acc[i][j].madd(a[p * a_stride + i], bj);
-            }
-        }
-    }
-    for j in 0..nr {
-        for i in 0..mr {
-            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
-        }
-    }
+    // SAFETY: the assert above proves the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { ukr_bd_dyn_ptr(mr, nr, kc, alpha, a, a_stride, b, ldb, c.as_mut_ptr(), ldc) }
 }
 
 /// A shape-dispatched packing-optional kernel.
@@ -261,6 +395,71 @@ impl DirectKernel {
             };
             ($mr:literal, $nr:literal, $($x:tt)*) => {
                 ukr_bd::<S, $mr, $nr>(kc, alpha, a, a_stride, b, ldb, c, ldc)
+            };
+        }
+        dispatch_shapes!(self, call,)
+    }
+
+    /// [`DirectKernel::run_bp`] against a raw `C` tile pointer (the
+    /// in-place split-tile path).
+    ///
+    /// # Safety
+    /// `c` must be valid for exclusive reads and writes of the elements
+    /// `c + j*ldc + i` for `i < self.mr()`, `j < self.nr()`.
+    // SAFETY: an `unsafe fn` declaration — callers discharge the
+    // tile-footprint contract in `# Safety` above.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_bp_ptr<S: Scalar>(
+        &self,
+        kc: usize,
+        alpha: S,
+        a: &[S],
+        a_stride: usize,
+        b: &[S],
+        c: *mut S,
+        ldc: usize,
+    ) {
+        macro_rules! call {
+            (dyn, dyn, $($x:tt)*) => {
+                // SAFETY: forwarding the caller's tile-footprint contract.
+                unsafe { ukr_bp_dyn_ptr(self.mr, self.nr, kc, alpha, a, a_stride, b, c, ldc) }
+            };
+            ($mr:literal, $nr:literal, $($x:tt)*) => {
+                // SAFETY: forwarding the caller's tile-footprint contract.
+                unsafe { ukr_bp_ptr::<S, $mr, $nr>(kc, alpha, a, a_stride, b, c, ldc) }
+            };
+        }
+        dispatch_shapes!(self, call,)
+    }
+
+    /// [`DirectKernel::run_bd`] against a raw `C` tile pointer (the
+    /// in-place split-tile path).
+    ///
+    /// # Safety
+    /// `c` must be valid for exclusive reads and writes of the elements
+    /// `c + j*ldc + i` for `i < self.mr()`, `j < self.nr()`.
+    // SAFETY: an `unsafe fn` declaration — callers discharge the
+    // tile-footprint contract in `# Safety` above.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn run_bd_ptr<S: Scalar>(
+        &self,
+        kc: usize,
+        alpha: S,
+        a: &[S],
+        a_stride: usize,
+        b: &[S],
+        ldb: usize,
+        c: *mut S,
+        ldc: usize,
+    ) {
+        macro_rules! call {
+            (dyn, dyn, $($x:tt)*) => {
+                // SAFETY: forwarding the caller's tile-footprint contract.
+                unsafe { ukr_bd_dyn_ptr(self.mr, self.nr, kc, alpha, a, a_stride, b, ldb, c, ldc) }
+            };
+            ($mr:literal, $nr:literal, $($x:tt)*) => {
+                // SAFETY: forwarding the caller's tile-footprint contract.
+                unsafe { ukr_bd_ptr::<S, $mr, $nr>(kc, alpha, a, a_stride, b, ldb, c, ldc) }
             };
         }
         dispatch_shapes!(self, call,)

@@ -3,19 +3,23 @@
 //! Single-threaded execution writes micro-tiles straight into `C`
 //! (tiles are exact, never padded). Multi-threaded execution splits the
 //! plan's tile lists across the thread grid's `m_ways × n_ways`; each
-//! grid cell accumulates into a private block that is merged after all
-//! cells complete (disjoint tile ranges make the merge exact).
+//! grid cell receives a disjoint tile of `C` from
+//! [`MatMut::split_grid`] and updates it **in place** — no private
+//! block, no post-join merge pass, `C` is swept once. Packing buffers
+//! come from the thread-local [`smm_gemm::arena`], so a warmed-up
+//! steady state allocates nothing per call.
 //!
 //! Multi-threaded plans run on a persistent [`TaskPool`] instead of
 //! spawning threads per call — thread startup is the §III-D overhead
 //! that makes naive parallel SMM slower than sequential. The cell
-//! decomposition and the merge order are identical to the historical
-//! spawn-per-call executor, so results are bit-for-bit unchanged (see
+//! decomposition is identical to the historical spawn-per-call
+//! executor, so results are bit-for-bit unchanged (see
 //! `pooled_execution_is_bit_identical_to_spawn_per_call`).
 
-use smm_gemm::matrix::{Mat, MatMut, MatRef};
-use smm_gemm::naive::check_dims;
-use smm_gemm::pack::{pack_a_exact, pack_b_exact};
+use smm_gemm::arena;
+use smm_gemm::matrix::{MatMut, MatRef};
+use smm_gemm::naive::check_dims_of;
+use smm_gemm::pack::{pack_a_exact, pack_b_exact_append};
 use smm_gemm::parallel::split_ranges;
 use smm_gemm::pool::TaskPool;
 use smm_kernels::registry::TileSpan;
@@ -67,7 +71,7 @@ pub fn execute_traced<S: Scalar>(
     beta: S,
     mut c: MatMut<'_, S>,
 ) {
-    let (m, k, n) = check_dims(&a, &b, &c.rb());
+    let (m, k, n) = check_dims_of(&a, &b, c.rows(), c.cols());
     assert_eq!(
         (m, n, k),
         (plan.m, plan.n, plan.k),
@@ -99,69 +103,71 @@ pub fn execute_traced<S: Scalar>(
         return;
     }
 
-    // The beta scaling and the post-join merge are the serial bookends
-    // of the parallel section — both count as Sync in the Table-II
-    // sense, together with the caller's wait beyond the slowest task.
+    // The beta scaling is the serial bookend of the parallel section —
+    // it counts as Sync in the Table-II sense, together with the
+    // caller's wait beyond the slowest task. (The historical post-join
+    // merge pass — the other bookend — no longer exists: each cell
+    // writes its disjoint C tile in place.)
     let t_scale = rec.now();
     c.scale(beta);
     let scale_ns = t_scale.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
+    // Non-empty grid cells. Plan tiles cover each dimension
+    // contiguously, so chunk row/col spans partition C exactly.
     let m_chunks = split_ranges(plan.m_tiles.len(), plan.grid.m_ways());
     let n_chunks = split_ranges(plan.n_tiles.len(), plan.grid.n_ways());
-    let mut tasks: Vec<_> = Vec::new();
-    for &(ms, mc) in &m_chunks {
-        for &(ns, nc) in &n_chunks {
-            if mc == 0 || nc == 0 {
-                continue;
-            }
-            let m_tiles = &plan.m_tiles[ms..ms + mc];
-            let n_tiles = &plan.n_tiles[ns..ns + nc];
-            let i_base = m_tiles[0].offset;
-            let j_base = n_tiles[0].offset;
-            let rows: usize = m_tiles.iter().map(|t| t.logical).sum();
-            let cols: usize = n_tiles.iter().map(|t| t.logical).sum();
+    let row_bands: Vec<(usize, usize, &[TileSpan])> = m_chunks
+        .iter()
+        .filter(|&&(_, mc)| mc > 0)
+        .map(|&(ms, mc)| {
+            let tiles = &plan.m_tiles[ms..ms + mc];
+            let rows: usize = tiles.iter().map(|t| t.logical).sum();
+            (tiles[0].offset, rows, tiles)
+        })
+        .collect();
+    let col_bands: Vec<(usize, usize, &[TileSpan])> = n_chunks
+        .iter()
+        .filter(|&&(_, nc)| nc > 0)
+        .map(|&(ns, nc)| {
+            let tiles = &plan.n_tiles[ns..ns + nc];
+            let cols: usize = tiles.iter().map(|t| t.logical).sum();
+            (tiles[0].offset, cols, tiles)
+        })
+        .collect();
+    let row_splits: Vec<(usize, usize)> = row_bands.iter().map(|&(i0, r, _)| (i0, r)).collect();
+    let col_splits: Vec<(usize, usize)> = col_bands.iter().map(|&(j0, cl, _)| (j0, cl)).collect();
+    // split_grid yields row band outer, column band inner — the same
+    // order the nested loops below consume.
+    let mut tiles_iter = c.split_grid(&row_splits, &col_splits).into_iter();
+
+    let mut tasks: Vec<_> = Vec::with_capacity(row_bands.len() * col_bands.len());
+    for &(i_base, _, m_tiles) in &row_bands {
+        for &(j_base, _, n_tiles) in &col_bands {
+            let (ti, tj, mut tile) = tiles_iter.next().expect("one tile per band pair");
+            debug_assert_eq!((ti, tj), (i_base, j_base));
             tasks.push(move || {
                 let t0 = now_if(timed);
-                let mut local = Mat::<S>::zeros(rows, cols);
-                let cost = {
-                    let mut lm = local.as_mut();
-                    run_tiles(
-                        plan, timed, alpha, a, b, &mut lm, m_tiles, n_tiles, i_base, j_base,
-                    )
-                };
+                let cost = run_tiles(
+                    plan, timed, alpha, a, b, &mut tile, m_tiles, n_tiles, i_base, j_base,
+                );
                 let busy_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                (i_base, j_base, rows, cols, local, cost, busy_ns)
+                (cost, busy_ns)
             });
         }
     }
     let t_dispatch = rec.now();
     let results = pool.run_scoped(tasks);
     let dispatch_ns = t_dispatch.map_or(0, |t| t.elapsed().as_nanos() as u64);
-    // run_scoped returns results in submission order — the same order
-    // the spawn-per-call executor joined handles in.
-    let t_merge = rec.now();
-    let mut max_busy = 0u64;
-    for (i_base, j_base, rows, cols, local, cost, busy_ns) in results {
-        for j in 0..cols {
-            for i in 0..rows {
-                let v = c.at(i_base + i, j_base + j) + local[(i, j)];
-                c.set(i_base + i, j_base + j, v);
-            }
-        }
-        if timed {
+    if timed {
+        let mut max_busy = 0u64;
+        for (cost, busy_ns) in results {
             record_cost(&rec, &cost, busy_ns);
             max_busy = max_busy.max(busy_ns);
         }
-    }
-    if timed {
-        let merge_ns = t_merge.map_or(0, |t| t.elapsed().as_nanos() as u64);
         rec.span_ns(Phase::Dispatch, dispatch_ns);
         // Barrier slack (the caller's wait beyond the slowest cell)
-        // plus the serial scale and merge bookends.
-        rec.span_ns(
-            Phase::Sync,
-            dispatch_ns.saturating_sub(max_busy) + merge_ns + scale_ns,
-        );
+        // plus the serial scale bookend; no merge term remains.
+        rec.span_ns(Phase::Sync, dispatch_ns.saturating_sub(max_busy) + scale_ns);
     }
 }
 
@@ -222,25 +228,38 @@ fn run_tiles<S: Scalar>(
     let elem = std::mem::size_of::<S>() as u64;
     let mut cost = PackCost::default();
 
-    let mut bpack: Vec<Vec<S>> = vec![Vec::new(); n_tiles.len()];
-    let mut apack: Vec<S> = Vec::new();
+    // Arena-backed working storage: one buffer holds every packed B
+    // sliver of a k block (offsets below), one the current A panel.
+    // After warm-up these checkouts allocate nothing.
+    let kc_max = plan.kc.min(plan.k);
+    let n_total: usize = n_tiles.iter().map(|t| t.logical).sum();
+    let m_max: usize = m_tiles.iter().map(|t| t.logical).max().unwrap_or(0);
+    let mut bpack = arena::checkout::<S>(kc_max * n_total);
+    let mut apack = arena::checkout::<S>(kc_max * m_max);
+    // Per-sliver start offsets into `bpack`; UNPACKED marks slivers
+    // streamed straight from B.
+    const UNPACKED: usize = usize::MAX;
+    let mut b_offs = arena::checkout::<usize>(n_tiles.len());
 
     let mut kk = 0;
     while kk < plan.k {
         let kc = plan.kc.min(plan.k - kk);
         // Decide and perform B packing for this k block.
-        let mut b_is_packed = vec![false; n_tiles.len()];
-        for (s, jt) in n_tiles.iter().enumerate() {
+        bpack.clear();
+        b_offs.clear();
+        for jt in n_tiles.iter() {
             let edge = jt.logical < nr;
             if plan.pack_b || (edge && plan.pack_edge_b) {
                 let t0 = now_if(timed);
-                pack_b_exact(b, kk, jt.offset, kc, jt.logical, &mut bpack[s]);
+                let off = pack_b_exact_append(b, kk, jt.offset, kc, jt.logical, &mut bpack);
                 if let Some(t0) = t0 {
                     cost.b_ns += t0.elapsed().as_nanos() as u64;
                     cost.bytes += (kc * jt.logical) as u64 * elem;
                     cost.b_packed = true;
                 }
-                b_is_packed[s] = true;
+                b_offs.push(off);
+            } else {
+                b_offs.push(UNPACKED);
             }
         }
         for it in m_tiles {
@@ -253,35 +272,32 @@ fn run_tiles<S: Scalar>(
                     cost.bytes += (it.logical * kc) as u64 * elem;
                     cost.a_packed = true;
                 }
-                (&apack, it.logical)
+                (apack.as_slice(), it.logical)
             } else {
                 (&a.data()[kk * lda + it.offset..], lda)
             };
             for (s, jt) in n_tiles.iter().enumerate() {
                 let kernel = DirectKernel::new(it.logical, jt.logical);
-                let c_off = (jt.offset - j_base) * ldc + (it.offset - i_base);
-                if b_is_packed[s] {
-                    kernel.run_bp(
-                        kc,
-                        alpha,
-                        a_src,
-                        a_stride,
-                        &bpack[s],
-                        &mut c.data_mut()[c_off..],
-                        ldc,
-                    );
+                let cptr = c.tile_ptr(
+                    it.offset - i_base,
+                    jt.offset - j_base,
+                    it.logical,
+                    jt.logical,
+                );
+                if b_offs[s] != UNPACKED {
+                    let b_sl = &bpack[b_offs[s]..b_offs[s] + kc * jt.logical];
+                    // SAFETY: `tile_ptr` just asserted the tile's
+                    // `logical x logical` window lies inside `c`, whose
+                    // elements `&mut c` owns exclusively; the kernel
+                    // writes exactly that footprint with stride
+                    // `ldc = c.ld()`.
+                    unsafe { kernel.run_bp_ptr(kc, alpha, a_src, a_stride, b_sl, cptr, ldc) };
                 } else {
                     let b_src = &b.data()[jt.offset * ldb + kk..];
-                    kernel.run_bd(
-                        kc,
-                        alpha,
-                        a_src,
-                        a_stride,
-                        b_src,
-                        ldb,
-                        &mut c.data_mut()[c_off..],
-                        ldc,
-                    );
+                    // SAFETY: as above — the asserted window is owned
+                    // exclusively through `&mut c` and the kernel stays
+                    // inside it.
+                    unsafe { kernel.run_bd_ptr(kc, alpha, a_src, a_stride, b_src, ldb, cptr, ldc) };
                 }
             }
         }
@@ -295,6 +311,7 @@ mod tests {
     use super::*;
     use crate::plan::PlanConfig;
     use smm_gemm::gemm_naive;
+    use smm_gemm::matrix::Mat;
 
     fn check(m: usize, n: usize, k: usize, cfg: &PlanConfig, alpha: f32, beta: f32) {
         let plan = SmmPlan::build(m, n, k, cfg);
@@ -416,7 +433,7 @@ mod tests {
         beta: S,
         mut c: MatMut<'_, S>,
     ) {
-        let (m, k, n) = check_dims(&a, &b, &c.rb());
+        let (m, k, n) = check_dims_of(&a, &b, c.rows(), c.cols());
         assert_eq!((m, n, k), (plan.m, plan.n, plan.k));
         c.scale(beta);
         if plan.threads() <= 1 {

@@ -203,12 +203,13 @@ impl<S: Scalar> Smm<S> {
     /// Full telemetry snapshot: per-phase latency histograms, a
     /// Table-II-style pack/compute/sync breakdown per call site,
     /// per-shape achieved throughput against the `smm-model`
-    /// prediction, the observed P2C ratio, and the plan-cache and
-    /// worker-pool counters. Serializable via
+    /// prediction, the observed P2C ratio, and the plan-cache,
+    /// worker-pool, and packing-arena counters. Serializable via
     /// [`TelemetryReport::to_json`] and
     /// [`TelemetryReport::to_prometheus`].
     pub fn stats_report(&self) -> TelemetryReport {
-        self.telemetry.report(self.stats(), self.pool.stats())
+        self.telemetry
+            .report(self.stats(), self.pool.stats(), smm_gemm::arena::stats())
     }
 
     /// `C = alpha·A·B + beta·C`.

@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use smm_gemm::arena::ArenaStats;
 use smm_gemm::pool::PoolStats;
 use smm_model::{p2c_as_published, MachineSpec, Precision};
 
@@ -532,9 +533,15 @@ impl Telemetry {
 
     /// Aggregate every shard and the shape table into a report.
     ///
-    /// `runtime` and `pool` snapshots are provided by the owning
-    /// [`crate::Smm`] so the report is one self-contained document.
-    pub fn report(&self, runtime: RuntimeStats, pool: PoolStats) -> TelemetryReport {
+    /// `runtime`, `pool`, and `arena` snapshots are provided by the
+    /// owning [`crate::Smm`] so the report is one self-contained
+    /// document.
+    pub fn report(
+        &self,
+        runtime: RuntimeStats,
+        pool: PoolStats,
+        arena: ArenaStats,
+    ) -> TelemetryReport {
         let mut phases: Vec<PhaseReport> = Phase::ALL
             .iter()
             .map(|&p| PhaseReport {
@@ -658,6 +665,7 @@ impl Telemetry {
             enabled: self.enabled,
             runtime,
             pool,
+            arena,
             phases,
             sites,
             shapes: merged,
@@ -826,6 +834,10 @@ pub struct TelemetryReport {
     pub runtime: RuntimeStats,
     /// Worker-pool counters.
     pub pool: PoolStats,
+    /// Packing-arena counters (hits, misses, allocated bytes): a
+    /// warmed-up steady state shows hits climbing while misses and
+    /// `alloc_bytes` stay flat — the zero-allocation evidence.
+    pub arena: ArenaStats,
     /// Per-phase latency histograms.
     pub phases: Vec<PhaseReport>,
     /// Per-call-site overhead breakdowns.
@@ -891,6 +903,13 @@ impl TelemetryReport {
             self.pool.inline_drained,
             self.pool.park_ns,
             self.pool.scoped_calls
+        ));
+        s.push_str(&format!(
+            "  \"arena\": {{\"hits\": {}, \"misses\": {}, \"alloc_bytes\": {}, \"hit_rate\": {}}},\n",
+            self.arena.hits,
+            self.arena.misses,
+            self.arena.alloc_bytes,
+            json_f64(self.arena.hit_rate())
         ));
         s.push_str("  \"phases\": {\n");
         for (i, pr) in self.phases.iter().enumerate() {
@@ -1094,6 +1113,17 @@ impl TelemetryReport {
             "smm_pool_scoped_calls_total {}\n",
             self.pool.scoped_calls
         ));
+        s.push_str("# TYPE smm_arena counter\n");
+        s.push_str(&format!("smm_arena_hits_total {}\n", self.arena.hits));
+        s.push_str(&format!("smm_arena_misses_total {}\n", self.arena.misses));
+        s.push_str(&format!(
+            "smm_arena_alloc_bytes_total {}\n",
+            self.arena.alloc_bytes
+        ));
+        s.push_str(&format!(
+            "smm_arena_hit_rate {}\n",
+            json_f64(self.arena.hit_rate())
+        ));
         s.push_str(&format!("smm_packed_bytes_total {}\n", self.packed_bytes));
         s.push_str(&format!("smm_flops_total {}\n", self.flops));
         s.push_str(&format!(
@@ -1126,6 +1156,14 @@ impl std::fmt::Display for TelemetryReport {
             self.pool.queue_highwater,
             self.pool.worker_wakeups,
             self.pool.inline_drained,
+        )?;
+        writeln!(
+            f,
+            "  arena: {} hits / {} misses ({:.2}% hit rate), {} bytes allocated",
+            self.arena.hits,
+            self.arena.misses,
+            self.arena.hit_rate() * 100.0,
+            self.arena.alloc_bytes,
         )?;
         writeln!(f, "  phase latency (ns):")?;
         for pr in &self.phases {
@@ -1305,7 +1343,7 @@ mod tests {
                 });
             }
         });
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         let h = &r.phases[Phase::Compute.index()].histogram;
         assert_eq!(h.count, 400);
         let want_sum: u64 = (0..8u64)
@@ -1334,7 +1372,7 @@ mod tests {
                 });
             }
         });
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         assert_eq!(r.dropped_shapes, 0);
         assert!(r.shapes.len() <= 3, "shapes {:?}", r.shapes.len());
         let s888 = r
@@ -1355,7 +1393,7 @@ mod tests {
         for m in 0..SHAPE_SLOTS + 50 {
             tel.record_call(CallSite::Gemm, m + 1, 3, 3, 4, 1, 5);
         }
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         assert_eq!(r.shapes.len(), SHAPE_SLOTS);
         assert_eq!(r.dropped_shapes, 50);
     }
@@ -1369,7 +1407,7 @@ mod tests {
         rec.span_ns(Phase::Compute, 100);
         rec.packed_bytes(64);
         tel.record_call(CallSite::Gemm, 8, 8, 8, 4, 1, 10);
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         assert!(!r.enabled);
         assert_eq!(r.phase_count(Phase::Compute), 0);
         // record_call bypasses the recorder gate (callers must check);
@@ -1385,7 +1423,7 @@ mod tests {
         tel.record_span(CallSite::GemmBatch, Phase::Compute, 600);
         tel.record_span(CallSite::GemmBatch, Phase::Sync, 150);
         tel.record_span(CallSite::GemmBatch, Phase::Dispatch, 950);
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         let sb = r.site(CallSite::GemmBatch);
         assert!((sb.pack_pct - 25.0).abs() < 1e-9);
         assert!((sb.compute_pct - 60.0).abs() < 1e-9);
@@ -1402,20 +1440,31 @@ mod tests {
         tel.record_span(CallSite::Gemm, Phase::PlanLookup, 80);
         tel.add_packed_bytes(1024);
         tel.record_call(CallSite::Gemm, 16, 16, 16, 4, 1, 700);
-        let r = tel.report(empty_runtime(), empty_pool());
+        let arena = ArenaStats {
+            hits: 198,
+            misses: 2,
+            alloc_bytes: 4096,
+        };
+        let r = tel.report(empty_runtime(), empty_pool(), arena);
         let j = r.to_json();
         assert!(j.contains("\"compute\""), "{j}");
         assert!(j.contains("\"observed_p2c\""));
         assert!(j.contains("\"m\": 16"));
         assert!(j.contains("\"packed_bytes\": 1024"));
+        assert!(j.contains("\"arena\": {\"hits\": 198, \"misses\": 2, \"alloc_bytes\": 4096"));
         let p = r.to_prometheus();
         assert!(p.contains("smm_phase_latency_ns_bucket{phase=\"compute\""));
         assert!(p.contains("le=\"+Inf\"} 1"));
         assert!(p.contains("smm_calls_total{site=\"gemm\"} 1"));
         assert!(p.contains("smm_shape_gflops{m=\"16\",n=\"16\",k=\"16\"}"));
         assert!(p.contains("smm_packed_bytes_total 1024"));
+        assert!(p.contains("smm_arena_hits_total 198"));
+        assert!(p.contains("smm_arena_misses_total 2"));
+        assert!(p.contains("smm_arena_alloc_bytes_total 4096"));
+        assert!(p.contains("smm_arena_hit_rate 0.99"));
         let d = format!("{r}");
         assert!(d.contains("observed P2C"));
+        assert!(d.contains("arena: 198 hits / 2 misses"));
     }
 
     #[test]
@@ -1425,7 +1474,7 @@ mod tests {
         // 1024 packed bytes = 64 vector loads -> P2C = 1.0.
         tel.add_packed_bytes(1024);
         tel.record_call(CallSite::Gemm, 8, 8, 8, 4, 1, 100);
-        let r = tel.report(empty_runtime(), empty_pool());
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
         assert!((r.observed_p2c - 1.0).abs() < 1e-9, "{}", r.observed_p2c);
     }
 }

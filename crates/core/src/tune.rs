@@ -10,7 +10,7 @@
 //! many invocations).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use smm_model::KernelShape;
 
@@ -38,10 +38,32 @@ impl TunedPlan {
     }
 }
 
-/// Exhaustive-ish candidate search with caching.
+/// Number of independently locked cache shards (power of two, same
+/// scheme as the runtime's `ShardedPlanCache`): tuning a shape takes
+/// milliseconds, so a single `Mutex` would serialize every *cached*
+/// lookup behind any in-flight tuning of an unrelated shape.
+const SHARDS: usize = 16;
+
+fn shard_of(key: (usize, usize, usize)) -> usize {
+    // Fibonacci-hash the shape so near-identical shapes (the common
+    // case in sweeps) spread across shards.
+    let h = key
+        .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(key.1.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(key.2.wrapping_mul(0x1656_67B1_9E37_79F9));
+    (h >> 48) & (SHARDS - 1)
+}
+
+type Shard = RwLock<HashMap<(usize, usize, usize), TunedPlan>>;
+
+/// Exhaustive-ish candidate search with sharded-lock caching: cached
+/// lookups take a shared lock on one shard only, candidate simulation
+/// happens outside any lock, and the insert double-checks so
+/// concurrent tunings of one shape converge on a single entry.
 pub struct Autotuner {
     base: PlanConfig,
-    cache: Mutex<HashMap<(usize, usize, usize), TunedPlan>>,
+    shards: [Shard; SHARDS],
 }
 
 impl Autotuner {
@@ -50,7 +72,7 @@ impl Autotuner {
     pub fn new(base: PlanConfig) -> Self {
         Autotuner {
             base,
-            cache: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
         }
     }
 
@@ -75,9 +97,14 @@ impl Autotuner {
 
     /// Tune a shape (cached).
     pub fn tune(&self, m: usize, n: usize, k: usize) -> TunedPlan {
-        if let Some(hit) = self.cache.lock().unwrap().get(&(m, n, k)) {
+        let key = (m, n, k);
+        let shard = &self.shards[shard_of(key)];
+        if let Some(hit) = shard.read().unwrap().get(&key) {
             return hit.clone();
         }
+        // Simulate outside any lock: tuning one shape must not block
+        // cached lookups of the fifteen unrelated shards, nor even
+        // cached lookups of other shapes on this shard.
         let heuristic = SmmPlan::build(m, n, k, &self.base);
         let heuristic_cycles = build_sim(&heuristic).run().cycles;
 
@@ -99,13 +126,19 @@ impl Autotuner {
             heuristic_cycles,
             candidates: n_candidates + 1,
         };
-        self.cache.lock().unwrap().insert((m, n, k), tuned.clone());
+        let mut map = shard.write().unwrap();
+        if let Some(hit) = map.get(&key) {
+            // A concurrent tuning won the race; adopt its result so
+            // every caller observes one entry per shape.
+            return hit.clone();
+        }
+        map.insert(key, tuned.clone());
         tuned
     }
 
     /// Shapes tuned so far.
     pub fn cached(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 }
 
@@ -137,6 +170,39 @@ mod tests {
         let b = tuner.tune(6, 6, 6);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(tuner.cached(), 1);
+    }
+
+    #[test]
+    fn concurrent_tuning_converges_on_one_entry_per_shape() {
+        let tuner = Autotuner::default();
+        let shapes = [
+            (6usize, 6usize, 6usize),
+            (13, 7, 21),
+            (9, 5, 4),
+            (16, 16, 8),
+        ];
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tuner = &tuner;
+                s.spawn(move || {
+                    // Every thread tunes every shape, rotated so the
+                    // same shape races across threads.
+                    for i in 0..shapes.len() {
+                        let (m, n, k) = shapes[(i + t) % shapes.len()];
+                        let tuned = tuner.tune(m, n, k);
+                        assert!(tuned.cycles <= tuned.heuristic_cycles);
+                    }
+                });
+            }
+        });
+        // Racing tunings of one shape must converge on a single cache
+        // entry, and repeat lookups must agree with the cached winner.
+        assert_eq!(tuner.cached(), shapes.len());
+        for &(m, n, k) in &shapes {
+            let again = tuner.tune(m, n, k);
+            assert_eq!(again.cycles, tuner.tune(m, n, k).cycles);
+        }
+        assert_eq!(tuner.cached(), shapes.len());
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Reusable packing arenas: size-classed buffer recycling for the
+//! GEMM hot path.
+//!
+//! §III-A of the paper shows that for small `M`, `N`, `K` per-call
+//! memory traffic — not FLOPs — bounds achievable performance, and
+//! Table II attributes most of the remaining gap to packing overhead.
+//! Heap-allocating fresh Ã/B̃ buffers on every call adds an allocator
+//! round-trip (and page faults on first touch) to exactly the calls
+//! that are too small to amortize it. BLASFEO's pack-once discipline
+//! and LIBXSMM's persistent buffers both sidestep this; this module is
+//! the analogous mechanism for our runtime: a thread-local, size-classed
+//! free list from which packing buffers are checked out per call and
+//! returned on drop, so repeated same-shape calls (the paper's
+//! motivating DNN/batched workload) allocate **zero bytes** after
+//! warm-up.
+//!
+//! Buffers are checked out by the *ceiling* power-of-two class of the
+//! requested capacity and returned under the *floor* class of their
+//! final capacity, so any recycled buffer always satisfies the class
+//! it is popped for. Pool workers are persistent threads, hence each
+//! worker's arena stays warm across calls.
+//!
+//! Global relaxed counters ([`stats`]) make the reuse observable:
+//! the throughput bench and the CI perf-smoke job gate on
+//! `hits / (hits + misses)` and on `alloc_bytes` staying flat after
+//! warm-up.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest recyclable size class: `2^24` elements (128 MiB of `f64`).
+/// Larger checkouts still work but are freed on drop, so a single
+/// outsized call cannot pin memory in every worker's free list.
+const MAX_CLASS: usize = 24;
+
+/// Buffers kept per (type, class); beyond this, drops free eagerly.
+const PER_CLASS_CAP: usize = 8;
+
+// Arena counters; relaxed — independent monotonic counters with no
+// ordering relationship to the buffer hand-off (which is thread-local),
+// read only for reporting and bench gates.
+static ARENA_HITS: AtomicU64 = AtomicU64::new(0);
+static ARENA_MISSES: AtomicU64 = AtomicU64::new(0);
+static ARENA_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the global arena counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Checkouts served from a recycled buffer.
+    pub hits: u64,
+    /// Checkouts that had to allocate.
+    pub misses: u64,
+    /// Bytes handed to the allocator (fresh buffers + in-place growth).
+    pub alloc_bytes: u64,
+}
+
+impl ArenaStats {
+    /// Fraction of checkouts served without allocating (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Read the global arena counters.
+pub fn stats() -> ArenaStats {
+    ArenaStats {
+        hits: ARENA_HITS.load(Ordering::Relaxed),
+        misses: ARENA_MISSES.load(Ordering::Relaxed),
+        alloc_bytes: ARENA_ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the global arena counters (bench/test warm-up boundary).
+pub fn reset_stats() {
+    ARENA_HITS.store(0, Ordering::Relaxed);
+    ARENA_MISSES.store(0, Ordering::Relaxed);
+    ARENA_ALLOC_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Ceiling power-of-two class: smallest `c` with `2^c >= cap`.
+fn class_ceil(cap: usize) -> usize {
+    if cap <= 1 {
+        0
+    } else {
+        (usize::BITS - (cap - 1).leading_zeros()) as usize
+    }
+}
+
+/// Floor power-of-two class: largest `c` with `2^c <= cap` (cap >= 1).
+fn class_floor(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+/// Per-type free lists, indexed by size class.
+struct Lists<T> {
+    classes: Vec<Vec<Vec<T>>>,
+}
+
+impl<T> Lists<T> {
+    fn new() -> Self {
+        Lists {
+            classes: (0..=MAX_CLASS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+thread_local! {
+    /// One slot per element type ever checked out on this thread.
+    static ARENA: RefCell<Vec<(TypeId, Box<dyn Any>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_lists<T: 'static, R>(f: impl FnOnce(&mut Lists<T>) -> R) -> Option<R> {
+    ARENA
+        .try_with(|cell| {
+            let mut slots = cell.borrow_mut();
+            let id = TypeId::of::<T>();
+            let idx = match slots.iter().position(|(t, _)| *t == id) {
+                Some(i) => i,
+                None => {
+                    slots.push((id, Box::new(Lists::<T>::new())));
+                    slots.len() - 1
+                }
+            };
+            let lists = slots[idx]
+                .1
+                .downcast_mut::<Lists<T>>()
+                .expect("arena slot type confusion");
+            f(lists)
+        })
+        .ok()
+}
+
+/// An arena-backed buffer: behaves as a `Vec<T>` (starts empty) and
+/// returns its storage to the thread-local free list on drop.
+pub struct PackBuf<T: 'static> {
+    buf: Vec<T>,
+    start_cap: usize,
+}
+
+impl<T: 'static> Deref for PackBuf<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T: 'static> DerefMut for PackBuf<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: 'static> std::fmt::Debug for PackBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackBuf(len={}, cap={})",
+            self.buf.len(),
+            self.buf.capacity()
+        )
+    }
+}
+
+impl<T: 'static> Drop for PackBuf<T> {
+    fn drop(&mut self) {
+        let cap = self.buf.capacity();
+        if cap > self.start_cap {
+            // The buffer grew past its checkout estimate: those bytes
+            // did hit the allocator this call.
+            ARENA_ALLOC_BYTES.fetch_add(
+                ((cap - self.start_cap) * std::mem::size_of::<T>()) as u64,
+                Ordering::Relaxed,
+            );
+        }
+        if cap == 0 {
+            return;
+        }
+        let class = class_floor(cap);
+        if class > MAX_CLASS {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        // During thread teardown the TLS slot may already be gone
+        // (try_with fails); the buffer then just frees normally.
+        with_lists::<T, _>(|lists| {
+            let list = &mut lists.classes[class];
+            if list.len() < PER_CLASS_CAP {
+                list.push(buf);
+            }
+        });
+    }
+}
+
+/// Check out a buffer with capacity ≥ `min_cap` from the current
+/// thread's arena, allocating (and counting a miss) only when no
+/// recycled buffer of the right class exists.
+pub fn checkout<T: 'static>(min_cap: usize) -> PackBuf<T> {
+    let class = class_ceil(min_cap);
+    let recycled = if class <= MAX_CLASS {
+        with_lists::<T, _>(|lists| lists.classes[class].pop()).flatten()
+    } else {
+        None
+    };
+    match recycled {
+        Some(buf) => {
+            debug_assert!(buf.capacity() >= min_cap);
+            ARENA_HITS.fetch_add(1, Ordering::Relaxed);
+            PackBuf {
+                start_cap: buf.capacity(),
+                buf,
+            }
+        }
+        None => {
+            let cap = if class <= MAX_CLASS {
+                1usize << class
+            } else {
+                min_cap
+            };
+            ARENA_MISSES.fetch_add(1, Ordering::Relaxed);
+            ARENA_ALLOC_BYTES.fetch_add((cap * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+            let buf = Vec::with_capacity(cap);
+            PackBuf {
+                start_cap: buf.capacity(),
+                buf,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_correctly() {
+        assert_eq!(class_ceil(0), 0);
+        assert_eq!(class_ceil(1), 0);
+        assert_eq!(class_ceil(2), 1);
+        assert_eq!(class_ceil(3), 2);
+        assert_eq!(class_ceil(1024), 10);
+        assert_eq!(class_ceil(1025), 11);
+        assert_eq!(class_floor(1), 0);
+        assert_eq!(class_floor(3), 1);
+        assert_eq!(class_floor(1024), 10);
+        assert_eq!(class_floor(1600), 10);
+    }
+
+    #[test]
+    fn checkout_returns_empty_buffer_with_capacity() {
+        let b = checkout::<f32>(100);
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 100);
+    }
+
+    #[test]
+    fn second_same_class_checkout_is_a_hit() {
+        // Same thread, sequential: drop returns the buffer, the next
+        // checkout of the same class must reuse it.
+        let before = stats();
+        let b = checkout::<u32>(777);
+        let ptr = b.as_ptr();
+        drop(b);
+        let b2 = checkout::<u32>(777);
+        assert_eq!(b2.as_ptr(), ptr, "storage must be recycled");
+        let after = stats();
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn distinct_types_do_not_share_buffers() {
+        let bf = checkout::<f64>(64);
+        let bu = checkout::<usize>(64);
+        assert!(bf.capacity() >= 64 && bu.capacity() >= 64);
+    }
+
+    #[test]
+    fn grown_buffer_recycles_under_its_new_class() {
+        let mut b = checkout::<u8>(16);
+        b.resize(5000, 0); // grows past the class-4 estimate
+        drop(b);
+        let b2 = checkout::<u8>(5000);
+        assert!(b2.capacity() >= 5000);
+    }
+
+    #[test]
+    fn hit_rate_is_one_when_idle() {
+        assert_eq!(ArenaStats::default().hit_rate(), 1.0);
+        let s = ArenaStats {
+            hits: 99,
+            misses: 1,
+            alloc_bytes: 0,
+        };
+        assert!((s.hit_rate() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_checkouts_work_but_are_not_cached() {
+        let huge = (1usize << MAX_CLASS) + 1;
+        let b = checkout::<u8>(huge);
+        assert!(b.capacity() >= huge);
+    }
+}

@@ -8,12 +8,13 @@
 //! supports. The four library strategies share this engine with
 //! different profiles.
 
-use smm_kernels::registry::{tile_dimension, LibraryProfile, TileSpan};
+use smm_kernels::registry::{tile_dimension_into, LibraryProfile, TileSpan};
 use smm_kernels::{Kernel, Scalar};
 use smm_model::{derive_blocking, BlockingParams, CacheSizes};
 
+use crate::arena;
 use crate::matrix::{MatMut, MatRef};
-use crate::naive::check_dims;
+use crate::naive::check_dims_of;
 
 /// A configured Goto engine.
 #[derive(Debug, Clone)]
@@ -46,7 +47,7 @@ impl GotoEngine {
         beta: S,
         mut c: MatMut<'_, S>,
     ) {
-        let (m, k, n) = check_dims(&a, &b, &c.rb());
+        let (m, k, n) = check_dims_of(&a, &b, c.rows(), c.cols());
         c.scale(beta);
         if m == 0 || n == 0 || k == 0 {
             return;
@@ -56,25 +57,62 @@ impl GotoEngine {
         let nr = self.profile.main.nr();
         let edge = self.profile.edge;
 
-        let mut packed_b: Vec<S> = Vec::new();
-        let mut packed_a: Vec<S> = Vec::new();
-        let mut tmp: Vec<S> = Vec::new();
-        let mut scratch = vec![S::ZERO; mr * nr.max(16)];
+        // All working storage comes from the thread-local arena, so a
+        // warmed-up steady state allocates nothing per call.
+        let kc_max = bp.kc.min(k);
+        let step_max = self
+            .profile
+            .m_steps
+            .iter()
+            .chain(self.profile.n_steps.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(mr)
+            .max(nr);
+        let mut packed_b = arena::checkout::<S>(kc_max * (bp.nc.min(n) + nr));
+        let mut packed_a = arena::checkout::<S>(kc_max * (bp.mc.min(m) + mr));
+        let mut tmp = arena::checkout::<S>(kc_max * step_max);
+        let mut scratch = arena::checkout::<S>(mr * nr.max(16));
+        scratch.resize(mr * nr.max(16), S::ZERO);
+        let mut n_tiles =
+            arena::checkout::<TileSpan>(bp.nc.min(n) / nr + self.profile.n_steps.len() + 1);
+        let mut m_tiles =
+            arena::checkout::<TileSpan>(bp.mc.min(m) / mr + self.profile.m_steps.len() + 1);
+        let mut a_offsets = arena::checkout::<usize>(8);
+        let mut b_offsets = arena::checkout::<usize>(8);
 
         let mut jj = 0;
         while jj < n {
             let nc_cur = bp.nc.min(n - jj);
-            let n_tiles = tile_dimension(nc_cur, nr, edge, &self.profile.n_steps);
+            tile_dimension_into(nc_cur, nr, edge, &self.profile.n_steps, &mut n_tiles);
             let mut kk = 0;
             while kk < k {
                 let kc_cur = bp.kc.min(k - kk);
-                let b_offsets = pack_b_tiles(b, kk, jj, kc_cur, &n_tiles, &mut packed_b, &mut tmp);
+                pack_b_tiles(
+                    b,
+                    kk,
+                    jj,
+                    kc_cur,
+                    &n_tiles,
+                    &mut packed_b,
+                    &mut tmp,
+                    &mut b_offsets,
+                );
                 let mut ii = 0;
                 while ii < m {
                     let mc_cur = bp.mc.min(m - ii);
-                    let m_tiles = tile_dimension(mc_cur, mr, edge, &self.profile.m_steps);
-                    let a_offsets =
-                        pack_a_tiles(a, ii, kk, kc_cur, &m_tiles, &mut packed_a, &mut tmp);
+                    tile_dimension_into(mc_cur, mr, edge, &self.profile.m_steps, &mut m_tiles);
+                    pack_a_tiles(
+                        a,
+                        ii,
+                        kk,
+                        kc_cur,
+                        &m_tiles,
+                        &mut packed_a,
+                        &mut tmp,
+                        &mut a_offsets,
+                    );
                     // GEBP: all (sliver, panel) pairs.
                     for (jt_idx, jt) in n_tiles.iter().enumerate() {
                         for (it_idx, it) in m_tiles.iter().enumerate() {
@@ -105,8 +143,9 @@ impl GotoEngine {
     }
 }
 
-/// Pack the A panels for a list of M tiles; returns per-tile offsets
-/// into `out`.
+/// Pack the A panels for a list of M tiles; per-tile offsets into
+/// `out` land in `offsets` (cleared first).
+#[allow(clippy::too_many_arguments)]
 fn pack_a_tiles<S: Scalar>(
     a: MatRef<'_, S>,
     ii: usize,
@@ -115,18 +154,20 @@ fn pack_a_tiles<S: Scalar>(
     tiles: &[TileSpan],
     out: &mut Vec<S>,
     tmp: &mut Vec<S>,
-) -> Vec<usize> {
+    offsets: &mut Vec<usize>,
+) {
     out.clear();
-    let mut offsets = Vec::with_capacity(tiles.len());
+    offsets.clear();
     for t in tiles {
         offsets.push(out.len());
         crate::pack::pack_a(a, ii + t.offset, kk, t.logical, kc, t.kernel, tmp);
         out.extend_from_slice(tmp);
     }
-    offsets
 }
 
-/// Pack the B slivers for a list of N tiles; returns per-tile offsets.
+/// Pack the B slivers for a list of N tiles; per-tile offsets into
+/// `out` land in `offsets` (cleared first).
+#[allow(clippy::too_many_arguments)]
 fn pack_b_tiles<S: Scalar>(
     b: MatRef<'_, S>,
     kk: usize,
@@ -135,15 +176,15 @@ fn pack_b_tiles<S: Scalar>(
     tiles: &[TileSpan],
     out: &mut Vec<S>,
     tmp: &mut Vec<S>,
-) -> Vec<usize> {
+    offsets: &mut Vec<usize>,
+) {
     out.clear();
-    let mut offsets = Vec::with_capacity(tiles.len());
+    offsets.clear();
     for t in tiles {
         offsets.push(out.len());
         crate::pack::pack_b(b, kk, jj + t.offset, kc, t.logical, t.kernel, tmp);
         out.extend_from_slice(tmp);
     }
-    offsets
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -163,8 +204,12 @@ fn run_tile<S: Scalar>(
     let exact = it.kernel == it.logical && jt.kernel == jt.logical;
     let ldc = c.ld();
     if exact {
-        let off = (jj + jt.offset) * ldc + ii + it.offset;
-        kernel.run(kc, alpha, a_sl, b_sl, &mut c.data_mut()[off..], ldc);
+        let ptr = c.tile_ptr(ii + it.offset, jj + jt.offset, it.kernel, jt.kernel);
+        // SAFETY: `tile_ptr` just asserted that (ii+it.offset,
+        // jj+jt.offset) heads a `kernel x kernel` window inside `c`,
+        // whose elements `&mut c` owns exclusively; the kernel writes
+        // exactly that footprint with stride `ldc = c.ld()`.
+        unsafe { kernel.run_ptr(kc, alpha, a_sl, b_sl, ptr, ldc) };
     } else {
         // Padded tile (BLIS/BLASFEO): compute the full register tile
         // into scratch, then merge only the logical part into C.

@@ -17,6 +17,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod blasfeo;
 pub mod blis;
 pub mod eigen;

@@ -33,14 +33,25 @@ pub fn check_dims<S: Scalar>(
     b: &MatRef<'_, S>,
     c: &MatRef<'_, S>,
 ) -> (usize, usize, usize) {
+    check_dims_of(a, b, c.rows(), c.cols())
+}
+
+/// [`check_dims`] against C dimensions given directly — usable when C
+/// is a split tile that cannot expose a `MatRef`.
+pub fn check_dims_of<S: Scalar>(
+    a: &MatRef<'_, S>,
+    b: &MatRef<'_, S>,
+    c_rows: usize,
+    c_cols: usize,
+) -> (usize, usize, usize) {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(
         k, kb,
         "inner dimensions disagree: A is {m}x{k}, B is {kb}x{n}"
     );
-    assert_eq!(c.rows(), m, "C has {} rows, expected {m}", c.rows());
-    assert_eq!(c.cols(), n, "C has {} cols, expected {n}", c.cols());
+    assert_eq!(c_rows, m, "C has {c_rows} rows, expected {m}");
+    assert_eq!(c_cols, n, "C has {c_cols} cols, expected {n}");
     (m, k, n)
 }
 

@@ -121,6 +121,31 @@ pub fn pack_b_exact<S: Scalar>(
     }
 }
 
+/// [`pack_b_exact`] appending at the end of `out` (not cleared);
+/// returns the sliver's start offset. One reusable arena buffer can
+/// thus hold every sliver of a k block without per-sliver allocations.
+pub fn pack_b_exact_append<S: Scalar>(
+    b: MatRef<'_, S>,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nr_e: usize,
+    out: &mut Vec<S>,
+) -> usize {
+    assert!(
+        p0 + kc <= b.rows() && j0 + nr_e <= b.cols(),
+        "edge sliver out of bounds"
+    );
+    let start = out.len();
+    out.resize(start + kc * nr_e, S::ZERO);
+    for p in 0..kc {
+        for j in 0..nr_e {
+            out[start + p * nr_e + j] = b.at(p0 + p, j0 + j);
+        }
+    }
+    start
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +242,18 @@ mod tests {
                 assert!((c[j * m + i] - want).abs() < 1e-4, "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn append_packing_matches_exact_packing() {
+        let b = Mat::<f32>::random(9, 12, 4);
+        let mut exact = Vec::new();
+        let mut appended = vec![99.0f32; 3]; // pre-existing content kept
+        pack_b_exact(b.as_ref(), 1, 2, 7, 5, &mut exact);
+        let off = pack_b_exact_append(b.as_ref(), 1, 2, 7, 5, &mut appended);
+        assert_eq!(off, 3);
+        assert_eq!(&appended[..3], &[99.0; 3]);
+        assert_eq!(&appended[off..], exact.as_slice());
     }
 
     #[test]

@@ -20,20 +20,35 @@ use crate::scalar::Scalar;
 /// Function type of an instantiated micro-kernel.
 pub type KernelFn<S> = fn(kc: usize, alpha: S, a: &[S], b: &[S], c: &mut [S], ldc: usize);
 
-/// Generic register-tile micro-kernel; monomorphized per `(MR, NR)`.
+/// Raw-`C` variant of [`KernelFn`]: `c` points at element `(0, 0)` of
+/// the output tile. The caller must guarantee exclusive access to the
+/// `(NR-1)*ldc + MR` elements of the column-major tile footprint —
+/// this is what lets disjoint split tiles of one `C` be updated in
+/// place from several threads without overlapping `&mut` slices.
+// SAFETY: an `unsafe fn` pointer type — each call site must prove the
+// tile-footprint contract documented above.
+pub type KernelPtrFn<S> = unsafe fn(kc: usize, alpha: S, a: &[S], b: &[S], c: *mut S, ldc: usize);
+
+/// Raw core of [`microkernel`]; monomorphized per `(MR, NR)`.
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < MR`, `j < NR`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
 #[allow(clippy::too_many_arguments)]
-pub fn microkernel<S: Scalar, const MR: usize, const NR: usize>(
+pub unsafe fn microkernel_ptr<S: Scalar, const MR: usize, const NR: usize>(
     kc: usize,
     alpha: S,
     a: &[S],
     b: &[S],
-    c: &mut [S],
+    c: *mut S,
     ldc: usize,
 ) {
     assert!(a.len() >= kc * MR, "packed A sliver too short");
     assert!(b.len() >= kc * NR, "packed B sliver too short");
     assert!(ldc >= MR, "ldc must cover the tile rows");
-    assert!(c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
     let mut acc = [[S::ZERO; NR]; MR];
     for p in 0..kc {
         let av = &a[p * MR..(p + 1) * MR];
@@ -45,15 +60,87 @@ pub fn microkernel<S: Scalar, const MR: usize, const NR: usize>(
             }
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for j in 0..NR {
-        let col = &mut c[j * ldc..j * ldc + MR];
         for i in 0..MR {
-            col[i] = col[i].madd(alpha, acc[i][j]);
+            // SAFETY: (i, j) stays inside the MR x NR tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
         }
     }
 }
 
+/// Generic register-tile micro-kernel; monomorphized per `(MR, NR)`.
+#[allow(clippy::too_many_arguments)]
+pub fn microkernel<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    ldc: usize,
+) {
+    assert!(ldc >= MR, "ldc must cover the tile rows");
+    assert!(c.len() >= (NR - 1) * ldc + MR, "C block out of bounds");
+    // SAFETY: the asserts above prove the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { microkernel_ptr::<S, MR, NR>(kc, alpha, a, b, c.as_mut_ptr(), ldc) }
+}
+
 const DYN_MAX: usize = 16;
+
+/// Raw core of [`microkernel_dyn`].
+///
+/// # Safety
+/// `c` must be valid for exclusive reads and writes of the elements
+/// `c + j*ldc + i` for `i < mr`, `j < nr`.
+// SAFETY: an `unsafe fn` declaration — callers discharge the tile-
+// footprint contract in `# Safety` above; the body re-asserts operand
+// lengths before any raw write.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn microkernel_dyn_ptr<S: Scalar>(
+    mr: usize,
+    nr: usize,
+    kc: usize,
+    alpha: S,
+    a: &[S],
+    b: &[S],
+    c: *mut S,
+    ldc: usize,
+) {
+    assert!(
+        (1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr),
+        "dynamic tile {mr}x{nr} out of range"
+    );
+    assert!(a.len() >= kc * mr, "packed A sliver too short");
+    assert!(b.len() >= kc * nr, "packed B sliver too short");
+    assert!(ldc >= mr, "ldc must cover the tile rows");
+    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
+    for p in 0..kc {
+        let av = &a[p * mr..(p + 1) * mr];
+        let bv = &b[p * nr..(p + 1) * nr];
+        for i in 0..mr {
+            let ai = av[i];
+            for j in 0..nr {
+                acc[i][j] = acc[i][j].madd(ai, bv[j]);
+            }
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..nr {
+        for i in 0..mr {
+            // SAFETY: (i, j) stays inside the mr x nr tile footprint
+            // the caller contractually owns through `c`.
+            unsafe {
+                let p = c.add(j * ldc + i);
+                *p = (*p).madd(alpha, acc[i][j]);
+            }
+        }
+    }
+}
 
 /// Dynamic-shape fallback for arbitrary `mr × nr` up to 16×16.
 #[allow(clippy::too_many_arguments)]
@@ -68,31 +155,12 @@ pub fn microkernel_dyn<S: Scalar>(
     ldc: usize,
 ) {
     assert!(
-        (1..=DYN_MAX).contains(&mr) && (1..=DYN_MAX).contains(&nr),
-        "dynamic tile {mr}x{nr} out of range"
-    );
-    assert!(a.len() >= kc * mr, "packed A sliver too short");
-    assert!(b.len() >= kc * nr, "packed B sliver too short");
-    assert!(
-        ldc >= mr && c.len() >= (nr - 1) * ldc + mr,
+        ldc >= mr && nr >= 1 && c.len() >= (nr - 1) * ldc + mr,
         "C block out of bounds"
     );
-    let mut acc = [[S::ZERO; DYN_MAX]; DYN_MAX];
-    for p in 0..kc {
-        let av = &a[p * mr..(p + 1) * mr];
-        let bv = &b[p * nr..(p + 1) * nr];
-        for i in 0..mr {
-            let ai = av[i];
-            for j in 0..nr {
-                acc[i][j] = acc[i][j].madd(ai, bv[j]);
-            }
-        }
-    }
-    for j in 0..nr {
-        for i in 0..mr {
-            c[j * ldc + i] = c[j * ldc + i].madd(alpha, acc[i][j]);
-        }
-    }
+    // SAFETY: the assert above proves the slice covers the full
+    // column-major tile footprint, and `&mut` makes it exclusive.
+    unsafe { microkernel_dyn_ptr(mr, nr, kc, alpha, a, b, c.as_mut_ptr(), ldc) }
 }
 
 /// A runnable kernel: a statically instantiated function when the shape
@@ -102,6 +170,7 @@ pub struct Kernel<S: Scalar> {
     mr: usize,
     nr: usize,
     f: Option<KernelFn<S>>,
+    fp: Option<KernelPtrFn<S>>,
 }
 
 impl<S: Scalar> std::fmt::Debug for Kernel<S> {
@@ -127,6 +196,7 @@ impl<S: Scalar> Kernel<S> {
             mr,
             nr,
             f: lookup_static::<S>(mr, nr),
+            fp: lookup_static_ptr::<S>(mr, nr),
         }
     }
 
@@ -153,6 +223,25 @@ impl<S: Scalar> Kernel<S> {
             None => microkernel_dyn(self.mr, self.nr, kc, alpha, a, b, c, ldc),
         }
     }
+
+    /// Run the kernel against a raw `C` tile pointer (the in-place
+    /// split-tile path, where a covering `&mut [S]` cannot exist).
+    ///
+    /// # Safety
+    /// `c` must be valid for exclusive reads and writes of the elements
+    /// `c + j*ldc + i` for `i < self.mr()`, `j < self.nr()`.
+    // SAFETY: an `unsafe fn` declaration — callers discharge the
+    // tile-footprint contract in `# Safety` above.
+    #[inline]
+    pub unsafe fn run_ptr(&self, kc: usize, alpha: S, a: &[S], b: &[S], c: *mut S, ldc: usize) {
+        // SAFETY: forwarding the caller's tile-footprint contract.
+        unsafe {
+            match self.fp {
+                Some(f) => f(kc, alpha, a, b, c, ldc),
+                None => microkernel_dyn_ptr(self.mr, self.nr, kc, alpha, a, b, c, ldc),
+            }
+        }
+    }
 }
 
 macro_rules! kernel_registry {
@@ -161,6 +250,14 @@ macro_rules! kernel_registry {
         pub fn lookup_static<S: Scalar>(mr: usize, nr: usize) -> Option<KernelFn<S>> {
             match (mr, nr) {
                 $( ($mr, $nr) => Some(microkernel::<S, $mr, $nr> as KernelFn<S>), )+
+                _ => None,
+            }
+        }
+
+        /// Look up the raw-`C` form of a statically instantiated kernel.
+        pub fn lookup_static_ptr<S: Scalar>(mr: usize, nr: usize) -> Option<KernelPtrFn<S>> {
+            match (mr, nr) {
+                $( ($mr, $nr) => Some(microkernel_ptr::<S, $mr, $nr> as KernelPtrFn<S>), )+
                 _ => None,
             }
         }

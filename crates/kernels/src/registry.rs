@@ -182,8 +182,22 @@ pub fn tile_dimension(
     edge: EdgeStrategy,
     steps: &[usize],
 ) -> Vec<TileSpan> {
-    assert!(len > 0 && step > 0);
     let mut tiles = Vec::new();
+    tile_dimension_into(len, step, edge, steps, &mut tiles);
+    tiles
+}
+
+/// [`tile_dimension`] into a caller-provided buffer (cleared first), so
+/// hot paths can reuse one allocation across blocks.
+pub fn tile_dimension_into(
+    len: usize,
+    step: usize,
+    edge: EdgeStrategy,
+    steps: &[usize],
+    tiles: &mut Vec<TileSpan>,
+) {
+    assert!(len > 0 && step > 0);
+    tiles.clear();
     let full = len / step;
     for t in 0..full {
         tiles.push(TileSpan {
@@ -213,7 +227,6 @@ pub fn tile_dimension(
             }
         }
     }
-    tiles
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smm_core::{CallSite, Phase, Smm, StridedBatch};
+use smm_gemm::arena;
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_kernels::Scalar;
 
@@ -608,12 +609,15 @@ fn execute_group<S: Scalar>(
         return Ok(());
     }
     // Coalesced path: gather the dense prefixes into flat strided
-    // buffers so the whole group is one plan + one pool dispatch.
+    // buffers so the whole group is one plan + one pool dispatch. The
+    // gather buffers come from the dispatcher thread's packing arena —
+    // a steady stream of same-shape groups reuses the same storage
+    // instead of allocating three fresh vectors per group.
     let desc = StridedBatch::dense(m, n, k, live.len());
     let (ea, eb, ec) = (m * k, k * n, m * n);
-    let mut fa = Vec::with_capacity(live.len() * ea);
-    let mut fb = Vec::with_capacity(live.len() * eb);
-    let mut fc = Vec::with_capacity(live.len() * ec);
+    let mut fa = arena::checkout::<S>(live.len() * ea);
+    let mut fb = arena::checkout::<S>(live.len() * eb);
+    let mut fc = arena::checkout::<S>(live.len() * ec);
     for p in live.iter() {
         fa.extend_from_slice(&p.req.a[..ea]);
         fb.extend_from_slice(&p.req.b[..eb]);
