@@ -5,9 +5,12 @@
 //! `A` sliver, packed `B` sliver, the `C` tile, the staged `alpha`
 //! scalar). Stores must additionally hit a writable region only —
 //! a store into a packed operand would corrupt data shared with the
-//! other micro-kernels of the same macro-tile. Vector accesses must be
-//! 16-byte aligned, matching the `ldr q`/`str q` forms the trace
-//! generator models (§III-B: unaligned slivers force scalar loads).
+//! other micro-kernels of the same macro-tile. On the 128-bit ISA,
+//! vector accesses must be 16-byte aligned, matching the `ldr q`/`str q`
+//! forms the trace generator models (§III-B: unaligned slivers force
+//! scalar loads); SVE-style ISAs require only element alignment, and
+//! predicated accesses are bounds-checked at their first active element
+//! (inactive lanes never fault).
 
 use smm_simarch::isa::{Inst, Op};
 
@@ -59,12 +62,14 @@ pub enum AccessViolation {
         /// Name of the read-only region hit.
         region: &'static str,
     },
-    /// Vector access not 16-byte aligned.
+    /// Vector access below the ISA's required alignment.
     Misaligned {
         /// Index of the offending instruction.
         index: usize,
         /// The accessed address.
         addr: u64,
+        /// The required alignment in bytes.
+        align: u64,
     },
     /// Two declared regions overlap (operand aliasing).
     RegionOverlap {
@@ -96,10 +101,10 @@ impl std::fmt::Display for AccessViolation {
                 f,
                 "inst #{index} stores to {addr:#x} inside read-only operand {region}"
             ),
-            AccessViolation::Misaligned { index, addr } => {
+            AccessViolation::Misaligned { index, addr, align } => {
                 write!(
                     f,
-                    "inst #{index} vector access at {addr:#x} is not 16-byte aligned"
+                    "inst #{index} vector access at {addr:#x} is not {align}-byte aligned"
                 )
             }
             AccessViolation::RegionOverlap { a, b } => {
@@ -110,11 +115,26 @@ impl std::fmt::Display for AccessViolation {
 }
 
 /// Bytes touched by a memory op, or `None` for non-memory ops.
-fn access_size(op: Op, elem: u64) -> Option<u64> {
+/// `vbytes` is the active ISA's vector register width. A predicated
+/// access is checked at its first active element only: the governing
+/// predicate clamps the tail, and inactive SVE lanes never fault.
+fn access_size(op: Op, elem: u64, vbytes: u64) -> Option<u64> {
     match op {
-        Op::LdVec | Op::StVec => Some(16),
+        Op::LdVec | Op::StVec => Some(vbytes),
+        Op::LdVecPred | Op::StVecPred => Some(elem),
         Op::LdScalar | Op::StScalar => Some(elem),
         Op::LdPair => Some(2 * elem),
+        _ => None,
+    }
+}
+
+/// Required alignment of a memory op, or `None` when unchecked. The
+/// 128-bit ISA models `ldr q`/`str q` (16-byte); wider, SVE-style
+/// vectors and all predicated forms require element alignment only.
+fn required_alignment(op: Op, elem: u64, vbytes: u64) -> Option<u64> {
+    match op {
+        Op::LdVec | Op::StVec if vbytes == 16 => Some(16),
+        Op::LdVec | Op::StVec | Op::LdVecPred | Op::StVecPred => Some(elem),
         _ => None,
     }
 }
@@ -130,6 +150,7 @@ pub fn check_stream(
     regions: &[MemRegion],
     disjoint: &[usize],
     elem: u64,
+    vbytes: u64,
 ) -> Vec<AccessViolation> {
     let mut out = Vec::new();
     for (ai, &i) in disjoint.iter().enumerate() {
@@ -143,12 +164,14 @@ pub fn check_stream(
         }
     }
     for (index, inst) in insts.iter().enumerate() {
-        let Some(size) = access_size(inst.op, elem) else {
+        let Some(size) = access_size(inst.op, elem, vbytes) else {
             continue;
         };
         let addr = inst.addr;
-        if matches!(inst.op, Op::LdVec | Op::StVec) && addr % 16 != 0 {
-            out.push(AccessViolation::Misaligned { index, addr });
+        if let Some(align) = required_alignment(inst.op, elem, vbytes) {
+            if addr % align != 0 {
+                out.push(AccessViolation::Misaligned { index, addr, align });
+            }
         }
         match regions.iter().find(|r| r.contains(addr, size)) {
             None => out.push(AccessViolation::OutOfBounds {
@@ -208,13 +231,13 @@ mod tests {
             Inst::st_vec(v(0), 0x8000, P),
             Inst::ld_scalar(s(0), 0x10fc, P),
         ];
-        assert!(check_stream(&insts, &regions(), &[0, 1], 4).is_empty());
+        assert!(check_stream(&insts, &regions(), &[0, 1], 4, 16).is_empty());
     }
 
     #[test]
     fn out_of_bounds_flagged() {
         let insts = vec![Inst::ld_vec(v(0), 0x1100, P)]; // one past A
-        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        let v = check_stream(&insts, &regions(), &[0, 1], 4, 16);
         assert!(matches!(
             v[0],
             AccessViolation::OutOfBounds { addr: 0x1100, .. }
@@ -224,7 +247,7 @@ mod tests {
     #[test]
     fn store_into_read_only_operand_flagged() {
         let insts = vec![Inst::st_vec(v(0), 0x1000, P)];
-        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        let v = check_stream(&insts, &regions(), &[0, 1], 4, 16);
         assert!(matches!(
             v[0],
             AccessViolation::ReadOnlyStore { region: "A", .. }
@@ -234,17 +257,43 @@ mod tests {
     #[test]
     fn misalignment_flagged() {
         let insts = vec![Inst::ld_vec(v(0), 0x1004, P)];
-        let v = check_stream(&insts, &regions(), &[0, 1], 4);
+        let v = check_stream(&insts, &regions(), &[0, 1], 4, 16);
         assert!(v
             .iter()
             .any(|x| matches!(x, AccessViolation::Misaligned { .. })));
     }
 
     #[test]
+    fn wide_vectors_are_bounds_checked_at_full_width() {
+        // A load at 0x10f0: the last 16 bytes of A. In bounds for a
+        // 128-bit register, 16 bytes past the end for a 256-bit one.
+        let insts = vec![Inst::ld_vec(v(0), 0x10f0, P)];
+        assert!(check_stream(&insts, &regions(), &[0, 1], 4, 16).is_empty());
+        let viol = check_stream(&insts, &regions(), &[0, 1], 4, 32);
+        assert!(matches!(viol[0], AccessViolation::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn predicated_accesses_are_element_aligned_and_tail_tolerant() {
+        use smm_simarch::isa::pr;
+        // First active element on the last word of A: the governing
+        // predicate clamps the tail, so no out-of-bounds.
+        let insts = vec![Inst::ld_vec_pred(v(0), pr(0), 0x10fc, P)];
+        assert!(check_stream(&insts, &regions(), &[0, 1], 4, 32).is_empty());
+        // Sub-element alignment is still a violation.
+        let bad = vec![Inst::ld_vec_pred(v(0), pr(0), 0x1002, P)];
+        let viol = check_stream(&bad, &regions(), &[0, 1], 4, 32);
+        assert!(matches!(
+            viol[0],
+            AccessViolation::Misaligned { align: 4, .. }
+        ));
+    }
+
+    #[test]
     fn overlapping_operands_flagged() {
         let mut r = regions();
         r[1].base = 0x1080; // C now aliases A
-        let v = check_stream(&[], &r, &[0, 1], 4);
+        let v = check_stream(&[], &r, &[0, 1], 4, 16);
         assert_eq!(v[0], AccessViolation::RegionOverlap { a: "A", b: "C" });
     }
 }

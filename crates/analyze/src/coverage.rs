@@ -15,7 +15,7 @@
 //! of the main tile matters there and is checked elsewhere.
 
 use smm_kernels::registry::EdgeStrategy;
-use smm_model::check_register_budget;
+use smm_model::VectorIsa;
 
 /// A registry's edge-handling contract, decoupled from
 /// [`smm_kernels::LibraryProfile`] so deliberately broken registries
@@ -35,6 +35,8 @@ pub struct EdgeRegistry<'a> {
     pub m_steps: &'a [usize],
     /// Available N decomposition steps (descending).
     pub n_steps: &'a [usize],
+    /// Vector ISA whose Eq. 4 budget edge tiles are checked against.
+    pub isa: VectorIsa,
 }
 
 /// One coverage defect.
@@ -175,7 +177,7 @@ pub fn check_coverage(reg: &EdgeRegistry<'_>) -> Vec<CoverageIssue> {
             return;
         }
         seen.push((mr_e, nr_e));
-        if check_register_budget(mr_e, nr_e, 4, 32, 2).is_err() {
+        if reg.isa.check_register_budget(mr_e, nr_e, 4).is_err() {
             issues.push(CoverageIssue::InfeasibleEdgeTile { mr_e, nr_e });
         }
     };
@@ -203,6 +205,7 @@ mod tests {
             edge: EdgeStrategy::EdgeKernels,
             m_steps: &[16, 8, 4, 2, 1],
             n_steps: &[4, 2, 1],
+            isa: VectorIsa::neon128(),
         }
     }
 
@@ -268,9 +271,17 @@ mod tests {
             edge: EdgeStrategy::EdgeKernels,
             m_steps: &[16, 8, 4, 2, 1],
             n_steps: &[12, 8, 4, 2, 1],
+            isa: VectorIsa::neon128(),
         };
         assert!(check_coverage(&r)
             .iter()
             .any(|i| matches!(i, CoverageIssue::InfeasibleEdgeTile { .. })));
+        // The same registry is fully feasible at 256 bits: 16x12 is
+        // ceil(16/8)*12 = 24 accumulators, within budget.
+        let wide = EdgeRegistry {
+            isa: VectorIsa::sve256(),
+            ..r
+        };
+        assert!(check_coverage(&wide).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Golden bad-kernel fixtures: four deliberately broken inputs, each
+//! Golden bad-kernel fixtures: five deliberately broken inputs, each
 //! tripping exactly the check built to catch it. They double as the
 //! analyzer's self-test (`smm-analyze --self-check` and the golden
 //! integration tests): if a fixture stops being flagged, the verifier
@@ -7,7 +7,7 @@
 use smm_kernels::registry::EdgeStrategy;
 use smm_kernels::trace_gen::kernel_trace;
 use smm_kernels::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
-use smm_model::KernelShape;
+use smm_model::{KernelShape, VectorIsa};
 use smm_simarch::isa::{v, Inst, Op};
 
 use crate::coverage::EdgeRegistry;
@@ -18,10 +18,17 @@ use crate::verifier::{
 };
 
 /// Fixture 1 — a 16×8 register tile: 32 accumulators against the
-/// 30-register Eq. 4 budget. Must be flagged `AN-E001`.
+/// 30-register Eq. 4 budget *at 4 lanes*. The shape is genuinely
+/// feasible at wider widths (2·8 = 16 ≤ 30 at SVE-256), so the fixture
+/// pins NEON-128 regardless of the session's `--isa`; fixture 5 is its
+/// wide-width counterpart. Must be flagged `AN-E001`.
 pub fn over_budget_descriptor(cfg: &VerifyConfig) -> Report {
+    let cfg = VerifyConfig {
+        isa: VectorIsa::neon128(),
+        ..*cfg
+    };
     let mut report = Report::new();
-    verify_shape("fixture/over-budget-16x8", 16, 8, cfg, &mut report);
+    verify_shape("fixture/over-budget-16x8", 16, 8, &cfg, &mut report);
     report
 }
 
@@ -93,29 +100,47 @@ pub fn uncovered_registry() -> Report {
         edge: EdgeStrategy::EdgeKernels,
         m_steps: &[16, 8],
         n_steps: &[4, 2, 1],
+        isa: VectorIsa::neon128(),
     };
     let mut report = Report::new();
     verify_registry(&registry, &mut report);
     report
 }
 
+/// Fixture 5 — a deliberately over-budget *wide-vector* tile: 32×16 at
+/// 512 bits needs `ceil(32/16) * 16 = 32` accumulators against the
+/// 30-register budget. Eq. 4 must hold at every width, not just 128
+/// bits. Must be flagged `AN-E001`.
+pub fn over_budget_wide_descriptor() -> Report {
+    let mut report = Report::new();
+    let cfg = VerifyConfig::for_isa(VectorIsa::sve512());
+    verify_shape("fixture/over-budget-wide-32x16", 32, 16, &cfg, &mut report);
+    report
+}
+
 /// The expected `(fixture, code)` pairs.
-pub const EXPECTED: [(&str, &str); 4] = [
+pub const EXPECTED: [(&str, &str); 5] = [
     ("over-budget descriptor", "AN-E001"),
+    ("over-budget wide descriptor", "AN-E001"),
     ("hazard-serialized stream", "AN-E003"),
     ("out-of-bounds access", "AN-E004"),
     ("uncovered edge registry", "AN-E006"),
 ];
 
-/// Run all four fixtures plus the shipped-tree pass and report any
+/// Run all five fixtures plus the shipped-tree pass and report any
 /// deviation from the golden expectations as an `AN-SELF` error.
 pub fn self_check(cfg: &VerifyConfig) -> Report {
     let mut out = Report::new();
-    let runs: [(&str, &str, Report); 4] = [
+    let runs: [(&str, &str, Report); 5] = [
         (
             "over-budget descriptor",
             "AN-E001",
             over_budget_descriptor(cfg),
+        ),
+        (
+            "over-budget wide descriptor",
+            "AN-E001",
+            over_budget_wide_descriptor(),
         ),
         (
             "hazard-serialized stream",
@@ -170,6 +195,7 @@ mod tests {
     fn each_fixture_trips_its_check() {
         let cfg = VerifyConfig::default();
         assert!(over_budget_descriptor(&cfg).has_code("AN-E001"));
+        assert!(over_budget_wide_descriptor().has_code("AN-E001"));
         assert!(hazard_serialized_stream(&cfg).has_code("AN-E003"));
         assert!(out_of_bounds_stream(&cfg).has_code("AN-E004"));
         assert!(uncovered_registry().has_code("AN-E006"));

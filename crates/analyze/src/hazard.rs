@@ -20,7 +20,7 @@
 //! *avoidable* scheduling defect and is flagged as an error.
 
 use smm_simarch::cpu::PipelineConfig;
-use smm_simarch::isa::{Inst, Op, NO_REG};
+use smm_simarch::isa::{Inst, NO_REG};
 
 /// Configuration of the chain analysis.
 #[derive(Debug, Clone, Copy)]
@@ -77,7 +77,7 @@ pub fn chain_analysis(insts: &[Inst], cfg: &HazardConfig) -> ChainReport {
             }
         }
         critical = critical.max(done);
-        if inst.op == Op::Fma {
+        if inst.op.is_fma() {
             fma_count += 1;
         }
     }

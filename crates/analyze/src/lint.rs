@@ -29,6 +29,14 @@
 //!   bench/example code, so the untimed hot path provably never reads
 //!   the clock.
 //! * `LINT-W105` — a malformed or unused waiver.
+//! * `LINT-E106` (`vector-width-literal`) — hardcoded vector-width
+//!   assumptions: references to the retired NEON-128 constants
+//!   (`F32_LANES`, `TOTAL_VREGS`, `SPARE_VREGS`), or a width-parametric
+//!   model API (`chain_bound_efficiency`, `accumulator_registers`,
+//!   `satisfies_register_constraint`) called with a bare lane-count
+//!   literal. Lane counts must come from a [`smm_model::VectorIsa`];
+//!   only the ISA definitions themselves (`crates/model/src/isa.rs`)
+//!   may spell widths out.
 //!
 //! Test code is exempt: everything at or below a file's first
 //! `#[cfg(test)]`, and files under a `tests/` directory.
@@ -325,6 +333,52 @@ fn preceded_by(
     false
 }
 
+/// Width-parametric model APIs whose lane-count argument must come
+/// from a `VectorIsa`, never a bare literal.
+const WIDTH_PARAM_APIS: [&str; 3] = [
+    "chain_bound_efficiency",
+    "accumulator_registers",
+    "satisfies_register_constraint",
+];
+
+/// Retired NEON-128 width constants; any surviving reference is a
+/// hardcoded 128-bit assumption the width-agnostic API removed.
+const RETIRED_WIDTH_CONSTS: [&str; 3] = ["F32_LANES", "TOTAL_VREGS", "SPARE_VREGS"];
+
+/// Does this line call a width-parametric API with a bare integer as
+/// its first argument (e.g. `shape.chain_bound_efficiency(4, lat)`)?
+fn calls_width_api_with_literal(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for api in WIDTH_PARAM_APIS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(api) {
+            let start = from + pos;
+            let end = start + api.len();
+            from = end;
+            if start > 0 && is_ident_byte(bytes[start - 1]) {
+                continue; // part of a longer identifier
+            }
+            let Some(args) = code[end..].trim_start().strip_prefix('(') else {
+                continue; // definition site or bare mention
+            };
+            let arg = args.trim_start();
+            let digits = arg.chars().take_while(char::is_ascii_digit).count();
+            if digits > 0 {
+                let after = arg[digits..].trim_start();
+                if after.starts_with(',') || after.starts_with(')') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn path_allows_width_literals(rel: &str) -> bool {
+    // The ISA descriptors are where vector widths are *defined*.
+    rel.ends_with("crates/model/src/isa.rs")
+}
+
 /// A parsed `lint:allow` waiver.
 struct Waiver {
     line: usize,
@@ -489,6 +543,22 @@ pub fn lint_source(rel: &str, source: &str) -> Report {
                 .at(loc()),
             );
         }
+
+        if !path_allows_width_literals(rel)
+            && (RETIRED_WIDTH_CONSTS.iter().any(|c| has_word(code, c))
+                || calls_width_api_with_literal(code))
+            && !waived(&mut waivers, "vector-width-literal", i)
+        {
+            report.push(
+                Finding::error(
+                    "LINT-E106",
+                    rel,
+                    "hardcoded vector width — take the lane count from a `VectorIsa` \
+                     descriptor instead of a bare literal or retired NEON-128 constant",
+                )
+                .at(loc()),
+            );
+        }
     }
 
     for w in &waivers {
@@ -637,6 +707,29 @@ mod tests {
         // clock site; a stray read elsewhere in serve still fails.
         assert!(!lint_source("crates/serve/src/clock.rs", clock).has_code("LINT-E104"));
         assert!(lint_source("crates/serve/src/server.rs", clock).has_code("LINT-E104"));
+    }
+
+    #[test]
+    fn width_literals_are_fenced_to_isa_definitions() {
+        // A bare lane count fed to a width-parametric API is flagged...
+        let bad = "let e = shape.chain_bound_efficiency(4, lat);";
+        assert!(lint_source("crates/x/src/a.rs", bad).has_code("LINT-E106"));
+        let bad2 = "if k.satisfies_register_constraint(4, 32, 2) {}";
+        assert!(lint_source("crates/x/src/a.rs", bad2).has_code("LINT-E106"));
+        // ...taking it from the ISA is not.
+        let good = "let e = shape.chain_bound_efficiency(isa.lanes_f32(), lat);";
+        assert!(!lint_source("crates/x/src/a.rs", good).has_code("LINT-E106"));
+        // Definition sites do not trip the rule.
+        let def = "pub fn chain_bound_efficiency(&self, lanes: usize) -> f64 {";
+        assert!(!lint_source("crates/x/src/a.rs", def).has_code("LINT-E106"));
+        // Retired constants are flagged everywhere but the ISA file.
+        let retired = "let n = mr.div_ceil(F32_LANES);";
+        assert!(lint_source("crates/x/src/a.rs", retired).has_code("LINT-E106"));
+        assert!(!lint_source("crates/model/src/isa.rs", retired).has_code("LINT-E106"));
+        // Waivable like every other rule.
+        let waived = "// lint:allow(vector-width-literal) -- NEON-only fallback table\n\
+                      let e = shape.chain_bound_efficiency(4, lat);";
+        assert!(!lint_source("crates/x/src/a.rs", waived).has_code("LINT-E106"));
     }
 
     #[test]

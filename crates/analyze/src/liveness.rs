@@ -14,17 +14,21 @@
 //! from instruction 0; they are reported as `live_in` so the verifier
 //! can sanity-check that only accumulator-class registers appear.
 
-use smm_simarch::isa::{Inst, Reg, NUM_VREGS, S0, X0};
+use smm_simarch::isa::{Inst, Reg, NUM_VREGS, P0, S0, X0, ZA0};
 
 /// Architectural register classes of the simulated ISA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegClass {
-    /// 128-bit vector registers `V0..V31`.
+    /// Vector registers `V0..V31` (width set by the active ISA).
     Vector,
     /// Scalar FP views `S0..S31`.
     Scalar,
     /// General-purpose integer registers `X0..X31`.
     Int,
+    /// Governing predicates `P0..P15` (SVE-style ISAs).
+    Pred,
+    /// Outer-product tile accumulators `ZA0..ZA7` (SME-style ISAs).
+    Tile,
 }
 
 /// Class of an architectural register index.
@@ -33,8 +37,12 @@ pub fn class_of(reg: Reg) -> RegClass {
         RegClass::Vector
     } else if reg < X0 {
         RegClass::Scalar
-    } else {
+    } else if reg < P0 {
         RegClass::Int
+    } else if reg < ZA0 {
+        RegClass::Pred
+    } else {
+        RegClass::Tile
     }
 }
 
@@ -47,6 +55,10 @@ pub struct PressureReport {
     pub max_scalar: usize,
     /// Maximum simultaneously live integer registers.
     pub max_int: usize,
+    /// Maximum simultaneously live predicate registers.
+    pub max_pred: usize,
+    /// Maximum simultaneously live tile accumulators.
+    pub max_tile: usize,
     /// Vector registers read before any write (expected: accumulators).
     pub vector_live_in: usize,
     /// Scalar registers read before any write.
@@ -70,19 +82,21 @@ pub fn register_pressure(insts: &[Inst]) -> PressureReport {
     if n == 0 {
         return PressureReport::default();
     }
-    const NREGS: usize = 96;
+    const NREGS: usize = 128;
     let mut open: [Option<Open>; NREGS] = [None; NREGS];
     let mut ever_written = [false; NREGS];
     let mut live_in = [false; NREGS];
     // Interval deltas per class, indexed by instruction position.
-    let mut delta = [vec![0i32; n + 1], vec![0i32; n + 1], vec![0i32; n + 1]];
+    let mut delta: [Vec<i32>; 5] = std::array::from_fn(|_| vec![0i32; n + 1]);
 
     let class_idx = |r: Reg| match class_of(r) {
         RegClass::Vector => 0usize,
         RegClass::Scalar => 1,
         RegClass::Int => 2,
+        RegClass::Pred => 3,
+        RegClass::Tile => 4,
     };
-    let close = |open: &mut [Option<Open>; NREGS], delta: &mut [Vec<i32>; 3], r: Reg| {
+    let close = |open: &mut [Option<Open>; NREGS], delta: &mut [Vec<i32>; 5], r: Reg| {
         if let Some(iv) = open[r as usize].take() {
             delta[class_idx(r)][iv.start] += 1;
             delta[class_idx(r)][iv.last_use + 1] -= 1;
@@ -144,6 +158,8 @@ pub fn register_pressure(insts: &[Inst]) -> PressureReport {
         max_vector: peak(&delta[0]),
         max_scalar: peak(&delta[1]),
         max_int: peak(&delta[2]),
+        max_pred: peak(&delta[3]),
+        max_tile: peak(&delta[4]),
         vector_live_in: count_in(0, NUM_VREGS as usize),
         scalar_live_in: count_in(S0 as usize, X0 as usize),
     }
@@ -215,6 +231,24 @@ mod tests {
         ];
         let p = register_pressure(&insts);
         assert_eq!(p.max_vector, 1);
+    }
+
+    #[test]
+    fn predicates_and_tiles_have_their_own_classes() {
+        use smm_simarch::isa::{pr, x, za};
+        assert_eq!(class_of(pr(0)), RegClass::Pred);
+        assert_eq!(class_of(pr(15)), RegClass::Pred);
+        assert_eq!(class_of(za(0)), RegClass::Tile);
+        let insts = vec![
+            Inst::while_lt(pr(0), x(2), P),
+            Inst::ld_vec_pred(v(0), pr(0), 0x0, P),
+            Inst::fma_pred(v(1), v(0), s(0), pr(0), P),
+            Inst::st_vec_pred(v(1), pr(0), 0x100, P),
+        ];
+        let p = register_pressure(&insts);
+        assert_eq!(p.max_pred, 1, "one governing predicate live throughout");
+        assert_eq!(p.max_vector, 2);
+        assert_eq!(p.vector_live_in, 1); // the fma accumulator
     }
 
     #[test]

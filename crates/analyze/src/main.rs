@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! smm-analyze [--json] [--deny-warnings] [--only kernels|lint]
-//!             [--root PATH] [--kc N] [--min-chain-frac F] [--self-check]
+//!             [--root PATH] [--kc N] [--min-chain-frac F]
+//!             [--isa neon128|sve256|sve512] [--self-check]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` warnings under `--deny-warnings`,
@@ -43,7 +44,8 @@ impl Default for Options {
 }
 
 const USAGE: &str = "usage: smm-analyze [--json] [--deny-warnings] [--only kernels|lint] \
-                     [--root PATH] [--kc N] [--min-chain-frac F] [--self-check]";
+                     [--root PATH] [--kc N] [--min-chain-frac F] \
+                     [--isa neon128|sve256|sve512] [--self-check]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
@@ -71,6 +73,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.cfg.min_chain_fraction = v
                     .parse()
                     .map_err(|e| format!("bad --min-chain-frac {v:?}: {e}"))?;
+            }
+            "--isa" => {
+                let v = args.next().ok_or("--isa expects neon128|sve256|sve512")?;
+                opts.cfg.isa = smm_model::VectorIsa::by_name(&v)
+                    .ok_or_else(|| format!("unknown ISA {v:?} (neon128|sve256|sve512)"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -21,8 +21,8 @@
 
 use smm_kernels::registry::{EdgeStrategy, LibraryProfile};
 use smm_kernels::trace_gen::{kernel_trace, KernelTraceParams};
-use smm_kernels::MicroKernelDesc;
-use smm_model::{check_register_budget, KernelShape};
+use smm_kernels::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+use smm_model::{KernelShape, VectorIsa};
 use smm_simarch::isa::Inst;
 use smm_simarch::phase::Phase;
 
@@ -37,8 +37,10 @@ use crate::report::{Finding, Report};
 pub struct VerifyConfig {
     /// k-loop depth of the canonical trace.
     pub kc: usize,
-    /// SIMD lanes per vector register (4 for f32 NEON).
-    pub lanes: usize,
+    /// Vector ISA the kernels are verified against: sets the lane
+    /// count of the Eq. 4 budget, the architectural file size of the
+    /// spill proof, and the access width of the bounds gate.
+    pub isa: VectorIsa,
     /// A stream whose measured chain-bound ceiling falls below this
     /// fraction of its *shape's* intrinsic ceiling has an avoidable
     /// scheduling defect (Fig. 7) and is flagged `AN-E003`.
@@ -55,10 +57,20 @@ impl Default for VerifyConfig {
     fn default() -> Self {
         VerifyConfig {
             kc: 64,
-            lanes: 4,
+            isa: VectorIsa::neon128(),
             min_chain_fraction: 0.85,
             note_ceiling_below: 0.5,
             hazard: HazardConfig::default(),
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// The default configuration retargeted at another vector ISA.
+    pub fn for_isa(isa: VectorIsa) -> Self {
+        VerifyConfig {
+            isa,
+            ..Default::default()
         }
     }
 }
@@ -129,10 +141,14 @@ pub fn verify_shape(
     cfg: &VerifyConfig,
     out: &mut Report,
 ) -> bool {
-    match check_register_budget(mr, nr, cfg.lanes, 32, 2) {
+    match cfg.isa.check_register_budget(mr, nr, 4) {
         Ok(_) => true,
         Err(e) => {
-            out.push(Finding::error("AN-E001", subject, e.to_string()));
+            out.push(Finding::error(
+                "AN-E001",
+                subject,
+                format!("{e} (isa {})", cfg.isa),
+            ));
             false
         }
     }
@@ -155,13 +171,15 @@ pub fn verify_stream(
     // instructions, so exceeding the architectural file means the
     // emitted kernel is simply wrong on hardware.
     let pressure = register_pressure(insts);
-    if pressure.max_vector > 32 {
+    let vfile = cfg.isa.num_vregs;
+    if pressure.max_vector > vfile {
         out.push(Finding::error(
             "AN-E002",
             subject,
             format!(
-                "live-range analysis proves a spill: {} vector values live at once, file holds 32",
-                pressure.max_vector
+                "live-range analysis proves a spill: {} vector values live at once, \
+                 {} file holds {vfile}",
+                pressure.max_vector, cfg.isa
             ),
         ));
     }
@@ -175,7 +193,7 @@ pub fn verify_stream(
             ),
         ));
     }
-    let acc = shape.accumulator_registers(cfg.lanes);
+    let acc = shape.accumulator_registers(cfg.isa.lanes_f32());
     if pressure.vector_live_in != acc {
         out.push(Finding::warning(
             "AN-W008",
@@ -189,7 +207,7 @@ pub fn verify_stream(
 
     // Gate 3: dependence chains vs the shape's own ceiling.
     let fma_latency = cfg.hazard.pipeline.fma_latency as usize;
-    let ceiling = shape.chain_bound_efficiency(cfg.lanes, fma_latency);
+    let ceiling = shape.chain_bound_efficiency(cfg.isa.lanes_f32(), fma_latency);
     let chains = chain_analysis(insts, &cfg.hazard);
     if chains.fma_count > 0 {
         if chains.chain_bound < cfg.min_chain_fraction * ceiling {
@@ -224,7 +242,7 @@ pub fn verify_stream(
     }
 
     // Gate 4: bounds, aliasing, alignment.
-    for violation in check_stream(insts, regions, disjoint, 4) {
+    for violation in check_stream(insts, regions, disjoint, 4, cfg.isa.vreg_bytes() as u64) {
         let (code, loc) = match &violation {
             AccessViolation::OutOfBounds { index, .. } => ("AN-E004", Some(*index)),
             AccessViolation::ReadOnlyStore { index, .. } => ("AN-E005", Some(*index)),
@@ -326,6 +344,7 @@ pub fn verify_profile(profile: &LibraryProfile, cfg: &VerifyConfig) -> Report {
         edge: profile.edge,
         m_steps: &profile.m_steps,
         n_steps: &profile.n_steps,
+        isa: cfg.isa,
     };
     verify_registry(&registry, &mut out);
     out
@@ -344,12 +363,49 @@ pub fn verify_registry(registry: &EdgeRegistry<'_>, out: &mut Report) {
     }
 }
 
-/// Verify every registered library profile.
+/// Reference register tiles per ISA for the width-parametric pass:
+/// the main tile each width would run, plus — on predicated ISAs —
+/// residue shapes that exercise the masked-edge path (a row count that
+/// is not a lane multiple).
+pub fn reference_shapes(isa: &VectorIsa) -> &'static [(usize, usize)] {
+    match isa.vlen_bits {
+        128 => &[(16, 4), (12, 4), (8, 12), (8, 8)],
+        256 => &[(16, 12), (16, 8), (8, 12), (11, 12), (13, 4)],
+        _ => &[(32, 12), (32, 8), (16, 12), (23, 12), (9, 8)],
+    }
+}
+
+/// Width-parametric verification: every reference tile of `cfg.isa`
+/// through all four gates, with the trace emitted *for that ISA* (so
+/// predicated edge streams are what gets proven on SVE-style widths).
+pub fn verify_isa_references(cfg: &VerifyConfig, out: &mut Report) {
+    for &(mr, nr) in reference_shapes(&cfg.isa) {
+        let subject = format!("{}/ref-{mr}x{nr}", cfg.isa);
+        if !verify_shape(&subject, mr, nr, cfg, out) {
+            continue;
+        }
+        let desc = MicroKernelDesc::for_isa(
+            cfg.isa,
+            mr,
+            nr,
+            4,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+        );
+        verify_descriptor(&subject, desc, cfg, out);
+    }
+}
+
+/// Verify every registered library profile (on the 128-bit ISA they
+/// model) plus the width-parametric reference tiles of `cfg.isa`.
 pub fn verify_all(cfg: &VerifyConfig) -> Report {
     let mut out = Report::new();
-    for profile in LibraryProfile::all() {
-        out.merge(verify_profile(&profile, cfg));
+    if cfg.isa == VectorIsa::neon128() {
+        for profile in LibraryProfile::all() {
+            out.merge(verify_profile(&profile, cfg));
+        }
     }
+    verify_isa_references(cfg, &mut out);
     out
 }
 
@@ -380,6 +436,37 @@ mod tests {
     }
 
     #[test]
+    fn every_isa_config_verifies_clean() {
+        // The acceptance bar of the width-agnostic redesign: the same
+        // four gates pass width-parametrically on all three configs,
+        // including the predicated edge streams of the SVE widths.
+        for isa in VectorIsa::all() {
+            let report = verify_all(&VerifyConfig::for_isa(isa));
+            let noisy: Vec<_> = report
+                .findings
+                .iter()
+                .filter(|f| f.severity >= Severity::Warning)
+                .collect();
+            assert!(noisy.is_empty(), "{isa}: {noisy:#?}");
+            assert!(report.kernels_checked >= reference_shapes(&isa).len());
+        }
+    }
+
+    #[test]
+    fn wide_budget_admits_what_neon_rejects() {
+        // 16x8 is AN-E001 at 128 bits but passes all four gates at 256.
+        let mut out = Report::new();
+        assert!(verify_shape(
+            "t/16x8",
+            16,
+            8,
+            &VerifyConfig::for_isa(VectorIsa::sve256()),
+            &mut out
+        ));
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
     fn over_budget_shape_fails_gate_one() {
         let mut out = Report::new();
         assert!(!verify_shape(
@@ -402,6 +489,7 @@ mod tests {
             edge: EdgeStrategy::EdgeKernels,
             m_steps: &[16, 8],
             n_steps: &[4, 2, 1],
+            isa: VectorIsa::neon128(),
         };
         verify_registry(&reg, &mut out);
         assert!(out.has_code("AN-E006"));

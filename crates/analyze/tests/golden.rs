@@ -1,4 +1,4 @@
-//! Golden tests for `smm-analyze`: the four bad-kernel fixtures must
+//! Golden tests for `smm-analyze`: the five bad-kernel fixtures must
 //! each trip exactly the check built for them, and the shipped tree —
 //! every registered kernel stream and every workspace source file —
 //! must come back clean. Together these pin the analyzer from both
@@ -8,11 +8,12 @@
 use std::path::PathBuf;
 
 use smm_analyze::fixtures::{
-    hazard_serialized_stream, out_of_bounds_stream, over_budget_descriptor, self_check,
-    uncovered_registry, EXPECTED,
+    hazard_serialized_stream, out_of_bounds_stream, over_budget_descriptor,
+    over_budget_wide_descriptor, self_check, uncovered_registry, EXPECTED,
 };
 use smm_analyze::lint::lint_workspace;
 use smm_analyze::{verify_all, Severity, VerifyConfig};
+use smm_model::VectorIsa;
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -50,10 +51,20 @@ fn fixture_uncovered_registry_is_flagged() {
 }
 
 #[test]
+fn fixture_over_budget_wide_descriptor_is_flagged() {
+    let r = over_budget_wide_descriptor();
+    assert!(r.has_code("AN-E001"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
 fn expected_table_matches_the_fixture_set() {
-    assert_eq!(EXPECTED.len(), 4);
+    assert_eq!(EXPECTED.len(), 5);
     let codes: Vec<&str> = EXPECTED.iter().map(|(_, c)| *c).collect();
-    assert_eq!(codes, ["AN-E001", "AN-E003", "AN-E004", "AN-E006"]);
+    assert_eq!(
+        codes,
+        ["AN-E001", "AN-E001", "AN-E003", "AN-E004", "AN-E006"]
+    );
 }
 
 #[test]
@@ -68,6 +79,18 @@ fn shipped_kernel_streams_verify_clean() {
         "expected the four library profiles to contribute at least 20 streams, got {}",
         r.kernels_checked
     );
+}
+
+#[test]
+fn wide_isa_configs_verify_clean() {
+    for isa in [VectorIsa::sve256(), VectorIsa::sve512()] {
+        let r = verify_all(&VerifyConfig::for_isa(isa));
+        assert!(
+            r.passes(true),
+            "{isa} reference kernels must verify clean:\n{r}"
+        );
+        assert!(r.kernels_checked >= 5, "{isa}: {}", r.kernels_checked);
+    }
 }
 
 #[test]

@@ -41,7 +41,12 @@ fn mnemonic(op: Op) -> &'static str {
         Op::LdPair => "ldp  s,s",
         Op::StVec => "str  q",
         Op::StScalar => "str  s",
+        Op::LdVecPred => "ld1w p/z",
+        Op::StVecPred => "st1w p",
         Op::Fma => "fmla v.4s",
+        Op::FmaPred => "fmla p/m",
+        Op::FmaTile => "fmopa",
+        Op::WhileLt => "whilelt",
         Op::VMul => "fmul",
         Op::VAdd => "fadd",
         Op::VDup => "dup  v.4s",

@@ -9,6 +9,7 @@
 use smm_kernels::descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
 use smm_kernels::trace_gen::{kernel_trace, KernelTraceParams};
 use smm_model::microkernel::enumerate_feasible;
+use smm_model::VectorIsa;
 use smm_simarch::machine::simulate_single;
 use smm_simarch::phase::Phase;
 use smm_simarch::trace::VecSource;
@@ -19,12 +20,14 @@ fn main() {
         "{:>8} {:>8} {:>8} {:>12} {:>12}",
         "mr x nr", "regs", "CMR", "chain bound", "sim FMA util"
     );
-    let shapes = enumerate_feasible(4, 32, 2, 16, 16);
+    let isa = VectorIsa::neon128();
+    let lanes = isa.lanes_f32();
+    let shapes = enumerate_feasible(lanes, 32, 2, 16, 16);
     for shape in shapes.iter().take(24) {
         // Skip shapes whose trace register plan would not fit
         // (staging registers on top of the accumulators).
-        let mra = shape.mr.div_ceil(4);
-        if shape.accumulator_registers(4) + 2 * mra > 32 {
+        let mra = shape.mr.div_ceil(lanes);
+        if shape.accumulator_registers(lanes) + 2 * mra > 32 {
             continue;
         }
         let desc = MicroKernelDesc::new(
@@ -53,9 +56,9 @@ fn main() {
         println!(
             "{:>8} {:>8} {:>8.2} {:>11.0}% {:>11.1}%",
             format!("{}x{}", shape.mr, shape.nr),
-            shape.accumulator_registers(4),
+            shape.accumulator_registers(lanes),
             shape.cmr(),
-            shape.chain_bound_efficiency(4, 5) * 100.0,
+            shape.chain_bound_efficiency(lanes, isa.fma_latency) * 100.0,
             util
         );
     }
@@ -71,9 +74,10 @@ fn main() {
         "{:>8} {:>8} {:>8} {:>12} {:>12}",
         "mr x nr", "regs", "CMR", "chain bound", "sim FMA util"
     );
-    for shape in enumerate_feasible(2, 32, 2, 12, 8).iter().take(10) {
-        let mra = shape.mr.div_ceil(2);
-        if shape.accumulator_registers(2) + 2 * mra > 32 {
+    let dlanes = isa.lanes(8); // f64: 2 lanes per 128-bit register
+    for shape in enumerate_feasible(dlanes, 32, 2, 12, 8).iter().take(10) {
+        let mra = shape.mr.div_ceil(dlanes);
+        if shape.accumulator_registers(dlanes) + 2 * mra > 32 {
             continue;
         }
         let desc = MicroKernelDesc::new(
@@ -102,9 +106,9 @@ fn main() {
         println!(
             "{:>8} {:>8} {:>8.2} {:>11.0}% {:>11.1}%",
             format!("{}x{}", shape.mr, shape.nr),
-            shape.accumulator_registers(2),
+            shape.accumulator_registers(dlanes),
             shape.cmr(),
-            shape.chain_bound_efficiency(2, 5) * 100.0,
+            shape.chain_bound_efficiency(dlanes, isa.fma_latency) * 100.0,
             util
         );
     }

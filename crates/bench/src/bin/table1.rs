@@ -43,7 +43,10 @@ fn main() {
     row("B staging", &|p| format!("{:?}", p.main.b_load));
     row("CMR (Eq. 5)", &|p| format!("{:.1}", p.main.shape.cmr()));
     row("acc registers", &|p| {
-        p.main.shape.accumulator_registers(4).to_string()
+        p.main
+            .shape
+            .accumulator_registers(p.main.isa.lanes_f32())
+            .to_string()
     });
     println!("\nAll kernels satisfy the Eq. 4 register constraint (<= 30 accumulators).");
 }

@@ -4,9 +4,15 @@
 //! times and the telemetry snapshot dumped as JSON, so the simulated
 //! stream and the measured phase breakdown can be read side by side.
 //!
-//! Usage: `trace_dump <openblas|blis|blasfeo|eigen|ref> <m> <n> <k> [limit]`
+//! Usage: `trace_dump <openblas|blis|blasfeo|eigen|ref> <m> <n> <k> [limit] [isa]`
+//!
+//! The optional trailing `isa` (`neon128|sve256|sve512`, `ref` only)
+//! retargets the plan at another vector width; the active ISA is
+//! emitted in the JSON header so downstream tooling knows which
+//! register geometry produced the stream.
 
 use smm_gemm::all_strategies;
+use smm_model::VectorIsa;
 use smm_simarch::isa::{Inst, Op, NO_REG};
 use smm_simarch::trace::collect_source;
 
@@ -17,7 +23,12 @@ fn render(i: &Inst) -> String {
         Op::LdPair => "ldp s",
         Op::StVec => "str q",
         Op::StScalar => "str s",
+        Op::LdVecPred => "ld1w p/z",
+        Op::StVecPred => "st1w p",
         Op::Fma => "fmla",
+        Op::FmaPred => "fmla p/m",
+        Op::FmaTile => "fmopa",
+        Op::WhileLt => "whilelt",
         Op::VMul => "fmul",
         Op::VAdd => "fadd",
         Op::VDup => "dup",
@@ -55,9 +66,20 @@ fn main() {
     };
     let (m, n, k) = (get(2, 8), get(3, 8), get(4, 8));
     let limit = get(5, 120);
+    let isa = args
+        .get(6)
+        .map(|name| {
+            VectorIsa::by_name(name)
+                .unwrap_or_else(|| panic!("unknown ISA {name:?} (neon128|sve256|sve512)"))
+        })
+        .unwrap_or_default();
 
     let job = if which == "ref" {
-        let plan = smm_core::SmmPlan::build(m, n, k, &smm_core::PlanConfig::default());
+        let cfg = smm_core::PlanConfig {
+            isa,
+            ..Default::default()
+        };
+        let plan = smm_core::SmmPlan::build(m, n, k, &cfg);
         smm_core::build_sim(&plan)
     } else {
         let strategies = all_strategies::<f32>();
@@ -87,6 +109,11 @@ fn main() {
             smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
         }
         println!("# native telemetry for {m}x{n}x{k} (100 calls), JSON:");
+        println!(
+            "{{\"isa\":{{\"name\":\"{}\",\"vlen_bits\":{},\"num_vregs\":{},\
+             \"fma_latency\":{},\"predication\":{}}}}}",
+            isa, isa.vlen_bits, isa.num_vregs, isa.fma_latency, isa.predication
+        );
         println!("{}", smm.stats_report().to_json());
     }
 }

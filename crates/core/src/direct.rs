@@ -17,7 +17,9 @@
 
 use smm_kernels::Scalar;
 
-const DYN_MAX: usize = 16;
+// Wide-vector plans (SVE-512) choose tiles up to 32 rows; the dynamic
+// kernel's stack accumulator is sized to admit them (32x32 f32 = 4 KiB).
+const DYN_MAX: usize = 32;
 
 /// Raw core of [`ukr_bp`].
 ///
@@ -333,7 +335,7 @@ macro_rules! dispatch_shapes {
 }
 
 impl DirectKernel {
-    /// Kernel for a tile shape (any shape up to 16×16; common shapes
+    /// Kernel for a tile shape (any shape up to 32×32; common shapes
     /// are statically unrolled).
     pub fn new(mr: usize, nr: usize) -> Self {
         assert!(
@@ -571,6 +573,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_tile_rejected() {
-        DirectKernel::new(17, 4);
+        DirectKernel::new(33, 4);
+    }
+
+    /// Shapes between the old 16-row cap and the SVE-512 32-row cap
+    /// run through the dynamic kernel.
+    #[test]
+    fn wide_isa_tile_shapes_admitted() {
+        let k = DirectKernel::new(32, 12);
+        assert_eq!((k.mr(), k.nr()), (32, 12));
+        let (mr, nr, kc) = (32, 3, 5);
+        let a: Vec<f32> = (0..mr * kc).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..nr * kc).map(|i| (i % 5) as f32 - 2.0).collect();
+        let mut c = vec![0.0f32; mr * nr];
+        DirectKernel::new(mr, nr).run_bp(kc, 1.0, &a, mr, &b, &mut c, mr);
+        for j in 0..nr {
+            for i in 0..mr {
+                let want: f32 = (0..kc).map(|p| a[p * mr + i] * b[p * nr + j]).sum();
+                assert_eq!(c[j * mr + i], want, "c[{i},{j}]");
+            }
+        }
     }
 }

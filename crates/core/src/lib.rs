@@ -51,10 +51,11 @@ pub use compiled::{CompiledPlan, CompiledScratch};
 pub use direct::DirectKernel;
 pub use error::{Operand, SmmError};
 pub use exec::{execute, execute_in, execute_traced};
-pub use plan::{choose_kernel, PlanConfig, SmmPlan};
+pub use plan::{choose_kernel, choose_kernel_for, PlanConfig, SmmPlan};
 pub use runtime::{PoolStats, RuntimeStats, ShardedPlanCache, TaskPool};
 pub use simprog::build_sim;
 pub use smm::{Smm, SmmBuilder};
+pub use smm_model::VectorIsa;
 pub use telemetry::{
     CallSite, LatencyHistogram, Phase, PhaseReport, Recorder, ShapeReport, SiteBreakdown,
     Telemetry, TelemetryReport,

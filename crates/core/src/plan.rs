@@ -13,7 +13,7 @@
 use smm_gemm::pool::TaskPool;
 use smm_kernels::registry::{decompose_greedy, TileSpan};
 use smm_model::parallel::{select_grid, ThreadGrid};
-use smm_model::{p2c, CacheSizes, KernelShape};
+use smm_model::{p2c, CacheSizes, KernelShape, VectorIsa};
 
 /// Tunables for plan generation and execution.
 #[derive(Debug, Clone)]
@@ -37,6 +37,11 @@ pub struct PlanConfig {
     /// process-wide [`TaskPool::global`] pool). Thread-count decisions
     /// stay model-driven; the pool is only the execution mechanism.
     pub pool: Option<TaskPool>,
+    /// Vector ISA the plan targets: drives kernel selection, the
+    /// chain-bound efficiency model, edge-tile decomposition (greedy
+    /// power-of-two on NEON, a single predicated remainder tile on
+    /// SVE-style ISAs) and simulated trace generation.
+    pub isa: VectorIsa,
 }
 
 impl Default for PlanConfig {
@@ -50,34 +55,44 @@ impl Default for PlanConfig {
             pack_b_reuse: 8,
             pack_a_reuse: 8,
             pool: None,
+            isa: VectorIsa::neon128(),
         }
     }
 }
 
-/// Candidate register tiles for adaptive selection, all Eq. 4 feasible.
+/// Candidate register tiles for adaptive selection, all Eq. 4 feasible
+/// on NEON-128 (and therefore on every wider ISA).
 pub const KERNEL_CANDIDATES: &[(usize, usize)] =
     &[(16, 4), (12, 4), (8, 12), (8, 8), (8, 4), (4, 8), (4, 4)];
 
-/// FMA latency used in the chain-bound efficiency estimate.
-const FMA_LATENCY: usize = 5;
+/// Additional candidates that only fit wider register files; each is
+/// admitted per-ISA by the Eq. 4 check in [`choose_kernel_for`].
+pub const WIDE_KERNEL_CANDIDATES: &[(usize, usize)] = &[(32, 12), (32, 8), (16, 12), (16, 8)];
 
 /// Estimated kernel-phase efficiency of covering a dimension of `len`
-/// with main step `step` and greedy edge decomposition: each tile's
-/// contribution is weighted by its share of the work and bounded by
-/// its accumulator-chain parallelism and SIMD lane utilization.
-fn dim_efficiency(len: usize, step: usize, other: usize, is_m: bool) -> f64 {
-    let steps = edge_steps(step);
+/// with main step `step` and ISA-appropriate edge decomposition: each
+/// tile's contribution is weighted by its share of the work and bounded
+/// by its accumulator-chain parallelism and SIMD lane utilization.
+fn dim_efficiency(len: usize, step: usize, other: usize, is_m: bool, isa: &VectorIsa) -> f64 {
+    let vlanes = isa.lanes_f32();
     let mut eff = 0.0;
     let full = len / step;
     let mut parts: Vec<usize> = vec![step; full];
-    parts.extend(decompose_greedy(len % step, &steps));
+    if !len.is_multiple_of(step) {
+        if isa.predication {
+            // Predicated ISAs cover the whole residue with one tile.
+            parts.push(len % step);
+        } else {
+            parts.extend(decompose_greedy(len % step, &edge_steps(step)));
+        }
+    }
     for &s in &parts {
         let (mr, nr) = if is_m { (s, other) } else { (other, s) };
         let shape = KernelShape::new(mr, nr);
-        let chain = shape.chain_bound_efficiency(4, FMA_LATENCY);
+        let chain = shape.chain_bound_efficiency(vlanes, isa.fma_latency);
         // Lane waste for unaligned row counts.
         let lanes = if is_m {
-            (mr as f64) / ((mr.div_ceil(4) * 4) as f64)
+            (mr as f64) / ((mr.div_ceil(vlanes) * vlanes) as f64)
         } else {
             1.0
         };
@@ -105,14 +120,28 @@ pub fn edge_steps(step: usize) -> Vec<usize> {
     steps
 }
 
-/// Select the best micro-kernel for a shape.
+/// Select the best micro-kernel for a shape on NEON-128 (the paper's
+/// configuration). See [`choose_kernel_for`] for other vector widths.
 pub fn choose_kernel(m: usize, n: usize, k: usize) -> KernelShape {
+    choose_kernel_for(m, n, k, &VectorIsa::neon128())
+}
+
+/// Select the best micro-kernel for a shape on an explicit [`VectorIsa`].
+///
+/// Candidates are the NEON-feasible set plus [`WIDE_KERNEL_CANDIDATES`],
+/// filtered by the *target ISA's* Eq. 4 budget: a 256-bit register file
+/// admits 16×8 (16 accumulators), a 512-bit one admits 32×12.
+pub fn choose_kernel_for(m: usize, n: usize, k: usize, isa: &VectorIsa) -> KernelShape {
     let _ = k;
     let mut best = KernelShape::new(8, 8);
     let mut best_score = f64::MIN;
-    for &(mr, nr) in KERNEL_CANDIDATES {
-        let em = dim_efficiency(m, mr, nr, true);
-        let en = dim_efficiency(n, nr, mr, false);
+    let candidates = WIDE_KERNEL_CANDIDATES
+        .iter()
+        .chain(KERNEL_CANDIDATES)
+        .filter(|&&(mr, nr)| isa.check_register_budget(mr, nr, 4).is_ok());
+    for &(mr, nr) in candidates {
+        let em = dim_efficiency(m, mr, nr, true, isa);
+        let en = dim_efficiency(n, nr, mr, false, isa);
         // Prefer kernels that divide the problem exactly (the main
         // tile actually runs), then higher CMR.
         let fit_m = if mr <= m && m.is_multiple_of(mr) {
@@ -161,21 +190,25 @@ pub struct SmmPlan {
     pub grid: ThreadGrid,
     /// The paper's Eq. 3 P2C value for this shape.
     pub p2c: f64,
+    /// Vector ISA the plan was built for (tiling + trace generation).
+    pub isa: VectorIsa,
 }
 
 impl SmmPlan {
     /// Build a plan for a shape under a configuration.
     pub fn build(m: usize, n: usize, k: usize, cfg: &PlanConfig) -> Self {
         assert!(m > 0 && n > 0 && k > 0, "empty GEMM has no plan");
-        let kernel = cfg.kernel.unwrap_or_else(|| choose_kernel(m, n, k));
+        let kernel = cfg
+            .kernel
+            .unwrap_or_else(|| choose_kernel_for(m, n, k, &cfg.isa));
         let (mr, nr) = (kernel.mr, kernel.nr);
         let l1 = CacheSizes::phytium_2000_plus().l1d;
 
         // kc: keep the working sliver set L1-resident.
         let kc = (l1 / (2 * nr * 4)).clamp(32, 1024).min(k).max(1);
 
-        let m_tiles = exact_tiles(m, mr);
-        let n_tiles = exact_tiles(n, nr);
+        let m_tiles = exact_tiles_for(m, mr, &cfg.isa);
+        let n_tiles = exact_tiles_for(n, nr, &cfg.isa);
 
         // Thread grid: clamp to available tile parallelism, then apply
         // the §III-D selection.
@@ -207,6 +240,7 @@ impl SmmPlan {
             n_tiles,
             grid,
             p2c: p2c::p2c_as_published(m, n),
+            isa: cfg.isa,
         }
     }
 
@@ -234,6 +268,34 @@ pub fn exact_tiles(len: usize, step: usize) -> Vec<TileSpan> {
             kernel: s,
         });
         off += s;
+    }
+    tiles
+}
+
+/// ISA-aware exact tiling. On a predicated ISA the whole residue is one
+/// tile — the main kernel masks off inactive lanes, so the greedy
+/// power-of-two cascade (and its chain-starved sub-kernels, Fig. 7) is
+/// unnecessary. On NEON this is exactly [`exact_tiles`].
+pub fn exact_tiles_for(len: usize, step: usize, isa: &VectorIsa) -> Vec<TileSpan> {
+    if !isa.predication {
+        return exact_tiles(len, step);
+    }
+    let mut tiles = Vec::new();
+    let mut off = 0;
+    for _ in 0..len / step {
+        tiles.push(TileSpan {
+            offset: off,
+            logical: step,
+            kernel: step,
+        });
+        off += step;
+    }
+    if !len.is_multiple_of(step) {
+        tiles.push(TileSpan {
+            offset: off,
+            logical: len % step,
+            kernel: len % step,
+        });
     }
     tiles
 }
@@ -357,5 +419,62 @@ mod tests {
     #[should_panic(expected = "empty GEMM")]
     fn zero_dim_rejected() {
         SmmPlan::build(0, 4, 4, &PlanConfig::default());
+    }
+
+    #[test]
+    fn predicated_isa_tiles_residue_in_one_piece() {
+        // 75 = 4x16 + 11: NEON decomposes the 11 into 8 + 2 + 1 edge
+        // kernels; a predicated ISA masks one 11-row tile.
+        let neon = exact_tiles_for(75, 16, &VectorIsa::neon128());
+        let sve = exact_tiles_for(75, 16, &VectorIsa::sve512());
+        assert_eq!(neon.len(), 4 + 3);
+        assert_eq!(sve.len(), 4 + 1);
+        assert_eq!(sve.last().unwrap().logical, 11);
+        assert_eq!(
+            sve.iter().map(|t| t.logical).sum::<usize>(),
+            neon.iter().map(|t| t.logical).sum::<usize>()
+        );
+        // Aligned lengths are identical across ISAs.
+        assert_eq!(exact_tiles_for(64, 16, &VectorIsa::sve256()).len(), 4);
+    }
+
+    #[test]
+    fn wide_isa_unlocks_wide_kernels() {
+        // 32x12 needs a 512-bit file (2 * 12 = 24 accumulators); the
+        // NEON chooser must never return it, the SVE-512 one should
+        // prefer it for a perfectly fitting 32x12 problem.
+        let neon = choose_kernel_for(32, 12, 64, &VectorIsa::neon128());
+        assert!(neon.satisfies_register_constraint(4, 32, 2));
+        let wide = choose_kernel_for(32, 12, 64, &VectorIsa::sve512());
+        assert_eq!(wide, KernelShape::new(32, 12));
+    }
+
+    #[test]
+    fn chosen_kernels_feasible_on_every_isa() {
+        for isa in VectorIsa::all() {
+            for m in [1usize, 3, 8, 17, 40, 100] {
+                for n in [1usize, 5, 12, 33, 96] {
+                    let k = choose_kernel_for(m, n, 32, &isa);
+                    assert!(
+                        isa.check_register_budget(k.mr, k.nr, 4).is_ok(),
+                        "{m}x{n} on {isa} -> {k:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_records_and_uses_its_isa() {
+        let cfg = PlanConfig {
+            isa: VectorIsa::sve256(),
+            ..Default::default()
+        };
+        let p = SmmPlan::build(75, 33, 64, &cfg);
+        assert_eq!(p.isa, VectorIsa::sve256());
+        // One residue tile per dimension, not a greedy cascade.
+        assert_eq!(p.m_tiles.last().unwrap().logical, 75 % p.kernel.mr);
+        let neon_p = SmmPlan::build(75, 33, 64, &PlanConfig::default());
+        assert_eq!(neon_p.isa, VectorIsa::neon128());
     }
 }

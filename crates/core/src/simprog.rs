@@ -76,24 +76,28 @@ pub fn build_sim(plan: &SmmPlan) -> SimJob {
                     }
                 }
                 for it in m_tiles {
+                    // Packed A panels round rows up to a full vector.
+                    let lanes = plan.isa.lanes_f32();
+                    let padded = it.logical.div_ceil(lanes) * lanes;
                     let (a_base, a_kstep) = if plan.pack_a {
                         prog.push(MacroOp::PackA(PackAPanelOp {
                             src: lay.a_addr(it.offset, kk),
                             lda: lay.lda,
                             rows: it.logical,
                             kc,
-                            pad_to: it.logical.div_ceil(4) * 4,
+                            pad_to: padded,
                             dst: apack_base,
                             phase: Phase::PackA,
                             src_row_major: false,
                         }));
-                        (apack_base, (it.logical.div_ceil(4) * 4) as u64 * ELEM)
+                        (apack_base, padded as u64 * ELEM)
                     } else {
                         (lay.a_addr(it.offset, kk), lay.lda)
                     };
                     for (s, jt) in n_tiles.iter().enumerate() {
                         let is_main = it.logical == mr && jt.logical == nr;
-                        let desc = MicroKernelDesc::new(
+                        let desc = MicroKernelDesc::for_isa(
+                            plan.isa,
                             it.logical,
                             jt.logical,
                             4,
@@ -192,6 +196,29 @@ mod tests {
         }
         let report = job.run();
         assert_eq!(report.total_breakdown().get(Phase::Sync), 0);
+    }
+
+    #[test]
+    fn sve_plan_simulates_predicated_edges_end_to_end() {
+        use smm_kernels::trace_gen::kernel_trace;
+        use smm_model::VectorIsa;
+        use smm_simarch::isa::Op;
+        let cfg = PlanConfig {
+            isa: VectorIsa::sve256(),
+            ..Default::default()
+        };
+        // 75 % mr != 0 for every candidate mr, so the program must
+        // contain masked-edge kernels rather than a greedy cascade.
+        let plan = SmmPlan::build(75, 33, 64, &cfg);
+        let job = build_sim(&plan);
+        let predicated = job.programs[0].iter().any(|op| match op {
+            MacroOp::Kernel(p) => kernel_trace(p).0.iter().any(|i| i.op == Op::LdVecPred),
+            _ => false,
+        });
+        assert!(predicated, "SVE plan should emit predicated edge loads");
+        let report = job.run();
+        assert!(report.total_fmas() > 0);
+        assert!(report.cycles > 0);
     }
 
     #[test]

@@ -115,6 +115,14 @@ impl<S: Scalar> SmmBuilder<S> {
         self
     }
 
+    /// Target vector ISA for plans (default NEON-128, the paper's
+    /// configuration). Widths with predication tile edges with one
+    /// masked remainder instead of the greedy kernel cascade.
+    pub fn isa(mut self, isa: smm_model::VectorIsa) -> Self {
+        self.cfg.isa = isa;
+        self
+    }
+
     /// Replace the whole [`PlanConfig`] (retains the builder's cache
     /// capacity).
     pub fn config(mut self, cfg: PlanConfig) -> Self {

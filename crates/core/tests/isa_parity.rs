@@ -1,0 +1,183 @@
+//! Per-ISA oracle parity and predication-coverage tests.
+//!
+//! The width-agnostic redesign must not change what GEMM computes:
+//! every [`VectorIsa`] config (NEON-128, SVE-256, SVE-512) is held to
+//! the naive triple-loop oracle over the edge shapes the paper calls
+//! out (unit dimensions, `k = 0`, `beta != 0`, gapped `ldc`, and
+//! residues straddling each width's f32 lane count), NEON-128 is held
+//! bit-for-bit to the default build, and the predicated tiling is
+//! proven to cover exactly the residues the dedicated edge-kernel
+//! cascade used to cover.
+//!
+//! One test honors `SMM_TEST_ISA` (`neon128|sve256|sve512`) so the CI
+//! matrix drives a full end-to-end pass at each width.
+
+use smm_core::plan::{exact_tiles, exact_tiles_for};
+use smm_core::{Smm, VectorIsa};
+use smm_gemm::gemm_naive;
+use smm_gemm::matrix::{Mat, MatMut};
+
+fn smm_for(isa: VectorIsa) -> Smm<f32> {
+    Smm::<f32>::builder().isa(isa).threads(1).build()
+}
+
+/// Edge shapes: unit dims, `k = 0`, and residues around every ISA's
+/// f32 lane count (4, 8, 16) so each config sees tiles just below, at,
+/// and just above its native width.
+fn edge_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = vec![(1, 7, 9), (9, 1, 7), (1, 1, 5), (5, 6, 0), (75, 33, 64)];
+    for lanes in [4usize, 8, 16] {
+        shapes.push((lanes - 1, lanes + 1, 8));
+        shapes.push((lanes, lanes, 8));
+        shapes.push((2 * lanes + 3, lanes + 2, 12));
+    }
+    shapes
+}
+
+fn assert_close(c: &Mat<f32>, c_ref: &Mat<f32>, ctx: &str) {
+    let diff = c.max_abs_diff(c_ref);
+    assert!(diff < 1e-3, "{ctx}: max |diff| = {diff}");
+}
+
+/// Every ISA config matches the naive oracle over the edge-shape
+/// sweep, with `alpha` scaling and a non-trivial `beta`.
+#[test]
+fn edge_shapes_match_naive_on_every_isa() {
+    for isa in VectorIsa::all() {
+        let smm = smm_for(isa);
+        for (m, n, k) in edge_shapes() {
+            let a = Mat::<f32>::random(m, k, 11);
+            let b = Mat::<f32>::random(k, n, 23);
+            let mut c = Mat::<f32>::random(m, n, 37);
+            let mut c_ref = Mat::<f32>::from_fn(m, n, |i, j| c.as_ref().at(i, j));
+            smm.gemm(1.5, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+            gemm_naive(1.5, a.as_ref(), b.as_ref(), 0.5, c_ref.as_mut());
+            assert_close(&c, &c_ref, &format!("{isa} {m}x{n}x{k}"));
+        }
+    }
+}
+
+/// A gapped `ldc` (leading dimension larger than `m`) is honored at
+/// every width: results match the oracle and the gap rows are never
+/// written.
+#[test]
+fn gapped_ldc_matches_naive_on_every_isa() {
+    let (m, n, k, ldc) = (13, 9, 17, 13 + 5);
+    let a = Mat::<f32>::random(m, k, 3);
+    let b = Mat::<f32>::random(k, n, 5);
+    let sentinel = -1234.5_f32;
+    for isa in VectorIsa::all() {
+        let smm = smm_for(isa);
+        let mut buf = vec![sentinel; ldc * n];
+        let mut buf_ref = buf.clone();
+        smm.gemm(
+            1.25,
+            a.as_ref(),
+            b.as_ref(),
+            2.0,
+            MatMut::from_slice(&mut buf, m, n, ldc),
+        );
+        gemm_naive(
+            1.25,
+            a.as_ref(),
+            b.as_ref(),
+            2.0,
+            MatMut::from_slice(&mut buf_ref, m, n, ldc),
+        );
+        for j in 0..n {
+            for i in 0..ldc {
+                let (got, want) = (buf[j * ldc + i], buf_ref[j * ldc + i]);
+                if i < m {
+                    assert!(
+                        (got - want).abs() < 1e-3,
+                        "{isa} c[{i},{j}]: {got} vs {want}"
+                    );
+                } else {
+                    assert_eq!(got, sentinel, "{isa} wrote into the ldc gap at [{i},{j}]");
+                }
+            }
+        }
+    }
+}
+
+/// NEON-128 through the builder is bit-for-bit the default build: the
+/// redesign introduced no behavioral drift at the seed width.
+#[test]
+fn neon128_is_bit_identical_to_the_default_build() {
+    let default = Smm::<f32>::builder().threads(1).build();
+    let neon = smm_for(VectorIsa::neon128());
+    for (m, n, k) in edge_shapes() {
+        let a = Mat::<f32>::random(m, k, 7);
+        let b = Mat::<f32>::random(k, n, 13);
+        let mut c0 = Mat::<f32>::random(m, n, 19);
+        let mut c1 = Mat::<f32>::from_fn(m, n, |i, j| c0.as_ref().at(i, j));
+        default.gemm(0.75, a.as_ref(), b.as_ref(), -0.5, c0.as_mut());
+        neon.gemm(0.75, a.as_ref(), b.as_ref(), -0.5, c1.as_mut());
+        for (x, y) in c0.data().iter().zip(c1.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{m}x{n}x{k}: {x} vs {y}");
+        }
+    }
+}
+
+/// The predicated tiling covers exactly the index range the greedy
+/// edge-kernel cascade used to cover: same full tiles, and one masked
+/// remainder tile standing in for the power-of-2 cascade over
+/// `len % step` — nothing dropped, nothing double-covered.
+#[test]
+fn predicated_tiling_covers_exactly_the_greedy_residues() {
+    let sve = VectorIsa::sve256();
+    for step in [4usize, 8, 12, 16] {
+        for len in 1..=200 {
+            let greedy = exact_tiles(len, step);
+            let pred = exact_tiles_for(len, step, &sve);
+
+            // Both cover [0, len) contiguously with no overlap.
+            for tiles in [&greedy, &pred] {
+                let mut next = 0;
+                for t in tiles.iter() {
+                    assert_eq!(t.offset, next, "len={len} step={step}");
+                    next += t.logical;
+                }
+                assert_eq!(next, len, "len={len} step={step}");
+            }
+
+            // Identical full-tile prefix; the greedy cascade's residue
+            // parts sum to the predicated path's single remainder.
+            assert_eq!(
+                pred.iter().filter(|t| t.logical == step).count(),
+                len / step
+            );
+            let residue = len % step;
+            let greedy_residue: usize = greedy.iter().skip(len / step).map(|t| t.logical).sum();
+            assert_eq!(greedy_residue, residue, "len={len} step={step}");
+            if residue > 0 {
+                assert_eq!(pred.len(), len / step + 1);
+                assert_eq!(pred.last().unwrap().logical, residue);
+            } else {
+                assert_eq!(pred.len(), len / step);
+            }
+        }
+    }
+}
+
+/// End-to-end pass at the ISA named by `SMM_TEST_ISA` (the CI matrix
+/// variable); defaults to NEON-128 locally. Confirms the plan actually
+/// carries the requested ISA and the native result matches the oracle.
+#[test]
+fn matrix_isa_from_env_runs_end_to_end() {
+    let isa = std::env::var("SMM_TEST_ISA")
+        .ok()
+        .map(|name| VectorIsa::by_name(&name).unwrap_or_else(|| panic!("bad SMM_TEST_ISA {name}")))
+        .unwrap_or_default();
+    let smm = smm_for(isa);
+    let plan = smm.plan(75, 33, 64);
+    assert_eq!(plan.isa, isa, "plan must carry the requested ISA");
+
+    let a = Mat::<f32>::random(75, 64, 2);
+    let b = Mat::<f32>::random(64, 33, 4);
+    let mut c = Mat::<f32>::zeros(75, 33);
+    let mut c_ref = Mat::<f32>::zeros(75, 33);
+    smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+    assert_close(&c, &c_ref, &format!("{isa} 75x33x64"));
+}

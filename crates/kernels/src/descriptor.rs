@@ -1,18 +1,15 @@
-//! Micro-kernel descriptors: shape + code-generation style.
+//! Micro-kernel descriptors: shape + code-generation style + target ISA.
 //!
 //! A [`MicroKernelDesc`] captures everything Table I of the paper lists
 //! per library: the register-tile shape `mr × nr`, the loop unrolling
 //! factor, the instruction-scheduling style of the (hand-written or
-//! compiler-generated) inner loop, and how the `B` operand is staged.
+//! compiler-generated) inner loop, and how the `B` operand is staged —
+//! plus, since the width-agnostic redesign, the [`VectorIsa`] the kernel
+//! targets. The ISA decides how many lanes a register holds and hence
+//! how many registers the accumulator tile occupies (Eq. 4); the same
+//! `mr × nr` shape may be legal at 256-bit and illegal at 128-bit.
 
-use smm_model::{check_register_budget, KernelShape};
-
-/// SIMD lanes per vector register for single precision (128-bit NEON).
-pub const F32_LANES: usize = 4;
-/// Architectural vector registers on ARMv8.
-pub const TOTAL_VREGS: usize = 32;
-/// Registers Eq. 4 reserves for operand staging.
-pub const SPARE_VREGS: usize = 2;
+use smm_model::VectorIsa;
 
 /// How the inner-loop instructions are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,7 +32,7 @@ pub enum SchedulePolicy {
 pub enum BLoadStyle {
     /// `ldp s, s` pairs — packed-`B̃` layouts in OpenBLAS/BLIS.
     ScalarPairs,
-    /// Full 128-bit vector loads with lane-indexed FMAs — BLASFEO's
+    /// Full-width vector loads with lane-indexed FMAs — BLASFEO's
     /// panel-major layout.
     Vector,
     /// Individual scalar loads — Eigen's compiler-generated code.
@@ -46,7 +43,7 @@ pub enum BLoadStyle {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MicroKernelDesc {
     /// Register-tile shape.
-    pub shape: KernelShape,
+    pub shape: smm_model::KernelShape,
     /// Inner-loop unrolling factor (Table I: 8 for OpenBLAS, 4 for
     /// BLIS/BLASFEO, 1 for Eigen).
     pub unroll: usize,
@@ -54,11 +51,15 @@ pub struct MicroKernelDesc {
     pub policy: SchedulePolicy,
     /// `B` staging style.
     pub b_load: BLoadStyle,
+    /// Target vector ISA (register width, count, predication).
+    pub isa: VectorIsa,
 }
 
 impl MicroKernelDesc {
-    /// Construct, validating against the Eq. 4 register constraint for
-    /// single precision (4 lanes, 32 registers, 2 spare).
+    /// Construct a NEON-128 descriptor, validating against the Eq. 4
+    /// register constraint for single precision. This is the paper's
+    /// configuration and the compatibility constructor; use
+    /// [`MicroKernelDesc::for_isa`] to target another width.
     pub fn new(
         mr: usize,
         nr: usize,
@@ -66,18 +67,32 @@ impl MicroKernelDesc {
         policy: SchedulePolicy,
         b_load: BLoadStyle,
     ) -> Self {
-        let shape = KernelShape::new(mr, nr);
+        Self::for_isa(VectorIsa::neon128(), mr, nr, unroll, policy, b_load)
+    }
+
+    /// Construct for an explicit [`VectorIsa`], validating the shape
+    /// against *that ISA's* Eq. 4 budget at single precision.
+    pub fn for_isa(
+        isa: VectorIsa,
+        mr: usize,
+        nr: usize,
+        unroll: usize,
+        policy: SchedulePolicy,
+        b_load: BLoadStyle,
+    ) -> Self {
+        let shape = smm_model::KernelShape::new(mr, nr);
         assert!(unroll >= 1, "unroll factor must be at least 1");
         // The same Eq. 4 check the static verifier runs (`smm-analyze`);
         // a descriptor this constructor accepts can never be flagged.
-        if let Err(e) = check_register_budget(mr, nr, F32_LANES, TOTAL_VREGS, SPARE_VREGS) {
-            panic!("{e}");
+        if let Err(e) = isa.check_register_budget(mr, nr, 4) {
+            panic!("{e} (isa {isa})");
         }
         MicroKernelDesc {
             shape,
             unroll,
             policy,
             b_load,
+            isa,
         }
     }
 
@@ -113,6 +128,7 @@ mod tests {
         assert_eq!(d.mr(), 8);
         assert_eq!(d.nr(), 12);
         assert_eq!(d.macs_per_k(), 96);
+        assert_eq!(d.isa, VectorIsa::neon128());
     }
 
     #[test]
@@ -125,5 +141,34 @@ mod tests {
     #[should_panic(expected = "unroll")]
     fn zero_unroll_rejected() {
         MicroKernelDesc::new(8, 8, 0, SchedulePolicy::Naive, BLoadStyle::ScalarPairs);
+    }
+
+    #[test]
+    fn eq4_is_checked_against_the_descriptors_own_isa() {
+        // 16x8 violates Eq. 4 at 128-bit (see `oversized_tile_rejected`)
+        // but is comfortably legal at 256-bit: 16 accumulators.
+        let d = MicroKernelDesc::for_isa(
+            VectorIsa::sve256(),
+            16,
+            8,
+            4,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+        );
+        assert_eq!(d.isa.lanes_f32(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Eq. 4")]
+    fn wide_isa_still_enforces_its_own_budget() {
+        // 32 rows x 16 cols at 512-bit: 2*16 = 32 accumulators > 30.
+        MicroKernelDesc::for_isa(
+            VectorIsa::sve512(),
+            32,
+            16,
+            4,
+            SchedulePolicy::Interleaved,
+            BLoadStyle::ScalarPairs,
+        );
     }
 }

@@ -21,10 +21,9 @@ pub mod registry;
 pub mod scalar;
 pub mod trace_gen;
 
-pub use descriptor::{
-    BLoadStyle, MicroKernelDesc, SchedulePolicy, F32_LANES, SPARE_VREGS, TOTAL_VREGS,
-};
-pub use native::{Kernel, KernelFn};
+pub use descriptor::{BLoadStyle, MicroKernelDesc, SchedulePolicy};
+pub use native::{Kernel, KernelFn, KernelRef, KernelRegistry};
 pub use registry::{EdgeStrategy, LibraryProfile, TileSpan};
 pub use scalar::Scalar;
+pub use smm_model::VectorIsa;
 pub use trace_gen::{emit_kernel, kernel_trace, KernelTraceParams};

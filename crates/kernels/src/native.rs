@@ -299,6 +299,117 @@ kernel_registry![
     (6, 4),
 ];
 
+/// A typed registry handle: one `KernelRef` per `(shape, isa)` lookup.
+///
+/// Replaces the bare `(mr, nr)` tuple keys callers used to pass around
+/// alongside a loose `Option<fn>`: a `KernelRef` can only be obtained
+/// through [`KernelRegistry::lookup`], which has already proven the
+/// shape against the registry ISA's Eq. 4 budget.
+#[derive(Clone, Copy)]
+pub struct KernelRef<S: Scalar> {
+    shape: smm_model::KernelShape,
+    isa: smm_model::VectorIsa,
+    kernel: Kernel<S>,
+}
+
+impl<S: Scalar> std::fmt::Debug for KernelRef<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KernelRef({}x{} @ {}, {})",
+            self.shape.mr,
+            self.shape.nr,
+            self.isa,
+            if self.kernel.is_static() {
+                "static"
+            } else {
+                "dynamic"
+            }
+        )
+    }
+}
+
+impl<S: Scalar> KernelRef<S> {
+    /// The validated register-tile shape.
+    pub fn shape(&self) -> smm_model::KernelShape {
+        self.shape
+    }
+
+    /// The ISA the shape was validated against.
+    pub fn isa(&self) -> smm_model::VectorIsa {
+        self.isa
+    }
+
+    /// The runnable kernel.
+    pub fn kernel(&self) -> Kernel<S> {
+        self.kernel
+    }
+
+    /// Is the underlying kernel statically instantiated?
+    pub fn is_static(&self) -> bool {
+        self.kernel.is_static()
+    }
+
+    /// Run the kernel (see [`Kernel::run`]).
+    #[inline]
+    pub fn run(&self, kc: usize, alpha: S, a: &[S], b: &[S], c: &mut [S], ldc: usize) {
+        self.kernel.run(kc, alpha, a, b, c, ldc)
+    }
+}
+
+/// Kernel lookups keyed by `(shape, isa)`.
+///
+/// The native kernels compute with host scalar arithmetic, so the ISA
+/// does not change *what* a kernel computes — it changes which shapes
+/// are legal (Eq. 4 counts accumulators in vector registers of the
+/// ISA's width) and how the shape is characterized by the model layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelRegistry {
+    isa: smm_model::VectorIsa,
+}
+
+impl KernelRegistry {
+    /// Registry for the default NEON-128 configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry validating shapes against an explicit ISA.
+    pub fn for_isa(isa: smm_model::VectorIsa) -> Self {
+        KernelRegistry { isa }
+    }
+
+    /// The ISA lookups are validated against.
+    pub fn isa(&self) -> smm_model::VectorIsa {
+        self.isa
+    }
+
+    /// Look up a kernel for `mr × nr`, proving it against this
+    /// registry's Eq. 4 budget first.
+    pub fn lookup<S: Scalar>(
+        &self,
+        mr: usize,
+        nr: usize,
+    ) -> Result<KernelRef<S>, smm_model::RegisterBudgetError> {
+        self.isa
+            .check_register_budget(mr, nr, std::mem::size_of::<S>())?;
+        Ok(KernelRef {
+            shape: smm_model::KernelShape::new(mr, nr),
+            isa: self.isa,
+            kernel: Kernel::for_shape(mr, nr),
+        })
+    }
+
+    /// Statically instantiated shapes that satisfy this ISA's budget.
+    pub fn feasible_static_shapes(&self) -> Vec<(usize, usize)> {
+        STATIC_SHAPES
+            .iter()
+            .copied()
+            .filter(|&(mr, nr)| self.isa.check_register_budget(mr, nr, 4).is_ok())
+            .collect()
+    }
+}
+
 /// Reference implementation of the same contract, used to validate the
 /// unrolled kernels: plain triple loop over the packed slivers.
 #[allow(clippy::too_many_arguments)]
@@ -418,5 +529,40 @@ mod tests {
     fn short_operands_panic() {
         let mut c = vec![0.0f32; 16];
         microkernel::<f32, 4, 4>(10, 1.0, &[0.0; 8], &[0.0; 64], &mut c, 4);
+    }
+
+    #[test]
+    fn registry_lookup_returns_typed_refs() {
+        let reg = KernelRegistry::new();
+        let k = reg.lookup::<f32>(8, 8).expect("8x8 fits NEON");
+        assert_eq!(k.shape().mr, 8);
+        assert_eq!(k.isa().name, "neon128");
+        assert!(k.is_static());
+        // Running through the ref matches the reference kernel.
+        let a = fill(8 * 4, 1);
+        let b = fill(8 * 4, 2);
+        let mut c = fill(8 * 8, 3);
+        let mut c_ref = c.clone();
+        k.run(4, 1.0, &a, &b, &mut c, 8);
+        microkernel_reference(8, 8, 4, 1.0, &a, &b, &mut c_ref, 8);
+        assert_eq!(c, c_ref);
+    }
+
+    #[test]
+    fn registry_enforces_its_isas_budget() {
+        // 16x8 is over budget at 128-bit but legal at 256-bit.
+        assert!(KernelRegistry::new().lookup::<f32>(16, 8).is_err());
+        let wide = KernelRegistry::for_isa(smm_model::VectorIsa::sve256());
+        assert!(wide.lookup::<f32>(16, 8).is_ok());
+        // f64 halves the lanes: 16x8 needs 2x registers at 256-bit too.
+        assert!(wide.lookup::<f64>(16, 8).is_err());
+    }
+
+    #[test]
+    fn feasible_static_shapes_grow_with_width() {
+        let narrow = KernelRegistry::new().feasible_static_shapes();
+        let wide = KernelRegistry::for_isa(smm_model::VectorIsa::sve512()).feasible_static_shapes();
+        assert!(narrow.len() == STATIC_SHAPES.len());
+        assert!(wide.len() >= narrow.len());
     }
 }

@@ -1,0 +1,238 @@
+//! Vector ISA descriptors: the width-agnostic hardware contract.
+//!
+//! The paper derives its register-budget model (Eq. 4), compute-to-memory
+//! ratio (Eq. 5) and chain-bound ceilings for one concrete target: 32
+//! 128-bit NEON registers on FT-2000+. Nothing in the analysis depends on
+//! that width, only on the `(vector length, register count, FMA latency)`
+//! triple — so this module captures that triple as an explicit
+//! [`VectorIsa`] value that is threaded from `Smm::builder()` down through
+//! kernel-descriptor construction, trace generation, the cycle simulator
+//! and the static verifier. One kernel codebase, N vector widths.
+//!
+//! Three configurations ship:
+//!
+//! * [`VectorIsa::neon128`] — the paper's NEON target, bit-for-bit the
+//!   pre-refactor behavior (the default everywhere).
+//! * [`VectorIsa::sve256`] / [`VectorIsa::sve512`] — SVE-style wider
+//!   configs with predication: residual rows are handled by a predicated
+//!   vector lane mask (`whilelt`-style) instead of dedicated scalar edge
+//!   kernels, collapsing the Fig. 7 edge pathology.
+//!
+//! All three keep 32 architectural vector registers — true of both NEON
+//! and SVE — so Eq. 4 varies only through the lane count.
+
+/// A vector instruction-set configuration.
+///
+/// `Copy` and `'static`-named so it can be embedded in plans, kernel
+/// descriptors and reports without lifetime plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorIsa {
+    /// Short identifier (`"neon128"`, `"sve256"`, `"sve512"`), used in
+    /// CLI flags, JSON headers and report labels.
+    pub name: &'static str,
+    /// Vector register length in bits.
+    pub vlen_bits: usize,
+    /// Architectural vector register count.
+    pub num_vregs: usize,
+    /// Registers Eq. 4 reserves for operand staging (`spare` in the
+    /// paper; at least one each for `A` and `B`).
+    pub spare_vregs: usize,
+    /// FMA result latency in cycles (the chain-bound denominator).
+    pub fma_latency: usize,
+    /// Does the ISA support per-lane predication (`whilelt` masks)?
+    /// When true, residual rows use predicated vector ops instead of
+    /// dedicated scalar edge kernels.
+    pub predication: bool,
+}
+
+impl VectorIsa {
+    /// The paper's target: 32×128-bit NEON on FT-2000+ (§II-A).
+    pub const fn neon128() -> Self {
+        VectorIsa {
+            name: "neon128",
+            vlen_bits: 128,
+            num_vregs: 32,
+            spare_vregs: 2,
+            fma_latency: 5,
+            predication: false,
+        }
+    }
+
+    /// SVE-style 256-bit config with predicated edge handling.
+    pub const fn sve256() -> Self {
+        VectorIsa {
+            name: "sve256",
+            vlen_bits: 256,
+            num_vregs: 32,
+            spare_vregs: 2,
+            fma_latency: 5,
+            predication: true,
+        }
+    }
+
+    /// SVE-style 512-bit config with predicated edge handling.
+    pub const fn sve512() -> Self {
+        VectorIsa {
+            name: "sve512",
+            vlen_bits: 512,
+            num_vregs: 32,
+            spare_vregs: 2,
+            fma_latency: 5,
+            predication: true,
+        }
+    }
+
+    /// Every shipped configuration, narrowest first.
+    pub const fn all() -> [VectorIsa; 3] {
+        [Self::neon128(), Self::sve256(), Self::sve512()]
+    }
+
+    /// Look a configuration up by its [`name`](Self::name).
+    pub fn by_name(name: &str) -> Option<VectorIsa> {
+        Self::all().into_iter().find(|isa| isa.name == name)
+    }
+
+    /// Lanes per vector register for an element of `elem_bytes` bytes.
+    pub fn lanes(&self, elem_bytes: usize) -> usize {
+        assert!(elem_bytes > 0, "element size must be positive");
+        self.vlen_bits / (8 * elem_bytes)
+    }
+
+    /// Lanes per register for single-precision (`f32`) elements.
+    pub fn lanes_f32(&self) -> usize {
+        self.lanes(4)
+    }
+
+    /// Bytes per vector register.
+    pub fn vreg_bytes(&self) -> usize {
+        self.vlen_bits / 8
+    }
+
+    /// Eq. 4 accumulator budget: registers an `mr × nr` accumulator may
+    /// occupy (`num_vregs - spare_vregs`).
+    pub fn accumulator_budget(&self) -> usize {
+        self.num_vregs.saturating_sub(self.spare_vregs)
+    }
+
+    /// The single authoritative Eq. 4 check, parametrized by this ISA.
+    /// Delegates to [`crate::check_register_budget`] so the kernel layer
+    /// and the verifier share one predicate.
+    pub fn check_register_budget(
+        &self,
+        mr: usize,
+        nr: usize,
+        elem_bytes: usize,
+    ) -> Result<crate::RegisterBudget, crate::RegisterBudgetError> {
+        crate::check_register_budget(
+            mr,
+            nr,
+            self.lanes(elem_bytes),
+            self.num_vregs,
+            self.spare_vregs,
+        )
+    }
+
+    /// Chain-bound efficiency ceiling for an `mr × nr` tile under this
+    /// ISA (Eq. 4 chains vs. the FMA pipeline depth).
+    pub fn chain_bound_efficiency(&self, mr: usize, nr: usize, elem_bytes: usize) -> f64 {
+        crate::KernelShape::new(mr, nr)
+            .chain_bound_efficiency(self.lanes(elem_bytes), self.fma_latency)
+    }
+}
+
+impl Default for VectorIsa {
+    /// NEON-128: the paper's configuration and the compatibility default.
+    fn default() -> Self {
+        Self::neon128()
+    }
+}
+
+impl std::fmt::Display for VectorIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_per_width() {
+        assert_eq!(VectorIsa::neon128().lanes_f32(), 4);
+        assert_eq!(VectorIsa::sve256().lanes_f32(), 8);
+        assert_eq!(VectorIsa::sve512().lanes_f32(), 16);
+        // f64 halves the lane count.
+        assert_eq!(VectorIsa::neon128().lanes(8), 2);
+        assert_eq!(VectorIsa::sve512().lanes(8), 8);
+    }
+
+    #[test]
+    fn vreg_bytes_per_width() {
+        assert_eq!(VectorIsa::neon128().vreg_bytes(), 16);
+        assert_eq!(VectorIsa::sve256().vreg_bytes(), 32);
+        assert_eq!(VectorIsa::sve512().vreg_bytes(), 64);
+    }
+
+    #[test]
+    fn default_is_the_papers_neon() {
+        let isa = VectorIsa::default();
+        assert_eq!(isa, VectorIsa::neon128());
+        assert_eq!(isa.num_vregs, 32);
+        assert_eq!(isa.spare_vregs, 2);
+        assert_eq!(isa.fma_latency, 5);
+        assert!(!isa.predication);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for isa in VectorIsa::all() {
+            assert_eq!(VectorIsa::by_name(isa.name), Some(isa));
+        }
+        assert_eq!(VectorIsa::by_name("avx512"), None);
+    }
+
+    #[test]
+    fn eq4_parametrizes_over_width() {
+        // 16x8 overflows NEON-128 (32 accumulators > 30)...
+        assert!(VectorIsa::neon128()
+            .check_register_budget(16, 8, 4)
+            .is_err());
+        // ...but fits easily at 256-bit (16 accumulators).
+        let b = VectorIsa::sve256().check_register_budget(16, 8, 4).unwrap();
+        assert_eq!(b.accumulators, 16);
+        // 32x12 fits only at 512-bit.
+        assert!(VectorIsa::sve256()
+            .check_register_budget(32, 12, 4)
+            .is_err());
+        let b = VectorIsa::sve512()
+            .check_register_budget(32, 12, 4)
+            .unwrap();
+        assert_eq!(b.accumulators, 24);
+    }
+
+    #[test]
+    fn chain_bound_scales_with_width() {
+        // A 4-row column tile: one chain on NEON (20% ceiling), still
+        // one chain at 512-bit.
+        let n = VectorIsa::neon128().chain_bound_efficiency(4, 1, 4);
+        assert!((n - 0.2).abs() < 1e-12);
+        // 16x4 saturates NEON (16 chains) but drops to 4 chains at
+        // 512-bit: wider vectors need wider nr to fill the pipe.
+        assert_eq!(VectorIsa::neon128().chain_bound_efficiency(16, 4, 4), 1.0);
+        let w = VectorIsa::sve512().chain_bound_efficiency(16, 4, 4);
+        assert!((w - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_isas_are_predicated() {
+        assert!(VectorIsa::sve256().predication);
+        assert!(VectorIsa::sve512().predication);
+        assert!(!VectorIsa::neon128().predication);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(VectorIsa::sve256().to_string(), "sve256");
+    }
+}

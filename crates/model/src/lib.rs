@@ -10,6 +10,9 @@
 //! * [`microkernel`] — the register-file constraint of §III-C (Eq. 4) and
 //!   the compute-to-memory ratio (CMR, Eq. 5) used to rank candidate
 //!   `mr × nr` micro-kernel shapes.
+//! * [`isa`] — [`VectorIsa`] descriptors that make Eq. 4/Eq. 5 and the
+//!   chain-bound ceiling parametric over vector width (NEON-128 plus
+//!   SVE-style 256/512-bit predicated configs).
 //! * [`peak`] — machine descriptions (frequency, SIMD width, FMA issue
 //!   rate, core count) and peak-performance / efficiency arithmetic.
 //! * [`blocking`] — derivation of the Goto-algorithm blocking parameters
@@ -25,12 +28,14 @@
 #![deny(missing_docs)]
 
 pub mod blocking;
+pub mod isa;
 pub mod microkernel;
 pub mod p2c;
 pub mod parallel;
 pub mod peak;
 
 pub use blocking::{derive_blocking, BlockingParams, CacheSizes};
+pub use isa::VectorIsa;
 pub use microkernel::{
     check_register_budget, cmr, registers_for_accumulator, satisfies_register_constraint,
     KernelShape, RegisterBudget, RegisterBudgetError,

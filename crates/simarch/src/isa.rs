@@ -6,12 +6,22 @@
 //! branches), plus a `Barrier` pseudo-instruction for thread
 //! synchronization.
 //!
-//! Registers are flat indices: `0..32` are the 128-bit vector registers
-//! `V0..V31`, `32..64` model scalar FP views (`S`/`D` registers), and
-//! `64..96` are general-purpose integer registers. The simulator renames
-//! ideally, so only read-after-write dependencies matter; architectural
-//! register pressure is the *emitter's* responsibility (checked against
-//! Eq. 4 of the paper in `smm-kernels`).
+//! The base ISA is NEON-flavoured; for SVE-style targets it gains
+//! predicated vector ops (`ld1w`/`st1w`/`fmla` under a governing
+//! predicate plus the `whilelt` predicate generator) and an SME-style
+//! outer-product tile accumulate (`fmopa`). The *byte width* of a vector
+//! register is not encoded here — it is a property of the active
+//! `VectorIsa` configuration (`smm_model::VectorIsa`); emitters choose
+//! addresses and access sizes accordingly.
+//!
+//! Registers are flat indices: `0..32` are the full-width vector
+//! registers `V0..V31` (`Z0..Z31` on SVE targets), `32..64` model scalar
+//! FP views (`S`/`D` registers), `64..96` are general-purpose integer
+//! registers, `96..112` are SVE governing predicates `P0..P15`, and
+//! `112..120` are SME-style accumulator tiles `ZA0..ZA7`. The simulator
+//! renames ideally, so only read-after-write dependencies matter;
+//! architectural register pressure is the *emitter's* responsibility
+//! (checked against Eq. 4 of the paper in `smm-kernels`).
 
 use crate::phase::Phase;
 
@@ -29,6 +39,14 @@ pub const NUM_VREGS: Reg = 32;
 pub const S0: Reg = 32;
 /// First general-purpose integer register.
 pub const X0: Reg = 64;
+/// First governing predicate register (SVE-style targets).
+pub const P0: Reg = 96;
+/// Number of predicate registers.
+pub const NUM_PREGS: Reg = 16;
+/// First outer-product accumulator tile (SME-style targets).
+pub const ZA0: Reg = 112;
+/// Number of accumulator tiles.
+pub const NUM_TREGS: Reg = 8;
 
 /// Vector register `Vn`.
 pub fn v(n: u8) -> Reg {
@@ -48,6 +66,18 @@ pub fn x(n: u8) -> Reg {
     X0 + n
 }
 
+/// Predicate register `Pn`.
+pub fn pr(n: u8) -> Reg {
+    assert!(n < NUM_PREGS, "predicate register P{n} out of range");
+    P0 + n
+}
+
+/// Outer-product accumulator tile `ZAn`.
+pub fn za(n: u8) -> Reg {
+    assert!(n < NUM_TREGS, "accumulator tile ZA{n} out of range");
+    ZA0 + n
+}
+
 /// Scheduling queue an instruction dispatches into (§II-A: 2× Int/SIMD,
 /// 1× FP/SIMD, 1× Load/Store).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,19 +93,35 @@ pub enum QueueKind {
 /// Operations of the simulated ISA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
-    /// 128-bit vector load (`ldr q`): fills one vector register.
+    /// Full-width vector load (`ldr q` / SVE `ldr z`): fills one vector
+    /// register. The byte width is the active `VectorIsa`'s.
     LdVec,
+    /// Predicated vector load (SVE `ld1w { z.s }, p/z, [addr]`): fills
+    /// the active lanes of a vector register under a governing
+    /// predicate. One load-port access like `LdVec`.
+    LdVecPred,
     /// Scalar FP load (`ldr s`): fills one scalar register.
     LdScalar,
     /// Scalar FP pair load (`ldp s, s`): one access, two registers.
     LdPair,
-    /// 128-bit vector store (`str q`).
+    /// Full-width vector store (`str q` / SVE `str z`).
     StVec,
+    /// Predicated vector store (SVE `st1w { z.s }, p, [addr]`): writes
+    /// only the active lanes.
+    StVecPred,
     /// Scalar FP store (`str s`).
     StScalar,
     /// Vector fused multiply-add (`fmla v.4s, v.4s, v.s[lane]`):
     /// `dst += src1 * src2`.
     Fma,
+    /// Predicated vector FMA (SVE `fmla z, p/m, z, z`): active lanes
+    /// accumulate, inactive lanes pass through. Same pipe and latency
+    /// as `Fma`; the predicate is a true data dependency.
+    FmaPred,
+    /// Outer-product accumulate onto a tile (SME `fmopa za, p/m, z, z`):
+    /// `tile[i][j] += a[i] * b[j]` for all active lane pairs. One FMA
+    /// pipe slot per instruction in this model.
+    FmaTile,
     /// Vector multiply (`fmul`), e.g. the `alpha` scaling of `C`.
     VMul,
     /// Vector add (`fadd`).
@@ -86,6 +132,9 @@ pub enum Op {
     VDup,
     /// Integer ALU operation (address increments, loop counters).
     IOp,
+    /// Predicate generator (SVE `whilelt p, x, x`): sets a governing
+    /// predicate from a loop bound. Integer pipe, single cycle.
+    WhileLt,
     /// Conditional loop branch (assumed perfectly predicted).
     Branch,
     /// Synchronization barrier pseudo-instruction. The payload is a
@@ -98,20 +147,31 @@ impl Op {
     /// Which scheduling queue the op occupies.
     pub fn queue(self) -> QueueKind {
         match self {
-            Op::LdVec | Op::LdScalar | Op::LdPair | Op::StVec | Op::StScalar => QueueKind::Ls,
-            Op::Fma | Op::VMul | Op::VAdd | Op::VDup => QueueKind::Fp,
-            Op::IOp | Op::Branch | Op::Barrier(_) => QueueKind::Int,
+            Op::LdVec
+            | Op::LdVecPred
+            | Op::LdScalar
+            | Op::LdPair
+            | Op::StVec
+            | Op::StVecPred
+            | Op::StScalar => QueueKind::Ls,
+            Op::Fma | Op::FmaPred | Op::FmaTile | Op::VMul | Op::VAdd | Op::VDup => QueueKind::Fp,
+            Op::IOp | Op::WhileLt | Op::Branch | Op::Barrier(_) => QueueKind::Int,
         }
     }
 
     /// Is this a memory load?
     pub fn is_load(self) -> bool {
-        matches!(self, Op::LdVec | Op::LdScalar | Op::LdPair)
+        matches!(self, Op::LdVec | Op::LdVecPred | Op::LdScalar | Op::LdPair)
     }
 
     /// Is this a memory store?
     pub fn is_store(self) -> bool {
-        matches!(self, Op::StVec | Op::StScalar)
+        matches!(self, Op::StVec | Op::StVecPred | Op::StScalar)
+    }
+
+    /// Is this a (possibly predicated or tiled) fused multiply-add?
+    pub fn is_fma(self) -> bool {
+        matches!(self, Op::Fma | Op::FmaPred | Op::FmaTile)
     }
 }
 
@@ -125,8 +185,9 @@ pub struct Inst {
     /// Second destination (only `LdPair`).
     pub dst2: Reg,
     /// Source registers ([`NO_REG`] slots unused). For `Fma` the first
-    /// source is the accumulator itself.
-    pub srcs: [Reg; 3],
+    /// source is the accumulator itself; predicated ops carry their
+    /// governing predicate in the last slot.
+    pub srcs: [Reg; 4],
     /// Byte address for memory ops; participant count for `Barrier`.
     pub addr: u64,
     /// Execution phase this instruction is accounted to.
@@ -139,7 +200,7 @@ impl Inst {
             op,
             dst: NO_REG,
             dst2: NO_REG,
-            srcs: [NO_REG; 3],
+            srcs: [NO_REG; 4],
             addr: 0,
             phase,
         }
@@ -190,7 +251,51 @@ impl Inst {
     pub fn fma(acc: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
         let mut i = Inst::new(Op::Fma, phase);
         i.dst = acc;
-        i.srcs = [acc, a, b];
+        i.srcs = [acc, a, b, NO_REG];
+        i
+    }
+
+    /// `ld1w { z<dst> }, p<pred>/z, [addr]` — predicated vector load.
+    pub fn ld_vec_pred(dst: Reg, pred: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::LdVecPred, phase);
+        i.dst = dst;
+        i.srcs[3] = pred;
+        i.addr = addr;
+        i
+    }
+
+    /// `st1w { z<src> }, p<pred>, [addr]` — predicated vector store.
+    pub fn st_vec_pred(src: Reg, pred: Reg, addr: u64, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::StVecPred, phase);
+        i.srcs[0] = src;
+        i.srcs[3] = pred;
+        i.addr = addr;
+        i
+    }
+
+    /// `fmla z<acc>, p<pred>/m, z<a>, z<b>` — predicated vector FMA.
+    pub fn fma_pred(acc: Reg, a: Reg, b: Reg, pred: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::FmaPred, phase);
+        i.dst = acc;
+        i.srcs = [acc, a, b, pred];
+        i
+    }
+
+    /// `fmopa za<tile>, p<pred>/m, z<a>, z<b>` — outer-product tile
+    /// accumulate (pass [`NO_REG`] for an all-true predicate).
+    pub fn fma_tile(tile: Reg, a: Reg, b: Reg, pred: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::FmaTile, phase);
+        i.dst = tile;
+        i.srcs = [tile, a, b, pred];
+        i
+    }
+
+    /// `whilelt p<dst>, x<counter>, x<bound>` — generate a governing
+    /// predicate from a loop bound.
+    pub fn while_lt(dst: Reg, counter: Reg, phase: Phase) -> Self {
+        let mut i = Inst::new(Op::WhileLt, phase);
+        i.dst = dst;
+        i.srcs[0] = counter;
         i
     }
 
@@ -198,7 +303,7 @@ impl Inst {
     pub fn vmul(dst: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
         let mut i = Inst::new(Op::VMul, phase);
         i.dst = dst;
-        i.srcs = [a, b, NO_REG];
+        i.srcs = [a, b, NO_REG, NO_REG];
         i
     }
 
@@ -206,7 +311,7 @@ impl Inst {
     pub fn vadd(dst: Reg, a: Reg, b: Reg, phase: Phase) -> Self {
         let mut i = Inst::new(Op::VAdd, phase);
         i.dst = dst;
-        i.srcs = [a, b, NO_REG];
+        i.srcs = [a, b, NO_REG, NO_REG];
         i
     }
 
@@ -214,7 +319,7 @@ impl Inst {
     pub fn vdup(dst: Reg, src: Reg, phase: Phase) -> Self {
         let mut i = Inst::new(Op::VDup, phase);
         i.dst = dst;
-        i.srcs = [src, NO_REG, NO_REG];
+        i.srcs = [src, NO_REG, NO_REG, NO_REG];
         i
     }
 
@@ -284,7 +389,59 @@ mod tests {
     fn register_namespaces_do_not_collide() {
         assert_ne!(v(0), s(0));
         assert_ne!(s(0), x(0));
+        assert_ne!(x(31), pr(0));
+        assert_ne!(pr(15), za(0));
         assert!(x(31) < NO_REG);
+        assert!(za(7) < NO_REG);
+    }
+
+    #[test]
+    fn predicated_ops_queue_like_their_plain_forms() {
+        assert_eq!(Op::LdVecPred.queue(), QueueKind::Ls);
+        assert_eq!(Op::StVecPred.queue(), QueueKind::Ls);
+        assert_eq!(Op::FmaPred.queue(), QueueKind::Fp);
+        assert_eq!(Op::FmaTile.queue(), QueueKind::Fp);
+        assert_eq!(Op::WhileLt.queue(), QueueKind::Int);
+        assert!(Op::LdVecPred.is_load());
+        assert!(Op::StVecPred.is_store());
+        assert!(!Op::FmaPred.is_load());
+        assert!(Op::Fma.is_fma() && Op::FmaPred.is_fma() && Op::FmaTile.is_fma());
+        assert!(!Op::VMul.is_fma());
+    }
+
+    #[test]
+    fn predicated_fma_depends_on_its_predicate() {
+        let i = Inst::fma_pred(v(16), v(0), v(1), pr(0), Phase::Edge);
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![v(16), v(0), v(1), pr(0)]);
+        assert_eq!(i.dst, v(16));
+    }
+
+    #[test]
+    fn while_lt_writes_its_predicate() {
+        let i = Inst::while_lt(pr(1), x(3), Phase::Edge);
+        assert_eq!(i.dst, pr(1));
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![x(3)]);
+    }
+
+    #[test]
+    fn tile_accumulate_reads_tile_and_operands() {
+        let i = Inst::fma_tile(za(0), v(0), v(1), pr(0), Phase::Kernel);
+        assert_eq!(i.dst, za(0));
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![za(0), v(0), v(1), pr(0)]);
+        // All-true predicate drops the dependency.
+        let j = Inst::fma_tile(za(1), v(0), v(1), NO_REG, Phase::Kernel);
+        assert_eq!(j.sources().count(), 3);
+    }
+
+    #[test]
+    fn predicated_load_carries_predicate_dependency() {
+        let i = Inst::ld_vec_pred(v(2), pr(0), 0x40, Phase::Edge);
+        assert_eq!(i.dst, v(2));
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![pr(0)]);
+        let s = Inst::st_vec_pred(v(2), pr(0), 0x80, Phase::Edge);
+        assert_eq!(s.sources().collect::<Vec<_>>(), vec![v(2), pr(0)]);
     }
 
     #[test]
