@@ -707,6 +707,16 @@ mod tests {
         // clock site; a stray read elsewhere in serve still fails.
         assert!(!lint_source("crates/serve/src/clock.rs", clock).has_code("LINT-E104"));
         assert!(lint_source("crates/serve/src/server.rs", clock).has_code("LINT-E104"));
+        // The tracing module is deliberately *not* on the allowlist:
+        // its one clock site carries an audited `lint:allow` waiver, so
+        // a second unwaivered read there is still caught.
+        assert!(lint_source("crates/core/src/trace.rs", clock).has_code("LINT-E104"));
+        assert!(!lint_source(
+            "crates/core/src/trace.rs",
+            "// lint:allow(instant-now) -- tracing's audited clock site\n\
+             fn f() { let t = Instant::now(); }",
+        )
+        .has_code("LINT-E104"));
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //! ```
 
 use std::io::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use smm_core::LatencyHistogram;
+use smm_core::{LatencyHistogram, Smm, TelemetryReport, DEFAULT_RATE_WINDOW};
 use smm_serve::{GemmRequest, Rejected, Server, TcpClient, TcpServer};
 
 /// The workload mix: the paper's small-GEMM regime, deliberately
@@ -42,6 +42,8 @@ struct Options {
     tcp: bool,
     gate_throughput: bool,
     report: Option<String>,
+    rate_window: Duration,
+    bench_json: Option<String>,
 }
 
 impl Default for Options {
@@ -56,6 +58,8 @@ impl Default for Options {
             tcp: false,
             gate_throughput: false,
             report: None,
+            rate_window: DEFAULT_RATE_WINDOW,
+            bench_json: None,
         }
     }
 }
@@ -80,11 +84,17 @@ fn parse_args() -> Options {
             "--tcp" => opts.tcp = true,
             "--gate-throughput" => opts.gate_throughput = true,
             "--report" => opts.report = Some(value("--report")),
+            "--rate-window" => {
+                let secs: f64 = value("--rate-window").parse().expect("seconds");
+                assert!(secs > 0.0, "--rate-window must be positive");
+                opts.rate_window = Duration::from_secs_f64(secs);
+            }
+            "--bench-json" => opts.bench_json = Some(value("--bench-json")),
             "--help" | "-h" => {
                 println!(
                     "loadgen [--clients N] [--requests N] [--threads N] [--window-us N]\n\
                      \x20       [--queue N] [--max-batch N] [--tcp] [--gate-throughput]\n\
-                     \x20       [--report FILE]"
+                     \x20       [--report FILE] [--rate-window SECS] [--bench-json FILE]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +121,9 @@ struct RunOutcome {
     wall: Duration,
     latencies: Vec<(usize, u64)>,
     stats: smm_serve::ServeStats,
+    /// Telemetry snapshot taken right after the drive finished, while
+    /// the rate window still covers the run.
+    telemetry: TelemetryReport,
 }
 
 fn request_for(shape: usize, seed: u64) -> GemmRequest<f32> {
@@ -180,8 +193,17 @@ fn drive<T: Send>(
 }
 
 fn run_workload(opts: &Options) -> RunOutcome {
+    // Loadgen owns the runtime so the serving layer records into a
+    // telemetry registry whose rate window matches `--rate-window`.
+    let smm = Arc::new(
+        Smm::<f32>::builder()
+            .threads(opts.threads)
+            .telemetry(true)
+            .rate_window(opts.rate_window)
+            .build(),
+    );
     let server = Server::<f32>::builder()
-        .threads(opts.threads)
+        .smm(Arc::clone(&smm))
         .queue_capacity(opts.queue_capacity)
         .coalesce_window(opts.window)
         .max_batch(opts.max_batch)
@@ -195,6 +217,7 @@ fn run_workload(opts: &Options) -> RunOutcome {
             || TcpClient::connect(addr).expect("connect"),
             |client, req| client.call(&req),
         );
+        let telemetry = smm.stats_report();
         let stats = tcp.shutdown();
         RunOutcome {
             issued,
@@ -203,6 +226,7 @@ fn run_workload(opts: &Options) -> RunOutcome {
             wall,
             latencies,
             stats,
+            telemetry,
         }
     } else {
         let client = server.client();
@@ -211,6 +235,7 @@ fn run_workload(opts: &Options) -> RunOutcome {
             || client.clone(),
             |client, req| client.submit(req).and_then(|t| t.wait()),
         );
+        let telemetry = smm.stats_report();
         let stats = server.shutdown();
         RunOutcome {
             issued,
@@ -219,6 +244,7 @@ fn run_workload(opts: &Options) -> RunOutcome {
             wall,
             latencies,
             stats,
+            telemetry,
         }
     }
 }
@@ -250,6 +276,17 @@ fn render_report(opts: &Options, run: &RunOutcome) -> String {
         gflops(&run.latencies, run.wall),
     ));
     out.push_str(&format!("  {}\n", run.stats));
+    let r = &run.telemetry.rate;
+    out.push_str(&format!(
+        "  windowed rate ({:.1} s window, {:.1} s covered): {:.0} req/s, {:.2} Gflops/s, \
+         p99 now {:.1} us, p99 trend {:+.1} us/s\n",
+        r.window_secs,
+        r.covered_secs,
+        r.req_per_sec,
+        r.gflops_per_sec,
+        r.p99_now_ns as f64 / 1e3,
+        r.p99_trend_ns_per_sec / 1e3,
+    ));
     out.push_str("  per-shape latency (closed loop, includes queueing):\n");
     for (idx, &(m, n, k)) in SHAPES.iter().enumerate() {
         let mut hist = LatencyHistogram::new();
@@ -270,6 +307,68 @@ fn render_report(opts: &Options, run: &RunOutcome) -> String {
         ));
     }
     out
+}
+
+/// Machine-readable run summary (`--bench-json`), consumed by the CI
+/// serve job. Hand-rolled JSON, same as the rest of the workspace.
+fn bench_json(opts: &Options, run: &RunOutcome) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"loadgen\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.tcp { "tcp" } else { "in-process" }
+    ));
+    s.push_str(&format!("  \"clients\": {},\n", opts.clients));
+    s.push_str(&format!("  \"requests_per_client\": {},\n", opts.requests));
+    s.push_str(&format!("  \"issued\": {},\n", run.issued));
+    s.push_str(&format!("  \"completed\": {},\n", run.ok));
+    s.push_str(&format!("  \"rejected\": {},\n", run.rejected));
+    s.push_str(&format!(
+        "  \"wall_secs\": {:.6},\n",
+        run.wall.as_secs_f64()
+    ));
+    s.push_str(&format!(
+        "  \"achieved_gflops\": {:.6},\n",
+        gflops(&run.latencies, run.wall)
+    ));
+    let r = &run.telemetry.rate;
+    s.push_str(&format!(
+        "  \"rate\": {{\"window_secs\": {:.6}, \"covered_secs\": {:.6}, \
+         \"req_per_sec\": {:.3}, \"gflops_per_sec\": {:.6}, \"mean_ns\": {}, \
+         \"p99_now_ns\": {}, \"p99_trend_ns_per_sec\": {:.3}, \"live_slots\": {}}},\n",
+        r.window_secs,
+        r.covered_secs,
+        r.req_per_sec,
+        r.gflops_per_sec,
+        r.mean_ns,
+        r.p99_now_ns,
+        r.p99_trend_ns_per_sec,
+        r.live_slots,
+    ));
+    s.push_str("  \"shapes\": [\n");
+    let mut rows = Vec::new();
+    for (idx, &(m, n, k)) in SHAPES.iter().enumerate() {
+        let mut hist = LatencyHistogram::new();
+        let mut count = 0u64;
+        for &(sh, ns) in &run.latencies {
+            if sh == idx {
+                hist.record(ns);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        rows.push(format!(
+            "    {{\"m\": {m}, \"n\": {n}, \"k\": {k}, \"count\": {count}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}",
+            hist.quantile(0.50),
+            hist.quantile(0.99)
+        ));
+    }
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
 }
 
 fn main() {
@@ -338,5 +437,11 @@ fn main() {
         let mut f = std::fs::File::create(path).expect("create report file");
         f.write_all(report.as_bytes()).expect("write report");
         println!("loadgen: report written to {path}");
+    }
+    if let Some(path) = &opts.bench_json {
+        let mut f = std::fs::File::create(path).expect("create bench json");
+        f.write_all(bench_json(&opts, &run).as_bytes())
+            .expect("write bench json");
+        println!("loadgen: bench json written to {path}");
     }
 }

@@ -391,6 +391,39 @@ fn telemetry_section() {
         verdict.2
     );
 
+    // Tracing rides on top of telemetry: every call also emits span
+    // events into the flight recorder. Same protocol against the same
+    // dark baseline, with a 7% budget for the extra clock reads and
+    // ring writes.
+    let traced = Smm::<f32>::builder().threads(THREADS).tracing(true).build();
+    let mut verdict_tr = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for attempt in 0..3 {
+        let (t_on, t_off) = measure(&traced, &disabled);
+        let overhead_pct = (t_on - t_off) / t_off * 100.0;
+        println!(
+            "  traced  {:.2} us/call, disabled {:.2} us/call -> overhead {:+.2}%{}",
+            t_on * 1e6,
+            t_off * 1e6,
+            overhead_pct,
+            if overhead_pct >= 7.0 && attempt < 2 {
+                "  (over budget, re-measuring)"
+            } else {
+                ""
+            }
+        );
+        if overhead_pct < verdict_tr.2 {
+            verdict_tr = (t_on, t_off, overhead_pct);
+        }
+        if verdict_tr.2 < 7.0 {
+            break;
+        }
+    }
+    assert!(
+        verdict_tr.2 < 7.0,
+        "tracing overhead {:.2}% exceeds the 7% budget in 3 attempts",
+        verdict_tr.2
+    );
+
     // Mix in single multi-threaded GEMMs so the report shows the
     // dispatch/sync phases and a second call site.
     let am = Mat::<f32>::random(64, 64, 7);

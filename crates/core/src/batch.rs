@@ -24,6 +24,7 @@ use crate::exec::execute_traced;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::smm::Smm;
 use crate::telemetry::{now_if, CallSite, Phase, Recorder};
+use crate::trace::{shape_arg, SpanName};
 
 /// Arguments describing one strided batch: `batch` GEMMs of identical
 /// shape laid out at constant strides in three flat buffers.
@@ -195,6 +196,9 @@ impl<S: Scalar> Smm<S> {
             }
             return Ok(());
         }
+        let _root = self
+            .tracer
+            .span(SpanName::GemmBatch, shape_arg(desc.m, desc.n, desc.k));
         let rec = self.telemetry().recorder(CallSite::GemmBatch);
         let t_call = rec.now();
         // Intra-GEMM threading is deliberately disabled: batch-level
@@ -268,10 +272,15 @@ impl<S: Scalar> Smm<S> {
         let plan_ref = &plan;
         let run_entry_ref = &run_entry;
         let timed = rec.active();
+        // Capture parentage here: the groups run on pool threads.
+        let tracer = self.tracer();
+        let ctx = tracer.current_ctx();
         let tasks: Vec<_> = groups
             .into_iter()
-            .map(|group| {
+            .enumerate()
+            .map(|(g, group)| {
                 move || {
+                    let _w = tracer.span_in(ctx, SpanName::Worker, g as u64);
                     let t0 = now_if(timed);
                     for (i, win) in group {
                         run_entry_ref(plan_ref, win, i);

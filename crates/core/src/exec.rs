@@ -28,6 +28,7 @@ use smm_kernels::Scalar;
 use crate::direct::DirectKernel;
 use crate::plan::SmmPlan;
 use crate::telemetry::{now_if, Phase, Recorder};
+use crate::trace::{SpanName, Tracer};
 
 /// Execute `C = alpha·A·B + beta·C` under a plan, on the process-wide
 /// persistent pool ([`TaskPool::global`]).
@@ -65,6 +66,27 @@ pub fn execute_traced<S: Scalar>(
     pool: &TaskPool,
     plan: &SmmPlan,
     rec: Recorder<'_>,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    execute_traced_ctx(pool, plan, rec, &Tracer::disabled(), alpha, a, b, beta, c);
+}
+
+/// [`execute_traced`] under a request [`Tracer`]: when tracing is
+/// enabled, each pool-worker cell task emits a `worker` span parented
+/// under the caller's current span (captured as a [`crate::TraceCtx`]
+/// before dispatch, since the cells run on pool threads). The cell
+/// decomposition and execution order are untouched — results stay
+/// bit-for-bit identical to the untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_traced_ctx<S: Scalar>(
+    pool: &TaskPool,
+    plan: &SmmPlan,
+    rec: Recorder<'_>,
+    tracer: &Tracer,
     alpha: S,
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
@@ -140,12 +162,20 @@ pub fn execute_traced<S: Scalar>(
     // order the nested loops below consume.
     let mut tiles_iter = c.split_grid(&row_splits, &col_splits).into_iter();
 
+    // Parentage for the worker spans, captured on this thread: the
+    // cells run on pool threads where the thread-local current span is
+    // someone else's (or nobody's).
+    let ctx = tracer.current_ctx();
     let mut tasks: Vec<_> = Vec::with_capacity(row_bands.len() * col_bands.len());
+    let mut cell = 0u64;
     for &(i_base, _, m_tiles) in &row_bands {
         for &(j_base, _, n_tiles) in &col_bands {
             let (ti, tj, mut tile) = tiles_iter.next().expect("one tile per band pair");
             debug_assert_eq!((ti, tj), (i_base, j_base));
+            let cell_idx = cell;
+            cell += 1;
             tasks.push(move || {
+                let _w = tracer.span_in(ctx, SpanName::Worker, cell_idx);
                 let t0 = now_if(timed);
                 let cost = run_tiles(
                     plan, timed, alpha, a, b, &mut tile, m_tiles, n_tiles, i_base, j_base,

@@ -40,10 +40,12 @@ pub mod direct;
 pub mod error;
 pub mod exec;
 pub mod plan;
+pub mod rate;
 pub mod runtime;
 pub mod simprog;
 pub mod smm;
 pub mod telemetry;
+pub mod trace;
 pub mod tune;
 
 pub use batch::StridedBatch;
@@ -52,12 +54,17 @@ pub use direct::DirectKernel;
 pub use error::{Operand, SmmError};
 pub use exec::{execute, execute_in, execute_traced};
 pub use plan::{choose_kernel, choose_kernel_for, PlanConfig, SmmPlan};
+pub use rate::{savitzky_golay_slope, RateReport, RateWindow};
 pub use runtime::{PoolStats, RuntimeStats, ShardedPlanCache, TaskPool};
 pub use simprog::build_sim;
 pub use smm::{Smm, SmmBuilder};
 pub use smm_model::VectorIsa;
 pub use telemetry::{
     CallSite, LatencyHistogram, Phase, PhaseReport, Recorder, ShapeReport, SiteBreakdown,
-    Telemetry, TelemetryReport,
+    Telemetry, TelemetryReport, DEFAULT_RATE_WINDOW,
+};
+pub use trace::{
+    chrome_trace_json, shape_arg, AssembledSpan, OpenSpan, SpanGuard, SpanName, TraceCtx,
+    TraceExemplar, Tracer,
 };
 pub use tune::{Autotuner, TunedPlan};

@@ -1,0 +1,337 @@
+//! Windowed rate estimators: req/s, Gflops/s, and p99 trend over a
+//! sliding window of latency samples.
+//!
+//! Aggregate histograms (ROADMAP items 2/4's inputs) answer "what has
+//! this process done since start"; an online dispatcher needs "what is
+//! happening *right now*, and which way is it moving". This module
+//! keeps a ring of `RATE_SLOTS` time slots, each a small bundle of
+//! relaxed atomics (request count, flops, latency sum, and a compact
+//! log2 latency histogram). A slot is lazily recycled when the wall
+//! clock enters its index again one window later, so there is no
+//! ticker thread and no lock.
+//!
+//! The module itself never reads a clock: callers (telemetry's
+//! `record_call`, which is already inside the clock fence) pass
+//! `now_ns` relative to their own epoch. Disabled-telemetry runtimes
+//! never call in, so the zero-overhead discipline of the recorder is
+//! preserved.
+//!
+//! The p99 *trend* is the first derivative of the per-slot p99 series,
+//! estimated with a least-squares linear fit over the window — for the
+//! default window of 5+ evenly spaced samples this is exactly the
+//! Savitzky–Golay first-derivative filter (window 5, coefficients
+//! (−2,−1,0,1,2)/10), the shape the dataplane exemplar's
+//! `stats/src/rate.rs` uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of time slots in the sliding window.
+pub const RATE_SLOTS: usize = 8;
+
+/// Buckets of each slot's compact log2 latency histogram (same
+/// bucketing as `LatencyHistogram`: bucket `i` holds `[2^i, 2^(i+1))`).
+pub const RATE_BUCKETS: usize = 40;
+
+/// Slot index marking a never-used slot.
+const EMPTY: u64 = u64::MAX;
+
+fn bucket_index(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize)
+        .saturating_sub(1)
+        .min(RATE_BUCKETS - 1)
+}
+
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// One time slot of the window.
+// Lazily-recycled relaxed counters: `epoch` holds the absolute slot
+// index the counters belong to; the first recorder to enter a new
+// index wins a Relaxed CAS and zeroes the counters. All increments are
+// Relaxed — a handful of samples may land across a recycle boundary,
+// which only blurs one slot edge of an estimator that is statistical
+// by construction.
+struct RateSlot {
+    epoch: AtomicU64,
+    count: AtomicU64,
+    flops: AtomicU64,
+    sum_ns: AtomicU64,
+    hist: [AtomicU64; RATE_BUCKETS],
+}
+
+impl RateSlot {
+    fn new() -> Self {
+        RateSlot {
+            epoch: AtomicU64::new(EMPTY),
+            count: AtomicU64::new(0),
+            flops: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        for b in &self.hist {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.hist.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(RATE_BUCKETS - 1)
+    }
+}
+
+/// A sliding window of [`RATE_SLOTS`] time slots over caller-supplied
+/// timestamps.
+pub struct RateWindow {
+    slot_ns: u64,
+    slots: Vec<RateSlot>,
+}
+
+/// Point-in-time view of the window, exposed via `TelemetryReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RateReport {
+    /// Configured window length in seconds.
+    pub window_secs: f64,
+    /// Seconds of the window actually covered by live slots.
+    pub covered_secs: f64,
+    /// Requests per second over the covered span (batch members count
+    /// individually).
+    pub req_per_sec: f64,
+    /// Achieved Gflops/s over the covered span.
+    pub gflops_per_sec: f64,
+    /// Mean call latency over the covered span, nanoseconds.
+    pub mean_ns: u64,
+    /// p99 of the newest live slot, nanoseconds.
+    pub p99_now_ns: u64,
+    /// First derivative of the per-slot p99 series (ns per second);
+    /// positive means tail latency is trending up right now.
+    pub p99_trend_ns_per_sec: f64,
+    /// Live slots the estimates were computed from.
+    pub live_slots: usize,
+}
+
+impl RateWindow {
+    /// A window spanning `window_ns` nanoseconds, split into
+    /// [`RATE_SLOTS`] slots (slot width is at least 1 ms).
+    pub fn new(window_ns: u64) -> Self {
+        RateWindow {
+            slot_ns: (window_ns / RATE_SLOTS as u64).max(1_000_000),
+            slots: (0..RATE_SLOTS).map(|_| RateSlot::new()).collect(),
+        }
+    }
+
+    /// Record one call finishing at `now_ns` (caller's epoch-relative
+    /// clock): `entries` requests, `flops` floating-point ops, and the
+    /// call's total latency. Every one of the `entries` requests is
+    /// taken to have experienced the call's full latency (a coalesced
+    /// batch replies to all its members at once), so latency tallies —
+    /// sum and histogram — are entry-weighted to match `count`;
+    /// otherwise batched calls would leave the quantile target beyond
+    /// the histogram mass and the p99 would saturate at the top bucket.
+    pub fn record(&self, now_ns: u64, entries: u64, flops: u64, total_ns: u64) {
+        let idx = now_ns / self.slot_ns;
+        let slot = &self.slots[(idx as usize) % RATE_SLOTS];
+        let cur = slot.epoch.load(Ordering::Relaxed);
+        if cur != idx {
+            // First arrival in a recycled slot zeroes it (see the
+            // RateSlot ordering note for the boundary-blur tradeoff).
+            if slot
+                .epoch
+                .compare_exchange(cur, idx, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.clear();
+            }
+        }
+        slot.count.fetch_add(entries, Ordering::Relaxed);
+        slot.flops.fetch_add(flops, Ordering::Relaxed);
+        slot.sum_ns
+            .fetch_add(total_ns.saturating_mul(entries), Ordering::Relaxed);
+        slot.hist[bucket_index(total_ns)].fetch_add(entries, Ordering::Relaxed);
+    }
+
+    /// Snapshot the window as of `now_ns` (same clock as `record`).
+    pub fn report(&self, now_ns: u64) -> RateReport {
+        let cur_idx = now_ns / self.slot_ns;
+        let oldest_live = (cur_idx + 1).saturating_sub(RATE_SLOTS as u64);
+        // Live slots in epoch order, oldest first.
+        let mut live: Vec<&RateSlot> = self
+            .slots
+            .iter()
+            .filter(|s| {
+                let e = s.epoch.load(Ordering::Relaxed);
+                e != EMPTY && e >= oldest_live && e <= cur_idx
+            })
+            .collect();
+        live.sort_by_key(|s| s.epoch.load(Ordering::Relaxed));
+
+        let window_secs = self.slot_ns as f64 * RATE_SLOTS as f64 / 1e9;
+        if live.is_empty() {
+            return RateReport {
+                window_secs,
+                ..Default::default()
+            };
+        }
+        let oldest_epoch = live[0].epoch.load(Ordering::Relaxed);
+        // Covered span: from the start of the oldest live slot to now.
+        let covered_secs =
+            ((cur_idx - oldest_epoch) * self.slot_ns + now_ns % self.slot_ns) as f64 / 1e9;
+        let covered_secs = covered_secs.max(self.slot_ns as f64 / 1e9 / RATE_SLOTS as f64);
+
+        let count: u64 = live.iter().map(|s| s.count.load(Ordering::Relaxed)).sum();
+        let flops: u64 = live.iter().map(|s| s.flops.load(Ordering::Relaxed)).sum();
+        let sum_ns: u64 = live.iter().map(|s| s.sum_ns.load(Ordering::Relaxed)).sum();
+
+        let p99s: Vec<f64> = live.iter().map(|s| s.quantile_ns(0.99) as f64).collect();
+        let slot_secs = self.slot_ns as f64 / 1e9;
+        RateReport {
+            window_secs,
+            covered_secs,
+            req_per_sec: count as f64 / covered_secs,
+            gflops_per_sec: flops as f64 / covered_secs / 1e9,
+            mean_ns: sum_ns.checked_div(count).unwrap_or(0),
+            p99_now_ns: live.last().map_or(0, |s| s.quantile_ns(0.99)),
+            p99_trend_ns_per_sec: savitzky_golay_slope(&p99s) / slot_secs,
+            live_slots: live.len(),
+        }
+    }
+}
+
+/// Least-squares slope of evenly spaced samples (per-sample units).
+///
+/// For an odd window this is exactly the Savitzky–Golay first-derivative
+/// convolution — e.g. window 5 reduces to coefficients
+/// `(−2,−1,0,1,2)/10` — but the closed form works for any length ≥ 2.
+pub fn savitzky_golay_slope(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let x_mean = (n as f64 - 1.0) / 2.0;
+    let y_mean = samples.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in samples.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        num += dx * (y - y_mean);
+        den += dx * dx;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_matches_savitzky_golay_window5() {
+        // SG-5 first derivative: sum(c_i * y_i) with c = (-2,-1,0,1,2)/10.
+        let ys = [3.0, 7.0, 4.0, 9.0, 12.0];
+        let sg: f64 = [-2.0, -1.0, 0.0, 1.0, 2.0]
+            .iter()
+            .zip(&ys)
+            .map(|(c, y)| c / 10.0 * y)
+            .sum();
+        assert!((savitzky_golay_slope(&ys) - sg).abs() < 1e-12);
+        // Exact on linear data, zero on constants, robust on degenerates.
+        let lin: Vec<f64> = (0..7).map(|i| 5.0 + 2.5 * i as f64).collect();
+        assert!((savitzky_golay_slope(&lin) - 2.5).abs() < 1e-12);
+        assert_eq!(savitzky_golay_slope(&[4.0; 6]), 0.0);
+        assert_eq!(savitzky_golay_slope(&[1.0]), 0.0);
+        assert_eq!(savitzky_golay_slope(&[]), 0.0);
+    }
+
+    #[test]
+    fn rates_over_a_synthetic_window() {
+        let w = RateWindow::new(8_000_000); // 1ms slots (clamped floor)
+        let slot = 1_000_000u64;
+        // 4 slots: 10 requests each, latency rising 1000 -> 4000 ns.
+        for s in 0..4u64 {
+            for r in 0..10u64 {
+                let flops = 2 * 8 * 8 * 8;
+                w.record(s * slot + r * 1000, 1, flops, (s + 1) * 1000);
+            }
+        }
+        let now = 3 * slot + 500_000; // halfway through slot 3
+        let rep = w.report(now);
+        assert_eq!(rep.live_slots, 4);
+        let covered = (3.0 * slot as f64 + 500_000.0) / 1e9;
+        assert!((rep.covered_secs - covered).abs() < 1e-12);
+        assert!((rep.req_per_sec - 40.0 / covered).abs() < 1e-6);
+        let gf = (40 * 2 * 8 * 8 * 8) as f64 / covered / 1e9;
+        assert!((rep.gflops_per_sec - gf).abs() < 1e-9);
+        assert_eq!(rep.mean_ns, (1000 + 2000 + 3000 + 4000) * 10 / 40);
+        // Latency rising monotonically => positive trend, and p99_now
+        // reflects the newest slot's (log2 upper bound of) 4000 ns.
+        assert!(rep.p99_trend_ns_per_sec > 0.0);
+        assert_eq!(rep.p99_now_ns, (1u64 << 12) - 1);
+    }
+
+    #[test]
+    fn stale_slots_fall_out_and_recycle() {
+        let w = RateWindow::new(8_000_000);
+        let slot = 1_000_000u64;
+        w.record(0, 5, 0, 100);
+        assert!(w.report(0).req_per_sec > 0.0);
+        // One full window later the epoch-0 slot is stale...
+        let later = slot * (RATE_SLOTS as u64 + 2);
+        let rep = w.report(later);
+        assert_eq!(rep.live_slots, 0);
+        assert_eq!(rep.req_per_sec, 0.0);
+        // ...and recording there recycles it with fresh counters.
+        w.record(later, 1, 0, 100);
+        assert!(w.report(later).req_per_sec > 0.0);
+        let rep2 = w.report(later);
+        assert_eq!(rep2.live_slots, 1);
+        assert!((rep2.req_per_sec * rep2.covered_secs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_records_keep_quantiles_inside_the_histogram() {
+        // Regression: a coalesced batch records once with entries > 1.
+        // The quantile target is count-based, so the histogram must be
+        // entry-weighted too or p99 saturates at the top bucket.
+        let w = RateWindow::new(8_000_000);
+        w.record(0, 16, 0, 1000);
+        let rep = w.report(0);
+        assert_eq!(rep.p99_now_ns, (1u64 << 10) - 1, "p99 escaped its bucket");
+        assert_eq!(rep.mean_ns, 1000);
+        assert!((rep.req_per_sec * rep.covered_secs - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_reports_zeros() {
+        let w = RateWindow::new(1_000_000_000);
+        let rep = w.report(5_000_000);
+        assert_eq!(rep.live_slots, 0);
+        assert_eq!(rep.req_per_sec, 0.0);
+        assert_eq!(rep.p99_trend_ns_per_sec, 0.0);
+        assert!((rep.window_secs - 1.0).abs() < 1e-9);
+    }
+}

@@ -2,15 +2,21 @@
 
 use std::marker::PhantomData;
 use std::sync::Arc;
+use std::time::Duration;
 
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_gemm::pool::TaskPool;
 use smm_kernels::Scalar;
 
-use crate::exec::execute_traced;
+use crate::exec::execute_traced_ctx;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::runtime::{RuntimeStats, ShardedPlanCache, DEFAULT_PLAN_CAPACITY};
-use crate::telemetry::{CallSite, Phase, Telemetry, TelemetryReport};
+use crate::telemetry::{CallSite, Phase, Telemetry, TelemetryReport, DEFAULT_RATE_WINDOW};
+use crate::trace::{shape_arg, AssembledSpan, SpanName, Tracer};
+
+/// Default slow-request threshold when tracing is enabled without an
+/// explicit [`SmmBuilder::slow_trace_threshold`].
+pub const DEFAULT_SLOW_TRACE_THRESHOLD: Duration = Duration::from_millis(10);
 
 /// High-performance small-scale GEMM with adaptive, cached plans.
 ///
@@ -43,6 +49,7 @@ pub struct Smm<S: Scalar> {
     cache: ShardedPlanCache,
     pool: TaskPool,
     telemetry: Telemetry,
+    pub(crate) tracer: Tracer,
     _elem: PhantomData<S>,
 }
 
@@ -63,6 +70,9 @@ pub struct SmmBuilder<S: Scalar> {
     cfg: PlanConfig,
     cache_capacity: usize,
     telemetry: bool,
+    tracing: bool,
+    slow_trace_threshold: Duration,
+    rate_window: Duration,
     _elem: PhantomData<S>,
 }
 
@@ -72,6 +82,9 @@ impl<S: Scalar> SmmBuilder<S> {
             cfg: PlanConfig::default(),
             cache_capacity: DEFAULT_PLAN_CAPACITY,
             telemetry: true,
+            tracing: false,
+            slow_trace_threshold: DEFAULT_SLOW_TRACE_THRESHOLD,
+            rate_window: DEFAULT_RATE_WINDOW,
             _elem: PhantomData,
         }
     }
@@ -139,6 +152,30 @@ impl<S: Scalar> SmmBuilder<S> {
         self
     }
 
+    /// Toggle request-scoped span tracing (off by default). When off,
+    /// no tracer state is constructed and every trace operation on the
+    /// hot path is a single branch with no clock read; when on, spans
+    /// flow into the bounded flight recorder (see [`crate::trace`]).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Latency threshold above which a traced request's span tree is
+    /// pinned as a slow-request exemplar (default 10 ms; only
+    /// meaningful with [`SmmBuilder::tracing`] enabled).
+    pub fn slow_trace_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_trace_threshold = threshold;
+        self
+    }
+
+    /// Sliding window of the telemetry rate estimators (req/s,
+    /// Gflops/s, p99 trend; default 8 s).
+    pub fn rate_window(mut self, window: Duration) -> Self {
+        self.rate_window = window;
+        self
+    }
+
     /// Construct the [`Smm`] instance.
     pub fn build(self) -> Smm<S> {
         let pool = self
@@ -150,7 +187,12 @@ impl<S: Scalar> SmmBuilder<S> {
             cfg: self.cfg,
             cache: ShardedPlanCache::new(self.cache_capacity),
             pool,
-            telemetry: Telemetry::new(self.telemetry),
+            telemetry: Telemetry::with_rate_window(self.telemetry, self.rate_window),
+            tracer: if self.tracing {
+                Tracer::new(self.slow_trace_threshold)
+            } else {
+                Tracer::disabled()
+            },
             _elem: PhantomData,
         }
     }
@@ -216,8 +258,24 @@ impl<S: Scalar> Smm<S> {
     /// [`TelemetryReport::to_json`] and
     /// [`TelemetryReport::to_prometheus`].
     pub fn stats_report(&self) -> TelemetryReport {
-        self.telemetry
-            .report(self.stats(), self.pool.stats(), smm_gemm::arena::stats())
+        let mut report =
+            self.telemetry
+                .report(self.stats(), self.pool.stats(), smm_gemm::arena::stats());
+        report.slow = self.tracer.exemplars();
+        report
+    }
+
+    /// This instance's request tracer (the disabled tracer unless
+    /// [`SmmBuilder::tracing`] was set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drain the flight recorder into assembled spans (see
+    /// [`crate::trace::chrome_trace_json`] for the Perfetto export).
+    /// Empty when tracing is off.
+    pub fn drain_trace(&self) -> Vec<AssembledSpan> {
+        self.tracer.drain()
     }
 
     /// `C = alpha·A·B + beta·C`.
@@ -237,11 +295,12 @@ impl<S: Scalar> Smm<S> {
             c.scale(beta);
             return;
         }
+        let _root = self.tracer.span(SpanName::Gemm, shape_arg(m, n, k));
         let rec = self.telemetry.recorder(CallSite::Gemm);
         let t0 = rec.now();
         let plan = self.plan(m, n, k);
         rec.span_since(Phase::PlanLookup, t0);
-        execute_traced(&self.pool, &plan, rec, alpha, a, b, beta, c);
+        execute_traced_ctx(&self.pool, &plan, rec, &self.tracer, alpha, a, b, beta, c);
         if let Some(t0) = t0 {
             self.telemetry.record_call(
                 CallSite::Gemm,
@@ -414,6 +473,63 @@ mod tests {
         }
         assert!(smm.cached_plans() <= 16, "resident {}", smm.cached_plans());
         assert!(smm.stats().plan_evictions > 0);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_spans_flow_when_on() {
+        let off = Smm::<f32>::new();
+        assert!(!off.tracer().enabled());
+        let a = Mat::<f32>::random(32, 32, 71);
+        let b = Mat::<f32>::random(32, 32, 72);
+        let mut c = Mat::<f32>::zeros(32, 32);
+        off.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert!(off.drain_trace().is_empty(), "disabled tracer stays empty");
+
+        let smm = Smm::<f32>::builder().threads(4).tracing(true).build();
+        let mut c = Mat::<f32>::zeros(32, 32);
+        let mut c_ref = c.clone();
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3, "tracing must not perturb");
+        let spans = smm.drain_trace();
+        let root = spans
+            .iter()
+            .find(|s| s.name == crate::trace::SpanName::Gemm)
+            .expect("gemm root span");
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.arg, shape_arg(32, 32, 32));
+        let workers: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == crate::trace::SpanName::Worker)
+            .collect();
+        if !workers.is_empty() {
+            // Multi-threaded plan: workers parent under the gemm root
+            // and share its trace despite running on pool threads.
+            assert!(workers.iter().all(|w| w.parent == root.span));
+            assert!(workers.iter().all(|w| w.trace == root.trace));
+        }
+    }
+
+    #[test]
+    fn slow_exemplars_surface_in_stats_report() {
+        let smm = Smm::<f32>::builder()
+            .tracing(true)
+            .slow_trace_threshold(Duration::from_nanos(0))
+            .build();
+        let a = Mat::<f32>::random(16, 16, 81);
+        let b = Mat::<f32>::random(16, 16, 82);
+        let mut c = Mat::<f32>::zeros(16, 16);
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        // Note a request done against the trace gemm just minted (the
+        // serve layer does this per request).
+        let spans = smm.tracer().snapshot_trace(1);
+        assert!(!spans.is_empty());
+        smm.tracer().note_request_done(1, 123_456, "gemm 16x16x16");
+        let report = smm.stats_report();
+        assert_eq!(report.slow.len(), 1);
+        assert_eq!(report.slow[0].total_ns, 123_456);
+        assert!(!report.slow[0].spans.is_empty(), "span tree pinned");
+        assert!(format!("{report}").contains("slow-request exemplars"));
     }
 
     #[test]

@@ -28,14 +28,19 @@
 //! [`crate::Smm`]; the disabled state is a single branch per call.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use smm_gemm::arena::ArenaStats;
 use smm_gemm::pool::PoolStats;
 use smm_model::{p2c_as_published, MachineSpec, Precision};
 
 use crate::plan::choose_kernel;
+use crate::rate::{RateReport, RateWindow};
 use crate::runtime::RuntimeStats;
+use crate::trace::TraceExemplar;
+
+/// Default sliding window of the rate estimators (see [`crate::rate`]).
+pub const DEFAULT_RATE_WINDOW: Duration = Duration::from_secs(8);
 
 /// Number of log2 latency buckets. Bucket `i` covers `[2^i, 2^(i+1))`
 /// nanoseconds (bucket 0 covers `[0, 2)`); the last bucket saturates,
@@ -393,6 +398,11 @@ pub fn now_if(timed: bool) -> Option<Instant> {
 /// recording call is a single branch.
 pub struct Telemetry {
     enabled: bool,
+    /// Zero point for windowed rate accounting. Read (via `elapsed`)
+    /// only on the enabled path — the disabled registry never touches
+    /// the clock.
+    epoch: Instant,
+    rate: RateWindow,
     shards: Vec<Shard>,
     slots: Vec<ShapeSlot>,
     /// Shapes discarded once `slots` filled; relaxed counter add, read
@@ -411,8 +421,15 @@ impl std::fmt::Debug for Telemetry {
 impl Telemetry {
     /// A registry; `enabled == false` turns every record into a no-op.
     pub fn new(enabled: bool) -> Self {
+        Self::with_rate_window(enabled, DEFAULT_RATE_WINDOW)
+    }
+
+    /// A registry whose rate estimators slide over `window`.
+    pub fn with_rate_window(enabled: bool, window: Duration) -> Self {
         Telemetry {
             enabled,
+            epoch: Instant::now(),
+            rate: RateWindow::new(window.as_nanos().min(u64::MAX as u128) as u64),
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             slots: (0..SHAPE_SLOTS).map(|_| ShapeSlot::new()).collect(),
             dropped_shapes: AtomicU64::new(0),
@@ -479,7 +496,18 @@ impl Telemetry {
         shard.site_calls[site.index()].fetch_add(1, Ordering::Relaxed);
         let flops = 2 * (m as u64) * (n as u64) * (k as u64) * entries;
         shard.flops.fetch_add(flops, Ordering::Relaxed);
+        if self.enabled {
+            // Rate ticks need a wall-clock sample; keep the disabled
+            // registry clock-free even through this bypass path.
+            self.rate.record(self.epoch_ns(), entries, flops, total_ns);
+        }
         self.record_shape(m, n, k, elem_bytes, entries, total_ns);
+    }
+
+    /// Nanoseconds since this registry's construction — the time base
+    /// of its [`RateWindow`].
+    pub fn epoch_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     fn record_shape(&self, m: usize, n: usize, k: usize, elem: usize, entries: u64, ns: u64) {
@@ -672,6 +700,8 @@ impl Telemetry {
             packed_bytes,
             flops,
             observed_p2c,
+            rate: self.rate.report(self.epoch_ns()),
+            slow: Vec::new(),
             dropped_shapes: self.dropped_shapes.load(Ordering::Relaxed),
         }
     }
@@ -851,6 +881,12 @@ pub struct TelemetryReport {
     /// Observed packing-to-computing ratio (Eq. 1/Eq. 2 with measured
     /// packed bytes and executed flops).
     pub observed_p2c: f64,
+    /// Windowed rate estimators (req/s, Gflops/s, p99 trend) over the
+    /// registry's sliding window.
+    pub rate: RateReport,
+    /// Worst-K slow-request exemplars (filled by the owning `Smm` from
+    /// its tracer; empty when tracing is off or nothing breached).
+    pub slow: Vec<TraceExemplar>,
     /// Shape records dropped because the shape table was full.
     pub dropped_shapes: u64,
 }
@@ -988,6 +1024,48 @@ impl TelemetryReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"rate\": {{\"window_secs\": {}, \"covered_secs\": {}, \"req_per_sec\": {}, \"gflops_per_sec\": {}, \"mean_ns\": {}, \"p99_now_ns\": {}, \"p99_trend_ns_per_sec\": {}, \"live_slots\": {}}},\n",
+            json_f64(self.rate.window_secs),
+            json_f64(self.rate.covered_secs),
+            json_f64(self.rate.req_per_sec),
+            json_f64(self.rate.gflops_per_sec),
+            self.rate.mean_ns,
+            self.rate.p99_now_ns,
+            json_f64(self.rate.p99_trend_ns_per_sec),
+            self.rate.live_slots
+        ));
+        s.push_str("  \"slow\": [\n");
+        for (i, e) in self.slow.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"trace\": {}, \"total_ns\": {}, \"label\": \"{}\", \"spans\": [",
+                e.trace,
+                e.total_ns,
+                e.label.replace('\\', "\\\\").replace('"', "\\\""),
+            ));
+            for (j, sp) in e.spans.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"name\": \"{}\", \"trace\": {}, \"span\": {}, \"parent\": {}, \"start_ns\": {}, \"dur_ns\": {}, \"tid\": {}, \"arg\": {}}}",
+                    sp.name.name(),
+                    sp.trace,
+                    sp.span,
+                    sp.parent,
+                    sp.start_ns,
+                    sp.dur_ns,
+                    sp.tid,
+                    sp.arg
+                ));
+            }
+            s.push_str(if i + 1 < self.slow.len() {
+                "]},\n"
+            } else {
+                "]}\n"
+            });
+        }
+        s.push_str("  ],\n");
         s.push_str(&format!("  \"packed_bytes\": {},\n", self.packed_bytes));
         s.push_str(&format!("  \"flops\": {},\n", self.flops));
         s.push_str(&format!(
@@ -999,20 +1077,27 @@ impl TelemetryReport {
         s
     }
 
-    /// Serialize to a Prometheus-style text exposition (counter,
-    /// gauge, and cumulative-histogram families under the `smm_`
-    /// namespace).
+    /// Serialize to a Prometheus text exposition (counter, gauge, and
+    /// cumulative-histogram families under the `smm_` namespace).
+    ///
+    /// Histograms are emitted the way real scrapers expect them: every
+    /// phase gets the *full* bucket ladder — one cumulative
+    /// `_bucket{le=...}` series per boundary on every scrape, zero
+    /// counts included, closed by `le="+Inf"` plus `_sum`/`_count` —
+    /// so the label set is stable across scrapes and
+    /// `histogram_quantile()` works. (An earlier revision elided
+    /// zero-count buckets, which made bucket series flap in and out of
+    /// existence between scrapes.) Each family carries its own
+    /// `# TYPE` line naming the family exactly.
     pub fn to_prometheus(&self) -> String {
-        let mut s = String::with_capacity(4096);
+        let mut s = String::with_capacity(16384);
+        s.push_str("# HELP smm_phase_latency_ns Per-phase span latency in nanoseconds.\n");
         s.push_str("# TYPE smm_phase_latency_ns histogram\n");
         for pr in &self.phases {
             let h = &pr.histogram;
             let name = pr.phase.name();
             let mut cum = 0u64;
             for (bi, &c) in h.buckets.iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
                 cum += c;
                 s.push_str(&format!(
                     "smm_phase_latency_ns_bucket{{phase=\"{name}\",le=\"{}\"}} {cum}\n",
@@ -1065,6 +1150,9 @@ impl TelemetryReport {
                 r.k,
                 json_f64(r.achieved_gflops)
             ));
+        }
+        s.push_str("# TYPE smm_shape_model_fraction gauge\n");
+        for r in &self.shapes {
             s.push_str(&format!(
                 "smm_shape_model_fraction{{m=\"{}\",n=\"{}\",k=\"{}\"}} {}\n",
                 r.m,
@@ -1073,67 +1161,100 @@ impl TelemetryReport {
                 json_f64(r.model_fraction)
             ));
         }
-        s.push_str("# TYPE smm_plan_cache counter\n");
-        s.push_str(&format!(
-            "smm_plan_cache_hits_total {}\n",
-            self.runtime.plan_hits
-        ));
-        s.push_str(&format!(
-            "smm_plan_cache_misses_total {}\n",
-            self.runtime.plan_misses
-        ));
-        s.push_str(&format!(
-            "smm_plan_cache_evictions_total {}\n",
-            self.runtime.plan_evictions
-        ));
-        s.push_str(&format!(
-            "smm_plan_cache_resident {}\n",
-            self.runtime.cached_plans
-        ));
-        s.push_str("# TYPE smm_pool counter\n");
-        s.push_str(&format!("smm_pool_workers {}\n", self.pool.workers));
-        s.push_str(&format!(
-            "smm_pool_queue_highwater {}\n",
-            self.pool.queue_highwater
-        ));
-        s.push_str(&format!(
-            "smm_pool_worker_wakeups_total {}\n",
-            self.pool.worker_wakeups
-        ));
-        s.push_str(&format!(
-            "smm_pool_worker_tasks_total {}\n",
-            self.pool.worker_tasks
-        ));
-        s.push_str(&format!(
-            "smm_pool_inline_drained_total {}\n",
-            self.pool.inline_drained
-        ));
-        s.push_str(&format!("smm_pool_park_ns_total {}\n", self.pool.park_ns));
-        s.push_str(&format!(
-            "smm_pool_scoped_calls_total {}\n",
-            self.pool.scoped_calls
-        ));
-        s.push_str("# TYPE smm_arena counter\n");
-        s.push_str(&format!("smm_arena_hits_total {}\n", self.arena.hits));
-        s.push_str(&format!("smm_arena_misses_total {}\n", self.arena.misses));
-        s.push_str(&format!(
-            "smm_arena_alloc_bytes_total {}\n",
-            self.arena.alloc_bytes
-        ));
-        s.push_str(&format!(
-            "smm_arena_hit_rate {}\n",
-            json_f64(self.arena.hit_rate())
-        ));
-        s.push_str(&format!("smm_packed_bytes_total {}\n", self.packed_bytes));
-        s.push_str(&format!("smm_flops_total {}\n", self.flops));
-        s.push_str(&format!(
-            "smm_observed_p2c {}\n",
-            json_f64(self.observed_p2c)
-        ));
-        s.push_str(&format!(
-            "smm_dropped_shapes_total {}\n",
-            self.dropped_shapes
-        ));
+        // Each family below names its metric exactly in its own
+        // `# TYPE` line — a TYPE header whose name does not match the
+        // samples is malformed exposition and scrapers drop it.
+        let counter = |s: &mut String, name: &str, v: u64| {
+            s.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |s: &mut String, name: &str, v: String| {
+            s.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        counter(&mut s, "smm_plan_cache_hits_total", self.runtime.plan_hits);
+        counter(
+            &mut s,
+            "smm_plan_cache_misses_total",
+            self.runtime.plan_misses,
+        );
+        counter(
+            &mut s,
+            "smm_plan_cache_evictions_total",
+            self.runtime.plan_evictions,
+        );
+        gauge(
+            &mut s,
+            "smm_plan_cache_resident",
+            self.runtime.cached_plans.to_string(),
+        );
+        gauge(&mut s, "smm_pool_workers", self.pool.workers.to_string());
+        gauge(
+            &mut s,
+            "smm_pool_queue_highwater",
+            self.pool.queue_highwater.to_string(),
+        );
+        counter(
+            &mut s,
+            "smm_pool_worker_wakeups_total",
+            self.pool.worker_wakeups,
+        );
+        counter(
+            &mut s,
+            "smm_pool_worker_tasks_total",
+            self.pool.worker_tasks,
+        );
+        counter(
+            &mut s,
+            "smm_pool_inline_drained_total",
+            self.pool.inline_drained,
+        );
+        counter(&mut s, "smm_pool_park_ns_total", self.pool.park_ns);
+        counter(
+            &mut s,
+            "smm_pool_scoped_calls_total",
+            self.pool.scoped_calls,
+        );
+        counter(&mut s, "smm_arena_hits_total", self.arena.hits);
+        counter(&mut s, "smm_arena_misses_total", self.arena.misses);
+        counter(
+            &mut s,
+            "smm_arena_alloc_bytes_total",
+            self.arena.alloc_bytes,
+        );
+        gauge(
+            &mut s,
+            "smm_arena_hit_rate",
+            json_f64(self.arena.hit_rate()),
+        );
+        counter(&mut s, "smm_packed_bytes_total", self.packed_bytes);
+        counter(&mut s, "smm_flops_total", self.flops);
+        gauge(&mut s, "smm_observed_p2c", json_f64(self.observed_p2c));
+        gauge(
+            &mut s,
+            "smm_rate_window_covered_secs",
+            json_f64(self.rate.covered_secs),
+        );
+        gauge(
+            &mut s,
+            "smm_rate_req_per_sec",
+            json_f64(self.rate.req_per_sec),
+        );
+        gauge(
+            &mut s,
+            "smm_rate_gflops_per_sec",
+            json_f64(self.rate.gflops_per_sec),
+        );
+        gauge(
+            &mut s,
+            "smm_rate_p99_now_ns",
+            self.rate.p99_now_ns.to_string(),
+        );
+        gauge(
+            &mut s,
+            "smm_rate_p99_trend_ns_per_sec",
+            json_f64(self.rate.p99_trend_ns_per_sec),
+        );
+        gauge(&mut s, "smm_slow_exemplars", self.slow.len().to_string());
+        counter(&mut s, "smm_dropped_shapes_total", self.dropped_shapes);
         s
     }
 }
@@ -1205,6 +1326,16 @@ impl std::fmt::Display for TelemetryReport {
             "  observed P2C = {:.4} ({} packed bytes / {} flops)",
             self.observed_p2c, self.packed_bytes, self.flops
         )?;
+        writeln!(
+            f,
+            "  rate window ({:.1}s, {:.1}s covered): {:.1} req/s, {:.3} Gflops/s, p99 now {} ns, p99 trend {:+.0} ns/s",
+            self.rate.window_secs,
+            self.rate.covered_secs,
+            self.rate.req_per_sec,
+            self.rate.gflops_per_sec,
+            self.rate.p99_now_ns,
+            self.rate.p99_trend_ns_per_sec,
+        )?;
         writeln!(f, "  shapes (achieved vs. model single-core prediction):")?;
         for r in self.shapes.iter().take(8) {
             writeln!(
@@ -1219,6 +1350,48 @@ impl std::fmt::Display for TelemetryReport {
                 r.model_fraction * 100.0,
                 r.p2c
             )?;
+        }
+        if !self.slow.is_empty() {
+            writeln!(f, "  slow-request exemplars (worst first):")?;
+            for e in &self.slow {
+                writeln!(
+                    f,
+                    "    trace {} [{}]: {} ns end-to-end, {} spans",
+                    e.trace,
+                    e.label,
+                    e.total_ns,
+                    e.spans.len()
+                )?;
+                // Indent children under their in-tree parent; parents
+                // outside this trace (the coalesced-batch span) render
+                // at the root level.
+                for sp in &e.spans {
+                    let depth = {
+                        let mut d = 0usize;
+                        let mut parent = sp.parent;
+                        while parent != 0 && d < 8 {
+                            match e.spans.iter().find(|c| c.span == parent) {
+                                Some(p) => {
+                                    d += 1;
+                                    parent = p.parent;
+                                }
+                                None => break,
+                            }
+                        }
+                        d
+                    };
+                    writeln!(
+                        f,
+                        "      {:indent$}{} tid={} +{} ns for {} ns",
+                        "",
+                        sp.name.name(),
+                        sp.tid,
+                        sp.start_ns,
+                        sp.dur_ns,
+                        indent = depth * 2
+                    )?;
+                }
+            }
         }
         Ok(())
     }
@@ -1465,6 +1638,77 @@ mod tests {
         let d = format!("{r}");
         assert!(d.contains("observed P2C"));
         assert!(d.contains("arena: 198 hits / 2 misses"));
+        assert!(d.contains("rate window"));
+    }
+
+    #[test]
+    fn prometheus_histograms_expose_the_full_cumulative_ladder() {
+        let tel = Telemetry::new(true);
+        // Two compute spans far apart: buckets between them are empty
+        // but must still be exposed (cumulative, stable label set).
+        tel.record_span(CallSite::Gemm, Phase::Compute, 3); // bucket [2,4)
+        tel.record_span(CallSite::Gemm, Phase::Compute, 5000); // bucket [4096,8192)
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
+        let p = r.to_prometheus();
+        let buckets: Vec<(u64, u64)> = p
+            .lines()
+            .filter_map(|l| {
+                let rest = l.strip_prefix("smm_phase_latency_ns_bucket{phase=\"compute\",le=\"")?;
+                let (le, val) = rest.split_once("\"} ")?;
+                Some((le.parse().ok()?, val.parse().ok()?))
+            })
+            .collect();
+        assert_eq!(
+            buckets.len(),
+            HISTOGRAM_BUCKETS,
+            "every finite bucket boundary is exposed on every scrape"
+        );
+        // Cumulative and monotone: 0 below the first sample, 1 between
+        // the two, 2 at and above the second, ending at count.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(buckets[0], (1, 0), "empty leading bucket still present");
+        let at = |ns: u64| buckets.iter().find(|(le, _)| *le >= ns).unwrap().1;
+        assert_eq!(at(3), 1);
+        assert_eq!(at(5000), 2);
+        assert_eq!(buckets.last().unwrap().1, 2);
+        assert!(p.contains("smm_phase_latency_ns_bucket{phase=\"compute\",le=\"+Inf\"} 2"));
+        // Empty phases expose the ladder too (all zeros).
+        assert!(p.contains("smm_phase_latency_ns_bucket{phase=\"reply\",le=\"+Inf\"} 0"));
+        // Every sample family has a TYPE line naming it exactly.
+        for family in [
+            "smm_plan_cache_hits_total",
+            "smm_pool_workers",
+            "smm_arena_hit_rate",
+            "smm_rate_req_per_sec",
+            "smm_rate_p99_trend_ns_per_sec",
+        ] {
+            assert!(
+                p.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_window_rides_along_in_reports() {
+        let tel = Telemetry::with_rate_window(true, Duration::from_secs(8));
+        for _ in 0..50 {
+            tel.record_call(CallSite::Serve, 8, 8, 8, 4, 1, 10_000);
+        }
+        let r = tel.report(empty_runtime(), empty_pool(), ArenaStats::default());
+        assert!(r.rate.req_per_sec > 0.0, "{:?}", r.rate);
+        assert!(r.rate.gflops_per_sec > 0.0);
+        assert!(r.rate.live_slots >= 1);
+        assert_eq!(r.rate.mean_ns, 10_000);
+        let j = r.to_json();
+        assert!(j.contains("\"rate\": {\"window_secs\": 8.000000"));
+        assert!(j.contains("\"slow\": ["));
+        // Disabled registries never tick the window.
+        let off = Telemetry::new(false);
+        off.record_call(CallSite::Serve, 8, 8, 8, 4, 1, 10_000);
+        let r = off.report(empty_runtime(), empty_pool(), ArenaStats::default());
+        assert_eq!(r.rate.live_slots, 0);
+        assert_eq!(r.rate.req_per_sec, 0.0);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Flight recorder: lock-free per-thread ring buffers of fixed-size
+//! span events.
+//!
+//! The tracing subsystem (`smm-core::trace`) needs somewhere to put
+//! span begin/end events that (a) never blocks a pool worker, (b) uses
+//! bounded memory no matter how long the process runs, and (c) can be
+//! read while writers are live (the slow-request exemplar store scans
+//! it on the dispatcher thread). This module is that substrate: a
+//! fixed set of rings, each a power-of-two array of 64-byte seqlocked
+//! slots, with threads stickily assigned to rings the same way
+//! telemetry assigns histogram shards. Writers claim a slot with one
+//! relaxed `fetch_add` and publish with one release store; when a ring
+//! wraps, the oldest events are overwritten — a flight recorder, not a
+//! log.
+//!
+//! Readers (`snapshot`/`drain`) validate each slot's sequence word
+//! before and after copying the payload, so a slot being overwritten
+//! mid-read is skipped rather than surfaced torn. The one caveat of
+//! the claim-then-write protocol: if a writer stalls for a *full ring
+//! wrap* while mid-write, two writers share a slot and the final
+//! payload can mix words. The sequence recheck makes this window a
+//! single potentially-garbled event (never a crash or a stuck reader),
+//! and span assembly upstream drops events that do not pair.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of rings. Threads hash onto rings, so this bounds writer
+/// contention, not thread count.
+pub const RINGS: usize = 16;
+
+/// Slots per ring (power of two). Total capacity is
+/// `RINGS * RING_SLOTS` events ≈ 1 MiB resident.
+pub const RING_SLOTS: usize = 1024;
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened at `ts_ns`.
+    Begin,
+    /// Span closed at `ts_ns`.
+    End,
+}
+
+/// One fixed-size span event as written by a traced thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Begin or end.
+    pub kind: EventKind,
+    /// Trace (request) this span belongs to.
+    pub trace: u64,
+    /// Process-unique span id.
+    pub span: u64,
+    /// Parent span id (0 = root). Meaningful on `Begin` events.
+    pub parent: u64,
+    /// Nanoseconds since the owning tracer's epoch.
+    pub ts_ns: u64,
+    /// Span name tag (interpreted by `smm-core::trace::SpanName`).
+    pub name: u8,
+    /// Emitting thread's flight-recorder tid (pool workers 1..=N).
+    pub tid: u32,
+    /// One free payload word (shape code, batch size, …).
+    pub arg: u64,
+}
+
+/// One seqlocked event slot. Exactly one cache line: the sequence word
+/// plus the six payload words.
+// All fields relaxed except the seqlock protocol on `seq`: writers
+// store `2c+1` (odd = write in progress) relaxed, payload relaxed,
+// then `2c+2` with Release; readers load `seq` with Acquire, copy the
+// payload relaxed, and re-validate `seq` behind an Acquire fence, so
+// an accepted slot's payload is the one published by that sequence.
+#[repr(align(64))]
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    ts_ns: AtomicU64,
+    meta: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+fn pack_meta(kind: EventKind, name: u8, tid: u32) -> u64 {
+    let k = match kind {
+        EventKind::Begin => 0u64,
+        EventKind::End => 1u64,
+    };
+    (k << 48) | ((name as u64) << 32) | tid as u64
+}
+
+fn unpack_meta(meta: u64) -> (EventKind, u8, u32) {
+    let kind = if (meta >> 48) & 1 == 0 {
+        EventKind::Begin
+    } else {
+        EventKind::End
+    };
+    (kind, (meta >> 32) as u8, meta as u32)
+}
+
+/// One ring: a claim counter plus its slot array, padded onto its own
+/// cache lines so rings do not false-share.
+// `head` is a relaxed monotonic claim counter — only uniqueness of the
+// claimed index matters, publication ordering is carried by each
+// slot's seqlock word.
+#[repr(align(128))]
+struct Ring {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            head: AtomicU64::new(0),
+            slots: (0..RING_SLOTS).map(|_| Slot::empty()).collect(),
+        }
+    }
+}
+
+/// Sticky ring assignment: each thread takes the next ring index once
+/// and keeps it, like telemetry's histogram-shard slots.
+// Relaxed monotonic counter; only per-thread uniqueness-modulo-RINGS
+// matters.
+static NEXT_RING: AtomicUsize = AtomicUsize::new(0);
+
+/// Flight-recorder thread ids: pool workers claim 1..=N via
+/// [`set_thread_tid`]; any other thread lazily takes `64 + n`.
+// Relaxed monotonic counter; ids only label trace events.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static RING_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    static THREAD_TID: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_ring_index() -> usize {
+    RING_INDEX.with(|c| {
+        let mut idx = c.get();
+        if idx == usize::MAX {
+            idx = NEXT_RING.fetch_add(1, Ordering::Relaxed);
+            c.set(idx);
+        }
+        idx & (RINGS - 1)
+    })
+}
+
+/// The calling thread's flight-recorder tid (assigned on first use;
+/// pool workers are pre-assigned 1..=N by the pool).
+pub fn thread_tid() -> u32 {
+    THREAD_TID.with(|c| {
+        let mut tid = c.get();
+        if tid == 0 {
+            tid = 64 + NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(tid);
+        }
+        tid
+    })
+}
+
+/// Pin the calling thread's flight-recorder tid (the worker pool tags
+/// its threads `1..=workers` so traces name pool workers stably).
+pub fn set_thread_tid(tid: u32) {
+    THREAD_TID.with(|c| c.set(tid));
+}
+
+/// A bounded, lock-free, overwrite-oldest store of [`SpanEvent`]s.
+pub struct FlightRecorder {
+    rings: Vec<Ring>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the fixed `RINGS × RING_SLOTS` capacity.
+    pub fn new() -> Self {
+        FlightRecorder {
+            rings: (0..RINGS).map(|_| Ring::new()).collect(),
+        }
+    }
+
+    /// Total event capacity before overwrite.
+    pub fn capacity(&self) -> usize {
+        RINGS * RING_SLOTS
+    }
+
+    /// Append one event to the calling thread's ring. Lock-free: one
+    /// relaxed claim, six relaxed payload stores, one release publish.
+    pub fn emit(&self, e: &SpanEvent) {
+        let ring = &self.rings[thread_ring_index()];
+        let claim = ring.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &ring.slots[(claim as usize) & (RING_SLOTS - 1)];
+        // Seqlock write (ordering discipline on the Slot declaration):
+        // odd marks the slot busy so concurrent readers skip it.
+        slot.seq.store(claim * 2 + 1, Ordering::Relaxed);
+        slot.trace.store(e.trace, Ordering::Relaxed);
+        slot.span.store(e.span, Ordering::Relaxed);
+        slot.parent.store(e.parent, Ordering::Relaxed);
+        slot.ts_ns.store(e.ts_ns, Ordering::Relaxed);
+        slot.meta
+            .store(pack_meta(e.kind, e.name, e.tid), Ordering::Relaxed);
+        slot.arg.store(e.arg, Ordering::Relaxed);
+        slot.seq.store(claim * 2 + 2, Ordering::Release);
+    }
+
+    fn read_slot(slot: &Slot) -> Option<SpanEvent> {
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 == 0 || s1 & 1 == 1 {
+            return None; // never written, or write in progress
+        }
+        let trace = slot.trace.load(Ordering::Relaxed);
+        let span = slot.span.load(Ordering::Relaxed);
+        let parent = slot.parent.load(Ordering::Relaxed);
+        let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let arg = slot.arg.load(Ordering::Relaxed);
+        // Order the payload loads above before the validating re-read,
+        // then reject the copy if a writer touched the slot meanwhile.
+        fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != s1 {
+            return None;
+        }
+        let (kind, name, tid) = unpack_meta(meta);
+        Some(SpanEvent {
+            kind,
+            trace,
+            span,
+            parent,
+            ts_ns,
+            name,
+            tid,
+            arg,
+        })
+    }
+
+    /// Copy out every currently-readable event without consuming it
+    /// (the exemplar store scans this way). Order is unspecified; pair
+    /// and sort downstream.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            for slot in ring.slots.iter() {
+                if let Some(e) = Self::read_slot(slot) {
+                    out.push(e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Copy out every currently-readable event and mark the slots
+    /// empty. Events written concurrently with the drain may land in
+    /// either the returned batch or the next one.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            for slot in ring.slots.iter() {
+                if let Some(e) = Self::read_slot(slot) {
+                    out.push(e);
+                    slot.seq.store(0, Ordering::Release);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(span: u64, ts: u64, kind: EventKind) -> SpanEvent {
+        SpanEvent {
+            kind,
+            trace: 7,
+            span,
+            parent: 0,
+            ts_ns: ts,
+            name: 3,
+            tid: thread_tid(),
+            arg: span * 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_drain_clears() {
+        let fr = FlightRecorder::new();
+        fr.emit(&ev(1, 100, EventKind::Begin));
+        fr.emit(&ev(1, 200, EventKind::End));
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(fr.snapshot().len(), 2, "snapshot is non-destructive");
+        let drained = fr.drain();
+        assert_eq!(drained.len(), 2);
+        let begin = drained.iter().find(|e| e.kind == EventKind::Begin).unwrap();
+        assert_eq!(
+            (begin.trace, begin.span, begin.ts_ns, begin.name, begin.arg),
+            (7, 1, 100, 3, 10)
+        );
+        assert!(begin.tid >= 64, "non-pool thread tid");
+        assert!(fr.drain().is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let fr = FlightRecorder::new();
+        // Single thread → single ring; overflow it 3x.
+        let total = RING_SLOTS as u64 * 3;
+        for i in 0..total {
+            fr.emit(&ev(i, i, EventKind::Begin));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), RING_SLOTS, "ring holds exactly one lap");
+        let min_span = snap.iter().map(|e| e.span).min().unwrap();
+        assert_eq!(min_span, total - RING_SLOTS as u64, "oldest overwritten");
+    }
+
+    #[test]
+    fn meta_packing_roundtrips() {
+        for (kind, name, tid) in [
+            (EventKind::Begin, 0u8, 1u32),
+            (EventKind::End, 255, u32::MAX),
+            (EventKind::Begin, 17, 64),
+        ] {
+            assert_eq!(unpack_meta(pack_meta(kind, name, tid)), (kind, name, tid));
+        }
+    }
+}

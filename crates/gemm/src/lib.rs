@@ -22,6 +22,7 @@ pub mod blasfeo;
 pub mod blis;
 pub mod eigen;
 pub mod engine;
+pub mod flight;
 pub mod matrix;
 pub mod naive;
 pub mod openblas;
@@ -35,6 +36,7 @@ pub use blasfeo::BlasfeoStrategy;
 pub use blis::BlisStrategy;
 pub use eigen::EigenStrategy;
 pub use engine::GotoEngine;
+pub use flight::{EventKind, FlightRecorder, SpanEvent};
 pub use matrix::{Mat, MatMut, MatRef, PanelMatrix};
 pub use naive::gemm_naive;
 pub use openblas::OpenBlasStrategy;

@@ -217,7 +217,12 @@ impl TaskPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("smm-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        // Stable flight-recorder tid: traces label pool
+                        // workers 1..=N, matching the thread names.
+                        crate::flight::set_thread_tid(1 + i as u32);
+                        worker_loop(&shared)
+                    })
                     .expect("failed to spawn pool worker")
             })
             .collect();

@@ -32,7 +32,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use smm_core::{CallSite, Phase, Smm, StridedBatch};
+use smm_core::{
+    shape_arg, CallSite, OpenSpan, Phase, Smm, SpanName, StridedBatch, TraceCtx, Tracer,
+};
 use smm_gemm::arena;
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_kernels::Scalar;
@@ -124,6 +126,9 @@ struct Pending<S: Scalar> {
     deadline: Option<Instant>,
     /// Submission time, for the enqueue-wait span.
     enqueued: Instant,
+    /// The request's trace span, begun at submission and ended when
+    /// the reply is fulfilled (all-zero when tracing is off).
+    span: OpenSpan,
     slot: Arc<ReplySlot<S>>,
 }
 
@@ -153,6 +158,10 @@ struct ServeShared<S: Scalar> {
     /// fast-path hint.
     shutdown: AtomicBool,
     cfg: ServeConfig,
+    /// The runtime's request tracer (the disabled no-op unless the
+    /// `Smm` was built with tracing). Request spans begin at
+    /// submission, so submitters need it without going through `Smm`.
+    tracer: Tracer,
     /// Serving counters; relaxed monotonic adds/maxes, read only by
     /// snapshotting reporters — never used for synchronization.
     submitted: AtomicU64,
@@ -212,6 +221,27 @@ impl<S: Scalar> Client<S> {
             return Err(Rejected::ShuttingDown);
         }
         let now = clock::now();
+        // Admission: mint the request's trace (span ends at reply) and
+        // time the validate-and-enqueue window under it. No-ops with
+        // the disabled tracer.
+        let span = shared.tracer.begin_span(
+            TraceCtx::none(),
+            SpanName::Request,
+            shape_arg(req.m, req.n, req.k),
+        );
+        let adm = shared.tracer.begin_span(
+            TraceCtx {
+                trace: span.trace,
+                parent: span.span,
+            },
+            SpanName::Admission,
+            0,
+        );
+        let reject = |err: Rejected| {
+            shared.tracer.end_span(adm);
+            shared.tracer.end_span(span);
+            Err(err)
+        };
         let pending = {
             let (slot, ticket) = reply_pair();
             (
@@ -219,6 +249,7 @@ impl<S: Scalar> Client<S> {
                     deadline: req.deadline.map(|d| now + d),
                     enqueued: now,
                     req,
+                    span,
                     slot,
                 },
                 ticket,
@@ -230,17 +261,18 @@ impl<S: Scalar> Client<S> {
         if shared.shutdown.load(Ordering::Relaxed) {
             drop(q);
             shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-            return Err(Rejected::ShuttingDown);
+            return reject(Rejected::ShuttingDown);
         }
         if q.len() >= shared.cfg.queue_capacity {
             drop(q);
             shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-            return Err(Rejected::QueueFull {
+            return reject(Rejected::QueueFull {
                 capacity: shared.cfg.queue_capacity,
             });
         }
         q.push_back(pending.0);
         drop(q);
+        shared.tracer.end_span(adm);
         shared.submitted.fetch_add(1, Ordering::Relaxed);
         shared.work_cv.notify_one();
         Ok(pending.1)
@@ -315,6 +347,7 @@ impl<S: Scalar> ServerBuilder<S> {
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cfg: self.cfg,
+            tracer: smm.tracer().clone(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
@@ -444,6 +477,7 @@ fn expire_queued<S: Scalar>(q: &mut VecDeque<Pending<S>>, shared: &ServeShared<S
         if q[i].expired(now) {
             let p = q.remove(i).expect("index checked");
             p.slot.fulfill(Err(Rejected::DeadlineExceeded));
+            shared.tracer.end_span(p.span);
             shared.expired.fetch_add(1, Ordering::Relaxed);
         } else {
             i += 1;
@@ -508,12 +542,14 @@ fn process_group<S: Scalar>(
     popped_at: Instant,
 ) {
     let rec = smm.telemetry().recorder(CallSite::Serve);
+    let tracer = smm.tracer();
     let dispatch_start = clock::now();
 
     let mut live: Vec<Pending<S>> = Vec::with_capacity(group.len());
     for p in group {
         if p.expired(dispatch_start) {
             p.slot.fulfill(Err(Rejected::DeadlineExceeded));
+            tracer.end_span(p.span);
             shared.expired.fetch_add(1, Ordering::Relaxed);
         } else {
             live.push(p);
@@ -522,6 +558,27 @@ fn process_group<S: Scalar>(
     if live.is_empty() {
         return;
     }
+    // The dispatch gets its own trace; the member spans below keep
+    // their request trace ids but parent under this batch span, so an
+    // exported trace links each coalesced request to the one dispatch
+    // that served it. The guard also makes this span the dispatcher
+    // thread's current one, nesting the `gemm`/`gemm_batch` trace of
+    // `execute_group` under it.
+    let batch_span = tracer.root(SpanName::CoalescedBatch, live.len() as u64);
+    let members: Vec<OpenSpan> = live
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            tracer.begin_span(
+                TraceCtx {
+                    trace: p.span.trace,
+                    parent: batch_span.span(),
+                },
+                SpanName::Member,
+                i as u64,
+            )
+        })
+        .collect();
     if rec.active() {
         for p in &live {
             let waited = dispatch_start.saturating_duration_since(p.enqueued);
@@ -550,7 +607,14 @@ fn process_group<S: Scalar>(
         .coalesced_max
         .fetch_max(live.len() as u64, Ordering::Relaxed);
     let count = live.len() as u64;
-    for mut p in live {
+    // One label for the whole group, built only when it can be used.
+    let slow_label = if tracer.enabled() {
+        format!("serve {m}x{n}x{k}")
+    } else {
+        String::new()
+    };
+    let reply_span = tracer.span(SpanName::Reply, count);
+    for (i, mut p) in live.into_iter().enumerate() {
         let c = std::mem::take(&mut p.req.c);
         match &outcome {
             Ok(()) => {
@@ -559,7 +623,20 @@ fn process_group<S: Scalar>(
             }
             Err(e) => p.slot.fulfill(Err(e.clone())),
         }
+        tracer.end_span(members[i]);
+        tracer.end_span(p.span);
+        if tracer.enabled() {
+            // End-to-end latency (submission → reply fulfilled); a
+            // breach pins this request's full span tree. The spans
+            // were ended above, so the snapshot sees the whole tree.
+            let total_ns = clock::now()
+                .saturating_duration_since(p.enqueued)
+                .as_nanos() as u64;
+            tracer.note_request_done(p.span.trace, total_ns, &slow_label);
+        }
     }
+    drop(reply_span);
+    drop(batch_span);
     if let Some(replied_at) = replied_at {
         let end = clock::now();
         rec.span_ns(

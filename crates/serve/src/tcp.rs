@@ -26,6 +26,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use smm_core::Smm;
+
 use crate::request::{GemmRequest, Rejected};
 use crate::server::{Client, ServeStats, Server};
 use crate::wire::{self, FrameRead, WireMsg, ERR_PROTOCOL};
@@ -40,6 +42,11 @@ struct TcpShared {
     /// in `shutdown` provides the final synchronization.
     stop: AtomicBool,
     client: Client<f32>,
+    /// Handle to the runtime backing the inner server, so a `STATS`
+    /// frame can be answered with the same [`TelemetryReport`]
+    /// (smm_core::TelemetryReport) that `Smm::stats_report` yields
+    /// in-process.
+    smm: Arc<Smm<f32>>,
     /// Kept clones of live connection streams so shutdown can unblock
     /// handler reads; handlers remove their own entry on exit. One
     /// entry per live handler — the acceptor refuses connections it
@@ -95,6 +102,7 @@ impl TcpServer {
         let shared = Arc::new(TcpShared {
             stop: AtomicBool::new(false),
             client: server.client(),
+            smm: Arc::clone(server.smm()),
             conns: Mutex::new(Vec::new()),
             max_connections: max_connections.max(1),
         });
@@ -234,6 +242,7 @@ fn handle_connection(mut stream: TcpStream, shared: &TcpShared) {
         };
         let reply = match wire::decode_payload(&frame) {
             Ok(WireMsg::Request(req)) => answer_request(shared, req),
+            Ok(WireMsg::Stats { format }) => answer_stats(shared, format),
             Ok(_) => wire::encode_reply_err(ERR_PROTOCOL, 0, "reply opcode sent to server"),
             // Framing is intact (length prefix was honoured), so a
             // garbage payload only poisons this one message.
@@ -254,6 +263,20 @@ fn answer_request(shared: &TcpShared, req: GemmRequest<f32>) -> Vec<u8> {
             wire::encode_reply_err(code, detail, &rej.to_string())
         }
     }
+}
+
+/// Render the live telemetry report in the requested wire format.
+/// The body is exactly what the in-process `Smm::stats_report` would
+/// show — same shards, same rate window, same slow-request exemplars —
+/// so a remote scrape and a local report never disagree.
+fn answer_stats(shared: &TcpShared, format: u8) -> Vec<u8> {
+    let report = shared.smm.stats_report();
+    let body = match format {
+        wire::STATS_JSON => report.to_json(),
+        wire::STATS_PROMETHEUS => report.to_prometheus(),
+        _ => report.to_string(),
+    };
+    wire::encode_stats_reply(format, &body)
 }
 
 /// A blocking single-connection client for the wire protocol.
@@ -302,6 +325,37 @@ impl TcpClient {
                 Err(wire::rejection_from_wire(code, detail, &msg))
             }
             WireMsg::Request(_) => Err(Rejected::Protocol("request opcode in reply".into())),
+            other => Err(Rejected::Protocol(format!(
+                "unexpected reply to request: {other:?}"
+            ))),
+        }
+    }
+
+    /// Scrape the server's live telemetry report. `format` is one of
+    /// [`wire::STATS_TEXT`], [`wire::STATS_JSON`],
+    /// [`wire::STATS_PROMETHEUS`]; the returned string is the rendered
+    /// report body, byte-identical to what the server's own
+    /// `Smm::stats_report` would produce in that format at scrape time.
+    pub fn stats(&mut self, format: u8) -> Result<String, Rejected> {
+        let io_err = |e: std::io::Error| Rejected::Protocol(format!("transport: {e}"));
+        wire::write_frame(&mut self.stream, &wire::encode_stats(format)).map_err(io_err)?;
+        let payload = match wire::read_frame(&mut self.stream).map_err(io_err)? {
+            FrameRead::Frame(p) => p,
+            FrameRead::Eof => {
+                return Err(Rejected::Protocol("connection closed before reply".into()))
+            }
+            FrameRead::TooLarge(len) => {
+                return Err(Rejected::Protocol(format!("oversized reply frame ({len})")))
+            }
+        };
+        match wire::decode_payload(&payload).map_err(Rejected::Protocol)? {
+            WireMsg::StatsReply { body, .. } => Ok(body),
+            WireMsg::ReplyErr { code, detail, msg } => {
+                Err(wire::rejection_from_wire(code, detail, &msg))
+            }
+            other => Err(Rejected::Protocol(format!(
+                "unexpected reply to stats: {other:?}"
+            ))),
         }
     }
 }

@@ -15,6 +15,12 @@
 //!
 //! OP_REPLY_ERR (3), server -> client:
 //!   u8 opcode | u8 code | u32 detail | u32 msg_len | utf8 msg
+//!
+//! OP_STATS (4), client -> server:
+//!   u8 opcode | u8 format          (0 = text, 1 = JSON, 2 = Prometheus)
+//!
+//! OP_STATS_REPLY (5), server -> client:
+//!   u8 opcode | u8 format | u32 body_len | utf8 body
 //! ```
 //!
 //! The decoder is **total**: any byte sequence — truncated, oversized,
@@ -39,6 +45,17 @@ pub const OP_REQUEST: u8 = 1;
 pub const OP_REPLY_OK: u8 = 2;
 /// Opcode of an error reply frame.
 pub const OP_REPLY_ERR: u8 = 3;
+/// Opcode of a telemetry scrape request.
+pub const OP_STATS: u8 = 4;
+/// Opcode of a telemetry scrape reply.
+pub const OP_STATS_REPLY: u8 = 5;
+
+/// [`OP_STATS`] format byte: human-readable text report.
+pub const STATS_TEXT: u8 = 0;
+/// [`OP_STATS`] format byte: JSON report.
+pub const STATS_JSON: u8 = 1;
+/// [`OP_STATS`] format byte: Prometheus exposition format.
+pub const STATS_PROMETHEUS: u8 = 2;
 
 /// Error code: admission queue full ([`Rejected::QueueFull`]); the
 /// `detail` field carries the queue capacity.
@@ -78,6 +95,18 @@ pub enum WireMsg {
         detail: u32,
         /// Human-readable description.
         msg: String,
+    },
+    /// A telemetry scrape request.
+    Stats {
+        /// One of [`STATS_TEXT`], [`STATS_JSON`], [`STATS_PROMETHEUS`].
+        format: u8,
+    },
+    /// A telemetry scrape reply.
+    StatsReply {
+        /// Echo of the requested format byte.
+        format: u8,
+        /// The rendered report.
+        body: String,
     },
 }
 
@@ -218,6 +247,24 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, String> {
             cur.finish()?;
             Ok(WireMsg::ReplyErr { code, detail, msg })
         }
+        OP_STATS => {
+            let format = cur.u8()?;
+            if format > STATS_PROMETHEUS {
+                return Err(format!("unknown stats format {format}"));
+            }
+            cur.finish()?;
+            Ok(WireMsg::Stats { format })
+        }
+        OP_STATS_REPLY => {
+            let format = cur.u8()?;
+            let body_len = cur.u32()? as usize;
+            if body_len > MAX_PAYLOAD {
+                return Err(format!("stats body length {body_len} exceeds payload cap"));
+            }
+            let body = String::from_utf8_lossy(cur.take(body_len)?).into_owned();
+            cur.finish()?;
+            Ok(WireMsg::StatsReply { format, body })
+        }
         op => Err(format!("unknown opcode {op}")),
     }
 }
@@ -266,6 +313,22 @@ pub fn encode_reply_err(code: u8, detail: u32, msg: &str) -> Vec<u8> {
     out.extend_from_slice(&detail.to_le_bytes());
     out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
     out.extend_from_slice(msg);
+    out
+}
+
+/// Encode a telemetry scrape request payload.
+pub fn encode_stats(format: u8) -> Vec<u8> {
+    vec![OP_STATS, format]
+}
+
+/// Encode a telemetry scrape reply payload.
+pub fn encode_stats_reply(format: u8, body: &str) -> Vec<u8> {
+    let body = body.as_bytes();
+    let mut out = Vec::with_capacity(6 + body.len());
+    out.push(OP_STATS_REPLY);
+    out.push(format);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
     out
 }
 
@@ -460,6 +523,35 @@ mod tests {
             rejection_from_wire(ERR_BUSY, 64, "connection limit reached (max 64)"),
             busy
         );
+    }
+
+    #[test]
+    fn stats_roundtrips_and_rejects_unknown_formats() {
+        for format in [STATS_TEXT, STATS_JSON, STATS_PROMETHEUS] {
+            assert_eq!(
+                decode_payload(&encode_stats(format)).unwrap(),
+                WireMsg::Stats { format }
+            );
+        }
+        assert!(decode_payload(&encode_stats(3))
+            .unwrap_err()
+            .contains("stats format"));
+        let reply = encode_stats_reply(STATS_JSON, "{\"calls\": 3}");
+        assert_eq!(
+            decode_payload(&reply).unwrap(),
+            WireMsg::StatsReply {
+                format: STATS_JSON,
+                body: "{\"calls\": 3}".to_string()
+            }
+        );
+        // Truncation of the reply body is a typed error at every cut.
+        for cut in 0..reply.len() {
+            assert!(decode_payload(&reply[..cut]).is_err(), "cut at {cut}");
+        }
+        // Hostile body length does not allocate.
+        let mut p = vec![OP_STATS_REPLY, STATS_TEXT];
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_payload(&p).is_err());
     }
 
     #[test]

@@ -394,3 +394,165 @@ fn read_reply(stream: &mut std::net::TcpStream) -> Rejected {
         other => panic!("expected frame, got {other:?}"),
     }
 }
+
+#[test]
+fn traced_serve_links_member_spans_under_one_coalesced_batch() {
+    let smm = Arc::new(
+        Smm::<f32>::builder()
+            .threads(2)
+            .telemetry(true)
+            .tracing(true)
+            .build(),
+    );
+    let server = Server::<f32>::builder()
+        .smm(Arc::clone(&smm))
+        .coalesce_window(Duration::from_millis(20))
+        .max_batch(16)
+        .build();
+    let client = server.client();
+    // Same shape from several threads inside one wide coalesce window
+    // so the dispatcher folds them into one gemm_batch call.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let client = client.clone();
+            s.spawn(move || {
+                let req = random_request(8, 8, 8, 900 + t);
+                let want = oracle(&req);
+                let got = client.submit(req).unwrap().wait().unwrap();
+                assert_close(&got, &want, "traced coalesced");
+            });
+        }
+    });
+    server.shutdown();
+    let spans = smm.drain_trace();
+    assert!(!spans.is_empty(), "traced serve run produced no spans");
+
+    use smm_core::SpanName;
+    // Every request got its own Request span with a distinct trace id.
+    let request_traces: std::collections::HashSet<u64> = spans
+        .iter()
+        .filter(|s| s.name == SpanName::Request)
+        .map(|s| s.trace)
+        .collect();
+    assert_eq!(request_traces.len(), 4, "one trace per request: {spans:#?}");
+
+    // At least one coalesced-batch span has >= 2 member children from
+    // distinct request traces (the acceptance criterion).
+    let best = spans
+        .iter()
+        .filter(|s| s.name == SpanName::CoalescedBatch)
+        .map(|batch| {
+            spans
+                .iter()
+                .filter(|s| s.name == SpanName::Member && s.parent == batch.span)
+                .map(|s| s.trace)
+                .collect::<std::collections::HashSet<u64>>()
+        })
+        .map(|traces| traces.len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        best >= 2,
+        "no coalesced batch with >= 2 distinct-trace members: {spans:#?}"
+    );
+
+    // The admission span nests inside its request's trace.
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == SpanName::Admission && request_traces.contains(&s.trace)),
+        "no admission span inside a request trace"
+    );
+}
+
+#[test]
+fn stats_opcode_matches_in_process_report() {
+    use smm_serve::wire::{STATS_JSON, STATS_PROMETHEUS, STATS_TEXT};
+
+    let smm = Arc::new(Smm::<f32>::builder().threads(1).telemetry(true).build());
+    let server = Server::<f32>::builder()
+        .smm(Arc::clone(&smm))
+        .coalesce_window(Duration::ZERO)
+        .build();
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).unwrap();
+    let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+    for i in 0..6u64 {
+        let req = random_request(8, 8, 8, 700 + i);
+        let want = oracle(&req);
+        assert_close(&client.call(&req).unwrap(), &want, "pre-stats traffic");
+    }
+    // The dispatcher records its Reply phase just after fulfilling the
+    // ticket, so give it a beat before comparing snapshots.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The scraped JSON must equal the in-process report except for the
+    // rate window, whose numbers move with the scrape time itself.
+    let strip_rate = |json: &str| -> String {
+        let start = json.find("\"rate\":").expect("rate object present");
+        let end = start + json[start..].find('}').expect("rate object closes") + 1;
+        format!("{}{}", &json[..start], &json[end..])
+    };
+    let scraped = client.stats(STATS_JSON).unwrap();
+    let local = smm.stats_report().to_json();
+    assert_eq!(
+        strip_rate(&scraped),
+        strip_rate(&local),
+        "STATS scrape diverged from Smm::stats_report"
+    );
+
+    let text = client.stats(STATS_TEXT).unwrap();
+    assert!(text.contains("rate window"), "text scrape: {text}");
+    assert!(text.contains("serve"), "text scrape misses serve: {text}");
+    let prom = client.stats(STATS_PROMETHEUS).unwrap();
+    assert!(
+        prom.contains("smm_phase_latency_ns_bucket"),
+        "prometheus scrape: {prom}"
+    );
+    assert!(prom.contains("smm_rate_req_per_sec"), "prometheus: {prom}");
+
+    tcp.shutdown();
+}
+
+#[test]
+fn slow_exemplars_from_serve_surface_in_the_report() {
+    let smm = Arc::new(
+        Smm::<f32>::builder()
+            .threads(1)
+            .telemetry(true)
+            .tracing(true)
+            // Every request breaches a 1 ns threshold, so the
+            // coalesce-window wait alone makes each one an exemplar.
+            .slow_trace_threshold(Duration::from_nanos(1))
+            .build(),
+    );
+    let server = Server::<f32>::builder()
+        .smm(Arc::clone(&smm))
+        .coalesce_window(Duration::from_millis(5))
+        .build();
+    let client = server.client();
+    for i in 0..4u64 {
+        let req = random_request(6, 6, 6, 300 + i);
+        client.submit(req).unwrap().wait().unwrap();
+    }
+    server.shutdown();
+
+    let report = smm.stats_report();
+    assert!(!report.slow.is_empty(), "no slow exemplars pinned");
+    let ex = &report.slow[0];
+    assert!(ex.total_ns >= 1, "exemplar latency: {}", ex.total_ns);
+    assert!(
+        ex.label.contains("serve 6x6x6"),
+        "exemplar label: {}",
+        ex.label
+    );
+    use smm_core::SpanName;
+    assert!(
+        ex.spans.iter().any(|s| s.name == SpanName::Request),
+        "exemplar lost its request span: {ex:#?}"
+    );
+    // The span tree rides along in both renderings.
+    assert!(report.to_string().contains("slow-request exemplars"));
+    let json = report.to_json();
+    assert!(json.contains("\"slow\": ["), "{json}");
+    assert!(json.contains("\"total_ns\":"), "{json}");
+}

@@ -51,7 +51,7 @@ fn decoder_is_total_on_random_payloads() {
         // paths get exercised, not just the unknown-opcode bail-out.
         if round % 2 == 0 && !payload.is_empty() {
             let mut p = payload.clone();
-            p[0] = (rng.below(4) + 1) as u8;
+            p[0] = (rng.below(5) + 1) as u8;
             let _ = decode_payload(&p);
         }
     }
@@ -120,6 +120,10 @@ fn server_answers_garbage_frames_with_protocol_errors() {
                     // be a valid tiny request; accept a success too.
                     WireMsg::ReplyOk { .. } => {}
                     WireMsg::Request(_) => panic!("server echoed a request opcode"),
+                    // Garbage can also parse as a stats scrape; the
+                    // server answers those with a stats reply.
+                    WireMsg::Stats { .. } => panic!("server echoed a stats opcode"),
+                    WireMsg::StatsReply { .. } => {}
                 }
             }
             other => panic!("expected a reply frame, got {other:?}"),
