@@ -1,8 +1,9 @@
-//! Golden bad-kernel fixtures: five deliberately broken inputs, each
-//! tripping exactly the check built to catch it. They double as the
-//! analyzer's self-test (`smm-analyze --self-check` and the golden
-//! integration tests): if a fixture stops being flagged, the verifier
-//! has lost a check.
+//! Golden bad-input fixtures: five deliberately broken kernel inputs
+//! plus two broken concurrency sources, each tripping exactly the
+//! check built to catch it. They double as the analyzer's self-test
+//! (`smm-analyze --self-check`, `smm-analyze concurrency
+//! --self-check`, and the golden integration tests): if a fixture
+//! stops being flagged, the analyzer has lost a check.
 
 use smm_kernels::registry::EdgeStrategy;
 use smm_kernels::trace_gen::kernel_trace;
@@ -118,20 +119,73 @@ pub fn over_budget_wide_descriptor() -> Report {
     report
 }
 
+/// Fixture 6 — a seqlock whose reader takes the `Acquire` sequence
+/// load and the payload but never revalidates: no odd check, no second
+/// read. A writer overlapping the read hands it a torn event and the
+/// reader accepts it. Must be flagged `AN-C003` (and nothing else —
+/// the writer side is shaped correctly).
+pub const SEQLOCK_NO_RETRY_SRC: &str = "
+    impl Cell {
+        fn publish(&self, c: u64, a: u64, b: u64) {
+            self.sq.store(c * 2 + 1, Ordering::Relaxed);
+            self.lo.store(a, Ordering::Relaxed);
+            self.hi.store(b, Ordering::Relaxed);
+            self.sq.store(c * 2 + 2, Ordering::Release);
+        }
+
+        fn read(&self) -> (u64, u64) {
+            let _s1 = self.sq.load(Ordering::Acquire);
+            let a = self.lo.load(Ordering::Relaxed);
+            let b = self.hi.load(Ordering::Relaxed);
+            (a, b)
+        }
+    }
+";
+
+/// Fixture 7 — a flag published with `Release` that no reader ever
+/// observes with `Acquire` (or a fenced relaxed load): the publish
+/// synchronizes with nothing. Must be flagged `AN-C001` at the store
+/// and `AN-C002` at the unfenced relaxed poll of the same field — the
+/// one bug seen from both sides.
+pub const UNPAIRED_RELEASE_SRC: &str = "
+    impl Flag {
+        fn publish(&self) {
+            self.ready.store(true, Ordering::Release);
+        }
+
+        fn poll(&self) -> bool {
+            self.spins.fetch_add(1, Ordering::Relaxed);
+            self.ready.load(Ordering::Relaxed)
+        }
+    }
+";
+
+/// Run fixture 6 through the ordering pass.
+pub fn seqlock_no_retry_fixture() -> Report {
+    crate::ordering::analyze_sources(&[("fixture/seqlock_no_retry.rs", SEQLOCK_NO_RETRY_SRC)])
+}
+
+/// Run fixture 7 through the ordering pass.
+pub fn unpaired_release_fixture() -> Report {
+    crate::ordering::analyze_sources(&[("fixture/unpaired_release.rs", UNPAIRED_RELEASE_SRC)])
+}
+
 /// The expected `(fixture, code)` pairs.
-pub const EXPECTED: [(&str, &str); 5] = [
+pub const EXPECTED: [(&str, &str); 7] = [
     ("over-budget descriptor", "AN-E001"),
     ("over-budget wide descriptor", "AN-E001"),
     ("hazard-serialized stream", "AN-E003"),
     ("out-of-bounds access", "AN-E004"),
     ("uncovered edge registry", "AN-E006"),
+    ("seqlock reader missing retry", "AN-C003"),
+    ("unpaired release store", "AN-C001"),
 ];
 
 /// Run all five fixtures plus the shipped-tree pass and report any
 /// deviation from the golden expectations as an `AN-SELF` error.
 pub fn self_check(cfg: &VerifyConfig) -> Report {
     let mut out = Report::new();
-    let runs: [(&str, &str, Report); 5] = [
+    let runs: [(&str, &str, Report); 7] = [
         (
             "over-budget descriptor",
             "AN-E001",
@@ -149,6 +203,16 @@ pub fn self_check(cfg: &VerifyConfig) -> Report {
         ),
         ("out-of-bounds access", "AN-E004", out_of_bounds_stream(cfg)),
         ("uncovered edge registry", "AN-E006", uncovered_registry()),
+        (
+            "seqlock reader missing retry",
+            "AN-C003",
+            seqlock_no_retry_fixture(),
+        ),
+        (
+            "unpaired release store",
+            "AN-C001",
+            unpaired_release_fixture(),
+        ),
     ];
     for (name, code, report) in runs {
         if report.has_code(code) {
@@ -187,6 +251,85 @@ pub fn self_check(cfg: &VerifyConfig) -> Report {
     out
 }
 
+/// The concurrency front's own regression net (`smm-analyze
+/// concurrency --self-check`): both bad-concurrency fixtures must trip
+/// their `AN-C*` code, and the shipped tree's ordering pass must come
+/// back clean.
+pub fn concurrency_self_check() -> Report {
+    let mut out = Report::new();
+    let runs = [
+        (
+            "seqlock reader missing retry",
+            "AN-C003",
+            seqlock_no_retry_fixture(),
+        ),
+        (
+            "unpaired release store",
+            "AN-C001",
+            unpaired_release_fixture(),
+        ),
+    ];
+    for (name, code, report) in runs {
+        if report.has_code(code) {
+            out.push(Finding::info(
+                "AN-SELF",
+                format!("fixture/{name}"),
+                format!("flagged as expected ({code})"),
+            ));
+        } else {
+            out.push(Finding::error(
+                "AN-SELF",
+                format!("fixture/{name}"),
+                format!("expected finding {code} was NOT produced — a check has regressed"),
+            ));
+        }
+    }
+    match workspace_root() {
+        Some(root) => {
+            let shipped = crate::ordering::analyze_workspace(&root);
+            let noisy = shipped.count(Severity::Error) + shipped.count(Severity::Warning);
+            if noisy == 0 {
+                out.push(Finding::info(
+                    "AN-SELF",
+                    "shipped-ordering",
+                    format!(
+                        "shipped tree is AN-C clean ({} files scanned)",
+                        shipped.files_scanned
+                    ),
+                ));
+            } else {
+                out.push(Finding::error(
+                    "AN-SELF",
+                    "shipped-ordering",
+                    format!("shipped tree produced {noisy} AN-C error/warning findings"),
+                ));
+            }
+        }
+        None => out.push(Finding::error(
+            "AN-SELF",
+            "shipped-ordering",
+            "no workspace root found above the current directory",
+        )),
+    }
+    out
+}
+
+/// Walk up from the current directory to the first ancestor whose
+/// `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +342,31 @@ mod tests {
         assert!(hazard_serialized_stream(&cfg).has_code("AN-E003"));
         assert!(out_of_bounds_stream(&cfg).has_code("AN-E004"));
         assert!(uncovered_registry().has_code("AN-E006"));
+        assert!(seqlock_no_retry_fixture().has_code("AN-C003"));
+        assert!(unpaired_release_fixture().has_code("AN-C001"));
+    }
+
+    #[test]
+    fn seqlock_fixture_trips_only_the_retry_check() {
+        let r = seqlock_no_retry_fixture();
+        assert!(r.has_code("AN-C003"), "{r}");
+        assert!(!r.has_code("AN-C001"), "{r}");
+        assert!(!r.has_code("AN-C002"), "{r}");
+        assert!(!r.has_code("AN-C004"), "{r}");
+    }
+
+    #[test]
+    fn unpaired_release_fixture_is_seen_from_both_sides() {
+        let r = unpaired_release_fixture();
+        assert!(r.has_code("AN-C001"), "{r}");
+        assert!(r.has_code("AN-C002"), "{r}");
+        assert!(!r.has_code("AN-C003"), "{r}");
+    }
+
+    #[test]
+    fn concurrency_self_check_is_green_on_the_shipped_tree() {
+        let r = concurrency_self_check();
+        assert!(r.passes(true), "{r}");
     }
 
     #[test]

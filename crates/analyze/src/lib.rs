@@ -17,10 +17,21 @@
 //!   `unsafe`, ordering rationales on atomics, `thread::spawn` fenced
 //!   to the pool, `Instant::now` fenced to telemetry/bench code.
 //!
-//! Both fronts emit [`report::Finding`]s with stable codes (`AN-*`,
+//! * **Concurrency front** ([`ordering`], the `concurrency`
+//!   subcommand) — a cross-file atomic-ordering dataflow pass over
+//!   every `Ordering::*` literal: release stores must have an
+//!   acquire-side observer somewhere (`AN-C001`), relaxed loads of
+//!   release-published fields need an acquire fence (`AN-C002`),
+//!   seqlock readers must revalidate (`AN-C003`), and held lock
+//!   guards must nest in one global order (`AN-C004`). Its dynamic
+//!   counterpart — exhaustive schedule exploration of the real
+//!   protocols — lives in `smm_sync::mc` and runs via
+//!   `concurrency --model-check` under `--cfg smm_model_check`.
+//!
+//! All fronts emit [`report::Finding`]s with stable codes (`AN-*`,
 //! `LINT-*`) rendered as human text or JSON; the CLI (`smm-analyze`)
 //! exits non-zero on errors (and on warnings under `--deny-warnings`).
-//! [`fixtures`] holds four golden bad inputs that must each trip their
+//! [`fixtures`] holds golden bad inputs that must each trip their
 //! check — the analyzer's own regression net.
 
 #![deny(missing_docs)]
@@ -31,6 +42,9 @@ pub mod fixtures;
 pub mod hazard;
 pub mod lint;
 pub mod liveness;
+#[cfg(smm_model_check)]
+pub mod mc;
+pub mod ordering;
 pub mod report;
 pub mod verifier;
 

@@ -6,7 +6,14 @@
 //! smm-analyze [--json] [--deny-warnings] [--only kernels|lint]
 //!             [--root PATH] [--kc N] [--min-chain-frac F]
 //!             [--isa neon128|sve256|sve512] [--self-check]
+//! smm-analyze concurrency [--json] [--deny-warnings] [--root PATH]
+//!             [--model-check] [--bound N] [--self-check]
 //! ```
+//!
+//! The `concurrency` subcommand runs the cross-file atomic-ordering
+//! dataflow pass (`AN-C*`); `--model-check` additionally runs the
+//! exhaustive-schedule explorer over the real runtime protocols when
+//! the binary was built with `RUSTFLAGS='--cfg smm_model_check'`.
 //!
 //! Exit codes: `0` clean, `1` warnings under `--deny-warnings`,
 //! `2` errors (or bad usage).
@@ -14,17 +21,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use smm_analyze::fixtures::self_check;
+use smm_analyze::fixtures::{concurrency_self_check, self_check};
 use smm_analyze::lint::lint_workspace;
 use smm_analyze::report::Severity;
-use smm_analyze::{verify_all, Report, VerifyConfig};
+use smm_analyze::{ordering, verify_all, Report, VerifyConfig};
 
 struct Options {
+    concurrency: bool,
     json: bool,
     deny_warnings: bool,
     kernels: bool,
     lint: bool,
     self_check: bool,
+    model_check: bool,
+    bound: usize,
     root: Option<PathBuf>,
     cfg: VerifyConfig,
 }
@@ -32,11 +42,14 @@ struct Options {
 impl Default for Options {
     fn default() -> Self {
         Options {
+            concurrency: false,
             json: false,
             deny_warnings: false,
             kernels: true,
             lint: true,
             self_check: false,
+            model_check: false,
+            bound: 3,
             root: None,
             cfg: VerifyConfig::default(),
         }
@@ -45,16 +58,27 @@ impl Default for Options {
 
 const USAGE: &str = "usage: smm-analyze [--json] [--deny-warnings] [--only kernels|lint] \
                      [--root PATH] [--kc N] [--min-chain-frac F] \
-                     [--isa neon128|sve256|sve512] [--self-check]";
+                     [--isa neon128|sve256|sve512] [--self-check]\n\
+                     \x20      smm-analyze concurrency [--json] [--deny-warnings] [--root PATH] \
+                     [--model-check] [--bound N] [--self-check]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("concurrency") {
+        opts.concurrency = true;
+        args.next();
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--self-check" => opts.self_check = true,
+            "--model-check" if opts.concurrency => opts.model_check = true,
+            "--bound" if opts.concurrency => {
+                let v = args.next().ok_or("--bound expects a number")?;
+                opts.bound = v.parse().map_err(|e| format!("bad --bound {v:?}: {e}"))?;
+            }
             "--only" => match args.next().as_deref() {
                 Some("kernels") => opts.lint = false,
                 Some("lint") => opts.kernels = false,
@@ -106,6 +130,27 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
+/// Run the exhaustive-schedule explorer, or explain how to get it.
+#[cfg(smm_model_check)]
+fn model_check(bound: usize) -> Report {
+    smm_analyze::mc::run_all(bound)
+}
+
+/// In an uninstrumented binary the explorer has nothing to hook, so
+/// `--model-check` reports how to build one instead of silently
+/// skipping the dynamic half.
+#[cfg(not(smm_model_check))]
+fn model_check(_bound: usize) -> Report {
+    let mut report = Report::new();
+    report.push(smm_analyze::Finding::info(
+        "AN-MC",
+        "model-check",
+        "this binary uses the real std facade; rebuild with \
+         RUSTFLAGS='--cfg smm_model_check' to run the exhaustive-schedule explorer",
+    ));
+    report
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -116,18 +161,36 @@ fn main() -> ExitCode {
     };
 
     let mut report = Report::new();
-    if opts.self_check {
+    if opts.concurrency {
+        if opts.self_check {
+            report.merge(concurrency_self_check());
+        } else {
+            let root = opts.root.clone().or_else(find_workspace_root);
+            match root {
+                Some(root) => report.merge(ordering::analyze_workspace(&root)),
+                None => {
+                    eprintln!("smm-analyze: no workspace root found (pass --root)");
+                    return ExitCode::from(2);
+                }
+            }
+            if opts.model_check {
+                report.merge(model_check(opts.bound));
+            }
+        }
+    } else if opts.self_check {
         report.merge(self_check(&opts.cfg));
-    } else if opts.kernels {
-        report.merge(verify_all(&opts.cfg));
-    }
-    if opts.lint && !opts.self_check {
-        let root = opts.root.clone().or_else(find_workspace_root);
-        match root {
-            Some(root) => report.merge(lint_workspace(&root)),
-            None => {
-                eprintln!("smm-analyze: no workspace root found (pass --root)");
-                return ExitCode::from(2);
+    } else {
+        if opts.kernels {
+            report.merge(verify_all(&opts.cfg));
+        }
+        if opts.lint {
+            let root = opts.root.clone().or_else(find_workspace_root);
+            match root {
+                Some(root) => report.merge(lint_workspace(&root)),
+                None => {
+                    eprintln!("smm-analyze: no workspace root found (pass --root)");
+                    return ExitCode::from(2);
+                }
             }
         }
     }

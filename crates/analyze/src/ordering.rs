@@ -1,0 +1,1017 @@
+//! Atomic-ordering dataflow pass (the `concurrency` subcommand's
+//! static front): a cross-file analysis of every `Ordering::*` literal
+//! use site in the workspace, checking that the release/acquire
+//! pairing discipline the lock-free runtime depends on actually holds
+//! in the source.
+//!
+//! The pass builds, per atomic *field name* (the last path segment of
+//! the receiver — `slot.seq.load(..)` and `self.seq.store(..)` are the
+//! same field `seq`), a pairing graph of release-side stores and
+//! acquire-side loads across all files, plus per-function facts
+//! (acquire fences, lock-guard acquisition order, seqlock shapes).
+//!
+//! Rules:
+//!
+//! * `AN-C001` (`release-pairing`) — a field is stored with `Release`
+//!   (or a release-side RMW) somewhere, but **no** acquire-side load
+//!   of that field exists anywhere in the workspace (and no relaxed
+//!   load of it sits in a function with an acquire fence). The store
+//!   publishes; nothing can ever synchronize with it.
+//! * `AN-C002` (`relaxed-load`) — a plain `load(Relaxed)` of a field
+//!   that *is* release-published elsewhere, in a function with no
+//!   `fence(Acquire)` to upgrade it. The reader can see the flag
+//!   without the payload.
+//! * `AN-C003` (`seqlock-retry`) — a field written with the seqlock
+//!   writer shape (a relaxed store and a release store to the same
+//!   field in one function: odd = in progress, even = published) is
+//!   read with `Acquire` in a function that lacks the reader's
+//!   obligations: a revalidating second load of the field, an
+//!   odd-sequence check (`& 1` / `% 2`), and a `!=` comparison.
+//! * `AN-C004` (`lock-order`) — two lock guards are acquired in
+//!   nested order `A` then `B` in one function and `B` then `A` in
+//!   another (possibly another file): the classic deadlock cycle.
+//!   Only *held* guards count (a `let`-bound `.lock()`/`.read()`/
+//!   `.write()` with empty arguments); temporary guards dropped at
+//!   the end of their statement cannot nest.
+//!
+//! Sites can be waived with the linter's
+//! `// lint:allow(<rule>) -- rationale` syntax using the rule names
+//! above. Limits, by design: fields pair by bare name (two unrelated
+//! fields that share a name share a graph node); orderings passed as
+//! variables (the model-checker shims) have no literal and are not
+//! sites; guard lifetimes are approximated by function scope. The
+//! dynamic half of the subcommand — `smm_sync::mc` schedule
+//! exploration — covers what this textual dataflow cannot.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use crate::lint::{strip_source, workspace_rs_files};
+use crate::report::{Finding, Report};
+
+/// Waivable rule names of this pass. `lint.rs` consults this list so
+/// its unused-waiver warning does not fire on concurrency waivers it
+/// cannot see the use of.
+pub const RULES: [&str; 4] = [
+    "release-pairing",
+    "relaxed-load",
+    "seqlock-retry",
+    "lock-order",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemOrd {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrd {
+    fn parse(name: &str) -> Option<MemOrd> {
+        Some(match name {
+            "Relaxed" => MemOrd::Relaxed,
+            "Acquire" => MemOrd::Acquire,
+            "Release" => MemOrd::Release,
+            "AcqRel" => MemOrd::AcqRel,
+            "SeqCst" => MemOrd::SeqCst,
+            _ => return None,
+        })
+    }
+
+    fn acq(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    fn rel(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+}
+
+/// Whether an access is a plain load, a plain store, or an RMW
+/// (which has both a load side and a store side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+#[derive(Debug, Clone)]
+struct Access {
+    field: String,
+    kind: AccessKind,
+    /// Ordering of the load side (None for plain stores).
+    load_ord: Option<MemOrd>,
+    /// Ordering of the store side (None for plain loads).
+    store_ord: Option<MemOrd>,
+    line: usize,
+    func: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LockAcq {
+    name: String,
+    /// `let`-bound guard: held past its statement, can nest.
+    held: bool,
+    line: usize,
+    func: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Func {
+    name: String,
+    /// Whether the function body contains an acquire-side fence.
+    has_acquire_fence: bool,
+    /// Whether the body contains an odd-sequence check (`& 1`, `% 2`).
+    has_odd_check: bool,
+    /// Whether the body contains a `!=` comparison.
+    has_neq: bool,
+}
+
+struct Waiver {
+    line: usize,
+    rule: String,
+}
+
+/// Everything the pass extracted from one file.
+struct FileFacts {
+    rel: String,
+    accesses: Vec<Access>,
+    locks: Vec<LockAcq>,
+    funcs: Vec<Func>,
+    waivers: Vec<Waiver>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `scan_functions` output: the function table (index 0 is file
+/// scope), sorted `(offset, func_idx)` transitions, and each
+/// function's `(start, end)` body span.
+type FnScan = (Vec<Func>, Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Scan brace structure to map every text offset to its innermost
+/// `fn`. Returns the function table (index 0 is file scope) with
+/// body-span flags filled, and sorted `(offset, func_idx)` transitions.
+fn scan_functions(t: &str) -> FnScan {
+    let bytes = t.as_bytes();
+    let mut funcs = vec![Func {
+        name: "<file>".to_string(),
+        has_acquire_fence: false,
+        has_odd_check: false,
+        has_neq: false,
+    }];
+    let mut spans = vec![(0usize, t.len())];
+    let mut transitions: Vec<(usize, usize)> = vec![(0, 0)];
+    let mut stack: Vec<(usize, u32)> = Vec::new(); // (func idx, entry depth)
+    let mut depth = 0u32;
+    let mut pending: Option<String> = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            if &t[start..i] == "fn" && (start == 0 || !is_ident_byte(bytes[start - 1])) {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                let name_start = j;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                if j > name_start {
+                    pending = Some(t[name_start..j].to_string());
+                }
+                i = j;
+            }
+            continue;
+        }
+        match b {
+            b'{' => {
+                depth += 1;
+                if let Some(name) = pending.take() {
+                    let idx = funcs.len();
+                    funcs.push(Func {
+                        name,
+                        has_acquire_fence: false,
+                        has_odd_check: false,
+                        has_neq: false,
+                    });
+                    spans.push((i, t.len()));
+                    stack.push((idx, depth));
+                    transitions.push((i, idx));
+                }
+            }
+            b'}' => {
+                if let Some(&(idx, entry)) = stack.last() {
+                    if entry == depth {
+                        spans[idx].1 = i;
+                        stack.pop();
+                        let parent = stack.last().map_or(0, |&(p, _)| p);
+                        transitions.push((i, parent));
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            b';' => {
+                // A trait/extern signature: `fn f(..);` never opens.
+                pending = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    for (idx, &(s, e)) in spans.iter().enumerate() {
+        let body = &t[s..e];
+        funcs[idx].has_odd_check = has_odd_check(body);
+        funcs[idx].has_neq = body.contains("!=");
+    }
+    (funcs, transitions, spans)
+}
+
+/// `& 1` / `&1` (not `&&`) or `% 2`: the odd-sequence test.
+fn has_odd_check(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = body[from..].find('&') {
+        let i = from + pos;
+        from = i + 1;
+        if bytes.get(i + 1) == Some(&b'&') || (i > 0 && bytes[i - 1] == b'&') {
+            continue;
+        }
+        let mut j = i + 1;
+        while bytes.get(j) == Some(&b' ') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'1') && bytes.get(j + 1).is_none_or(|b| !is_ident_byte(*b)) {
+            return true;
+        }
+    }
+    let mut from = 0;
+    while let Some(pos) = body[from..].find('%') {
+        let i = from + pos;
+        from = i + 1;
+        let mut j = i + 1;
+        while bytes.get(j) == Some(&b' ') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'2') && bytes.get(j + 1).is_none_or(|b| !is_ident_byte(*b)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The matching open delimiter for the close at `close_idx`, scanning
+/// backwards.
+fn matching_open(bytes: &[u8], close_idx: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0u32;
+    let mut i = close_idx + 1;
+    while i > 0 {
+        i -= 1;
+        if bytes[i] == close {
+            depth += 1;
+        } else if bytes[i] == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// The matching close paren for the open at `open_idx`, forwards.
+fn matching_close(bytes: &[u8], open_idx: usize) -> Option<usize> {
+    let mut depth = 0u32;
+    for (off, &b) in bytes[open_idx..].iter().enumerate() {
+        if b == b'(' {
+            depth += 1;
+        } else if b == b')' {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open_idx + off);
+            }
+        }
+    }
+    None
+}
+
+/// The field name of a method-call receiver: the last identifier
+/// segment before the `.` at `dot`, skipping index/call suffixes
+/// (`slot.hist[p].fetch_add` → `hist`, `self.ring(h).head.load` →
+/// `head`).
+fn receiver_field(t: &str, dot: usize) -> Option<String> {
+    let bytes = t.as_bytes();
+    let mut i = dot;
+    loop {
+        while i > 0 && (bytes[i - 1] as char).is_whitespace() {
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        match bytes[i - 1] {
+            b']' => i = matching_open(bytes, i - 1, b'[', b']')?,
+            b')' => i = matching_open(bytes, i - 1, b'(', b')')?,
+            _ => break,
+        }
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(t[i..end].to_string())
+}
+
+/// All `Ordering::X` literals in `t[range]`, in textual order.
+fn orderings_in(ord_sites: &[(usize, MemOrd)], lo: usize, hi: usize) -> Vec<MemOrd> {
+    let start = ord_sites.partition_point(|&(o, _)| o < lo);
+    ord_sites[start..]
+        .iter()
+        .take_while(|&&(o, _)| o < hi)
+        .map(|&(_, m)| m)
+        .collect()
+}
+
+/// Methods with a single combined ordering argument and both a load
+/// and a store side.
+const RMW_METHODS: [&str; 8] = [
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+];
+
+/// Parse one file into [`FileFacts`]. `rel` is workspace-relative.
+fn parse_file(rel: &str, source: &str) -> FileFacts {
+    let all_lines = strip_source(source);
+    let test_start = all_lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(all_lines.len());
+    let lines = &all_lines[..test_start];
+
+    let mut joined = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for line in lines {
+        line_starts.push(joined.len());
+        joined.push_str(&line.code);
+        joined.push('\n');
+    }
+    let line_of = |offset: usize| line_starts.partition_point(|&s| s <= offset);
+
+    let (mut funcs, transitions, _spans) = scan_functions(&joined);
+    let func_of = |offset: usize| {
+        let k = transitions.partition_point(|&(o, _)| o <= offset);
+        transitions[k.saturating_sub(1)].1
+    };
+
+    let mut ord_sites: Vec<(usize, MemOrd)> = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = joined[from..].find("Ordering::") {
+        let start = from + pos + "Ordering::".len();
+        let end = start
+            + joined[start..]
+                .bytes()
+                .take_while(|&b| is_ident_byte(b))
+                .count();
+        if let Some(m) = MemOrd::parse(&joined[start..end]) {
+            ord_sites.push((from + pos, m));
+        }
+        from = end;
+    }
+
+    let bytes = joined.as_bytes();
+    let mut accesses = Vec::new();
+
+    let mut collect = |pat: &str, kind: AccessKind| {
+        let mut from = 0;
+        while let Some(pos) = joined[from..].find(pat) {
+            let dot = from + pos;
+            from = dot + pat.len();
+            let open = dot + pat.len() - 1;
+            let Some(close) = matching_close(bytes, open) else {
+                continue;
+            };
+            let ords = orderings_in(&ord_sites, open, close);
+            if ords.is_empty() {
+                continue; // variable ordering or not an atomic call
+            }
+            let Some(field) = receiver_field(&joined, dot) else {
+                continue;
+            };
+            let (load_ord, store_ord) = match kind {
+                AccessKind::Load => (Some(ords[0]), None),
+                AccessKind::Store => (None, Some(*ords.last().unwrap())),
+                AccessKind::Rmw => {
+                    let m = *ords.last().unwrap();
+                    (Some(m), Some(m))
+                }
+            };
+            accesses.push(Access {
+                field,
+                kind,
+                load_ord,
+                store_ord,
+                line: line_of(dot),
+                func: func_of(dot),
+            });
+        }
+    };
+    collect(".load(", AccessKind::Load);
+    collect(".store(", AccessKind::Store);
+    for pat in RMW_METHODS {
+        collect(pat, AccessKind::Rmw);
+    }
+
+    // compare_exchange[_weak]: the last two orderings are success and
+    // failure; success covers both sides, failure the load side only.
+    for pat in [".compare_exchange_weak(", ".compare_exchange("] {
+        let mut from = 0;
+        while let Some(pos) = joined[from..].find(pat) {
+            let dot = from + pos;
+            from = dot + pat.len();
+            let open = dot + pat.len() - 1;
+            let Some(close) = matching_close(bytes, open) else {
+                continue;
+            };
+            let ords = orderings_in(&ord_sites, open, close);
+            if ords.len() < 2 {
+                continue;
+            }
+            let Some(field) = receiver_field(&joined, dot) else {
+                continue;
+            };
+            let success = ords[ords.len() - 2];
+            let fail = ords[ords.len() - 1];
+            let strongest_load = if fail.acq() { fail } else { success };
+            accesses.push(Access {
+                field,
+                kind: AccessKind::Rmw,
+                load_ord: Some(strongest_load),
+                store_ord: Some(success),
+                line: line_of(dot),
+                func: func_of(dot),
+            });
+        }
+    }
+
+    // Fences: mark their functions.
+    let mut from = 0;
+    while let Some(pos) = joined[from..].find("fence(") {
+        let at = from + pos;
+        from = at + "fence(".len();
+        if at > 0 && (is_ident_byte(bytes[at - 1]) || bytes[at - 1] == b'.') {
+            continue; // part of a longer identifier or a method call
+        }
+        let open = at + "fence(".len() - 1;
+        let Some(close) = matching_close(bytes, open) else {
+            continue;
+        };
+        if orderings_in(&ord_sites, open, close)
+            .iter()
+            .any(|m| m.acq())
+        {
+            funcs[func_of(at)].has_acquire_fence = true;
+        }
+    }
+
+    // Lock acquisitions: empty-argument `.lock()` / `.read()` /
+    // `.write()`. A guard is *held* when `let`-bound with nothing but
+    // `.unwrap()` / `.expect(..)` between the call and the `;`.
+    let mut locks = Vec::new();
+    for pat in [".lock(", ".read(", ".write("] {
+        let mut from = 0;
+        while let Some(pos) = joined[from..].find(pat) {
+            let dot = from + pos;
+            from = dot + pat.len();
+            let open = dot + pat.len() - 1;
+            let mut j = open + 1;
+            while bytes.get(j).is_some_and(|b| (*b as char).is_whitespace()) {
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b')') {
+                continue; // has arguments: not a guard acquisition
+            }
+            let Some(name) = receiver_field(&joined, dot) else {
+                continue;
+            };
+            let mut k = j + 1;
+            loop {
+                let rest = &joined[k..];
+                let trimmed = rest.trim_start();
+                let ws = rest.len() - trimmed.len();
+                if trimmed.starts_with(".unwrap(") || trimmed.starts_with(".expect(") {
+                    let o = k + ws + trimmed.find('(').unwrap();
+                    match matching_close(bytes, o) {
+                        Some(c) => k = c + 1,
+                        None => break,
+                    }
+                } else {
+                    k += ws;
+                    break;
+                }
+            }
+            let line = line_of(dot);
+            let held = bytes.get(k) == Some(&b';')
+                && lines
+                    .get(line - 1)
+                    .is_some_and(|l| l.code.trim_start().starts_with("let "));
+            locks.push(LockAcq {
+                name,
+                held,
+                line,
+                func: func_of(dot),
+            });
+        }
+    }
+
+    // Waivers for this pass's rules (same syntax as the linter's).
+    let mut waivers = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let comment = &line.comment;
+        let lead = comment.trim_start();
+        if lead.starts_with('/') || lead.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = comment.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &comment[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if RULES.contains(&rule.as_str()) {
+            waivers.push(Waiver {
+                line: idx + 1,
+                rule,
+            });
+        }
+    }
+
+    FileFacts {
+        rel: rel.to_string(),
+        accesses,
+        locks,
+        funcs,
+        waivers,
+    }
+}
+
+fn waived(facts: &FileFacts, rule: &str, line: usize) -> bool {
+    facts
+        .waivers
+        .iter()
+        .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+}
+
+/// Run the pass over already-loaded sources (`(relative_path, text)`).
+pub fn analyze_sources(files: &[(&str, &str)]) -> Report {
+    let mut report = Report::new();
+    let facts: Vec<FileFacts> = files
+        .iter()
+        .filter(|(rel, _)| !(rel.starts_with("tests/") || rel.contains("/tests/")))
+        .map(|(rel, src)| parse_file(rel, src))
+        .collect();
+    report.files_scanned = facts.len();
+
+    // ---- Global pairing graph -------------------------------------
+    #[derive(Default)]
+    struct FieldUse {
+        rel_stores: Vec<(usize, usize)>, // (file idx, line)
+        acq_loads: usize,
+        fenced_relaxed_loads: usize,
+        relaxed_loads: Vec<(usize, usize)>,
+    }
+    let mut fields: HashMap<&str, FieldUse> = HashMap::new();
+    for (fi, f) in facts.iter().enumerate() {
+        for a in &f.accesses {
+            let entry = fields.entry(a.field.as_str()).or_default();
+            if a.store_ord.is_some_and(MemOrd::rel) {
+                entry.rel_stores.push((fi, a.line));
+            }
+            if let Some(lo) = a.load_ord {
+                if lo.acq() {
+                    entry.acq_loads += 1;
+                } else if a.kind == AccessKind::Load {
+                    if f.funcs[a.func].has_acquire_fence {
+                        entry.fenced_relaxed_loads += 1;
+                    } else {
+                        entry.relaxed_loads.push((fi, a.line));
+                    }
+                }
+            }
+        }
+    }
+
+    // AN-C001: release stores nothing ever acquires.
+    let mut sorted: Vec<_> = fields.iter().collect();
+    sorted.sort_by_key(|(name, _)| *name);
+    for (name, fu) in &sorted {
+        if fu.rel_stores.is_empty() || fu.acq_loads > 0 || fu.fenced_relaxed_loads > 0 {
+            continue;
+        }
+        for &(fi, line) in &fu.rel_stores {
+            let f = &facts[fi];
+            if waived(f, "release-pairing", line) {
+                report.waivers_used += 1;
+                continue;
+            }
+            report.push(
+                Finding::error(
+                    "AN-C001",
+                    &f.rel,
+                    format!(
+                        "release store to `{name}` has no acquire-side observer anywhere \
+                         in the workspace — nothing can synchronize with this publication \
+                         (pair it with a `load(Acquire)`, an acquiring RMW, or an acquire \
+                         fence after a relaxed load)"
+                    ),
+                )
+                .at(format!("line {line}")),
+            );
+        }
+    }
+
+    // AN-C002: relaxed loads of release-published fields.
+    for (name, fu) in &sorted {
+        if fu.rel_stores.is_empty() {
+            continue;
+        }
+        for &(fi, line) in &fu.relaxed_loads {
+            let f = &facts[fi];
+            if waived(f, "relaxed-load", line) {
+                report.waivers_used += 1;
+                continue;
+            }
+            report.push(
+                Finding::error(
+                    "AN-C002",
+                    &f.rel,
+                    format!(
+                        "`{name}` is release-published elsewhere but loaded with Relaxed \
+                         here, in a function with no acquire fence — the load can observe \
+                         the flag without the payload it guards; use `Ordering::Acquire` \
+                         or add `fence(Ordering::Acquire)`"
+                    ),
+                )
+                .at(format!("line {line}")),
+            );
+        }
+    }
+
+    // AN-C003: seqlock fields (relaxed + release store in one
+    // function) read with Acquire but without the reader obligations.
+    let mut seqlock_fields: HashSet<&str> = HashSet::new();
+    for f in &facts {
+        let mut per_fn: HashMap<(usize, &str), (bool, bool)> = HashMap::new();
+        for a in &f.accesses {
+            if a.kind != AccessKind::Store {
+                continue;
+            }
+            let slot = per_fn.entry((a.func, a.field.as_str())).or_default();
+            match a.store_ord {
+                Some(MemOrd::Relaxed) => slot.0 = true,
+                Some(m) if m.rel() => slot.1 = true,
+                _ => {}
+            }
+        }
+        for ((_, field), (relaxed, release)) in per_fn {
+            if relaxed && release {
+                seqlock_fields.insert(field);
+            }
+        }
+    }
+    for f in &facts {
+        for a in &f.accesses {
+            let is_acq_read = a.kind == AccessKind::Load && a.load_ord.is_some_and(MemOrd::acq);
+            if !is_acq_read || !seqlock_fields.contains(a.field.as_str()) {
+                continue;
+            }
+            let func = &f.funcs[a.func];
+            let reload = f.accesses.iter().any(|b| {
+                b.func == a.func
+                    && b.field == a.field
+                    && b.kind == AccessKind::Load
+                    && b.line > a.line
+            });
+            if reload && func.has_odd_check && func.has_neq {
+                continue;
+            }
+            if waived(f, "seqlock-retry", a.line) {
+                report.waivers_used += 1;
+                continue;
+            }
+            let missing = if !reload {
+                "a revalidating re-read of the sequence after copying the payload"
+            } else if !func.has_odd_check {
+                "an odd-sequence (`& 1`) write-in-progress check"
+            } else {
+                "a `!=` comparison rejecting torn snapshots"
+            };
+            report.push(
+                Finding::error(
+                    "AN-C003",
+                    &f.rel,
+                    format!(
+                        "seqlock read of `{}` in `{}` is missing {missing} — a torn \
+                         payload can be accepted",
+                        a.field, func.name
+                    ),
+                )
+                .at(format!("line {}", a.line)),
+            );
+        }
+    }
+
+    // AN-C004: lock-order inversion across held-guard acquisitions.
+    struct Edge {
+        file: usize,
+        line: usize,
+        func_name: String,
+    }
+    let mut edges: HashMap<(String, String), Edge> = HashMap::new();
+    for (fi, f) in facts.iter().enumerate() {
+        let mut per_fn: HashMap<usize, Vec<&LockAcq>> = HashMap::new();
+        for l in &f.locks {
+            per_fn.entry(l.func).or_default().push(l);
+        }
+        for (func, acqs) in per_fn {
+            for (i, a) in acqs.iter().enumerate() {
+                if !a.held {
+                    continue;
+                }
+                for b in &acqs[i + 1..] {
+                    if b.name == a.name {
+                        continue;
+                    }
+                    edges
+                        .entry((a.name.clone(), b.name.clone()))
+                        .or_insert(Edge {
+                            file: fi,
+                            line: b.line,
+                            func_name: f.funcs[func].name.clone(),
+                        });
+                }
+            }
+        }
+    }
+    let mut keys: Vec<_> = edges.keys().cloned().collect();
+    keys.sort();
+    let mut reported: HashSet<(String, String)> = HashSet::new();
+    for key in keys {
+        let (a, b) = key.clone();
+        let rev = (b.clone(), a.clone());
+        if !edges.contains_key(&rev) || reported.contains(&rev) {
+            continue;
+        }
+        reported.insert(key.clone());
+        let fwd = &edges[&key];
+        let back = &edges[&rev];
+        let f = &facts[fwd.file];
+        if waived(f, "lock-order", fwd.line) {
+            report.waivers_used += 1;
+            continue;
+        }
+        report.push(
+            Finding::error(
+                "AN-C004",
+                &f.rel,
+                format!(
+                    "lock order inversion: `{a}` is held while acquiring `{b}` in \
+                     `{}`, but `{b}` is held while acquiring `{a}` in `{}` ({} line {}) \
+                     — a deadlock cycle",
+                    fwd.func_name, back.func_name, facts[back.file].rel, back.line
+                ),
+            )
+            .at(format!("line {}", fwd.line)),
+        );
+    }
+
+    report
+}
+
+/// Run the pass over every `.rs` file under `root`.
+pub fn analyze_workspace(root: &Path) -> Report {
+    let mut loaded = Vec::new();
+    for (rel, path) in workspace_rs_files(root) {
+        if let Ok(src) = std::fs::read_to_string(&path) {
+            loaded.push((rel, src));
+        }
+    }
+    let refs: Vec<(&str, &str)> = loaded
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    analyze_sources(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Report {
+        analyze_sources(files)
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let src = "
+            fn publish(&self) {
+                self.data.store(1, Ordering::Relaxed);
+                self.ready.store(true, Ordering::Release);
+            }
+            fn consume(&self) -> u64 {
+                if self.ready.load(Ordering::Acquire) {
+                    return self.data.load(Ordering::Relaxed);
+                }
+                0
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn unpaired_release_store_flagged() {
+        let src = "
+            fn publish(&self) {
+                self.flagx.store(true, Ordering::Release);
+            }
+            fn consume(&self) -> bool {
+                self.flagx.load(Ordering::Relaxed)
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(r.has_code("AN-C001"), "{r}");
+        assert!(r.has_code("AN-C002"), "{r}");
+    }
+
+    #[test]
+    fn pairing_graph_spans_files() {
+        let writer = "fn w(&self) { self.ready.store(true, Ordering::Release); }";
+        let reader = "fn r(&self) -> bool { self.ready.load(Ordering::Acquire) }";
+        let r = run(&[("w.rs", writer), ("r.rs", reader)]);
+        assert!(!r.has_code("AN-C001"), "{r}");
+    }
+
+    #[test]
+    fn fence_justifies_relaxed_load() {
+        let src = "
+            fn publish(&self) { self.seqf.store(2, Ordering::Release); }
+            fn observe(&self) -> u64 { self.seqf.load(Ordering::Acquire) }
+            fn check(&self) -> u64 {
+                fence(Ordering::Acquire);
+                self.seqf.load(Ordering::Relaxed)
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(!r.has_code("AN-C002"), "{r}");
+    }
+
+    #[test]
+    fn rmw_counts_as_acquire_observer() {
+        let src = "
+            fn publish(&self) { self.st.store(1, Ordering::Release); }
+            fn claim(&self) -> Result<u64, u64> {
+                self.st.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(!r.has_code("AN-C001"), "{r}");
+    }
+
+    #[test]
+    fn seqlock_reader_without_retry_flagged() {
+        let src = "
+            fn write(&self, c: u64, v: u64) {
+                self.sq.store(c * 2 + 1, Ordering::Relaxed);
+                self.val.store(v, Ordering::Relaxed);
+                self.sq.store(c * 2 + 2, Ordering::Release);
+            }
+            fn read(&self) -> u64 {
+                let s1 = self.sq.load(Ordering::Acquire);
+                self.val.load(Ordering::Relaxed)
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(r.has_code("AN-C003"), "{r}");
+    }
+
+    #[test]
+    fn seqlock_reader_with_full_protocol_clean() {
+        let src = "
+            fn write(&self, c: u64, v: u64) {
+                self.sq.store(c * 2 + 1, Ordering::Relaxed);
+                self.val.store(v, Ordering::Relaxed);
+                self.sq.store(c * 2 + 2, Ordering::Release);
+            }
+            fn read(&self) -> Option<u64> {
+                let s1 = self.sq.load(Ordering::Acquire);
+                if s1 & 1 == 1 { return None; }
+                let v = self.val.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.sq.load(Ordering::Relaxed) != s1 { return None; }
+                Some(v)
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(!r.has_code("AN-C003"), "{r}");
+        assert!(!r.has_code("AN-C002"), "{r}");
+    }
+
+    #[test]
+    fn lock_order_inversion_flagged_across_files() {
+        let f1 = "
+            fn path_one(&self) {
+                let a = self.alpha.lock().unwrap();
+                let b = self.beta.lock().unwrap();
+            }
+        ";
+        let f2 = "
+            fn path_two(&self) {
+                let b = self.beta.lock().unwrap();
+                let a = self.alpha.lock().unwrap();
+            }
+        ";
+        let r = run(&[("one.rs", f1), ("two.rs", f2)]);
+        assert!(r.has_code("AN-C004"), "{r}");
+    }
+
+    #[test]
+    fn temporary_guards_do_not_nest() {
+        // Sequential statement-scoped guards (dropped at `;`) in
+        // opposite textual orders are not an inversion.
+        let src = "
+            fn a(&self) {
+                self.alpha.lock().unwrap().clear();
+                self.beta.lock().unwrap().clear();
+            }
+            fn b(&self) {
+                self.beta.lock().unwrap().clear();
+                self.alpha.lock().unwrap().clear();
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(!r.has_code("AN-C004"), "{r}");
+    }
+
+    #[test]
+    fn waiver_suppresses_finding() {
+        let src = "
+            fn publish(&self) {
+                // lint:allow(release-pairing) -- external consumer acquires
+                self.solo.store(true, Ordering::Release);
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(!r.has_code("AN-C001"), "{r}");
+        assert_eq!(r.waivers_used, 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "
+            fn real() {}
+            #[cfg(test)]
+            mod tests {
+                fn t(&self) { self.orphan.store(1, Ordering::Release); }
+            }
+        ";
+        let r = run(&[("a.rs", src)]);
+        assert!(r.findings.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn shipped_tree_has_no_an_c_findings() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let r = analyze_workspace(&root);
+        let c_findings: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.code.starts_with("AN-C"))
+            .collect();
+        assert!(c_findings.is_empty(), "{c_findings:?}");
+    }
+}

@@ -1,18 +1,20 @@
-//! Golden tests for `smm-analyze`: the five bad-kernel fixtures must
-//! each trip exactly the check built for them, and the shipped tree —
-//! every registered kernel stream and every workspace source file —
-//! must come back clean. Together these pin the analyzer from both
-//! sides: a lost check breaks a fixture test, a new defect in the tree
-//! breaks a clean test.
+//! Golden tests for `smm-analyze`: the five bad-kernel fixtures and
+//! the two bad-concurrency fixtures must each trip exactly the check
+//! built for them, and the shipped tree — every registered kernel
+//! stream and every workspace source file — must come back clean.
+//! Together these pin the analyzer from both sides: a lost check
+//! breaks a fixture test, a new defect in the tree breaks a clean
+//! test.
 
 use std::path::PathBuf;
 
 use smm_analyze::fixtures::{
-    hazard_serialized_stream, out_of_bounds_stream, over_budget_descriptor,
-    over_budget_wide_descriptor, self_check, uncovered_registry, EXPECTED,
+    concurrency_self_check, hazard_serialized_stream, out_of_bounds_stream, over_budget_descriptor,
+    over_budget_wide_descriptor, self_check, seqlock_no_retry_fixture, uncovered_registry,
+    unpaired_release_fixture, EXPECTED,
 };
-use smm_analyze::lint::lint_workspace;
-use smm_analyze::{verify_all, Severity, VerifyConfig};
+use smm_analyze::lint::{lint_source, lint_workspace};
+use smm_analyze::{ordering, verify_all, Severity, VerifyConfig};
 use smm_model::VectorIsa;
 
 fn workspace_root() -> PathBuf {
@@ -58,12 +60,27 @@ fn fixture_over_budget_wide_descriptor_is_flagged() {
 }
 
 #[test]
+fn fixture_seqlock_no_retry_is_flagged() {
+    let r = seqlock_no_retry_fixture();
+    assert!(r.has_code("AN-C003"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
+fn fixture_unpaired_release_is_flagged() {
+    let r = unpaired_release_fixture();
+    assert!(r.has_code("AN-C001"), "{r}");
+    assert!(r.has_code("AN-C002"), "{r}");
+    assert!(!r.passes(false));
+}
+
+#[test]
 fn expected_table_matches_the_fixture_set() {
-    assert_eq!(EXPECTED.len(), 5);
+    assert_eq!(EXPECTED.len(), 7);
     let codes: Vec<&str> = EXPECTED.iter().map(|(_, c)| *c).collect();
     assert_eq!(
         codes,
-        ["AN-E001", "AN-E001", "AN-E003", "AN-E004", "AN-E006"]
+        ["AN-E001", "AN-E001", "AN-E003", "AN-E004", "AN-E006", "AN-C003", "AN-C001"]
     );
 }
 
@@ -105,6 +122,47 @@ fn shipped_sources_lint_clean() {
         "lint walked only {} files — wrong root?",
         r.files_scanned
     );
+}
+
+#[test]
+fn new_clock_read_in_trace_rs_trips_the_fence_again() {
+    let real = std::fs::read_to_string(workspace_root().join("crates/core/src/trace.rs"))
+        .expect("read crates/core/src/trace.rs");
+    // The shipped file is clean: its one `Instant::now` carries a
+    // per-site audited waiver, not a file-wide exemption.
+    let clean = lint_source("crates/core/src/trace.rs", &real);
+    assert!(!clean.has_code("LINT-E104"), "{clean}");
+    // So one more clock read anywhere else in the file (outside the
+    // lint-exempt test tail) is flagged again.
+    let cut = real.find("#[cfg(test)]").unwrap_or(real.len());
+    let patched = format!(
+        "{}\nfn sneak() -> std::time::Instant {{ Instant::now() }}\n{}",
+        &real[..cut],
+        &real[cut..]
+    );
+    let r = lint_source("crates/core/src/trace.rs", &patched);
+    assert!(r.has_code("LINT-E104"), "{r}");
+}
+
+#[test]
+fn shipped_sources_pass_the_ordering_pass() {
+    let r = ordering::analyze_workspace(&workspace_root());
+    assert!(
+        r.passes(true),
+        "workspace sources must satisfy the atomic-ordering contracts:\n{r}"
+    );
+    assert!(
+        r.files_scanned > 50,
+        "ordering pass walked only {} files — wrong root?",
+        r.files_scanned
+    );
+}
+
+#[test]
+fn concurrency_self_check_is_green() {
+    let r = concurrency_self_check();
+    assert!(r.passes(true), "{r}");
+    assert!(r.to_json().contains("\"AN-SELF\""));
 }
 
 #[test]

@@ -48,6 +48,11 @@ pub mod telemetry;
 pub mod trace;
 pub mod tune;
 
+/// The workspace synchronization facade (`std` types in normal builds,
+/// model-checker shims under `--cfg smm_model_check`). Runtime modules
+/// import their `Mutex`/`Condvar`/atomics/threads from here.
+pub use smm_sync::sync;
+
 pub use batch::StridedBatch;
 pub use compiled::{CompiledPlan, CompiledScratch};
 pub use direct::DirectKernel;

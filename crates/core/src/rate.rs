@@ -23,7 +23,7 @@
 //! (−2,−1,0,1,2)/10), the shape the dataplane exemplar's
 //! `stats/src/rate.rs` uses.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of time slots in the sliding window.
 pub const RATE_SLOTS: usize = 8;
@@ -333,5 +333,50 @@ mod tests {
         assert_eq!(rep.req_per_sec, 0.0);
         assert_eq!(rep.p99_trend_ns_per_sec, 0.0);
         assert!((rep.window_secs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_trend_is_flat() {
+        let w = RateWindow::new(8_000_000);
+        w.record(500, 1, 1000, 2000);
+        let rep = w.report(500);
+        assert_eq!(rep.live_slots, 1);
+        // One p99 sample gives the fit nothing to differentiate: the
+        // trend must be exactly zero, not NaN or a degenerate slope.
+        assert_eq!(rep.p99_trend_ns_per_sec, 0.0);
+        // And the covered span is floored, so the rates stay finite
+        // even when "now" is at the very start of the first slot.
+        assert!(rep.covered_secs > 0.0);
+        assert!(rep.req_per_sec.is_finite() && rep.req_per_sec > 0.0);
+    }
+
+    #[test]
+    fn saturating_latency_lands_in_the_top_bucket() {
+        let w = RateWindow::new(8_000_000);
+        // A u64::MAX latency must clamp into the last histogram bucket
+        // (not index past it), and the entry-weighted latency sum must
+        // saturate instead of wrapping to a tiny mean.
+        w.record(0, 2, 0, u64::MAX);
+        let rep = w.report(0);
+        assert_eq!(rep.p99_now_ns, bucket_upper_bound(RATE_BUCKETS - 1));
+        assert_eq!(rep.mean_ns, u64::MAX / 2);
+    }
+
+    #[test]
+    fn slot_reuse_one_window_later_resets_counters() {
+        let w = RateWindow::new(8_000_000);
+        let slot = 1_000_000u64;
+        w.record(0, 10, 0, 100);
+        // Exactly one window later the ring index wraps back onto the
+        // epoch-0 slot: the first recorder there must win the epoch
+        // CAS and zero the counters, not inherit the stale 10.
+        let wrapped = slot * RATE_SLOTS as u64;
+        w.record(wrapped, 1, 0, 100);
+        let rep = w.report(wrapped);
+        assert_eq!(rep.live_slots, 1);
+        assert!(
+            (rep.req_per_sec * rep.covered_secs - 1.0).abs() < 1e-9,
+            "stale epoch-0 counters leaked into the recycled slot: {rep:?}"
+        );
     }
 }

@@ -17,8 +17,10 @@
 //! amortization claim is observable rather than assumed.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
+use smm_sync::sync::RwLock;
 
 use crate::plan::{PlanConfig, SmmPlan};
 

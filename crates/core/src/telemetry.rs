@@ -27,8 +27,9 @@
 //! registries. A [`Telemetry`] instance belongs to one
 //! [`crate::Smm`]; the disabled state is a single branch per call.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+use smm_sync::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use smm_gemm::arena::ArenaStats;
 use smm_gemm::pool::PoolStats;

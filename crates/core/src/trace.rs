@@ -33,9 +33,11 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
+use smm_sync::sync::Mutex;
 
 use smm_gemm::flight::{thread_tid, EventKind, FlightRecorder, SpanEvent};
 

@@ -10,7 +10,8 @@
 //! many invocations).
 
 use std::collections::HashMap;
-use std::sync::RwLock;
+
+use smm_sync::sync::RwLock;
 
 use smm_model::KernelShape;
 

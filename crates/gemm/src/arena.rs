@@ -28,7 +28,8 @@
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest recyclable size class: `2^24` elements (128 MiB of `f64`).
 /// Larger checkouts still work but are freed on drop, so a single

@@ -23,15 +23,29 @@
 //! and span assembly upstream drops events that do not pair.
 
 use std::cell::Cell;
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use smm_sync::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Number of rings. Threads hash onto rings, so this bounds writer
 /// contention, not thread count.
+#[cfg(not(smm_model_check))]
 pub const RINGS: usize = 16;
 
 /// Slots per ring (power of two). Total capacity is
 /// `RINGS * RING_SLOTS` events ≈ 1 MiB resident.
+#[cfg(not(smm_model_check))]
 pub const RING_SLOTS: usize = 1024;
+
+/// Model-check geometry: one ring forces every writer onto the same
+/// seqlock slots so the checker exercises writer/writer and
+/// writer/reader overlap within its op budget.
+#[cfg(smm_model_check)]
+pub const RINGS: usize = 1;
+
+/// Model-check geometry: four slots keep wraparound reachable in a
+/// handful of scheduled ops.
+#[cfg(smm_model_check)]
+pub const RING_SLOTS: usize = 4;
 
 /// Whether an event opens or closes a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

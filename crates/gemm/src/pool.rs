@@ -21,10 +21,12 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
+use smm_sync::sync::thread::JoinHandle;
+use smm_sync::sync::{Condvar, Mutex};
 
 /// A type-erased injected task. Lifetime-erased from `'scope` by
 /// [`TaskPool::run_scoped`], which guarantees completion-before-return.
@@ -215,7 +217,7 @@ impl TaskPool {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                smm_sync::sync::thread::Builder::new()
                     .name(format!("smm-worker-{i}"))
                     .spawn(move || {
                         // Stable flight-recorder tid: traces label pool

@@ -1,8 +1,10 @@
 //! Request, rejection, and reply types of the serving layer.
 
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+use smm_sync::sync::{Condvar, Mutex};
 
 use smm_core::{Operand, SmmError};
 use smm_kernels::Scalar;

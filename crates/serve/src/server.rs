@@ -27,10 +27,12 @@
 //!   drained and every outstanding ticket answered.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use smm_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use smm_sync::sync::thread::JoinHandle;
+use smm_sync::sync::{Condvar, Mutex};
 
 use smm_core::{
     shape_arg, CallSite, OpenSpan, Phase, Smm, SpanName, StridedBatch, TraceCtx, Tracer,
@@ -359,7 +361,7 @@ impl<S: Scalar> ServerBuilder<S> {
         let dispatcher = {
             let smm = Arc::clone(&smm);
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            smm_sync::sync::thread::Builder::new()
                 .name("smm-serve-dispatch".into())
                 .spawn(move || dispatcher_loop(&smm, &shared))
                 .expect("failed to spawn serve dispatcher")

@@ -1,0 +1,109 @@
+//! Vector clocks — the happens-before component of the memory model.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A vector clock over model-thread ids. Component `t` counts the
+/// events thread `t` has performed; `a ≤ b` (pointwise) means every
+/// event summarized by `a` happens-before (or is) every event `b` knows
+/// about.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The empty clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `t` (0 if never ticked).
+    pub fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advance thread `t`'s own component by one event.
+    pub fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Pointwise maximum: absorb everything `other` has observed.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    /// `self ≤ other` pointwise: the event this clock stamps
+    /// happens-before (or equals) the observation `other` summarizes.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, v)| *v <= other.get(i))
+    }
+}
+
+impl Hash for VClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Trailing zero components are semantically absent; strip them so
+        // equal clocks hash equally regardless of resize history.
+        let trimmed = self.0.iter().rposition(|v| *v != 0).map_or(0, |i| i + 1);
+        self.0[..trimmed].hash(state);
+    }
+}
+
+impl fmt::Debug for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_leq() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(VClock::new().leq(&a));
+    }
+
+    #[test]
+    fn hash_ignores_trailing_zeros() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = VClock(vec![1, 2]);
+        let b = VClock(vec![1, 2, 0, 0]);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        a.join(&b); // no-op semantically
+        assert_eq!(a, VClock(vec![1, 2, 0, 0]));
+    }
+}

@@ -1,0 +1,1304 @@
+//! Controller side of the model checker: per-execution state, the
+//! C11-style release/acquire store-buffer memory model, and the
+//! bounded-preemption DFS over thread schedules.
+//!
+//! # Memory model
+//!
+//! Each atomic location keeps its full modification history as a vector
+//! of [`StoreRec`]s. A store carries two vector clocks: `event` (the
+//! writer's clock at the store — used for coherence/visibility) and
+//! `sync` (the release clock an acquire load joins — empty for relaxed
+//! stores unless a release fence or an RMW release-sequence carries one
+//! forward). A load may read any store that is not superseded: store
+//! `j` supersedes store `i < j` for reader `T` when `j.event ≤
+//! T.clock` (the reader already knows a newer write happened-before
+//! its current state). A per-thread *floor* index per location
+//! enforces per-location coherence (a thread never re-reads an older
+//! store than one it has already observed). RMWs read the latest store
+//! in modification order and append immediately after it.
+//!
+//! Modification order is identified with execution (append) order, and
+//! `SeqCst` is modeled as `AcqRel`: there is **no** single total order
+//! over SeqCst operations beyond per-location coherence. The model is
+//! therefore sound for release/acquire reasoning but cannot prove
+//! SeqCst-dependent algorithms (e.g. Dekker/store-buffering) correct —
+//! see the litmus tests, which demonstrate the weak behavior is
+//! explored.
+//!
+//! # Scheduling
+//!
+//! The controller serializes model threads: exactly one thread runs
+//! real code at a time (plus just-spawned threads racing to their
+//! first shim operation). At each step every live thread is either
+//! waiting for a grant, blocked, or finished; the controller picks the
+//! next thread to step with a DFS decision. Context switches away from
+//! a still-enabled thread are *preemptions* and bounded by
+//! [`Checker::preemption_bound`] (CHESS-style iterative context
+//! bounding); switches away from a blocked/finished thread are free.
+//! Load-value choices and `notify_one` victim choices are additional
+//! decision points, always fully enumerated. Fully-explored scheduling
+//! states are memoized by hash so structurally identical states
+//! reached along different prefixes are pruned.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+use super::clock::VClock;
+use super::shim;
+
+/// Memory orderings as seen by the model (mapped from `std`'s enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum MemOrd {
+    /// `Ordering::Relaxed`
+    Relaxed,
+    /// `Ordering::Acquire`
+    Acquire,
+    /// `Ordering::Release`
+    Release,
+    /// `Ordering::AcqRel`
+    AcqRel,
+    /// `Ordering::SeqCst` — modeled as `AcqRel` (documented limitation).
+    SeqCst,
+}
+
+impl MemOrd {
+    pub(crate) fn from_std(o: std::sync::atomic::Ordering) -> Self {
+        use std::sync::atomic::Ordering as O;
+        match o {
+            O::Relaxed => MemOrd::Relaxed,
+            O::Acquire => MemOrd::Acquire,
+            O::Release => MemOrd::Release,
+            O::AcqRel => MemOrd::AcqRel,
+            O::SeqCst => MemOrd::SeqCst,
+            _ => MemOrd::SeqCst,
+        }
+    }
+
+    fn acq(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    fn rel(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+}
+
+/// Read-modify-write flavors. Arithmetic is carried out in the `u64`
+/// domain; narrower atomics truncate on the way out (shim-side), which
+/// is exact for every protocol in this workspace (no narrow-width
+/// wraparound is relied upon).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Rmw {
+    Add(u64),
+    Sub(u64),
+    And(u64),
+    Or(u64),
+    Max(u64),
+    Min(u64),
+    Swap(u64),
+    Cas { expect: u64, new: u64, fail: MemOrd },
+}
+
+/// One shim operation, as requested by a model thread. `loc`/`lock`/
+/// `cv` keys are the shim object's address; the controller interns
+/// them into stable ids at execution time (never at receipt time, so
+/// interning order stays deterministic under replay).
+pub(crate) enum Op {
+    Load {
+        loc: usize,
+        init: u64,
+        ord: MemOrd,
+    },
+    Store {
+        loc: usize,
+        init: u64,
+        ord: MemOrd,
+        val: u64,
+    },
+    Rmw {
+        loc: usize,
+        init: u64,
+        ord: MemOrd,
+        rmw: Rmw,
+    },
+    Fence {
+        ord: MemOrd,
+    },
+    Lock {
+        lock: usize,
+    },
+    Unlock {
+        lock: usize,
+    },
+    CvWait {
+        cv: usize,
+        lock: usize,
+    },
+    CvNotify {
+        cv: usize,
+        all: bool,
+    },
+    RwRead {
+        lock: usize,
+    },
+    RwWrite {
+        lock: usize,
+    },
+    RwUnlockRead {
+        lock: usize,
+    },
+    RwUnlockWrite {
+        lock: usize,
+    },
+    Spawn {
+        name: Option<String>,
+        resp_tx: Sender<Resp>,
+    },
+    Join {
+        target: usize,
+    },
+    /// Controller-internal: a woken condvar waiter re-acquiring its
+    /// mutex. `lock` is a *stable id*, not an address.
+    Reacquire {
+        lock: usize,
+    },
+}
+
+impl Op {
+    fn kind_code(&self) -> u8 {
+        match self {
+            Op::Load { .. } => 1,
+            Op::Store { .. } => 2,
+            Op::Rmw { .. } => 3,
+            Op::Fence { .. } => 4,
+            Op::Lock { .. } => 5,
+            Op::Unlock { .. } => 6,
+            Op::CvWait { .. } => 7,
+            Op::CvNotify { .. } => 8,
+            Op::RwRead { .. } => 9,
+            Op::RwWrite { .. } => 10,
+            Op::RwUnlockRead { .. } => 11,
+            Op::RwUnlockWrite { .. } => 12,
+            Op::Spawn { .. } => 13,
+            Op::Join { .. } => 14,
+            Op::Reacquire { .. } => 15,
+        }
+    }
+}
+
+/// Client → controller messages.
+pub(crate) enum Msg {
+    Req { tid: usize, op: Op },
+    Done { tid: usize, panic: Option<String> },
+}
+
+/// Controller → client responses.
+pub(crate) enum Resp {
+    /// Proceed (stores, fences, lock ops, joins, notifies).
+    Go,
+    /// A loaded value, or a spawned child's tid.
+    Val(u64),
+    /// RMW result: previous value and (for CAS) success.
+    RmwDone { old: u64, ok: bool },
+    /// The execution is being torn down; unwind via `AbortUnwind`.
+    Abort,
+}
+
+/// Exhaustive-schedule explorer with CHESS-style bounded preemption.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    /// Maximum number of preemptive context switches per execution
+    /// (switches away from a blocked thread are free).
+    pub preemption_bound: usize,
+    /// Hard cap on explored executions; exceeding it yields
+    /// `complete: false` without a failure.
+    pub max_executions: u64,
+    /// Per-execution operation cap; exceeding it is reported as
+    /// [`FailureKind::OpLimit`] (usually a livelock/spin loop).
+    pub max_ops_per_exec: usize,
+    /// Maximum live model threads per execution.
+    pub max_threads: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: 3,
+            max_executions: 500_000,
+            max_ops_per_exec: 20_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// What the explorer found.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Scenario name, as passed to `explore`.
+    pub name: String,
+    /// Number of complete executions run.
+    pub executions: u64,
+    /// Scheduling subtrees cut by the seen-state memo.
+    pub pruned: u64,
+    /// True if the DFS exhausted every schedule within the bounds.
+    pub complete: bool,
+    /// The first failing execution, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Outcome {
+    /// True when exploration finished with no failing execution.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// One-paragraph human summary (used by drivers and CI output).
+    pub fn summary(&self) -> String {
+        match &self.failure {
+            None => format!(
+                "{}: PASS — {} executions explored ({} pruned, {})",
+                self.name,
+                self.executions,
+                self.pruned,
+                if self.complete {
+                    "exhaustive"
+                } else {
+                    "bounded by execution cap"
+                },
+            ),
+            Some(f) => {
+                let mut s = format!(
+                    "{}: FAIL after {} executions — {}\n  last {} ops of failing schedule:\n",
+                    self.name,
+                    self.executions,
+                    f.describe(),
+                    f.trace.len().min(40),
+                );
+                let skip = f.trace.len().saturating_sub(40);
+                for line in f.trace.iter().skip(skip) {
+                    s.push_str("    ");
+                    s.push_str(line);
+                    s.push('\n');
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A failing execution: the failure class plus the trailing op log of
+/// the schedule that produced it.
+#[derive(Debug)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Op-by-op log of the failing schedule (bounded length).
+    pub trace: Vec<String>,
+}
+
+impl Failure {
+    fn describe(&self) -> String {
+        match &self.kind {
+            FailureKind::Panic { thread, message } => {
+                format!("thread '{thread}' panicked: {message}")
+            }
+            FailureKind::Deadlock { blocked } => {
+                format!("deadlock; blocked threads: [{}]", blocked.join(", "))
+            }
+            FailureKind::OpLimit => "per-execution op limit exceeded (livelock?)".into(),
+            FailureKind::ThreadLimit => "model thread limit exceeded".into(),
+            FailureKind::Stalled => "a model thread stopped responding (internal error)".into(),
+        }
+    }
+}
+
+/// Failure classes the explorer can report.
+#[derive(Debug)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure in the driver or in
+    /// the checked protocol itself).
+    Panic {
+        /// Name of the panicking thread.
+        thread: String,
+        /// Panic payload, if it was a string.
+        message: String,
+    },
+    /// Every live thread is blocked and nothing can make progress —
+    /// this is how lost wakeups surface.
+    Deadlock {
+        /// Human description of each blocked thread.
+        blocked: Vec<String>,
+    },
+    /// The execution exceeded `max_ops_per_exec`.
+    OpLimit,
+    /// The execution exceeded `max_threads`.
+    ThreadLimit,
+    /// A model thread neither requested an op nor finished (bug in the
+    /// checker or a thread blocked outside the facade).
+    Stalled,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeKind {
+    Sched,
+    Value,
+    /// A scheduling point whose state was already fully explored with
+    /// at least the current preemption budget; recorded in the path so
+    /// replays stay aligned without re-consulting the (growing) memo.
+    Pruned,
+}
+
+struct Node {
+    kind: NodeKind,
+    taken: usize,
+    options: usize,
+    state_hash: u64,
+    budget_left: usize,
+}
+
+/// DFS-by-replay bookkeeping shared across the executions of one
+/// exploration.
+struct Dfs {
+    path: Vec<Node>,
+    cursor: usize,
+    /// state hash → largest preemption budget whose subtree from that
+    /// state has been fully explored.
+    closed: HashMap<u64, usize>,
+    pruned: u64,
+}
+
+impl Dfs {
+    fn new() -> Self {
+        Dfs {
+            path: Vec::new(),
+            cursor: 0,
+            closed: HashMap::new(),
+            pruned: 0,
+        }
+    }
+
+    fn replaying(&self) -> bool {
+        self.cursor < self.path.len()
+    }
+
+    /// A value decision (load candidate, notify victim): always fully
+    /// enumerated, never pruned.
+    fn next_value(&mut self, options: usize) -> usize {
+        if self.replaying() {
+            let n = &self.path[self.cursor];
+            assert!(
+                n.kind == NodeKind::Value && n.options == options,
+                "nondeterministic replay at value decision {} ({:?}/{} vs Value/{})",
+                self.cursor,
+                n.kind,
+                n.options,
+                options
+            );
+            self.cursor += 1;
+            n.taken
+        } else {
+            self.path.push(Node {
+                kind: NodeKind::Value,
+                taken: 0,
+                options,
+                state_hash: 0,
+                budget_left: 0,
+            });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// A scheduling decision among `options` enabled threads.
+    /// `state_hash` is computed lazily (only when extending fresh).
+    fn next_sched(
+        &mut self,
+        options: usize,
+        budget_left: usize,
+        state_hash: impl FnOnce() -> u64,
+    ) -> usize {
+        if self.replaying() {
+            let n = &self.path[self.cursor];
+            assert!(
+                matches!(n.kind, NodeKind::Sched | NodeKind::Pruned)
+                    && (n.kind == NodeKind::Pruned || n.options == options),
+                "nondeterministic replay at sched decision {} ({:?}/{} vs Sched/{})",
+                self.cursor,
+                n.kind,
+                n.options,
+                options
+            );
+            self.cursor += 1;
+            n.taken
+        } else {
+            let h = state_hash();
+            let kind = if self.closed.get(&h).is_some_and(|b| *b >= budget_left) {
+                self.pruned += 1;
+                NodeKind::Pruned
+            } else {
+                NodeKind::Sched
+            };
+            let options = if kind == NodeKind::Pruned { 1 } else { options };
+            self.path.push(Node {
+                kind,
+                taken: 0,
+                options,
+                state_hash: h,
+                budget_left,
+            });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    /// Backtrack to the deepest decision with an untaken alternative.
+    /// Returns false when the whole tree is exhausted. Fully-explored
+    /// `Sched` nodes close their state hash in the memo on the way out.
+    fn advance(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            if last.taken + 1 < last.options {
+                last.taken += 1;
+                self.cursor = 0;
+                return true;
+            }
+            if last.kind == NodeKind::Sched {
+                let e = self.closed.entry(last.state_hash).or_insert(0);
+                if last.budget_left > *e {
+                    *e = last.budget_left;
+                }
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+#[derive(Debug)]
+enum Status {
+    /// Executing real code; the controller is waiting for its next
+    /// message.
+    Running,
+    /// Has requested an op and is parked awaiting the grant.
+    Pending(OpSlot),
+    /// Parked in a condvar wait (released its mutex, no response sent
+    /// yet). `lock` is the stable id to re-acquire on wakeup.
+    InCvWait {
+        cv: usize,
+        lock: usize,
+    },
+    Done,
+}
+
+/// Newtype so `Status` can derive Debug without `Op: Debug` (Op holds
+/// a channel sender).
+struct OpSlot(Op);
+
+impl std::fmt::Debug for OpSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op#{}", self.0.kind_code())
+    }
+}
+
+struct Thr {
+    name: String,
+    clock: VClock,
+    /// Union of the sync clocks of every store this thread has read —
+    /// an acquire *fence* retroactively upgrades prior relaxed loads
+    /// by joining this.
+    racq: VClock,
+    /// Clock at the last release fence, if any: subsequent relaxed
+    /// stores carry it as their sync clock.
+    rel_fence: Option<VClock>,
+    status: Status,
+    /// Rolling hash of observed load values (distinguishes states
+    /// whose divergence lives in thread-local control flow).
+    obs: u64,
+    final_clock: VClock,
+    panic: Option<String>,
+    resp_tx: Sender<Resp>,
+}
+
+struct StoreRec {
+    val: u64,
+    event: VClock,
+    sync: VClock,
+}
+
+struct Loc {
+    stores: Vec<StoreRec>,
+    /// Per-thread coherence floor: index of the newest store each
+    /// thread has observed (it may never read older).
+    floor: Vec<usize>,
+}
+
+struct LockSt {
+    owner: Option<usize>,
+    clock: VClock,
+}
+
+struct CvSt {
+    waiters: Vec<usize>,
+}
+
+struct RwSt {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+    rclock: VClock,
+    wclock: VClock,
+}
+
+fn mix(h: u64, a: u64, b: u64) -> u64 {
+    let mut x = h ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const LOG_CAP: usize = 600;
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Exec<'c> {
+    cfg: &'c Checker,
+    threads: Vec<Thr>,
+    req_rx: Receiver<Msg>,
+    locs: Vec<Loc>,
+    loc_ids: HashMap<usize, usize>,
+    locks: Vec<LockSt>,
+    lock_ids: HashMap<usize, usize>,
+    cvs: Vec<CvSt>,
+    cv_ids: HashMap<usize, usize>,
+    rws: Vec<RwSt>,
+    rw_ids: HashMap<usize, usize>,
+    ops: usize,
+    preemptions: usize,
+    last_run: usize,
+    log: Vec<String>,
+}
+
+impl<'c> Exec<'c> {
+    fn new(cfg: &'c Checker, req_rx: Receiver<Msg>, t0_resp: Sender<Resp>) -> Self {
+        Exec {
+            cfg,
+            threads: vec![Thr {
+                name: "main".into(),
+                clock: VClock::new(),
+                racq: VClock::new(),
+                rel_fence: None,
+                status: Status::Running,
+                obs: 0,
+                final_clock: VClock::new(),
+                panic: None,
+                resp_tx: t0_resp,
+            }],
+            req_rx,
+            locs: Vec::new(),
+            loc_ids: HashMap::new(),
+            locks: Vec::new(),
+            lock_ids: HashMap::new(),
+            cvs: Vec::new(),
+            cv_ids: HashMap::new(),
+            rws: Vec::new(),
+            rw_ids: HashMap::new(),
+            ops: 0,
+            preemptions: 0,
+            last_run: 0,
+            log: Vec::new(),
+        }
+    }
+
+    fn log_op(&mut self, t: usize, desc: String) {
+        if self.log.len() >= LOG_CAP {
+            self.log.drain(..LOG_CAP / 4);
+        }
+        self.log.push(format!("{}: {desc}", self.threads[t].name));
+    }
+
+    fn fail(&mut self, kind: FailureKind) -> Failure {
+        Failure {
+            kind,
+            trace: std::mem::take(&mut self.log),
+        }
+    }
+
+    fn respond(&self, t: usize, r: Resp) {
+        let _ = self.threads[t].resp_tx.send(r);
+    }
+
+    fn finish_thread(&mut self, tid: usize, panic: Option<String>) {
+        let thr = &mut self.threads[tid];
+        thr.final_clock = thr.clock.clone();
+        thr.panic = panic;
+        thr.status = Status::Done;
+    }
+
+    fn loc_id(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.loc_ids.get(&addr) {
+            return id;
+        }
+        let id = self.locs.len();
+        self.loc_ids.insert(addr, id);
+        self.locs.push(Loc {
+            stores: vec![StoreRec {
+                val: init,
+                event: VClock::new(),
+                sync: VClock::new(),
+            }],
+            floor: Vec::new(),
+        });
+        id
+    }
+
+    fn lock_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.lock_ids.get(&addr) {
+            return id;
+        }
+        let id = self.locks.len();
+        self.lock_ids.insert(addr, id);
+        self.locks.push(LockSt {
+            owner: None,
+            clock: VClock::new(),
+        });
+        id
+    }
+
+    fn cv_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.cv_ids.get(&addr) {
+            return id;
+        }
+        let id = self.cvs.len();
+        self.cv_ids.insert(addr, id);
+        self.cvs.push(CvSt {
+            waiters: Vec::new(),
+        });
+        id
+    }
+
+    fn rw_id(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.rw_ids.get(&addr) {
+            return id;
+        }
+        let id = self.rws.len();
+        self.rw_ids.insert(addr, id);
+        self.rws.push(RwSt {
+            readers: Vec::new(),
+            writer: None,
+            rclock: VClock::new(),
+            wclock: VClock::new(),
+        });
+        id
+    }
+
+    /// Enabledness of a pending op given current model state. Ops on
+    /// never-interned locks are trivially enabled (the lock is free).
+    fn op_enabled(&self, op: &Op) -> bool {
+        match op {
+            Op::Lock { lock } => self
+                .lock_ids
+                .get(lock)
+                .is_none_or(|&l| self.locks[l].owner.is_none()),
+            Op::Reacquire { lock } => self.locks[*lock].owner.is_none(),
+            Op::Join { target } => matches!(self.threads[*target].status, Status::Done),
+            Op::RwRead { lock } => self
+                .rw_ids
+                .get(lock)
+                .is_none_or(|&l| self.rws[l].writer.is_none()),
+            Op::RwWrite { lock } => self
+                .rw_ids
+                .get(lock)
+                .is_none_or(|&l| self.rws[l].writer.is_none() && self.rws[l].readers.is_empty()),
+            _ => true,
+        }
+    }
+
+    fn enabled_threads(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, thr)| match &thr.status {
+                Status::Pending(op) => self.op_enabled(&op.0),
+                _ => false,
+            })
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    fn hash_op(&self, op: &Op, h: &mut DefaultHasher) {
+        op.kind_code().hash(h);
+        let map_loc = |ids: &HashMap<usize, usize>, a: &usize| -> u64 {
+            ids.get(a).map(|&i| i as u64).unwrap_or(u64::MAX)
+        };
+        match op {
+            Op::Load { loc, ord, .. } => {
+                map_loc(&self.loc_ids, loc).hash(h);
+                ord.hash(h);
+            }
+            Op::Store { loc, ord, val, .. } => {
+                map_loc(&self.loc_ids, loc).hash(h);
+                ord.hash(h);
+                val.hash(h);
+            }
+            Op::Rmw { loc, ord, rmw, .. } => {
+                map_loc(&self.loc_ids, loc).hash(h);
+                ord.hash(h);
+                // Discriminant + operand is enough to distinguish RMWs.
+                std::mem::discriminant(rmw).hash(h);
+                match *rmw {
+                    Rmw::Add(v)
+                    | Rmw::Sub(v)
+                    | Rmw::And(v)
+                    | Rmw::Or(v)
+                    | Rmw::Max(v)
+                    | Rmw::Min(v)
+                    | Rmw::Swap(v) => v.hash(h),
+                    Rmw::Cas { expect, new, fail } => {
+                        expect.hash(h);
+                        new.hash(h);
+                        fail.hash(h);
+                    }
+                }
+            }
+            Op::Fence { ord } => ord.hash(h),
+            Op::Lock { lock } | Op::Unlock { lock } => map_loc(&self.lock_ids, lock).hash(h),
+            Op::Reacquire { lock } => (*lock as u64).hash(h),
+            Op::CvWait { cv, lock } => {
+                map_loc(&self.cv_ids, cv).hash(h);
+                map_loc(&self.lock_ids, lock).hash(h);
+            }
+            Op::CvNotify { cv, all } => {
+                map_loc(&self.cv_ids, cv).hash(h);
+                all.hash(h);
+            }
+            Op::RwRead { lock }
+            | Op::RwWrite { lock }
+            | Op::RwUnlockRead { lock }
+            | Op::RwUnlockWrite { lock } => map_loc(&self.rw_ids, lock).hash(h),
+            Op::Spawn { name, .. } => name.hash(h),
+            Op::Join { target } => target.hash(h),
+        }
+    }
+
+    /// Hash of the full scheduling-relevant model state. Used only for
+    /// memoized pruning; a collision can (unsoundly) prune a distinct
+    /// state, which is the standard state-hashing trade-off and is why
+    /// mutant fixtures gate the checker itself in CI.
+    fn state_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.last_run.hash(&mut h);
+        for thr in &self.threads {
+            match &thr.status {
+                Status::Running => 0u8.hash(&mut h),
+                Status::Pending(op) => {
+                    1u8.hash(&mut h);
+                    self.hash_op(&op.0, &mut h);
+                }
+                Status::InCvWait { cv, lock } => {
+                    2u8.hash(&mut h);
+                    cv.hash(&mut h);
+                    lock.hash(&mut h);
+                }
+                Status::Done => 3u8.hash(&mut h),
+            }
+            thr.clock.hash(&mut h);
+            thr.racq.hash(&mut h);
+            thr.rel_fence.hash(&mut h);
+            thr.obs.hash(&mut h);
+        }
+        for loc in &self.locs {
+            loc.stores.len().hash(&mut h);
+            for s in &loc.stores {
+                s.val.hash(&mut h);
+                s.event.hash(&mut h);
+                s.sync.hash(&mut h);
+            }
+            loc.floor.hash(&mut h);
+        }
+        for l in &self.locks {
+            l.owner.hash(&mut h);
+            l.clock.hash(&mut h);
+        }
+        for cv in &self.cvs {
+            cv.waiters.hash(&mut h);
+        }
+        for rw in &self.rws {
+            rw.readers.hash(&mut h);
+            rw.writer.hash(&mut h);
+            rw.rclock.hash(&mut h);
+            rw.wclock.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Read one store of location `lid` for thread `t`, branching the
+    /// DFS over every coherence-allowed candidate.
+    fn read(&mut self, t: usize, lid: usize, ord: MemOrd, dfs: &mut Dfs) -> u64 {
+        let thr_clock = self.threads[t].clock.clone();
+        let loc = &mut self.locs[lid];
+        if loc.floor.len() <= t {
+            loc.floor.resize(t + 1, 0);
+        }
+        let start = loc.floor[t];
+        let mut lo = start;
+        for j in start..loc.stores.len() {
+            if loc.stores[j].event.leq(&thr_clock) {
+                lo = j;
+            }
+        }
+        let n = loc.stores.len() - lo;
+        let pick = if n == 1 { 0 } else { dfs.next_value(n) };
+        let idx = lo + pick;
+        loc.floor[t] = idx;
+        let val = loc.stores[idx].val;
+        let sync = loc.stores[idx].sync.clone();
+        let thr = &mut self.threads[t];
+        thr.racq.join(&sync);
+        if ord.acq() {
+            thr.clock.join(&sync);
+        }
+        thr.obs = mix(thr.obs, lid as u64, val);
+        val
+    }
+
+    /// Append a store to `lid`'s modification order. `carry_sync`
+    /// continues a release sequence through RMWs.
+    fn write(&mut self, t: usize, lid: usize, ord: MemOrd, val: u64, carry_sync: Option<&VClock>) {
+        let thr = &mut self.threads[t];
+        thr.clock.tick(t);
+        let mut sync = if ord.rel() {
+            thr.clock.clone()
+        } else if let Some(fc) = &thr.rel_fence {
+            fc.clone()
+        } else {
+            VClock::new()
+        };
+        if let Some(cs) = carry_sync {
+            sync.join(cs);
+        }
+        let event = thr.clock.clone();
+        let loc = &mut self.locs[lid];
+        loc.stores.push(StoreRec { val, event, sync });
+        if loc.floor.len() <= t {
+            loc.floor.resize(t + 1, 0);
+        }
+        loc.floor[t] = loc.stores.len() - 1;
+    }
+
+    /// RMW: reads the latest store in modification order, appends the
+    /// new value right after it (atomicity), and continues the release
+    /// sequence of the store it read.
+    fn rmw(&mut self, t: usize, lid: usize, ord: MemOrd, rmw: Rmw) -> (u64, bool) {
+        let idx = self.locs[lid].stores.len() - 1;
+        let old = self.locs[lid].stores[idx].val;
+        let read_sync = self.locs[lid].stores[idx].sync.clone();
+        let (newv, writes, acq_ord) = match rmw {
+            Rmw::Add(v) => (old.wrapping_add(v), true, ord),
+            Rmw::Sub(v) => (old.wrapping_sub(v), true, ord),
+            Rmw::And(v) => (old & v, true, ord),
+            Rmw::Or(v) => (old | v, true, ord),
+            Rmw::Max(v) => (old.max(v), true, ord),
+            Rmw::Min(v) => (old.min(v), true, ord),
+            Rmw::Swap(v) => (v, true, ord),
+            Rmw::Cas { expect, new, fail } => {
+                if old == expect {
+                    (new, true, ord)
+                } else {
+                    (old, false, fail)
+                }
+            }
+        };
+        {
+            let loc = &mut self.locs[lid];
+            if loc.floor.len() <= t {
+                loc.floor.resize(t + 1, 0);
+            }
+            loc.floor[t] = idx;
+            let thr = &mut self.threads[t];
+            thr.racq.join(&read_sync);
+            if acq_ord.acq() {
+                thr.clock.join(&read_sync);
+            }
+            thr.obs = mix(thr.obs, lid as u64, old);
+        }
+        if writes {
+            self.write(t, lid, ord, newv, Some(&read_sync));
+        }
+        (old, writes || !matches!(rmw, Rmw::Cas { .. }))
+    }
+
+    /// Pick the thread to step next (the scheduling decision).
+    fn pick_thread(&mut self, enabled: &[usize], dfs: &mut Dfs) -> usize {
+        let budget_left = self.cfg.preemption_bound.saturating_sub(self.preemptions);
+        let last_enabled = enabled.contains(&self.last_run);
+        let opts: Vec<usize> = if last_enabled {
+            if budget_left == 0 {
+                vec![self.last_run]
+            } else {
+                std::iter::once(self.last_run)
+                    .chain(enabled.iter().copied().filter(|&t| t != self.last_run))
+                    .collect()
+            }
+        } else {
+            enabled.to_vec()
+        };
+        let idx = if opts.len() == 1 {
+            0
+        } else {
+            dfs.next_sched(opts.len(), budget_left, || self.state_hash())
+        };
+        let t = opts[idx];
+        if last_enabled && t != self.last_run {
+            self.preemptions += 1;
+        }
+        self.last_run = t;
+        t
+    }
+
+    /// Execute thread `t`'s pending op, respond, and update its status.
+    fn exec_op(&mut self, t: usize, dfs: &mut Dfs) -> Result<(), Failure> {
+        self.ops += 1;
+        let op = match std::mem::replace(&mut self.threads[t].status, Status::Running) {
+            Status::Pending(OpSlot(op)) => op,
+            other => unreachable!("exec_op on non-pending thread ({other:?})"),
+        };
+        match op {
+            Op::Load { loc, init, ord } => {
+                let lid = self.loc_id(loc, init);
+                let val = self.read(t, lid, ord, dfs);
+                self.log_op(t, format!("load a{lid} ({ord:?}) -> {val}"));
+                self.respond(t, Resp::Val(val));
+            }
+            Op::Store {
+                loc,
+                init,
+                ord,
+                val,
+            } => {
+                let lid = self.loc_id(loc, init);
+                self.write(t, lid, ord, val, None);
+                self.log_op(t, format!("store a{lid} = {val} ({ord:?})"));
+                self.respond(t, Resp::Go);
+            }
+            Op::Rmw {
+                loc,
+                init,
+                ord,
+                rmw,
+            } => {
+                let lid = self.loc_id(loc, init);
+                let (old, ok) = self.rmw(t, lid, ord, rmw);
+                self.log_op(
+                    t,
+                    format!("rmw a{lid} ({ord:?}) {rmw:?} -> old {old} ok {ok}"),
+                );
+                self.respond(t, Resp::RmwDone { old, ok });
+            }
+            Op::Fence { ord } => {
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                if ord.acq() {
+                    let r = thr.racq.clone();
+                    thr.clock.join(&r);
+                }
+                if ord.rel() {
+                    thr.rel_fence = Some(thr.clock.clone());
+                }
+                self.log_op(t, format!("fence ({ord:?})"));
+                self.respond(t, Resp::Go);
+            }
+            Op::Lock { lock } => {
+                let lid = self.lock_id(lock);
+                debug_assert!(self.locks[lid].owner.is_none());
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                thr.clock.join(&self.locks[lid].clock);
+                self.locks[lid].owner = Some(t);
+                self.log_op(t, format!("lock m{lid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::Unlock { lock } => {
+                let lid = self.lock_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                self.locks[lid].clock = thr.clock.clone();
+                self.locks[lid].owner = None;
+                self.log_op(t, format!("unlock m{lid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::CvWait { cv, lock } => {
+                let cvid = self.cv_id(cv);
+                let lid = self.lock_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                self.locks[lid].clock = thr.clock.clone();
+                self.locks[lid].owner = None;
+                self.cvs[cvid].waiters.push(t);
+                self.threads[t].status = Status::InCvWait {
+                    cv: cvid,
+                    lock: lid,
+                };
+                self.log_op(t, format!("cv-wait c{cvid} (released m{lid})"));
+                // No response: the thread stays parked until notified
+                // and re-granted the mutex.
+            }
+            Op::CvNotify { cv, all } => {
+                let cvid = self.cv_id(cv);
+                let nwait = self.cvs[cvid].waiters.len();
+                let woken: Vec<usize> = if nwait == 0 {
+                    Vec::new()
+                } else if all {
+                    std::mem::take(&mut self.cvs[cvid].waiters)
+                } else {
+                    let pick = if nwait == 1 { 0 } else { dfs.next_value(nwait) };
+                    vec![self.cvs[cvid].waiters.remove(pick)]
+                };
+                for w in &woken {
+                    let lid = match self.threads[*w].status {
+                        Status::InCvWait { lock, .. } => lock,
+                        ref other => unreachable!("woken thread not in cv-wait ({other:?})"),
+                    };
+                    self.threads[*w].status = Status::Pending(OpSlot(Op::Reacquire { lock: lid }));
+                }
+                self.threads[t].clock.tick(t);
+                self.log_op(
+                    t,
+                    format!(
+                        "cv-notify{} c{cvid} (woke {:?})",
+                        if all { "-all" } else { "-one" },
+                        woken
+                    ),
+                );
+                self.respond(t, Resp::Go);
+            }
+            Op::Reacquire { lock: lid } => {
+                debug_assert!(self.locks[lid].owner.is_none());
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                thr.clock.join(&self.locks[lid].clock);
+                self.locks[lid].owner = Some(t);
+                self.log_op(t, format!("cv-wake reacquire m{lid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::RwRead { lock } => {
+                let rid = self.rw_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                thr.clock.join(&self.rws[rid].wclock);
+                self.rws[rid].readers.push(t);
+                self.log_op(t, format!("rw-read r{rid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::RwUnlockRead { lock } => {
+                let rid = self.rw_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                let c = thr.clock.clone();
+                self.rws[rid].rclock.join(&c);
+                self.rws[rid].readers.retain(|&r| r != t);
+                self.log_op(t, format!("rw-unread r{rid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::RwWrite { lock } => {
+                let rid = self.rw_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                thr.clock.join(&self.rws[rid].wclock);
+                thr.clock.join(&self.rws[rid].rclock);
+                self.rws[rid].writer = Some(t);
+                self.log_op(t, format!("rw-write r{rid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::RwUnlockWrite { lock } => {
+                let rid = self.rw_id(lock);
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                self.rws[rid].wclock = thr.clock.clone();
+                self.rws[rid].writer = None;
+                self.log_op(t, format!("rw-unwrite r{rid}"));
+                self.respond(t, Resp::Go);
+            }
+            Op::Spawn { name, resp_tx } => {
+                if self.threads.len() >= self.cfg.max_threads {
+                    self.abort_all();
+                    return Err(self.fail(FailureKind::ThreadLimit));
+                }
+                let child = self.threads.len();
+                let cname = name.unwrap_or_else(|| format!("t{child}"));
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                let cclock = thr.clock.clone();
+                self.threads.push(Thr {
+                    name: cname.clone(),
+                    clock: cclock,
+                    racq: VClock::new(),
+                    rel_fence: None,
+                    status: Status::Running,
+                    obs: 0,
+                    final_clock: VClock::new(),
+                    panic: None,
+                    resp_tx,
+                });
+                self.log_op(t, format!("spawn t{child} '{cname}'"));
+                self.respond(t, Resp::Val(child as u64));
+            }
+            Op::Join { target } => {
+                debug_assert!(matches!(self.threads[target].status, Status::Done));
+                let fc = self.threads[target].final_clock.clone();
+                let thr = &mut self.threads[t];
+                thr.clock.tick(t);
+                thr.clock.join(&fc);
+                self.log_op(t, format!("join t{target}"));
+                self.respond(t, Resp::Go);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear the execution down: unwind every live model thread and
+    /// drain messages until all are done (so OS threads exit before
+    /// the next execution starts).
+    fn abort_all(&mut self) {
+        for t in 0..self.threads.len() {
+            match self.threads[t].status {
+                Status::Pending(_) | Status::InCvWait { .. } => self.respond(t, Resp::Abort),
+                Status::Running | Status::Done => {}
+            }
+        }
+        while self
+            .threads
+            .iter()
+            .any(|t| !matches!(t.status, Status::Done))
+        {
+            match self.req_rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(Msg::Req { tid, .. }) => self.respond(tid, Resp::Abort),
+                Ok(Msg::Done { tid, .. }) => {
+                    let thr = &mut self.threads[tid];
+                    thr.status = Status::Done;
+                }
+                // A thread stopped responding during teardown; give up
+                // rather than hang (its scope join may still block).
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn control(&mut self, dfs: &mut Dfs) -> Result<(), Failure> {
+        loop {
+            // Quiescence: wait until no thread is executing real code,
+            // so the enabled set is complete and deterministic.
+            while self
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Running))
+            {
+                match self.req_rx.recv_timeout(RECV_TIMEOUT) {
+                    Ok(Msg::Req { tid, op }) => {
+                        self.threads[tid].status = Status::Pending(OpSlot(op));
+                    }
+                    Ok(Msg::Done { tid, panic }) => self.finish_thread(tid, panic),
+                    Err(_) => {
+                        self.abort_all();
+                        return Err(self.fail(FailureKind::Stalled));
+                    }
+                }
+            }
+            if let Some((tid, msg)) = self
+                .threads
+                .iter()
+                .enumerate()
+                .find_map(|(i, t)| t.panic.clone().map(|m| (i, m)))
+            {
+                let thread = self.threads[tid].name.clone();
+                self.abort_all();
+                return Err(self.fail(FailureKind::Panic {
+                    thread,
+                    message: msg,
+                }));
+            }
+            if self
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Done))
+            {
+                return Ok(());
+            }
+            let enabled = self.enabled_threads();
+            if enabled.is_empty() {
+                let blocked: Vec<String> = self
+                    .threads
+                    .iter()
+                    .filter(|t| !matches!(t.status, Status::Done))
+                    .map(|t| format!("{} ({:?})", t.name, t.status))
+                    .collect();
+                self.abort_all();
+                return Err(self.fail(FailureKind::Deadlock { blocked }));
+            }
+            if self.ops >= self.cfg.max_ops_per_exec {
+                self.abort_all();
+                return Err(self.fail(FailureKind::OpLimit));
+            }
+            let t = self.pick_thread(&enabled, dfs);
+            self.exec_op(t, dfs)?;
+        }
+    }
+}
+
+fn run_one(cfg: &Checker, dfs: &mut Dfs, f: &(dyn Fn() + Sync)) -> Result<(), Failure> {
+    let (req_tx, req_rx) = std::sync::mpsc::channel::<Msg>();
+    let (t0_tx, t0_rx) = std::sync::mpsc::channel::<Resp>();
+    let mut ex = Exec::new(cfg, req_rx, t0_tx);
+    std::thread::scope(|s| {
+        let ctx = shim::ClientCtx {
+            tid: 0,
+            req_tx,
+            resp_rx: t0_rx,
+        };
+        s.spawn(move || shim::run_model_thread(ctx, f, |_| {}));
+        ex.control(dfs)
+    })
+}
+
+/// Run the bounded-preemption DFS over `f`'s interleavings.
+///
+/// `f` is re-executed once per explored schedule and must therefore
+/// construct all protocol state it asserts on *inside* the closure
+/// (shim statics are fine: model writes never leak into the fallback
+/// value, so each execution sees the same initial state). Every thread
+/// `f` spawns through the facade must terminate before `f`'s threads
+/// are all done, or the execution reports a deadlock.
+pub(crate) fn explore_impl(cfg: &Checker, name: &str, f: &(dyn Fn() + Sync)) -> Outcome {
+    let mut dfs = Dfs::new();
+    let mut executions = 0u64;
+    loop {
+        executions += 1;
+        dfs.cursor = 0;
+        if let Err(failure) = run_one(cfg, &mut dfs, f) {
+            return Outcome {
+                name: name.to_string(),
+                executions,
+                pruned: dfs.pruned,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+        if !dfs.advance() {
+            return Outcome {
+                name: name.to_string(),
+                executions,
+                pruned: dfs.pruned,
+                complete: true,
+                failure: None,
+            };
+        }
+        if executions >= cfg.max_executions {
+            return Outcome {
+                name: name.to_string(),
+                executions,
+                pruned: dfs.pruned,
+                complete: false,
+                failure: None,
+            };
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Exhaustive-schedule concurrency model checker (loom-style, std-only).
+//!
+//! [`Checker::explore`] runs a closure under every thread interleaving
+//! reachable within a preemption bound, with a C11-style
+//! release/acquire store-buffer memory model: relaxed loads may return
+//! any coherence-allowed (stale) store, acquire loads synchronize with
+//! release stores, acquire fences upgrade prior relaxed loads, release
+//! fences tag subsequent relaxed stores, and RMWs continue release
+//! sequences. Condition variables have *exact* waiter semantics (no
+//! spurious wakeups), so lost-wakeup bugs surface as model deadlocks.
+//!
+//! # Documented limits
+//!
+//! - **SeqCst is modeled as AcqRel.** There is no single total order
+//!   over SeqCst accesses beyond per-location coherence, so algorithms
+//!   that need it (Dekker, store-buffering) cannot be proven here —
+//!   the litmus tests demonstrate the weak outcome is explored.
+//! - **Modification order = append order** of the explored schedule.
+//! - **Strong CAS only**: spurious `compare_exchange_weak` failures
+//!   are not explored.
+//! - **Non-atomic data races are out of scope** (Miri covers UB); the
+//!   model schedules facade operations only.
+//! - **State hashing** can prune a distinct state on a 64-bit hash
+//!   collision; mutant fixtures in CI gate against the checker itself
+//!   going blind.
+//!
+//! Exploration is process-global-exclusive: a static lock serializes
+//! concurrent `explore` calls (model state for shared statics would
+//! otherwise interleave between controllers).
+
+mod clock;
+mod exec;
+pub mod shim;
+
+pub use exec::{Checker, Failure, FailureKind, Outcome};
+
+use std::sync::{Mutex, Once, PoisonError};
+
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+static PANIC_FILTER: Once = Once::new();
+
+/// Install (once, process-wide) a panic-hook filter that silences the
+/// expected panics of model threads during exploration; all other
+/// threads keep the previous hook's behavior.
+fn install_panic_filter() {
+    PANIC_FILTER.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !shim::in_model_thread() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Checker {
+    /// Explore every schedule of `f` within the configured bounds.
+    ///
+    /// `f` runs once per execution as model thread 0; facade
+    /// primitives used inside (including by real protocol code it
+    /// calls) become controller-scheduled ops. All state asserted on
+    /// must be constructed inside the closure or reachable from shim
+    /// statics (whose fallback values double as the per-execution
+    /// initial state).
+    pub fn explore<F>(&self, name: &str, f: F) -> Outcome
+    where
+        F: Fn() + Sync,
+    {
+        let _guard = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install_panic_filter();
+        exec::explore_impl(self, name, &f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::shim::{fence, spawn, AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
+    use super::Checker;
+    use std::sync::Arc;
+
+    fn small() -> Checker {
+        Checker {
+            preemption_bound: 3,
+            ..Checker::default()
+        }
+    }
+
+    /// Message passing with release/acquire must never observe stale
+    /// data; the checker proves it across every schedule.
+    #[test]
+    fn message_passing_release_acquire_passes() {
+        let out = small().explore("mp-rel-acq", || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let w = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data past acquire");
+            }
+            w.join().unwrap();
+        });
+        assert!(out.passed(), "{}", out.summary());
+        assert!(
+            out.complete,
+            "exploration should exhaust: {}",
+            out.summary()
+        );
+    }
+
+    /// Same protocol with a relaxed flag: the store buffer must exhibit
+    /// the stale read, i.e. the checker catches the missing release.
+    #[test]
+    fn message_passing_relaxed_flag_caught() {
+        let out = small().explore("mp-relaxed", || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let w = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed); // BUG: no release
+            });
+            if flag.load(Ordering::Relaxed) {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data read");
+            }
+            w.join().unwrap();
+        });
+        assert!(!out.passed(), "relaxed message passing must be caught");
+    }
+
+    /// An acquire *fence* after a relaxed load upgrades it — the
+    /// seqlock reader's revalidation pattern.
+    #[test]
+    fn acquire_fence_upgrades_relaxed_load() {
+        let out = small().explore("acq-fence", || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let w = spawn(move || {
+                d2.store(7, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Relaxed) {
+                fence(Ordering::Acquire);
+                assert_eq!(data.load(Ordering::Relaxed), 7, "fence failed to upgrade");
+            }
+            w.join().unwrap();
+        });
+        assert!(out.passed(), "{}", out.summary());
+    }
+
+    /// Store buffering: with SeqCst modeled as AcqRel the weak outcome
+    /// (both threads read 0) must be *reachable* — this documents the
+    /// model's SeqCst limitation.
+    #[test]
+    fn store_buffering_weak_outcome_is_explored() {
+        let out = small().explore("sb-weak", || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = spawn(move || {
+                x2.store(1, Ordering::SeqCst);
+                y2.load(Ordering::SeqCst)
+            });
+            x.load(Ordering::SeqCst); // keep op counts symmetric
+            y.store(1, Ordering::SeqCst);
+            let r_main = x.load(Ordering::SeqCst);
+            let r_child = t.join().unwrap();
+            // Under real SeqCst r_main == 0 && r_child == 0 is
+            // impossible; our model reaches it, so this assert fails.
+            assert!(r_main == 1 || r_child == 1, "both zero");
+        });
+        assert!(
+            !out.passed(),
+            "store-buffering weak outcome should be reachable (SeqCst≈AcqRel)"
+        );
+    }
+
+    /// Mutual exclusion: counter increments under a mutex never lose
+    /// updates, across all schedules.
+    #[test]
+    fn mutex_counter_passes() {
+        let out = small().explore("mutex-counter", || {
+            let n = Arc::new(Mutex::new(0u64));
+            let n2 = n.clone();
+            let t = spawn(move || {
+                for _ in 0..2 {
+                    *n2.lock().unwrap() += 1;
+                }
+            });
+            for _ in 0..2 {
+                *n.lock().unwrap() += 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*n.lock().unwrap(), 4);
+        });
+        assert!(out.passed(), "{}", out.summary());
+        assert!(out.complete, "{}", out.summary());
+    }
+
+    /// Unsynchronized load-then-store increments race: the lost update
+    /// must be found (needs one preemption).
+    #[test]
+    fn lost_update_caught() {
+        let out = small().explore("lost-update", || {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            let t = spawn(move || {
+                let v = n2.load(Ordering::Relaxed);
+                n2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = n.load(Ordering::Relaxed);
+            n.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+        });
+        assert!(!out.passed(), "lost update must be caught");
+    }
+
+    /// Correct condvar handshake: flag set + notify under the mutex.
+    /// Passes exhaustively (no lost wakeup possible).
+    #[test]
+    fn condvar_handshake_passes() {
+        let out = small().explore("cv-handshake", || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let t = spawn(move || {
+                let mut done = m2.lock().unwrap();
+                while !*done {
+                    done = cv2.wait(done).unwrap();
+                }
+            });
+            {
+                let mut done = m.lock().unwrap();
+                *done = true;
+                cv.notify_all();
+            }
+            t.join().unwrap();
+        });
+        assert!(out.passed(), "{}", out.summary());
+        assert!(out.complete, "{}", out.summary());
+    }
+
+    /// The PR-4 lost-wakeup class: the waiter checks a flag that is
+    /// set *outside* the mutex, so set+notify can slot between its
+    /// check and its wait. With exact condvar semantics this is a
+    /// deadlock the checker must find.
+    #[test]
+    fn condvar_lost_wakeup_caught() {
+        let out = small().explore("cv-lost-wakeup", || {
+            let m = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let stop = Arc::new(AtomicBool::new(false));
+            let (m2, cv2, stop2) = (m.clone(), cv.clone(), stop.clone());
+            let t = spawn(move || {
+                let mut g = m2.lock().unwrap();
+                while !stop2.load(Ordering::Relaxed) {
+                    g = cv2.wait(g).unwrap(); // BUG: flag not under mutex
+                }
+            });
+            stop.store(true, Ordering::Relaxed);
+            cv.notify_all();
+            t.join().unwrap();
+        });
+        assert!(!out.passed(), "lost wakeup must be caught");
+        assert!(
+            matches!(
+                out.failure.as_ref().map(|f| &f.kind),
+                Some(super::FailureKind::Deadlock { .. })
+            ),
+            "expected deadlock, got: {}",
+            out.summary()
+        );
+    }
+
+    /// Join establishes happens-before: after join, even relaxed loads
+    /// see the child's writes.
+    #[test]
+    fn join_happens_before_passes() {
+        let out = small().explore("join-hb", || {
+            let d = Arc::new(AtomicU64::new(0));
+            let d2 = d.clone();
+            let t = spawn(move || d2.store(9, Ordering::Relaxed));
+            t.join().unwrap();
+            assert_eq!(d.load(Ordering::Relaxed), 9, "join lost the write");
+        });
+        assert!(out.passed(), "{}", out.summary());
+        assert!(out.complete, "{}", out.summary());
+    }
+
+    /// Shims outside an exploration behave exactly like std.
+    #[test]
+    fn fallback_outside_exploration() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.fetch_add(2, Ordering::Relaxed), 5);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        assert_eq!(
+            a.compare_exchange(7, 1, Ordering::AcqRel, Ordering::Relaxed),
+            Ok(7)
+        );
+        let m = Mutex::new(3);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 4);
+        let h = spawn(|| 11u32);
+        assert_eq!(h.join().unwrap(), 11);
+        fence(Ordering::SeqCst);
+    }
+}

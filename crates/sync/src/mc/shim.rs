@@ -1,0 +1,905 @@
+//! Instrumented drop-in replacements for the `std::sync` subset the
+//! workspace uses. Inside an active [`super::Checker::explore`]
+//! execution every operation is a controller-scheduled model op;
+//! outside one, every type falls back to plain `std` semantics (the
+//! shims wrap the real `std` primitives, so a `--cfg smm_model_check`
+//! build still runs ordinary code correctly).
+
+use std::cell::RefCell;
+use std::io;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+use super::exec::{MemOrd, Msg, Op, Resp, Rmw};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::LockResult;
+
+// ---------------------------------------------------------------------------
+// Client context: how a model thread talks to its controller.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct ClientCtx {
+    pub(crate) tid: usize,
+    pub(crate) req_tx: Sender<Msg>,
+    pub(crate) resp_rx: Receiver<Resp>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ClientCtx>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind model threads when the controller
+/// tears an execution down; never reported as a failure.
+pub(crate) struct AbortUnwind;
+
+/// True when the current thread is a registered model thread (used by
+/// the panic-hook filter to silence expected exploration panics).
+pub(crate) fn in_model_thread() -> bool {
+    CTX.try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(true))
+        .unwrap_or(false)
+}
+
+enum Sent {
+    NotModel,
+    Abort,
+    Resp(Resp),
+}
+
+fn send_op(op: Op) -> Sent {
+    CTX.with(|c| {
+        let b = c.borrow();
+        match b.as_ref() {
+            None => Sent::NotModel,
+            Some(ctx) => {
+                if ctx.req_tx.send(Msg::Req { tid: ctx.tid, op }).is_err() {
+                    return Sent::Abort;
+                }
+                match ctx.resp_rx.recv() {
+                    Ok(Resp::Abort) | Err(_) => Sent::Abort,
+                    Ok(r) => Sent::Resp(r),
+                }
+            }
+        }
+    })
+}
+
+/// Perform a model op; `None` when no execution is active. Unwinds on
+/// controller abort — never call from a `Drop` impl (use
+/// [`op_quiet`]).
+pub(crate) fn op(o: Op) -> Option<Resp> {
+    match send_op(o) {
+        Sent::NotModel => None,
+        Sent::Abort => std::panic::panic_any(AbortUnwind),
+        Sent::Resp(r) => Some(r),
+    }
+}
+
+/// Like [`op`], but maps a controller abort to a plain response so it
+/// is safe to call while unwinding (guard `Drop` impls).
+pub(crate) fn op_quiet(o: Op) -> Option<Resp> {
+    match send_op(o) {
+        Sent::NotModel => None,
+        Sent::Abort => Some(Resp::Abort),
+        Sent::Resp(r) => Some(r),
+    }
+}
+
+fn req_tx_clone() -> Option<Sender<Msg>> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.req_tx.clone()))
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Entry point for every model thread (thread 0 and facade-spawned
+/// children): registers the client context, runs the body under
+/// `catch_unwind`, hands the result to `sink` (a `JoinHandle` slot),
+/// and always reports `Done` to the controller.
+pub(crate) fn run_model_thread<R>(
+    ctx: ClientCtx,
+    f: impl FnOnce() -> R,
+    sink: impl FnOnce(std::thread::Result<R>),
+) {
+    let tid = ctx.tid;
+    let tx = ctx.req_tx.clone();
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+    let res = catch_unwind(AssertUnwindSafe(f));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let panic = match &res {
+        Ok(_) => None,
+        Err(p) if p.is::<AbortUnwind>() => None,
+        Err(p) => Some(panic_message(p.as_ref())),
+    };
+    // Store the result before Done so a granted Join always finds it.
+    sink(res);
+    let _ = tx.send(Msg::Done { tid, panic });
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! model_atomic_uint {
+    ($(#[$meta:meta])* $name:ident, $prim:ty) => {
+        $(#[$meta])*
+        ///
+        /// Inside a model execution the fallback (`std`) value is used
+        /// only as the location's initial value; model writes never
+        /// touch it, so every explored execution starts from identical
+        /// state.
+        pub struct $name {
+            raw: std::sync::atomic::$name,
+        }
+
+        impl $name {
+            /// Creates a new atomic with `v` as its initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self { raw: std::sync::atomic::$name::new(v) }
+            }
+
+            fn key(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            fn init(&self) -> u64 {
+                self.raw.load(Ordering::Relaxed) as u64
+            }
+
+            fn do_rmw(&self, rmw: Rmw, ord: Ordering) -> Option<(u64, bool)> {
+                match op(Op::Rmw {
+                    loc: self.key(),
+                    init: self.init(),
+                    ord: MemOrd::from_std(ord),
+                    rmw,
+                })? {
+                    Resp::RmwDone { old, ok } => Some((old, ok)),
+                    _ => unreachable!("rmw response"),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match op(Op::Load {
+                    loc: self.key(),
+                    init: self.init(),
+                    ord: MemOrd::from_std(ord),
+                }) {
+                    Some(Resp::Val(v)) => v as $prim,
+                    Some(_) => unreachable!("load response"),
+                    None => self.raw.load(ord),
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                match op(Op::Store {
+                    loc: self.key(),
+                    init: self.init(),
+                    ord: MemOrd::from_std(ord),
+                    val: val as u64,
+                }) {
+                    Some(_) => {}
+                    None => self.raw.store(val, ord),
+                }
+            }
+
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Add(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_add(val, ord),
+                }
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Sub(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_sub(val, ord),
+                }
+            }
+
+            /// Atomic maximum; returns the previous value.
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Max(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_max(val, ord),
+                }
+            }
+
+            /// Atomic minimum; returns the previous value.
+            pub fn fetch_min(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Min(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_min(val, ord),
+                }
+            }
+
+            /// Atomic bitwise OR; returns the previous value.
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Or(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_or(val, ord),
+                }
+            }
+
+            /// Atomic bitwise AND; returns the previous value.
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::And(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.fetch_and(val, ord),
+                }
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                match self.do_rmw(Rmw::Swap(val as u64), ord) {
+                    Some((old, _)) => old as $prim,
+                    None => self.raw.swap(val, ord),
+                }
+            }
+
+            /// Strong compare-exchange (spurious failure is not
+            /// modeled).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let rmw = Rmw::Cas {
+                    expect: current as u64,
+                    new: new as u64,
+                    fail: MemOrd::from_std(failure),
+                };
+                match self.do_rmw(rmw, success) {
+                    Some((old, true)) => Ok(old as $prim),
+                    Some((old, false)) => Err(old as $prim),
+                    None => self.raw.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Weak compare-exchange; modeled identically to the
+            /// strong variant.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Debug reads the fallback value only (no model op).
+                f.debug_tuple(stringify!($name)).field(&self.raw.load(Ordering::Relaxed)).finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+    };
+}
+
+model_atomic_uint!(
+    /// Model-checked drop-in for `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    u64
+);
+model_atomic_uint!(
+    /// Model-checked drop-in for `std::sync::atomic::AtomicU32`.
+    AtomicU32,
+    u32
+);
+model_atomic_uint!(
+    /// Model-checked drop-in for `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+
+/// Model-checked drop-in for `std::sync::atomic::AtomicBool`
+/// (modeled as a 0/1-valued location).
+pub struct AtomicBool {
+    raw: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with `v` as its initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            raw: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    fn init(&self) -> u64 {
+        self.raw.load(Ordering::Relaxed) as u64
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match op(Op::Load {
+            loc: self.key(),
+            init: self.init(),
+            ord: MemOrd::from_std(ord),
+        }) {
+            Some(Resp::Val(v)) => v != 0,
+            Some(_) => unreachable!("load response"),
+            None => self.raw.load(ord),
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match op(Op::Store {
+            loc: self.key(),
+            init: self.init(),
+            ord: MemOrd::from_std(ord),
+            val: val as u64,
+        }) {
+            Some(_) => {}
+            None => self.raw.store(val, ord),
+        }
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match op(Op::Rmw {
+            loc: self.key(),
+            init: self.init(),
+            ord: MemOrd::from_std(ord),
+            rmw: Rmw::Swap(val as u64),
+        }) {
+            Some(Resp::RmwDone { old, .. }) => old != 0,
+            Some(_) => unreachable!("rmw response"),
+            None => self.raw.swap(val, ord),
+        }
+    }
+
+    /// Strong compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        let rmw = Rmw::Cas {
+            expect: current as u64,
+            new: new as u64,
+            fail: MemOrd::from_std(failure),
+        };
+        match op(Op::Rmw {
+            loc: self.key(),
+            init: self.init(),
+            ord: MemOrd::from_std(success),
+            rmw,
+        }) {
+            Some(Resp::RmwDone { old, ok }) => {
+                if ok {
+                    Ok(old != 0)
+                } else {
+                    Err(old != 0)
+                }
+            }
+            Some(_) => unreachable!("rmw response"),
+            None => self.raw.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.raw.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+/// Model-checked drop-in for `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    if op(Op::Fence {
+        ord: MemOrd::from_std(ord),
+    })
+    .is_none()
+    {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar / RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-checked drop-in for `std::sync::Mutex`. Ownership is decided
+/// by the controller; the wrapped `std` mutex is still really locked
+/// (uncontended, since the model serializes grants) so the data access
+/// itself stays sound even outside executions.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Acquire the mutex (a blocking model op inside an execution).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = op(Op::Lock { lock: self.key() }).is_some();
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]; releases model ownership on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model release so a thread
+        // the controller grants next never blocks on the OS mutex.
+        if let Some(g) = self.inner.take() {
+            drop(g);
+        }
+        if self.model {
+            let _ = op_quiet(Op::Unlock {
+                lock: self.lock.key(),
+            });
+        }
+    }
+}
+
+/// Model-checked drop-in for `std::sync::Condvar` with exact waiter
+/// semantics: no spurious wakeups, so a lost wakeup surfaces as a
+/// model deadlock instead of being masked by a retry loop.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Release the guard's mutex, park until notified, re-acquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        if guard.model {
+            guard.model = false; // defuse: CvWait covers the release
+            drop(guard.inner.take());
+            drop(guard);
+            let _ = op(Op::CvWait {
+                cv: self.key(),
+                lock: lock.key(),
+            });
+            // The controller has granted us the mutex again.
+            match lock.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: true,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(p.into_inner()),
+                    model: true,
+                })),
+            }
+        } else {
+            let inner = guard.inner.take().expect("guard accessed after release");
+            drop(guard);
+            match self.inner.wait(inner) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    /// Timed wait. Not supported inside model executions (timeouts
+    /// would make schedules timing-dependent); panics there. None of
+    /// the model-checked protocols uses it.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, std::sync::WaitTimeoutResult)> {
+        assert!(
+            !guard.model,
+            "Condvar::wait_timeout is not supported inside a model-checked execution"
+        );
+        let lock = guard.lock;
+        let inner = guard.inner.take().expect("guard accessed after release");
+        drop(guard);
+        match self.inner.wait_timeout(inner, dur) {
+            Ok((g, to)) => Ok((
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    model: false,
+                },
+                to,
+            )),
+            Err(p) => {
+                let (g, to) = p.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: false,
+                    },
+                    to,
+                )))
+            }
+        }
+    }
+
+    /// Wake one waiter (a model value-decision picks which).
+    pub fn notify_one(&self) {
+        if op(Op::CvNotify {
+            cv: self.key(),
+            all: false,
+        })
+        .is_none()
+        {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        if op(Op::CvNotify {
+            cv: self.key(),
+            all: true,
+        })
+        .is_none()
+        {
+            self.inner.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Model-checked drop-in for `std::sync::RwLock`.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let model = op(Op::RwRead { lock: self.key() }).is_some();
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let model = op(Op::RwWrite { lock: self.key() }).is_some();
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+        }
+        if self.model {
+            let _ = op_quiet(Op::RwUnlockRead {
+                lock: self.lock.key(),
+            });
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+        }
+        if self.model {
+            let _ = op_quiet(Op::RwUnlockWrite {
+                lock: self.lock.key(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+type ResultSlot<T> = Arc<std::sync::Mutex<Option<std::thread::Result<T>>>>;
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        real: std::thread::JoinHandle<()>,
+        slot: ResultSlot<T>,
+    },
+}
+
+/// Model-checked drop-in for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: HandleInner<T>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish (a blocking model op inside an
+    /// execution; joining establishes happens-before as with `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model { tid, real, slot } => {
+                let _ = op(Op::Join { target: tid });
+                let _ = real.join();
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .unwrap_or_else(|| Err(Box::new("model thread produced no result")))
+            }
+        }
+    }
+}
+
+/// Model-checked drop-in for `std::thread::Builder` (name-only; stack
+/// size is not part of any checked protocol).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a new builder.
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    /// Names the thread (shows up in model failure traces).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the thread. Inside a model execution the child becomes a
+    /// model thread scheduled by the controller.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some(req_tx) = req_tx_clone() else {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = &self.name {
+                b = b.name(n.clone());
+            }
+            let h = b.spawn(f)?;
+            return Ok(JoinHandle {
+                inner: HandleInner::Std(h),
+                _marker: PhantomData,
+            });
+        };
+        let (resp_tx, resp_rx) = std::sync::mpsc::channel::<Resp>();
+        let tid = match op(Op::Spawn {
+            name: self.name.clone(),
+            resp_tx,
+        }) {
+            Some(Resp::Val(v)) => v as usize,
+            Some(_) => unreachable!("spawn response"),
+            // Raced with execution teardown between the ctx lookup and
+            // the op; fall back to a plain thread.
+            None => {
+                let h = std::thread::Builder::new().spawn(f)?;
+                return Ok(JoinHandle {
+                    inner: HandleInner::Std(h),
+                    _marker: PhantomData,
+                });
+            }
+        };
+        let slot: ResultSlot<T> = Arc::new(std::sync::Mutex::new(None));
+        let slot2 = slot.clone();
+        let ctx = ClientCtx {
+            tid,
+            req_tx: req_tx.clone(),
+            resp_rx,
+        };
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = &self.name {
+            b = b.name(n.clone());
+        }
+        match b.spawn(move || {
+            run_model_thread(ctx, f, move |r| {
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            })
+        }) {
+            Ok(real) => Ok(JoinHandle {
+                inner: HandleInner::Model { tid, real, slot },
+                _marker: PhantomData,
+            }),
+            Err(e) => {
+                // The controller already registered the child; report
+                // it dead so the execution can fail cleanly.
+                let _ = req_tx.send(Msg::Done {
+                    tid,
+                    panic: Some(format!("os thread spawn failed: {e}")),
+                });
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Model-checked drop-in for `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
