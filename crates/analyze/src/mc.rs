@@ -11,9 +11,10 @@
 //!
 //! * [`protocols`] — compile the *actual* sources (`gemm::flight`'s
 //!   seqlock, `gemm::pool`'s park/shutdown drain, `gemm::arena`'s
-//!   counters, `core::runtime`'s double-checked plan cache) against
-//!   the shims and assert their invariants across all schedules.
-//!   These must pass exhaustively.
+//!   counters, `core::runtime`'s double-checked plan cache,
+//!   `tune::delta`'s refinement-delta buffer) against the shims and
+//!   assert their invariants across all schedules. These must pass
+//!   exhaustively.
 //! * [`mutants`] — seeded-bug replicas of each protocol (relaxed
 //!   publish, missing revalidation, flag-outside-mutex, load+store
 //!   counter, missing double-check). These must *fail*: they are the
@@ -43,6 +44,7 @@ pub mod protocols {
     use smm_gemm::pool::TaskPool;
     use smm_sync::mc::Outcome;
     use smm_sync::sync::thread;
+    use smm_tune::{DeltaBuffer, PlanEntry};
 
     use super::checker;
 
@@ -142,6 +144,47 @@ pub mod protocols {
             let s = arena::stats();
             assert_eq!(s.misses, 2, "each thread's first checkout allocates");
             assert_eq!(s.hits, 2, "each thread's second checkout reuses");
+        })
+    }
+
+    /// `tune::delta` refinement-delta buffer: two tuning threads each
+    /// record a delta while a flusher drains concurrently. In every
+    /// schedule each delta must land in exactly one drain (no loss, no
+    /// duplication), and the lifetime `recorded` counter must account
+    /// for both — the invariant that makes the runtime's
+    /// flush-on-shutdown persistence trustworthy.
+    pub fn delta_buffer(bound: usize) -> Outcome {
+        fn delta(m: u32) -> PlanEntry {
+            PlanEntry {
+                m,
+                n: 4,
+                k: 4,
+                mr: 8,
+                nr: 4,
+                pack_a: false,
+                pack_b: false,
+                refined: true,
+                elem_bytes: 4,
+                cycles: 10,
+                heuristic_cycles: 12,
+                traffic: 0,
+            }
+        }
+        checker(bound).explore("delta-buffer", || {
+            let buf = Arc::new(DeltaBuffer::new());
+            let (b1, b2, bf) = (Arc::clone(&buf), Arc::clone(&buf), Arc::clone(&buf));
+            let r1 = thread::spawn(move || b1.record(delta(1)));
+            let r2 = thread::spawn(move || b2.record(delta(2)));
+            let flusher = thread::spawn(move || bf.drain());
+            r1.join().unwrap();
+            r2.join().unwrap();
+            let mut all = flusher.join().unwrap();
+            all.extend(buf.drain());
+            let mut ms: Vec<u32> = all.iter().map(|e| e.m).collect();
+            ms.sort_unstable();
+            assert_eq!(ms, vec![1, 2], "delta lost or duplicated");
+            assert_eq!(buf.recorded(), 2, "lifetime counter disagrees");
+            assert!(buf.is_empty());
         })
     }
 
@@ -372,6 +415,7 @@ pub fn run_all(bound: usize) -> Report {
         protocols::pool_scoped_drain(bound),
         protocols::arena_checkout_reuse(bound),
         protocols::plan_cache_dcl(bound),
+        protocols::delta_buffer(bound),
     ] {
         report.push(protocol_finding(&out));
     }

@@ -44,6 +44,13 @@ fn plan_cache_dcl_exhaustive_at_bound() {
 }
 
 #[test]
+fn delta_buffer_exhaustive_at_bound() {
+    let out = protocols::delta_buffer(BOUND);
+    assert!(out.passed(), "{}", out.summary());
+    assert!(out.complete, "exploration truncated: {}", out.summary());
+}
+
+#[test]
 fn mutant_seqlock_relaxed_publish_is_caught() {
     let out = mutants::seqlock_relaxed_publish(BOUND);
     assert!(!out.passed(), "checker missed the relaxed publish");

@@ -1,0 +1,167 @@
+//! `smm-tune` — the offline stage of the two-stage autotuning scheme.
+//!
+//! `sweep` runs the simulator-driven tuner ([`smm_core::tune_shape`],
+//! the same candidate space `kernel_space` explores) over a rectangular
+//! geometric (m, n, k) grid and writes the winners to a versioned,
+//! checksummed plan database; `inspect` loads a database, validates it
+//! (optionally against an expected ISA, exiting non-zero with the typed
+//! error on any mismatch), and prints a summary.
+//!
+//! ```text
+//! smm-tune sweep --isa neon128 --out plans.smmdb [--min 4] [--max 64] [--points 6] [--threads N]
+//! smm-tune inspect --db plans.smmdb [--expect-isa neon128]
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use smm_core::{tune_shape, PlanConfig, PlanDb, SweepGrid};
+use smm_model::VectorIsa;
+
+fn usage() -> ! {
+    eprintln!("usage: smm-tune sweep --isa NAME --out PATH [--min 4] [--max 64] [--points 6] [--threads N]");
+    eprintln!("       smm-tune inspect --db PATH [--expect-isa NAME]");
+    std::process::exit(2);
+}
+
+fn parse_isa(name: &str) -> VectorIsa {
+    VectorIsa::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "smm-tune: unknown ISA {name:?} (known: {})",
+            VectorIsa::all().map(|i| i.name).join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => sweep(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn sweep(args: &[String]) {
+    let mut isa = VectorIsa::neon128();
+    let mut out: Option<PathBuf> = None;
+    let (mut min, mut max, mut points) = (4usize, 64usize, 6usize);
+    let mut threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        match arg.as_str() {
+            "--isa" => isa = parse_isa(&val()),
+            "--out" => out = Some(PathBuf::from(val())),
+            "--min" => min = val().parse().unwrap_or_else(|_| usage()),
+            "--max" => max = val().parse().unwrap_or_else(|_| usage()),
+            "--points" => points = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+
+    let grid = SweepGrid::geometric(min, max, points);
+    let shapes = grid.shapes();
+    let cfg = PlanConfig {
+        isa,
+        ..Default::default()
+    };
+    println!(
+        "sweeping {} shapes (axis {:?}, coverage radius {:.3}) for {} on {} threads",
+        shapes.len(),
+        grid.axis(),
+        grid.max_log_radius(),
+        isa.name,
+        threads.max(1)
+    );
+
+    // Shapes are independent; strided static partitioning is enough
+    // because the grid mixes small and large shapes evenly.
+    let entries = Mutex::new(Vec::with_capacity(shapes.len()));
+    std::thread::scope(|s| {
+        for t in 0..threads.max(1) {
+            let (shapes, cfg, entries) = (&shapes, &cfg, &entries);
+            s.spawn(move || {
+                let mut local = Vec::new();
+                for &(m, n, k) in shapes.iter().skip(t).step_by(threads.max(1)) {
+                    local.push(tune_shape(m, n, k, cfg).to_entry(4, false));
+                }
+                entries.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let entries = entries.into_inner().unwrap();
+
+    let gains: Vec<f64> = entries.iter().map(|e| e.gain()).collect();
+    let improved = gains.iter().filter(|&&g| g > 1.0).count();
+    let db = PlanDb::from_entries(isa, entries).unwrap_or_else(|e| {
+        eprintln!("smm-tune: sweep produced an invalid database: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = db.save(&out) {
+        eprintln!("smm-tune: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let mean_gain = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
+    println!(
+        "wrote {} entries to {} ({} beat the heuristic, mean gain {:.3}x)",
+        db.len(),
+        out.display(),
+        improved,
+        mean_gain
+    );
+}
+
+fn inspect(args: &[String]) {
+    let mut db_path: Option<PathBuf> = None;
+    let mut expect: Option<VectorIsa> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        match arg.as_str() {
+            "--db" => db_path = Some(PathBuf::from(val())),
+            "--expect-isa" => expect = Some(parse_isa(&val())),
+            _ => usage(),
+        }
+    }
+    let Some(db_path) = db_path else { usage() };
+
+    // The decoder is total: corrupt, truncated, foreign-ISA or
+    // over-cap files land here as typed errors, never panics.
+    let loaded = match expect {
+        Some(isa) => PlanDb::load_for(&db_path, isa),
+        None => PlanDb::load(&db_path),
+    };
+    let db = match loaded {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("smm-tune: {}: {e}", db_path.display());
+            std::process::exit(2);
+        }
+    };
+    let refined = db.entries().iter().filter(|e| e.refined).count();
+    let with_traffic = db.entries().iter().filter(|e| e.traffic > 0).count();
+    let mean_gain = db.entries().iter().map(|e| e.gain()).sum::<f64>() / db.len().max(1) as f64;
+    println!(
+        "{}: isa {}, {} entries ({} refined, {} with traffic), mean gain {:.3}x",
+        db_path.display(),
+        db.isa().name,
+        db.len(),
+        refined,
+        with_traffic,
+        mean_gain
+    );
+    for (m, n, k) in db.top_by_traffic(5) {
+        let e = db.get(m, n, k).expect("listed shape present");
+        println!(
+            "  hot {m}x{n}x{k}: {} calls, kernel {}x{}, gain {:.3}x",
+            e.traffic,
+            e.mr,
+            e.nr,
+            e.gain()
+        );
+    }
+}

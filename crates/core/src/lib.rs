@@ -64,6 +64,7 @@ pub use runtime::{PoolStats, RuntimeStats, ShardedPlanCache, TaskPool};
 pub use simprog::build_sim;
 pub use smm::{Smm, SmmBuilder};
 pub use smm_model::VectorIsa;
+pub use smm_tune::{PlanDb, PlanDbError, PlanEntry, SweepGrid, DEFAULT_NN_THRESHOLD};
 pub use telemetry::{
     CallSite, LatencyHistogram, Phase, PhaseReport, Recorder, ShapeReport, SiteBreakdown,
     Telemetry, TelemetryReport, DEFAULT_RATE_WINDOW,
@@ -72,4 +73,4 @@ pub use trace::{
     chrome_trace_json, shape_arg, AssembledSpan, OpenSpan, SpanGuard, SpanName, TraceCtx,
     TraceExemplar, Tracer,
 };
-pub use tune::{Autotuner, TunedPlan};
+pub use tune::{candidate_configs, tune_shape, Autotuner, PlanSource, TunedPlan, TunerStats};

@@ -257,17 +257,42 @@ impl SmmPlan {
 
 /// Tile a dimension exactly: full `step` tiles plus greedy power-of-two
 /// edges (no padding — edges run smaller kernels on real data).
+///
+/// Equivalent to decomposing with [`edge_steps`]/`decompose_greedy`,
+/// but allocation-free apart from the exactly-sized result: plan
+/// construction runs on the serving cold path, where the intermediate
+/// step vectors and tile-vector regrowth were measurable.
 pub fn exact_tiles(len: usize, step: usize) -> Vec<TileSpan> {
-    let steps = edge_steps(step);
-    let mut tiles = Vec::new();
+    // The greedy edge cascade emits one tile per set bit of the
+    // residue (every power of two below `step` is available).
+    let rest = len % step;
+    let mut tiles = Vec::with_capacity(len / step + rest.count_ones() as usize);
     let mut off = 0;
-    for s in std::iter::repeat_n(step, len / step).chain(decompose_greedy(len % step, &steps)) {
+    for _ in 0..len / step {
+        tiles.push(TileSpan {
+            offset: off,
+            logical: step,
+            kernel: step,
+        });
+        off += step;
+    }
+    // Largest power of two below `step`, as in `edge_steps`.
+    let mut s = 1usize;
+    while s * 2 < step {
+        s *= 2;
+    }
+    let mut rest = rest;
+    while rest > 0 {
+        while s > rest {
+            s /= 2;
+        }
         tiles.push(TileSpan {
             offset: off,
             logical: s,
             kernel: s,
         });
         off += s;
+        rest -= s;
     }
     tiles
 }
@@ -280,7 +305,7 @@ pub fn exact_tiles_for(len: usize, step: usize, isa: &VectorIsa) -> Vec<TileSpan
     if !isa.predication {
         return exact_tiles(len, step);
     }
-    let mut tiles = Vec::new();
+    let mut tiles = Vec::with_capacity(len.div_ceil(step));
     let mut off = 0;
     for _ in 0..len / step {
         tiles.push(TileSpan {
@@ -319,6 +344,30 @@ mod tests {
             let total: usize = tiles.iter().map(|t| t.logical).sum();
             assert_eq!(total, len);
             assert!(tiles.iter().all(|t| t.kernel == t.logical));
+        }
+    }
+
+    #[test]
+    fn exact_tiles_match_greedy_reference() {
+        // The allocation-free cascade must emit exactly what the
+        // edge_steps/decompose_greedy reference pipeline emits, with
+        // no spare tile-vector capacity.
+        for step in [1, 4, 8, 12, 16] {
+            for len in 1..=100 {
+                let tiles = exact_tiles(len, step);
+                let steps = edge_steps(step);
+                let want: Vec<usize> = std::iter::repeat_n(step, len / step)
+                    .chain(decompose_greedy(len % step, &steps))
+                    .collect();
+                let got: Vec<usize> = tiles.iter().map(|t| t.logical).collect();
+                assert_eq!(got, want, "len {len} step {step}");
+                let mut off = 0;
+                for t in &tiles {
+                    assert_eq!(t.offset, off, "len {len} step {step}");
+                    off += t.logical;
+                }
+                assert_eq!(tiles.capacity(), tiles.len(), "len {len} step {step}");
+            }
         }
     }
 

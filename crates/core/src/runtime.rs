@@ -81,14 +81,19 @@ pub struct ShardedPlanCache {
 impl ShardedPlanCache {
     /// Cache bounded to roughly `capacity` plans in total
     /// (`capacity == 0` means unbounded).
+    ///
+    /// Bounded shards pre-allocate to their cap so a fill-up never
+    /// rehashes mid-request: the resize spikes land exactly in the
+    /// cold-start tail the serving layer gates on.
     pub fn new(capacity: usize) -> Self {
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS)
+        };
         ShardedPlanCache {
-            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
-            shard_capacity: if capacity == 0 {
-                0
-            } else {
-                capacity.div_ceil(SHARDS)
-            },
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::with_capacity(shard_capacity))),
+            shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -97,6 +102,21 @@ impl ShardedPlanCache {
 
     /// The plan for `(m, n, k)`, building it with `cfg` on a miss.
     pub fn get_or_build(&self, m: usize, n: usize, k: usize, cfg: &PlanConfig) -> Arc<SmmPlan> {
+        self.get_or_insert_with(m, n, k, || SmmPlan::build(m, n, k, cfg))
+    }
+
+    /// The plan for `(m, n, k)`, calling `build` on a miss. The general
+    /// entry point behind [`Self::get_or_build`]: the two-stage tuner
+    /// supplies database-derived plans through the same cache, so the
+    /// steady-state hit path is identical no matter where a plan came
+    /// from.
+    pub fn get_or_insert_with(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        build: impl FnOnce() -> SmmPlan,
+    ) -> Arc<SmmPlan> {
         let key = (m, n, k);
         let shard = &self.shards[shard_of(key)];
         if let Some(plan) = shard.read().unwrap().get(&key) {
@@ -106,7 +126,7 @@ impl ShardedPlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock: planning may simulate candidate
         // kernels and must not serialize other shapes' lookups.
-        let built = Arc::new(SmmPlan::build(m, n, k, cfg));
+        let built = Arc::new(build());
         let mut map = shard.write().unwrap();
         if let Some(plan) = map.get(&key) {
             // A concurrent miss won the race; adopt its plan.

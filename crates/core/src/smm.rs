@@ -1,18 +1,21 @@
 //! The public SMM entry point with plan caching.
 
 use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use smm_gemm::matrix::{MatMut, MatRef};
 use smm_gemm::pool::TaskPool;
 use smm_kernels::Scalar;
+use smm_tune::{PlanDb, PlanDbError};
 
 use crate::exec::execute_traced_ctx;
 use crate::plan::{PlanConfig, SmmPlan};
 use crate::runtime::{RuntimeStats, ShardedPlanCache, DEFAULT_PLAN_CAPACITY};
 use crate::telemetry::{CallSite, Phase, Telemetry, TelemetryReport, DEFAULT_RATE_WINDOW};
 use crate::trace::{shape_arg, AssembledSpan, SpanName, Tracer};
+use crate::tune::{PlanSource, TunerStats};
 
 /// Default slow-request threshold when tracing is enabled without an
 /// explicit [`SmmBuilder::slow_trace_threshold`].
@@ -47,6 +50,8 @@ pub const DEFAULT_SLOW_TRACE_THRESHOLD: Duration = Duration::from_millis(10);
 pub struct Smm<S: Scalar> {
     cfg: PlanConfig,
     cache: ShardedPlanCache,
+    source: PlanSource,
+    persist_on_drop: bool,
     pool: TaskPool,
     telemetry: Telemetry,
     pub(crate) tracer: Tracer,
@@ -73,6 +78,10 @@ pub struct SmmBuilder<S: Scalar> {
     tracing: bool,
     slow_trace_threshold: Duration,
     rate_window: Duration,
+    plan_db: Option<(PlanDb, Option<PathBuf>)>,
+    nn_threshold: Option<f64>,
+    online_refine: bool,
+    persist_on_drop: bool,
     _elem: PhantomData<S>,
 }
 
@@ -85,6 +94,10 @@ impl<S: Scalar> SmmBuilder<S> {
             tracing: false,
             slow_trace_threshold: DEFAULT_SLOW_TRACE_THRESHOLD,
             rate_window: DEFAULT_RATE_WINDOW,
+            plan_db: None,
+            nn_threshold: None,
+            online_refine: true,
+            persist_on_drop: true,
             _elem: PhantomData,
         }
     }
@@ -176,6 +189,60 @@ impl<S: Scalar> SmmBuilder<S> {
         self
     }
 
+    /// Load a persistent plan database from `path` (the output of
+    /// `smm-tune sweep`). Plan-cache misses are then answered from the
+    /// database — exact hit, else nearest-neighbor match, else online
+    /// refinement — and refinements are persisted back to `path` on
+    /// [`Smm::flush_plan_db`] or drop.
+    ///
+    /// The database must have been swept for this builder's ISA, so
+    /// call [`SmmBuilder::isa`] *before* this; a foreign-ISA file is
+    /// rejected with [`PlanDbError::IsaMismatch`], and every other form
+    /// of corruption with its own typed error.
+    pub fn plan_db(mut self, path: impl AsRef<Path>) -> Result<Self, PlanDbError> {
+        let path = path.as_ref().to_path_buf();
+        let db = PlanDb::load_for(&path, self.cfg.isa)?;
+        self.plan_db = Some((db, Some(path)));
+        Ok(self)
+    }
+
+    /// Use an in-memory plan database (no file persistence). Same
+    /// staging rules as [`SmmBuilder::plan_db`]: the database's ISA
+    /// must match the builder's.
+    pub fn plan_db_handle(mut self, db: PlanDb) -> Result<Self, PlanDbError> {
+        if db.isa() != self.cfg.isa {
+            return Err(PlanDbError::IsaMismatch {
+                db: db.isa().name,
+                active: self.cfg.isa.name,
+            });
+        }
+        self.plan_db = Some((db, None));
+        Ok(self)
+    }
+
+    /// Acceptance threshold for nearest-neighbor matches, in log-space
+    /// shape distance (default [`smm_tune::DEFAULT_NN_THRESHOLD`]).
+    pub fn nn_threshold(mut self, threshold: f64) -> Self {
+        self.nn_threshold = Some(threshold);
+        self
+    }
+
+    /// Whether double misses (no exact hit, no NN match) pay for full
+    /// online tuning and record the result as a persistable delta
+    /// (default true). When false they build the plain heuristic plan.
+    pub fn online_refine(mut self, refine: bool) -> Self {
+        self.online_refine = refine;
+        self
+    }
+
+    /// Whether dropping the instance best-effort flushes pending
+    /// refinement deltas to the database file (default true; only
+    /// meaningful with a path-backed [`SmmBuilder::plan_db`]).
+    pub fn persist_on_drop(mut self, persist: bool) -> Self {
+        self.persist_on_drop = persist;
+        self
+    }
+
     /// Construct the [`Smm`] instance.
     pub fn build(self) -> Smm<S> {
         let pool = self
@@ -183,9 +250,30 @@ impl<S: Scalar> SmmBuilder<S> {
             .pool
             .clone()
             .unwrap_or_else(|| TaskPool::global().clone());
+        let mut source = match self.plan_db {
+            Some((db, path)) => {
+                // plan_db()/plan_db_handle() validated against the ISA
+                // configured at that point; a later .isa() call would
+                // silently cross-wire tuned kernels to another width.
+                assert_eq!(
+                    db.isa(),
+                    self.cfg.isa,
+                    "plan database ISA diverged from the configured ISA: \
+                     call .isa(..) before .plan_db(..)"
+                );
+                PlanSource::with_db(db, path)
+            }
+            None => PlanSource::untuned(),
+        };
+        if let Some(t) = self.nn_threshold {
+            source.set_nn_threshold(t);
+        }
+        source.set_refine_online(self.online_refine);
         Smm {
             cfg: self.cfg,
             cache: ShardedPlanCache::new(self.cache_capacity),
+            source,
+            persist_on_drop: self.persist_on_drop,
             pool,
             telemetry: Telemetry::with_rate_window(self.telemetry, self.rate_window),
             tracer: if self.tracing {
@@ -230,8 +318,34 @@ impl<S: Scalar> Smm<S> {
     }
 
     /// Get (building and caching if needed) the plan for a shape.
+    ///
+    /// Cache misses are answered by the two-stage plan source: exact
+    /// database hit, else nearest-neighbor match, else online tuning
+    /// (recorded as a delta) — or the plain heuristic when no database
+    /// is loaded.
     pub fn plan(&self, m: usize, n: usize, k: usize) -> Arc<SmmPlan> {
-        self.cache.get_or_build(m, n, k, &self.cfg)
+        self.cache
+            .get_or_insert_with(m, n, k, || self.source.plan_for(m, n, k, &self.cfg))
+    }
+
+    /// Counters of the two-stage plan source (database hits, NN
+    /// matches, online refinements, pending/persisted deltas).
+    pub fn tuner_stats(&self) -> TunerStats {
+        self.source.stats()
+    }
+
+    /// Persist pending refinement deltas and the telemetry shape
+    /// table's observed traffic into the plan database (and its file,
+    /// when loaded from a path). Returns the number of deltas
+    /// persisted, `None` when there was nothing to do.
+    pub fn flush_plan_db(&self) -> Result<Option<usize>, PlanDbError> {
+        self.source.flush(&self.telemetry.shape_calls())
+    }
+
+    /// The hottest shapes by traffic recorded in the plan database —
+    /// what a server should pre-warm at startup.
+    pub fn hot_shapes(&self, limit: usize) -> Vec<(usize, usize, usize)> {
+        self.source.hot_shapes(limit)
     }
 
     /// Number of distinct shapes planned so far.
@@ -262,6 +376,7 @@ impl<S: Scalar> Smm<S> {
             self.telemetry
                 .report(self.stats(), self.pool.stats(), smm_gemm::arena::stats());
         report.slow = self.tracer.exemplars();
+        report.tuner = self.source.stats();
         report
     }
 
@@ -318,6 +433,19 @@ impl<S: Scalar> Smm<S> {
 impl<S: Scalar> Default for Smm<S> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<S: Scalar> Drop for Smm<S> {
+    /// Best-effort persistence of online refinements: deltas learned
+    /// this run are what make the *next* process start warm, so they
+    /// are flushed on shutdown unless [`SmmBuilder::persist_on_drop`]
+    /// opted out. Errors are ignored — drop cannot report them, and an
+    /// unsaved delta only costs a re-tune later.
+    fn drop(&mut self) {
+        if self.persist_on_drop && self.tuner_stats().pending_deltas > 0 {
+            let _ = self.flush_plan_db();
+        }
     }
 }
 
@@ -542,5 +670,80 @@ mod tests {
         };
         let smm = Smm::<f32>::with_config(cfg);
         assert_eq!(smm.config().max_threads, 3);
+    }
+
+    fn tiny_db(isa: smm_model::VectorIsa) -> PlanDb {
+        let cfg = PlanConfig {
+            isa,
+            ..Default::default()
+        };
+        let mut db = PlanDb::new(isa);
+        for &(m, n, k) in &[(8usize, 8usize, 8usize), (16, 8, 8)] {
+            db.upsert(crate::tune::tune_shape(m, n, k, &cfg).to_entry(4, false));
+        }
+        db
+    }
+
+    #[test]
+    fn plan_db_answers_misses_and_reports_stats() {
+        let smm = Smm::<f32>::builder()
+            .plan_db_handle(tiny_db(smm_model::VectorIsa::neon128()))
+            .unwrap()
+            .build();
+        let a = Mat::<f32>::random(8, 8, 1);
+        let b = Mat::<f32>::random(8, 8, 2);
+        let mut c = Mat::<f32>::zeros(8, 8);
+        let mut c_ref = c.clone();
+        smm.gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_naive(1.0, a.as_ref(), b.as_ref(), 0.0, c_ref.as_mut());
+        assert!(c.max_abs_diff(&c_ref) < 1e-3, "db-sourced plan correct");
+        smm.plan(9, 8, 8); // NN match
+        let s = smm.tuner_stats();
+        assert_eq!(s.db_hits, 1);
+        assert_eq!(s.nn_matches, 1);
+        assert_eq!(s.db_entries, 2);
+        assert_eq!(s.db_coverage(), 1.0);
+        // Cache hits don't touch the source again.
+        smm.plan(8, 8, 8);
+        assert_eq!(smm.tuner_stats().db_hits, 1);
+        // The counters ride in every report surface.
+        let report = smm.stats_report();
+        assert_eq!(report.tuner.db_hits, 1);
+        assert!(report.to_json().contains("\"tuner\""));
+        assert!(report.to_prometheus().contains("smm_tuner_db_hits_total 1"));
+        assert!(format!("{report}").contains("db coverage"));
+    }
+
+    #[test]
+    fn foreign_isa_handle_is_rejected() {
+        let err = Smm::<f32>::builder()
+            .plan_db_handle(tiny_db(smm_model::VectorIsa::sve256()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanDbError::IsaMismatch {
+                db: "sve256",
+                active: "neon128"
+            }
+        );
+    }
+
+    #[test]
+    fn drop_persists_pending_deltas() {
+        let dir = std::env::temp_dir().join(format!("smm-drop-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.smmdb");
+        tiny_db(smm_model::VectorIsa::neon128())
+            .save(&path)
+            .unwrap();
+        {
+            let smm = Smm::<f32>::builder().plan_db(&path).unwrap().build();
+            smm.plan(40, 40, 40); // far from the grid → online refine
+            assert_eq!(smm.tuner_stats().pending_deltas, 1);
+        } // drop flushes
+        let reloaded = PlanDb::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert!(reloaded.get(40, 40, 40).unwrap().refined);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

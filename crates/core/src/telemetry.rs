@@ -39,6 +39,7 @@ use crate::plan::choose_kernel;
 use crate::rate::{RateReport, RateWindow};
 use crate::runtime::RuntimeStats;
 use crate::trace::TraceExemplar;
+use crate::tune::TunerStats;
 
 /// Default sliding window of the rate estimators (see [`crate::rate`]).
 pub const DEFAULT_RATE_WINDOW: Duration = Duration::from_secs(8);
@@ -704,7 +705,38 @@ impl Telemetry {
             rate: self.rate.report(self.epoch_ns()),
             slow: Vec::new(),
             dropped_shapes: self.dropped_shapes.load(Ordering::Relaxed),
+            tuner: TunerStats::default(),
         }
+    }
+
+    /// Observed traffic per shape from the lock-free shape table:
+    /// `((m, n, k), calls)` pairs for every ready slot. This is what
+    /// [`crate::Smm::flush_plan_db`] folds into the plan database so
+    /// shape popularity survives restarts and drives pre-warming.
+    pub fn shape_calls(&self) -> Vec<((usize, usize, usize), u64)> {
+        let mut out: Vec<((usize, usize, usize), u64)> = Vec::new();
+        for slot in &self.slots {
+            if slot.state.load(Ordering::Acquire) != SLOT_READY {
+                continue;
+            }
+            let key = (
+                slot.m.load(Ordering::Relaxed),
+                slot.n.load(Ordering::Relaxed),
+                slot.k.load(Ordering::Relaxed),
+            );
+            let calls = slot.calls.load(Ordering::Relaxed);
+            if calls == 0 {
+                continue;
+            }
+            // Duplicate slots from racing inserts collapse here, same
+            // as in `report`.
+            if let Some(existing) = out.iter_mut().find(|(k2, _)| *k2 == key) {
+                existing.1 += calls;
+            } else {
+                out.push((key, calls));
+            }
+        }
+        out
     }
 }
 
@@ -890,6 +922,10 @@ pub struct TelemetryReport {
     pub slow: Vec<TraceExemplar>,
     /// Shape records dropped because the shape table was full.
     pub dropped_shapes: u64,
+    /// Two-stage tuner counters (database hits, nearest-neighbor
+    /// matches, online refinements, delta persistence; filled by the
+    /// owning `Smm`, zero when no plan database is loaded).
+    pub tuner: TunerStats,
 }
 
 fn json_f64(x: f64) -> String {
@@ -1073,7 +1109,18 @@ impl TelemetryReport {
             "  \"observed_p2c\": {},\n",
             json_f64(self.observed_p2c)
         ));
-        s.push_str(&format!("  \"dropped_shapes\": {}\n", self.dropped_shapes));
+        s.push_str(&format!("  \"dropped_shapes\": {},\n", self.dropped_shapes));
+        s.push_str(&format!(
+            "  \"tuner\": {{\"db_entries\": {}, \"db_hits\": {}, \"nn_matches\": {}, \"online_refines\": {}, \"untuned_builds\": {}, \"pending_deltas\": {}, \"persisted_deltas\": {}, \"db_coverage\": {}}}\n",
+            self.tuner.db_entries,
+            self.tuner.db_hits,
+            self.tuner.nn_matches,
+            self.tuner.online_refines,
+            self.tuner.untuned_builds,
+            self.tuner.pending_deltas,
+            self.tuner.persisted_deltas,
+            json_f64(self.tuner.db_coverage())
+        ));
         s.push_str("}\n");
         s
     }
@@ -1256,6 +1303,38 @@ impl TelemetryReport {
         );
         gauge(&mut s, "smm_slow_exemplars", self.slow.len().to_string());
         counter(&mut s, "smm_dropped_shapes_total", self.dropped_shapes);
+        counter(&mut s, "smm_tuner_db_hits_total", self.tuner.db_hits);
+        counter(&mut s, "smm_tuner_nn_matches_total", self.tuner.nn_matches);
+        counter(
+            &mut s,
+            "smm_tuner_online_refines_total",
+            self.tuner.online_refines,
+        );
+        counter(
+            &mut s,
+            "smm_tuner_untuned_builds_total",
+            self.tuner.untuned_builds,
+        );
+        counter(
+            &mut s,
+            "smm_tuner_persisted_deltas_total",
+            self.tuner.persisted_deltas,
+        );
+        gauge(
+            &mut s,
+            "smm_tuner_db_entries",
+            self.tuner.db_entries.to_string(),
+        );
+        gauge(
+            &mut s,
+            "smm_tuner_pending_deltas",
+            self.tuner.pending_deltas.to_string(),
+        );
+        gauge(
+            &mut s,
+            "smm_tuner_db_coverage",
+            json_f64(self.tuner.db_coverage()),
+        );
         s
     }
 }
@@ -1327,6 +1406,20 @@ impl std::fmt::Display for TelemetryReport {
             "  observed P2C = {:.4} ({} packed bytes / {} flops)",
             self.observed_p2c, self.packed_bytes, self.flops
         )?;
+        if self.tuner.lookups() > 0 || self.tuner.db_entries > 0 {
+            writeln!(
+                f,
+                "  tuner: {} db entries, {} db hits / {} nn matches / {} refines / {} untuned ({:.1}% db coverage), deltas {} pending / {} persisted",
+                self.tuner.db_entries,
+                self.tuner.db_hits,
+                self.tuner.nn_matches,
+                self.tuner.online_refines,
+                self.tuner.untuned_builds,
+                self.tuner.db_coverage() * 100.0,
+                self.tuner.pending_deltas,
+                self.tuner.persisted_deltas,
+            )?;
+        }
         writeln!(
             f,
             "  rate window ({:.1}s, {:.1}s covered): {:.1} req/s, {:.3} Gflops/s, p99 now {} ns, p99 trend {:+.0} ns/s",

@@ -92,6 +92,30 @@ impl VectorIsa {
         Self::all().into_iter().find(|isa| isa.name == name)
     }
 
+    /// Stable numeric tag for on-disk formats (plan databases tag the
+    /// ISA they were swept under). Tags are append-only: existing
+    /// values never change meaning, and 0 is reserved as "never a
+    /// valid ISA" so zeroed headers don't decode.
+    pub fn tag(&self) -> u32 {
+        match self.name {
+            "neon128" => 1,
+            "sve256" => 2,
+            "sve512" => 3,
+            _ => unreachable!("unregistered VectorIsa name {}", self.name),
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag); `None` for tags written by a
+    /// newer build (callers reject, not panic).
+    pub fn from_tag(tag: u32) -> Option<VectorIsa> {
+        match tag {
+            1 => Some(Self::neon128()),
+            2 => Some(Self::sve256()),
+            3 => Some(Self::sve512()),
+            _ => None,
+        }
+    }
+
     /// Lanes per vector register for an element of `elem_bytes` bytes.
     pub fn lanes(&self, elem_bytes: usize) -> usize {
         assert!(elem_bytes > 0, "element size must be positive");
@@ -190,6 +214,20 @@ mod tests {
             assert_eq!(VectorIsa::by_name(isa.name), Some(isa));
         }
         assert_eq!(VectorIsa::by_name("avx512"), None);
+    }
+
+    #[test]
+    fn tags_round_trip_and_zero_is_reserved() {
+        for isa in VectorIsa::all() {
+            assert_eq!(VectorIsa::from_tag(isa.tag()), Some(isa));
+        }
+        assert_eq!(VectorIsa::from_tag(0), None);
+        assert_eq!(VectorIsa::from_tag(99), None);
+        // Stable on-disk values — changing these breaks every
+        // persisted plan database.
+        assert_eq!(VectorIsa::neon128().tag(), 1);
+        assert_eq!(VectorIsa::sve256().tag(), 2);
+        assert_eq!(VectorIsa::sve512().tag(), 3);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct ServeConfig {
     pub coalesce_window: Duration,
     /// Maximum requests coalesced into one `gemm_batch` call.
     pub max_batch: usize,
+    /// How many of the plan database's hottest shapes (by persisted
+    /// traffic) the dispatcher pre-warms at startup — plans built and
+    /// gather arenas touched before the first request. Zero disables;
+    /// a no-op when the runtime has no plan database or no traffic.
+    pub prewarm: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             coalesce_window: Duration::from_micros(100),
             max_batch: 64,
+            prewarm: 64,
         }
     }
 }
@@ -88,6 +94,9 @@ pub struct ServeStats {
     pub coalesced_max: u64,
     /// Requests queued right now.
     pub queue_depth: usize,
+    /// Hot shapes the dispatcher pre-warmed at startup (plans built
+    /// and arenas touched before the first request).
+    pub prewarmed: u64,
 }
 
 impl ServeStats {
@@ -115,8 +124,12 @@ impl std::fmt::Display for ServeStats {
         )?;
         write!(
             f,
-            "       {} expired, {} queue-full, {} shutdown-rejected, {} queued now",
-            self.expired, self.rejected_queue_full, self.rejected_shutdown, self.queue_depth
+            "       {} expired, {} queue-full, {} shutdown-rejected, {} queued now, {} prewarmed",
+            self.expired,
+            self.rejected_queue_full,
+            self.rejected_shutdown,
+            self.queue_depth,
+            self.prewarmed
         )
     }
 }
@@ -173,6 +186,7 @@ struct ServeShared<S: Scalar> {
     expired: AtomicU64,
     batches: AtomicU64,
     coalesced_max: AtomicU64,
+    prewarmed: AtomicU64,
 }
 
 impl<S: Scalar> ServeShared<S> {
@@ -186,6 +200,7 @@ impl<S: Scalar> ServeShared<S> {
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_max: self.coalesced_max.load(Ordering::Relaxed),
             queue_depth: self.queue.lock().unwrap().len(),
+            prewarmed: self.prewarmed.load(Ordering::Relaxed),
         }
     }
 }
@@ -322,6 +337,14 @@ impl<S: Scalar> ServerBuilder<S> {
         self
     }
 
+    /// How many hot shapes to pre-warm at startup (0 disables; default
+    /// 64). Only effective when the runtime carries a plan database
+    /// with recorded traffic.
+    pub fn prewarm(mut self, shapes: usize) -> Self {
+        self.cfg.prewarm = shapes;
+        self
+    }
+
     /// Serve on this existing runtime instead of building one.
     pub fn smm(mut self, smm: Arc<Smm<S>>) -> Self {
         self.smm = Some(smm);
@@ -357,6 +380,7 @@ impl<S: Scalar> ServerBuilder<S> {
             expired: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             coalesced_max: AtomicU64::new(0),
+            prewarmed: AtomicU64::new(0),
         });
         let dispatcher = {
             let smm = Arc::clone(&smm);
@@ -487,8 +511,37 @@ fn expire_queued<S: Scalar>(q: &mut VecDeque<Pending<S>>, shared: &ServeShared<S
     }
 }
 
+/// Pre-warm the dispatcher for the plan database's hottest shapes:
+/// build (and cache) their plans, and cycle the dispatcher-thread
+/// gather arena through the buffer sizes `execute_group` will request,
+/// so the first real request of a hot shape pays neither plan
+/// construction nor arena growth. Runs on the dispatcher thread —
+/// the arena is thread-local, so warming it anywhere else is useless.
+fn prewarm_hot_shapes<S: Scalar>(smm: &Smm<S>, cfg: &ServeConfig) -> u64 {
+    let mut warmed = 0u64;
+    // Gather buffers scale with group size; warm for a modest expected
+    // coalescing factor rather than the full max_batch, which would
+    // reserve far more than steady state touches.
+    let per = cfg.max_batch.clamp(1, 8);
+    for (m, n, k) in smm.hot_shapes(cfg.prewarm) {
+        smm.plan(m, n, k);
+        let (ea, eb, ec) = (m * k, k * n, m * n);
+        let a = arena::checkout::<S>(per * ea);
+        let b = arena::checkout::<S>(per * eb);
+        let c = arena::checkout::<S>(per * ec);
+        drop((a, b, c));
+        warmed += 1;
+    }
+    warmed
+}
+
 fn dispatcher_loop<S: Scalar>(smm: &Smm<S>, shared: &ServeShared<S>) {
     let cfg = shared.cfg.clone();
+    if cfg.prewarm > 0 {
+        let warmed = prewarm_hot_shapes(smm, &cfg);
+        // relaxed — monotonic stat, read only by snapshotting reporters.
+        shared.prewarmed.store(warmed, Ordering::Relaxed);
+    }
     loop {
         // Phase 1: wait for a head request (or drain-and-exit).
         let mut q = shared.queue.lock().unwrap();

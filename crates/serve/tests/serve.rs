@@ -82,6 +82,72 @@ fn concurrent_mixed_shapes_match_naive_exactly_once() {
 }
 
 #[test]
+fn prewarm_builds_hot_plans_before_first_request() {
+    use smm_core::{PlanDb, PlanEntry, VectorIsa};
+    // A plan database with two swept shapes carrying serving traffic —
+    // what a restarted server loads from its previous run.
+    let mut db = PlanDb::new(VectorIsa::neon128());
+    for &(m, n, k) in &[(8u32, 8u32, 8u32), (12, 6, 10)] {
+        db.upsert(PlanEntry {
+            m,
+            n,
+            k,
+            mr: 8,
+            nr: 4,
+            pack_a: false,
+            pack_b: true,
+            refined: false,
+            elem_bytes: 4,
+            cycles: 100,
+            heuristic_cycles: 120,
+            traffic: 0,
+        });
+    }
+    assert!(db.add_traffic(8, 8, 8, 500));
+    assert!(db.add_traffic(12, 6, 10, 50));
+    let smm = Arc::new(
+        Smm::<f32>::builder()
+            .threads(2)
+            .plan_db_handle(db)
+            .unwrap()
+            .build(),
+    );
+    let server = Server::<f32>::builder()
+        .smm(Arc::clone(&smm))
+        .prewarm(8)
+        .build();
+    // Pre-warming runs asynchronously on the dispatcher thread; wait
+    // for it rather than racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().prewarmed < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prewarm never completed: {:?}",
+            server.stats()
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(server.stats().prewarmed, 2);
+    assert_eq!(smm.cached_plans(), 2, "hot plans resident before traffic");
+    let hits_before = smm.stats().plan_hits;
+    let misses_after_prewarm = smm.stats().plan_misses;
+    // A request for a pre-warmed shape must hit the plan cache.
+    let req = random_request(8, 8, 8, 7);
+    let want = oracle(&req);
+    let got = server.client().submit(req).unwrap().wait().unwrap();
+    assert_close(&got, &want, "prewarmed serve");
+    assert!(smm.stats().plan_hits > hits_before);
+    assert_eq!(
+        smm.stats().plan_misses,
+        misses_after_prewarm,
+        "no plan built on demand"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert!(format!("{stats}").contains("prewarmed"));
+}
+
+#[test]
 fn queue_full_is_typed_backpressure() {
     // A long window parks the dispatcher on the first request's shape,
     // so differently-shaped submissions accumulate in the queue and the

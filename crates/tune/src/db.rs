@@ -1,0 +1,743 @@
+//! The on-disk shape→plan database: a versioned, checksummed, ISA-tagged
+//! file whose decoder is *total*.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"SMMPLNDB"
+//!      8     4  format version (currently 1)
+//!     12     4  VectorIsa tag (smm_model::VectorIsa::tag)
+//!     16     4  entry count (capped at MAX_DB_ENTRIES)
+//!     20     8  FNV-1a checksum over version ∥ isa ∥ count ∥ payload
+//!     28   44·n  entries, strictly sorted by (m, n, k) ascending
+//! ```
+//!
+//! Decoding follows the wire-protocol discipline: every length is
+//! checked before it is read, every cap is enforced before anything is
+//! allocated, and every failure is a typed [`PlanDbError`] — a corrupt
+//! or hostile file can be *rejected* but can never panic the loader or
+//! silently produce garbage plans. The strict sort requirement makes
+//! the encoding canonical, so a database round-trips bit-identically
+//! (decode ∘ encode = id), which the example and fuzz tests assert.
+
+use std::path::Path;
+
+use smm_model::VectorIsa;
+
+/// File magic, first 8 bytes of every database.
+pub const MAGIC: [u8; 8] = *b"SMMPLNDB";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Cap on stored entries — far above any real sweep (a dense 100-point
+/// grid per dimension is 10^6) but small enough that a hostile count
+/// cannot drive a huge allocation before the length check.
+pub const MAX_DB_ENTRIES: u32 = 1 << 20;
+
+/// Cap on any stored matrix dimension; the paper's regime is *small*
+/// matrices, and rejecting absurd dimensions keeps downstream plan
+/// construction safe from overflow games.
+pub const MAX_DIM: u32 = 1 << 16;
+
+/// Cap on a stored register-tile edge (`mr`/`nr`).
+const MAX_TILE: u16 = 256;
+
+const HEADER_BYTES: usize = 28;
+const ENTRY_BYTES: usize = 44;
+
+/// Bit flags of an entry (any other bit set is a decode error).
+const FLAG_PACK_A: u16 = 1 << 0;
+const FLAG_PACK_B: u16 = 1 << 1;
+const FLAG_REFINED: u16 = 1 << 2;
+const FLAG_MASK: u16 = FLAG_PACK_A | FLAG_PACK_B | FLAG_REFINED;
+
+/// One tuned shape: the winning plan knobs plus the evidence
+/// (simulated cycles, tuning gain baseline, observed traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Rows of `A`/`C`.
+    pub m: u32,
+    /// Columns of `B`/`C`.
+    pub n: u32,
+    /// Inner dimension.
+    pub k: u32,
+    /// Winning register-tile rows.
+    pub mr: u16,
+    /// Winning register-tile columns.
+    pub nr: u16,
+    /// Winning `A`-packing decision.
+    pub pack_a: bool,
+    /// Winning `B`-packing decision.
+    pub pack_b: bool,
+    /// True when this entry came from an online refinement delta
+    /// rather than the offline sweep.
+    pub refined: bool,
+    /// Element size the entry was tuned for (4 = f32, 8 = f64).
+    pub elem_bytes: u16,
+    /// Simulated cycles of the winning plan.
+    pub cycles: u64,
+    /// Simulated cycles of the heuristic plan (the tuning baseline).
+    pub heuristic_cycles: u64,
+    /// Cumulative observed calls for this shape (serving popularity;
+    /// drives pre-warming).
+    pub traffic: u64,
+}
+
+impl PlanEntry {
+    /// The sort/lookup key.
+    pub fn key(&self) -> (u32, u32, u32) {
+        (self.m, self.n, self.k)
+    }
+
+    /// Tuning gain over the heuristic baseline (1.0 = no gain).
+    pub fn gain(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            self.heuristic_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.m.to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.mr.to_le_bytes());
+        out.extend_from_slice(&self.nr.to_le_bytes());
+        let mut flags = 0u16;
+        if self.pack_a {
+            flags |= FLAG_PACK_A;
+        }
+        if self.pack_b {
+            flags |= FLAG_PACK_B;
+        }
+        if self.refined {
+            flags |= FLAG_REFINED;
+        }
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.elem_bytes.to_le_bytes());
+        out.extend_from_slice(&self.cycles.to_le_bytes());
+        out.extend_from_slice(&self.heuristic_cycles.to_le_bytes());
+        out.extend_from_slice(&self.traffic.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8], index: usize) -> Result<PlanEntry, PlanDbError> {
+        debug_assert_eq!(bytes.len(), ENTRY_BYTES);
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("sized"));
+        let u16_at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().expect("sized"));
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("sized"));
+        let bad = |reason: &'static str| PlanDbError::BadEntry { index, reason };
+        let (m, n, k) = (u32_at(0), u32_at(4), u32_at(8));
+        if m == 0 || n == 0 || k == 0 {
+            return Err(bad("zero dimension"));
+        }
+        if m > MAX_DIM || n > MAX_DIM || k > MAX_DIM {
+            return Err(bad("dimension above cap"));
+        }
+        let (mr, nr) = (u16_at(12), u16_at(14));
+        if mr == 0 || nr == 0 || mr > MAX_TILE || nr > MAX_TILE {
+            return Err(bad("register tile out of range"));
+        }
+        let flags = u16_at(16);
+        if flags & !FLAG_MASK != 0 {
+            return Err(bad("unknown flag bits"));
+        }
+        let elem_bytes = u16_at(18);
+        if elem_bytes != 4 && elem_bytes != 8 {
+            return Err(bad("unsupported element size"));
+        }
+        Ok(PlanEntry {
+            m,
+            n,
+            k,
+            mr,
+            nr,
+            pack_a: flags & FLAG_PACK_A != 0,
+            pack_b: flags & FLAG_PACK_B != 0,
+            refined: flags & FLAG_REFINED != 0,
+            elem_bytes,
+            cycles: u64_at(20),
+            heuristic_cycles: u64_at(28),
+            traffic: u64_at(36),
+        })
+    }
+}
+
+/// Everything that can be wrong with a database file — the decoder's
+/// entire failure surface, typed. No variant panics; `Io` carries the
+/// rendered OS error so the type stays comparable in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanDbError {
+    /// Reading or writing the file failed at the OS level.
+    Io(String),
+    /// Shorter than the fixed header.
+    TooShort {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// First 8 bytes are not the database magic.
+    BadMagic,
+    /// Version field names a format this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The ISA tag does not name any shipped [`VectorIsa`].
+    UnknownIsaTag {
+        /// The unrecognized tag value.
+        tag: u32,
+    },
+    /// The database was built for a different vector ISA than the one
+    /// the runtime is configured for.
+    IsaMismatch {
+        /// ISA the database was swept under.
+        db: &'static str,
+        /// ISA the loading runtime targets.
+        active: &'static str,
+    },
+    /// Entry count exceeds [`MAX_DB_ENTRIES`].
+    TooManyEntries {
+        /// Count found in the header.
+        count: u32,
+    },
+    /// File length disagrees with the header's entry count (truncated
+    /// or trailing bytes).
+    LengthMismatch {
+        /// Bytes the header promises.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// Stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// An entry failed validation (zero/oversized dimension, bad tile,
+    /// unknown flags, unsorted or duplicate key, …).
+    BadEntry {
+        /// Index of the offending entry.
+        index: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlanDbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanDbError::Io(e) => write!(f, "plan database I/O error: {e}"),
+            PlanDbError::TooShort { len } => {
+                write!(
+                    f,
+                    "plan database too short: {len} bytes < {HEADER_BYTES}-byte header"
+                )
+            }
+            PlanDbError::BadMagic => write!(f, "not a plan database (bad magic)"),
+            PlanDbError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported plan database version {found} (supported: {FORMAT_VERSION})"
+                )
+            }
+            PlanDbError::UnknownIsaTag { tag } => {
+                write!(f, "plan database carries unknown vector-ISA tag {tag}")
+            }
+            PlanDbError::IsaMismatch { db, active } => write!(
+                f,
+                "plan database was built for ISA {db} but the runtime targets {active}"
+            ),
+            PlanDbError::TooManyEntries { count } => {
+                write!(
+                    f,
+                    "plan database claims {count} entries (cap {MAX_DB_ENTRIES})"
+                )
+            }
+            PlanDbError::LengthMismatch { expected, found } => write!(
+                f,
+                "plan database length mismatch: header promises {expected} bytes, file has {found}"
+            ),
+            PlanDbError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "plan database checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            PlanDbError::BadEntry { index, reason } => {
+                write!(f, "plan database entry {index} invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanDbError {}
+
+/// FNV-1a over the header's mutable fields and the payload — cheap,
+/// dependency-free, and plenty to catch truncation/bit-rot (integrity,
+/// not authentication).
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// An in-memory shape→plan database: entries sorted by `(m, n, k)` for
+/// binary-search exact lookup, linear-scanned for nearest-neighbor
+/// matching (sweeps are a few hundred to a few thousand entries).
+#[derive(Debug, Clone)]
+pub struct PlanDb {
+    isa: VectorIsa,
+    entries: Vec<PlanEntry>,
+    /// Per-entry [`log_key`](crate::matcher::log_key) cache, parallel
+    /// to `entries`. The nearest-neighbor scan runs on every runtime
+    /// plan-cache miss; without the cache, three logarithms per entry
+    /// per lookup dominate the cold-start plan path.
+    log_keys: Vec<[f64; 3]>,
+}
+
+/// Equality ignores the derived `log_keys` cache (a pure function of
+/// the entries), which also keeps `Eq` sound despite the `f64`s.
+impl PartialEq for PlanDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.isa == other.isa && self.entries == other.entries
+    }
+}
+
+impl Eq for PlanDb {}
+
+fn entry_log_key(e: &PlanEntry) -> [f64; 3] {
+    crate::matcher::log_key((e.m as usize, e.n as usize, e.k as usize))
+}
+
+impl PlanDb {
+    /// An empty database for `isa`.
+    pub fn new(isa: VectorIsa) -> Self {
+        PlanDb {
+            isa,
+            entries: Vec::new(),
+            log_keys: Vec::new(),
+        }
+    }
+
+    /// Build from unsorted entries; sorts by key and rejects duplicate
+    /// keys or over-cap counts with the same typed errors the decoder
+    /// uses.
+    pub fn from_entries(isa: VectorIsa, mut entries: Vec<PlanEntry>) -> Result<Self, PlanDbError> {
+        if entries.len() > MAX_DB_ENTRIES as usize {
+            return Err(PlanDbError::TooManyEntries {
+                count: entries.len() as u32,
+            });
+        }
+        entries.sort_by_key(PlanEntry::key);
+        for i in 1..entries.len() {
+            if entries[i - 1].key() == entries[i].key() {
+                return Err(PlanDbError::BadEntry {
+                    index: i,
+                    reason: "duplicate shape key",
+                });
+            }
+        }
+        let log_keys = entries.iter().map(entry_log_key).collect();
+        Ok(PlanDb {
+            isa,
+            entries,
+            log_keys,
+        })
+    }
+
+    /// The ISA this database was swept under.
+    pub fn isa(&self) -> VectorIsa {
+        self.isa
+    }
+
+    /// All entries, sorted by `(m, n, k)`.
+    pub fn entries(&self) -> &[PlanEntry] {
+        &self.entries
+    }
+
+    /// Number of stored shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact lookup by shape.
+    pub fn get(&self, m: usize, n: usize, k: usize) -> Option<&PlanEntry> {
+        let key = (
+            u32::try_from(m).ok()?,
+            u32::try_from(n).ok()?,
+            u32::try_from(k).ok()?,
+        );
+        self.entries
+            .binary_search_by_key(&key, PlanEntry::key)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The stored entry nearest to `(m, n, k)` in log-space shape
+    /// distance ([`log_distance`](crate::log_distance)), with that
+    /// distance. `None` on an empty database. Scans the cached
+    /// per-entry log keys, so the query pays for exactly three
+    /// logarithms regardless of database size.
+    pub fn nearest(&self, m: usize, n: usize, k: usize) -> Option<(&PlanEntry, f64)> {
+        let q = crate::matcher::log_key((m, n, k));
+        self.entries
+            .iter()
+            .zip(&self.log_keys)
+            .map(|(e, l)| {
+                let (dm, dn, dk) = (q[0] - l[0], q[1] - l[1], q[2] - l[2]);
+                // Squared distance inside the scan; the square root is
+                // monotonic, so one sqrt on the winner suffices.
+                (e, dm * dm + dn * dn + dk * dk)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(e, d2)| (e, d2.sqrt()))
+    }
+
+    /// Insert or replace the entry for its shape key, keeping the sort
+    /// invariant. Replacing preserves accumulated traffic.
+    pub fn upsert(&mut self, entry: PlanEntry) {
+        match self
+            .entries
+            .binary_search_by_key(&entry.key(), PlanEntry::key)
+        {
+            Ok(i) => {
+                let traffic = self.entries[i].traffic;
+                self.entries[i] = entry;
+                self.entries[i].traffic = self.entries[i].traffic.max(traffic);
+            }
+            Err(i) => {
+                self.log_keys.insert(i, entry_log_key(&entry));
+                self.entries.insert(i, entry);
+            }
+        }
+    }
+
+    /// Add observed calls to a shape's traffic count. Returns whether
+    /// the shape was present.
+    pub fn add_traffic(&mut self, m: usize, n: usize, k: usize, calls: u64) -> bool {
+        let Ok(key) = u32::try_from(m).and_then(|m| Ok((m, u32::try_from(n)?, u32::try_from(k)?)))
+        else {
+            return false;
+        };
+        match self.entries.binary_search_by_key(&key, PlanEntry::key) {
+            Ok(i) => {
+                let e = &mut self.entries[i];
+                e.traffic = e.traffic.saturating_add(calls);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The `limit` hottest shapes by recorded traffic (ties broken by
+    /// key order), hottest first. Shapes with zero traffic are skipped.
+    pub fn top_by_traffic(&self, limit: usize) -> Vec<(usize, usize, usize)> {
+        let mut hot: Vec<&PlanEntry> = self.entries.iter().filter(|e| e.traffic > 0).collect();
+        hot.sort_by(|a, b| b.traffic.cmp(&a.traffic).then(a.key().cmp(&b.key())));
+        hot.into_iter()
+            .take(limit)
+            .map(|e| (e.m as usize, e.n as usize, e.k as usize))
+            .collect()
+    }
+
+    /// Serialize to the canonical byte form (sorted entries, so equal
+    /// databases encode to equal bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.entries.len() * ENTRY_BYTES);
+        for e in &self.entries {
+            e.encode_into(&mut payload);
+        }
+        let version = FORMAT_VERSION.to_le_bytes();
+        let isa = self.isa.tag().to_le_bytes();
+        let count = (self.entries.len() as u32).to_le_bytes();
+        let checksum = fnv1a(&[&version, &isa, &count, &payload]);
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&version);
+        out.extend_from_slice(&isa);
+        out.extend_from_slice(&count);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Total decoder: every failure is a typed [`PlanDbError`], and no
+    /// input can panic or over-allocate.
+    pub fn decode(bytes: &[u8]) -> Result<PlanDb, PlanDbError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(PlanDbError::TooShort { len: bytes.len() });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(PlanDbError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("sized"));
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(PlanDbError::UnsupportedVersion { found: version });
+        }
+        let tag = u32_at(12);
+        let isa = VectorIsa::from_tag(tag).ok_or(PlanDbError::UnknownIsaTag { tag })?;
+        let count = u32_at(16);
+        if count > MAX_DB_ENTRIES {
+            return Err(PlanDbError::TooManyEntries { count });
+        }
+        let stored = u64::from_le_bytes(bytes[20..28].try_into().expect("sized"));
+        let expected = HEADER_BYTES + count as usize * ENTRY_BYTES;
+        if bytes.len() != expected {
+            return Err(PlanDbError::LengthMismatch {
+                expected,
+                found: bytes.len(),
+            });
+        }
+        let payload = &bytes[HEADER_BYTES..];
+        let computed = fnv1a(&[&bytes[8..12], &bytes[12..16], &bytes[16..20], payload]);
+        if stored != computed {
+            return Err(PlanDbError::ChecksumMismatch { stored, computed });
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let e = PlanEntry::decode(&payload[i * ENTRY_BYTES..(i + 1) * ENTRY_BYTES], i)?;
+            if let Some(prev) = entries.last() {
+                let prev: &PlanEntry = prev;
+                if prev.key() >= e.key() {
+                    return Err(PlanDbError::BadEntry {
+                        index: i,
+                        reason: "entries not strictly sorted by shape key",
+                    });
+                }
+            }
+            entries.push(e);
+        }
+        let log_keys = entries.iter().map(entry_log_key).collect();
+        Ok(PlanDb {
+            isa,
+            entries,
+            log_keys,
+        })
+    }
+
+    /// Load a database file (no ISA expectation).
+    pub fn load(path: &Path) -> Result<PlanDb, PlanDbError> {
+        let bytes = std::fs::read(path).map_err(|e| PlanDbError::Io(e.to_string()))?;
+        Self::decode(&bytes)
+    }
+
+    /// Load a database file and require it to target `active`; a
+    /// foreign-ISA database is rejected with
+    /// [`PlanDbError::IsaMismatch`] — tuned kernel choices do not
+    /// transfer across vector widths.
+    pub fn load_for(path: &Path, active: VectorIsa) -> Result<PlanDb, PlanDbError> {
+        let db = Self::load(path)?;
+        if db.isa != active {
+            return Err(PlanDbError::IsaMismatch {
+                db: db.isa.name,
+                active: active.name,
+            });
+        }
+        Ok(db)
+    }
+
+    /// Write the canonical encoding to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), PlanDbError> {
+        std::fs::write(path, self.encode()).map_err(|e| PlanDbError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(m: u32, n: u32, k: u32) -> PlanEntry {
+        PlanEntry {
+            m,
+            n,
+            k,
+            mr: 8,
+            nr: 4,
+            pack_a: false,
+            pack_b: true,
+            refined: false,
+            elem_bytes: 4,
+            cycles: 100 + u64::from(m),
+            heuristic_cycles: 150 + u64::from(m),
+            traffic: 0,
+        }
+    }
+
+    fn sample_db() -> PlanDb {
+        PlanDb::from_entries(
+            VectorIsa::neon128(),
+            vec![entry(8, 8, 8), entry(4, 4, 4), entry(16, 8, 32)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let db = sample_db();
+        let bytes = db.encode();
+        let decoded = PlanDb::decode(&bytes).unwrap();
+        assert_eq!(decoded.entries(), db.entries());
+        assert_eq!(decoded.isa(), db.isa());
+        assert_eq!(decoded.encode(), bytes, "canonical encoding");
+    }
+
+    #[test]
+    fn exact_lookup_and_nearest() {
+        let db = sample_db();
+        assert_eq!(db.get(8, 8, 8).unwrap().key(), (8, 8, 8));
+        assert!(db.get(9, 8, 8).is_none());
+        let (e, d) = db.nearest(9, 8, 8).unwrap();
+        assert_eq!(e.key(), (8, 8, 8));
+        assert!(d > 0.0 && d < 0.2, "{d}");
+        let (e, d) = db.nearest(4, 4, 4).unwrap();
+        assert_eq!(e.key(), (4, 4, 4));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn nearest_matches_log_distance_after_upserts() {
+        // The scan runs on cached log keys; the cache must stay in
+        // sync through upserts and report exactly `log_distance`.
+        let mut db = sample_db();
+        db.upsert(entry(32, 4, 8));
+        db.upsert(entry(8, 8, 8));
+        for query in [(5, 9, 30), (8, 8, 8), (64, 64, 64)] {
+            let (e, d) = db.nearest(query.0, query.1, query.2).unwrap();
+            let direct =
+                crate::matcher::log_distance(query, (e.m as usize, e.n as usize, e.k as usize));
+            assert_eq!(d, direct, "query {query:?}");
+            let best = db
+                .entries()
+                .iter()
+                .map(|o| {
+                    crate::matcher::log_distance(query, (o.m as usize, o.n as usize, o.k as usize))
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(d, best, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_and_keeps_sort_and_traffic() {
+        let mut db = sample_db();
+        db.add_traffic(8, 8, 8, 41);
+        let mut e = entry(8, 8, 8);
+        e.mr = 16;
+        e.refined = true;
+        db.upsert(e);
+        let got = db.get(8, 8, 8).unwrap();
+        assert_eq!(got.mr, 16);
+        assert!(got.refined);
+        assert_eq!(got.traffic, 41, "traffic survives refinement");
+        db.upsert(entry(5, 5, 5));
+        assert_eq!(db.len(), 4);
+        let keys: Vec<_> = db.entries().iter().map(PlanEntry::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn traffic_ranks_hot_shapes() {
+        let mut db = sample_db();
+        assert!(db.top_by_traffic(8).is_empty(), "no traffic yet");
+        assert!(db.add_traffic(8, 8, 8, 10));
+        assert!(db.add_traffic(4, 4, 4, 99));
+        assert!(!db.add_traffic(7, 7, 7, 5), "absent shape");
+        assert_eq!(db.top_by_traffic(8), vec![(4, 4, 4), (8, 8, 8)]);
+        assert_eq!(db.top_by_traffic(1), vec![(4, 4, 4)]);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = PlanDb::from_entries(VectorIsa::neon128(), vec![entry(4, 4, 4), entry(4, 4, 4)])
+            .unwrap_err();
+        assert!(matches!(err, PlanDbError::BadEntry { .. }), "{err}");
+    }
+
+    #[test]
+    fn header_corruptions_are_typed() {
+        let bytes = sample_db().encode();
+        assert_eq!(
+            PlanDb::decode(&bytes[..10]),
+            Err(PlanDbError::TooShort { len: 10 })
+        );
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert_eq!(PlanDb::decode(&b), Err(PlanDbError::BadMagic));
+        let mut b = bytes.clone();
+        b[8] = 9;
+        assert!(matches!(
+            PlanDb::decode(&b),
+            Err(PlanDbError::UnsupportedVersion { found: 9 })
+        ));
+        let mut b = bytes.clone();
+        b[12] = 0xAA;
+        assert!(matches!(
+            PlanDb::decode(&b),
+            Err(PlanDbError::UnknownIsaTag { .. })
+        ));
+        let mut b = bytes.clone();
+        b[16..20].copy_from_slice(&(MAX_DB_ENTRIES + 1).to_le_bytes());
+        assert!(matches!(
+            PlanDb::decode(&b),
+            Err(PlanDbError::TooManyEntries { .. })
+        ));
+        let mut b = bytes.clone();
+        b.truncate(bytes.len() - 1);
+        assert!(matches!(
+            PlanDb::decode(&b),
+            Err(PlanDbError::LengthMismatch { .. })
+        ));
+        let mut b = bytes.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        assert!(matches!(
+            PlanDb::decode(&b),
+            Err(PlanDbError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn load_for_rejects_foreign_isa() {
+        let dir = std::env::temp_dir().join(format!("smm-tune-db-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("neon.smmdb");
+        sample_db().save(&path).unwrap();
+        let ok = PlanDb::load_for(&path, VectorIsa::neon128()).unwrap();
+        assert_eq!(ok.len(), 3);
+        let err = PlanDb::load_for(&path, VectorIsa::sve256()).unwrap_err();
+        assert_eq!(
+            err,
+            PlanDbError::IsaMismatch {
+                db: "neon128",
+                active: "sve256"
+            }
+        );
+        let missing = PlanDb::load(&dir.join("absent.smmdb")).unwrap_err();
+        assert!(matches!(missing, PlanDbError::Io(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_db_round_trips() {
+        let db = PlanDb::new(VectorIsa::sve512());
+        let decoded = PlanDb::decode(&db.encode()).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.isa(), VectorIsa::sve512());
+        assert!(decoded.nearest(4, 4, 4).is_none());
+    }
+}

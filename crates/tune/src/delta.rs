@@ -1,0 +1,144 @@
+//! The runtime's buffer of online-refinement deltas awaiting
+//! persistence.
+//!
+//! When the input-aware stage falls through to full online tuning, the
+//! winning plan is worth keeping: it is recorded here as a refined
+//! [`PlanEntry`] delta, and a flush drains the buffer into the plan
+//! database and rewrites the file. The buffer is shared between every
+//! thread that can trigger tuning and the (single) flusher, so it goes
+//! through the `smm_sync::sync` facade and carries a model-check
+//! protocol (`delta_buffer` in `smm-analyze`'s exhaustive explorer)
+//! proving no recorded delta is ever lost: at every quiescent point,
+//! `recorded == drained + pending`.
+
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
+use smm_sync::sync::Mutex;
+
+use crate::db::PlanEntry;
+
+/// A mutex-guarded vector of pending deltas plus a monotonic count of
+/// everything ever recorded (survives drains, so stats can report
+/// lifetime refinement activity).
+#[derive(Debug)]
+pub struct DeltaBuffer {
+    deltas: Mutex<Vec<PlanEntry>>,
+    // relaxed — monotonic counter, read only for reporting.
+    recorded: AtomicU64,
+}
+
+// Manual because the model-check facade's `Mutex` shim does not
+// implement `Default`.
+impl Default for DeltaBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        DeltaBuffer {
+            deltas: Mutex::new(Vec::new()),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one refinement delta for a later flush.
+    pub fn record(&self, entry: PlanEntry) {
+        self.deltas.lock().unwrap().push(entry);
+        // relaxed — monotonic counter, read only for reporting.
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take every pending delta, leaving the buffer empty. The mutex
+    /// makes record/drain atomic with respect to each other: a delta
+    /// is either in exactly one drain's result or still pending, never
+    /// both or neither.
+    pub fn drain(&self) -> Vec<PlanEntry> {
+        std::mem::take(&mut *self.deltas.lock().unwrap())
+    }
+
+    /// Number of deltas currently awaiting a flush.
+    pub fn len(&self) -> usize {
+        self.deltas.lock().unwrap().len()
+    }
+
+    /// Whether no deltas are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of recorded deltas (monotonic, not reset by
+    /// drains).
+    pub fn recorded(&self) -> u64 {
+        // relaxed — monotonic counter, read only for reporting.
+        self.recorded.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(m: u32) -> PlanEntry {
+        PlanEntry {
+            m,
+            n: 4,
+            k: 4,
+            mr: 8,
+            nr: 4,
+            pack_a: false,
+            pack_b: false,
+            refined: true,
+            elem_bytes: 4,
+            cycles: 10,
+            heuristic_cycles: 12,
+            traffic: 0,
+        }
+    }
+
+    #[test]
+    fn record_drain_accounting() {
+        let buf = DeltaBuffer::new();
+        assert!(buf.is_empty());
+        buf.record(entry(4));
+        buf.record(entry(8));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.recorded(), 2);
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(buf.is_empty());
+        assert_eq!(buf.recorded(), 2, "lifetime count survives drain");
+        buf.record(entry(16));
+        assert_eq!(buf.recorded(), 3);
+        assert_eq!(buf.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        let buf = DeltaBuffer::new();
+        let drained = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let buf = &buf;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        buf.record(entry(t * 100 + i));
+                    }
+                });
+            }
+            let buf = &buf;
+            let drained = &drained;
+            s.spawn(move || {
+                for _ in 0..20 {
+                    drained.lock().unwrap().extend(buf.drain());
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let mut all = drained.into_inner().unwrap();
+        all.extend(buf.drain());
+        assert_eq!(all.len(), 200);
+        assert_eq!(buf.recorded(), 200);
+    }
+}

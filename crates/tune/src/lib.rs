@@ -1,0 +1,42 @@
+//! `smm-tune` — the persistent half of the two-stage autotuning scheme.
+//!
+//! The paper's premise is that small-GEMM performance hinges on picking
+//! the right blocking and kernel per shape, and IAAT (Yao et al.)
+//! shows how to stop re-deriving that choice on every process start:
+//! an **offline** install-time sweep measures the candidate space once
+//! and writes a persistent shape→plan database; the **runtime** stage
+//! then answers plan lookups from that database, nearest-neighbor
+//! matching unseen shapes in log space before paying for full online
+//! tuning, and records its online refinements as deltas to persist.
+//!
+//! This crate owns the pieces that must be shared between the sweep
+//! binary, the `smm-core` runtime and the tooling, without depending
+//! on any of them:
+//!
+//! * [`db`] — the versioned, checksummed on-disk format
+//!   ([`PlanDb`]/[`PlanEntry`]) with a *total* decoder: corrupt,
+//!   truncated, foreign-ISA or over-cap files load as typed
+//!   [`PlanDbError`]s, never panics (the same discipline as the serve
+//!   wire protocol).
+//! * [`matcher`] — the log-space shape distance used for
+//!   nearest-neighbor matching, and the acceptance threshold.
+//! * [`sweep`] — geometric sweep grids covering the *rectangular*
+//!   (m, n, k) space (per Deshmukh et al., squares alone are not
+//!   representative), with an explicit coverage-radius guarantee that
+//!   pairs with the matcher threshold.
+//! * [`delta`] — the runtime's buffer of online-refinement deltas,
+//!   synchronized through the `smm_sync::sync` facade so it is
+//!   model-checkable like every other concurrent structure in the
+//!   workspace.
+
+#![deny(missing_docs)]
+
+pub mod db;
+pub mod delta;
+pub mod matcher;
+pub mod sweep;
+
+pub use db::{PlanDb, PlanDbError, PlanEntry, FORMAT_VERSION, MAX_DB_ENTRIES, MAX_DIM};
+pub use delta::DeltaBuffer;
+pub use matcher::{log_distance, log_key, DEFAULT_NN_THRESHOLD};
+pub use sweep::SweepGrid;

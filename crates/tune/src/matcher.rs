@@ -1,0 +1,80 @@
+//! Log-space shape distance for input-aware nearest-neighbor matching.
+//!
+//! IAAT's runtime stage matches an unseen shape against the swept grid
+//! before paying for online tuning. The metric must treat relative —
+//! not absolute — size differences as what matters: (4,4,4)→(8,8,8)
+//! doubles every dimension and usually changes the best plan, while
+//! (500,500,500)→(504,504,504) is a rounding error even though its
+//! absolute delta is the same. Euclidean distance between
+//! log-dimensions captures exactly that, and makes the geometric sweep
+//! grid ([`crate::sweep::SweepGrid`]) uniformly spaced under the
+//! metric.
+
+/// Euclidean distance between two shapes in log space:
+/// `sqrt(Σᵢ (ln aᵢ − ln bᵢ)²)` over (m, n, k).
+///
+/// Zero iff the shapes are equal; a distance of `ln 2 ≈ 0.69` on one
+/// axis means that dimension differs by 2×. Zero-valued dimensions are
+/// clamped to 1 so the metric stays total (shape validation elsewhere
+/// rejects them anyway).
+pub fn log_distance(a: (usize, usize, usize), b: (usize, usize, usize)) -> f64 {
+    let d = |x: usize, y: usize| (x.max(1) as f64).ln() - (y.max(1) as f64).ln();
+    let (dm, dn, dk) = (d(a.0, b.0), d(a.1, b.1), d(a.2, b.2));
+    (dm * dm + dn * dn + dk * dk).sqrt()
+}
+
+/// The log-space embedding of a shape: `[ln m, ln n, ln k]`, zero
+/// dimensions clamped to 1 exactly as in [`log_distance`], so the
+/// Euclidean distance between two embeddings equals
+/// `log_distance(a, b)`. [`crate::PlanDb`] caches this per entry:
+/// the nearest-neighbor scan runs on every runtime plan-cache miss,
+/// and recomputing three logarithms per entry per lookup dominated
+/// the cold-start plan path.
+pub fn log_key(shape: (usize, usize, usize)) -> [f64; 3] {
+    let l = |x: usize| (x.max(1) as f64).ln();
+    [l(shape.0), l(shape.1), l(shape.2)]
+}
+
+/// Default acceptance threshold for a nearest-neighbor match.
+///
+/// A swept geometric grid with ratio `r` between adjacent axis points
+/// leaves a worst-case corner at distance `√3·ln(r)/2` from its
+/// nearest grid shape. The default sweep (6 points over 4..64,
+/// `r ≈ 1.74`) gives ≈ 0.48, so 0.6 accepts every in-range query while
+/// still rejecting shapes more than ~2× outside the swept envelope,
+/// which fall through to online tuning instead of borrowing a poorly
+/// matched plan.
+pub const DEFAULT_NN_THRESHOLD: f64 = 0.6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_symmetry() {
+        assert_eq!(log_distance((8, 8, 8), (8, 8, 8)), 0.0);
+        let d1 = log_distance((4, 8, 16), (16, 8, 4));
+        let d2 = log_distance((16, 8, 4), (4, 8, 16));
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_not_absolute() {
+        // +4 on a small shape is a big move; +4 on a large one is not.
+        let small = log_distance((4, 4, 4), (8, 8, 8));
+        let large = log_distance((500, 500, 500), (504, 504, 504));
+        assert!(small > 1.0, "{small}");
+        assert!(large < 0.05, "{large}");
+    }
+
+    #[test]
+    fn doubling_one_axis_is_ln2() {
+        let d = log_distance((8, 8, 8), (16, 8, 8));
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn zero_dims_do_not_panic() {
+        assert!(log_distance((0, 4, 4), (1, 4, 4)).is_finite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline sweep grids over the rectangular (m, n, k) shape space.
+//!
+//! Deshmukh et al.'s batched-GEMM cache modeling (PAPERS.md) shows
+//! square-only sweeps misrepresent real workloads — tall-skinny and
+//! short-wide shapes block differently — so the grid is the full cross
+//! product of a per-axis geometric ladder: every combination of axis
+//! points, not just the diagonal. Geometric spacing makes the grid
+//! uniform under the matcher's log-space metric, which is what lets
+//! [`SweepGrid::max_log_radius`] state a coverage guarantee that pairs
+//! with [`crate::matcher::DEFAULT_NN_THRESHOLD`].
+
+/// A geometric per-axis ladder swept as a full (m, n, k) cross product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepGrid {
+    min: usize,
+    max: usize,
+    points: usize,
+}
+
+impl SweepGrid {
+    /// A grid of `points` geometrically spaced sizes from `min` to
+    /// `max` inclusive, per axis. Degenerate inputs are normalized:
+    /// `min` is clamped to ≥ 1, `max` to ≥ `min`, `points` to ≥ 1.
+    pub fn geometric(min: usize, max: usize, points: usize) -> Self {
+        let min = min.max(1);
+        SweepGrid {
+            min,
+            max: max.max(min),
+            points: points.max(1),
+        }
+    }
+
+    /// The per-axis sizes: geometric ladder from `min` to `max`,
+    /// rounded to integers and deduplicated (so small ranges may yield
+    /// fewer than `points` sizes).
+    pub fn axis(&self) -> Vec<usize> {
+        if self.points == 1 || self.min == self.max {
+            return vec![self.min];
+        }
+        let (lo, hi) = ((self.min as f64).ln(), (self.max as f64).ln());
+        let mut out = Vec::with_capacity(self.points);
+        for i in 0..self.points {
+            let t = i as f64 / (self.points - 1) as f64;
+            let v = (lo + t * (hi - lo)).exp().round() as usize;
+            let v = v.clamp(self.min, self.max);
+            if out.last() != Some(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Every (m, n, k) in the cross product of [`Self::axis`] — the
+    /// rectangular coverage, `axis³` shapes.
+    pub fn shapes(&self) -> Vec<(usize, usize, usize)> {
+        let axis = self.axis();
+        let mut out = Vec::with_capacity(axis.len().pow(3));
+        for &m in &axis {
+            for &n in &axis {
+                for &k in &axis {
+                    out.push((m, n, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Worst-case log-space distance from any in-range shape (each
+    /// dimension within `min..=max`) to its nearest grid shape:
+    /// `√3 · max gap / 2`, where the gap is the largest log step
+    /// between adjacent axis points. A query inside the swept envelope
+    /// is guaranteed a nearest neighbor within this radius, so a
+    /// matcher threshold at or above it accepts every in-range query.
+    pub fn max_log_radius(&self) -> f64 {
+        let axis = self.axis();
+        let max_gap = axis
+            .windows(2)
+            .map(|w| (w[1] as f64).ln() - (w[0] as f64).ln())
+            .fold(0.0_f64, f64::max);
+        (3.0_f64).sqrt() * max_gap / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{log_distance, DEFAULT_NN_THRESHOLD};
+
+    #[test]
+    fn axis_spans_range_geometrically() {
+        let axis = SweepGrid::geometric(4, 64, 6).axis();
+        assert_eq!(axis.first(), Some(&4));
+        assert_eq!(axis.last(), Some(&64));
+        assert_eq!(axis.len(), 6);
+        for w in axis.windows(2) {
+            assert!(w[1] > w[0], "strictly increasing: {axis:?}");
+        }
+    }
+
+    #[test]
+    fn shapes_are_full_cross_product() {
+        let grid = SweepGrid::geometric(4, 16, 3);
+        let axis = grid.axis();
+        let shapes = grid.shapes();
+        assert_eq!(shapes.len(), axis.len().pow(3));
+        // Rectangular coverage: non-square shapes are present.
+        assert!(shapes.contains(&(axis[0], axis[2], axis[1])));
+    }
+
+    #[test]
+    fn degenerate_inputs_normalize() {
+        assert_eq!(SweepGrid::geometric(0, 0, 0).axis(), vec![1]);
+        assert_eq!(SweepGrid::geometric(8, 4, 5).axis(), vec![8]);
+        assert_eq!(SweepGrid::geometric(4, 4, 9).shapes().len(), 1);
+    }
+
+    #[test]
+    fn default_sweep_radius_under_default_threshold() {
+        // The documented pairing: the default sweep's coverage radius
+        // sits under the default matcher threshold, so every in-range
+        // query nearest-neighbor-matches.
+        let grid = SweepGrid::geometric(4, 64, 6);
+        assert!(
+            grid.max_log_radius() < DEFAULT_NN_THRESHOLD,
+            "radius {} vs threshold {}",
+            grid.max_log_radius(),
+            DEFAULT_NN_THRESHOLD
+        );
+    }
+
+    #[test]
+    fn worst_case_corner_within_radius() {
+        let grid = SweepGrid::geometric(4, 64, 6);
+        let radius = grid.max_log_radius();
+        let shapes = grid.shapes();
+        // Probe a lattice of in-range shapes; every one must have a
+        // grid neighbor within the stated radius (small slack for the
+        // integer rounding of axis points).
+        for &m in &[4usize, 5, 9, 15, 27, 50, 64] {
+            for &n in &[4usize, 11, 33, 64] {
+                for &k in &[6usize, 20, 60] {
+                    let best = shapes
+                        .iter()
+                        .map(|&s| log_distance((m, n, k), s))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        best <= radius + 0.08,
+                        "({m},{n},{k}) nearest {best} > radius {radius}"
+                    );
+                }
+            }
+        }
+    }
+}
