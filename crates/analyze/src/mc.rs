@@ -12,13 +12,14 @@
 //! * [`protocols`] — compile the *actual* sources (`gemm::flight`'s
 //!   seqlock, `gemm::pool`'s park/shutdown drain, `gemm::arena`'s
 //!   counters, `core::runtime`'s double-checked plan cache,
-//!   `tune::delta`'s refinement-delta buffer) against the shims and
-//!   assert their invariants across all schedules. These must pass
-//!   exhaustively.
+//!   `tune::delta`'s refinement-delta buffer, `serve::steal`'s
+//!   sharded-queue work stealing) against the shims and assert their
+//!   invariants across all schedules. These must pass exhaustively.
 //! * [`mutants`] — seeded-bug replicas of each protocol (relaxed
 //!   publish, missing revalidation, flag-outside-mutex, load+store
-//!   counter, missing double-check). These must *fail*: they are the
-//!   regression net proving the checker can still see each bug class.
+//!   counter, missing double-check, steal peek-then-re-lock). These
+//!   must *fail*: they are the regression net proving the checker can
+//!   still see each bug class.
 //!
 //! [`run_all`] packages both as `AN-MC` findings for the CLI.
 
@@ -42,6 +43,7 @@ pub mod protocols {
     use smm_gemm::arena;
     use smm_gemm::flight::{set_thread_tid, EventKind, FlightRecorder, SpanEvent};
     use smm_gemm::pool::TaskPool;
+    use smm_serve::steal::ShardQueues;
     use smm_sync::mc::Outcome;
     use smm_sync::sync::thread;
     use smm_tune::{DeltaBuffer, PlanEntry};
@@ -209,10 +211,43 @@ pub mod protocols {
             assert_eq!(st.plan_hits + st.plan_misses, 2);
         })
     }
+
+    /// `serve::steal` sharded-queue work stealing: a producer pushes
+    /// two items onto shard 0 while the shard-1 "dispatcher" steals
+    /// and the shard-0 owner pops — the PR-10 stealing protocol. In
+    /// every schedule each admitted item must surface exactly once
+    /// across owner pop, thief steal, and the final drain (no lost
+    /// steal, no double execution), and the depth hints must read
+    /// zero once the queues are drained.
+    pub fn shard_steal(bound: usize) -> Outcome {
+        checker(bound).explore("shard-steal", || {
+            let q = Arc::new(ShardQueues::<u32>::new(2, 4));
+            let (qp, qt, qo) = (Arc::clone(&q), Arc::clone(&q), Arc::clone(&q));
+            let producer = thread::spawn(move || {
+                qp.push(0, 11).unwrap();
+                qp.push(0, 22).unwrap();
+            });
+            let thief = thread::spawn(move || qt.steal_group(1, 2, |_, _| true));
+            let owner = thread::spawn(move || qo.try_pop(0));
+            producer.join().unwrap();
+            let mut seen = thief.join().unwrap();
+            seen.extend(owner.join().unwrap());
+            for shard in 0..2 {
+                while let Some(v) = q.try_pop(shard) {
+                    seen.push(v);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![11, 22], "item lost or executed twice");
+            assert_eq!(q.depth(0) + q.depth(1), 0, "stale depth hint");
+            assert_eq!(q.total_len(), 0);
+        })
+    }
 }
 
 /// Seeded-bug replicas: each must be *caught* by the checker.
 pub mod mutants {
+    use std::collections::VecDeque;
     use std::sync::Arc;
 
     use smm_sync::mc::Outcome;
@@ -342,6 +377,38 @@ pub mod mutants {
             assert!(Arc::ptr_eq(&p1, &p2), "concurrent misses diverged");
         })
     }
+
+    /// Work stealing with a peek-then-re-lock window: the thief reads
+    /// the victim's head under one lock, releases, then re-locks to
+    /// take it — but "executes" what it peeked regardless of what the
+    /// second lock finds. The owner can pop the same item inside the
+    /// window, and the item runs twice.
+    pub fn shard_steal_double_execute(bound: usize) -> Outcome {
+        checker(bound).explore("mutant-steal-double-execute", || {
+            let q = Arc::new(Mutex::new(VecDeque::from([7u32])));
+            let executed = Arc::new(AtomicU64::new(0));
+            let (tq, te) = (Arc::clone(&q), Arc::clone(&executed));
+            let thief = thread::spawn(move || {
+                let peeked = tq.lock().unwrap().front().copied();
+                if peeked.is_some() {
+                    // BUG: the steal must pop and execute under one
+                    // critical section; this re-lock discards what the
+                    // second look actually found.
+                    let _ = tq.lock().unwrap().pop_front();
+                    te.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if q.lock().unwrap().pop_front().is_some() {
+                executed.fetch_add(1, Ordering::Relaxed);
+            }
+            thief.join().unwrap();
+            assert_eq!(
+                executed.load(Ordering::Relaxed),
+                1,
+                "item executed twice (or lost)"
+            );
+        })
+    }
 }
 
 fn protocol_finding(out: &Outcome) -> Finding {
@@ -416,6 +483,7 @@ pub fn run_all(bound: usize) -> Report {
         protocols::arena_checkout_reuse(bound),
         protocols::plan_cache_dcl(bound),
         protocols::delta_buffer(bound),
+        protocols::shard_steal(bound),
     ] {
         report.push(protocol_finding(&out));
     }
@@ -425,6 +493,7 @@ pub fn run_all(bound: usize) -> Report {
         (mutants::pool_shutdown_lost_wakeup(bound), true),
         (mutants::arena_counter_lost_update(bound), false),
         (mutants::plan_cache_no_double_check(bound), false),
+        (mutants::shard_steal_double_execute(bound), false),
     ] {
         report.push(mutant_finding(&out, expect_deadlock));
     }

@@ -51,6 +51,13 @@ fn delta_buffer_exhaustive_at_bound() {
 }
 
 #[test]
+fn shard_steal_exhaustive_at_bound() {
+    let out = protocols::shard_steal(BOUND);
+    assert!(out.passed(), "{}", out.summary());
+    assert!(out.complete, "exploration truncated: {}", out.summary());
+}
+
+#[test]
 fn mutant_seqlock_relaxed_publish_is_caught() {
     let out = mutants::seqlock_relaxed_publish(BOUND);
     assert!(!out.passed(), "checker missed the relaxed publish");
@@ -86,6 +93,12 @@ fn mutant_arena_lost_update_is_caught() {
 fn mutant_dcl_missing_recheck_is_caught() {
     let out = mutants::plan_cache_no_double_check(BOUND);
     assert!(!out.passed(), "checker missed the missing double-check");
+}
+
+#[test]
+fn mutant_shard_steal_double_execute_is_caught() {
+    let out = mutants::shard_steal_double_execute(BOUND);
+    assert!(!out.passed(), "checker missed the double execution");
 }
 
 #[test]

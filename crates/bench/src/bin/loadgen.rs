@@ -15,6 +15,16 @@
 //! Exit status is non-zero on any gate failure, so CI can run this
 //! binary directly.
 //!
+//! `--shards N` serves the workload through N runtime shards (one
+//! `Smm` + dispatcher per shard, shape-hash routing, work stealing);
+//! `--idle-conns M` holds M extra idle TCP connections open for the
+//! whole run, exercising the multiplexed front end's parked-connection
+//! path. `--gate-scaling` runs the dedicated shard-scaling comparison:
+//! the same uniform multi-shape workload through 1 shard and through
+//! `--shards` (default 4) shards, best-of-3 each, gating aggregate
+//! throughput ≥ 3.0× and p99 within 1.25× of the 1-shard baseline —
+//! both sides under the idle-connection flood.
+//!
 //! `--cold-start` switches to the two-stage autotuning benchmark: a
 //! many-shape workload (deterministic log-uniform shapes) driven once
 //! cold and then for `--cold-windows` warm windows, measuring
@@ -65,6 +75,9 @@ struct Options {
     cold_windows: usize,
     gate_cold_start: bool,
     isa: VectorIsa,
+    shards: usize,
+    idle_conns: usize,
+    gate_scaling: bool,
 }
 
 impl Default for Options {
@@ -87,6 +100,9 @@ impl Default for Options {
             cold_windows: 6,
             gate_cold_start: false,
             isa: VectorIsa::neon128(),
+            shards: 1,
+            idle_conns: 0,
+            gate_scaling: false,
         }
     }
 }
@@ -124,6 +140,11 @@ fn parse_args() -> Options {
                 opts.cold_windows = value("--cold-windows").parse().expect("window count")
             }
             "--gate-cold-start" => opts.gate_cold_start = true,
+            "--shards" => opts.shards = value("--shards").parse().expect("shard count"),
+            "--idle-conns" => {
+                opts.idle_conns = value("--idle-conns").parse().expect("connection count")
+            }
+            "--gate-scaling" => opts.gate_scaling = true,
             "--isa" => {
                 let name = value("--isa");
                 opts.isa =
@@ -135,7 +156,8 @@ fn parse_args() -> Options {
                      \x20       [--queue N] [--max-batch N] [--tcp] [--gate-throughput]\n\
                      \x20       [--report FILE] [--rate-window SECS] [--bench-json FILE]\n\
                      \x20       [--cold-start] [--shapes N] [--plan-db FILE] [--cold-windows N]\n\
-                     \x20       [--gate-cold-start] [--isa NAME]"
+                     \x20       [--gate-cold-start] [--isa NAME]\n\
+                     \x20       [--shards N] [--idle-conns N] [--gate-scaling]"
                 );
                 std::process::exit(0);
             }
@@ -234,17 +256,31 @@ fn drive<T: Send>(
 }
 
 fn run_workload(opts: &Options) -> RunOutcome {
-    // Loadgen owns the runtime so the serving layer records into a
-    // telemetry registry whose rate window matches `--rate-window`.
-    let smm = Arc::new(
-        Smm::<f32>::builder()
-            .threads(opts.threads)
-            .telemetry(true)
-            .rate_window(opts.rate_window)
-            .build(),
-    );
+    // Loadgen owns the runtimes (one per shard) so the serving layer
+    // records into telemetry registries whose rate window matches
+    // `--rate-window`.
+    let smms: Vec<Arc<Smm<f32>>> = (0..opts.shards.max(1))
+        .map(|_| {
+            Arc::new(
+                Smm::<f32>::builder()
+                    .threads(opts.threads)
+                    .telemetry(true)
+                    .rate_window(opts.rate_window)
+                    .build(),
+            )
+        })
+        .collect();
+    // Fleet telemetry: every shard's report absorbed into one, exactly
+    // what the STATS opcode serves for a sharded server.
+    let fleet_telemetry = |smms: &[Arc<Smm<f32>>]| {
+        let mut merged = smms[0].stats_report();
+        for smm in &smms[1..] {
+            merged.absorb(&smm.stats_report());
+        }
+        merged
+    };
     let server = Server::<f32>::builder()
-        .smm(Arc::clone(&smm))
+        .smms(smms.clone())
         .queue_capacity(opts.queue_capacity)
         .coalesce_window(opts.window)
         .max_batch(opts.max_batch)
@@ -253,12 +289,18 @@ fn run_workload(opts: &Options) -> RunOutcome {
     if opts.tcp {
         let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).expect("bind loopback");
         let addr = tcp.local_addr();
+        // Held open and silent for the whole run: exercises the
+        // multiplexed front end's parked-connection path.
+        let flood: Vec<std::net::TcpStream> = (0..opts.idle_conns)
+            .map(|_| std::net::TcpStream::connect(addr).expect("idle connection"))
+            .collect();
         let (latencies, ok, rejected, wall) = drive(
             opts,
             || TcpClient::connect(addr).expect("connect"),
             |client, req| client.call(&req),
         );
-        let telemetry = smm.stats_report();
+        let telemetry = fleet_telemetry(&smms);
+        drop(flood);
         let stats = tcp.shutdown();
         RunOutcome {
             issued,
@@ -276,7 +318,7 @@ fn run_workload(opts: &Options) -> RunOutcome {
             || client.clone(),
             |client, req| client.submit(req).and_then(|t| t.wait()),
         );
-        let telemetry = smm.stats_report();
+        let telemetry = fleet_telemetry(&smms);
         let stats = server.shutdown();
         RunOutcome {
             issued,
@@ -287,6 +329,197 @@ fn run_workload(opts: &Options) -> RunOutcome {
             stats,
             telemetry,
         }
+    }
+}
+
+/// Uniform multi-shape workload for `--gate-scaling`: eight small
+/// shapes whose shape hashes spread two-per-shard at four shards, so
+/// each shard coalesces its own shapes' windows concurrently while the
+/// single-shard baseline serializes all eight behind one dispatcher.
+const SCALING_SHAPES: [(usize, usize, usize); 8] = [
+    (8, 8, 8),
+    (16, 16, 16),
+    (20, 20, 20),
+    (32, 32, 4),
+    (4, 32, 8),
+    (16, 8, 4),
+    (6, 6, 6),
+    (12, 12, 12),
+];
+
+/// One side of the `--gate-scaling` comparison.
+struct ScalingRun {
+    req_per_sec: f64,
+    p99_ns: u64,
+    stolen: u64,
+    spilled: u64,
+}
+
+/// Serve the uniform [`SCALING_SHAPES`] workload over TCP through
+/// `shards` runtime shards, under the `--idle-conns` flood, and
+/// measure aggregate throughput and exact p99 latency.
+fn scaling_run(opts: &Options, shards: usize) -> ScalingRun {
+    let smms: Vec<Arc<Smm<f32>>> = (0..shards)
+        .map(|_| Arc::new(Smm::<f32>::builder().threads(opts.threads).build()))
+        .collect();
+    let server = Server::<f32>::builder()
+        .smms(smms)
+        .queue_capacity(opts.queue_capacity)
+        .coalesce_window(opts.window)
+        .max_batch(opts.max_batch)
+        .build();
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).expect("bind loopback");
+    let addr = tcp.local_addr();
+    // Both sides of the comparison run under the same idle-connection
+    // flood, so the gate measures sharding, not sweep overhead.
+    let flood: Vec<std::net::TcpStream> = (0..opts.idle_conns)
+        .map(|_| std::net::TcpStream::connect(addr).expect("idle connection"))
+        .collect();
+
+    let latencies = Mutex::new(Vec::with_capacity(opts.clients * opts.requests));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for id in 0..opts.clients {
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                let mut local = Vec::with_capacity(opts.requests);
+                // Each client is pinned to one shape: a closed loop
+                // holds one request in flight per client, so every
+                // shape has at most `clients / 8` outstanding requests
+                // and coalesced groups stay the same size on both
+                // sides of the comparison — the gate then measures the
+                // dispatchers' window rate, not batching luck.
+                for _ in 0..opts.requests {
+                    let (m, n, k) = SCALING_SHAPES[id % SCALING_SHAPES.len()];
+                    let req = GemmRequest::new(m, n, k, vec![1.0f32; m * k], vec![1.0f32; k * n]);
+                    let t = Instant::now();
+                    let c = client.call(&req).expect("scaling request");
+                    local.push(t.elapsed().as_nanos() as u64);
+                    assert!(
+                        (c[0] - k as f32).abs() < 1e-3,
+                        "wrong result for {m}x{n}x{k}: got {}, want {k}",
+                        c[0]
+                    );
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    drop(flood);
+    let stats = tcp.shutdown();
+    let latencies = latencies.into_inner().unwrap();
+    assert_eq!(
+        latencies.len(),
+        opts.clients * opts.requests,
+        "scaling run dropped replies"
+    );
+    ScalingRun {
+        req_per_sec: latencies.len() as f64 / wall.as_secs_f64(),
+        p99_ns: p99_ns(&latencies),
+        stolen: stats.stolen,
+        spilled: stats.spilled,
+    }
+}
+
+/// The `"scaling"` bench JSON written by `--gate-scaling --bench-json`.
+fn scaling_json(opts: &Options, sharded: usize, base: &ScalingRun, multi: &ScalingRun) -> String {
+    let side = |label: &str, shards: usize, run: &ScalingRun| {
+        format!(
+            "  \"{label}\": {{\"shards\": {shards}, \"req_per_sec\": {:.3}, \
+             \"p99_ns\": {}, \"stolen\": {}, \"spilled\": {}}},\n",
+            run.req_per_sec, run.p99_ns, run.stolen, run.spilled
+        )
+    };
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"loadgen\",\n");
+    s.push_str("  \"mode\": \"scaling\",\n");
+    s.push_str(&format!("  \"clients\": {},\n", opts.clients));
+    s.push_str(&format!("  \"requests_per_client\": {},\n", opts.requests));
+    s.push_str(&format!("  \"idle_conns\": {},\n", opts.idle_conns));
+    s.push_str(&side("baseline", 1, base));
+    s.push_str(&side("sharded", sharded, multi));
+    s.push_str(&format!(
+        "  \"speedup\": {:.6},\n",
+        multi.req_per_sec / base.req_per_sec
+    ));
+    s.push_str(&format!(
+        "  \"p99_ratio\": {:.6}\n",
+        multi.p99_ns as f64 / base.p99_ns.max(1) as f64
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// `--gate-scaling` entry point: the same uniform workload through one
+/// shard and through `--shards` shards, best-of-3 each, gated on
+/// near-linear aggregate throughput and p99 stability.
+fn scaling_main(opts: &Options) {
+    let sharded = if opts.shards > 1 { opts.shards } else { 4 };
+    let best = |shards: usize| {
+        (0..3)
+            .map(|_| scaling_run(opts, shards))
+            .max_by(|a, b| a.req_per_sec.total_cmp(&b.req_per_sec))
+            .expect("three runs")
+    };
+    let base = best(1);
+    let multi = best(sharded);
+    let speedup = multi.req_per_sec / base.req_per_sec;
+    let p99_ratio = multi.p99_ns as f64 / base.p99_ns.max(1) as f64;
+
+    let mut report = format!(
+        "loadgen --gate-scaling: {} clients x {} requests over {} shapes, \
+         window {:?}, {} idle connections\n",
+        opts.clients,
+        opts.requests,
+        SCALING_SHAPES.len(),
+        opts.window,
+        opts.idle_conns,
+    );
+    report.push_str(&format!(
+        "  1 shard   : {:>9.0} req/s, p99 {:>9.1} us\n",
+        base.req_per_sec,
+        base.p99_ns as f64 / 1e3
+    ));
+    report.push_str(&format!(
+        "  {sharded} shards  : {:>9.0} req/s, p99 {:>9.1} us ({} stolen, {} spilled)\n",
+        multi.req_per_sec,
+        multi.p99_ns as f64 / 1e3,
+        multi.stolen,
+        multi.spilled,
+    ));
+    report.push_str(&format!(
+        "  speedup {speedup:.2}x (gate >= 3.00x), p99 ratio {p99_ratio:.3} (gate <= 1.25)\n"
+    ));
+    print!("{report}");
+
+    assert!(
+        speedup >= 3.0,
+        "scaling gate: {sharded} shards reached {:.0} req/s, only {speedup:.2}x the \
+         1-shard {:.0} req/s (gate >= 3.0x)",
+        multi.req_per_sec,
+        base.req_per_sec,
+    );
+    assert!(
+        p99_ratio <= 1.25,
+        "scaling gate: sharded p99 {:.1} us is {p99_ratio:.3}x the 1-shard p99 {:.1} us \
+         (gate <= 1.25x)",
+        multi.p99_ns as f64 / 1e3,
+        base.p99_ns as f64 / 1e3,
+    );
+    println!("loadgen: scaling gates passed");
+
+    if let Some(path) = &opts.report {
+        let mut f = std::fs::File::create(path).expect("create report file");
+        f.write_all(report.as_bytes()).expect("write report");
+        println!("loadgen: report written to {path}");
+    }
+    if let Some(path) = &opts.bench_json {
+        let mut f = std::fs::File::create(path).expect("create bench json");
+        f.write_all(scaling_json(opts, sharded, &base, &multi).as_bytes())
+            .expect("write bench json");
+        println!("loadgen: bench json written to {path}");
     }
 }
 
@@ -646,8 +879,13 @@ fn render_report(opts: &Options, run: &RunOutcome) -> String {
     let mut out = String::new();
     let mode = if opts.tcp { "tcp" } else { "in-process" };
     out.push_str(&format!(
-        "loadgen: {} clients x {} requests ({mode}), window {:?}, {} worker threads\n",
-        opts.clients, opts.requests, opts.window, opts.threads
+        "loadgen: {} clients x {} requests ({mode}), window {:?}, {} worker threads, \
+         {} shard(s)\n",
+        opts.clients,
+        opts.requests,
+        opts.window,
+        opts.threads,
+        opts.shards.max(1)
     ));
     out.push_str(&format!(
         "  issued {}, completed {}, rejected {} in {:.3} s -> {:.2} Gflops achieved\n",
@@ -701,6 +939,7 @@ fn bench_json(opts: &Options, run: &RunOutcome) -> String {
         if opts.tcp { "tcp" } else { "in-process" }
     ));
     s.push_str(&format!("  \"clients\": {},\n", opts.clients));
+    s.push_str(&format!("  \"shards\": {},\n", opts.shards.max(1)));
     s.push_str(&format!("  \"requests_per_client\": {},\n", opts.requests));
     s.push_str(&format!("  \"issued\": {},\n", run.issued));
     s.push_str(&format!("  \"completed\": {},\n", run.ok));
@@ -755,6 +994,11 @@ fn bench_json(opts: &Options, run: &RunOutcome) -> String {
 
 fn main() {
     let opts = parse_args();
+    if opts.gate_scaling {
+        assert!(opts.clients > 0 && opts.requests > 0, "empty workload");
+        scaling_main(&opts);
+        return;
+    }
     if opts.cold_start {
         assert!(opts.shapes > 0 && opts.cold_windows > 0, "empty workload");
         cold_start_main(&opts);

@@ -5,11 +5,15 @@
 //! geometric (m, n, k) grid and writes the winners to a versioned,
 //! checksummed plan database; `inspect` loads a database, validates it
 //! (optionally against an expected ISA, exiting non-zero with the typed
-//! error on any mismatch), and prints a summary.
+//! error on any mismatch), and prints a summary; `merge` reconciles N
+//! database/delta files — e.g. one flushed delta file per serving shard
+//! — into one ([`PlanDb::merge`]: same-shape conflicts go to the
+//! most-trafficked entry, traffic sums, output is canonical).
 //!
 //! ```text
 //! smm-tune sweep --isa neon128 --out plans.smmdb [--min 4] [--max 64] [--points 6] [--threads N]
 //! smm-tune inspect --db plans.smmdb [--expect-isa neon128]
+//! smm-tune merge --out merged.smmdb shard0.smmdb shard1.smmdb [...]
 //! ```
 
 use std::path::PathBuf;
@@ -21,6 +25,7 @@ use smm_model::VectorIsa;
 fn usage() -> ! {
     eprintln!("usage: smm-tune sweep --isa NAME --out PATH [--min 4] [--max 64] [--points 6] [--threads N]");
     eprintln!("       smm-tune inspect --db PATH [--expect-isa NAME]");
+    eprintln!("       smm-tune merge --out PATH INPUT...");
     std::process::exit(2);
 }
 
@@ -39,6 +44,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => sweep(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
+        Some("merge") => merge(&args[1..]),
         _ => usage(),
     }
 }
@@ -112,6 +118,67 @@ fn sweep(args: &[String]) {
         out.display(),
         improved,
         mean_gain
+    );
+}
+
+/// Reconcile N database/delta files into one. Typed failures — a
+/// missing file, foreign-ISA input, or corrupt payload — exit 2 with
+/// the [`PlanDbError`](smm_core::PlanDbError) rendered, never a panic
+/// or a partial output file.
+fn merge(args: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            flag if flag.starts_with("--") => usage(),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    let Some(out) = out else { usage() };
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let mut dbs = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        match PlanDb::load(path) {
+            Ok(db) => {
+                println!(
+                    "  {}: isa {}, {} entries",
+                    path.display(),
+                    db.isa().name,
+                    db.len()
+                );
+                dbs.push(db);
+            }
+            Err(e) => {
+                eprintln!("smm-tune: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let merged = match PlanDb::merge(&dbs) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("smm-tune: merge failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = merged.save(&out) {
+        eprintln!("smm-tune: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let refined = merged.entries().iter().filter(|e| e.refined).count();
+    let traffic: u64 = merged.entries().iter().map(|e| e.traffic).sum();
+    println!(
+        "merged {} inputs -> {}: {} entries ({} refined, {} total observed calls)",
+        inputs.len(),
+        out.display(),
+        merged.len(),
+        refined,
+        traffic
     );
 }
 

@@ -1337,6 +1337,101 @@ impl TelemetryReport {
         );
         s
     }
+
+    /// Fold `other` into `self`, producing the fleet-wide view of N
+    /// independent runtime shards: counters and histograms sum, ratios
+    /// are recomputed from the summed raw quantities, high-water marks
+    /// take the max, and per-shape rows merge by shape key. This is
+    /// what the sharded serving layer uses to aggregate per-shard
+    /// [`TelemetryReport`]s into one report behind the `STATS` opcode.
+    pub fn absorb(&mut self, other: &TelemetryReport) {
+        self.enabled |= other.enabled;
+        self.runtime.plan_hits += other.runtime.plan_hits;
+        self.runtime.plan_misses += other.runtime.plan_misses;
+        self.runtime.plan_evictions += other.runtime.plan_evictions;
+        self.runtime.cached_plans += other.runtime.cached_plans;
+        self.runtime.pool_workers += other.runtime.pool_workers;
+        self.pool.workers += other.pool.workers;
+        self.pool.queue_highwater = self.pool.queue_highwater.max(other.pool.queue_highwater);
+        self.pool.worker_wakeups += other.pool.worker_wakeups;
+        self.pool.worker_tasks += other.pool.worker_tasks;
+        self.pool.inline_drained += other.pool.inline_drained;
+        self.pool.park_ns += other.pool.park_ns;
+        self.pool.scoped_calls += other.pool.scoped_calls;
+        self.arena.hits += other.arena.hits;
+        self.arena.misses += other.arena.misses;
+        self.arena.alloc_bytes += other.arena.alloc_bytes;
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.histogram.merge(&theirs.histogram);
+        }
+        for (mine, theirs) in self.sites.iter_mut().zip(&other.sites) {
+            let calls = mine.calls + theirs.calls;
+            let mut phase_ns = mine.phase_ns;
+            for (a, b) in phase_ns.iter_mut().zip(&theirs.phase_ns) {
+                *a += b;
+            }
+            *mine = SiteBreakdown::from_phase_ns(mine.site, calls, &phase_ns);
+        }
+        for r in &other.shapes {
+            let key = (r.m, r.n, r.k, r.elem_bytes);
+            match self
+                .shapes
+                .iter_mut()
+                .find(|s| (s.m, s.n, s.k, s.elem_bytes) == key)
+            {
+                Some(mine) => {
+                    mine.calls += r.calls;
+                    mine.total_ns += r.total_ns;
+                    mine.achieved_gflops = if mine.total_ns > 0 {
+                        (2 * mine.m * mine.n * mine.k) as f64 * mine.calls as f64
+                            / mine.total_ns as f64
+                    } else {
+                        0.0
+                    };
+                    mine.model_fraction = if mine.predicted_gflops > 0.0 {
+                        mine.achieved_gflops / mine.predicted_gflops
+                    } else {
+                        0.0
+                    };
+                }
+                None => self.shapes.push(r.clone()),
+            }
+        }
+        self.shapes.sort_by_key(|r| std::cmp::Reverse(r.calls));
+        // Observed P2C is loads/fmas, both proportional to raw sums —
+        // the merged ratio is the flops-weighted mean of the inputs.
+        let (fa, fb) = (self.flops as f64, other.flops as f64);
+        if fa + fb > 0.0 {
+            self.observed_p2c = (self.observed_p2c * fa + other.observed_p2c * fb) / (fa + fb);
+        }
+        self.packed_bytes += other.packed_bytes;
+        self.flops += other.flops;
+        // Rates: throughput adds across shards; latency statistics are
+        // request-weighted or pessimistic (max), never averaged blind.
+        let (ra, rb) = (self.rate.req_per_sec, other.rate.req_per_sec);
+        if ra + rb > 0.0 {
+            self.rate.mean_ns = ((self.rate.mean_ns as f64 * ra + other.rate.mean_ns as f64 * rb)
+                / (ra + rb)) as u64;
+        }
+        self.rate.req_per_sec += other.rate.req_per_sec;
+        self.rate.gflops_per_sec += other.rate.gflops_per_sec;
+        self.rate.window_secs = self.rate.window_secs.max(other.rate.window_secs);
+        self.rate.covered_secs = self.rate.covered_secs.max(other.rate.covered_secs);
+        self.rate.p99_now_ns = self.rate.p99_now_ns.max(other.rate.p99_now_ns);
+        self.rate.p99_trend_ns_per_sec += other.rate.p99_trend_ns_per_sec;
+        self.rate.live_slots = self.rate.live_slots.max(other.rate.live_slots);
+        self.slow.extend(other.slow.iter().cloned());
+        self.slow.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        self.slow.truncate(8);
+        self.dropped_shapes += other.dropped_shapes;
+        self.tuner.db_entries += other.tuner.db_entries;
+        self.tuner.db_hits += other.tuner.db_hits;
+        self.tuner.nn_matches += other.tuner.nn_matches;
+        self.tuner.online_refines += other.tuner.online_refines;
+        self.tuner.untuned_builds += other.tuner.untuned_builds;
+        self.tuner.pending_deltas += other.tuner.pending_deltas;
+        self.tuner.persisted_deltas += other.tuner.persisted_deltas;
+    }
 }
 
 impl std::fmt::Display for TelemetryReport {

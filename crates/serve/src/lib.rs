@@ -20,9 +20,16 @@
 //! * [`wire`] — a small length-prefixed binary protocol (`f32` only)
 //!   whose decoder is total: truncated, oversized, or garbage frames
 //!   produce typed protocol errors, never panics.
-//! * [`tcp`] — a `std::net` front end: an acceptor thread plus
-//!   per-connection handlers that decode frames, submit through the
-//!   same [`Client`], and write replies.
+//! * [`shard`] + [`steal`] — the scale-out layer: N runtime shards
+//!   (each its own [`Smm`](smm_core::Smm) with private plan cache,
+//!   arenas, and worker pool — a panel, in the paper's topology),
+//!   shape-affine FNV routing with load-based spill, and a
+//!   model-checked work-stealing protocol between shard queues; the
+//!   per-shard telemetry aggregates into one [`FleetReport`] behind
+//!   the existing `STATS` opcode.
+//! * [`tcp`] — a `std::net` front end: an acceptor thread plus a
+//!   fixed pool of reader threads multiplexing nonblocking
+//!   connections, so idle connections cost buffers, not threads.
 //! * telemetry: the dispatcher records serve-side phase spans —
 //!   enqueue-wait, coalesce-window, dispatch, reply — into the owning
 //!   `Smm`'s histogram shards under
@@ -50,9 +57,13 @@
 mod clock;
 pub mod request;
 pub mod server;
+pub mod shard;
+pub mod steal;
 pub mod tcp;
 pub mod wire;
 
 pub use request::{GemmRequest, Rejected, Ticket};
 pub use server::{Client, ServeConfig, ServeStats, Server, ServerBuilder};
+pub use shard::{gather_fleet, route_shape, shard_panel, FleetReport, ShardSection, PAPER_PANELS};
+pub use steal::{Refused, ShardQueues, Step};
 pub use tcp::{TcpClient, TcpServer, DEFAULT_MAX_CONNECTIONS};

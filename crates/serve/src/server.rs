@@ -1,5 +1,9 @@
-//! The in-process serving core: bounded admission, the shape-coalescing
-//! dispatcher, deadlines, and graceful drain.
+//! The in-process serving core: N runtime shards, each with a bounded
+//! admission queue and a shape-coalescing dispatcher, behind one
+//! shape-affine router with load-based spill and cross-shard work
+//! stealing.
+//!
+//! # One shard (the default)
 //!
 //! One dispatcher thread owns the batching decision. It pops the oldest
 //! queued request, pulls every already-queued request with the same
@@ -12,27 +16,42 @@
 //! paper's §III-D prescribes for tiny shapes. A group of one skips the
 //! flat-buffer copies and calls [`Smm::gemm`] directly.
 //!
-//! Robustness invariants:
+//! # N shards ([`ServerBuilder::shards`])
+//!
+//! Each shard owns its **own** [`Smm`] runtime — plan cache, packing
+//! arenas, worker pool, telemetry — mirroring the paper's Phytium
+//! 2000+ panel topology, where a core's cost model depends on which
+//! 8-core panel its data lives in (§II, Table I). Requests route to
+//! shards by shape hash ([`crate::shard::route_shape`]), so one
+//! shape's plan and arenas stay hot in one shard instead of being
+//! sprayed across all of them; a shard whose queue is deep spills new
+//! arrivals to the shallowest shard, and an idle shard *steals* the
+//! head group of the deepest victim through
+//! [`ShardQueues::steal_group`](crate::steal::ShardQueues) — a
+//! single-victim-lock protocol that is exhaustively model-checked
+//! (`smm-analyze concurrency --model-check`, protocol `shard-steal`).
+//!
+//! Robustness invariants (all shard counts):
 //!
 //! * **Bounded admission** — [`Client::submit`] never blocks and never
-//!   queues beyond [`ServeConfig::queue_capacity`]; overflow is the
-//!   typed backpressure signal [`Rejected::QueueFull`].
+//!   queues beyond [`ServeConfig::queue_capacity`] per shard; overflow
+//!   is the typed backpressure signal [`Rejected::QueueFull`].
 //! * **Deadlines expire before dispatch** — queued requests whose
 //!   deadline has passed are answered [`Rejected::DeadlineExceeded`]
 //!   and never reach the GEMM; expired work is shed, not computed.
 //! * **Exactly-once replies** — every admitted request's ticket is
-//!   fulfilled exactly once: by execution, by expiry, or by the drain.
+//!   fulfilled exactly once: by execution (on its own shard or a
+//!   thief's), by expiry, or by the drain.
 //! * **Graceful shutdown** — [`Server::shutdown`] stops admission,
-//!   wakes the dispatcher, and joins it only after the queue has been
-//!   drained and every outstanding ticket answered.
+//!   wakes every dispatcher, and joins them only after every queue has
+//!   been drained and every outstanding ticket answered.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smm_sync::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use smm_sync::sync::atomic::{AtomicU64, Ordering};
 use smm_sync::sync::thread::JoinHandle;
-use smm_sync::sync::{Condvar, Mutex};
 
 use smm_core::{
     shape_arg, CallSite, OpenSpan, Phase, Smm, SpanName, StridedBatch, TraceCtx, Tracer,
@@ -43,12 +62,15 @@ use smm_kernels::Scalar;
 
 use crate::clock;
 use crate::request::{reply_pair, GemmRequest, Rejected, ReplySlot, Ticket};
+use crate::shard::route_shape;
+use crate::steal::{Refused, ShardQueues, Step};
 
 /// Tuning knobs of one [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Bound on queued (admitted, not yet dispatched) requests;
-    /// submissions beyond it are rejected with [`Rejected::QueueFull`].
+    /// Bound on queued (admitted, not yet dispatched) requests *per
+    /// shard*; submissions beyond it are rejected with
+    /// [`Rejected::QueueFull`].
     pub queue_capacity: usize,
     /// How long the dispatcher holds a group open for more same-shape
     /// arrivals. Zero disables coalescing-by-waiting (already-queued
@@ -57,10 +79,22 @@ pub struct ServeConfig {
     /// Maximum requests coalesced into one `gemm_batch` call.
     pub max_batch: usize,
     /// How many of the plan database's hottest shapes (by persisted
-    /// traffic) the dispatcher pre-warms at startup — plans built and
+    /// traffic) each dispatcher pre-warms at startup — plans built and
     /// gather arenas touched before the first request. Zero disables;
     /// a no-op when the runtime has no plan database or no traffic.
     pub prewarm: usize,
+    /// Runtime shards: independent `Smm` runtimes, each with its own
+    /// admission queue and dispatcher. 1 (the default) is the classic
+    /// single-runtime server.
+    pub shards: usize,
+    /// Queue depth at which the router spills a new arrival away from
+    /// its home shard to the shallowest one (shape affinity traded for
+    /// load balance; only meaningful with more than one shard).
+    pub spill_depth: usize,
+    /// How long an idle dispatcher waits before re-polling its
+    /// siblings' queues for stealable work (multi-shard only; a
+    /// single-shard dispatcher blocks untimed on its own condvar).
+    pub steal_poll: Duration,
 }
 
 impl Default for ServeConfig {
@@ -70,12 +104,16 @@ impl Default for ServeConfig {
             coalesce_window: Duration::from_micros(100),
             max_batch: 64,
             prewarm: 64,
+            shards: 1,
+            spill_depth: 64,
+            steal_poll: Duration::from_micros(200),
         }
     }
 }
 
 /// Cumulative serving counters, snapshotted by [`Server::stats`] /
-/// [`Client::stats`].
+/// [`Client::stats`] (fleet-wide sums) and [`Client::shard_stats`]
+/// (one shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Requests admitted into the queue.
@@ -97,6 +135,12 @@ pub struct ServeStats {
     /// Hot shapes the dispatcher pre-warmed at startup (plans built
     /// and arenas touched before the first request).
     pub prewarmed: u64,
+    /// Requests an idle shard stole from an overloaded sibling's queue
+    /// (counted on the thief).
+    pub stolen: u64,
+    /// Requests the router redirected away from their home shard to a
+    /// shallower one (counted on the shard that absorbed them).
+    pub spilled: u64,
 }
 
 impl ServeStats {
@@ -108,6 +152,23 @@ impl ServeStats {
         } else {
             self.completed as f64 / self.batches as f64
         }
+    }
+
+    /// Field-wise sum with another snapshot (`queue_depth` adds,
+    /// `coalesced_max` takes the max) — how per-shard snapshots fold
+    /// into the fleet view.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_shutdown += other.rejected_shutdown;
+        self.expired += other.expired;
+        self.batches += other.batches;
+        self.coalesced_max = self.coalesced_max.max(other.coalesced_max);
+        self.queue_depth += other.queue_depth;
+        self.prewarmed += other.prewarmed;
+        self.stolen += other.stolen;
+        self.spilled += other.spilled;
     }
 }
 
@@ -124,12 +185,14 @@ impl std::fmt::Display for ServeStats {
         )?;
         write!(
             f,
-            "       {} expired, {} queue-full, {} shutdown-rejected, {} queued now, {} prewarmed",
+            "       {} expired, {} queue-full, {} shutdown-rejected, {} queued now, {} prewarmed, {} stolen, {} spilled",
             self.expired,
             self.rejected_queue_full,
             self.rejected_shutdown,
             self.queue_depth,
-            self.prewarmed
+            self.prewarmed,
+            self.stolen,
+            self.spilled
         )
     }
 }
@@ -144,6 +207,11 @@ struct Pending<S: Scalar> {
     /// The request's trace span, begun at submission and ended when
     /// the reply is fulfilled (all-zero when tracing is off).
     span: OpenSpan,
+    /// The shard whose tracer minted `span` and whose counters this
+    /// request's lifecycle (submitted/completed/expired) bills to.
+    /// Stays fixed even when the request is spilled to another queue
+    /// or stolen by another dispatcher.
+    origin: usize,
     slot: Arc<ReplySlot<S>>,
 }
 
@@ -161,24 +229,15 @@ impl<S: Scalar> Pending<S> {
     }
 }
 
-/// State shared between [`Client`] handles and the dispatcher.
-struct ServeShared<S: Scalar> {
-    queue: Mutex<VecDeque<Pending<S>>>,
-    work_cv: Condvar,
-    /// Shutdown latch; relaxed — every decision that must be
-    /// race-free (admit vs. drain-and-exit) re-checks it under the
-    /// `queue` mutex, and the raising side stores + notifies while
-    /// holding that same mutex (`shutdown_inner`), so the mutex
-    /// provides the ordering and the lock-free read is only a
-    /// fast-path hint.
-    shutdown: AtomicBool,
-    cfg: ServeConfig,
-    /// The runtime's request tracer (the disabled no-op unless the
-    /// `Smm` was built with tracing). Request spans begin at
+/// Per-shard counters and the shard runtime's tracer; relaxed
+/// monotonic adds/maxes, read only by snapshotting reporters — never
+/// used for synchronization.
+struct ShardState {
+    /// The shard runtime's request tracer (the disabled no-op unless
+    /// its `Smm` was built with tracing). Request spans begin at
     /// submission, so submitters need it without going through `Smm`.
     tracer: Tracer,
-    /// Serving counters; relaxed monotonic adds/maxes, read only by
-    /// snapshotting reporters — never used for synchronization.
+    // All counters relaxed; see the struct docs.
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected_queue_full: AtomicU64,
@@ -187,10 +246,28 @@ struct ServeShared<S: Scalar> {
     batches: AtomicU64,
     coalesced_max: AtomicU64,
     prewarmed: AtomicU64,
+    stolen: AtomicU64,
+    spilled: AtomicU64,
 }
 
-impl<S: Scalar> ServeShared<S> {
-    fn stats(&self) -> ServeStats {
+impl ShardState {
+    fn new(tracer: Tracer) -> Self {
+        ShardState {
+            tracer,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_max: AtomicU64::new(0),
+            prewarmed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self, queue_depth: usize) -> ServeStats {
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -199,9 +276,35 @@ impl<S: Scalar> ServeShared<S> {
             expired: self.expired.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_max: self.coalesced_max.load(Ordering::Relaxed),
-            queue_depth: self.queue.lock().unwrap().len(),
+            queue_depth,
             prewarmed: self.prewarmed.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// State shared between [`Client`] handles and the dispatchers.
+struct ServeShared<S: Scalar> {
+    /// Per-shard bounded queues + the model-checked stealing protocol.
+    /// The shutdown latch lives inside (`ShardQueues::shutdown`), so
+    /// admit-vs-drain decisions serialize under the queue mutexes.
+    queues: ShardQueues<Pending<S>>,
+    cfg: ServeConfig,
+    shards: Vec<ShardState>,
+}
+
+impl<S: Scalar> ServeShared<S> {
+    fn shard_stats(&self, shard: usize) -> ServeStats {
+        self.shards[shard].stats(self.queues.depth(shard))
+    }
+
+    fn stats(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for i in 0..self.shards.len() {
+            total.absorb(&self.shard_stats(i));
+        }
+        total
     }
 }
 
@@ -228,25 +331,44 @@ impl<S: Scalar> Client<S> {
     /// Submit one request. Never blocks: the result is a [`Ticket`] to
     /// wait on, or an immediate typed rejection (validation failure,
     /// full queue, or a shutting-down server).
+    ///
+    /// Routing (multi-shard): the request's shape hashes to its *home*
+    /// shard so one shape's plan and arenas stay hot in one runtime;
+    /// when the home queue is at least [`ServeConfig::spill_depth`]
+    /// deep — or turns out to be full — the request spills to the
+    /// shallowest shard instead.
     pub fn submit(&self, req: GemmRequest<S>) -> Result<Ticket<S>, Rejected> {
         req.validate().map_err(Rejected::Invalid)?;
         let shared = &self.shared;
+        let nshards = shared.shards.len();
         // Fast-path hint only; the authoritative check is under the
-        // queue lock below.
-        if shared.shutdown.load(Ordering::Relaxed) {
-            shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        // queue lock inside `push`.
+        let mut target = route_shape(req.m, req.n, req.k, nshards);
+        if shared.queues.is_shutdown() {
+            shared.shards[target]
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::ShuttingDown);
         }
+        let mut spilled = false;
+        if nshards > 1 && shared.queues.depth(target) >= shared.cfg.spill_depth {
+            if let Some(alt) = self.shallowest_other(target) {
+                target = alt;
+                spilled = true;
+            }
+        }
+        let state = &shared.shards[target];
         let now = clock::now();
         // Admission: mint the request's trace (span ends at reply) and
         // time the validate-and-enqueue window under it. No-ops with
-        // the disabled tracer.
-        let span = shared.tracer.begin_span(
+        // the disabled tracer. The span lives on the home shard's
+        // tracer for the request's whole life, even if stolen.
+        let span = state.tracer.begin_span(
             TraceCtx::none(),
             SpanName::Request,
             shape_arg(req.m, req.n, req.k),
         );
-        let adm = shared.tracer.begin_span(
+        let adm = state.tracer.begin_span(
             TraceCtx {
                 trace: span.trace,
                 parent: span.span,
@@ -255,56 +377,105 @@ impl<S: Scalar> Client<S> {
             0,
         );
         let reject = |err: Rejected| {
-            shared.tracer.end_span(adm);
-            shared.tracer.end_span(span);
+            state.tracer.end_span(adm);
+            state.tracer.end_span(span);
             Err(err)
         };
-        let pending = {
-            let (slot, ticket) = reply_pair();
-            (
-                Pending {
-                    deadline: req.deadline.map(|d| now + d),
-                    enqueued: now,
-                    req,
-                    span,
-                    slot,
-                },
-                ticket,
-            )
+        let (slot, ticket) = reply_pair();
+        let mut pending = Pending {
+            deadline: req.deadline.map(|d| now + d),
+            enqueued: now,
+            req,
+            span,
+            origin: target,
+            slot,
         };
-        let mut q = shared.queue.lock().unwrap();
-        // Re-check under the lock: once the dispatcher has observed
-        // shutdown with an empty queue and exited, nothing may enqueue.
-        if shared.shutdown.load(Ordering::Relaxed) {
-            drop(q);
-            shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-            return reject(Rejected::ShuttingDown);
+        match shared.queues.push(target, pending) {
+            Ok(()) => {}
+            Err(Refused::ShutDown(_)) => {
+                state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                return reject(Rejected::ShuttingDown);
+            }
+            Err(Refused::Full(p)) => {
+                pending = p;
+                // Home shard full: one spill attempt to the shallowest
+                // sibling before giving up with typed backpressure.
+                let alt = if nshards > 1 {
+                    self.shallowest_other(target)
+                } else {
+                    None
+                };
+                let mut placed = false;
+                if let Some(alt) = alt {
+                    match shared.queues.push(alt, pending) {
+                        Ok(()) => {
+                            placed = true;
+                            shared.shards[alt].spilled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(Refused::ShutDown(_)) => {
+                            state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                            return reject(Rejected::ShuttingDown);
+                        }
+                        Err(Refused::Full(_)) => {}
+                    }
+                }
+                if !placed {
+                    state.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                    return reject(Rejected::QueueFull {
+                        capacity: shared.cfg.queue_capacity,
+                    });
+                }
+                state.tracer.end_span(adm);
+                state.submitted.fetch_add(1, Ordering::Relaxed);
+                return Ok(ticket);
+            }
         }
-        if q.len() >= shared.cfg.queue_capacity {
-            drop(q);
-            shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-            return reject(Rejected::QueueFull {
-                capacity: shared.cfg.queue_capacity,
-            });
+        if spilled {
+            state.spilled.fetch_add(1, Ordering::Relaxed);
         }
-        q.push_back(pending.0);
-        drop(q);
-        shared.tracer.end_span(adm);
-        shared.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.work_cv.notify_one();
-        Ok(pending.1)
+        state.tracer.end_span(adm);
+        state.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
     }
 
-    /// Snapshot of the serving counters.
+    /// The shard with the shallowest queue hint, excluding `not` —
+    /// `None` when no other shard is shallower than `not`'s queue.
+    fn shallowest_other(&self, not: usize) -> Option<usize> {
+        let q = &self.shared.queues;
+        let mut best: Option<(usize, usize)> = None;
+        for i in 0..q.shards() {
+            if i == not {
+                continue;
+            }
+            let d = q.depth(i);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best.filter(|&(_, d)| d < q.depth(not)).map(|(i, _)| i)
+    }
+
+    /// Fleet-wide snapshot of the serving counters (all shards
+    /// summed).
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
+    }
+
+    /// Snapshot of one shard's serving counters.
+    pub fn shard_stats(&self, shard: usize) -> ServeStats {
+        self.shared.shard_stats(shard)
+    }
+
+    /// Number of runtime shards behind this client.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
     }
 }
 
 /// Builder for [`Server`] — mirrors the [`Smm::builder`] idiom.
 pub struct ServerBuilder<S: Scalar> {
     cfg: ServeConfig,
-    smm: Option<Arc<Smm<S>>>,
+    smms: Vec<Arc<Smm<S>>>,
     threads: Option<usize>,
 }
 
@@ -312,14 +483,14 @@ impl<S: Scalar> Default for ServerBuilder<S> {
     fn default() -> Self {
         ServerBuilder {
             cfg: ServeConfig::default(),
-            smm: None,
+            smms: Vec::new(),
             threads: None,
         }
     }
 }
 
 impl<S: Scalar> ServerBuilder<S> {
-    /// Bound on queued requests (clamped to at least 1).
+    /// Bound on queued requests per shard (clamped to at least 1).
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.cfg.queue_capacity = capacity.max(1);
         self
@@ -337,76 +508,110 @@ impl<S: Scalar> ServerBuilder<S> {
         self
     }
 
-    /// How many hot shapes to pre-warm at startup (0 disables; default
-    /// 64). Only effective when the runtime carries a plan database
-    /// with recorded traffic.
+    /// How many hot shapes each dispatcher pre-warms at startup (0
+    /// disables; default 64). Only effective when the runtime carries
+    /// a plan database with recorded traffic.
     pub fn prewarm(mut self, shapes: usize) -> Self {
         self.cfg.prewarm = shapes;
         self
     }
 
-    /// Serve on this existing runtime instead of building one.
-    pub fn smm(mut self, smm: Arc<Smm<S>>) -> Self {
-        self.smm = Some(smm);
+    /// Number of runtime shards (clamped to at least 1; default 1).
+    /// Each shard is an independent `Smm` runtime with its own plan
+    /// cache, arenas, worker pool, queue, and dispatcher.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards.max(1);
         self
     }
 
-    /// Worker threads for the internally built runtime (ignored when
-    /// [`ServerBuilder::smm`] is supplied). Defaults to the machine's
+    /// Queue depth at which the router spills arrivals away from
+    /// their home shard (clamped to at least 1).
+    pub fn spill_depth(mut self, depth: usize) -> Self {
+        self.cfg.spill_depth = depth.max(1);
+        self
+    }
+
+    /// Idle-dispatcher steal polling period (multi-shard only).
+    pub fn steal_poll(mut self, period: Duration) -> Self {
+        self.cfg.steal_poll = period;
+        self
+    }
+
+    /// Serve shard 0 on this existing runtime instead of building one
+    /// (remaining shards, if any, are built internally).
+    pub fn smm(mut self, smm: Arc<Smm<S>>) -> Self {
+        if self.smms.is_empty() {
+            self.smms.push(smm);
+        } else {
+            self.smms[0] = smm;
+        }
+        self
+    }
+
+    /// Serve on exactly these runtimes, one per shard (also sets the
+    /// shard count).
+    pub fn smms(mut self, smms: Vec<Arc<Smm<S>>>) -> Self {
+        self.cfg.shards = smms.len().max(1);
+        self.smms = smms;
+        self
+    }
+
+    /// Worker threads for each internally built runtime (ignored for
+    /// shards whose runtime was supplied). Defaults to the machine's
     /// available parallelism.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
 
-    /// Build the server and start its dispatcher thread.
+    /// Build the server and start one dispatcher thread per shard.
     pub fn build(self) -> Server<S> {
-        let smm = self.smm.unwrap_or_else(|| {
-            let threads = self
-                .threads
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
-            Arc::new(Smm::builder().threads(threads).build())
-        });
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+        let mut smms = self.smms;
+        while smms.len() < self.cfg.shards {
+            smms.push(Arc::new(Smm::builder().threads(threads).build()));
+        }
+        smms.truncate(self.cfg.shards);
         let shared = Arc::new(ServeShared {
-            queue: Mutex::new(VecDeque::new()),
-            work_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            queues: ShardQueues::new(self.cfg.shards, self.cfg.queue_capacity),
+            shards: smms
+                .iter()
+                .map(|smm| ShardState::new(smm.tracer().clone()))
+                .collect(),
             cfg: self.cfg,
-            tracer: smm.tracer().clone(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected_queue_full: AtomicU64::new(0),
-            rejected_shutdown: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            coalesced_max: AtomicU64::new(0),
-            prewarmed: AtomicU64::new(0),
         });
-        let dispatcher = {
-            let smm = Arc::clone(&smm);
-            let shared = Arc::clone(&shared);
-            smm_sync::sync::thread::Builder::new()
-                .name("smm-serve-dispatch".into())
-                .spawn(move || dispatcher_loop(&smm, &shared))
-                .expect("failed to spawn serve dispatcher")
-        };
+        let dispatchers = smms
+            .iter()
+            .enumerate()
+            .map(|(i, smm)| {
+                let smm = Arc::clone(smm);
+                let shared = Arc::clone(&shared);
+                smm_sync::sync::thread::Builder::new()
+                    .name(format!("smm-serve-dispatch-{i}"))
+                    .spawn(move || dispatcher_loop(&smm, &shared, i))
+                    .expect("failed to spawn serve dispatcher")
+            })
+            .collect();
         Server {
             shared,
-            smm,
-            dispatcher: Some(dispatcher),
+            smms,
+            dispatchers,
         }
     }
 }
 
-/// An in-process GEMM server: bounded queue + coalescing dispatcher in
-/// front of one [`Smm`] runtime. Construct via [`Server::builder`];
-/// submit through [`Server::client`] handles; stop with
-/// [`Server::shutdown`] (also run on drop), which drains the queue and
-/// answers every outstanding request before returning.
+/// An in-process GEMM server: one bounded queue + coalescing
+/// dispatcher per [`Smm`] runtime shard, behind a shape-affine router
+/// with work stealing. Construct via [`Server::builder`]; submit
+/// through [`Server::client`] handles; stop with [`Server::shutdown`]
+/// (also run on drop), which drains every queue and answers every
+/// outstanding request before returning.
 pub struct Server<S: Scalar> {
     shared: Arc<ServeShared<S>>,
-    smm: Arc<Smm<S>>,
-    dispatcher: Option<JoinHandle<()>>,
+    smms: Vec<Arc<Smm<S>>>,
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl<S: Scalar> std::fmt::Debug for Server<S> {
@@ -430,11 +635,21 @@ impl<S: Scalar> Server<S> {
         }
     }
 
-    /// The runtime this server executes on (its
-    /// [`stats_report`](Smm::stats_report) carries the serve-side phase
-    /// spans under the `serve` call site).
+    /// Shard 0's runtime (the only one on a single-shard server; its
+    /// [`stats_report`](Smm::stats_report) carries the serve-side
+    /// phase spans under the `serve` call site).
     pub fn smm(&self) -> &Arc<Smm<S>> {
-        &self.smm
+        &self.smms[0]
+    }
+
+    /// All shard runtimes, indexed by shard.
+    pub fn smms(&self) -> &[Arc<Smm<S>>] {
+        &self.smms
+    }
+
+    /// Number of runtime shards.
+    pub fn shards(&self) -> usize {
+        self.smms.len()
     }
 
     /// The active configuration.
@@ -442,31 +657,31 @@ impl<S: Scalar> Server<S> {
         &self.shared.cfg
     }
 
-    /// Snapshot of the serving counters.
+    /// Fleet-wide snapshot of the serving counters (all shards
+    /// summed).
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
     }
 
-    /// Graceful shutdown: stop admitting, drain the queue (every
+    /// Snapshot of one shard's serving counters.
+    pub fn shard_stats(&self, shard: usize) -> ServeStats {
+        self.shared.shard_stats(shard)
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queue (every
     /// outstanding request is executed and answered), join the
-    /// dispatcher, and return the final counters.
+    /// dispatchers, and return the final fleet counters.
     pub fn shutdown(mut self) -> ServeStats {
         self.shutdown_inner();
         self.shared.stats()
     }
 
     fn shutdown_inner(&mut self) {
-        {
-            // Store + notify under the queue mutex so they serialize
-            // with the dispatcher's check-then-wait: lock-free, they
-            // could land between its shutdown check and `wait`, losing
-            // the wakeup — the untimed wait would then block forever
-            // and the join below would hang.
-            let _q = self.shared.queue.lock().unwrap();
-            self.shared.shutdown.store(true, Ordering::Relaxed);
-            self.shared.work_cv.notify_all();
-        }
-        if let Some(handle) = self.dispatcher.take() {
+        // `ShardQueues::shutdown` stores the latch + notifies under
+        // each shard's mutex, serializing with every dispatcher's
+        // check-then-wait so no wakeup is ever lost.
+        self.shared.queues.shutdown();
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -503,15 +718,17 @@ fn expire_queued<S: Scalar>(q: &mut VecDeque<Pending<S>>, shared: &ServeShared<S
         if q[i].expired(now) {
             let p = q.remove(i).expect("index checked");
             p.slot.fulfill(Err(Rejected::DeadlineExceeded));
-            shared.tracer.end_span(p.span);
-            shared.expired.fetch_add(1, Ordering::Relaxed);
+            shared.shards[p.origin].tracer.end_span(p.span);
+            shared.shards[p.origin]
+                .expired
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             i += 1;
         }
     }
 }
 
-/// Pre-warm the dispatcher for the plan database's hottest shapes:
+/// Pre-warm one dispatcher for its plan database's hottest shapes:
 /// build (and cache) their plans, and cycle the dispatcher-thread
 /// gather arena through the buffer sizes `execute_group` will request,
 /// so the first real request of a hot shape pays neither plan
@@ -535,64 +752,125 @@ fn prewarm_hot_shapes<S: Scalar>(smm: &Smm<S>, cfg: &ServeConfig) -> u64 {
     warmed
 }
 
-fn dispatcher_loop<S: Scalar>(smm: &Smm<S>, shared: &ServeShared<S>) {
+/// What one scheduling round of a dispatcher produced.
+enum Round<S: Scalar> {
+    /// A head request popped from the own queue (coalesce next).
+    Head(Box<Pending<S>>),
+    /// A ready-made group stolen from a sibling (dispatch directly).
+    Stolen(Vec<Pending<S>>),
+    /// Nothing anywhere and not shutting down: the round already
+    /// blocked once on the condvar; go around again.
+    Idle,
+    /// Shutdown with an empty own queue: exit. (Siblings drain their
+    /// own queues; stealing during drain only speeds it up.)
+    Exit,
+}
+
+fn dispatcher_loop<S: Scalar>(smm: &Smm<S>, shared: &ServeShared<S>, shard: usize) {
     let cfg = shared.cfg.clone();
     if cfg.prewarm > 0 {
         let warmed = prewarm_hot_shapes(smm, &cfg);
         // relaxed — monotonic stat, read only by snapshotting reporters.
-        shared.prewarmed.store(warmed, Ordering::Relaxed);
+        shared.shards[shard]
+            .prewarmed
+            .store(warmed, Ordering::Relaxed);
     }
+    let multi = shared.shards.len() > 1;
     loop {
-        // Phase 1: wait for a head request (or drain-and-exit).
-        let mut q = shared.queue.lock().unwrap();
-        let head = loop {
-            let any_deadline = q.iter().any(|p| p.deadline.is_some());
-            if any_deadline {
-                expire_queued(&mut q, shared, clock::now());
+        // Phase 1: find work — own queue first, then steal, then wait.
+        // The own-queue check and the blocking wait are *one* drive
+        // call each, so the shutdown check and the wait serialize
+        // under the queue mutex (no lost wakeup).
+        let mut waited = false;
+        let round = shared.queues.drive(shard, |q, down| {
+            if q.iter().any(|p| p.deadline.is_some()) {
+                expire_queued(q, shared, clock::now());
             }
             if let Some(p) = q.pop_front() {
-                break p;
+                return Step::Done(Round::Head(Box::new(p)));
             }
-            if shared.shutdown.load(Ordering::Relaxed) {
-                return;
+            if down {
+                return Step::Done(Round::Exit);
             }
-            q = shared.work_cv.wait(q).unwrap();
+            if multi {
+                // Release the lock between steal polls: the steal
+                // itself must not run while holding the own-shard
+                // lock (single-lock protocol), so go idle after at
+                // most one bounded wait.
+                if waited {
+                    return Step::Done(Round::Idle);
+                }
+                waited = true;
+                Step::WaitTimeout(cfg.steal_poll)
+            } else {
+                // Single shard: nobody to steal from — block untimed
+                // until a push or shutdown notifies.
+                Step::Wait
+            }
+        });
+        let round = match round {
+            Round::Idle => {
+                let stolen =
+                    shared
+                        .queues
+                        .steal_group(shard, cfg.max_batch, |a: &Pending<S>, b| a.same_group(b));
+                if stolen.is_empty() {
+                    continue;
+                }
+                Round::Stolen(stolen)
+            }
+            other => other,
         };
-
-        // Phase 2: coalesce. Grab everything already queued with the
-        // same key, then hold the group open for the window.
-        let popped_at = clock::now();
-        let mut group = vec![head];
-        extract_matching(&mut q, &mut group, cfg.max_batch);
-        if group.len() < cfg.max_batch && !cfg.coalesce_window.is_zero() {
-            let window_ends = popped_at + cfg.coalesce_window;
-            loop {
-                // Drain fast once shutdown is requested — the window
-                // only trades latency for batching, and at drain time
-                // latency is all that is left to optimize.
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-                let now = clock::now();
-                if now >= window_ends || group.len() >= cfg.max_batch {
-                    break;
-                }
-                let (guard, _timeout) = shared.work_cv.wait_timeout(q, window_ends - now).unwrap();
-                q = guard;
-                extract_matching(&mut q, &mut group, cfg.max_batch);
+        match round {
+            Round::Exit => return,
+            Round::Idle => unreachable!("idle rounds are resolved above"),
+            Round::Stolen(group) => {
+                // Stolen groups dispatch immediately — the victim
+                // already aged them; holding a second window would
+                // only add latency to work that is late by definition.
+                let popped_at = clock::now();
+                shared.shards[shard]
+                    .stolen
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                process_group(smm, shared, shard, group, popped_at);
+            }
+            Round::Head(head) => {
+                // Phase 2: coalesce. Grab everything already queued
+                // with the same key, then hold the group open for the
+                // window.
+                let popped_at = clock::now();
+                let mut group = vec![*head];
+                let window_ends = popped_at + cfg.coalesce_window;
+                shared.queues.drive(shard, |q, down| {
+                    extract_matching(q, &mut group, cfg.max_batch);
+                    // Drain fast once shutdown is requested — the
+                    // window only trades latency for batching, and at
+                    // drain time latency is all that is left to
+                    // optimize.
+                    if down || group.len() >= cfg.max_batch || cfg.coalesce_window.is_zero() {
+                        return Step::Done(());
+                    }
+                    let now = clock::now();
+                    if now >= window_ends {
+                        return Step::Done(());
+                    }
+                    Step::WaitTimeout(window_ends - now)
+                });
+                // Phase 3: expire-before-dispatch, execute, reply.
+                process_group(smm, shared, shard, group, popped_at);
             }
         }
-        drop(q);
-
-        // Phase 3: expire-before-dispatch, then execute and reply.
-        process_group(smm, shared, group, popped_at);
     }
 }
 
-/// Execute one coalesced group and answer every member.
+/// Execute one coalesced group on `exec`'s runtime and answer every
+/// member. Lifecycle counters (completed/expired) bill to each
+/// request's origin shard; execution counters (batches/coalesced_max)
+/// bill to the executing shard.
 fn process_group<S: Scalar>(
     smm: &Smm<S>,
     shared: &ServeShared<S>,
+    exec: usize,
     group: Vec<Pending<S>>,
     popped_at: Instant,
 ) {
@@ -604,8 +882,10 @@ fn process_group<S: Scalar>(
     for p in group {
         if p.expired(dispatch_start) {
             p.slot.fulfill(Err(Rejected::DeadlineExceeded));
-            tracer.end_span(p.span);
-            shared.expired.fetch_add(1, Ordering::Relaxed);
+            shared.shards[p.origin].tracer.end_span(p.span);
+            shared.shards[p.origin]
+                .expired
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             live.push(p);
         }
@@ -613,12 +893,15 @@ fn process_group<S: Scalar>(
     if live.is_empty() {
         return;
     }
-    // The dispatch gets its own trace; the member spans below keep
-    // their request trace ids but parent under this batch span, so an
-    // exported trace links each coalesced request to the one dispatch
-    // that served it. The guard also makes this span the dispatcher
-    // thread's current one, nesting the `gemm`/`gemm_batch` trace of
-    // `execute_group` under it.
+    // The dispatch gets its own trace on the *executing* shard; the
+    // member spans below keep their request trace ids but parent under
+    // this batch span, so an exported trace links each coalesced
+    // request to the one dispatch that served it (for stolen requests
+    // the batch lives on the thief's tracer while the request span
+    // stays on the origin's — the trace id still ties them together).
+    // The guard also makes this span the dispatcher thread's current
+    // one, nesting the `gemm`/`gemm_batch` trace of `execute_group`
+    // under it.
     let batch_span = tracer.root(SpanName::CoalescedBatch, live.len() as u64);
     let members: Vec<OpenSpan> = live
         .iter()
@@ -657,8 +940,8 @@ fn process_group<S: Scalar>(
         None
     };
 
-    shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared
+    shared.shards[exec].batches.fetch_add(1, Ordering::Relaxed);
+    shared.shards[exec]
         .coalesced_max
         .fetch_max(live.len() as u64, Ordering::Relaxed);
     let count = live.len() as u64;
@@ -674,20 +957,23 @@ fn process_group<S: Scalar>(
         match &outcome {
             Ok(()) => {
                 p.slot.fulfill(Ok(c));
-                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.shards[p.origin]
+                    .completed
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => p.slot.fulfill(Err(e.clone())),
         }
         tracer.end_span(members[i]);
-        tracer.end_span(p.span);
-        if tracer.enabled() {
+        let origin_tracer = &shared.shards[p.origin].tracer;
+        origin_tracer.end_span(p.span);
+        if origin_tracer.enabled() {
             // End-to-end latency (submission → reply fulfilled); a
             // breach pins this request's full span tree. The spans
             // were ended above, so the snapshot sees the whole tree.
             let total_ns = clock::now()
                 .saturating_duration_since(p.enqueued)
                 .as_nanos() as u64;
-            tracer.note_request_done(p.span.trace, total_ns, &slow_label);
+            origin_tracer.note_request_done(p.span.trace, total_ns, &slow_label);
         }
     }
     drop(reply_span);

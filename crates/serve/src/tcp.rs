@@ -1,79 +1,199 @@
-//! `std::net` TCP front end over the in-process [`Server`].
+//! `std::net` TCP front end over the in-process [`Server`]: a fixed
+//! pool of reader threads multiplexing nonblocking connections.
 //!
-//! One acceptor thread hands each connection to its own handler
-//! thread, up to a configurable concurrent-connection cap
+//! The thread-per-connection acceptor this replaces spent one OS
+//! thread (stack, scheduler slot, park/unpark churn) per connection —
+//! exactly the per-unit overhead the paper's small-shape analysis
+//! warns against, applied to connections instead of GEMM tiles. Here
+//! one acceptor thread admits connections up to a configurable cap
 //! ([`DEFAULT_MAX_CONNECTIONS`] unless overridden via
-//! [`TcpServer::bind_with_max_conns`]); over-cap connections are
-//! refused with a typed [`ERR_BUSY`](crate::wire::ERR_BUSY) reply
-//! frame rather than queued, and finished handler threads are reaped
-//! on every accept, so neither threads nor join handles accumulate
-//! with connection churn. Handlers speak the [`wire`](crate::wire)
-//! protocol: decode a frame, submit through the shared [`Client`],
-//! block on the ticket, write the reply. Malformed frames get a typed
-//! protocol-error reply and the connection stays up; an oversized
-//! length prefix or a mid-frame truncation desynchronizes the stream,
-//! so the handler replies once and closes.
+//! [`TcpServer::bind_with_max_conns`]), refusing over-cap connects
+//! with a typed [`ERR_BUSY`](crate::wire::ERR_BUSY) reply, and hands
+//! each admitted stream round-robin to one of [`READER_THREADS`]
+//! reader threads. Each reader sweeps its connections: flush buffered
+//! reply bytes, resolve finished [`Ticket`](crate::Ticket)s in FIFO
+//! order per connection, read whatever bytes are available without
+//! blocking, and re-frame them incrementally — a frame split across
+//! any number of reads is reassembled byte-for-byte. Requests are
+//! submitted through the shared [`Client`] and **never awaited on the
+//! reader thread**: the reader parks the ticket next to the
+//! connection and polls it with [`Ticket::try_take`] on later sweeps,
+//! so thousands of idle or slow connections cost buffers, not
+//! threads, and one stalled request never blocks the other
+//! connections on its reader.
 //!
-//! Shutdown never relies on read timeouts: [`TcpServer::shutdown`]
-//! raises the stop flag, wakes the acceptor with a self-connection,
-//! and calls [`TcpStream::shutdown`] on every live connection's kept
-//! clone to unblock handler reads, then joins everything before
-//! draining the inner [`Server`].
+//! Fairness and backpressure are explicit: at most
+//! [`FRAMES_PER_SWEEP`] frames are decoded per connection per sweep
+//! (the slow-reader starvation bound — one firehose connection cannot
+//! monopolize its reader), and a connection whose reply buffer or
+//! pending-reply queue is over the high-water mark stops being read
+//! until it drains. Malformed payloads get a typed protocol-error
+//! reply and the connection stays up; an oversized length prefix
+//! desynchronizes the stream, so the reader queues one error reply
+//! and closes after flushing it.
+//!
+//! `STATS` frames are answered from the same process state a local
+//! report would see: a single-shard server renders
+//! `Smm::stats_report` byte-identically to the in-process path, and a
+//! sharded server renders the aggregated [`FleetReport`]
+//! (per-shard sections plus the merged fleet view).
+//!
+//! Shutdown never relies on read timeouts: readers poll the stop flag
+//! every sweep and never block on a socket, so [`TcpServer::shutdown`]
+//! just raises the flag, wakes the acceptor with a self-connection,
+//! and joins everything before draining the inner [`Server`].
 
-use std::io::Write as _;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use smm_core::Smm;
 
-use crate::request::{GemmRequest, Rejected};
+use crate::request::{GemmRequest, Rejected, Ticket};
 use crate::server::{Client, ServeStats, Server};
+use crate::shard::gather_fleet;
 use crate::wire::{self, FrameRead, WireMsg, ERR_PROTOCOL};
 
 /// Default cap on concurrent TCP connections — see
-/// [`TcpServer::bind_with_max_conns`] to tune it.
-pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+/// [`TcpServer::bind_with_max_conns`] to tune it. The multiplexed
+/// front end holds an idle connection for the cost of its buffers, so
+/// the default is 16× the old thread-per-connection cap of 256.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
+
+/// Number of reader threads multiplexing the admitted connections.
+/// Two is enough to overlap frame parsing with reply flushing on the
+/// small hosts this targets; connections are assigned round-robin at
+/// accept and never migrate.
+pub const READER_THREADS: usize = 2;
+
+/// Per-connection fairness bound: at most this many frames are
+/// decoded from one connection in one reader sweep. A connection
+/// blasting pipelined requests yields to its reader-mates after this
+/// many, so sweep latency for every other connection on the same
+/// reader is bounded.
+pub const FRAMES_PER_SWEEP: usize = 32;
+
+/// Stop reading from a connection whose un-flushed reply bytes exceed
+/// this; reading resumes once the peer drains below it.
+const WBUF_HIGH: usize = 1 << 20;
+
+/// Stop reading from a connection with this many unanswered requests
+/// in flight; resumes as replies complete.
+const PENDING_HIGH: usize = 256;
+
+/// Reader park time when a sweep made no progress on any connection.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Sweeps without progress before a connection is parked: parked
+/// connections are probed only every [`PARKED_PERIOD`]-th sweep, so a
+/// flood of idle connections costs a fraction of a read syscall per
+/// sweep each instead of one. A connection with replies in flight is
+/// never parked, and any progress instantly un-parks.
+const PARK_AFTER: u32 = 16;
+
+/// Probe period (in sweeps) for parked connections, staggered per
+/// connection so the probes spread across sweeps instead of bunching.
+const PARKED_PERIOD: u64 = 32;
 
 struct TcpShared {
-    /// Stop flag for the acceptor and handlers; relaxed — it is only a
-    /// one-way latch polled between blocking operations, and the join
-    /// in `shutdown` provides the final synchronization.
+    /// Stop flag for the acceptor and readers; relaxed — it is only a
+    /// one-way latch polled once per sweep, and the joins in
+    /// `shutdown` provide the final synchronization.
     stop: AtomicBool,
     client: Client<f32>,
-    /// Handle to the runtime backing the inner server, so a `STATS`
-    /// frame can be answered with the same [`TelemetryReport`]
-    /// (smm_core::TelemetryReport) that `Smm::stats_report` yields
-    /// in-process.
-    smm: Arc<Smm<f32>>,
-    /// Kept clones of live connection streams so shutdown can unblock
-    /// handler reads; handlers remove their own entry on exit. One
-    /// entry per live handler — the acceptor refuses connections it
-    /// cannot register here — so its length is the live-connection
-    /// count the `max_connections` cap is enforced against.
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Handles to every shard runtime, so a `STATS` frame can be
+    /// answered with the same per-shard `TelemetryReport`s that
+    /// `Smm::stats_report` yields in-process (and, for one shard,
+    /// byte-identically to it).
+    smms: Vec<Arc<Smm<f32>>>,
+    /// Live-connection count the `max_connections` cap is enforced
+    /// against. Relaxed — only the acceptor increments (so admission
+    /// never races itself) and only readers decrement; transient
+    /// staleness can refuse a connect a moment late or early, which
+    /// the typed busy reply already tells callers to expect.
+    conn_count: AtomicUsize,
     /// Concurrent-connection cap; accepts beyond it are answered with
     /// a typed busy reply and closed.
     max_connections: usize,
 }
 
-/// A TCP server speaking the [`wire`](crate::wire) protocol in front of
-/// an in-process [`Server<f32>`]. Stop with [`TcpServer::shutdown`]
-/// (also run on drop), which closes connections, joins handler
-/// threads, and gracefully drains the inner server.
+/// One reply owed to a connection, in request order.
+enum PendingReply {
+    /// Already-encoded payload waiting to be framed out.
+    Ready(Vec<u8>),
+    /// A submitted request whose ticket the reader polls.
+    Waiting {
+        ticket: Ticket<f32>,
+        m: usize,
+        n: usize,
+    },
+}
+
+/// Per-connection multiplexing state owned by one reader thread.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by the framer.
+    rbuf: Vec<u8>,
+    /// Encoded reply frames not yet written; `wpos` is the flush
+    /// cursor (partial nonblocking writes resume from it).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Replies owed, FIFO in request order — wire clients expect
+    /// replies in submission order on one connection.
+    pending: VecDeque<PendingReply>,
+    /// Reading stopped (peer EOF or stream desync); the connection is
+    /// dropped once every owed reply is flushed.
+    closing: bool,
+    /// Consecutive sweeps without progress; at [`PARK_AFTER`] the
+    /// connection is parked (probed every [`PARKED_PERIOD`] sweeps).
+    idle_streak: u32,
+    /// Stagger offset so parked probes spread across sweeps.
+    phase: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, phase: u64) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            closing: false,
+            idle_streak: 0,
+            phase,
+        }
+    }
+
+    fn queue_frame(&mut self, payload: &[u8]) {
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+}
+
+/// A TCP server speaking the [`wire`](crate::wire) protocol in front
+/// of an in-process [`Server<f32>`] (single-shard or sharded). Stop
+/// with [`TcpServer::shutdown`] (also run on drop), which joins the
+/// acceptor and reader threads and gracefully drains the inner
+/// server.
 pub struct TcpServer {
     shared: Arc<TcpShared>,
     server: Option<Server<f32>>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    readers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TcpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpServer")
             .field("addr", &self.addr)
+            .field("shards", &self.shared.smms.len())
             .finish_non_exhaustive()
     }
 }
@@ -90,8 +210,9 @@ impl TcpServer {
     /// (clamped to at least 1). Connections accepted while the cap is
     /// reached get one [`ERR_BUSY`](crate::wire::ERR_BUSY) reply frame
     /// — carrying the cap in its detail field — and are closed, so a
-    /// flood of connections cannot grow threads or memory without
-    /// bound.
+    /// flood of connections cannot grow memory without bound (threads
+    /// are fixed regardless: one acceptor plus [`READER_THREADS`]
+    /// readers).
     pub fn bind_with_max_conns(
         server: Server<f32>,
         addr: impl ToSocketAddrs,
@@ -102,17 +223,29 @@ impl TcpServer {
         let shared = Arc::new(TcpShared {
             stop: AtomicBool::new(false),
             client: server.client(),
-            smm: Arc::clone(server.smm()),
-            conns: Mutex::new(Vec::new()),
+            smms: server.smms().to_vec(),
+            conn_count: AtomicUsize::new(0),
             max_connections: max_connections.max(1),
         });
-        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..READER_THREADS)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let mut readers = Vec::with_capacity(READER_THREADS);
+        for (i, inbox) in inboxes.iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let inbox = Arc::clone(inbox);
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("smm-serve-reader-{i}"))
+                    .spawn(move || reader_loop(&shared, &inbox))
+                    .expect("failed to spawn serve reader"),
+            );
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
-            let handlers = Arc::clone(&handlers);
             std::thread::Builder::new()
                 .name("smm-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .spawn(move || accept_loop(&listener, &shared, &inboxes))
                 .expect("failed to spawn serve acceptor")
         };
         Ok(TcpServer {
@@ -120,7 +253,7 @@ impl TcpServer {
             server: Some(server),
             addr,
             acceptor: Some(acceptor),
-            handlers,
+            readers,
         })
     }
 
@@ -129,12 +262,18 @@ impl TcpServer {
         self.addr
     }
 
-    /// Serving counters of the inner server.
+    /// Number of runtime shards behind this front end.
+    pub fn shards(&self) -> usize {
+        self.shared.smms.len()
+    }
+
+    /// Serving counters of the inner server (fleet-wide sums on a
+    /// sharded server).
     pub fn stats(&self) -> ServeStats {
         self.shared.client.stats()
     }
 
-    /// Stop accepting, close live connections, join every handler, and
+    /// Stop accepting, close live connections, join every reader, and
     /// gracefully drain the inner server. Returns the final counters.
     pub fn shutdown(mut self) -> ServeStats {
         self.shutdown_inner();
@@ -149,13 +288,11 @@ impl TcpServer {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // Unblock handler reads; handlers then observe `stop` and exit.
-        for (_, stream) in self.shared.conns.lock().unwrap().iter() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
-        for h in handlers {
-            let _ = h.join();
+        // Readers never block on sockets — they observe `stop` within
+        // one sweep, drop their connections (closing the streams), and
+        // exit.
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
         }
     }
 }
@@ -171,9 +308,9 @@ impl Drop for TcpServer {
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<TcpShared>,
-    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inboxes: &[Arc<Mutex<Vec<TcpStream>>>],
 ) {
-    let mut next_id = 0u64;
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::Relaxed) {
             return;
@@ -181,10 +318,7 @@ fn accept_loop(
         let Ok(mut stream) = stream else { continue };
         // Request/reply with small frames: Nagle only adds latency.
         let _ = stream.set_nodelay(true);
-        // Reap exited handlers so the vec tracks live connections, not
-        // the server's whole accept history.
-        handlers.lock().unwrap().retain(|h| !h.is_finished());
-        if shared.conns.lock().unwrap().len() >= shared.max_connections {
+        if shared.conn_count.load(Ordering::Relaxed) >= shared.max_connections {
             let busy = wire::encode_reply_err(
                 wire::ERR_BUSY,
                 shared.max_connections as u32,
@@ -194,87 +328,257 @@ fn accept_loop(
             let _ = stream.flush();
             continue;
         }
-        // Without a registered clone, shutdown could not unblock this
-        // handler's blocking read — refuse the connection rather than
-        // spawn a handler that might never join.
-        let Ok(clone) = stream.try_clone() else {
+        // The readers only ever sweep nonblocking streams; refuse a
+        // stream we cannot switch rather than risk a blocking read on
+        // a reader thread.
+        if stream.set_nonblocking(true).is_err() {
             continue;
-        };
-        let id = next_id;
-        next_id += 1;
-        shared.conns.lock().unwrap().push((id, clone));
-        let shared_conn = Arc::clone(shared);
-        let spawned = std::thread::Builder::new()
-            .name(format!("smm-serve-conn-{id}"))
-            .spawn(move || {
-                handle_connection(stream, &shared_conn);
-                shared_conn.conns.lock().unwrap().retain(|(i, _)| *i != id);
-            });
-        match spawned {
-            Ok(handle) => handlers.lock().unwrap().push(handle),
-            // Spawn failed after registering: deregister so `conns`
-            // keeps counting exactly the live handlers.
-            Err(_) => shared.conns.lock().unwrap().retain(|(i, _)| *i != id),
+        }
+        shared.conn_count.fetch_add(1, Ordering::Relaxed);
+        inboxes[next].lock().unwrap().push(stream);
+        next = (next + 1) % inboxes.len();
+    }
+}
+
+/// One reader thread: sweep owned connections until stop.
+fn reader_loop(shared: &Arc<TcpShared>, inbox: &Mutex<Vec<TcpStream>>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut tick: u64 = 0;
+    let mut next_phase: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            // Dropping the streams closes them, unblocking any peer
+            // mid-read; in-flight tickets are answered (or rejected)
+            // by the inner server's own drain.
+            shared.conn_count.fetch_sub(conns.len(), Ordering::Relaxed);
+            return;
+        }
+        tick = tick.wrapping_add(1);
+        let mut progress = false;
+        {
+            let mut inbox = inbox.lock().unwrap();
+            if !inbox.is_empty() {
+                progress = true;
+                conns.extend(inbox.drain(..).map(|stream| {
+                    next_phase = next_phase.wrapping_add(1);
+                    Conn::new(stream, next_phase)
+                }));
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            // Parked connections (long idle, nothing owed) are probed
+            // every PARKED_PERIOD-th sweep; everything else every
+            // sweep. This keeps the per-sweep cost of thousands of
+            // idle connections at a fraction of a syscall each while
+            // active connections stay on the fast path.
+            let parked = conn.idle_streak >= PARK_AFTER && conn.pending.is_empty() && !conn.closing;
+            if parked && !tick.wrapping_add(conn.phase).is_multiple_of(PARKED_PERIOD) {
+                i += 1;
+                continue;
+            }
+            let (moved, drop_conn) = sweep_conn(conn, shared);
+            if moved {
+                conn.idle_streak = 0;
+            } else {
+                conn.idle_streak = conn.idle_streak.saturating_add(1);
+            }
+            progress |= moved;
+            if drop_conn {
+                conns.swap_remove(i);
+                shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                i += 1;
+            }
+        }
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
         }
     }
 }
 
-/// Serve one connection until EOF, a desynchronizing frame, or stop.
-fn handle_connection(mut stream: TcpStream, shared: &TcpShared) {
-    loop {
-        if shared.stop.load(Ordering::Relaxed) {
-            return;
+/// One multiplexing pass over one connection: flush, resolve finished
+/// tickets, read available bytes, decode up to [`FRAMES_PER_SWEEP`]
+/// frames. Returns `(made_progress, drop_connection)`.
+fn sweep_conn(conn: &mut Conn, shared: &TcpShared) -> (bool, bool) {
+    let mut progress = false;
+
+    // 1. Flush buffered reply bytes (partial writes resume at wpos).
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return (true, true),
+            Ok(n) => {
+                conn.wpos += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return (true, true),
         }
-        let frame = match wire::read_frame(&mut stream) {
-            Ok(FrameRead::Frame(payload)) => payload,
-            Ok(FrameRead::Eof) | Err(_) => return,
-            Ok(FrameRead::TooLarge(len)) => {
-                // The stream is out of sync; answer once and close.
+    }
+    if conn.wpos == conn.wbuf.len() && !conn.wbuf.is_empty() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+
+    // 2. Resolve owed replies in FIFO order; a still-pending ticket at
+    //    the front blocks later (possibly finished) ones, preserving
+    //    the per-connection reply order wire clients rely on.
+    while let Some(front) = conn.pending.front_mut() {
+        let payload = match front {
+            PendingReply::Ready(_) => {
+                let Some(PendingReply::Ready(p)) = conn.pending.pop_front() else {
+                    unreachable!("front was Ready");
+                };
+                p
+            }
+            PendingReply::Waiting { ticket, m, n } => match ticket.try_take() {
+                None => break,
+                Some(Ok(c)) => {
+                    let p = wire::encode_reply_ok(*m, *n, &c);
+                    conn.pending.pop_front();
+                    p
+                }
+                Some(Err(rej)) => {
+                    let (code, detail) = wire::rejection_code(&rej);
+                    let p = wire::encode_reply_err(code, detail, &rej.to_string());
+                    conn.pending.pop_front();
+                    p
+                }
+            },
+        };
+        conn.queue_frame(&payload);
+        progress = true;
+    }
+
+    // 3. Intake: read and decode only while the connection is within
+    //    its backpressure bounds — a slow reader (growing wbuf) or a
+    //    deep pipeline (growing pending) stops being read until it
+    //    drains.
+    let may_intake = !conn.closing
+        && conn.wbuf.len() - conn.wpos < WBUF_HIGH
+        && conn.pending.len() < PENDING_HIGH;
+    if may_intake {
+        let mut chunk = [0u8; 16 * 1024];
+        // Bounded reads per sweep: one connection's firehose cannot
+        // starve its reader-mates of sweeps.
+        for _ in 0..4 {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.closing = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return (true, true),
+            }
+        }
+        for _ in 0..FRAMES_PER_SWEEP {
+            if conn.closing || conn.pending.len() >= PENDING_HIGH {
+                break;
+            }
+            if conn.rbuf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes([conn.rbuf[0], conn.rbuf[1], conn.rbuf[2], conn.rbuf[3]])
+                as usize;
+            if len > wire::MAX_PAYLOAD {
+                // The stream is out of sync; answer once, flush, close.
                 let err = wire::encode_reply_err(
                     ERR_PROTOCOL,
                     0,
                     &format!("frame of {len} bytes exceeds cap of {}", wire::MAX_PAYLOAD),
                 );
-                let _ = wire::write_frame(&mut stream, &err);
-                let _ = stream.flush();
-                return;
+                conn.pending.push_back(PendingReply::Ready(err));
+                conn.closing = true;
+                progress = true;
+                break;
             }
-        };
-        let reply = match wire::decode_payload(&frame) {
-            Ok(WireMsg::Request(req)) => answer_request(shared, req),
-            Ok(WireMsg::Stats { format }) => answer_stats(shared, format),
-            Ok(_) => wire::encode_reply_err(ERR_PROTOCOL, 0, "reply opcode sent to server"),
-            // Framing is intact (length prefix was honoured), so a
-            // garbage payload only poisons this one message.
-            Err(msg) => wire::encode_reply_err(ERR_PROTOCOL, 0, &msg),
-        };
-        if wire::write_frame(&mut stream, &reply).is_err() {
-            return;
+            if conn.rbuf.len() < 4 + len {
+                break;
+            }
+            let frame: Vec<u8> = conn.rbuf[4..4 + len].to_vec();
+            conn.rbuf.drain(..4 + len);
+            handle_frame(conn, shared, &frame);
+            progress = true;
         }
+    }
+
+    // 4. A closing connection is dropped once every owed reply has
+    //    been encoded and flushed.
+    let drained = conn.closing && conn.pending.is_empty() && conn.wpos == conn.wbuf.len();
+    (progress, drained)
+}
+
+/// Decode one frame and queue its (eventual) reply on the connection.
+fn handle_frame(conn: &mut Conn, shared: &TcpShared, frame: &[u8]) {
+    match wire::decode_payload(frame) {
+        Ok(WireMsg::Request(req)) => {
+            let (m, n) = (req.m, req.n);
+            match shared.client.submit(req) {
+                Ok(ticket) => conn
+                    .pending
+                    .push_back(PendingReply::Waiting { ticket, m, n }),
+                Err(rej) => {
+                    let (code, detail) = wire::rejection_code(&rej);
+                    conn.pending
+                        .push_back(PendingReply::Ready(wire::encode_reply_err(
+                            code,
+                            detail,
+                            &rej.to_string(),
+                        )));
+                }
+            }
+        }
+        Ok(WireMsg::Stats { format }) => conn
+            .pending
+            .push_back(PendingReply::Ready(answer_stats(shared, format))),
+        Ok(_) => conn
+            .pending
+            .push_back(PendingReply::Ready(wire::encode_reply_err(
+                ERR_PROTOCOL,
+                0,
+                "reply opcode sent to server",
+            ))),
+        // Framing is intact (length prefix was honoured), so a garbage
+        // payload only poisons this one message.
+        Err(msg) => conn
+            .pending
+            .push_back(PendingReply::Ready(wire::encode_reply_err(
+                ERR_PROTOCOL,
+                0,
+                &msg,
+            ))),
     }
 }
 
-fn answer_request(shared: &TcpShared, req: GemmRequest<f32>) -> Vec<u8> {
-    let (m, n) = (req.m, req.n);
-    match shared.client.submit(req).and_then(|t| t.wait()) {
-        Ok(c) => wire::encode_reply_ok(m, n, &c),
-        Err(rej) => {
-            let (code, detail) = wire::rejection_code(&rej);
-            wire::encode_reply_err(code, detail, &rej.to_string())
-        }
-    }
-}
-
-/// Render the live telemetry report in the requested wire format.
-/// The body is exactly what the in-process `Smm::stats_report` would
-/// show — same shards, same rate window, same slow-request exemplars —
-/// so a remote scrape and a local report never disagree.
+/// Render the live telemetry in the requested wire format. One shard:
+/// exactly what the in-process `Smm::stats_report` would show — same
+/// shards, same rate window, same slow-request exemplars — so a
+/// remote scrape and a local report never disagree. Sharded: the
+/// aggregated [`FleetReport`](crate::FleetReport) with per-shard
+/// sections and the merged fleet view.
 fn answer_stats(shared: &TcpShared, format: u8) -> Vec<u8> {
-    let report = shared.smm.stats_report();
-    let body = match format {
-        wire::STATS_JSON => report.to_json(),
-        wire::STATS_PROMETHEUS => report.to_prometheus(),
-        _ => report.to_string(),
+    let body = if shared.smms.len() <= 1 {
+        let report = shared.smms[0].stats_report();
+        match format {
+            wire::STATS_JSON => report.to_json(),
+            wire::STATS_PROMETHEUS => report.to_prometheus(),
+            _ => report.to_string(),
+        }
+    } else {
+        let fleet = gather_fleet(&shared.smms, |i| shared.client.shard_stats(i));
+        match format {
+            wire::STATS_JSON => fleet.to_json(),
+            wire::STATS_PROMETHEUS => fleet.to_prometheus(),
+            _ => fleet.to_string(),
+        }
     };
     wire::encode_stats_reply(format, &body)
 }
@@ -334,8 +638,9 @@ impl TcpClient {
     /// Scrape the server's live telemetry report. `format` is one of
     /// [`wire::STATS_TEXT`], [`wire::STATS_JSON`],
     /// [`wire::STATS_PROMETHEUS`]; the returned string is the rendered
-    /// report body, byte-identical to what the server's own
-    /// `Smm::stats_report` would produce in that format at scrape time.
+    /// report body — on a single-shard server byte-identical to what
+    /// the server's own `Smm::stats_report` would produce in that
+    /// format at scrape time, on a sharded server the fleet report.
     pub fn stats(&mut self, format: u8) -> Result<String, Rejected> {
         let io_err = |e: std::io::Error| Rejected::Protocol(format!("transport: {e}"));
         wire::write_frame(&mut self.stream, &wire::encode_stats(format)).map_err(io_err)?;

@@ -1,0 +1,399 @@
+//! End-to-end tests of the sharded serving layer: fleet STATS
+//! aggregation across all three formats, bit-for-bit parity between
+//! sharded and single-runtime serving, and wire-protocol regressions
+//! for the multiplexed TCP front end (partial frames, interleaved
+//! connections, starvation bounds).
+
+use std::io::{Read as _, Write as _};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smm_core::Smm;
+use smm_gemm::gemm_naive;
+use smm_gemm::matrix::{Mat, MatMut, MatRef};
+use smm_serve::wire::{
+    decode_payload, encode_request, read_frame, FrameRead, WireMsg, STATS_JSON, STATS_PROMETHEUS,
+    STATS_TEXT,
+};
+use smm_serve::{route_shape, GemmRequest, Server, TcpClient, TcpServer};
+
+/// Shapes chosen so the shape-hash router touches every one of four
+/// shards (same set the loadgen scaling gate uses).
+const SPREAD_SHAPES: [(usize, usize, usize); 8] = [
+    (8, 8, 8),
+    (16, 16, 16),
+    (20, 20, 20),
+    (32, 32, 4),
+    (4, 32, 8),
+    (16, 8, 4),
+    (6, 6, 6),
+    (12, 12, 12),
+];
+
+fn random_request(m: usize, n: usize, k: usize, seed: u64) -> GemmRequest<f32> {
+    let a = Mat::<f32>::random(m, k, seed);
+    let b = Mat::<f32>::random(k, n, seed.wrapping_add(1));
+    let c = Mat::<f32>::random(m, n, seed.wrapping_add(2));
+    let mut req = GemmRequest::new(m, n, k, a.data().to_vec(), b.data().to_vec());
+    req.alpha = 1.25;
+    req.beta = -0.5;
+    req.c = c.data().to_vec();
+    req
+}
+
+fn oracle(req: &GemmRequest<f32>) -> Vec<f32> {
+    let (m, n, k) = (req.m, req.n, req.k);
+    let mut c = req.c.clone();
+    gemm_naive(
+        req.alpha,
+        MatRef::from_slice(&req.a, m, k, m),
+        MatRef::from_slice(&req.b, k, n, k),
+        req.beta,
+        MatMut::from_slice(&mut c, m, n, m),
+    );
+    c
+}
+
+fn sharded_server(shards: usize) -> Server<f32> {
+    let smms = (0..shards)
+        .map(|_| Arc::new(Smm::<f32>::builder().threads(1).telemetry(true).build()))
+        .collect();
+    Server::<f32>::builder()
+        .smms(smms)
+        .coalesce_window(Duration::ZERO)
+        .build()
+}
+
+#[test]
+fn spread_shapes_cover_all_four_shards() {
+    // The aggregation tests below rely on every shard carrying
+    // traffic; pin that property of the workload itself.
+    let mut hit = [false; 4];
+    for &(m, n, k) in &SPREAD_SHAPES {
+        hit[route_shape(m, n, k, 4)] = true;
+    }
+    assert_eq!(hit, [true; 4], "workload leaves a shard idle");
+}
+
+#[test]
+fn fleet_report_sums_per_shard_counters() {
+    let server = sharded_server(4);
+    let client = server.client();
+    for (i, &(m, n, k)) in SPREAD_SHAPES.iter().enumerate() {
+        let req = random_request(m, n, k, 9000 + i as u64);
+        let want = oracle(&req);
+        let got = client.submit(req).unwrap().wait().unwrap();
+        assert_eq!(got.len(), want.len());
+    }
+    let fleet = server.fleet_report();
+    assert_eq!(fleet.shard_count(), 4);
+
+    // Sequential submission with a zero window: each request lands on
+    // the shard its shape hashes to, so every shard saw some of the
+    // eight shapes and the fleet totals are exact sums.
+    let mut submitted = 0;
+    let mut completed = 0;
+    for (i, section) in fleet.shards.iter().enumerate() {
+        assert_eq!(section.shard, i);
+        assert!(
+            section.serve.submitted > 0,
+            "shard {i} saw no traffic: {:?}",
+            section.serve
+        );
+        submitted += section.serve.submitted;
+        completed += section.serve.completed;
+    }
+    assert_eq!(submitted, SPREAD_SHAPES.len() as u64);
+    assert_eq!(fleet.serve.submitted, submitted, "fleet total != shard sum");
+    assert_eq!(fleet.serve.completed, completed);
+
+    // Merged telemetry: each runtime builds plans only for its own
+    // shapes, the fleet report absorbs all of them.
+    let misses: u64 = fleet
+        .shards
+        .iter()
+        .map(|s| s.telemetry.runtime.plan_misses)
+        .sum();
+    assert!(misses > 0, "no plans built anywhere");
+    assert_eq!(fleet.telemetry.runtime.plan_misses, misses);
+    server.shutdown();
+}
+
+#[test]
+fn fleet_report_renders_in_all_three_formats() {
+    let server = sharded_server(4);
+    let client = server.client();
+    for (i, &(m, n, k)) in SPREAD_SHAPES.iter().enumerate() {
+        let req = random_request(m, n, k, 9100 + i as u64);
+        client.submit(req).unwrap().wait().unwrap();
+    }
+    let fleet = server.fleet_report();
+
+    // Text: per-shard sections plus the fleet rollup.
+    let text = fleet.to_string();
+    assert!(text.contains("shard 0"), "text misses shard 0:\n{text}");
+    assert!(text.contains("shard 3"), "text misses shard 3:\n{text}");
+    assert!(text.contains("fleet"), "text misses fleet rollup:\n{text}");
+
+    // JSON: shard array with per-shard serve counters and telemetry.
+    let json = fleet.to_json();
+    assert!(json.contains("\"shard_count\": 4"), "{json}");
+    assert!(json.contains("\"shards\": ["), "{json}");
+    assert!(json.contains("\"panel\":"), "{json}");
+    for i in 0..4 {
+        assert!(json.contains(&format!("\"shard\": {i}")), "{json}");
+    }
+
+    // Prometheus: every serve counter family has one bare fleet series
+    // and four `shard`-labelled series that sum to it.
+    let prom = fleet.to_prometheus();
+    for family in ["smm_serve_submitted_total", "smm_serve_completed_total"] {
+        let mut fleet_val = None;
+        let mut labelled = 0u64;
+        let mut label_count = 0;
+        for line in prom.lines() {
+            let Some(rest) = line.strip_prefix(family) else {
+                continue;
+            };
+            if let Some(rest) = rest.strip_prefix("{shard=\"") {
+                let (_, val) = rest.split_once("\"} ").expect("labelled sample");
+                labelled += val.parse::<u64>().expect("integer sample");
+                label_count += 1;
+            } else if let Some(val) = rest.strip_prefix(' ') {
+                fleet_val = Some(val.parse::<u64>().expect("integer sample"));
+            }
+        }
+        assert_eq!(label_count, 4, "{family} labelled series:\n{prom}");
+        assert_eq!(
+            fleet_val.expect("bare fleet series"),
+            labelled,
+            "{family}: fleet series != sum of shard series\n{prom}"
+        );
+    }
+    assert!(prom.contains("smm_shard_panel{shard=\"0\"}"), "{prom}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_opcode_serves_the_fleet_report_over_tcp() {
+    let server = sharded_server(4);
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).unwrap();
+    let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+    for (i, &(m, n, k)) in SPREAD_SHAPES.iter().enumerate() {
+        let req = random_request(m, n, k, 9200 + i as u64);
+        let want = oracle(&req);
+        let got = client.call(&req).unwrap();
+        assert_eq!(got.len(), want.len());
+    }
+
+    let json = client.stats(STATS_JSON).unwrap();
+    assert!(json.contains("\"shard_count\": 4"), "{json}");
+    assert!(json.contains("\"shards\": ["), "{json}");
+
+    let text = client.stats(STATS_TEXT).unwrap();
+    assert!(text.contains("shard 0"), "{text}");
+    assert!(text.contains("fleet"), "{text}");
+
+    let prom = client.stats(STATS_PROMETHEUS).unwrap();
+    assert!(
+        prom.contains("smm_serve_submitted_total{shard=\"0\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("smm_phase_latency_ns_bucket"),
+        "merged telemetry missing from scrape: {prom}"
+    );
+    tcp.shutdown();
+}
+
+#[test]
+fn sharded_serving_is_bit_for_bit_identical_to_single_runtime() {
+    // Requests are submitted one at a time (reply awaited before the
+    // next submit), so every dispatch group is a singleton and the only
+    // variable is *which* runtime executes — which must not change a
+    // single bit of the result.
+    let run = |shards: usize| -> Vec<Vec<u32>> {
+        let server = sharded_server(shards);
+        let client = server.client();
+        let mut results = Vec::new();
+        for round in 0..3u64 {
+            for (i, &(m, n, k)) in SPREAD_SHAPES.iter().enumerate() {
+                let req = random_request(m, n, k, round * 100 + i as u64);
+                let got = client.submit(req).unwrap().wait().unwrap();
+                results.push(got.into_iter().map(f32::to_bits).collect());
+            }
+        }
+        server.shutdown();
+        results
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "sharded serving changed GEMM results bit-for-bit"
+    );
+}
+
+/// Write `bytes` one byte at a time with a short pause every few bytes,
+/// forcing the reader to observe partial frames mid-sweep.
+fn dribble(stream: &mut std::net::TcpStream, bytes: &[u8]) {
+    for (i, b) in bytes.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(b)).unwrap();
+        if i % 5 == 0 {
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    stream.flush().unwrap();
+}
+
+fn read_ok_reply(stream: &mut std::net::TcpStream) -> Vec<f32> {
+    match read_frame(stream).unwrap() {
+        FrameRead::Frame(p) => match decode_payload(&p).unwrap() {
+            WireMsg::ReplyOk { c, .. } => c,
+            other => panic!("expected ok reply, got {other:?}"),
+        },
+        other => panic!("expected frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn mux_reassembles_frames_split_across_reads() {
+    let server = sharded_server(2);
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).unwrap();
+    let mut raw = std::net::TcpStream::connect(tcp.local_addr()).unwrap();
+    raw.set_nodelay(true).unwrap();
+
+    let req = random_request(5, 7, 3, 42);
+    let want = oracle(&req);
+    let mut frame = Vec::new();
+    let payload = encode_request(&req);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+
+    // Byte-dribbled request: the reader sees the length prefix and the
+    // body arrive over many sweeps and must buffer until complete.
+    dribble(&mut raw, &frame);
+    let got = read_ok_reply(&mut raw);
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-3 * w.abs().max(1.0), "{g} vs {w}");
+    }
+
+    // The same connection still works for a second, whole frame.
+    raw.write_all(&frame).unwrap();
+    let again = read_ok_reply(&mut raw);
+    assert_eq!(again.len(), want.len());
+    tcp.shutdown();
+}
+
+#[test]
+fn mux_keeps_interleaved_connections_isolated() {
+    // Many connections multiplexed onto two reader threads, each
+    // holding a *different* half-written frame at the same time: the
+    // per-connection buffers must never mix, and each reply must match
+    // its own connection's request.
+    let server = sharded_server(2);
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).unwrap();
+    let addr = tcp.local_addr();
+
+    const CONNS: usize = 12;
+    let mut conns = Vec::new();
+    for id in 0..CONNS {
+        let (m, n, k) = SPREAD_SHAPES[id % SPREAD_SHAPES.len()];
+        let req = random_request(m, n, k, 7000 + id as u64);
+        let want = oracle(&req);
+        let payload = encode_request(&req);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        // First half now; every connection is left dangling mid-frame.
+        let split = 4 + id % (frame.len() - 4);
+        stream.write_all(&frame[..split]).unwrap();
+        stream.flush().unwrap();
+        conns.push((stream, frame, split, want));
+    }
+    // Give the readers time to sweep every half-frame into its buffer.
+    std::thread::sleep(Duration::from_millis(20));
+    // Complete the frames in reverse order.
+    for (stream, frame, split, _) in conns.iter_mut().rev() {
+        stream.write_all(&frame[*split..]).unwrap();
+        stream.flush().unwrap();
+    }
+    for (i, (stream, _, _, want)) in conns.iter_mut().enumerate() {
+        let got = read_ok_reply(stream);
+        assert_eq!(got.len(), want.len(), "conn {i} got the wrong reply");
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!(
+                (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                "conn {i}: crossed reply ({g} vs {w})"
+            );
+        }
+    }
+    let stats = tcp.shutdown();
+    assert_eq!(stats.completed, CONNS as u64);
+}
+
+#[test]
+fn mux_bounds_intake_so_a_flooding_connection_cannot_starve_others() {
+    use smm_serve::tcp::FRAMES_PER_SWEEP;
+
+    let server = sharded_server(2);
+    let tcp = TcpServer::bind(server, ("127.0.0.1", 0)).unwrap();
+    let addr = tcp.local_addr();
+
+    // One connection pipelines several sweeps' worth of requests in a
+    // single burst...
+    let flood_n = 3 * FRAMES_PER_SWEEP;
+    let req = random_request(4, 4, 4, 555);
+    let payload = encode_request(&req);
+    let mut burst = Vec::new();
+    for _ in 0..flood_n {
+        burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        burst.extend_from_slice(&payload);
+    }
+    let mut flood = std::net::TcpStream::connect(addr).unwrap();
+    flood.write_all(&burst).unwrap();
+    flood.flush().unwrap();
+
+    // ...while a second connection sends one request. The per-sweep
+    // intake bound means the floods's backlog cannot monopolise the
+    // reader: the small request is answered while the flood drains.
+    let mut small = TcpClient::connect(addr).unwrap();
+    let t0 = std::time::Instant::now();
+    let small_req = random_request(6, 6, 6, 556);
+    let want = oracle(&small_req);
+    let got = small.call(&small_req).unwrap();
+    let small_latency = t0.elapsed();
+    assert_eq!(got.len(), want.len());
+    assert!(
+        small_latency < Duration::from_secs(5),
+        "small request starved behind the flood: {small_latency:?}"
+    );
+
+    // The flood's replies all arrive, in order, uncorrupted.
+    let want_flood = oracle(&req);
+    for i in 0..flood_n {
+        let got = read_ok_reply(&mut flood);
+        assert_eq!(got.len(), want_flood.len(), "flood reply {i}");
+    }
+    // Nothing further: the stream yields no stray bytes before close.
+    flood
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut probe = [0u8; 1];
+    match flood.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => panic!("stray bytes after the last reply"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected read error: {e}"
+        ),
+    }
+    let stats = tcp.shutdown();
+    assert_eq!(stats.completed, flood_n as u64 + 1);
+}

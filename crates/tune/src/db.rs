@@ -553,6 +553,76 @@ impl PlanDb {
     pub fn save(&self, path: &Path) -> Result<(), PlanDbError> {
         std::fs::write(path, self.encode()).map_err(|e| PlanDbError::Io(e.to_string()))
     }
+
+    /// Reconcile several databases (e.g. one persisted delta file per
+    /// serving shard) into one.
+    ///
+    /// Every input must target the same ISA — tuned kernel choices do
+    /// not transfer across vector widths, so a foreign-ISA input is a
+    /// typed [`PlanDbError::IsaMismatch`], exactly like
+    /// [`PlanDb::load_for`]. For a shape present in several inputs the
+    /// plan knobs of the **most-trafficked** entry win (the shard that
+    /// actually served the shape knows best); its traffic field
+    /// becomes the saturating **sum** across all inputs, since each
+    /// shard counted disjoint calls. Ties are broken deterministically
+    /// — fewer simulated cycles, then `refined` over unrefined, then
+    /// earliest input — so merging the same files always produces
+    /// bit-identical output (the canonical sorted encoding does the
+    /// rest).
+    pub fn merge(inputs: &[PlanDb]) -> Result<PlanDb, PlanDbError> {
+        let Some(first) = inputs.first() else {
+            return Err(PlanDbError::Io("nothing to merge: no inputs".into()));
+        };
+        for db in inputs {
+            if db.isa != first.isa {
+                return Err(PlanDbError::IsaMismatch {
+                    db: db.isa.name,
+                    active: first.isa.name,
+                });
+            }
+        }
+        // (winning entry, summed traffic) per shape key; BTreeMap keeps
+        // the output order canonical independent of input order.
+        let mut merged: std::collections::BTreeMap<(u32, u32, u32), (PlanEntry, u64)> =
+            std::collections::BTreeMap::new();
+        for db in inputs {
+            for e in &db.entries {
+                match merged.entry(e.key()) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((e.clone(), e.traffic));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        let (winner, total) = o.get_mut();
+                        *total = total.saturating_add(e.traffic);
+                        let challenger_wins = e.traffic > winner.traffic
+                            || (e.traffic == winner.traffic
+                                && (e.cycles < winner.cycles
+                                    || (e.cycles == winner.cycles
+                                        && e.refined
+                                        && !winner.refined)));
+                        if challenger_wins {
+                            *winner = e.clone();
+                        }
+                    }
+                }
+            }
+        }
+        if merged.len() > MAX_DB_ENTRIES as usize {
+            return Err(PlanDbError::TooManyEntries {
+                count: merged.len() as u32,
+            });
+        }
+        let entries: Vec<PlanEntry> = merged
+            .into_values()
+            .map(|(mut winner, total)| {
+                winner.traffic = total;
+                winner
+            })
+            .collect();
+        // Keys came from a BTreeMap, so they are strictly sorted and
+        // unique; from_entries re-checks and rebuilds the log-key cache.
+        PlanDb::from_entries(first.isa, entries)
+    }
 }
 
 #[cfg(test)]
@@ -730,6 +800,67 @@ mod tests {
         let missing = PlanDb::load(&dir.join("absent.smmdb")).unwrap_err();
         assert!(matches!(missing, PlanDbError::Io(_)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_reconciles_by_traffic_and_sums_it() {
+        let mut a = entry(4, 4, 4);
+        a.mr = 8;
+        a.traffic = 10;
+        let mut b = entry(4, 4, 4);
+        b.mr = 16;
+        b.traffic = 90;
+        let only_a = entry(8, 8, 8);
+        let only_b = entry(16, 8, 32);
+        let db_a = PlanDb::from_entries(VectorIsa::neon128(), vec![a, only_a.clone()]).unwrap();
+        let db_b = PlanDb::from_entries(VectorIsa::neon128(), vec![b, only_b.clone()]).unwrap();
+        let merged = PlanDb::merge(&[db_a.clone(), db_b.clone()]).unwrap();
+        assert_eq!(merged.len(), 3);
+        let hot = merged.get(4, 4, 4).unwrap();
+        assert_eq!(hot.mr, 16, "most-traffic entry's knobs win");
+        assert_eq!(hot.traffic, 100, "traffic sums across inputs");
+        assert_eq!(merged.get(8, 8, 8).unwrap(), &only_a);
+        assert_eq!(merged.get(16, 8, 32).unwrap(), &only_b);
+        // Deterministic: input order changes neither knobs nor bytes.
+        let flipped = PlanDb::merge(&[db_b, db_a]).unwrap();
+        assert_eq!(flipped.encode(), merged.encode());
+    }
+
+    #[test]
+    fn merge_ties_break_on_cycles_then_refined() {
+        let mut slow = entry(4, 4, 4);
+        slow.traffic = 5;
+        slow.cycles = 200;
+        let mut fast = entry(4, 4, 4);
+        fast.traffic = 5;
+        fast.cycles = 90;
+        fast.nr = 8;
+        let a = PlanDb::from_entries(VectorIsa::neon128(), vec![slow]).unwrap();
+        let b = PlanDb::from_entries(VectorIsa::neon128(), vec![fast]).unwrap();
+        let merged = PlanDb::merge(&[a, b]).unwrap();
+        let got = merged.get(4, 4, 4).unwrap();
+        assert_eq!(got.cycles, 90, "equal traffic: fewer cycles wins");
+        assert_eq!(got.nr, 8);
+        assert_eq!(got.traffic, 10);
+    }
+
+    #[test]
+    fn merge_rejects_foreign_isa_and_empty_input() {
+        let neon = sample_db();
+        let sve = PlanDb::new(VectorIsa::sve256());
+        assert_eq!(
+            PlanDb::merge(&[neon.clone(), sve]).unwrap_err(),
+            PlanDbError::IsaMismatch {
+                db: "sve256",
+                active: "neon128"
+            }
+        );
+        assert!(matches!(
+            PlanDb::merge(&[]).unwrap_err(),
+            PlanDbError::Io(_)
+        ));
+        let solo = PlanDb::merge(std::slice::from_ref(&neon)).unwrap();
+        assert_eq!(solo, neon, "merging one database is the identity");
     }
 
     #[test]
